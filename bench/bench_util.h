@@ -1,0 +1,51 @@
+#ifndef GQLITE_BENCH_BENCH_UTIL_H_
+#define GQLITE_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/workload/generators.h"
+#include "src/workload/paper_graphs.h"
+
+namespace gqlite {
+namespace bench {
+
+/// Builds an engine whose default graph is `g`.
+inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
+  CypherEngine engine(opts);
+  engine.catalog().RegisterGraph(GraphCatalog::kDefaultGraphName, g);
+  engine.catalog().RegisterGraph("bench", g);
+  return engine;
+}
+
+/// Runs a query against a named graph and aborts the benchmark binary on
+/// error (benchmarks must not silently measure failures).
+inline Table MustRun(CypherEngine& engine, const std::string& query) {
+  auto r = engine.Execute("FROM GRAPH bench " + query);
+  if (!r.ok()) {
+    std::fprintf(stderr, "query failed: %s\n  %s\n", query.c_str(),
+                 r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(r->table);
+}
+
+/// Verification helper for the table-reproduction binaries: compares a
+/// measured table against the paper's printed rows and reports.
+inline bool CheckTable(const char* experiment, const Table& measured,
+                       const Table& expected) {
+  bool ok = measured.SameBag(expected);
+  std::printf("[%s] %s\n", ok ? "OK" : "MISMATCH", experiment);
+  if (!ok) {
+    std::printf("--- paper expects ---\n%s--- measured ---\n%s",
+                expected.ToString().c_str(), measured.ToString().c_str());
+  }
+  return ok;
+}
+
+}  // namespace bench
+}  // namespace gqlite
+
+#endif  // GQLITE_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,65 @@
+#ifndef GQLITE_ALGO_GRAPH_ALGORITHMS_H_
+#define GQLITE_ALGO_GRAPH_ALGORITHMS_H_
+
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "src/graph/property_graph.h"
+
+namespace gqlite {
+namespace algo {
+
+/// Built-in graph algorithms. §1 of the paper lists "built-in support for
+/// graph algorithms (e.g., Page Rank, subgraph matching and so on)" among
+/// the benefits of property-graph databases; this module provides the
+/// classical set over the native adjacency representation. All functions
+/// are read-only, single-threaded and deterministic.
+
+/// Options shared by the traversal algorithms: restrict to one
+/// relationship type (empty = any) and/or treat edges as undirected.
+struct TraversalOptions {
+  std::string type;          // empty = any relationship type
+  bool undirected = false;   // follow edges both ways
+};
+
+/// Unweighted shortest path (BFS) from `source` to `target`. Returns the
+/// path (nodes and relationships) or nullopt when unreachable. Ties break
+/// deterministically by adjacency order.
+std::optional<Path> ShortestPath(const PropertyGraph& g, NodeId source,
+                                 NodeId target,
+                                 const TraversalOptions& opts = {});
+
+/// BFS distances from `source` to every reachable node (hop counts).
+std::unordered_map<uint64_t, int64_t> BfsDistances(
+    const PropertyGraph& g, NodeId source, const TraversalOptions& opts = {});
+
+/// PageRank over the directed graph (standard power iteration with
+/// uniform teleport; dangling mass redistributed uniformly). Returns a
+/// score per live node id. Deterministic.
+struct PageRankOptions {
+  double damping = 0.85;
+  int max_iterations = 50;
+  double tolerance = 1e-9;
+};
+std::unordered_map<uint64_t, double> PageRank(
+    const PropertyGraph& g, const PageRankOptions& opts = {});
+
+/// Weakly connected components: component id (the smallest node id in the
+/// component) per live node.
+std::unordered_map<uint64_t, uint64_t> WeaklyConnectedComponents(
+    const PropertyGraph& g);
+
+/// Number of undirected triangles in the graph (parallel edges and self
+/// loops ignored).
+int64_t TriangleCount(const PropertyGraph& g);
+
+/// Degree histogram: degree → node count (total degree, both directions).
+std::vector<std::pair<size_t, size_t>> DegreeHistogram(
+    const PropertyGraph& g);
+
+}  // namespace algo
+}  // namespace gqlite
+
+#endif  // GQLITE_ALGO_GRAPH_ALGORITHMS_H_

@@ -1,0 +1,20 @@
+#include "src/common/interner.h"
+
+namespace gqlite {
+
+SymbolId StringInterner::Intern(std::string_view s) {
+  if (s.empty()) return kNoSymbol;
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  SymbolId id = static_cast<SymbolId>(strings_.size());
+  strings_.emplace_back(s);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+SymbolId StringInterner::Lookup(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kNoSymbol : it->second;
+}
+
+}  // namespace gqlite

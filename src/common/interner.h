@@ -1,0 +1,48 @@
+#ifndef GQLITE_COMMON_INTERNER_H_
+#define GQLITE_COMMON_INTERNER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace gqlite {
+
+/// Symbol id produced by StringInterner. 0 is reserved for "no symbol".
+using SymbolId = uint32_t;
+
+inline constexpr SymbolId kNoSymbol = 0;
+
+/// Interns strings (labels ℒ, relationship types 𝒯, property keys 𝒦) to
+/// dense integer ids so graph records store 4-byte ids and comparisons are
+/// integer compares. Ids are stable for the lifetime of the interner.
+/// Strings live in a deque so their addresses are stable and the index can
+/// key on string_views into them.
+class StringInterner {
+ public:
+  StringInterner() { strings_.emplace_back(); /* id 0 = empty */ }
+
+  StringInterner(const StringInterner&) = delete;
+  StringInterner& operator=(const StringInterner&) = delete;
+
+  /// Returns the id for `s`, interning it if new. Never returns kNoSymbol
+  /// for a non-empty string.
+  SymbolId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kNoSymbol if not interned.
+  SymbolId Lookup(std::string_view s) const;
+
+  /// Returns the string for `id`. Precondition: id was produced by Intern.
+  const std::string& ToString(SymbolId id) const { return strings_[id]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, SymbolId> index_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_COMMON_INTERNER_H_

@@ -1,0 +1,65 @@
+#ifndef GQLITE_COMMON_RESULT_H_
+#define GQLITE_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace gqlite {
+
+/// Result<T> carries either a value or an error Status (Arrow-style).
+/// Use GQL_ASSIGN_OR_RETURN to unwrap in fallible code.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status; must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+#define GQL_CONCAT_IMPL(a, b) a##b
+#define GQL_CONCAT(a, b) GQL_CONCAT_IMPL(a, b)
+
+/// GQL_ASSIGN_OR_RETURN(auto x, FallibleExpr()) — on error, propagates the
+/// Status; otherwise binds the unwrapped value to `x`.
+#define GQL_ASSIGN_OR_RETURN(decl, expr)                        \
+  GQL_ASSIGN_OR_RETURN_IMPL(GQL_CONCAT(_res_, __LINE__), decl, expr)
+
+#define GQL_ASSIGN_OR_RETURN_IMPL(tmp, decl, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  decl = std::move(tmp).value()
+
+}  // namespace gqlite
+
+#endif  // GQLITE_COMMON_RESULT_H_

@@ -1,0 +1,41 @@
+#include "src/common/status.h"
+
+namespace gqlite {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kSyntaxError:
+      return "SyntaxError";
+    case StatusCode::kSemanticError:
+      return "SemanticError";
+    case StatusCode::kTypeError:
+      return "TypeError";
+    case StatusCode::kEvaluationError:
+      return "EvaluationError";
+    case StatusCode::kPlanError:
+      return "PlanError";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace gqlite

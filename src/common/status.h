@@ -1,0 +1,104 @@
+#ifndef GQLITE_COMMON_STATUS_H_
+#define GQLITE_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace gqlite {
+
+/// Error categories used across the engine. The frontend reports
+/// kSyntaxError / kSemanticError; the evaluator reports kTypeError /
+/// kEvaluationError; the planner reports kPlanError.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kSyntaxError,
+  kSemanticError,
+  kTypeError,
+  kEvaluationError,
+  kPlanError,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kUnimplemented,
+  kInternal,
+};
+
+/// Returns a human-readable name for a status code ("SyntaxError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Arrow/RocksDB-style status object. Ok status carries no allocation;
+/// error statuses carry a code and a message. gqlite never throws across
+/// public API boundaries; fallible operations return Status or Result<T>.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_shared<State>(State{code, std::move(message)});
+    }
+  }
+
+  static Status OK() { return Status(); }
+  static Status SyntaxError(std::string msg) {
+    return Status(StatusCode::kSyntaxError, std::move(msg));
+  }
+  static Status SemanticError(std::string msg) {
+    return Status(StatusCode::kSemanticError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status EvaluationError(std::string msg) {
+    return Status(StatusCode::kEvaluationError, std::move(msg));
+  }
+  static Status PlanError(std::string msg) {
+    return Status(StatusCode::kPlanError, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->message : kEmpty;
+  }
+
+  /// "SemanticError: variable `x` not defined" (or "OK").
+  std::string ToString() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<State> state_;  // nullptr == OK
+};
+
+/// Propagates an error Status from a fallible expression.
+#define GQL_RETURN_IF_ERROR(expr)              \
+  do {                                         \
+    ::gqlite::Status _st = (expr);             \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+}  // namespace gqlite
+
+#endif  // GQLITE_COMMON_STATUS_H_

@@ -1,0 +1,110 @@
+#include "src/common/string_util.h"
+
+#include <cctype>
+
+namespace gqlite {
+
+std::string AsciiToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string AsciiToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitBy(std::string_view s, std::string_view sep) {
+  std::vector<std::string> out;
+  if (sep.empty()) {
+    out.emplace_back(s);
+    return out;
+  }
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + sep.size();
+  }
+  return out;
+}
+
+std::string_view LTrimView(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return s.substr(i);
+}
+
+std::string_view RTrimView(std::string_view s) {
+  size_t n = s.size();
+  while (n > 0 && std::isspace(static_cast<unsigned char>(s[n - 1]))) --n;
+  return s.substr(0, n);
+}
+
+std::string_view TrimView(std::string_view s) { return RTrimView(LTrimView(s)); }
+
+std::string EscapeSingleQuoted(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\'') out += "\\'";
+    else out += c;
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view piece) {
+  return s.size() >= piece.size() && s.substr(0, piece.size()) == piece;
+}
+
+bool EndsWith(std::string_view s, std::string_view piece) {
+  return s.size() >= piece.size() && s.substr(s.size() - piece.size()) == piece;
+}
+
+bool Contains(std::string_view s, std::string_view piece) {
+  return s.find(piece) != std::string_view::npos;
+}
+
+}  // namespace gqlite

@@ -1,0 +1,43 @@
+#ifndef GQLITE_COMMON_STRING_UTIL_H_
+#define GQLITE_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gqlite {
+
+/// ASCII-only lowercase (Cypher keywords are case-insensitive ASCII).
+std::string AsciiToLower(std::string_view s);
+
+/// ASCII-only uppercase.
+std::string AsciiToUpper(std::string_view s);
+
+/// Case-insensitive ASCII equality.
+bool AsciiEqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` on the single character `sep`; keeps empty parts.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits `s` on the (non-empty) separator string, Cypher split() semantics.
+std::vector<std::string> SplitBy(std::string_view s, std::string_view sep);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view TrimView(std::string_view s);
+std::string_view LTrimView(std::string_view s);
+std::string_view RTrimView(std::string_view s);
+
+/// Escapes a string for display inside single quotes ('It''s').
+std::string EscapeSingleQuoted(std::string_view s);
+
+/// True if `s` starts with / ends with / contains `piece`.
+bool StartsWith(std::string_view s, std::string_view piece);
+bool EndsWith(std::string_view s, std::string_view piece);
+bool Contains(std::string_view s, std::string_view piece);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_COMMON_STRING_UTIL_H_

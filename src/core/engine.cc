@@ -1,0 +1,101 @@
+#include "src/core/engine.h"
+
+#include "src/frontend/analyzer.h"
+#include "src/frontend/parser.h"
+#include "src/interp/interpreter.h"
+#include "src/plan/runtime.h"
+
+namespace gqlite {
+
+CypherEngine::CypherEngine(EngineOptions options)
+    : options_(options), rand_state_(options.rand_seed) {
+  graph_ = catalog_.default_graph();
+}
+
+MatchOptions CypherEngine::MakeMatchOptions() const {
+  MatchOptions m;
+  m.morphism = options_.morphism;
+  m.max_var_length = options_.max_var_length;
+  return m;
+}
+
+Result<QueryResult> CypherEngine::Execute(std::string_view query,
+                                          const ValueMap& params) {
+  GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
+  GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
+
+  QueryResult result;
+
+  bool has_return_graph = false;
+  for (const auto& part : q.parts) {
+    for (const auto& c : part.clauses) {
+      if (c->kind == ast::Clause::Kind::kReturnGraph) has_return_graph = true;
+    }
+  }
+
+  if (!info.updating && !has_return_graph &&
+      options_.mode == ExecutionMode::kVolcano) {
+    PlannerOptions popts;
+    popts.mode = options_.planner;
+    popts.use_join_expand = options_.use_join_expand;
+    popts.match = MakeMatchOptions();
+    GQL_ASSIGN_OR_RETURN(result.table,
+                         RunPlanned(&catalog_, graph_, &params, popts,
+                                    &rand_state_, q));
+    return result;
+  }
+
+  // Interpreter path: the reference semantics; also the only executor for
+  // updating queries and graph projections.
+  Interpreter::Options iopts;
+  iopts.match = MakeMatchOptions();
+  Interpreter interp(&catalog_, graph_, &params, iopts, &rand_state_);
+  MatchOptions match = MakeMatchOptions();
+  interp.set_update_handler([&](const ast::Clause& c,
+                                Table t) -> Result<Table> {
+    UpdateExecutor upd(interp.current_graph().get(), &params, match,
+                       &rand_state_, &result.stats);
+    return upd.Execute(c, std::move(t));
+  });
+  GQL_ASSIGN_OR_RETURN(result.table, interp.ExecuteQuery(q));
+  result.graphs = interp.produced_graphs();
+  return result;
+}
+
+Result<std::string> CypherEngine::Profile(std::string_view query,
+                                          const ValueMap& params) {
+  GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
+  GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
+  if (info.updating) {
+    return Status::Unimplemented(
+        "PROFILE of updating queries is not supported");
+  }
+  PlannerOptions popts;
+  popts.mode = options_.planner;
+  popts.use_join_expand = options_.use_join_expand;
+  popts.match = MakeMatchOptions();
+  Planner planner(&catalog_, graph_, &params, popts, &rand_state_);
+  GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
+  GQL_ASSIGN_OR_RETURN(Table t, ExecutePlan(&plan));
+  std::string out = ProfilePlan(*plan.root);
+  out += "result: " + std::to_string(t.NumRows()) + " rows\n";
+  return out;
+}
+
+Result<std::string> CypherEngine::Explain(std::string_view query,
+                                          const ValueMap& params) {
+  GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
+  GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
+  if (info.updating) {
+    return Status::Unimplemented(
+        "EXPLAIN of updating queries is not supported (they run on the "
+        "clause interpreter)");
+  }
+  PlannerOptions popts;
+  popts.mode = options_.planner;
+  popts.use_join_expand = options_.use_join_expand;
+  popts.match = MakeMatchOptions();
+  return ExplainQuery(&catalog_, graph_, &params, popts, &rand_state_, q);
+}
+
+}  // namespace gqlite

@@ -1,0 +1,85 @@
+#ifndef GQLITE_CORE_ENGINE_H_
+#define GQLITE_CORE_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/query_result.h"
+#include "src/plan/planner.h"
+#include "src/update/update_executor.h"
+
+namespace gqlite {
+
+/// How read queries execute (experiment E15 ablates the two):
+///  * kInterpreter — the reference implementation of the paper's formal
+///    semantics (clause-by-clause table functions, naive matching);
+///  * kVolcano     — cost-based planning to tuple-at-a-time operators
+///    (§2 "Neo4j implementation"), with the MatcherOp fallback for
+///    pattern shapes outside the pipeline subset.
+/// Updating queries and RETURN GRAPH always run on the interpreter path.
+enum class ExecutionMode : uint8_t { kInterpreter, kVolcano };
+
+struct EngineOptions {
+  ExecutionMode mode = ExecutionMode::kVolcano;
+  PlannerOptions::Mode planner = PlannerOptions::Mode::kGreedy;
+  /// Pattern-matching morphism (§8 configurable morphisms).
+  Morphism morphism = Morphism::kEdgeIsomorphism;
+  /// Cap substituted for ∞ in unbounded variable-length patterns (only
+  /// binding under homomorphism; see MatchOptions).
+  int64_t max_var_length = 1000000;
+  /// E14 baseline: execute Expand as a relationship-store hash join.
+  bool use_join_expand = false;
+  /// Seed for rand() (deterministic runs).
+  uint64_t rand_seed = 0x5EEDC0FFEEULL;
+};
+
+/// The public entry point of gqlite: parse → analyze → execute Cypher
+/// over an in-memory property graph (plus the Cypher 10 named-graph
+/// catalog).
+///
+/// ```
+/// CypherEngine engine;
+/// engine.Execute("CREATE (:Person {name: 'Ada'})");
+/// auto result = engine.Execute("MATCH (p:Person) RETURN p.name");
+/// std::cout << result->ToString();
+/// ```
+class CypherEngine {
+ public:
+  explicit CypherEngine(EngineOptions options = {});
+
+  /// The implicit Cypher 9 global graph.
+  PropertyGraph& graph() { return *graph_; }
+  GraphPtr graph_ptr() { return graph_; }
+  /// Named-graph catalog (Cypher 10, §6).
+  GraphCatalog& catalog() { return catalog_; }
+
+  /// Parses, validates and runs a query. `params` supplies `$name`
+  /// parameters (§2: built-in parameter support).
+  Result<QueryResult> Execute(std::string_view query,
+                              const ValueMap& params = {});
+
+  /// Renders the physical plan for a read query (Volcano operators).
+  Result<std::string> Explain(std::string_view query,
+                              const ValueMap& params = {});
+
+  /// Executes a read query on the Volcano runtime and renders the plan
+  /// with per-operator row counters (PROFILE).
+  Result<std::string> Profile(std::string_view query,
+                              const ValueMap& params = {});
+
+  const EngineOptions& options() const { return options_; }
+  void set_options(EngineOptions options) { options_ = options; }
+
+ private:
+  MatchOptions MakeMatchOptions() const;
+
+  EngineOptions options_;
+  GraphCatalog catalog_;
+  GraphPtr graph_;
+  uint64_t rand_state_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_CORE_ENGINE_H_

@@ -1,0 +1,20 @@
+#include "src/core/query_result.h"
+
+namespace gqlite {
+
+std::string QueryResult::ToString(const PropertyGraph* graph) const {
+  std::string out;
+  if (!table.fields().empty() || table.NumRows() > 0) {
+    out += table.ToString(graph);
+  }
+  if (stats.Any()) {
+    out += stats.ToString() + "\n";
+  }
+  for (const auto& [name, g] : graphs) {
+    out += "graph `" + name + "`: " + std::to_string(g->NumNodes()) +
+           " nodes, " + std::to_string(g->NumRels()) + " relationships\n";
+  }
+  return out;
+}
+
+}  // namespace gqlite

@@ -1,0 +1,186 @@
+#include "src/eval/aggregation.h"
+
+#include <unordered_set>
+
+#include "src/value/value_compare.h"
+
+namespace gqlite {
+
+namespace {
+
+/// Mixin handling DISTINCT and null-skipping; calls Feed() on kept values.
+class BaseAggregator : public Aggregator {
+ public:
+  explicit BaseAggregator(bool distinct) : distinct_(distinct) {}
+
+  Status Accumulate(const Value& v) final {
+    if (v.is_null()) return Status::OK();
+    if (distinct_) {
+      if (!seen_.insert(v).second) return Status::OK();
+    }
+    return Feed(v);
+  }
+
+ protected:
+  virtual Status Feed(const Value& v) = 0;
+
+ private:
+  bool distinct_;
+  std::unordered_set<Value, ValueEquivalenceHash, ValueEquivalenceEq> seen_;
+};
+
+class CountAggregator : public BaseAggregator {
+ public:
+  using BaseAggregator::BaseAggregator;
+  Status Feed(const Value&) override {
+    ++count_;
+    return Status::OK();
+  }
+  Result<Value> Finish() override { return Value::Int(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+/// count(*) counts rows including nulls and ignores DISTINCT.
+class CountStarAggregator : public Aggregator {
+ public:
+  Status Accumulate(const Value&) override {
+    ++count_;
+    return Status::OK();
+  }
+  Result<Value> Finish() override { return Value::Int(count_); }
+
+ private:
+  int64_t count_ = 0;
+};
+
+class SumAggregator : public BaseAggregator {
+ public:
+  using BaseAggregator::BaseAggregator;
+  Status Feed(const Value& v) override {
+    if (v.is_int() && !is_float_) {
+      int_sum_ += v.AsInt();
+    } else if (v.is_number()) {
+      if (!is_float_) {
+        is_float_ = true;
+        float_sum_ = static_cast<double>(int_sum_);
+      }
+      float_sum_ += v.AsNumber();
+    } else if (v.type() == ValueType::kDuration) {
+      if (!seen_any_ && int_sum_ == 0 && !is_float_) {
+        is_duration_ = true;
+      }
+      if (!is_duration_) {
+        return Status::TypeError("sum() cannot mix durations and numbers");
+      }
+      duration_sum_ = duration_sum_ + v.AsDuration();
+    } else {
+      return Status::TypeError("sum() requires numeric or duration values");
+    }
+    if (is_duration_ && v.is_number()) {
+      return Status::TypeError("sum() cannot mix durations and numbers");
+    }
+    seen_any_ = true;
+    return Status::OK();
+  }
+  Result<Value> Finish() override {
+    if (is_duration_) return Value::Temporal(duration_sum_);
+    if (is_float_) return Value::Float(float_sum_);
+    return Value::Int(int_sum_);
+  }
+
+ private:
+  bool seen_any_ = false;
+  bool is_float_ = false;
+  bool is_duration_ = false;
+  int64_t int_sum_ = 0;
+  double float_sum_ = 0;
+  Duration duration_sum_;
+};
+
+class AvgAggregator : public BaseAggregator {
+ public:
+  using BaseAggregator::BaseAggregator;
+  Status Feed(const Value& v) override {
+    if (!v.is_number()) {
+      return Status::TypeError("avg() requires numeric values");
+    }
+    sum_ += v.AsNumber();
+    ++count_;
+    return Status::OK();
+  }
+  Result<Value> Finish() override {
+    if (count_ == 0) return Value::Null();
+    return Value::Float(sum_ / static_cast<double>(count_));
+  }
+
+ private:
+  double sum_ = 0;
+  int64_t count_ = 0;
+};
+
+class MinMaxAggregator : public BaseAggregator {
+ public:
+  MinMaxAggregator(bool distinct, bool is_min)
+      : BaseAggregator(distinct), is_min_(is_min) {}
+  Status Feed(const Value& v) override {
+    if (best_.is_null()) {
+      best_ = v;
+      return Status::OK();
+    }
+    int c = ValueOrder(v, best_);
+    if (is_min_ ? c < 0 : c > 0) best_ = v;
+    return Status::OK();
+  }
+  Result<Value> Finish() override { return best_; }
+
+ private:
+  bool is_min_;
+  Value best_;  // null until first value
+};
+
+class CollectAggregator : public BaseAggregator {
+ public:
+  using BaseAggregator::BaseAggregator;
+  Status Feed(const Value& v) override {
+    items_.push_back(v);
+    return Status::OK();
+  }
+  Result<Value> Finish() override {
+    return Value::MakeList(std::move(items_));
+  }
+
+ private:
+  ValueList items_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Aggregator>> MakeAggregator(const std::string& name,
+                                                   bool distinct) {
+  if (name == "count(*)") {
+    return std::unique_ptr<Aggregator>(new CountStarAggregator());
+  }
+  if (name == "count") {
+    return std::unique_ptr<Aggregator>(new CountAggregator(distinct));
+  }
+  if (name == "sum") {
+    return std::unique_ptr<Aggregator>(new SumAggregator(distinct));
+  }
+  if (name == "avg") {
+    return std::unique_ptr<Aggregator>(new AvgAggregator(distinct));
+  }
+  if (name == "min") {
+    return std::unique_ptr<Aggregator>(new MinMaxAggregator(distinct, true));
+  }
+  if (name == "max") {
+    return std::unique_ptr<Aggregator>(new MinMaxAggregator(distinct, false));
+  }
+  if (name == "collect") {
+    return std::unique_ptr<Aggregator>(new CollectAggregator(distinct));
+  }
+  return Status::Internal("unknown aggregate function: " + name);
+}
+
+}  // namespace gqlite

@@ -1,0 +1,36 @@
+#ifndef GQLITE_EVAL_AGGREGATION_H_
+#define GQLITE_EVAL_AGGREGATION_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/value/value.h"
+
+namespace gqlite {
+
+/// Accumulator for one aggregate function instance within one group.
+/// Cypher aggregation semantics (following SQL, §2 "implements the
+/// established semantics"): null inputs are skipped by every aggregate;
+/// count(*) counts rows; min/max use orderability restricted to comparable
+/// values; sum of integers stays integral; avg is a float; collect gathers
+/// non-nulls in input order. DISTINCT variants de-duplicate by value
+/// equivalence.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  /// Feeds one input value (ignored/a row marker for count(*)).
+  virtual Status Accumulate(const Value& v) = 0;
+  /// Produces the aggregate result for the group.
+  virtual Result<Value> Finish() = 0;
+};
+
+/// Creates an aggregator. `name` is the lowercase function name: "count",
+/// "sum", "avg", "min", "max", "collect", or "count(*)" for the star form.
+/// Unknown names are kInternal (the analyzer validates names first).
+Result<std::unique_ptr<Aggregator>> MakeAggregator(const std::string& name,
+                                                   bool distinct);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_EVAL_AGGREGATION_H_

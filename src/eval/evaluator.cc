@@ -1,0 +1,673 @@
+#include "src/eval/evaluator.h"
+
+#include <cmath>
+#include <regex>
+
+#include "src/common/string_util.h"
+#include "src/eval/functions.h"
+#include "src/frontend/analyzer.h"
+#include "src/frontend/ast_printer.h"
+#include "src/value/value_format.h"
+
+namespace gqlite {
+
+using namespace ast;  // NOLINT(build/namespaces)
+
+namespace {
+
+Status TypeErr(const std::string& what, const Value& v) {
+  return Status::TypeError(what + " (got " + ValueTypeName(v.type()) + ")");
+}
+
+Value TriToValue(Tri t) {
+  switch (t) {
+    case Tri::kTrue:
+      return Value::Bool(true);
+    case Tri::kFalse:
+      return Value::Bool(false);
+    case Tri::kNull:
+      return Value::Null();
+  }
+  return Value::Null();
+}
+
+Result<Tri> AsTri(const Value& v, const char* op) {
+  if (v.is_null()) return Tri::kNull;
+  if (v.is_bool()) return TriFromBool(v.AsBool());
+  return Status::TypeError(std::string(op) +
+                           " requires a boolean operand (got " +
+                           ValueTypeName(v.type()) + ")");
+}
+
+/// Property/component access on a value: maps index by key; nodes and
+/// relationships consult ι; temporal values expose their components.
+Result<Value> AccessProperty(const Value& obj, const std::string& key,
+                             const EvalContext& ctx) {
+  switch (obj.type()) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kMap: {
+      auto it = obj.AsMap().find(key);
+      return it == obj.AsMap().end() ? Value::Null() : it->second;
+    }
+    case ValueType::kNode:
+      if (ctx.graph == nullptr) {
+        return Status::EvaluationError("no graph bound for property access");
+      }
+      if (!ctx.graph->IsNodeAlive(obj.AsNode())) {
+        return Status::EvaluationError(
+            "cannot access property of a deleted node");
+      }
+      return ctx.graph->NodeProperty(obj.AsNode(), key);
+    case ValueType::kRelationship:
+      if (ctx.graph == nullptr) {
+        return Status::EvaluationError("no graph bound for property access");
+      }
+      if (!ctx.graph->IsRelAlive(obj.AsRelationship())) {
+        return Status::EvaluationError(
+            "cannot access property of a deleted relationship");
+      }
+      return ctx.graph->RelProperty(obj.AsRelationship(), key);
+    case ValueType::kDate: {
+      Date d = obj.AsDate();
+      if (key == "year") return Value::Int(d.year());
+      if (key == "month") return Value::Int(d.month());
+      if (key == "day") return Value::Int(d.day());
+      if (key == "dayOfWeek" || key == "weekDay") {
+        return Value::Int(DayOfWeek(d.days_since_epoch) + 1);  // ISO 1..7
+      }
+      if (key == "epochDays") return Value::Int(d.days_since_epoch);
+      return Status::EvaluationError("unknown Date component `" + key + "`");
+    }
+    case ValueType::kLocalTime:
+    case ValueType::kTime: {
+      LocalTime t = obj.type() == ValueType::kTime ? obj.AsTime().local
+                                                   : obj.AsLocalTime();
+      if (key == "hour") return Value::Int(t.hour());
+      if (key == "minute") return Value::Int(t.minute());
+      if (key == "second") return Value::Int(t.second());
+      if (key == "millisecond") return Value::Int(t.nanosecond() / 1000000);
+      if (key == "microsecond") return Value::Int(t.nanosecond() / 1000);
+      if (key == "nanosecond") return Value::Int(t.nanosecond());
+      if (key == "offsetSeconds" && obj.type() == ValueType::kTime) {
+        return Value::Int(obj.AsTime().offset_seconds);
+      }
+      return Status::EvaluationError("unknown time component `" + key + "`");
+    }
+    case ValueType::kLocalDateTime:
+    case ValueType::kDateTime: {
+      LocalDateTime dt = obj.type() == ValueType::kDateTime
+                             ? obj.AsDateTime().local
+                             : obj.AsLocalDateTime();
+      if (key == "offsetSeconds" && obj.type() == ValueType::kDateTime) {
+        return Value::Int(obj.AsDateTime().offset_seconds);
+      }
+      if (key == "epochSeconds") {
+        if (obj.type() == ValueType::kDateTime) {
+          return Value::Int(obj.AsDateTime().InstantNanos() / kNanosPerSecond);
+        }
+        return Value::Int(dt.EpochSeconds());
+      }
+      // Delegate to the date components first, then the time components.
+      Result<Value> dr = AccessProperty(Value::Temporal(dt.date), key, ctx);
+      if (dr.ok()) return dr;
+      return AccessProperty(Value::Temporal(dt.time), key, ctx);
+    }
+    case ValueType::kDuration: {
+      const Duration& d = obj.AsDuration();
+      if (key == "months") return Value::Int(d.months);
+      if (key == "days") return Value::Int(d.days);
+      if (key == "seconds") return Value::Int(d.seconds);
+      if (key == "nanoseconds") return Value::Int(d.nanos);
+      if (key == "years") return Value::Int(d.months / 12);
+      if (key == "hours") return Value::Int(d.seconds / 3600);
+      if (key == "minutes") return Value::Int(d.seconds / 60);
+      return Status::EvaluationError("unknown Duration component `" + key +
+                                     "`");
+    }
+    default:
+      return TypeErr("property access requires a map, node, relationship or "
+                     "temporal value",
+                     obj);
+  }
+}
+
+Result<Value> Arith(BinaryOp op, const Value& a, const Value& b);
+
+}  // namespace
+
+Result<Value> AddValues(const Value& a, const Value& b) {
+  return Arith(BinaryOp::kAdd, a, b);
+}
+
+namespace {
+
+Result<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  // String concatenation: 'a' + x.
+  if (op == BinaryOp::kAdd) {
+    if (a.is_string() && b.is_string()) {
+      return Value::String(a.AsString() + b.AsString());
+    }
+    if (a.is_string() && b.is_number()) {
+      return Value::String(a.AsString() + (b.is_int()
+                                               ? std::to_string(b.AsInt())
+                                               : FormatFloat(b.AsFloat())));
+    }
+    if (a.is_number() && b.is_string()) {
+      return Value::String((a.is_int() ? std::to_string(a.AsInt())
+                                       : FormatFloat(a.AsFloat())) +
+                           b.AsString());
+    }
+    if (a.is_list() && b.is_list()) {
+      ValueList out = a.AsList();
+      out.insert(out.end(), b.AsList().begin(), b.AsList().end());
+      return Value::MakeList(std::move(out));
+    }
+    if (a.is_list()) {
+      ValueList out = a.AsList();
+      out.push_back(b);
+      return Value::MakeList(std::move(out));
+    }
+    if (b.is_list()) {
+      ValueList out;
+      out.push_back(a);
+      out.insert(out.end(), b.AsList().begin(), b.AsList().end());
+      return Value::MakeList(std::move(out));
+    }
+    // Temporal arithmetic.
+    if (a.is_temporal() && b.type() == ValueType::kDuration) {
+      switch (a.type()) {
+        case ValueType::kDate:
+          return Value::Temporal(AddDuration(a.AsDate(), b.AsDuration()));
+        case ValueType::kLocalDateTime:
+          return Value::Temporal(
+              AddDuration(a.AsLocalDateTime(), b.AsDuration()));
+        case ValueType::kDateTime:
+          return Value::Temporal(AddDuration(a.AsDateTime(), b.AsDuration()));
+        case ValueType::kLocalTime:
+          return Value::Temporal(AddDuration(a.AsLocalTime(), b.AsDuration()));
+        case ValueType::kTime: {
+          ZonedTime t = a.AsTime();
+          t.local = AddDuration(t.local, b.AsDuration());
+          return Value::Temporal(t);
+        }
+        case ValueType::kDuration:
+          return Value::Temporal(a.AsDuration() + b.AsDuration());
+        default:
+          break;
+      }
+    }
+    if (a.type() == ValueType::kDuration && b.is_temporal()) {
+      return Arith(BinaryOp::kAdd, b, a);  // duration + instant commutes
+    }
+  }
+  if (op == BinaryOp::kSub) {
+    if (a.type() == ValueType::kDuration && b.type() == ValueType::kDuration) {
+      return Value::Temporal(a.AsDuration() - b.AsDuration());
+    }
+    if (a.is_temporal() && b.type() == ValueType::kDuration) {
+      return Arith(BinaryOp::kAdd, a,
+                   Value::Temporal(b.AsDuration().Negated()));
+    }
+    // instant - instant → duration (exact difference).
+    if (a.type() == ValueType::kDate && b.type() == ValueType::kDate) {
+      return Value::Temporal(DurationBetween(b.AsDate(), a.AsDate()));
+    }
+    if (a.type() == ValueType::kLocalDateTime &&
+        b.type() == ValueType::kLocalDateTime) {
+      return Value::Temporal(
+          DurationBetween(b.AsLocalDateTime(), a.AsLocalDateTime()));
+    }
+    if (a.type() == ValueType::kDateTime && b.type() == ValueType::kDateTime) {
+      return Value::Temporal(DurationBetween(b.AsDateTime(), a.AsDateTime()));
+    }
+  }
+  if (op == BinaryOp::kMul && a.type() == ValueType::kDuration && b.is_int()) {
+    return Value::Temporal(a.AsDuration().ScaledBy(b.AsInt()));
+  }
+  if (op == BinaryOp::kMul && b.type() == ValueType::kDuration && a.is_int()) {
+    return Value::Temporal(b.AsDuration().ScaledBy(a.AsInt()));
+  }
+  if (!a.is_number() || !b.is_number()) {
+    return Status::TypeError(std::string("operator ") + BinaryOpName(op) +
+                             " cannot combine " + ValueTypeName(a.type()) +
+                             " and " + ValueTypeName(b.type()));
+  }
+  if (op == BinaryOp::kPow) {
+    return Value::Float(std::pow(a.AsNumber(), b.AsNumber()));
+  }
+  if (a.is_int() && b.is_int()) {
+    int64_t x = a.AsInt(), y = b.AsInt();
+    switch (op) {
+      case BinaryOp::kAdd:
+        return Value::Int(x + y);
+      case BinaryOp::kSub:
+        return Value::Int(x - y);
+      case BinaryOp::kMul:
+        return Value::Int(x * y);
+      case BinaryOp::kDiv:
+        if (y == 0) return Status::EvaluationError("division by zero");
+        return Value::Int(x / y);
+      case BinaryOp::kMod:
+        if (y == 0) return Status::EvaluationError("modulo by zero");
+        return Value::Int(x % y);
+      default:
+        break;
+    }
+  }
+  double x = a.AsNumber(), y = b.AsNumber();
+  switch (op) {
+    case BinaryOp::kAdd:
+      return Value::Float(x + y);
+    case BinaryOp::kSub:
+      return Value::Float(x - y);
+    case BinaryOp::kMul:
+      return Value::Float(x * y);
+    case BinaryOp::kDiv:
+      return Value::Float(x / y);
+    case BinaryOp::kMod:
+      return Value::Float(std::fmod(x, y));
+    default:
+      break;
+  }
+  return Status::Internal("unhandled arithmetic operator");
+}
+
+Result<Value> StringPredicate(BinaryOp op, const Value& a, const Value& b) {
+  if (a.is_null() || b.is_null()) return Value::Null();
+  if (!a.is_string() || !b.is_string()) {
+    // Neo4j yields null when either operand is non-string.
+    return Value::Null();
+  }
+  switch (op) {
+    case BinaryOp::kStartsWith:
+      return Value::Bool(StartsWith(a.AsString(), b.AsString()));
+    case BinaryOp::kEndsWith:
+      return Value::Bool(EndsWith(a.AsString(), b.AsString()));
+    case BinaryOp::kContains:
+      return Value::Bool(Contains(a.AsString(), b.AsString()));
+    case BinaryOp::kRegexMatch: {
+      try {
+        std::regex re(b.AsString());
+        return Value::Bool(std::regex_match(a.AsString(), re));
+      } catch (const std::regex_error&) {
+        return Status::EvaluationError("invalid regular expression: " +
+                                       b.AsString());
+      }
+    }
+    default:
+      return Status::Internal("unhandled string predicate");
+  }
+}
+
+Result<Value> InList(const Value& needle, const Value& hay) {
+  if (hay.is_null()) return Value::Null();
+  if (!hay.is_list()) {
+    return TypeErr("IN requires a list on the right-hand side", hay);
+  }
+  bool saw_null = false;
+  for (const Value& e : hay.AsList()) {
+    Tri t = ValueEquals(needle, e);
+    if (t == Tri::kTrue) return Value::Bool(true);
+    if (t == Tri::kNull) saw_null = true;
+  }
+  return saw_null ? Value::Null() : Value::Bool(false);
+}
+
+Result<Value> IndexValue(const Value& obj, const Value& idx,
+                         const EvalContext& ctx) {
+  if (obj.is_null() || idx.is_null()) return Value::Null();
+  if (obj.is_list()) {
+    if (!idx.is_int()) return TypeErr("list index must be an integer", idx);
+    int64_t i = idx.AsInt();
+    int64_t n = static_cast<int64_t>(obj.AsList().size());
+    if (i < 0) i += n;  // negative indexes from the end
+    if (i < 0 || i >= n) return Value::Null();
+    return obj.AsList()[i];
+  }
+  if (obj.is_map() || obj.is_node() || obj.is_relationship()) {
+    if (!idx.is_string()) return TypeErr("key must be a string", idx);
+    return AccessProperty(obj, idx.AsString(), ctx);
+  }
+  return TypeErr("indexing requires a list or map", obj);
+}
+
+Result<Value> SliceValue(const Value& obj, const Value& from, const Value& to) {
+  if (obj.is_null() || from.is_null() || to.is_null()) return Value::Null();
+  if (!obj.is_list()) return TypeErr("slicing requires a list", obj);
+  if (!from.is_int() || !to.is_int()) {
+    return Status::TypeError("slice bounds must be integers");
+  }
+  int64_t n = static_cast<int64_t>(obj.AsList().size());
+  int64_t lo = from.AsInt();
+  int64_t hi = to.AsInt();
+  if (lo < 0) lo += n;
+  if (hi < 0) hi += n;
+  lo = std::max<int64_t>(0, std::min(lo, n));
+  hi = std::max<int64_t>(0, std::min(hi, n));
+  ValueList out;
+  for (int64_t i = lo; i < hi; ++i) out.push_back(obj.AsList()[i]);
+  return Value::MakeList(std::move(out));
+}
+
+}  // namespace
+
+Result<Value> EvaluateExpr(const Expr& e, const Environment& env,
+                           const EvalContext& ctx) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return static_cast<const LiteralExpr&>(e).value;
+    case Expr::Kind::kVariable: {
+      const auto& v = static_cast<const VariableExpr&>(e);
+      std::optional<Value> val = env.Lookup(v.name);
+      if (!val) {
+        return Status::EvaluationError("variable `" + v.name +
+                                       "` is not bound");
+      }
+      return *val;
+    }
+    case Expr::Kind::kParameter: {
+      const auto& p = static_cast<const ParameterExpr&>(e);
+      if (ctx.parameters == nullptr) {
+        return Status::EvaluationError("no parameters supplied");
+      }
+      auto it = ctx.parameters->find(p.name);
+      if (it == ctx.parameters->end()) {
+        return Status::EvaluationError("missing query parameter $" + p.name);
+      }
+      return it->second;
+    }
+    case Expr::Kind::kProperty: {
+      const auto& p = static_cast<const PropertyExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value obj, EvaluateExpr(*p.object, env, ctx));
+      return AccessProperty(obj, p.key, ctx);
+    }
+    case Expr::Kind::kLabelCheck: {
+      const auto& p = static_cast<const LabelCheckExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value obj, EvaluateExpr(*p.object, env, ctx));
+      if (obj.is_null()) return Value::Null();
+      if (!obj.is_node()) {
+        return TypeErr("label predicate requires a node", obj);
+      }
+      if (ctx.graph == nullptr || !ctx.graph->IsNodeAlive(obj.AsNode())) {
+        return Status::EvaluationError("label check on a deleted node");
+      }
+      for (const auto& l : p.labels) {
+        if (!ctx.graph->NodeHasLabel(obj.AsNode(), l)) {
+          return Value::Bool(false);
+        }
+      }
+      return Value::Bool(true);
+    }
+    case Expr::Kind::kListLiteral: {
+      const auto& p = static_cast<const ListLiteralExpr&>(e);
+      ValueList out;
+      out.reserve(p.items.size());
+      for (const auto& i : p.items) {
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*i, env, ctx));
+        out.push_back(std::move(v));
+      }
+      return Value::MakeList(std::move(out));
+    }
+    case Expr::Kind::kMapLiteral: {
+      const auto& p = static_cast<const MapLiteralExpr&>(e);
+      ValueMap out;
+      for (const auto& [k, v] : p.entries) {
+        GQL_ASSIGN_OR_RETURN(Value val, EvaluateExpr(*v, env, ctx));
+        out[k] = std::move(val);
+      }
+      return Value::MakeMap(std::move(out));
+    }
+    case Expr::Kind::kCountStar:
+      return Status::EvaluationError(
+          "count(*) is only valid in RETURN/WITH projections");
+    case Expr::Kind::kFunctionCall: {
+      const auto& f = static_cast<const FunctionCallExpr&>(e);
+      if (IsAggregateFunction(f.name)) {
+        return Status::EvaluationError(
+            "aggregate function " + f.name +
+            " is only valid in RETURN/WITH projections");
+      }
+      // exists(...): pattern predicates delegate to the matcher; any other
+      // argument tests for null (absent property).
+      if (f.name == "exists" && f.args.size() == 1) {
+        if (f.args[0]->kind == Expr::Kind::kPatternPredicate) {
+          return EvaluateExpr(*f.args[0], env, ctx);
+        }
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*f.args[0], env, ctx));
+        return Value::Bool(!v.is_null());
+      }
+      std::vector<Value> args;
+      args.reserve(f.args.size());
+      for (const auto& a : f.args) {
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*a, env, ctx));
+        args.push_back(std::move(v));
+      }
+      return CallFunction(f.name, args, ctx);
+    }
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const BinaryExpr&>(e);
+      switch (b.op) {
+        case BinaryOp::kAnd:
+        case BinaryOp::kOr:
+        case BinaryOp::kXor: {
+          GQL_ASSIGN_OR_RETURN(Value lv, EvaluateExpr(*b.lhs, env, ctx));
+          GQL_ASSIGN_OR_RETURN(Value rv, EvaluateExpr(*b.rhs, env, ctx));
+          GQL_ASSIGN_OR_RETURN(Tri lt, AsTri(lv, BinaryOpName(b.op)));
+          GQL_ASSIGN_OR_RETURN(Tri rt, AsTri(rv, BinaryOpName(b.op)));
+          Tri r = b.op == BinaryOp::kAnd
+                      ? TriAnd(lt, rt)
+                      : (b.op == BinaryOp::kOr ? TriOr(lt, rt)
+                                               : TriXor(lt, rt));
+          return TriToValue(r);
+        }
+        default:
+          break;
+      }
+      GQL_ASSIGN_OR_RETURN(Value lv, EvaluateExpr(*b.lhs, env, ctx));
+      GQL_ASSIGN_OR_RETURN(Value rv, EvaluateExpr(*b.rhs, env, ctx));
+      switch (b.op) {
+        case BinaryOp::kEq:
+          return TriToValue(ValueEquals(lv, rv));
+        case BinaryOp::kNeq:
+          return TriToValue(TriNot(ValueEquals(lv, rv)));
+        case BinaryOp::kLt:
+          return TriToValue(ValueLess(lv, rv));
+        case BinaryOp::kLe:
+          return TriToValue(TriOr(ValueLess(lv, rv), ValueEquals(lv, rv)));
+        case BinaryOp::kGt:
+          return TriToValue(ValueLess(rv, lv));
+        case BinaryOp::kGe:
+          return TriToValue(TriOr(ValueLess(rv, lv), ValueEquals(lv, rv)));
+        case BinaryOp::kAdd:
+        case BinaryOp::kSub:
+        case BinaryOp::kMul:
+        case BinaryOp::kDiv:
+        case BinaryOp::kMod:
+        case BinaryOp::kPow:
+          return Arith(b.op, lv, rv);
+        case BinaryOp::kIn:
+          if (lv.is_null() && rv.is_null()) return Value::Null();
+          return InList(lv, rv);
+        case BinaryOp::kStartsWith:
+        case BinaryOp::kEndsWith:
+        case BinaryOp::kContains:
+        case BinaryOp::kRegexMatch:
+          return StringPredicate(b.op, lv, rv);
+        default:
+          return Status::Internal("unhandled binary operator");
+      }
+    }
+    case Expr::Kind::kUnary: {
+      const auto& u = static_cast<const UnaryExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*u.operand, env, ctx));
+      switch (u.op) {
+        case UnaryOp::kNot: {
+          GQL_ASSIGN_OR_RETURN(Tri t, AsTri(v, "NOT"));
+          return TriToValue(TriNot(t));
+        }
+        case UnaryOp::kMinus:
+          if (v.is_null()) return Value::Null();
+          if (v.is_int()) return Value::Int(-v.AsInt());
+          if (v.is_float()) return Value::Float(-v.AsFloat());
+          if (v.type() == ValueType::kDuration) {
+            return Value::Temporal(v.AsDuration().Negated());
+          }
+          return TypeErr("unary minus requires a number", v);
+        case UnaryOp::kPlus:
+          if (v.is_null() || v.is_number()) return v;
+          return TypeErr("unary plus requires a number", v);
+        case UnaryOp::kIsNull:
+          return Value::Bool(v.is_null());
+        case UnaryOp::kIsNotNull:
+          return Value::Bool(!v.is_null());
+      }
+      return Status::Internal("unhandled unary operator");
+    }
+    case Expr::Kind::kIndex: {
+      const auto& i = static_cast<const IndexExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value obj, EvaluateExpr(*i.object, env, ctx));
+      GQL_ASSIGN_OR_RETURN(Value idx, EvaluateExpr(*i.index, env, ctx));
+      return IndexValue(obj, idx, ctx);
+    }
+    case Expr::Kind::kSlice: {
+      const auto& s = static_cast<const SliceExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value obj, EvaluateExpr(*s.object, env, ctx));
+      Value from = Value::Int(0);
+      if (s.from) {
+        GQL_ASSIGN_OR_RETURN(from, EvaluateExpr(*s.from, env, ctx));
+      }
+      Value to = obj.is_list()
+                     ? Value::Int(static_cast<int64_t>(obj.AsList().size()))
+                     : Value::Null();
+      if (s.to) {
+        GQL_ASSIGN_OR_RETURN(to, EvaluateExpr(*s.to, env, ctx));
+      }
+      if (!obj.is_null() && !obj.is_list()) {
+        return TypeErr("slicing requires a list", obj);
+      }
+      if (obj.is_null()) return Value::Null();
+      return SliceValue(obj, from, to);
+    }
+    case Expr::Kind::kCase: {
+      const auto& c = static_cast<const CaseExpr&>(e);
+      if (c.operand) {
+        GQL_ASSIGN_OR_RETURN(Value op, EvaluateExpr(*c.operand, env, ctx));
+        for (const auto& [w, t] : c.whens) {
+          GQL_ASSIGN_OR_RETURN(Value wv, EvaluateExpr(*w, env, ctx));
+          if (ValueEquals(op, wv) == Tri::kTrue) {
+            return EvaluateExpr(*t, env, ctx);
+          }
+        }
+      } else {
+        for (const auto& [w, t] : c.whens) {
+          GQL_ASSIGN_OR_RETURN(Value wv, EvaluateExpr(*w, env, ctx));
+          GQL_ASSIGN_OR_RETURN(Tri wt, AsTri(wv, "CASE WHEN"));
+          if (wt == Tri::kTrue) return EvaluateExpr(*t, env, ctx);
+        }
+      }
+      if (c.otherwise) return EvaluateExpr(*c.otherwise, env, ctx);
+      return Value::Null();
+    }
+    case Expr::Kind::kListComprehension: {
+      const auto& c = static_cast<const ListComprehensionExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value list, EvaluateExpr(*c.list, env, ctx));
+      if (list.is_null()) return Value::Null();
+      if (!list.is_list()) {
+        return TypeErr("list comprehension requires a list", list);
+      }
+      ValueList out;
+      for (const Value& item : list.AsList()) {
+        OverlayEnvironment inner(env, c.var, item);
+        if (c.where) {
+          GQL_ASSIGN_OR_RETURN(Value wv, EvaluateExpr(*c.where, inner, ctx));
+          GQL_ASSIGN_OR_RETURN(Tri wt, AsTri(wv, "comprehension WHERE"));
+          if (wt != Tri::kTrue) continue;
+        }
+        if (c.project) {
+          GQL_ASSIGN_OR_RETURN(Value pv, EvaluateExpr(*c.project, inner, ctx));
+          out.push_back(std::move(pv));
+        } else {
+          out.push_back(item);
+        }
+      }
+      return Value::MakeList(std::move(out));
+    }
+    case Expr::Kind::kQuantifier: {
+      const auto& q = static_cast<const QuantifierExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value list, EvaluateExpr(*q.list, env, ctx));
+      if (list.is_null()) return Value::Null();
+      if (!list.is_list()) {
+        return TypeErr("quantifier requires a list", list);
+      }
+      // 3VL folds: all = AND over the element predicates (empty → true),
+      // any = OR (empty → false), none = NOT any; single = exactly one
+      // true, null when an unknown could change the verdict.
+      int64_t trues = 0, falses = 0, nulls = 0;
+      for (const Value& item : list.AsList()) {
+        OverlayEnvironment inner(env, q.var, item);
+        GQL_ASSIGN_OR_RETURN(Value wv, EvaluateExpr(*q.where, inner, ctx));
+        GQL_ASSIGN_OR_RETURN(Tri wt, AsTri(wv, "quantifier WHERE"));
+        if (wt == Tri::kTrue) ++trues;
+        else if (wt == Tri::kFalse) ++falses;
+        else ++nulls;
+      }
+      switch (q.quantifier) {
+        case QuantifierExpr::Quantifier::kAll:
+          if (falses > 0) return Value::Bool(false);
+          if (nulls > 0) return Value::Null();
+          return Value::Bool(true);
+        case QuantifierExpr::Quantifier::kAny:
+          if (trues > 0) return Value::Bool(true);
+          if (nulls > 0) return Value::Null();
+          return Value::Bool(false);
+        case QuantifierExpr::Quantifier::kNone:
+          if (trues > 0) return Value::Bool(false);
+          if (nulls > 0) return Value::Null();
+          return Value::Bool(true);
+        case QuantifierExpr::Quantifier::kSingle:
+          if (trues > 1) return Value::Bool(false);
+          if (nulls > 0) return Value::Null();
+          return Value::Bool(trues == 1);
+      }
+      return Status::Internal("unhandled quantifier");
+    }
+    case Expr::Kind::kReduce: {
+      const auto& r = static_cast<const ReduceExpr&>(e);
+      GQL_ASSIGN_OR_RETURN(Value acc, EvaluateExpr(*r.init, env, ctx));
+      GQL_ASSIGN_OR_RETURN(Value list, EvaluateExpr(*r.list, env, ctx));
+      if (list.is_null()) return Value::Null();
+      if (!list.is_list()) return TypeErr("reduce requires a list", list);
+      for (const Value& item : list.AsList()) {
+        OverlayEnvironment with_acc(env, r.acc, acc);
+        OverlayEnvironment inner(with_acc, r.var, item);
+        GQL_ASSIGN_OR_RETURN(Value next, EvaluateExpr(*r.body, inner, ctx));
+        acc = std::move(next);
+      }
+      return acc;
+    }
+    case Expr::Kind::kPatternPredicate: {
+      const auto& p = static_cast<const PatternPredicateExpr&>(e);
+      if (!ctx.pattern_predicate) {
+        return Status::EvaluationError(
+            "pattern predicates are not available in this context");
+      }
+      GQL_ASSIGN_OR_RETURN(bool any, ctx.pattern_predicate(p.pattern, env));
+      return Value::Bool(any);
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+Result<Tri> EvaluatePredicate(const Expr& e, const Environment& env,
+                              const EvalContext& ctx) {
+  GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(e, env, ctx));
+  if (v.is_null()) return Tri::kNull;
+  if (v.is_bool()) return TriFromBool(v.AsBool());
+  return Status::TypeError(
+      "predicate must evaluate to a boolean or null (got " +
+      std::string(ValueTypeName(v.type())) + ")");
+}
+
+}  // namespace gqlite

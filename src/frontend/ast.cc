@@ -1,0 +1,248 @@
+#include "src/frontend/ast.h"
+
+#include <cassert>
+
+namespace gqlite {
+namespace ast {
+
+const char* BinaryOpName(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kOr:
+      return "OR";
+    case BinaryOp::kXor:
+      return "XOR";
+    case BinaryOp::kAnd:
+      return "AND";
+    case BinaryOp::kEq:
+      return "=";
+    case BinaryOp::kNeq:
+      return "<>";
+    case BinaryOp::kLt:
+      return "<";
+    case BinaryOp::kLe:
+      return "<=";
+    case BinaryOp::kGt:
+      return ">";
+    case BinaryOp::kGe:
+      return ">=";
+    case BinaryOp::kAdd:
+      return "+";
+    case BinaryOp::kSub:
+      return "-";
+    case BinaryOp::kMul:
+      return "*";
+    case BinaryOp::kDiv:
+      return "/";
+    case BinaryOp::kMod:
+      return "%";
+    case BinaryOp::kPow:
+      return "^";
+    case BinaryOp::kIn:
+      return "IN";
+    case BinaryOp::kStartsWith:
+      return "STARTS WITH";
+    case BinaryOp::kEndsWith:
+      return "ENDS WITH";
+    case BinaryOp::kContains:
+      return "CONTAINS";
+    case BinaryOp::kRegexMatch:
+      return "=~";
+  }
+  return "?";
+}
+
+const char* UnaryOpName(UnaryOp op) {
+  switch (op) {
+    case UnaryOp::kNot:
+      return "NOT";
+    case UnaryOp::kMinus:
+      return "-";
+    case UnaryOp::kPlus:
+      return "+";
+    case UnaryOp::kIsNull:
+      return "IS NULL";
+    case UnaryOp::kIsNotNull:
+      return "IS NOT NULL";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::pair<std::string, ExprPtr>> CloneProps(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  std::vector<std::pair<std::string, ExprPtr>> out;
+  out.reserve(props.size());
+  for (const auto& [k, v] : props) out.emplace_back(k, CloneExpr(*v));
+  return out;
+}
+
+}  // namespace
+
+ExprPtr CloneExpr(const Expr& e) {
+  ExprPtr out;
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      out = std::make_unique<LiteralExpr>(
+          static_cast<const LiteralExpr&>(e).value);
+      break;
+    case Expr::Kind::kVariable:
+      out = std::make_unique<VariableExpr>(
+          static_cast<const VariableExpr&>(e).name);
+      break;
+    case Expr::Kind::kParameter:
+      out = std::make_unique<ParameterExpr>(
+          static_cast<const ParameterExpr&>(e).name);
+      break;
+    case Expr::Kind::kProperty: {
+      const auto& p = static_cast<const PropertyExpr&>(e);
+      out = std::make_unique<PropertyExpr>(CloneExpr(*p.object), p.key);
+      break;
+    }
+    case Expr::Kind::kLabelCheck: {
+      const auto& p = static_cast<const LabelCheckExpr&>(e);
+      out = std::make_unique<LabelCheckExpr>(CloneExpr(*p.object), p.labels);
+      break;
+    }
+    case Expr::Kind::kListLiteral: {
+      const auto& p = static_cast<const ListLiteralExpr&>(e);
+      std::vector<ExprPtr> items;
+      items.reserve(p.items.size());
+      for (const auto& i : p.items) items.push_back(CloneExpr(*i));
+      out = std::make_unique<ListLiteralExpr>(std::move(items));
+      break;
+    }
+    case Expr::Kind::kMapLiteral: {
+      const auto& p = static_cast<const MapLiteralExpr&>(e);
+      out = std::make_unique<MapLiteralExpr>(CloneProps(p.entries));
+      break;
+    }
+    case Expr::Kind::kFunctionCall: {
+      const auto& p = static_cast<const FunctionCallExpr&>(e);
+      std::vector<ExprPtr> args;
+      args.reserve(p.args.size());
+      for (const auto& a : p.args) args.push_back(CloneExpr(*a));
+      out = std::make_unique<FunctionCallExpr>(p.name, p.distinct,
+                                               std::move(args));
+      break;
+    }
+    case Expr::Kind::kCountStar:
+      out = std::make_unique<CountStarExpr>();
+      break;
+    case Expr::Kind::kBinary: {
+      const auto& p = static_cast<const BinaryExpr&>(e);
+      out = std::make_unique<BinaryExpr>(p.op, CloneExpr(*p.lhs),
+                                         CloneExpr(*p.rhs));
+      break;
+    }
+    case Expr::Kind::kUnary: {
+      const auto& p = static_cast<const UnaryExpr&>(e);
+      out = std::make_unique<UnaryExpr>(p.op, CloneExpr(*p.operand));
+      break;
+    }
+    case Expr::Kind::kIndex: {
+      const auto& p = static_cast<const IndexExpr&>(e);
+      out = std::make_unique<IndexExpr>(CloneExpr(*p.object),
+                                        CloneExpr(*p.index));
+      break;
+    }
+    case Expr::Kind::kSlice: {
+      const auto& p = static_cast<const SliceExpr&>(e);
+      out = std::make_unique<SliceExpr>(CloneExpr(*p.object),
+                                        p.from ? CloneExpr(*p.from) : nullptr,
+                                        p.to ? CloneExpr(*p.to) : nullptr);
+      break;
+    }
+    case Expr::Kind::kCase: {
+      const auto& p = static_cast<const CaseExpr&>(e);
+      auto c = std::make_unique<CaseExpr>();
+      c->operand = p.operand ? CloneExpr(*p.operand) : nullptr;
+      for (const auto& [w, t] : p.whens) {
+        c->whens.emplace_back(CloneExpr(*w), CloneExpr(*t));
+      }
+      c->otherwise = p.otherwise ? CloneExpr(*p.otherwise) : nullptr;
+      out = std::move(c);
+      break;
+    }
+    case Expr::Kind::kListComprehension: {
+      const auto& p = static_cast<const ListComprehensionExpr&>(e);
+      auto c = std::make_unique<ListComprehensionExpr>();
+      c->var = p.var;
+      c->list = CloneExpr(*p.list);
+      c->where = p.where ? CloneExpr(*p.where) : nullptr;
+      c->project = p.project ? CloneExpr(*p.project) : nullptr;
+      out = std::move(c);
+      break;
+    }
+    case Expr::Kind::kQuantifier: {
+      const auto& p = static_cast<const QuantifierExpr&>(e);
+      auto c = std::make_unique<QuantifierExpr>();
+      c->quantifier = p.quantifier;
+      c->var = p.var;
+      c->list = CloneExpr(*p.list);
+      c->where = CloneExpr(*p.where);
+      out = std::move(c);
+      break;
+    }
+    case Expr::Kind::kReduce: {
+      const auto& p = static_cast<const ReduceExpr&>(e);
+      auto c = std::make_unique<ReduceExpr>();
+      c->acc = p.acc;
+      c->init = CloneExpr(*p.init);
+      c->var = p.var;
+      c->list = CloneExpr(*p.list);
+      c->body = CloneExpr(*p.body);
+      out = std::move(c);
+      break;
+    }
+    case Expr::Kind::kPatternPredicate: {
+      const auto& p = static_cast<const PatternPredicateExpr&>(e);
+      auto c = std::make_unique<PatternPredicateExpr>();
+      c->pattern = ClonePattern(p.pattern);
+      out = std::move(c);
+      break;
+    }
+  }
+  assert(out != nullptr);
+  out->line = e.line;
+  out->col = e.col;
+  return out;
+}
+
+NodePattern ClonePattern(const NodePattern& p) {
+  NodePattern out;
+  out.var = p.var;
+  out.labels = p.labels;
+  out.properties = CloneProps(p.properties);
+  return out;
+}
+
+RelPattern ClonePattern(const RelPattern& p) {
+  RelPattern out;
+  out.direction = p.direction;
+  out.var = p.var;
+  out.types = p.types;
+  out.properties = CloneProps(p.properties);
+  out.length = p.length;
+  return out;
+}
+
+PathPattern ClonePattern(const PathPattern& p) {
+  PathPattern out;
+  out.path_var = p.path_var;
+  out.start = ClonePattern(p.start);
+  for (const auto& hop : p.hops) {
+    out.hops.push_back(
+        PathPattern::Hop{ClonePattern(hop.rel), ClonePattern(hop.node)});
+  }
+  return out;
+}
+
+Pattern ClonePattern(const Pattern& p) {
+  Pattern out;
+  for (const auto& path : p.paths) out.paths.push_back(ClonePattern(path));
+  return out;
+}
+
+}  // namespace ast
+}  // namespace gqlite

@@ -1,0 +1,430 @@
+#ifndef GQLITE_FRONTEND_AST_H_
+#define GQLITE_FRONTEND_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/value/value.h"
+
+namespace gqlite {
+namespace ast {
+
+// ---------------------------------------------------------------------------
+// Expressions (Figure 5, "expressions" production, plus the standard
+// arithmetic operators — elements of the base-function set ℱ — and the
+// extensions §2 advertises: CASE, list comprehensions, pattern predicates).
+// ---------------------------------------------------------------------------
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinaryOp : uint8_t {
+  kOr,
+  kXor,
+  kAnd,
+  kEq,
+  kNeq,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kPow,
+  kIn,
+  kStartsWith,
+  kEndsWith,
+  kContains,
+  kRegexMatch,
+};
+
+enum class UnaryOp : uint8_t {
+  kNot,
+  kMinus,
+  kPlus,
+  kIsNull,
+  kIsNotNull,
+};
+
+const char* BinaryOpName(BinaryOp op);
+const char* UnaryOpName(UnaryOp op);
+
+struct Expr {
+  enum class Kind : uint8_t {
+    kLiteral,
+    kVariable,
+    kParameter,
+    kProperty,        // expr.key
+    kLabelCheck,      // expr:Label1:Label2 (predicate form, e.g. in WHERE)
+    kListLiteral,     // [e1, ...]
+    kMapLiteral,      // {k: e, ...}
+    kFunctionCall,    // f(args) / f(DISTINCT args); includes aggregates
+    kCountStar,       // count(*)
+    kBinary,
+    kUnary,
+    kIndex,              // list[e]
+    kSlice,              // list[from..to]
+    kCase,               // CASE ... END
+    kListComprehension,  // [x IN list WHERE p | e]
+    kQuantifier,         // all/any/none/single(x IN list WHERE p)
+    kReduce,             // reduce(acc = init, x IN list | expr)
+    kPatternPredicate,   // exists((a)-[:T]->(b)) / bare pattern in WHERE
+  };
+
+  Kind kind;
+  int line = 0;
+  int col = 0;
+
+  explicit Expr(Kind k) : kind(k) {}
+  virtual ~Expr() = default;
+};
+
+struct LiteralExpr : Expr {
+  Value value;
+  explicit LiteralExpr(Value v) : Expr(Kind::kLiteral), value(std::move(v)) {}
+};
+
+struct VariableExpr : Expr {
+  std::string name;
+  explicit VariableExpr(std::string n)
+      : Expr(Kind::kVariable), name(std::move(n)) {}
+};
+
+struct ParameterExpr : Expr {
+  std::string name;
+  explicit ParameterExpr(std::string n)
+      : Expr(Kind::kParameter), name(std::move(n)) {}
+};
+
+struct PropertyExpr : Expr {
+  ExprPtr object;
+  std::string key;
+  PropertyExpr(ExprPtr obj, std::string k)
+      : Expr(Kind::kProperty), object(std::move(obj)), key(std::move(k)) {}
+};
+
+struct LabelCheckExpr : Expr {
+  ExprPtr object;
+  std::vector<std::string> labels;
+  LabelCheckExpr(ExprPtr obj, std::vector<std::string> ls)
+      : Expr(Kind::kLabelCheck), object(std::move(obj)), labels(std::move(ls)) {}
+};
+
+struct ListLiteralExpr : Expr {
+  std::vector<ExprPtr> items;
+  explicit ListLiteralExpr(std::vector<ExprPtr> xs)
+      : Expr(Kind::kListLiteral), items(std::move(xs)) {}
+};
+
+struct MapLiteralExpr : Expr {
+  std::vector<std::pair<std::string, ExprPtr>> entries;
+  explicit MapLiteralExpr(std::vector<std::pair<std::string, ExprPtr>> es)
+      : Expr(Kind::kMapLiteral), entries(std::move(es)) {}
+};
+
+struct FunctionCallExpr : Expr {
+  std::string name;  // lowercased at parse time (function names are case-
+                     // insensitive in Cypher)
+  bool distinct = false;
+  std::vector<ExprPtr> args;
+  FunctionCallExpr(std::string n, bool d, std::vector<ExprPtr> a)
+      : Expr(Kind::kFunctionCall),
+        name(std::move(n)),
+        distinct(d),
+        args(std::move(a)) {}
+};
+
+struct CountStarExpr : Expr {
+  CountStarExpr() : Expr(Kind::kCountStar) {}
+};
+
+struct BinaryExpr : Expr {
+  BinaryOp op;
+  ExprPtr lhs;
+  ExprPtr rhs;
+  BinaryExpr(BinaryOp o, ExprPtr l, ExprPtr r)
+      : Expr(Kind::kBinary), op(o), lhs(std::move(l)), rhs(std::move(r)) {}
+};
+
+struct UnaryExpr : Expr {
+  UnaryOp op;
+  ExprPtr operand;
+  UnaryExpr(UnaryOp o, ExprPtr e)
+      : Expr(Kind::kUnary), op(o), operand(std::move(e)) {}
+};
+
+struct IndexExpr : Expr {
+  ExprPtr object;
+  ExprPtr index;
+  IndexExpr(ExprPtr obj, ExprPtr idx)
+      : Expr(Kind::kIndex), object(std::move(obj)), index(std::move(idx)) {}
+};
+
+struct SliceExpr : Expr {
+  ExprPtr object;
+  ExprPtr from;  // may be null (open start)
+  ExprPtr to;    // may be null (open end)
+  SliceExpr(ExprPtr obj, ExprPtr f, ExprPtr t)
+      : Expr(Kind::kSlice),
+        object(std::move(obj)),
+        from(std::move(f)),
+        to(std::move(t)) {}
+};
+
+struct CaseExpr : Expr {
+  ExprPtr operand;  // null for searched CASE
+  std::vector<std::pair<ExprPtr, ExprPtr>> whens;
+  ExprPtr otherwise;  // may be null (defaults to null)
+  CaseExpr() : Expr(Kind::kCase) {}
+};
+
+struct ListComprehensionExpr : Expr {
+  std::string var;
+  ExprPtr list;
+  ExprPtr where;    // may be null
+  ExprPtr project;  // may be null (then the element itself)
+  ListComprehensionExpr() : Expr(Kind::kListComprehension) {}
+};
+
+/// List-predicate quantifiers (part of §2's "powerful features" family):
+/// all/any/none/single(x IN list WHERE predicate), with SQL-style 3VL over
+/// the element results.
+struct QuantifierExpr : Expr {
+  enum class Quantifier : uint8_t { kAll, kAny, kNone, kSingle };
+  Quantifier quantifier = Quantifier::kAll;
+  std::string var;
+  ExprPtr list;
+  ExprPtr where;
+  QuantifierExpr() : Expr(Kind::kQuantifier) {}
+};
+
+/// reduce(acc = init, x IN list | expr): left fold over a list.
+struct ReduceExpr : Expr {
+  std::string acc;
+  ExprPtr init;
+  std::string var;
+  ExprPtr list;
+  ExprPtr body;
+  ReduceExpr() : Expr(Kind::kReduce) {}
+};
+
+// ---------------------------------------------------------------------------
+// Patterns (Figure 3).
+// ---------------------------------------------------------------------------
+
+/// node_pattern ::= (a? label_list? map?)
+struct NodePattern {
+  std::optional<std::string> var;
+  std::vector<std::string> labels;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+};
+
+/// Direction of a relationship pattern: -->, <--, or undirected.
+enum class Direction : uint8_t { kRight, kLeft, kBoth };
+
+/// len ::= * | *d | *d1.. | *..d2 | *d1..d2 — nullopt min/max mean the
+/// defaults (1 and ∞ per §4.2's range rule).
+struct VarLength {
+  std::optional<int64_t> min;
+  std::optional<int64_t> max;
+};
+
+/// rel_pattern ::= -[a? type_list? len? map?]-> etc.
+struct RelPattern {
+  Direction direction = Direction::kBoth;
+  std::optional<std::string> var;
+  std::vector<std::string> types;
+  std::vector<std::pair<std::string, ExprPtr>> properties;
+  std::optional<VarLength> length;  // nullopt == rigid single hop (I = nil)
+};
+
+/// pattern◦ ::= node_pattern (rel_pattern node_pattern)*
+struct PathPattern {
+  std::optional<std::string> path_var;  // pattern ::= a = pattern◦
+  NodePattern start;
+  struct Hop {
+    RelPattern rel;
+    NodePattern node;
+  };
+  std::vector<Hop> hops;
+};
+
+/// pattern_tuple ::= pattern (, pattern)*
+struct Pattern {
+  std::vector<PathPattern> paths;
+};
+
+struct PatternPredicateExpr : Expr {
+  Pattern pattern;
+  PatternPredicateExpr() : Expr(Kind::kPatternPredicate) {}
+};
+
+// ---------------------------------------------------------------------------
+// Clauses (Figure 5 plus the update language of §2 and the Cypher 10
+// multiple-graph clauses of §6).
+// ---------------------------------------------------------------------------
+
+struct Clause {
+  enum class Kind : uint8_t {
+    kMatch,
+    kWith,
+    kReturn,
+    kUnwind,
+    kCreate,
+    kDelete,
+    kSet,
+    kRemove,
+    kMerge,
+    kFromGraph,
+    kReturnGraph,
+  };
+  Kind kind;
+  explicit Clause(Kind k) : kind(k) {}
+  virtual ~Clause() = default;
+};
+
+using ClausePtr = std::unique_ptr<Clause>;
+
+/// One item of a RETURN/WITH projection list: expr [AS alias].
+struct ReturnItem {
+  ExprPtr expr;
+  std::optional<std::string> alias;
+};
+
+struct OrderItem {
+  ExprPtr expr;
+  bool ascending = true;
+};
+
+/// Shared body of RETURN and WITH: [DISTINCT] items [ORDER BY ...]
+/// [SKIP e] [LIMIT e]; `star` for `*` (optionally with extra items).
+struct ProjectionBody {
+  bool distinct = false;
+  bool star = false;
+  std::vector<ReturnItem> items;
+  std::vector<OrderItem> order_by;
+  ExprPtr skip;
+  ExprPtr limit;
+};
+
+struct MatchClause : Clause {
+  bool optional = false;
+  Pattern pattern;
+  ExprPtr where;  // may be null
+  MatchClause() : Clause(Kind::kMatch) {}
+};
+
+struct WithClause : Clause {
+  ProjectionBody body;
+  ExprPtr where;  // may be null; applies after projection
+  WithClause() : Clause(Kind::kWith) {}
+};
+
+struct ReturnClause : Clause {
+  ProjectionBody body;
+  ReturnClause() : Clause(Kind::kReturn) {}
+};
+
+struct UnwindClause : Clause {
+  ExprPtr expr;
+  std::string var;
+  UnwindClause() : Clause(Kind::kUnwind) {}
+};
+
+struct CreateClause : Clause {
+  Pattern pattern;
+  CreateClause() : Clause(Kind::kCreate) {}
+};
+
+struct DeleteClause : Clause {
+  bool detach = false;
+  std::vector<ExprPtr> exprs;
+  DeleteClause() : Clause(Kind::kDelete) {}
+};
+
+/// SET item forms: n.k = e | n = {map} | n += {map} | n:Label1:Label2.
+struct SetItem {
+  enum class Kind : uint8_t { kProperty, kReplaceProps, kMergeProps, kLabels };
+  Kind kind;
+  ExprPtr target;                   // kProperty: the PropertyExpr target
+  std::string var;                  // entity variable (other forms)
+  ExprPtr value;                    // RHS for property/map forms
+  std::vector<std::string> labels;  // kLabels
+};
+
+struct SetClause : Clause {
+  std::vector<SetItem> items;
+  SetClause() : Clause(Kind::kSet) {}
+};
+
+/// REMOVE item forms: n.k | n:Label1:Label2.
+struct RemoveItem {
+  enum class Kind : uint8_t { kProperty, kLabels };
+  Kind kind;
+  std::string var;
+  std::string key;                  // kProperty
+  std::vector<std::string> labels;  // kLabels
+};
+
+struct RemoveClause : Clause {
+  std::vector<RemoveItem> items;
+  RemoveClause() : Clause(Kind::kRemove) {}
+};
+
+struct MergeClause : Clause {
+  PathPattern pattern;
+  std::vector<SetItem> on_create;
+  std::vector<SetItem> on_match;
+  MergeClause() : Clause(Kind::kMerge) {}
+};
+
+/// Cypher 10 (§6): FROM GRAPH name [AT "url"] — switches the working graph
+/// for the following reading clauses; Example 6.1.
+struct FromGraphClause : Clause {
+  std::string name;
+  std::optional<std::string> url;
+  FromGraphClause() : Clause(Kind::kFromGraph) {}
+};
+
+/// Cypher 10 (§6): RETURN GRAPH name OF pattern — projects a new graph
+/// built from the pattern instantiated over the driving table.
+struct ReturnGraphClause : Clause {
+  std::string graph_name;
+  Pattern pattern;
+  ReturnGraphClause() : Clause(Kind::kReturnGraph) {}
+};
+
+// ---------------------------------------------------------------------------
+// Queries (Figure 5 "queries": sequences of clauses, UNION [ALL]).
+// ---------------------------------------------------------------------------
+
+/// query◦ ::= clause* RETURN ... (read queries) — update queries may end
+/// with an updating clause instead of RETURN.
+struct SingleQuery {
+  std::vector<ClausePtr> clauses;
+};
+
+/// query ::= query◦ (UNION [ALL] query◦)*
+struct Query {
+  std::vector<SingleQuery> parts;
+  std::vector<bool> union_all;  // separator i joins parts[i] and parts[i+1]
+};
+
+/// Deep-copy helpers (the planner rewrites expression trees).
+ExprPtr CloneExpr(const Expr& e);
+NodePattern ClonePattern(const NodePattern& p);
+RelPattern ClonePattern(const RelPattern& p);
+PathPattern ClonePattern(const PathPattern& p);
+Pattern ClonePattern(const Pattern& p);
+
+}  // namespace ast
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_AST_H_

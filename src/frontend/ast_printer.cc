@@ -1,0 +1,345 @@
+#include "src/frontend/ast_printer.h"
+
+#include "src/common/string_util.h"
+
+namespace gqlite {
+
+using namespace ast;  // NOLINT(build/namespaces)
+
+namespace {
+
+std::string UnparseProps(
+    const std::vector<std::pair<std::string, ExprPtr>>& props) {
+  if (props.empty()) return "";
+  std::string out = " {";
+  bool first = true;
+  for (const auto& [k, v] : props) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + ": " + UnparseExpr(*v);
+  }
+  return out + "}";
+}
+
+std::string UnparseNode(const NodePattern& n) {
+  std::string out = "(";
+  if (n.var) out += *n.var;
+  for (const auto& l : n.labels) out += ":" + l;
+  out += UnparseProps(n.properties);
+  return out + ")";
+}
+
+std::string UnparseRel(const RelPattern& r) {
+  std::string out = r.direction == Direction::kLeft ? "<-" : "-";
+  bool need_brackets = r.var || !r.types.empty() || r.length ||
+                       !r.properties.empty();
+  if (need_brackets) {
+    out += "[";
+    if (r.var) out += *r.var;
+    for (size_t i = 0; i < r.types.size(); ++i) {
+      out += (i == 0 ? ":" : "|") + r.types[i];
+    }
+    if (r.length) {
+      out += "*";
+      if (r.length->min) out += std::to_string(*r.length->min);
+      if (!(r.length->min && r.length->max &&
+            *r.length->min == *r.length->max)) {
+        out += "..";
+        if (r.length->max) out += std::to_string(*r.length->max);
+      }
+    }
+    out += UnparseProps(r.properties);
+    out += "]";
+  }
+  out += r.direction == Direction::kRight ? "->" : "-";
+  return out;
+}
+
+std::string UnparseProjection(const ProjectionBody& b) {
+  std::string out;
+  if (b.distinct) out += "DISTINCT ";
+  if (b.star) {
+    out += "*";
+    for (const auto& item : b.items) {
+      out += ", " + UnparseExpr(*item.expr);
+      if (item.alias) out += " AS " + *item.alias;
+    }
+  } else {
+    bool first = true;
+    for (const auto& item : b.items) {
+      if (!first) out += ", ";
+      first = false;
+      out += UnparseExpr(*item.expr);
+      if (item.alias) out += " AS " + *item.alias;
+    }
+  }
+  if (!b.order_by.empty()) {
+    out += " ORDER BY ";
+    for (size_t i = 0; i < b.order_by.size(); ++i) {
+      if (i) out += ", ";
+      out += UnparseExpr(*b.order_by[i].expr);
+      if (!b.order_by[i].ascending) out += " DESC";
+    }
+  }
+  if (b.skip) out += " SKIP " + UnparseExpr(*b.skip);
+  if (b.limit) out += " LIMIT " + UnparseExpr(*b.limit);
+  return out;
+}
+
+std::string UnparseSetItems(const std::vector<SetItem>& items) {
+  std::string out;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) out += ", ";
+    first = false;
+    switch (item.kind) {
+      case SetItem::Kind::kProperty:
+        out += UnparseExpr(*item.target) + " = " + UnparseExpr(*item.value);
+        break;
+      case SetItem::Kind::kReplaceProps:
+        out += item.var + " = " + UnparseExpr(*item.value);
+        break;
+      case SetItem::Kind::kMergeProps:
+        out += item.var + " += " + UnparseExpr(*item.value);
+        break;
+      case SetItem::Kind::kLabels:
+        out += item.var;
+        for (const auto& l : item.labels) out += ":" + l;
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string UnparseExpr(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kLiteral:
+      return static_cast<const LiteralExpr&>(e).value.ToString();
+    case Expr::Kind::kVariable:
+      return static_cast<const VariableExpr&>(e).name;
+    case Expr::Kind::kParameter:
+      return "$" + static_cast<const ParameterExpr&>(e).name;
+    case Expr::Kind::kProperty: {
+      const auto& p = static_cast<const PropertyExpr&>(e);
+      return UnparseExpr(*p.object) + "." + p.key;
+    }
+    case Expr::Kind::kLabelCheck: {
+      const auto& p = static_cast<const LabelCheckExpr&>(e);
+      std::string out = UnparseExpr(*p.object);
+      for (const auto& l : p.labels) out += ":" + l;
+      return out;
+    }
+    case Expr::Kind::kListLiteral: {
+      const auto& p = static_cast<const ListLiteralExpr&>(e);
+      std::string out = "[";
+      for (size_t i = 0; i < p.items.size(); ++i) {
+        if (i) out += ", ";
+        out += UnparseExpr(*p.items[i]);
+      }
+      return out + "]";
+    }
+    case Expr::Kind::kMapLiteral: {
+      const auto& p = static_cast<const MapLiteralExpr&>(e);
+      std::string out = "{";
+      for (size_t i = 0; i < p.entries.size(); ++i) {
+        if (i) out += ", ";
+        out += p.entries[i].first + ": " + UnparseExpr(*p.entries[i].second);
+      }
+      return out + "}";
+    }
+    case Expr::Kind::kFunctionCall: {
+      const auto& p = static_cast<const FunctionCallExpr&>(e);
+      std::string out = p.name + "(";
+      if (p.distinct) out += "DISTINCT ";
+      for (size_t i = 0; i < p.args.size(); ++i) {
+        if (i) out += ", ";
+        out += UnparseExpr(*p.args[i]);
+      }
+      return out + ")";
+    }
+    case Expr::Kind::kCountStar:
+      return "count(*)";
+    case Expr::Kind::kBinary: {
+      const auto& p = static_cast<const BinaryExpr&>(e);
+      return "(" + UnparseExpr(*p.lhs) + " " + BinaryOpName(p.op) + " " +
+             UnparseExpr(*p.rhs) + ")";
+    }
+    case Expr::Kind::kUnary: {
+      const auto& p = static_cast<const UnaryExpr&>(e);
+      if (p.op == UnaryOp::kIsNull || p.op == UnaryOp::kIsNotNull) {
+        return "(" + UnparseExpr(*p.operand) + " " + UnaryOpName(p.op) + ")";
+      }
+      return "(" + std::string(UnaryOpName(p.op)) + " " +
+             UnparseExpr(*p.operand) + ")";
+    }
+    case Expr::Kind::kIndex: {
+      const auto& p = static_cast<const IndexExpr&>(e);
+      return UnparseExpr(*p.object) + "[" + UnparseExpr(*p.index) + "]";
+    }
+    case Expr::Kind::kSlice: {
+      const auto& p = static_cast<const SliceExpr&>(e);
+      return UnparseExpr(*p.object) + "[" +
+             (p.from ? UnparseExpr(*p.from) : "") + ".." +
+             (p.to ? UnparseExpr(*p.to) : "") + "]";
+    }
+    case Expr::Kind::kCase: {
+      const auto& p = static_cast<const CaseExpr&>(e);
+      std::string out = "CASE";
+      if (p.operand) out += " " + UnparseExpr(*p.operand);
+      for (const auto& [w, t] : p.whens) {
+        out += " WHEN " + UnparseExpr(*w) + " THEN " + UnparseExpr(*t);
+      }
+      if (p.otherwise) out += " ELSE " + UnparseExpr(*p.otherwise);
+      return out + " END";
+    }
+    case Expr::Kind::kListComprehension: {
+      const auto& p = static_cast<const ListComprehensionExpr&>(e);
+      std::string out = "[" + p.var + " IN " + UnparseExpr(*p.list);
+      if (p.where) out += " WHERE " + UnparseExpr(*p.where);
+      if (p.project) out += " | " + UnparseExpr(*p.project);
+      return out + "]";
+    }
+    case Expr::Kind::kQuantifier: {
+      const auto& p = static_cast<const QuantifierExpr&>(e);
+      const char* q = p.quantifier == QuantifierExpr::Quantifier::kAll
+                          ? "all"
+                          : p.quantifier == QuantifierExpr::Quantifier::kAny
+                                ? "any"
+                                : p.quantifier ==
+                                          QuantifierExpr::Quantifier::kNone
+                                      ? "none"
+                                      : "single";
+      return std::string(q) + "(" + p.var + " IN " + UnparseExpr(*p.list) +
+             " WHERE " + UnparseExpr(*p.where) + ")";
+    }
+    case Expr::Kind::kReduce: {
+      const auto& p = static_cast<const ReduceExpr&>(e);
+      return "reduce(" + p.acc + " = " + UnparseExpr(*p.init) + ", " + p.var +
+             " IN " + UnparseExpr(*p.list) + " | " + UnparseExpr(*p.body) +
+             ")";
+    }
+    case Expr::Kind::kPatternPredicate: {
+      const auto& p = static_cast<const PatternPredicateExpr&>(e);
+      return UnparsePattern(p.pattern);
+    }
+  }
+  return "?";
+}
+
+std::string UnparsePathPattern(const PathPattern& p) {
+  std::string out;
+  if (p.path_var) out += *p.path_var + " = ";
+  out += UnparseNode(p.start);
+  for (const auto& hop : p.hops) {
+    out += UnparseRel(hop.rel) + UnparseNode(hop.node);
+  }
+  return out;
+}
+
+std::string UnparsePattern(const Pattern& p) {
+  std::string out;
+  for (size_t i = 0; i < p.paths.size(); ++i) {
+    if (i) out += ", ";
+    out += UnparsePathPattern(p.paths[i]);
+  }
+  return out;
+}
+
+std::string UnparseClause(const Clause& c) {
+  switch (c.kind) {
+    case Clause::Kind::kMatch: {
+      const auto& m = static_cast<const MatchClause&>(c);
+      std::string out = m.optional ? "OPTIONAL MATCH " : "MATCH ";
+      out += UnparsePattern(m.pattern);
+      if (m.where) out += " WHERE " + UnparseExpr(*m.where);
+      return out;
+    }
+    case Clause::Kind::kWith: {
+      const auto& w = static_cast<const WithClause&>(c);
+      std::string out = "WITH " + UnparseProjection(w.body);
+      if (w.where) out += " WHERE " + UnparseExpr(*w.where);
+      return out;
+    }
+    case Clause::Kind::kReturn: {
+      const auto& r = static_cast<const ReturnClause&>(c);
+      return "RETURN " + UnparseProjection(r.body);
+    }
+    case Clause::Kind::kUnwind: {
+      const auto& u = static_cast<const UnwindClause&>(c);
+      return "UNWIND " + UnparseExpr(*u.expr) + " AS " + u.var;
+    }
+    case Clause::Kind::kCreate: {
+      const auto& cr = static_cast<const CreateClause&>(c);
+      return "CREATE " + UnparsePattern(cr.pattern);
+    }
+    case Clause::Kind::kDelete: {
+      const auto& d = static_cast<const DeleteClause&>(c);
+      std::string out = d.detach ? "DETACH DELETE " : "DELETE ";
+      for (size_t i = 0; i < d.exprs.size(); ++i) {
+        if (i) out += ", ";
+        out += UnparseExpr(*d.exprs[i]);
+      }
+      return out;
+    }
+    case Clause::Kind::kSet: {
+      const auto& s = static_cast<const SetClause&>(c);
+      return "SET " + UnparseSetItems(s.items);
+    }
+    case Clause::Kind::kRemove: {
+      const auto& r = static_cast<const RemoveClause&>(c);
+      std::string out = "REMOVE ";
+      for (size_t i = 0; i < r.items.size(); ++i) {
+        if (i) out += ", ";
+        const RemoveItem& item = r.items[i];
+        if (item.kind == RemoveItem::Kind::kProperty) {
+          out += item.var + "." + item.key;
+        } else {
+          out += item.var;
+          for (const auto& l : item.labels) out += ":" + l;
+        }
+      }
+      return out;
+    }
+    case Clause::Kind::kMerge: {
+      const auto& m = static_cast<const MergeClause&>(c);
+      std::string out = "MERGE " + UnparsePathPattern(m.pattern);
+      if (!m.on_create.empty()) {
+        out += " ON CREATE SET " + UnparseSetItems(m.on_create);
+      }
+      if (!m.on_match.empty()) {
+        out += " ON MATCH SET " + UnparseSetItems(m.on_match);
+      }
+      return out;
+    }
+    case Clause::Kind::kFromGraph: {
+      const auto& f = static_cast<const FromGraphClause&>(c);
+      std::string out = "FROM GRAPH " + f.name;
+      if (f.url) out += " AT '" + *f.url + "'";
+      return out;
+    }
+    case Clause::Kind::kReturnGraph: {
+      const auto& r = static_cast<const ReturnGraphClause&>(c);
+      return "RETURN GRAPH " + r.graph_name + " OF " +
+             UnparsePattern(r.pattern);
+    }
+  }
+  return "?";
+}
+
+std::string UnparseQuery(const Query& q) {
+  std::string out;
+  for (size_t i = 0; i < q.parts.size(); ++i) {
+    if (i) {
+      out += q.union_all[i - 1] ? " UNION ALL " : " UNION ";
+    }
+    for (size_t j = 0; j < q.parts[i].clauses.size(); ++j) {
+      if (j) out += " ";
+      out += UnparseClause(*q.parts[i].clauses[j]);
+    }
+  }
+  return out;
+}
+
+}  // namespace gqlite

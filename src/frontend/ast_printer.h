@@ -1,0 +1,21 @@
+#ifndef GQLITE_FRONTEND_AST_PRINTER_H_
+#define GQLITE_FRONTEND_AST_PRINTER_H_
+
+#include <string>
+
+#include "src/frontend/ast.h"
+
+namespace gqlite {
+
+/// Unparses AST nodes back to canonical Cypher text. Round-trip property:
+/// Unparse(Parse(Unparse(Parse(q)))) == Unparse(Parse(q)). Used by tests,
+/// EXPLAIN output and error messages.
+std::string UnparseExpr(const ast::Expr& e);
+std::string UnparsePattern(const ast::Pattern& p);
+std::string UnparsePathPattern(const ast::PathPattern& p);
+std::string UnparseClause(const ast::Clause& c);
+std::string UnparseQuery(const ast::Query& q);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_AST_PRINTER_H_

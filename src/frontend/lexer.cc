@@ -1,0 +1,333 @@
+#include "src/frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace gqlite {
+
+namespace {
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      GQL_RETURN_IF_ERROR(SkipSpaceAndComments());
+      Token t;
+      t.line = line_;
+      t.col = col_;
+      if (AtEnd()) {
+        t.kind = TokenKind::kEof;
+        out.push_back(std::move(t));
+        return out;
+      }
+      GQL_RETURN_IF_ERROR(Next(&t));
+      out.push_back(std::move(t));
+    }
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+  char Advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::SyntaxError(msg + " at " + std::to_string(line_) + ":" +
+                               std::to_string(col_));
+  }
+
+  Status SkipSpaceAndComments() {
+    while (!AtEnd()) {
+      char c = Peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        Advance();
+      } else if (c == '/' && Peek(1) == '/') {
+        while (!AtEnd() && Peek() != '\n') Advance();
+      } else if (c == '/' && Peek(1) == '*') {
+        Advance();
+        Advance();
+        while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+        if (AtEnd()) return Error("unterminated block comment");
+        Advance();
+        Advance();
+      } else {
+        break;
+      }
+    }
+    return Status::OK();
+  }
+
+  Status Next(Token* t) {
+    char c = Peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return LexIdentifier(t);
+    }
+    if (c == '`') return LexQuotedIdentifier(t);
+    if (std::isdigit(static_cast<unsigned char>(c))) return LexNumber(t);
+    if (c == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      return LexNumber(t);
+    }
+    if (c == '\'' || c == '"') return LexString(t);
+    if (c == '$') return LexParameter(t);
+    return LexPunct(t);
+  }
+
+  Status LexIdentifier(Token* t) {
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    t->kind = TokenKind::kIdentifier;
+    t->text = std::string(src_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status LexQuotedIdentifier(Token* t) {
+    Advance();  // `
+    std::string text;
+    while (!AtEnd() && Peek() != '`') text += Advance();
+    if (AtEnd()) return Error("unterminated quoted identifier");
+    Advance();  // `
+    if (text.empty()) return Error("empty quoted identifier");
+    t->kind = TokenKind::kIdentifier;
+    t->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexNumber(Token* t) {
+    size_t start = pos_;
+    bool is_float = false;
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+    // A '.' is part of the number only if followed by a digit — `a.b` and
+    // range `1..2` must not swallow the dot.
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      size_t save = pos_;
+      int save_line = line_, save_col = col_;
+      Advance();
+      if (Peek() == '+' || Peek() == '-') Advance();
+      if (std::isdigit(static_cast<unsigned char>(Peek()))) {
+        is_float = true;
+        while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+          Advance();
+        }
+      } else {
+        pos_ = save;  // not an exponent (e.g. `1eX`); rewind
+        line_ = save_line;
+        col_ = save_col;
+      }
+    }
+    std::string text(src_.substr(start, pos_ - start));
+    if (is_float) {
+      t->kind = TokenKind::kFloat;
+      t->float_value = std::strtod(text.c_str(), nullptr);
+    } else {
+      t->kind = TokenKind::kInteger;
+      errno = 0;
+      t->int_value = std::strtoll(text.c_str(), nullptr, 10);
+      if (errno == ERANGE) return Error("integer literal out of range");
+    }
+    t->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexString(Token* t) {
+    char quote = Advance();
+    std::string text;
+    while (!AtEnd() && Peek() != quote) {
+      char c = Advance();
+      if (c == '\\') {
+        if (AtEnd()) return Error("unterminated string literal");
+        char e = Advance();
+        switch (e) {
+          case 'n':
+            text += '\n';
+            break;
+          case 't':
+            text += '\t';
+            break;
+          case 'r':
+            text += '\r';
+            break;
+          case 'b':
+            text += '\b';
+            break;
+          case 'f':
+            text += '\f';
+            break;
+          case '\\':
+          case '\'':
+          case '"':
+          case '`':
+            text += e;
+            break;
+          default:
+            return Error(std::string("unknown escape '\\") + e + "'");
+        }
+      } else {
+        text += c;
+      }
+    }
+    if (AtEnd()) return Error("unterminated string literal");
+    Advance();  // closing quote
+    t->kind = TokenKind::kString;
+    t->text = std::move(text);
+    return Status::OK();
+  }
+
+  Status LexParameter(Token* t) {
+    Advance();  // $
+    if (AtEnd() || !(std::isalpha(static_cast<unsigned char>(Peek())) ||
+                     Peek() == '_' ||
+                     std::isdigit(static_cast<unsigned char>(Peek())))) {
+      return Error("expected parameter name after '$'");
+    }
+    size_t start = pos_;
+    while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                        Peek() == '_')) {
+      Advance();
+    }
+    t->kind = TokenKind::kParameter;
+    t->text = std::string(src_.substr(start, pos_ - start));
+    return Status::OK();
+  }
+
+  Status LexPunct(Token* t) {
+    char c = Advance();
+    switch (c) {
+      case '(':
+        t->kind = TokenKind::kLParen;
+        return Status::OK();
+      case ')':
+        t->kind = TokenKind::kRParen;
+        return Status::OK();
+      case '[':
+        t->kind = TokenKind::kLBracket;
+        return Status::OK();
+      case ']':
+        t->kind = TokenKind::kRBracket;
+        return Status::OK();
+      case '{':
+        t->kind = TokenKind::kLBrace;
+        return Status::OK();
+      case '}':
+        t->kind = TokenKind::kRBrace;
+        return Status::OK();
+      case ',':
+        t->kind = TokenKind::kComma;
+        return Status::OK();
+      case ':':
+        t->kind = TokenKind::kColon;
+        return Status::OK();
+      case ';':
+        t->kind = TokenKind::kSemicolon;
+        return Status::OK();
+      case '|':
+        t->kind = TokenKind::kPipe;
+        return Status::OK();
+      case '.':
+        if (Peek() == '.') {
+          Advance();
+          t->kind = TokenKind::kDotDot;
+        } else {
+          t->kind = TokenKind::kDot;
+        }
+        return Status::OK();
+      case '+':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kPlusEq;
+        } else {
+          t->kind = TokenKind::kPlus;
+        }
+        return Status::OK();
+      case '-':
+        t->kind = TokenKind::kMinus;
+        return Status::OK();
+      case '*':
+        t->kind = TokenKind::kStar;
+        return Status::OK();
+      case '/':
+        t->kind = TokenKind::kSlash;
+        return Status::OK();
+      case '%':
+        t->kind = TokenKind::kPercent;
+        return Status::OK();
+      case '^':
+        t->kind = TokenKind::kCaret;
+        return Status::OK();
+      case '=':
+        if (Peek() == '~') {
+          Advance();
+          t->kind = TokenKind::kRegexMatch;
+        } else {
+          t->kind = TokenKind::kEq;
+        }
+        return Status::OK();
+      case '<':
+        if (Peek() == '>') {
+          Advance();
+          t->kind = TokenKind::kNeq;
+        } else if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kLe;
+        } else {
+          t->kind = TokenKind::kLt;
+        }
+        return Status::OK();
+      case '>':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kGe;
+        } else {
+          t->kind = TokenKind::kGt;
+        }
+        return Status::OK();
+      case '!':
+        if (Peek() == '=') {
+          Advance();
+          t->kind = TokenKind::kNeq;  // tolerated alias for <>
+          return Status::OK();
+        }
+        return Error("unexpected character '!'");
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+};
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view src) {
+  return Lexer(src).Run();
+}
+
+}  // namespace gqlite

@@ -1,0 +1,27 @@
+#ifndef GQLITE_FRONTEND_LEXER_H_
+#define GQLITE_FRONTEND_LEXER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/frontend/token.h"
+
+namespace gqlite {
+
+/// Tokenizes Cypher query text. Handles:
+///  * identifiers (letters/digits/underscore, not starting with a digit)
+///    and backtick-quoted identifiers;
+///  * `$param` query parameters (§2 "built-in support for query
+///    parameters");
+///  * integer and float literals (including exponents and `.5` forms);
+///  * single- and double-quoted strings with \\ \' \" \n \t \r escapes;
+///  * line comments `// ...` and block comments `/* ... */`;
+///  * all punctuation/operators of Figures 3 and 5.
+/// Returns a token vector ending with a kEof token, or a SyntaxError with
+/// line:col on malformed input.
+Result<std::vector<Token>> Tokenize(std::string_view src);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_LEXER_H_

@@ -1,0 +1,907 @@
+#include "src/frontend/parser.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/frontend/lexer.h"
+
+namespace gqlite {
+
+namespace {
+
+using namespace ast;  // NOLINT(build/namespaces) — the parser is all AST
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Query> ParseQueryTop() {
+    Query q;
+    GQL_ASSIGN_OR_RETURN(SingleQuery first, ParseSingleQuery());
+    q.parts.push_back(std::move(first));
+    while (IsKw("UNION")) {
+      Bump();
+      bool all = false;
+      if (IsKw("ALL")) {
+        Bump();
+        all = true;
+      }
+      GQL_ASSIGN_OR_RETURN(SingleQuery next, ParseSingleQuery());
+      q.parts.push_back(std::move(next));
+      q.union_all.push_back(all);
+    }
+    if (Peek().kind == TokenKind::kSemicolon) Bump();
+    if (Peek().kind != TokenKind::kEof) {
+      return ErrorHere("unexpected input after query");
+    }
+    return q;
+  }
+
+  Result<ExprPtr> ParseExpressionTop() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    if (Peek().kind != TokenKind::kEof) {
+      return ErrorHere("unexpected input after expression");
+    }
+    return e;
+  }
+
+ private:
+  // ---- Token helpers -------------------------------------------------------
+
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& Bump() { return toks_[pos_ < toks_.size() - 1 ? pos_++ : pos_]; }
+  bool At(TokenKind k) const { return Peek().kind == k; }
+  bool Eat(TokenKind k) {
+    if (!At(k)) return false;
+    Bump();
+    return true;
+  }
+
+  /// True if the current token is the (case-insensitive) keyword `kw`.
+  bool IsKw(std::string_view kw, size_t ahead = 0) const {
+    const Token& t = Peek(ahead);
+    return t.kind == TokenKind::kIdentifier &&
+           AsciiEqualsIgnoreCase(t.text, kw);
+  }
+  bool EatKw(std::string_view kw) {
+    if (!IsKw(kw)) return false;
+    Bump();
+    return true;
+  }
+
+  Status ErrorHere(const std::string& msg) const {
+    const Token& t = Peek();
+    std::string got = t.kind == TokenKind::kIdentifier
+                          ? "'" + t.text + "'"
+                          : TokenKindName(t.kind);
+    return Status::SyntaxError(msg + " (got " + got + " at " + t.Pos() + ")");
+  }
+
+  Status ExpectKw(std::string_view kw) {
+    if (!EatKw(kw)) return ErrorHere("expected " + std::string(kw));
+    return Status::OK();
+  }
+  Status Expect(TokenKind k) {
+    if (!Eat(k)) {
+      return ErrorHere(std::string("expected ") + TokenKindName(k));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const char* what) {
+    if (!At(TokenKind::kIdentifier)) {
+      return ErrorHere(std::string("expected ") + what);
+    }
+    return Bump().text;
+  }
+
+  /// Clause-starting keywords act as clause boundaries.
+  bool AtClauseStart() const {
+    return IsKw("MATCH") || IsKw("OPTIONAL") || IsKw("WITH") ||
+           IsKw("RETURN") || IsKw("UNWIND") || IsKw("CREATE") ||
+           IsKw("DELETE") || IsKw("DETACH") || IsKw("SET") || IsKw("REMOVE") ||
+           IsKw("MERGE") || IsKw("UNION") || IsKw("FROM") || IsKw("QUERY") ||
+           At(TokenKind::kEof) || At(TokenKind::kSemicolon);
+  }
+
+  // ---- Queries & clauses ---------------------------------------------------
+
+  Result<SingleQuery> ParseSingleQuery() {
+    SingleQuery q;
+    if (AtClauseStart() && (At(TokenKind::kEof) || At(TokenKind::kSemicolon))) {
+      return ErrorHere("empty query");
+    }
+    while (!At(TokenKind::kEof) && !At(TokenKind::kSemicolon) &&
+           !IsKw("UNION")) {
+      GQL_ASSIGN_OR_RETURN(ClausePtr c, ParseClause());
+      bool is_return = c->kind == Clause::Kind::kReturn ||
+                       c->kind == Clause::Kind::kReturnGraph;
+      q.clauses.push_back(std::move(c));
+      if (is_return) break;  // RETURN terminates a single query
+    }
+    if (q.clauses.empty()) return ErrorHere("expected a clause");
+    return q;
+  }
+
+  Result<ClausePtr> ParseClause() {
+    if (IsKw("OPTIONAL")) {
+      Bump();
+      GQL_RETURN_IF_ERROR(ExpectKw("MATCH"));
+      return ParseMatch(/*optional=*/true);
+    }
+    if (EatKw("MATCH")) return ParseMatch(false);
+    if (EatKw("WITH")) return ParseWith();
+    if (IsKw("RETURN") && IsKw("GRAPH", 1)) {
+      Bump();
+      return ParseReturnGraph();
+    }
+    if (EatKw("RETURN")) return ParseReturn();
+    if (EatKw("UNWIND")) return ParseUnwind();
+    if (EatKw("CREATE")) return ParseCreate();
+    if (IsKw("DETACH")) {
+      Bump();
+      GQL_RETURN_IF_ERROR(ExpectKw("DELETE"));
+      return ParseDelete(/*detach=*/true);
+    }
+    if (EatKw("DELETE")) return ParseDelete(false);
+    if (EatKw("SET")) return ParseSet();
+    if (EatKw("REMOVE")) return ParseRemove();
+    if (EatKw("MERGE")) return ParseMerge();
+    if (IsKw("FROM") || IsKw("QUERY")) return ParseFromGraph();
+    return ErrorHere("expected a clause keyword");
+  }
+
+  Result<ClausePtr> ParseMatch(bool optional) {
+    auto m = std::make_unique<MatchClause>();
+    m->optional = optional;
+    GQL_ASSIGN_OR_RETURN(m->pattern, ParsePattern());
+    if (EatKw("WHERE")) {
+      GQL_ASSIGN_OR_RETURN(m->where, ParseExpr());
+    }
+    return ClausePtr(std::move(m));
+  }
+
+  Result<ClausePtr> ParseWith() {
+    auto w = std::make_unique<WithClause>();
+    GQL_ASSIGN_OR_RETURN(w->body, ParseProjectionBody());
+    if (EatKw("WHERE")) {
+      GQL_ASSIGN_OR_RETURN(w->where, ParseExpr());
+    }
+    return ClausePtr(std::move(w));
+  }
+
+  Result<ClausePtr> ParseReturn() {
+    auto r = std::make_unique<ReturnClause>();
+    GQL_ASSIGN_OR_RETURN(r->body, ParseProjectionBody());
+    return ClausePtr(std::move(r));
+  }
+
+  Result<ClausePtr> ParseReturnGraph() {
+    GQL_RETURN_IF_ERROR(ExpectKw("GRAPH"));
+    auto r = std::make_unique<ReturnGraphClause>();
+    GQL_ASSIGN_OR_RETURN(r->graph_name, ExpectIdentifier("graph name"));
+    GQL_RETURN_IF_ERROR(ExpectKw("OF"));
+    GQL_ASSIGN_OR_RETURN(r->pattern, ParsePattern());
+    return ClausePtr(std::move(r));
+  }
+
+  Result<ClausePtr> ParseUnwind() {
+    auto u = std::make_unique<UnwindClause>();
+    GQL_ASSIGN_OR_RETURN(u->expr, ParseExpr());
+    GQL_RETURN_IF_ERROR(ExpectKw("AS"));
+    GQL_ASSIGN_OR_RETURN(u->var, ExpectIdentifier("variable name"));
+    return ClausePtr(std::move(u));
+  }
+
+  Result<ClausePtr> ParseCreate() {
+    auto c = std::make_unique<CreateClause>();
+    GQL_ASSIGN_OR_RETURN(c->pattern, ParsePattern());
+    return ClausePtr(std::move(c));
+  }
+
+  Result<ClausePtr> ParseDelete(bool detach) {
+    auto d = std::make_unique<DeleteClause>();
+    d->detach = detach;
+    do {
+      GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+      d->exprs.push_back(std::move(e));
+    } while (Eat(TokenKind::kComma));
+    return ClausePtr(std::move(d));
+  }
+
+  Result<ClausePtr> ParseSet() {
+    auto s = std::make_unique<SetClause>();
+    GQL_ASSIGN_OR_RETURN(s->items, ParseSetItems());
+    return ClausePtr(std::move(s));
+  }
+
+  Result<std::vector<SetItem>> ParseSetItems() {
+    std::vector<SetItem> items;
+    do {
+      GQL_ASSIGN_OR_RETURN(SetItem item, ParseSetItem());
+      items.push_back(std::move(item));
+    } while (Eat(TokenKind::kComma));
+    return items;
+  }
+
+  /// SET forms: n.k = e | n = e | n += e | n:Label1:Label2.
+  Result<SetItem> ParseSetItem() {
+    SetItem item;
+    GQL_ASSIGN_OR_RETURN(std::string var, ExpectIdentifier("variable"));
+    if (At(TokenKind::kColon)) {
+      item.kind = SetItem::Kind::kLabels;
+      item.var = std::move(var);
+      GQL_ASSIGN_OR_RETURN(item.labels, ParseLabelList());
+      return item;
+    }
+    if (At(TokenKind::kDot)) {
+      // Property chain; the last key is the assignment target.
+      ExprPtr obj = std::make_unique<VariableExpr>(var);
+      std::string key;
+      while (Eat(TokenKind::kDot)) {
+        GQL_ASSIGN_OR_RETURN(std::string k, ExpectIdentifier("property key"));
+        if (At(TokenKind::kDot)) {
+          obj = std::make_unique<PropertyExpr>(std::move(obj), std::move(k));
+        } else {
+          key = std::move(k);
+        }
+      }
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kEq));
+      item.kind = SetItem::Kind::kProperty;
+      item.target = std::make_unique<PropertyExpr>(std::move(obj), key);
+      GQL_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      return item;
+    }
+    if (Eat(TokenKind::kPlusEq)) {
+      item.kind = SetItem::Kind::kMergeProps;
+      item.var = std::move(var);
+      GQL_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      return item;
+    }
+    if (Eat(TokenKind::kEq)) {
+      item.kind = SetItem::Kind::kReplaceProps;
+      item.var = std::move(var);
+      GQL_ASSIGN_OR_RETURN(item.value, ParseExpr());
+      return item;
+    }
+    return ErrorHere("expected '.', ':', '=' or '+=' in SET item");
+  }
+
+  Result<ClausePtr> ParseRemove() {
+    auto r = std::make_unique<RemoveClause>();
+    do {
+      RemoveItem item;
+      GQL_ASSIGN_OR_RETURN(item.var, ExpectIdentifier("variable"));
+      if (At(TokenKind::kColon)) {
+        item.kind = RemoveItem::Kind::kLabels;
+        GQL_ASSIGN_OR_RETURN(item.labels, ParseLabelList());
+      } else if (Eat(TokenKind::kDot)) {
+        item.kind = RemoveItem::Kind::kProperty;
+        GQL_ASSIGN_OR_RETURN(item.key, ExpectIdentifier("property key"));
+      } else {
+        return ErrorHere("expected '.' or ':' in REMOVE item");
+      }
+      r->items.push_back(std::move(item));
+    } while (Eat(TokenKind::kComma));
+    return ClausePtr(std::move(r));
+  }
+
+  Result<ClausePtr> ParseMerge() {
+    auto m = std::make_unique<MergeClause>();
+    GQL_ASSIGN_OR_RETURN(Pattern p, ParsePattern());
+    if (p.paths.size() != 1) {
+      return ErrorHere("MERGE takes a single path pattern");
+    }
+    m->pattern = std::move(p.paths[0]);
+    while (IsKw("ON")) {
+      Bump();
+      if (EatKw("CREATE")) {
+        GQL_RETURN_IF_ERROR(ExpectKw("SET"));
+        GQL_ASSIGN_OR_RETURN(auto items, ParseSetItems());
+        for (auto& i : items) m->on_create.push_back(std::move(i));
+      } else if (EatKw("MATCH")) {
+        GQL_RETURN_IF_ERROR(ExpectKw("SET"));
+        GQL_ASSIGN_OR_RETURN(auto items, ParseSetItems());
+        for (auto& i : items) m->on_match.push_back(std::move(i));
+      } else {
+        return ErrorHere("expected CREATE or MATCH after ON");
+      }
+    }
+    return ClausePtr(std::move(m));
+  }
+
+  /// FROM GRAPH name [AT "url"] — and the Example 6.1 alias QUERY GRAPH name.
+  Result<ClausePtr> ParseFromGraph() {
+    if (EatKw("QUERY")) {
+      GQL_RETURN_IF_ERROR(ExpectKw("GRAPH"));
+      auto f = std::make_unique<FromGraphClause>();
+      GQL_ASSIGN_OR_RETURN(f->name, ExpectIdentifier("graph name"));
+      return ClausePtr(std::move(f));
+    }
+    GQL_RETURN_IF_ERROR(ExpectKw("FROM"));
+    GQL_RETURN_IF_ERROR(ExpectKw("GRAPH"));
+    auto f = std::make_unique<FromGraphClause>();
+    GQL_ASSIGN_OR_RETURN(f->name, ExpectIdentifier("graph name"));
+    if (EatKw("AT")) {
+      if (!At(TokenKind::kString)) return ErrorHere("expected URL string");
+      f->url = Bump().text;
+    }
+    return ClausePtr(std::move(f));
+  }
+
+  Result<ProjectionBody> ParseProjectionBody() {
+    ProjectionBody body;
+    if (EatKw("DISTINCT")) body.distinct = true;
+    if (Eat(TokenKind::kStar)) {
+      body.star = true;
+      while (Eat(TokenKind::kComma)) {
+        GQL_ASSIGN_OR_RETURN(ReturnItem item, ParseReturnItem());
+        body.items.push_back(std::move(item));
+      }
+    } else {
+      do {
+        GQL_ASSIGN_OR_RETURN(ReturnItem item, ParseReturnItem());
+        body.items.push_back(std::move(item));
+      } while (Eat(TokenKind::kComma));
+    }
+    if (IsKw("ORDER")) {
+      Bump();
+      GQL_RETURN_IF_ERROR(ExpectKw("BY"));
+      do {
+        OrderItem item;
+        GQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        if (EatKw("DESC") || EatKw("DESCENDING")) {
+          item.ascending = false;
+        } else if (EatKw("ASC") || EatKw("ASCENDING")) {
+          item.ascending = true;
+        }
+        body.order_by.push_back(std::move(item));
+      } while (Eat(TokenKind::kComma));
+    }
+    if (EatKw("SKIP")) {
+      GQL_ASSIGN_OR_RETURN(body.skip, ParseExpr());
+    }
+    if (EatKw("LIMIT")) {
+      GQL_ASSIGN_OR_RETURN(body.limit, ParseExpr());
+    }
+    return body;
+  }
+
+  Result<ReturnItem> ParseReturnItem() {
+    ReturnItem item;
+    GQL_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+    if (EatKw("AS")) {
+      GQL_ASSIGN_OR_RETURN(std::string a, ExpectIdentifier("alias"));
+      item.alias = std::move(a);
+    }
+    return item;
+  }
+
+  // ---- Patterns (Figure 3) -------------------------------------------------
+
+  Result<Pattern> ParsePattern() {
+    Pattern p;
+    do {
+      GQL_ASSIGN_OR_RETURN(PathPattern path, ParsePathPattern());
+      p.paths.push_back(std::move(path));
+    } while (Eat(TokenKind::kComma));
+    return p;
+  }
+
+  Result<PathPattern> ParsePathPattern() {
+    PathPattern path;
+    // `a = pattern◦`
+    if (At(TokenKind::kIdentifier) && Peek(1).kind == TokenKind::kEq) {
+      path.path_var = Bump().text;
+      Bump();  // =
+    }
+    GQL_ASSIGN_OR_RETURN(path.start, ParseNodePattern());
+    while (At(TokenKind::kMinus) || At(TokenKind::kLt)) {
+      GQL_ASSIGN_OR_RETURN(RelPattern rel, ParseRelPattern());
+      GQL_ASSIGN_OR_RETURN(NodePattern node, ParseNodePattern());
+      path.hops.push_back(PathPattern::Hop{std::move(rel), std::move(node)});
+    }
+    return path;
+  }
+
+  Result<NodePattern> ParseNodePattern() {
+    NodePattern n;
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (At(TokenKind::kIdentifier)) n.var = Bump().text;
+    if (At(TokenKind::kColon)) {
+      GQL_ASSIGN_OR_RETURN(n.labels, ParseLabelList());
+    }
+    if (At(TokenKind::kLBrace)) {
+      GQL_ASSIGN_OR_RETURN(n.properties, ParsePropertyMap());
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return n;
+  }
+
+  Result<std::vector<std::string>> ParseLabelList() {
+    std::vector<std::string> labels;
+    while (Eat(TokenKind::kColon)) {
+      GQL_ASSIGN_OR_RETURN(std::string l, ExpectIdentifier("label"));
+      labels.push_back(std::move(l));
+    }
+    return labels;
+  }
+
+  Result<std::vector<std::pair<std::string, ExprPtr>>> ParsePropertyMap() {
+    std::vector<std::pair<std::string, ExprPtr>> props;
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kLBrace));
+    if (!At(TokenKind::kRBrace)) {
+      do {
+        GQL_ASSIGN_OR_RETURN(std::string key,
+                             ExpectIdentifier("property key"));
+        GQL_RETURN_IF_ERROR(Expect(TokenKind::kColon));
+        GQL_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+        props.emplace_back(std::move(key), std::move(v));
+      } while (Eat(TokenKind::kComma));
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBrace));
+    return props;
+  }
+
+  Result<RelPattern> ParseRelPattern() {
+    RelPattern rel;
+    bool left_arrow = false;
+    if (Eat(TokenKind::kLt)) {
+      left_arrow = true;
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kMinus));
+    if (At(TokenKind::kLBracket)) {
+      Bump();
+      if (At(TokenKind::kIdentifier)) rel.var = Bump().text;
+      if (At(TokenKind::kColon)) {
+        // type_list ::= :t | type_list | t  — accept `:A|B` and `:A|:B`.
+        Bump();
+        GQL_ASSIGN_OR_RETURN(std::string t, ExpectIdentifier("type"));
+        rel.types.push_back(std::move(t));
+        while (Eat(TokenKind::kPipe)) {
+          Eat(TokenKind::kColon);
+          GQL_ASSIGN_OR_RETURN(std::string t2, ExpectIdentifier("type"));
+          rel.types.push_back(std::move(t2));
+        }
+      }
+      if (Eat(TokenKind::kStar)) {
+        VarLength vl;
+        bool has_min = false;
+        if (At(TokenKind::kInteger)) {
+          vl.min = Bump().int_value;
+          has_min = true;
+        }
+        if (Eat(TokenKind::kDotDot)) {
+          if (At(TokenKind::kInteger)) vl.max = Bump().int_value;
+        } else if (has_min) {
+          vl.max = vl.min;  // *d means exactly d (§4.2: I = (d, d))
+        }
+        rel.length = vl;
+      }
+      if (At(TokenKind::kLBrace)) {
+        GQL_ASSIGN_OR_RETURN(rel.properties, ParsePropertyMap());
+      }
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kMinus));
+    bool right_arrow = Eat(TokenKind::kGt);
+    if (left_arrow && right_arrow) {
+      return ErrorHere("relationship pattern cannot point both ways");
+    }
+    rel.direction = left_arrow ? Direction::kLeft
+                               : (right_arrow ? Direction::kRight
+                                              : Direction::kBoth);
+    return rel;
+  }
+
+  // ---- Expressions (Figure 5) ----------------------------------------------
+
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseXor());
+    while (IsKw("OR")) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseXor());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kOr, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseXor() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (IsKw("XOR")) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kXor, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseNot());
+    while (IsKw("AND")) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseNot());
+      lhs = std::make_unique<BinaryExpr>(BinaryOp::kAnd, std::move(lhs),
+                                         std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (IsKw("NOT")) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseNot());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kNot, std::move(e)));
+    }
+    return ParseComparison();
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    while (true) {
+      BinaryOp op;
+      if (Eat(TokenKind::kEq)) {
+        op = BinaryOp::kEq;
+      } else if (Eat(TokenKind::kNeq)) {
+        op = BinaryOp::kNeq;
+      } else if (Eat(TokenKind::kLt)) {
+        op = BinaryOp::kLt;
+      } else if (Eat(TokenKind::kLe)) {
+        op = BinaryOp::kLe;
+      } else if (Eat(TokenKind::kGt)) {
+        op = BinaryOp::kGt;
+      } else if (Eat(TokenKind::kGe)) {
+        op = BinaryOp::kGe;
+      } else if (Eat(TokenKind::kRegexMatch)) {
+        op = BinaryOp::kRegexMatch;
+      } else if (IsKw("IN")) {
+        Bump();
+        op = BinaryOp::kIn;
+      } else if (IsKw("STARTS")) {
+        Bump();
+        GQL_RETURN_IF_ERROR(ExpectKw("WITH"));
+        op = BinaryOp::kStartsWith;
+      } else if (IsKw("ENDS")) {
+        Bump();
+        GQL_RETURN_IF_ERROR(ExpectKw("WITH"));
+        op = BinaryOp::kEndsWith;
+      } else if (IsKw("CONTAINS")) {
+        Bump();
+        op = BinaryOp::kContains;
+      } else if (IsKw("IS")) {
+        // IS NULL / IS NOT NULL (postfix).
+        Bump();
+        bool negated = EatKw("NOT");
+        GQL_RETURN_IF_ERROR(ExpectKw("NULL"));
+        lhs = std::make_unique<UnaryExpr>(
+            negated ? UnaryOp::kIsNotNull : UnaryOp::kIsNull, std::move(lhs));
+        continue;
+      } else {
+        break;
+      }
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (At(TokenKind::kPlus) || At(TokenKind::kMinus)) {
+      BinaryOp op =
+          Bump().kind == TokenKind::kPlus ? BinaryOp::kAdd : BinaryOp::kSub;
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePower());
+    while (At(TokenKind::kStar) || At(TokenKind::kSlash) ||
+           At(TokenKind::kPercent)) {
+      TokenKind k = Bump().kind;
+      BinaryOp op = k == TokenKind::kStar
+                        ? BinaryOp::kMul
+                        : (k == TokenKind::kSlash ? BinaryOp::kDiv
+                                                  : BinaryOp::kMod);
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePower());
+      lhs = std::make_unique<BinaryExpr>(op, std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParsePower() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    if (At(TokenKind::kCaret)) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePower());  // right-associative
+      return ExprPtr(std::make_unique<BinaryExpr>(BinaryOp::kPow,
+                                                  std::move(lhs),
+                                                  std::move(rhs)));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (At(TokenKind::kMinus)) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return ExprPtr(
+          std::make_unique<UnaryExpr>(UnaryOp::kMinus, std::move(e)));
+    }
+    if (At(TokenKind::kPlus)) {
+      Bump();
+      GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
+      return ExprPtr(std::make_unique<UnaryExpr>(UnaryOp::kPlus, std::move(e)));
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseAtom());
+    while (true) {
+      if (At(TokenKind::kDot)) {
+        Bump();
+        GQL_ASSIGN_OR_RETURN(std::string key,
+                             ExpectIdentifier("property key"));
+        e = std::make_unique<PropertyExpr>(std::move(e), std::move(key));
+      } else if (At(TokenKind::kLBracket)) {
+        Bump();
+        // list[i], list[a..b], list[..b], list[a..].
+        if (Eat(TokenKind::kDotDot)) {
+          ExprPtr to;
+          if (!At(TokenKind::kRBracket)) {
+            GQL_ASSIGN_OR_RETURN(to, ParseExpr());
+          }
+          GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+          e = std::make_unique<SliceExpr>(std::move(e), nullptr,
+                                          std::move(to));
+        } else {
+          GQL_ASSIGN_OR_RETURN(ExprPtr idx, ParseExpr());
+          if (Eat(TokenKind::kDotDot)) {
+            ExprPtr to;
+            if (!At(TokenKind::kRBracket)) {
+              GQL_ASSIGN_OR_RETURN(to, ParseExpr());
+            }
+            GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+            e = std::make_unique<SliceExpr>(std::move(e), std::move(idx),
+                                            std::move(to));
+          } else {
+            GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+            e = std::make_unique<IndexExpr>(std::move(e), std::move(idx));
+          }
+        }
+      } else if (At(TokenKind::kColon) &&
+                 Peek(1).kind == TokenKind::kIdentifier) {
+        // Label predicate `x:Person` (used in WHERE, §3 fraud query).
+        GQL_ASSIGN_OR_RETURN(auto labels, ParseLabelList());
+        e = std::make_unique<LabelCheckExpr>(std::move(e), std::move(labels));
+      } else {
+        break;
+      }
+    }
+    return e;
+  }
+
+  Result<ExprPtr> ParseAtom() {
+    const Token& t = Peek();
+    int line = t.line, col = t.col;
+    ExprPtr out;
+    switch (t.kind) {
+      case TokenKind::kInteger:
+        out = std::make_unique<LiteralExpr>(Value::Int(Bump().int_value));
+        break;
+      case TokenKind::kFloat:
+        out = std::make_unique<LiteralExpr>(Value::Float(Bump().float_value));
+        break;
+      case TokenKind::kString:
+        out = std::make_unique<LiteralExpr>(Value::String(Bump().text));
+        break;
+      case TokenKind::kParameter:
+        out = std::make_unique<ParameterExpr>(Bump().text);
+        break;
+      case TokenKind::kLBracket: {
+        GQL_ASSIGN_OR_RETURN(out, ParseListAtom());
+        break;
+      }
+      case TokenKind::kLBrace: {
+        GQL_ASSIGN_OR_RETURN(auto entries, ParsePropertyMap());
+        out = std::make_unique<MapLiteralExpr>(std::move(entries));
+        break;
+      }
+      case TokenKind::kLParen: {
+        GQL_ASSIGN_OR_RETURN(out, ParseParenOrPattern());
+        break;
+      }
+      case TokenKind::kIdentifier: {
+        if (AsciiEqualsIgnoreCase(t.text, "true")) {
+          Bump();
+          out = std::make_unique<LiteralExpr>(Value::Bool(true));
+          break;
+        }
+        if (AsciiEqualsIgnoreCase(t.text, "false")) {
+          Bump();
+          out = std::make_unique<LiteralExpr>(Value::Bool(false));
+          break;
+        }
+        if (AsciiEqualsIgnoreCase(t.text, "null")) {
+          Bump();
+          out = std::make_unique<LiteralExpr>(Value::Null());
+          break;
+        }
+        if (AsciiEqualsIgnoreCase(t.text, "case")) {
+          GQL_ASSIGN_OR_RETURN(out, ParseCase());
+          break;
+        }
+        if (Peek(1).kind == TokenKind::kLParen) {
+          GQL_ASSIGN_OR_RETURN(out, ParseFunctionCall());
+          break;
+        }
+        out = std::make_unique<VariableExpr>(Bump().text);
+        break;
+      }
+      default:
+        return ErrorHere("expected an expression");
+    }
+    out->line = line;
+    out->col = col;
+    return out;
+  }
+
+  /// `[` … either a list comprehension `[x IN list WHERE p | e]` or a list
+  /// literal. Lookahead `ident IN` selects the comprehension (Cypher's
+  /// grammar gives it priority).
+  Result<ExprPtr> ParseListAtom() {
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kLBracket));
+    if (At(TokenKind::kIdentifier) && IsKw("IN", 1)) {
+      auto comp = std::make_unique<ListComprehensionExpr>();
+      comp->var = Bump().text;
+      Bump();  // IN
+      GQL_ASSIGN_OR_RETURN(comp->list, ParseExpr());
+      if (EatKw("WHERE")) {
+        GQL_ASSIGN_OR_RETURN(comp->where, ParseExpr());
+      }
+      if (Eat(TokenKind::kPipe)) {
+        GQL_ASSIGN_OR_RETURN(comp->project, ParseExpr());
+      }
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+      return ExprPtr(std::move(comp));
+    }
+    std::vector<ExprPtr> items;
+    if (!At(TokenKind::kRBracket)) {
+      do {
+        GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+        items.push_back(std::move(e));
+      } while (Eat(TokenKind::kComma));
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kRBracket));
+    return ExprPtr(std::make_unique<ListLiteralExpr>(std::move(items)));
+  }
+
+  /// `(` … either a parenthesized expression or a path-pattern predicate
+  /// like (a)-[:T]->(b) (the "existential subqueries" of §2). We try the
+  /// pattern parse first and fall back on expression parse (backtracking
+  /// over the token buffer).
+  Result<ExprPtr> ParseParenOrPattern() {
+    size_t save = pos_;
+    {
+      // Attempt: node pattern with at least one hop.
+      auto try_pattern = [&]() -> Result<ExprPtr> {
+        GQL_ASSIGN_OR_RETURN(PathPattern path, ParsePathPattern());
+        if (path.hops.empty()) {
+          return Status::SyntaxError("not a pattern");
+        }
+        auto p = std::make_unique<PatternPredicateExpr>();
+        p->pattern.paths.push_back(std::move(path));
+        return ExprPtr(std::move(p));
+      };
+      Result<ExprPtr> r = try_pattern();
+      if (r.ok()) return std::move(r).value();
+      pos_ = save;
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseExpr());
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return e;
+  }
+
+  Result<ExprPtr> ParseCase() {
+    GQL_RETURN_IF_ERROR(ExpectKw("CASE"));
+    auto c = std::make_unique<CaseExpr>();
+    if (!IsKw("WHEN")) {
+      GQL_ASSIGN_OR_RETURN(c->operand, ParseExpr());
+    }
+    while (EatKw("WHEN")) {
+      GQL_ASSIGN_OR_RETURN(ExprPtr w, ParseExpr());
+      GQL_RETURN_IF_ERROR(ExpectKw("THEN"));
+      GQL_ASSIGN_OR_RETURN(ExprPtr v, ParseExpr());
+      c->whens.emplace_back(std::move(w), std::move(v));
+    }
+    if (c->whens.empty()) return ErrorHere("CASE requires at least one WHEN");
+    if (EatKw("ELSE")) {
+      GQL_ASSIGN_OR_RETURN(c->otherwise, ParseExpr());
+    }
+    GQL_RETURN_IF_ERROR(ExpectKw("END"));
+    return ExprPtr(std::move(c));
+  }
+
+  Result<ExprPtr> ParseFunctionCall() {
+    std::string name = AsciiToLower(Bump().text);
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kLParen));
+    if (name == "count" && At(TokenKind::kStar)) {
+      Bump();
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return ExprPtr(std::make_unique<CountStarExpr>());
+    }
+    // List-predicate quantifiers: all/any/none/single(x IN list WHERE p).
+    if ((name == "all" || name == "any" || name == "none" ||
+         name == "single") &&
+        At(TokenKind::kIdentifier) && IsKw("IN", 1)) {
+      auto q = std::make_unique<QuantifierExpr>();
+      q->quantifier = name == "all"    ? QuantifierExpr::Quantifier::kAll
+                      : name == "any"  ? QuantifierExpr::Quantifier::kAny
+                      : name == "none" ? QuantifierExpr::Quantifier::kNone
+                                       : QuantifierExpr::Quantifier::kSingle;
+      q->var = Bump().text;
+      Bump();  // IN
+      GQL_ASSIGN_OR_RETURN(q->list, ParseExpr());
+      GQL_RETURN_IF_ERROR(ExpectKw("WHERE"));
+      GQL_ASSIGN_OR_RETURN(q->where, ParseExpr());
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return ExprPtr(std::move(q));
+    }
+    // reduce(acc = init, x IN list | expr).
+    if (name == "reduce" && At(TokenKind::kIdentifier) &&
+        Peek(1).kind == TokenKind::kEq) {
+      auto r = std::make_unique<ReduceExpr>();
+      r->acc = Bump().text;
+      Bump();  // =
+      GQL_ASSIGN_OR_RETURN(r->init, ParseExpr());
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kComma));
+      GQL_ASSIGN_OR_RETURN(r->var, ExpectIdentifier("variable"));
+      GQL_RETURN_IF_ERROR(ExpectKw("IN"));
+      GQL_ASSIGN_OR_RETURN(r->list, ParseExpr());
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kPipe));
+      GQL_ASSIGN_OR_RETURN(r->body, ParseExpr());
+      GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+      return ExprPtr(std::move(r));
+    }
+    bool distinct = false;
+    if (EatKw("DISTINCT")) distinct = true;
+    std::vector<ExprPtr> args;
+    if (!At(TokenKind::kRParen)) {
+      do {
+        GQL_ASSIGN_OR_RETURN(ExprPtr a, ParseExpr());
+        args.push_back(std::move(a));
+      } while (Eat(TokenKind::kComma));
+    }
+    GQL_RETURN_IF_ERROR(Expect(TokenKind::kRParen));
+    return ExprPtr(std::make_unique<FunctionCallExpr>(
+        std::move(name), distinct, std::move(args)));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ast::Query> ParseQuery(std::string_view text) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(text));
+  return Parser(std::move(toks)).ParseQueryTop();
+}
+
+Result<ast::ExprPtr> ParseExpression(std::string_view text) {
+  GQL_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(text));
+  return Parser(std::move(toks)).ParseExpressionTop();
+}
+
+}  // namespace gqlite

@@ -1,0 +1,22 @@
+#ifndef GQLITE_FRONTEND_PARSER_H_
+#define GQLITE_FRONTEND_PARSER_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/frontend/ast.h"
+
+namespace gqlite {
+
+/// Parses a complete Cypher query (Figure 5 grammar plus the update
+/// language and the Cypher 10 graph clauses). Keywords are matched
+/// case-insensitively; labels, types, variables and property keys are
+/// case-sensitive, as in Cypher.
+Result<ast::Query> ParseQuery(std::string_view text);
+
+/// Parses a standalone expression (used by tests and the REPL example).
+Result<ast::ExprPtr> ParseExpression(std::string_view text);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_PARSER_H_

@@ -1,0 +1,75 @@
+#include "src/frontend/token.h"
+
+namespace gqlite {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kParameter:
+      return "parameter";
+    case TokenKind::kInteger:
+      return "integer";
+    case TokenKind::kFloat:
+      return "float";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBracket:
+      return "'['";
+    case TokenKind::kRBracket:
+      return "']'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kSemicolon:
+      return "';'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kDotDot:
+      return "'..'";
+    case TokenKind::kPipe:
+      return "'|'";
+    case TokenKind::kPlus:
+      return "'+'";
+    case TokenKind::kPlusEq:
+      return "'+='";
+    case TokenKind::kMinus:
+      return "'-'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kSlash:
+      return "'/'";
+    case TokenKind::kPercent:
+      return "'%'";
+    case TokenKind::kCaret:
+      return "'^'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kRegexMatch:
+      return "'=~'";
+    case TokenKind::kNeq:
+      return "'<>'";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+  }
+  return "?";
+}
+
+}  // namespace gqlite

@@ -1,0 +1,70 @@
+#ifndef GQLITE_FRONTEND_TOKEN_H_
+#define GQLITE_FRONTEND_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gqlite {
+
+/// Lexical token kinds. Keywords are NOT distinguished here: Cypher
+/// keywords are case-insensitive and mostly non-reserved, so the parser
+/// matches identifier text case-insensitively where the grammar expects a
+/// keyword. Multi-character pattern punctuation (`-[`, `]->`, `<-`) is
+/// assembled by the parser from these primitive tokens.
+enum class TokenKind : uint8_t {
+  kEof = 0,
+  kIdentifier,   // foo, `quoted id`
+  kParameter,    // $name
+  kInteger,      // 42
+  kFloat,        // 3.14, 6.022e23
+  kString,       // 'abc' or "abc"
+  kLParen,       // (
+  kRParen,       // )
+  kLBracket,     // [
+  kRBracket,     // ]
+  kLBrace,       // {
+  kRBrace,       // }
+  kComma,        // ,
+  kColon,        // :
+  kSemicolon,    // ;
+  kDot,          // .
+  kDotDot,       // ..
+  kPipe,         // |
+  kPlus,         // +
+  kPlusEq,       // +=
+  kMinus,        // -
+  kStar,         // *
+  kSlash,        // /
+  kPercent,      // %
+  kCaret,        // ^
+  kEq,           // =
+  kRegexMatch,   // =~
+  kNeq,          // <>
+  kLt,           // <
+  kLe,           // <=
+  kGt,           // >
+  kGe,           // >=
+};
+
+const char* TokenKindName(TokenKind k);
+
+/// A lexical token. `text` holds the identifier/keyword spelling, the
+/// decoded string-literal contents, or the parameter name; numeric tokens
+/// carry their value in `int_value`/`float_value`.
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;
+  int64_t int_value = 0;
+  double float_value = 0;
+  int line = 1;
+  int col = 1;
+
+  /// Position string "line:col" for error messages.
+  std::string Pos() const {
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_TOKEN_H_

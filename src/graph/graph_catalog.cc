@@ -1,0 +1,23 @@
+#include "src/graph/graph_catalog.h"
+
+namespace gqlite {
+
+Result<GraphPtr> GraphCatalog::Resolve(std::string_view name) const {
+  auto it = graphs_.find(std::string(name));
+  if (it == graphs_.end()) {
+    return Status::NotFound("no graph named `" + std::string(name) +
+                            "` in the catalog");
+  }
+  return it->second;
+}
+
+Result<GraphPtr> GraphCatalog::ResolveUrl(std::string_view url) const {
+  auto it = urls_.find(std::string(url));
+  if (it == urls_.end()) {
+    return Status::NotFound("no graph registered at URL '" + std::string(url) +
+                            "'");
+  }
+  return it->second;
+}
+
+}  // namespace gqlite

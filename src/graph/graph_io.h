@@ -1,0 +1,28 @@
+#ifndef GQLITE_GRAPH_GRAPH_IO_H_
+#define GQLITE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "src/common/result.h"
+#include "src/graph/property_graph.h"
+
+namespace gqlite {
+
+/// Serializes a property graph as a single Cypher CREATE statement that
+/// rebuilds it (nodes with labels and properties, then relationships).
+/// Executing the dump on an empty engine reproduces the graph up to
+/// identifier renumbering — the natural text format for a Cypher engine,
+/// and a round-trip test of the whole stack (tests/test_graph_io.cc).
+///
+/// Property values are emitted as parseable literals: strings escaped,
+/// temporal values via their constructor functions (date('…'), …), lists
+/// and maps recursively. Entities (nodes/relationships/paths) cannot be
+/// property values, so every stored value is expressible.
+std::string DumpToCypher(const PropertyGraph& g);
+
+/// Renders one value as a parseable Cypher literal expression.
+Result<std::string> ValueToCypherLiteral(const Value& v);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_GRAPH_GRAPH_IO_H_

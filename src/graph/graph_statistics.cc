@@ -1,0 +1,26 @@
+#include "src/graph/graph_statistics.h"
+
+namespace gqlite {
+
+double GraphStatistics::NodesWithLabel(std::string_view label) const {
+  SymbolId s = g_.LookupLabel(label);
+  if (s == kNoSymbol) return 0;
+  auto it = g_.LabelCounts().find(s);
+  return it == g_.LabelCounts().end() ? 0 : static_cast<double>(it->second);
+}
+
+double GraphStatistics::RelsWithType(std::string_view type) const {
+  if (type.empty()) return RelCount();
+  SymbolId s = g_.LookupType(type);
+  if (s == kNoSymbol) return 0;
+  auto it = g_.TypeCounts().find(s);
+  return it == g_.TypeCounts().end() ? 0 : static_cast<double>(it->second);
+}
+
+double GraphStatistics::AvgDegree(std::string_view type) const {
+  double n = NodeCount();
+  if (n < 1) n = 1;
+  return RelsWithType(type) / n;
+}
+
+}  // namespace gqlite

@@ -1,0 +1,39 @@
+#ifndef GQLITE_GRAPH_GRAPH_STATISTICS_H_
+#define GQLITE_GRAPH_GRAPH_STATISTICS_H_
+
+#include <string_view>
+
+#include "src/graph/property_graph.h"
+
+namespace gqlite {
+
+/// Cardinality statistics over a PropertyGraph, the inputs to the cost
+/// model (§2 "Neo4j implementation": query planning "based on the IDP
+/// algorithm, using a cost model"). All estimates are exact counts kept
+/// incrementally by the graph; derived quantities (average degree) are
+/// computed on demand.
+class GraphStatistics {
+ public:
+  explicit GraphStatistics(const PropertyGraph& g) : g_(g) {}
+
+  double NodeCount() const { return static_cast<double>(g_.NumNodes()); }
+  double RelCount() const { return static_cast<double>(g_.NumRels()); }
+
+  /// Number of nodes with `label`; 0 if the label is unknown.
+  double NodesWithLabel(std::string_view label) const;
+
+  /// Number of relationships of `type`; if empty, all relationships.
+  double RelsWithType(std::string_view type) const;
+
+  /// Average out-fan of a node for relationships of `type` (empty = any):
+  /// rels(type) / max(1, nodes). Directed expands use this; undirected
+  /// expands use twice this.
+  double AvgDegree(std::string_view type) const;
+
+ private:
+  const PropertyGraph& g_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_GRAPH_GRAPH_STATISTICS_H_

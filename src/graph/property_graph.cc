@@ -1,0 +1,300 @@
+#include "src/graph/property_graph.h"
+
+#include <algorithm>
+
+#include "src/value/value_format.h"
+
+namespace gqlite {
+
+NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
+                                 const PropertyList& props) {
+  NodeId id{nodes_.size()};
+  NodeRecord rec;
+  for (const std::string& l : labels) {
+    SymbolId s = labels_.Intern(l);
+    if (std::find(rec.labels.begin(), rec.labels.end(), s) ==
+        rec.labels.end()) {
+      rec.labels.push_back(s);
+    }
+  }
+  std::sort(rec.labels.begin(), rec.labels.end());
+  for (const auto& [k, v] : props) {
+    if (!v.is_null()) rec.props.emplace_back(keys_.Intern(k), v);
+  }
+  nodes_.push_back(std::move(rec));
+  ++num_nodes_;
+  for (SymbolId s : nodes_.back().labels) {
+    label_index_[s].push_back(id);
+    ++label_counts_[s];
+  }
+  return id;
+}
+
+Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
+                                                std::string_view type,
+                                                const PropertyList& props) {
+  if (!IsNodeAlive(src) || !IsNodeAlive(tgt)) {
+    return Status::InvalidArgument(
+        "relationship endpoint does not exist or was deleted");
+  }
+  if (type.empty()) {
+    return Status::InvalidArgument("relationship type must be non-empty");
+  }
+  RelId id{rels_.size()};
+  RelRecord rec;
+  rec.src = src;
+  rec.tgt = tgt;
+  rec.type = types_.Intern(type);
+  for (const auto& [k, v] : props) {
+    if (!v.is_null()) rec.props.emplace_back(keys_.Intern(k), v);
+  }
+  rels_.push_back(std::move(rec));
+  ++num_rels_;
+  ++type_counts_[rels_.back().type];
+  nodes_[src.id].out.push_back(id);
+  nodes_[tgt.id].in.push_back(id);
+  return id;
+}
+
+std::vector<NodeId> PropertyGraph::AllNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(num_nodes_);
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (!nodes_[i].deleted) out.push_back(NodeId{i});
+  }
+  return out;
+}
+
+std::vector<std::string> PropertyGraph::NodeLabels(NodeId n) const {
+  std::vector<std::string> out;
+  for (SymbolId s : nodes_[n.id].labels) out.push_back(labels_.ToString(s));
+  return out;
+}
+
+bool PropertyGraph::NodeHasLabel(NodeId n, std::string_view label) const {
+  SymbolId s = labels_.Lookup(label);
+  return s != kNoSymbol && NodeHasLabelId(n, s);
+}
+
+bool PropertyGraph::NodeHasLabelId(NodeId n, SymbolId label) const {
+  const auto& ls = nodes_[n.id].labels;
+  return std::binary_search(ls.begin(), ls.end(), label);
+}
+
+bool PropertyGraph::AddLabel(NodeId n, std::string_view label) {
+  SymbolId s = labels_.Intern(label);
+  auto& ls = nodes_[n.id].labels;
+  auto it = std::lower_bound(ls.begin(), ls.end(), s);
+  if (it != ls.end() && *it == s) return false;
+  ls.insert(it, s);
+  label_index_[s].push_back(n);
+  ++label_counts_[s];
+  return true;
+}
+
+bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
+  SymbolId s = labels_.Lookup(label);
+  if (s == kNoSymbol) return false;
+  auto& ls = nodes_[n.id].labels;
+  auto it = std::lower_bound(ls.begin(), ls.end(), s);
+  if (it == ls.end() || *it != s) return false;
+  ls.erase(it);
+  auto& idx = label_index_[s];
+  idx.erase(std::remove(idx.begin(), idx.end(), n), idx.end());
+  --label_counts_[s];
+  return true;
+}
+
+Value PropertyGraph::GetProp(
+    const std::vector<std::pair<SymbolId, Value>>& props, SymbolId key) {
+  if (key == kNoSymbol) return Value::Null();
+  for (const auto& [k, v] : props) {
+    if (k == key) return v;
+  }
+  return Value::Null();
+}
+
+int PropertyGraph::SetProp(std::vector<std::pair<SymbolId, Value>>* props,
+                           SymbolId key, Value v) {
+  for (auto it = props->begin(); it != props->end(); ++it) {
+    if (it->first == key) {
+      if (v.is_null()) {
+        props->erase(it);
+      } else {
+        it->second = std::move(v);
+      }
+      return 1;
+    }
+  }
+  if (v.is_null()) return 0;
+  props->emplace_back(key, std::move(v));
+  return 1;
+}
+
+Value PropertyGraph::NodeProperty(NodeId n, std::string_view key) const {
+  return GetProp(nodes_[n.id].props, keys_.Lookup(key));
+}
+
+Value PropertyGraph::RelProperty(RelId r, std::string_view key) const {
+  return GetProp(rels_[r.id].props, keys_.Lookup(key));
+}
+
+int PropertyGraph::SetNodeProperty(NodeId n, std::string_view key, Value v) {
+  return SetProp(&nodes_[n.id].props, keys_.Intern(key), std::move(v));
+}
+
+int PropertyGraph::SetRelProperty(RelId r, std::string_view key, Value v) {
+  return SetProp(&rels_[r.id].props, keys_.Intern(key), std::move(v));
+}
+
+ValueMap PropertyGraph::NodeProperties(NodeId n) const {
+  ValueMap out;
+  for (const auto& [k, v] : nodes_[n.id].props) out[keys_.ToString(k)] = v;
+  return out;
+}
+
+ValueMap PropertyGraph::RelProperties(RelId r) const {
+  ValueMap out;
+  for (const auto& [k, v] : rels_[r.id].props) out[keys_.ToString(k)] = v;
+  return out;
+}
+
+std::vector<std::string> PropertyGraph::NodePropertyKeys(NodeId n) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : nodes_[n.id].props) out.push_back(keys_.ToString(k));
+  return out;
+}
+
+std::vector<std::string> PropertyGraph::RelPropertyKeys(RelId r) const {
+  std::vector<std::string> out;
+  for (const auto& [k, v] : rels_[r.id].props) out.push_back(keys_.ToString(k));
+  return out;
+}
+
+const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
+    std::string_view label) const {
+  static const std::vector<NodeId> kEmpty;
+  SymbolId s = labels_.Lookup(label);
+  if (s == kNoSymbol) return kEmpty;
+  auto it = label_index_.find(s);
+  return it == label_index_.end() ? kEmpty : it->second;
+}
+
+Status PropertyGraph::DeleteRelationship(RelId r) {
+  if (!IsRelAlive(r)) {
+    return Status::InvalidArgument("relationship already deleted");
+  }
+  RelRecord& rec = rels_[r.id];
+  auto unlink = [r](std::vector<RelId>* v) {
+    v->erase(std::remove(v->begin(), v->end(), r), v->end());
+  };
+  unlink(&nodes_[rec.src.id].out);
+  unlink(&nodes_[rec.tgt.id].in);
+  --type_counts_[rec.type];
+  rec.deleted = true;
+  rec.props.clear();
+  --num_rels_;
+  return Status::OK();
+}
+
+Status PropertyGraph::DeleteNode(NodeId n) {
+  if (!IsNodeAlive(n)) return Status::InvalidArgument("node already deleted");
+  if (Degree(n) > 0) {
+    return Status::InvalidArgument(
+        "cannot delete node with relationships; use DETACH DELETE");
+  }
+  NodeRecord& rec = nodes_[n.id];
+  for (SymbolId s : rec.labels) {
+    auto& idx = label_index_[s];
+    idx.erase(std::remove(idx.begin(), idx.end(), n), idx.end());
+    --label_counts_[s];
+  }
+  rec.deleted = true;
+  rec.labels.clear();
+  rec.props.clear();
+  --num_nodes_;
+  return Status::OK();
+}
+
+Status PropertyGraph::DetachDeleteNode(NodeId n) {
+  if (!IsNodeAlive(n)) return Status::InvalidArgument("node already deleted");
+  // Copy: DeleteRelationship mutates the adjacency vectors.
+  std::vector<RelId> incident = nodes_[n.id].out;
+  incident.insert(incident.end(), nodes_[n.id].in.begin(),
+                  nodes_[n.id].in.end());
+  for (RelId r : incident) {
+    if (IsRelAlive(r)) GQL_RETURN_IF_ERROR(DeleteRelationship(r));
+  }
+  return DeleteNode(n);
+}
+
+namespace {
+
+std::string RenderProps(const ValueMap& props) {
+  if (props.empty()) return "";
+  std::string out = " {";
+  bool first = true;
+  for (const auto& [k, v] : props) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + ": " + FormatValue(v);
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string PropertyGraph::Render(const Value& v) const {
+  switch (v.type()) {
+    case ValueType::kNode: {
+      NodeId n = v.AsNode();
+      if (!IsNodeAlive(n)) return "(deleted)";
+      std::string out = "(";
+      for (SymbolId s : NodeLabelIds(n)) out += ":" + labels_.ToString(s);
+      out += RenderProps(NodeProperties(n));
+      return out + ")";
+    }
+    case ValueType::kRelationship: {
+      RelId r = v.AsRelationship();
+      if (!IsRelAlive(r)) return "[deleted]";
+      return "[:" + RelType(r) + RenderProps(RelProperties(r)) + "]";
+    }
+    case ValueType::kPath: {
+      const Path& p = v.AsPath();
+      std::string out = Render(Value::Node(p.nodes[0]));
+      for (size_t i = 0; i < p.rels.size(); ++i) {
+        RelId r = p.rels[i];
+        bool forward = IsRelAlive(r) && Source(r) == p.nodes[i];
+        out += forward ? "-" : "<-";
+        out += Render(Value::Relationship(r));
+        out += forward ? "->" : "-";
+        out += Render(Value::Node(p.nodes[i + 1]));
+      }
+      return out;
+    }
+    case ValueType::kList: {
+      std::string out = "[";
+      bool first = true;
+      for (const Value& e : v.AsList()) {
+        if (!first) out += ", ";
+        first = false;
+        out += Render(e);
+      }
+      return out + "]";
+    }
+    case ValueType::kMap: {
+      std::string out = "{";
+      bool first = true;
+      for (const auto& [k, e] : v.AsMap()) {
+        if (!first) out += ", ";
+        first = false;
+        out += k + ": " + Render(e);
+      }
+      return out + "}";
+    }
+    default:
+      return FormatValue(v);
+  }
+}
+
+}  // namespace gqlite

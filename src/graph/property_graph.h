@@ -1,0 +1,201 @@
+#ifndef GQLITE_GRAPH_PROPERTY_GRAPH_H_
+#define GQLITE_GRAPH_PROPERTY_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/interner.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/value/value.h"
+
+namespace gqlite {
+
+/// Property list used when creating/updating entities.
+using PropertyList = std::vector<std::pair<std::string, Value>>;
+
+/// An in-memory property graph G = ⟨N, R, src, tgt, ι, λ, τ⟩ (§4.1):
+///  * N, R      — dense slots of node/relationship records (with tombstones
+///                so ids stay stable under deletion);
+///  * src, tgt  — stored on each relationship record;
+///  * ι         — per-entity property lists (key → value);
+///  * λ         — per-node label sets;
+///  * τ         — per-relationship type.
+///
+/// The store keeps *direct adjacency references* — each node record holds
+/// its outgoing and incoming relationship ids — which is the structural
+/// property behind the paper's `Expand` operator ("the data representation
+/// of Neo4j contains direct references from each node via its edges to the
+/// related nodes", §2). A label index supports NodeByLabelScan.
+///
+/// Labels, relationship types and property keys are interned to dense ids.
+/// The graph is single-threaded; the update language (src/update) mutates
+/// it through this API.
+class PropertyGraph {
+ public:
+  PropertyGraph() = default;
+  PropertyGraph(const PropertyGraph&) = delete;
+  PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  // ---- Creation ----------------------------------------------------------
+
+  /// Creates a node with the given labels and properties; returns its id.
+  NodeId CreateNode(const std::vector<std::string>& labels = {},
+                    const PropertyList& props = {});
+
+  /// Creates a relationship src -[type]-> tgt. Fails if an endpoint is
+  /// missing or deleted, or if `type` is empty (τ is total on R).
+  Result<RelId> CreateRelationship(NodeId src, NodeId tgt,
+                                   std::string_view type,
+                                   const PropertyList& props = {});
+
+  // ---- Existence & cardinality -------------------------------------------
+
+  bool IsNodeAlive(NodeId n) const {
+    return n.id < nodes_.size() && !nodes_[n.id].deleted;
+  }
+  bool IsRelAlive(RelId r) const {
+    return r.id < rels_.size() && !rels_[r.id].deleted;
+  }
+  /// Number of live nodes / relationships.
+  size_t NumNodes() const { return num_nodes_; }
+  size_t NumRels() const { return num_rels_; }
+  /// Slot-space upper bounds for id iteration (ids < NumNodeSlots()).
+  size_t NumNodeSlots() const { return nodes_.size(); }
+  size_t NumRelSlots() const { return rels_.size(); }
+
+  /// All live node ids (materialized; prefer slot iteration in hot paths).
+  std::vector<NodeId> AllNodes() const;
+
+  // ---- λ: labels ----------------------------------------------------------
+
+  /// Label set of a node, as interned ids (sorted ascending).
+  const std::vector<SymbolId>& NodeLabelIds(NodeId n) const {
+    return nodes_[n.id].labels;
+  }
+  std::vector<std::string> NodeLabels(NodeId n) const;
+  bool NodeHasLabel(NodeId n, std::string_view label) const;
+  bool NodeHasLabelId(NodeId n, SymbolId label) const;
+  /// Adds/removes a label; returns true if the label set changed.
+  bool AddLabel(NodeId n, std::string_view label);
+  bool RemoveLabel(NodeId n, std::string_view label);
+
+  // ---- τ: relationship types ---------------------------------------------
+
+  SymbolId RelTypeId(RelId r) const { return rels_[r.id].type; }
+  const std::string& RelType(RelId r) const {
+    return types_.ToString(rels_[r.id].type);
+  }
+
+  // ---- src / tgt ----------------------------------------------------------
+
+  NodeId Source(RelId r) const { return rels_[r.id].src; }
+  NodeId Target(RelId r) const { return rels_[r.id].tgt; }
+  /// The endpoint of `r` that is not `n` (for undirected traversal).
+  NodeId OtherEnd(RelId r, NodeId n) const {
+    return rels_[r.id].src == n ? rels_[r.id].tgt : rels_[r.id].src;
+  }
+
+  // ---- ι: properties ------------------------------------------------------
+
+  /// ι(entity, key); Value::Null() when the property is absent (the partial
+  /// function is undefined), matching Cypher's `x.k` semantics.
+  Value NodeProperty(NodeId n, std::string_view key) const;
+  Value RelProperty(RelId r, std::string_view key) const;
+  /// Sets (or, with a null value, removes) a property. Returns the number
+  /// of properties added/changed (0 or 1).
+  int SetNodeProperty(NodeId n, std::string_view key, Value v);
+  int SetRelProperty(RelId r, std::string_view key, Value v);
+  /// All properties as a map value (the `properties()` function).
+  ValueMap NodeProperties(NodeId n) const;
+  ValueMap RelProperties(RelId r) const;
+  std::vector<std::string> NodePropertyKeys(NodeId n) const;
+  std::vector<std::string> RelPropertyKeys(RelId r) const;
+
+  // ---- Adjacency (the Expand substrate) -----------------------------------
+
+  const std::vector<RelId>& OutRels(NodeId n) const { return nodes_[n.id].out; }
+  const std::vector<RelId>& InRels(NodeId n) const { return nodes_[n.id].in; }
+  size_t Degree(NodeId n) const {
+    return nodes_[n.id].out.size() + nodes_[n.id].in.size();
+  }
+
+  // ---- Label index ---------------------------------------------------------
+
+  /// Nodes currently carrying `label` (exact, maintained on mutation).
+  const std::vector<NodeId>& NodesWithLabel(std::string_view label) const;
+
+  // ---- Deletion -------------------------------------------------------------
+
+  /// Deletes a relationship (unlinks it from both endpoints).
+  Status DeleteRelationship(RelId r);
+  /// Deletes a node; fails if it still has relationships (Cypher DELETE).
+  Status DeleteNode(NodeId n);
+  /// Deletes a node and all incident relationships (DETACH DELETE).
+  Status DetachDeleteNode(NodeId n);
+
+  // ---- Interners & statistics ----------------------------------------------
+
+  const StringInterner& labels() const { return labels_; }
+  const StringInterner& types() const { return types_; }
+  const StringInterner& keys() const { return keys_; }
+  SymbolId LookupLabel(std::string_view s) const { return labels_.Lookup(s); }
+  SymbolId LookupType(std::string_view s) const { return types_.Lookup(s); }
+
+  /// Live node count per label id / rel count per type id (for the cost
+  /// model). Missing entries mean zero.
+  const std::unordered_map<SymbolId, size_t>& LabelCounts() const {
+    return label_counts_;
+  }
+  const std::unordered_map<SymbolId, size_t>& TypeCounts() const {
+    return type_counts_;
+  }
+
+  // ---- Rendering -------------------------------------------------------------
+
+  /// Graph-aware display: nodes as `(:Label {k: v})`, relationships as
+  /// `[:TYPE {k: v}]`, paths expanded, containers recursed.
+  std::string Render(const Value& v) const;
+
+ private:
+  struct NodeRecord {
+    bool deleted = false;
+    std::vector<SymbolId> labels;  // sorted
+    std::vector<std::pair<SymbolId, Value>> props;
+    std::vector<RelId> out;
+    std::vector<RelId> in;
+  };
+  struct RelRecord {
+    bool deleted = false;
+    NodeId src;
+    NodeId tgt;
+    SymbolId type = kNoSymbol;
+    std::vector<std::pair<SymbolId, Value>> props;
+  };
+
+  static Value GetProp(const std::vector<std::pair<SymbolId, Value>>& props,
+                       SymbolId key);
+  static int SetProp(std::vector<std::pair<SymbolId, Value>>* props,
+                     SymbolId key, Value v);
+
+  std::vector<NodeRecord> nodes_;
+  std::vector<RelRecord> rels_;
+  size_t num_nodes_ = 0;
+  size_t num_rels_ = 0;
+
+  StringInterner labels_;
+  StringInterner types_;
+  StringInterner keys_;
+
+  std::unordered_map<SymbolId, std::vector<NodeId>> label_index_;
+  std::unordered_map<SymbolId, size_t> label_counts_;
+  std::unordered_map<SymbolId, size_t> type_counts_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_GRAPH_PROPERTY_GRAPH_H_

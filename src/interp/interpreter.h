@@ -1,0 +1,89 @@
+#ifndef GQLITE_INTERP_INTERPRETER_H_
+#define GQLITE_INTERP_INTERPRETER_H_
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/graph/graph_catalog.h"
+#include "src/interp/table.h"
+#include "src/pattern/matcher.h"
+
+namespace gqlite {
+
+/// Handler for updating clauses (CREATE/DELETE/SET/REMOVE/MERGE), wired in
+/// by the engine (src/update implements it; the interpreter stays
+/// read-only). Receives the clause and the driving table; returns the
+/// table the clause passes on.
+using UpdateClauseHandler =
+    std::function<Result<Table>(const ast::Clause&, Table)>;
+
+/// The reference interpreter: a literal implementation of the paper's
+/// denotational semantics. Each clause is a function from tables to
+/// tables (Figure 7); a query is their composition applied to T()
+/// (Figure 6): output(Q, G) = ⟦Q⟧G(T()).
+///
+/// FROM GRAPH (Cypher 10) switches the working graph for subsequent
+/// clauses; RETURN GRAPH constructs and registers a new graph.
+class Interpreter {
+ public:
+  struct Options {
+    MatchOptions match;
+  };
+
+  Interpreter(GraphCatalog* catalog, GraphPtr graph, const ValueMap* params,
+              Options options, uint64_t* rand_state)
+      : catalog_(catalog),
+        graph_(std::move(graph)),
+        params_(params),
+        options_(options),
+        rand_state_(rand_state) {}
+
+  /// Sets the handler for updating clauses; without one, updating queries
+  /// fail with kUnimplemented.
+  void set_update_handler(UpdateClauseHandler h) {
+    update_handler_ = std::move(h);
+  }
+
+  /// Runs a full query (including UNION). The result table is the query
+  /// output; graphs produced by RETURN GRAPH are listed in
+  /// `produced_graphs()` and registered in the catalog.
+  Result<Table> ExecuteQuery(const ast::Query& q);
+
+  /// ⟦C⟧G(T): applies a single clause to a driving table (exposed for
+  /// tests that replay the paper's step-by-step walkthrough).
+  Result<Table> ExecuteClause(const ast::Clause& c, Table input);
+
+  const std::vector<std::pair<std::string, GraphPtr>>& produced_graphs()
+      const {
+    return produced_graphs_;
+  }
+
+  /// The graph currently queried (changed by FROM GRAPH).
+  const GraphPtr& current_graph() const { return graph_; }
+
+  /// Evaluation context bound to the current graph (pattern-predicate
+  /// hook included).
+  EvalContext MakeEvalContext() const;
+
+ private:
+  Result<Table> ExecuteSingle(const ast::SingleQuery& q);
+  Result<Table> ExecMatch(const ast::MatchClause& m, const Table& input);
+  Result<Table> ExecUnwind(const ast::UnwindClause& u, const Table& input);
+  Result<Table> ExecFromGraph(const ast::FromGraphClause& f, Table input);
+  Result<Table> ExecReturnGraph(const ast::ReturnGraphClause& r,
+                                const Table& input);
+
+  GraphCatalog* catalog_;
+  GraphPtr graph_;
+  const ValueMap* params_;
+  Options options_;
+  uint64_t* rand_state_;
+  UpdateClauseHandler update_handler_;
+  std::vector<std::pair<std::string, GraphPtr>> produced_graphs_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_INTERP_INTERPRETER_H_

@@ -1,0 +1,352 @@
+#include "src/interp/projection.h"
+
+#include <algorithm>
+#include <memory>
+#include <unordered_map>
+
+#include "src/eval/aggregation.h"
+#include "src/frontend/analyzer.h"
+#include "src/value/value_compare.h"
+
+namespace gqlite {
+
+using namespace ast;  // NOLINT(build/namespaces)
+
+namespace {
+
+/// Rewrites an expression by pulling out aggregate calls: each aggregate
+/// occurrence becomes a VariableExpr("#aggN") and its (argument, function,
+/// distinct) triple is appended to `slots`. The returned clone is
+/// evaluated per group against an environment that resolves "#aggN".
+struct AggSlot {
+  std::string fn;      // "count", "sum", ... or "count(*)"
+  bool distinct = false;
+  const Expr* arg = nullptr;  // null for count(*)
+};
+
+ExprPtr ExtractAggregates(const Expr& e, std::vector<AggSlot>* slots) {
+  if (e.kind == Expr::Kind::kCountStar) {
+    slots->push_back(AggSlot{"count(*)", false, nullptr});
+    return std::make_unique<VariableExpr>("#agg" +
+                                          std::to_string(slots->size() - 1));
+  }
+  if (e.kind == Expr::Kind::kFunctionCall) {
+    const auto& f = static_cast<const FunctionCallExpr&>(e);
+    if (IsAggregateFunction(f.name)) {
+      slots->push_back(AggSlot{f.name, f.distinct, f.args[0].get()});
+      return std::make_unique<VariableExpr>(
+          "#agg" + std::to_string(slots->size() - 1));
+    }
+    std::vector<ExprPtr> args;
+    for (const auto& a : f.args) args.push_back(ExtractAggregates(*a, slots));
+    return std::make_unique<FunctionCallExpr>(f.name, f.distinct,
+                                              std::move(args));
+  }
+  if (e.kind == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    return std::make_unique<BinaryExpr>(b.op, ExtractAggregates(*b.lhs, slots),
+                                        ExtractAggregates(*b.rhs, slots));
+  }
+  if (e.kind == Expr::Kind::kUnary) {
+    const auto& u = static_cast<const UnaryExpr&>(e);
+    return std::make_unique<UnaryExpr>(u.op,
+                                       ExtractAggregates(*u.operand, slots));
+  }
+  if (e.kind == Expr::Kind::kListLiteral) {
+    const auto& l = static_cast<const ListLiteralExpr&>(e);
+    std::vector<ExprPtr> items;
+    for (const auto& i : l.items) items.push_back(ExtractAggregates(*i, slots));
+    return std::make_unique<ListLiteralExpr>(std::move(items));
+  }
+  if (e.kind == Expr::Kind::kMapLiteral) {
+    const auto& m = static_cast<const MapLiteralExpr&>(e);
+    std::vector<std::pair<std::string, ExprPtr>> entries;
+    for (const auto& [k, v] : m.entries) {
+      entries.emplace_back(k, ExtractAggregates(*v, slots));
+    }
+    return std::make_unique<MapLiteralExpr>(std::move(entries));
+  }
+  // Other node kinds cannot contain aggregates per the analyzer (or are
+  // leaves); clone as-is.
+  return CloneExpr(e);
+}
+
+/// Environment that resolves "#aggN" placeholders, falling back to a base.
+class AggEnvironment : public Environment {
+ public:
+  AggEnvironment(const Environment& base, const ValueList& agg_values)
+      : base_(base), agg_values_(agg_values) {}
+  std::optional<Value> Lookup(const std::string& name) const override {
+    if (name.size() > 4 && name.compare(0, 4, "#agg") == 0) {
+      size_t i = std::stoul(name.substr(4));
+      if (i < agg_values_.size()) return agg_values_[i];
+    }
+    return base_.Lookup(name);
+  }
+
+ private:
+  const Environment& base_;
+  const ValueList& agg_values_;
+};
+
+struct ResolvedItem {
+  std::string name;
+  const Expr* expr = nullptr;  // original expression
+  bool aggregating = false;
+  ExprPtr rewritten;           // with aggregates extracted (if aggregating)
+  std::vector<AggSlot> slots;  // this item's aggregate sub-expressions
+};
+
+Result<int64_t> EvalCount(const Expr& e, const EvalContext& ctx,
+                          const char* what) {
+  MapEnvironment empty;
+  GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(e, empty, ctx));
+  if (!v.is_int() || v.AsInt() < 0) {
+    return Status::EvaluationError(std::string(what) +
+                                   " must be a non-negative integer");
+  }
+  return v.AsInt();
+}
+
+}  // namespace
+
+Result<Table> EvaluateProjection(const ProjectionBody& body,
+                                 const Table& input, const EvalContext& ctx) {
+  // Resolve the item list: `*` expands to all input fields (in order).
+  std::vector<ResolvedItem> items;
+  if (body.star) {
+    for (const auto& f : input.fields()) {
+      ResolvedItem it;
+      it.name = f;
+      items.push_back(std::move(it));  // expr == nullptr: copy field
+    }
+  }
+  bool any_aggregate = false;
+  for (const auto& item : body.items) {
+    ResolvedItem it;
+    it.name = item.alias ? *item.alias : DerivedColumnName(*item.expr);
+    it.expr = item.expr.get();
+    it.aggregating = ContainsAggregate(*item.expr);
+    if (it.aggregating) {
+      any_aggregate = true;
+      it.rewritten = ExtractAggregates(*item.expr, &it.slots);
+    }
+    items.push_back(std::move(it));
+  }
+
+  std::vector<std::string> out_fields;
+  for (const auto& it : items) out_fields.push_back(it.name);
+  Table output(out_fields);
+
+  // Track the input row that produced each output row (for ORDER BY on
+  // pre-projection variables in the non-aggregating case).
+  std::vector<const ValueList*> source_rows;
+
+  if (!any_aggregate) {
+    for (const auto& row : input.rows()) {
+      RowEnvironment env(input, row);
+      ValueList out_row;
+      out_row.reserve(items.size());
+      for (const auto& it : items) {
+        if (it.expr == nullptr) {
+          out_row.push_back(row[input.FieldIndex(it.name)]);
+        } else {
+          GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
+          out_row.push_back(std::move(v));
+        }
+      }
+      output.AddRow(std::move(out_row));
+      source_rows.push_back(&row);
+    }
+  } else {
+    // Group by the values of the non-aggregating items (§3: "the first
+    // expression, r, is a non-aggregating expression and therefore acts
+    // as an implicit grouping key").
+    struct Group {
+      const ValueList* representative = nullptr;
+      std::vector<std::unique_ptr<Aggregator>> aggs;
+    };
+    std::vector<ValueList> group_keys;
+    std::vector<Group> groups;
+    std::unordered_map<ValueList, size_t, RowEquivalenceHash,
+                       RowEquivalenceEq>
+        index;
+
+    // Fixed slot layout: per item, per slot.
+    for (const auto& row : input.rows()) {
+      RowEnvironment env(input, row);
+      ValueList key;
+      for (const auto& it : items) {
+        if (it.aggregating) continue;
+        if (it.expr == nullptr) {
+          key.push_back(row[input.FieldIndex(it.name)]);
+        } else {
+          GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
+          key.push_back(std::move(v));
+        }
+      }
+      auto [pos, inserted] = index.try_emplace(key, groups.size());
+      if (inserted) {
+        group_keys.push_back(key);
+        Group g;
+        g.representative = &row;
+        for (const auto& it : items) {
+          for (const auto& slot : it.slots) {
+            GQL_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                                 MakeAggregator(slot.fn, slot.distinct));
+            g.aggs.push_back(std::move(agg));
+          }
+        }
+        groups.push_back(std::move(g));
+      }
+      Group& g = groups[pos->second];
+      size_t slot_idx = 0;
+      for (const auto& it : items) {
+        for (const auto& slot : it.slots) {
+          Value v = Value::Bool(true);  // row marker for count(*)
+          if (slot.arg != nullptr) {
+            GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
+          }
+          GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
+          ++slot_idx;
+        }
+      }
+    }
+
+    // Global aggregation over an empty input: one group with neutral
+    // aggregates — but only when there are no grouping keys.
+    bool has_keys = false;
+    for (const auto& it : items) {
+      if (!it.aggregating) has_keys = true;
+    }
+    if (groups.empty() && !has_keys) {
+      Group g;
+      for (const auto& it : items) {
+        for (const auto& slot : it.slots) {
+          GQL_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                               MakeAggregator(slot.fn, slot.distinct));
+          g.aggs.push_back(std::move(agg));
+        }
+      }
+      group_keys.emplace_back();
+      groups.push_back(std::move(g));
+    }
+
+    static const ValueList kEmptyRow;
+    static const Table kEmptyTable;
+    for (size_t gi = 0; gi < groups.size(); ++gi) {
+      Group& g = groups[gi];
+      // Finish aggregates.
+      ValueList agg_values;
+      for (auto& agg : g.aggs) {
+        GQL_ASSIGN_OR_RETURN(Value v, agg->Finish());
+        agg_values.push_back(std::move(v));
+      }
+      const ValueList* rep = g.representative ? g.representative : &kEmptyRow;
+      const Table& rep_table = g.representative ? input : kEmptyTable;
+      RowEnvironment rep_env(rep_table, *rep);
+      AggEnvironment env(rep_env, agg_values);
+      ValueList out_row;
+      size_t key_idx = 0;
+      size_t slot_base = 0;
+      for (const auto& it : items) {
+        if (!it.aggregating) {
+          out_row.push_back(group_keys[gi][key_idx++]);
+        } else {
+          // Offset this item's placeholders into the global slot vector:
+          // placeholders were numbered per item starting at its base.
+          ValueList local(agg_values.begin() + slot_base,
+                          agg_values.begin() + slot_base + it.slots.size());
+          AggEnvironment item_env(rep_env, local);
+          GQL_ASSIGN_OR_RETURN(Value v,
+                               EvaluateExpr(*it.rewritten, item_env, ctx));
+          out_row.push_back(std::move(v));
+          slot_base += it.slots.size();
+        }
+      }
+      (void)env;
+      output.AddRow(std::move(out_row));
+      source_rows.push_back(nullptr);
+    }
+  }
+
+  if (body.distinct) {
+    // ε after projection; source-row pairing is dropped (ORDER BY then
+    // sees only the projected columns, as in Cypher).
+    output = output.Deduplicated();
+    source_rows.assign(output.NumRows(), nullptr);
+  }
+
+  // ORDER BY.
+  if (!body.order_by.empty()) {
+    struct Keyed {
+      ValueList row;
+      ValueList keys;
+    };
+    std::vector<Keyed> keyed;
+    keyed.reserve(output.NumRows());
+    for (size_t i = 0; i < output.NumRows(); ++i) {
+      const ValueList& row = output.rows()[i];
+      RowEnvironment out_env(output, row);
+      std::unique_ptr<RowEnvironment> in_env;
+      std::unique_ptr<MergedRowEnvironment> merged;
+      const Environment* env = &out_env;
+      if (i < source_rows.size() && source_rows[i] != nullptr) {
+        in_env = std::make_unique<RowEnvironment>(input, *source_rows[i]);
+        merged = std::make_unique<MergedRowEnvironment>(out_env, *in_env);
+        env = merged.get();
+      }
+      Keyed k;
+      k.row = row;
+      for (const auto& o : body.order_by) {
+        // An ORDER BY expression that textually matches a projected column
+        // (e.g. ORDER BY p.acmid after RETURN p.acmid, count(*)) refers to
+        // that column, like Cypher's alias resolution.
+        int col = output.FieldIndex(DerivedColumnName(*o.expr));
+        if (col >= 0) {
+          k.keys.push_back(row[col]);
+          continue;
+        }
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, *env, ctx));
+        k.keys.push_back(std::move(v));
+      }
+      keyed.push_back(std::move(k));
+    }
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [&](const Keyed& a, const Keyed& b) {
+                       for (size_t i = 0; i < body.order_by.size(); ++i) {
+                         int c = ValueOrder(a.keys[i], b.keys[i]);
+                         if (c != 0) {
+                           return body.order_by[i].ascending ? c < 0 : c > 0;
+                         }
+                       }
+                       return false;
+                     });
+    Table sorted(output.fields());
+    for (auto& k : keyed) sorted.AddRow(std::move(k.row));
+    output = std::move(sorted);
+  }
+
+  // SKIP / LIMIT.
+  if (body.skip || body.limit) {
+    int64_t skip = 0;
+    if (body.skip) {
+      GQL_ASSIGN_OR_RETURN(skip, EvalCount(*body.skip, ctx, "SKIP"));
+    }
+    int64_t limit = -1;
+    if (body.limit) {
+      GQL_ASSIGN_OR_RETURN(limit, EvalCount(*body.limit, ctx, "LIMIT"));
+    }
+    Table limited(output.fields());
+    int64_t n = static_cast<int64_t>(output.NumRows());
+    int64_t end = limit < 0 ? n : std::min(n, skip + limit);
+    for (int64_t i = skip; i < end; ++i) {
+      limited.AddRow(output.rows()[i]);
+    }
+    output = std::move(limited);
+  }
+
+  return output;
+}
+
+}  // namespace gqlite

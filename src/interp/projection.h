@@ -1,0 +1,30 @@
+#ifndef GQLITE_INTERP_PROJECTION_H_
+#define GQLITE_INTERP_PROJECTION_H_
+
+#include "src/common/result.h"
+#include "src/frontend/ast.h"
+#include "src/interp/table.h"
+
+namespace gqlite {
+
+/// Evaluates a RETURN/WITH projection body over a driving table
+/// (Figures 6/7 rules for RETURN/WITH, extended with the standard
+/// DISTINCT / ORDER BY / SKIP / LIMIT sub-clauses and aggregation).
+///
+/// Aggregation follows §3: projection items that contain no aggregate
+/// function act as implicit grouping keys; items containing aggregates are
+/// evaluated once per group, with each aggregate sub-expression replaced
+/// by its accumulated result and any remaining non-aggregate
+/// sub-expressions evaluated against a representative row of the group
+/// (SQL-style). On an empty input with no grouping keys, one row of
+/// neutral aggregate values is produced (count → 0, collect → [], sum →
+/// 0, min/max/avg → null).
+///
+/// ORDER BY sees the projected columns; for non-aggregating projections it
+/// may also reference the pre-projection variables (output shadows input).
+Result<Table> EvaluateProjection(const ast::ProjectionBody& body,
+                                 const Table& input, const EvalContext& ctx);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_INTERP_PROJECTION_H_

@@ -1,0 +1,95 @@
+#include "src/interp/table.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "src/graph/property_graph.h"
+#include "src/value/value_compare.h"
+
+namespace gqlite {
+
+int Table::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void Table::Append(const Table& other) {
+  for (const auto& r : other.rows_) rows_.push_back(r);
+}
+
+Table Table::Deduplicated() const {
+  Table out(fields_);
+  std::unordered_set<ValueList, RowEquivalenceHash, RowEquivalenceEq> seen;
+  for (const auto& r : rows_) {
+    if (seen.insert(r).second) out.rows_.push_back(r);
+  }
+  return out;
+}
+
+Table Table::Sorted() const {
+  Table out = *this;
+  std::sort(out.rows_.begin(), out.rows_.end(),
+            [](const ValueList& a, const ValueList& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                int c = ValueOrder(a[i], b[i]);
+                if (c != 0) return c < 0;
+              }
+              return a.size() < b.size();
+            });
+  return out;
+}
+
+bool Table::SameBag(const Table& other) const {
+  if (fields_ != other.fields_) return false;
+  if (rows_.size() != other.rows_.size()) return false;
+  Table a = Sorted();
+  Table b = other.Sorted();
+  for (size_t i = 0; i < a.rows_.size(); ++i) {
+    if (!RowEquivalent(a.rows_[i], b.rows_[i])) return false;
+  }
+  return true;
+}
+
+std::string Table::ToString(const PropertyGraph* graph) const {
+  auto render = [&](const Value& v) {
+    return graph ? graph->Render(v) : v.ToString();
+  };
+  // Compute column widths.
+  std::vector<size_t> width(fields_.size());
+  for (size_t c = 0; c < fields_.size(); ++c) width[c] = fields_[c].size();
+  std::vector<std::vector<std::string>> cells;
+  cells.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::vector<std::string> line;
+    for (size_t c = 0; c < row.size(); ++c) {
+      line.push_back(render(row[c]));
+      if (c < width.size()) width[c] = std::max(width[c], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+  std::string sep = "+";
+  for (size_t c = 0; c < fields_.size(); ++c) {
+    sep += std::string(width[c] + 2, '-') + "+";
+  }
+  std::string out = sep + "\n|";
+  for (size_t c = 0; c < fields_.size(); ++c) {
+    out += " " + fields_[c] + std::string(width[c] - fields_[c].size(), ' ') +
+           " |";
+  }
+  out += "\n" + sep + "\n";
+  for (const auto& line : cells) {
+    out += "|";
+    for (size_t c = 0; c < line.size(); ++c) {
+      out += " " + line[c] + std::string(width[c] - line[c].size(), ' ') + " |";
+    }
+    out += "\n";
+  }
+  out += sep + "\n";
+  out += std::to_string(rows_.size()) +
+         (rows_.size() == 1 ? " row\n" : " rows\n");
+  return out;
+}
+
+}  // namespace gqlite

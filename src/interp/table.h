@@ -1,0 +1,99 @@
+#ifndef GQLITE_INTERP_TABLE_H_
+#define GQLITE_INTERP_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/eval/evaluator.h"
+#include "src/value/value.h"
+
+namespace gqlite {
+
+class PropertyGraph;
+
+/// A table in the paper's sense (§4.1): a *bag* of uniform records over a
+/// set of named fields. Queries are functions from tables to tables;
+/// evaluation starts from Table::Unit(), the table containing the single
+/// empty tuple ().
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  /// T(): one empty record, no fields — the input to every query.
+  static Table Unit() {
+    Table t;
+    t.rows_.emplace_back();
+    return t;
+  }
+
+  const std::vector<std::string>& fields() const { return fields_; }
+  const std::vector<ValueList>& rows() const { return rows_; }
+  std::vector<ValueList>& mutable_rows() { return rows_; }
+  size_t NumRows() const { return rows_.size(); }
+  size_t NumFields() const { return fields_.size(); }
+
+  /// Index of `name` or -1.
+  int FieldIndex(const std::string& name) const;
+
+  void AddRow(ValueList row) { rows_.push_back(std::move(row)); }
+
+  /// Bag union (⊎): appends the rows of `other` (fields must agree).
+  void Append(const Table& other);
+
+  /// ε(T): duplicate elimination by value equivalence.
+  Table Deduplicated() const;
+
+  /// Canonical row order (lexicographic ValueOrder) — for bag comparison
+  /// in tests; the engine itself never sorts implicitly.
+  Table Sorted() const;
+
+  /// True if both tables have the same fields and the same bag of rows.
+  bool SameBag(const Table& other) const;
+
+  /// ASCII rendering; when `graph` is given, nodes/relationships render
+  /// with labels and properties.
+  std::string ToString(const PropertyGraph* graph = nullptr) const;
+
+ private:
+  std::vector<std::string> fields_;
+  std::vector<ValueList> rows_;
+};
+
+/// Environment over one row of a table.
+class RowEnvironment : public Environment {
+ public:
+  RowEnvironment(const Table& table, const ValueList& row)
+      : table_(table), row_(row) {}
+  std::optional<Value> Lookup(const std::string& name) const override {
+    int i = table_.FieldIndex(name);
+    if (i < 0) return std::nullopt;
+    return row_[i];
+  }
+
+ private:
+  const Table& table_;
+  const ValueList& row_;
+};
+
+/// Output row environment layered over an input row environment (ORDER BY
+/// in non-aggregating projections sees both; output shadows input).
+class MergedRowEnvironment : public Environment {
+ public:
+  MergedRowEnvironment(const Environment& output, const Environment& input)
+      : output_(output), input_(input) {}
+  std::optional<Value> Lookup(const std::string& name) const override {
+    std::optional<Value> v = output_.Lookup(name);
+    if (v) return v;
+    return input_.Lookup(name);
+  }
+
+ private:
+  const Environment& output_;
+  const Environment& input_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_INTERP_TABLE_H_

@@ -1,0 +1,71 @@
+#ifndef GQLITE_PATTERN_MATCHER_H_
+#define GQLITE_PATTERN_MATCHER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/eval/evaluator.h"
+#include "src/graph/property_graph.h"
+#include "src/pattern/pattern.h"
+
+namespace gqlite {
+
+/// Pattern-matching morphism (§8 "Configurable morphisms"). Cypher 9's
+/// default is relationship (edge) isomorphism: within one match of a
+/// pattern tuple, no relationship id is used twice (§4.2: "all
+/// relationships in p are distinct"). Node isomorphism additionally
+/// forbids repeated nodes within each matched path; homomorphism drops
+/// uniqueness entirely (and therefore needs the traversal cap to keep
+/// variable-length matching finite — exactly the blow-up §4.2 discusses).
+enum class Morphism : uint8_t {
+  kEdgeIsomorphism,
+  kNodeIsomorphism,
+  kHomomorphism,
+};
+
+struct MatchOptions {
+  Morphism morphism = Morphism::kEdgeIsomorphism;
+  /// Upper bound substituted for ∞ in unbounded variable-length ranges.
+  /// Under edge isomorphism the graph itself bounds path length (each
+  /// relationship used once), so this only matters for homomorphism; it
+  /// also guards against pathological graphs.
+  int64_t max_var_length = 1000000;
+};
+
+/// One match: values for the pattern's free variables *not* already bound
+/// in the input environment, ordered like `columns` below.
+using BindingRow = std::vector<Value>;
+
+/// Streaming sink for matches. Return false to stop enumeration early
+/// (used by pattern predicates / existential subqueries).
+using MatchSink = std::function<Result<bool>(const BindingRow&)>;
+
+/// Enumerates match(π̄, G, u) per Equation (1) of the paper with **bag**
+/// semantics: one sink invocation per (rigid pattern, path tuple)
+/// combination, so a single path may be reported several times when it
+/// satisfies several rigid refinements (Example 4.5), and identical rows
+/// from different paths occur once each (the † rows of §3).
+///
+/// `columns` must be PatternVariables(pattern) minus the names bound in
+/// `env` (helper NewPatternColumns below). Property expressions inside the
+/// pattern are evaluated under `env` extended with the pattern's own local
+/// bindings made so far (left to right).
+Status MatchPattern(const ast::Pattern& pattern, const PropertyGraph& graph,
+                    const Environment& env, const EvalContext& ctx,
+                    const MatchOptions& opts,
+                    const std::vector<std::string>& columns,
+                    const MatchSink& sink);
+
+/// free(π̄) − dom(u): the new columns a MATCH with this pattern adds.
+std::vector<std::string> NewPatternColumns(const ast::Pattern& pattern,
+                                           const Environment& env);
+
+/// True if the pattern has at least one match under `env` (early-exit).
+Result<bool> ExistsMatch(const ast::Pattern& pattern,
+                         const PropertyGraph& graph, const Environment& env,
+                         const EvalContext& ctx, const MatchOptions& opts);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PATTERN_MATCHER_H_

@@ -1,0 +1,54 @@
+#include "src/pattern/pattern.h"
+
+#include <set>
+
+namespace gqlite {
+
+namespace {
+
+void AddVar(const std::optional<std::string>& var,
+            std::vector<std::string>* out, std::set<std::string>* seen) {
+  if (!var) return;
+  if (seen->insert(*var).second) out->push_back(*var);
+}
+
+void Collect(const ast::PathPattern& p, std::vector<std::string>* out,
+             std::set<std::string>* seen) {
+  AddVar(p.path_var, out, seen);
+  AddVar(p.start.var, out, seen);
+  for (const auto& hop : p.hops) {
+    AddVar(hop.rel.var, out, seen);
+    AddVar(hop.node.var, out, seen);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PatternVariables(const ast::Pattern& p) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& path : p.paths) Collect(path, &out, &seen);
+  return out;
+}
+
+std::vector<std::string> PatternVariables(const ast::PathPattern& p) {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  Collect(p, &out, &seen);
+  return out;
+}
+
+HopRange EffectiveRange(const ast::RelPattern& rel, int64_t max_cap) {
+  HopRange r;
+  if (!rel.length) return r;  // rigid single hop [1,1]
+  r.lo = rel.length->min.value_or(1);
+  if (rel.length->max) {
+    r.hi = *rel.length->max;
+  } else {
+    r.hi = max_cap;
+    r.unbounded = true;
+  }
+  return r;
+}
+
+}  // namespace gqlite

@@ -1,0 +1,29 @@
+#ifndef GQLITE_PATTERN_PATTERN_H_
+#define GQLITE_PATTERN_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "src/frontend/ast.h"
+
+namespace gqlite {
+
+/// free(π̄): the named variables of a pattern tuple in order of first
+/// appearance (path name, start node, then per hop: relationship, node).
+/// Deduplicated.
+std::vector<std::string> PatternVariables(const ast::Pattern& p);
+std::vector<std::string> PatternVariables(const ast::PathPattern& p);
+
+/// Effective variable-length range of a relationship pattern per §4.2:
+/// I = nil ⇒ [1,1]; * ⇒ [1,∞); *d ⇒ [d,d]; *d1.. ⇒ [d1,∞); *..d2 ⇒ [1,d2].
+/// ∞ is represented by `max_cap` (the matcher's traversal cap).
+struct HopRange {
+  int64_t lo = 1;
+  int64_t hi = 1;
+  bool unbounded = false;  // true when the pattern had no upper bound
+};
+HopRange EffectiveRange(const ast::RelPattern& rel, int64_t max_cap);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PATTERN_PATTERN_H_

@@ -1,0 +1,46 @@
+#ifndef GQLITE_PLAN_COST_MODEL_H_
+#define GQLITE_PLAN_COST_MODEL_H_
+
+#include "src/frontend/ast.h"
+#include "src/graph/graph_statistics.h"
+#include "src/pattern/pattern.h"
+
+namespace gqlite {
+
+/// Cardinality-based cost model for pattern planning (§2: Neo4j plans
+/// "based on the IDP algorithm, using a cost model"). Estimates are
+/// derived from exact maintained statistics: node/relationship counts,
+/// per-label node counts, per-type relationship counts.
+class CostModel {
+ public:
+  explicit CostModel(const GraphStatistics& stats) : stats_(stats) {}
+
+  /// Estimated rows produced by scanning candidates for a node pattern:
+  /// the most selective label index, or the all-nodes count. Property
+  /// equality predicates apply a fixed selectivity factor.
+  double ScanCardinality(const ast::NodePattern& np) const;
+
+  /// Estimated fan-out of expanding one hop (per input row): average
+  /// degree of the relationship type(s) in the traversal direction,
+  /// doubled for undirected patterns. Variable-length hops multiply by
+  /// the expected path-count amplification.
+  double ExpandFactor(const ast::RelPattern& rp, bool reversed) const;
+
+  /// Selectivity of a node pattern applied as a post-expand filter.
+  double NodeFilterSelectivity(const ast::NodePattern& np) const;
+
+  /// Estimated total intermediate-row cost of planning a chain
+  /// `nodes[0] r[0] nodes[1] … ` anchored at `anchor` (expanding outward
+  /// both ways). `bound` marks nodes already bound by the driving table
+  /// (anchoring there costs nothing). Used by the greedy and DP planner
+  /// modes to pick anchors.
+  double ChainCost(const ast::PathPattern& path, size_t anchor,
+                   const std::vector<bool>& node_bound) const;
+
+ private:
+  const GraphStatistics& stats_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PLAN_COST_MODEL_H_

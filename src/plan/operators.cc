@@ -1,0 +1,840 @@
+#include "src/plan/operators.h"
+
+#include "src/frontend/analyzer.h"
+#include "src/value/value_compare.h"
+
+namespace gqlite {
+
+namespace {
+
+/// Environment over an operator row (schema + values).
+class SchemaEnvironment : public Environment {
+ public:
+  SchemaEnvironment(const std::vector<std::string>& schema,
+                    const ValueList& row)
+      : schema_(schema), row_(row) {}
+  std::optional<Value> Lookup(const std::string& name) const override {
+    for (size_t i = 0; i < schema_.size() && i < row_.size(); ++i) {
+      if (schema_[i] == name) return row_[i];
+    }
+    return std::nullopt;
+  }
+
+ private:
+  const std::vector<std::string>& schema_;
+  const ValueList& row_;
+};
+
+std::vector<std::string> Extend(const std::vector<std::string>& base,
+                                std::initializer_list<std::string> extra) {
+  std::vector<std::string> out = base;
+  for (const auto& e : extra) {
+    if (!e.empty()) out.push_back(e);
+  }
+  return out;
+}
+
+/// True if relationship `r` already occurs in one of the uniqueness
+/// columns (single relationships or relationship lists) of `row` — the
+/// relationship-isomorphism check.
+bool RelAlreadyUsed(RelId r, const ValueList& row,
+                    const std::vector<int>& cols) {
+  for (int c : cols) {
+    const Value& v = row[c];
+    if (v.is_relationship() && v.AsRelationship() == r) return true;
+    if (v.is_list()) {
+      for (const Value& e : v.AsList()) {
+        if (e.is_relationship() && e.AsRelationship() == r) return true;
+      }
+    }
+  }
+  return false;
+}
+
+bool TypeOk(const PropertyGraph& g, const std::vector<std::string>& types,
+            RelId r) {
+  if (types.empty()) return true;
+  const std::string& t = g.RelType(r);
+  for (const auto& want : types) {
+    if (want == t) return true;
+  }
+  return false;
+}
+
+/// Fused relationship property constraints: evaluated against the driving
+/// row (pattern property expressions reference outer bindings, not the
+/// candidate relationship).
+Result<bool> RelPropsOk(const ExecContext& ctx, const ExpandSpec& spec,
+                        RelId r, const std::vector<std::string>& schema,
+                        const ValueList& row) {
+  if (spec.rel_props == nullptr) return true;
+  SchemaEnvironment env(schema, row);
+  for (const auto& [key, expr] : *spec.rel_props) {
+    GQL_ASSIGN_OR_RETURN(Value want, EvaluateExpr(*expr, env, ctx.eval));
+    if (ValueEquals(ctx.graph->RelProperty(r, key), want) != Tri::kTrue) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- ArgumentOp -------------------------------------------------------------
+
+Result<bool> ArgumentOp::Next(ValueList* row) {
+  if (single_row_ != nullptr) {
+    if (done_single_) return false;
+    done_single_ = true;
+    *row = *single_row_;
+    ++rows_produced_;
+    return true;
+  }
+  if (source_ == nullptr || pos_ >= source_->NumRows()) return false;
+  *row = source_->rows()[pos_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ---- AllNodesScanOp ---------------------------------------------------------
+
+AllNodesScanOp::AllNodesScanOp(OperatorPtr child, const ExecContext* ctx,
+                               std::string var)
+    : Operator(nullptr, {}), ctx_(ctx), var_(var) {
+  child_ = std::move(child);
+  schema_ = Extend(child_->schema(), {var});
+}
+
+Status AllNodesScanOp::Open() {
+  have_row_ = false;
+  node_pos_ = 0;
+  return child_->Open();
+}
+
+Result<bool> AllNodesScanOp::Next(ValueList* row) {
+  const PropertyGraph& g = *ctx_->graph;
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      node_pos_ = 0;
+    }
+    while (node_pos_ < g.NumNodeSlots()) {
+      NodeId n{node_pos_++};
+      if (!g.IsNodeAlive(n)) continue;
+      *row = current_;
+      row->push_back(Value::Node(n));
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+// ---- NodeByLabelScanOp ------------------------------------------------------
+
+NodeByLabelScanOp::NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
+                                     std::string var, std::string label)
+    : Operator(nullptr, {}), ctx_(ctx), var_(var), label_(label) {
+  child_ = std::move(child);
+  schema_ = Extend(child_->schema(), {var});
+}
+
+Status NodeByLabelScanOp::Open() {
+  have_row_ = false;
+  idx_pos_ = 0;
+  return child_->Open();
+}
+
+Result<bool> NodeByLabelScanOp::Next(ValueList* row) {
+  const auto& idx = ctx_->graph->NodesWithLabel(label_);
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      idx_pos_ = 0;
+    }
+    if (idx_pos_ < idx.size()) {
+      *row = current_;
+      row->push_back(Value::Node(idx[idx_pos_++]));
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+// ---- ExpandOp ---------------------------------------------------------------
+
+ExpandOp::ExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec)
+    : Operator(nullptr, {}), ctx_(ctx), spec_(std::move(spec)) {
+  child_ = std::move(child);
+  schema_ = child_->schema();
+  if (!spec_.rel_var.empty()) schema_.push_back(spec_.rel_var);
+  if (spec_.to_col < 0) schema_.push_back(spec_.to_var);
+}
+
+Status ExpandOp::Open() {
+  have_row_ = false;
+  adj_pos_ = 0;
+  return child_->Open();
+}
+
+Result<bool> ExpandOp::RelMatches(RelId r, const ValueList& row,
+                                  NodeId* next) const {
+  const PropertyGraph& g = *ctx_->graph;
+  if (!TypeOk(g, spec_.types, r)) return false;
+  if (ctx_->match.morphism != Morphism::kHomomorphism &&
+      RelAlreadyUsed(r, row, spec_.uniqueness_cols)) {
+    return false;
+  }
+  GQL_ASSIGN_OR_RETURN(bool props_ok,
+                       RelPropsOk(*ctx_, spec_, r, child_->schema(), row));
+  if (!props_ok) return false;
+  if (spec_.bound_rel_col >= 0) {
+    const Value& bound = row[spec_.bound_rel_col];
+    if (!bound.is_relationship() || !(bound.AsRelationship() == r)) {
+      return false;
+    }
+  }
+  NodeId from = row[spec_.from_col].AsNode();
+  NodeId src = g.Source(r);
+  NodeId tgt = g.Target(r);
+  switch (spec_.direction) {
+    case ast::Direction::kRight:
+      if (src != from) return false;
+      *next = tgt;
+      break;
+    case ast::Direction::kLeft:
+      if (tgt != from) return false;
+      *next = src;
+      break;
+    case ast::Direction::kBoth:
+      *next = (src == from) ? tgt : src;
+      break;
+  }
+  if (spec_.to_col >= 0) {
+    const Value& want = row[spec_.to_col];
+    if (!want.is_node() || !(want.AsNode() == *next)) return false;
+  }
+  return true;
+}
+
+Result<bool> ExpandOp::Next(ValueList* row) {
+  const PropertyGraph& g = *ctx_->graph;
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      adj_pos_ = 0;
+    }
+    const Value& from_v = current_[spec_.from_col];
+    if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) {
+      have_row_ = false;
+      continue;
+    }
+    NodeId from = from_v.AsNode();
+    const auto& out = g.OutRels(from);
+    const auto& in = g.InRels(from);
+    // Conceptual adjacency sequence: out rels then (when direction allows)
+    // in rels. Self-loops are skipped in the `in` half so undirected
+    // traversal sees them once.
+    size_t total = out.size() + in.size();
+    while (adj_pos_ < total) {
+      size_t i = adj_pos_++;
+      RelId r;
+      bool from_out = i < out.size();
+      if (from_out) {
+        r = out[i];
+        if (spec_.direction == ast::Direction::kLeft &&
+            g.Source(r) == g.Target(r)) {
+          // A self-loop also appears in `in`; let the `in` half handle it
+          // for left-pointing patterns.
+          continue;
+        }
+        if (spec_.direction == ast::Direction::kLeft &&
+            g.Target(r) != from) {
+          continue;
+        }
+      } else {
+        r = in[i - out.size()];
+        if (spec_.direction != ast::Direction::kLeft &&
+            g.Source(r) == g.Target(r)) {
+          continue;  // self-loop handled in the `out` half
+        }
+        if (spec_.direction == ast::Direction::kRight) continue;
+      }
+      NodeId next;
+      GQL_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(r, current_, &next));
+      if (!rel_ok) continue;
+      *row = current_;
+      if (!spec_.rel_var.empty()) row->push_back(Value::Relationship(r));
+      if (spec_.to_col < 0) row->push_back(Value::Node(next));
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+std::string ExpandOp::Describe() const {
+  std::string arrow = spec_.direction == ast::Direction::kRight   ? "->"
+                      : spec_.direction == ast::Direction::kLeft ? "<-"
+                                                                  : "--";
+  std::string out = spec_.to_col >= 0 ? "ExpandInto(" : "Expand(";
+  out += schema_[spec_.from_col] + arrow;
+  for (size_t i = 0; i < spec_.types.size(); ++i) {
+    out += (i ? "|" : ":") + spec_.types[i];
+  }
+  out += arrow;
+  out += spec_.to_col >= 0 ? schema_[spec_.to_col] : spec_.to_var;
+  return out + ")";
+}
+
+// ---- HashJoinExpandOp -------------------------------------------------------
+
+HashJoinExpandOp::HashJoinExpandOp(OperatorPtr child, const ExecContext* ctx,
+                                   ExpandSpec spec)
+    : Operator(nullptr, {}), ctx_(ctx), spec_(std::move(spec)) {
+  child_ = std::move(child);
+  schema_ = child_->schema();
+  if (!spec_.rel_var.empty()) schema_.push_back(spec_.rel_var);
+  if (spec_.to_col < 0) schema_.push_back(spec_.to_var);
+}
+
+Status HashJoinExpandOp::Open() {
+  have_row_ = false;
+  if (!built_) {
+    // Build side: scan the entire relationship store (the indirection the
+    // adjacency-based Expand avoids).
+    const PropertyGraph& g = *ctx_->graph;
+    for (size_t i = 0; i < g.NumRelSlots(); ++i) {
+      RelId r{i};
+      if (!g.IsRelAlive(r)) continue;
+      if (!TypeOk(g, spec_.types, r)) continue;
+      switch (spec_.direction) {
+        case ast::Direction::kRight:
+          index_.emplace(g.Source(r).id, r.id);
+          break;
+        case ast::Direction::kLeft:
+          index_.emplace(g.Target(r).id, r.id);
+          break;
+        case ast::Direction::kBoth:
+          index_.emplace(g.Source(r).id, r.id);
+          if (!(g.Source(r) == g.Target(r))) {
+            index_.emplace(g.Target(r).id, r.id);
+          }
+          break;
+      }
+    }
+    built_ = true;
+  }
+  range_ = {index_.end(), index_.end()};
+  return child_->Open();
+}
+
+Result<bool> HashJoinExpandOp::Next(ValueList* row) {
+  const PropertyGraph& g = *ctx_->graph;
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      const Value& from_v = current_[spec_.from_col];
+      if (!from_v.is_node()) {
+        have_row_ = false;
+        continue;
+      }
+      range_ = index_.equal_range(from_v.AsNode().id);
+    }
+    while (range_.first != range_.second) {
+      RelId r{range_.first->second};
+      ++range_.first;
+      if (ctx_->match.morphism != Morphism::kHomomorphism &&
+          RelAlreadyUsed(r, current_, spec_.uniqueness_cols)) {
+        continue;
+      }
+      if (spec_.bound_rel_col >= 0) {
+        const Value& bound = current_[spec_.bound_rel_col];
+        if (!bound.is_relationship() || !(bound.AsRelationship() == r)) {
+          continue;
+        }
+      }
+      GQL_ASSIGN_OR_RETURN(
+          bool props_ok,
+          RelPropsOk(*ctx_, spec_, r, child_->schema(), current_));
+      if (!props_ok) continue;
+      NodeId from = current_[spec_.from_col].AsNode();
+      NodeId next = g.OtherEnd(r, from);
+      if (spec_.direction == ast::Direction::kRight) next = g.Target(r);
+      if (spec_.direction == ast::Direction::kLeft) next = g.Source(r);
+      if (spec_.to_col >= 0) {
+        const Value& want = current_[spec_.to_col];
+        if (!want.is_node() || !(want.AsNode() == next)) continue;
+      }
+      *row = current_;
+      if (!spec_.rel_var.empty()) row->push_back(Value::Relationship(r));
+      if (spec_.to_col < 0) row->push_back(Value::Node(next));
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+std::string HashJoinExpandOp::Describe() const {
+  return "HashJoinExpand(" + schema_[spec_.from_col] + "," +
+         (spec_.to_col >= 0 ? schema_[spec_.to_col] : spec_.to_var) + ")";
+}
+
+// ---- VarLengthExpandOp ------------------------------------------------------
+
+VarLengthExpandOp::VarLengthExpandOp(OperatorPtr child, const ExecContext* ctx,
+                                     ExpandSpec spec, int64_t min, int64_t max)
+    : Operator(nullptr, {}), ctx_(ctx), spec_(std::move(spec)), min_(min),
+      max_(max) {
+  child_ = std::move(child);
+  schema_ = child_->schema();
+  if (!spec_.rel_var.empty()) schema_.push_back(spec_.rel_var);
+  if (spec_.to_col < 0) schema_.push_back(spec_.to_var);
+}
+
+Status VarLengthExpandOp::Open() {
+  have_row_ = false;
+  pending_.clear();
+  return child_->Open();
+}
+
+Status VarLengthExpandOp::StartRow() {
+  const PropertyGraph& g = *ctx_->graph;
+  pending_.clear();
+  const Value& from_v = current_[spec_.from_col];
+  if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) {
+    return Status::OK();
+  }
+  NodeId from = from_v.AsNode();
+
+  auto emit = [&](NodeId target, const std::vector<RelId>& rels) {
+    if (spec_.to_col >= 0) {
+      const Value& want = current_[spec_.to_col];
+      if (!want.is_node() || !(want.AsNode() == target)) return;
+    }
+    ValueList row = current_;
+    if (!spec_.rel_var.empty()) {
+      ValueList list;
+      for (RelId r : rels) list.push_back(Value::Relationship(r));
+      row.push_back(Value::MakeList(std::move(list)));
+    }
+    if (spec_.to_col < 0) row.push_back(Value::Node(target));
+    pending_.push_back(std::move(row));
+  };
+
+  if (min_ == 0) emit(from, {});
+
+  // DFS enumerating each relationship sequence of length in [max(1,min),
+  // max]: every depth in range produces its own row (rigid refinements).
+  std::vector<RelId> rels;
+  std::function<Status(NodeId, int64_t)> dfs =
+      [&](NodeId cur, int64_t depth) -> Status {
+    if (depth >= max_) return Status::OK();
+    auto consider = [&](RelId r, bool from_out) -> Status {
+      if (!TypeOk(g, spec_.types, r)) return Status::OK();
+      // Within-hop uniqueness plus clause-level uniqueness columns.
+      if (ctx_->match.morphism != Morphism::kHomomorphism) {
+        for (RelId used : rels) {
+          if (used == r) return Status::OK();
+        }
+        if (RelAlreadyUsed(r, current_, spec_.uniqueness_cols)) {
+          return Status::OK();
+        }
+      }
+      GQL_ASSIGN_OR_RETURN(
+          bool props_ok,
+          RelPropsOk(*ctx_, spec_, r, child_->schema(), current_));
+      if (!props_ok) return Status::OK();
+      NodeId src = g.Source(r);
+      NodeId tgt = g.Target(r);
+      NodeId next;
+      switch (spec_.direction) {
+        case ast::Direction::kRight:
+          if (src != cur) return Status::OK();
+          next = tgt;
+          break;
+        case ast::Direction::kLeft:
+          if (tgt != cur) return Status::OK();
+          next = src;
+          break;
+        case ast::Direction::kBoth:
+          if (src == tgt && !from_out) return Status::OK();  // once
+          next = (src == cur) ? tgt : src;
+          break;
+      }
+      rels.push_back(r);
+      if (depth + 1 >= min_) emit(next, rels);
+      Status st = dfs(next, depth + 1);
+      rels.pop_back();
+      return st;
+    };
+    if (spec_.direction != ast::Direction::kLeft) {
+      for (RelId r : g.OutRels(cur)) {
+        GQL_RETURN_IF_ERROR(consider(r, true));
+      }
+    }
+    if (spec_.direction != ast::Direction::kRight) {
+      for (RelId r : g.InRels(cur)) {
+        GQL_RETURN_IF_ERROR(consider(r, false));
+      }
+    }
+    return Status::OK();
+  };
+  if (max_ >= 1) GQL_RETURN_IF_ERROR(dfs(from, 0));
+  return Status::OK();
+}
+
+Result<bool> VarLengthExpandOp::Next(ValueList* row) {
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      GQL_RETURN_IF_ERROR(StartRow());
+      pos_in_pending_ = 0;
+    }
+    if (pos_in_pending_ < pending_.size()) {
+      *row = pending_[pos_in_pending_++];
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+std::string VarLengthExpandOp::Describe() const {
+  std::string out = "VarLengthExpand(" + schema_[spec_.from_col] + "-";
+  for (size_t i = 0; i < spec_.types.size(); ++i) {
+    out += (i ? "|" : ":") + spec_.types[i];
+  }
+  out += "*" + std::to_string(min_) + ".." + std::to_string(max_) + "->";
+  out += spec_.to_col >= 0 ? schema_[spec_.to_col] : spec_.to_var;
+  return out + ")";
+}
+
+// ---- FilterOp ---------------------------------------------------------------
+
+FilterOp::FilterOp(OperatorPtr child, const ExecContext* ctx,
+                   const ast::Expr* pred)
+    : Operator(nullptr, {}), ctx_(ctx), pred_(pred) {
+  child_ = std::move(child);
+  schema_ = child_->schema();
+}
+
+Status FilterOp::Open() { return child_->Open(); }
+
+Result<bool> FilterOp::Next(ValueList* row) {
+  while (true) {
+    GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
+    if (!ok) return false;
+    SchemaEnvironment env(schema_, *row);
+    GQL_ASSIGN_OR_RETURN(Tri keep, EvaluatePredicate(*pred_, env, ctx_->eval));
+    if (keep == Tri::kTrue) {
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+std::string FilterOp::Describe() const {
+  return "Filter";  // predicate text available via UnparseExpr if needed
+}
+
+// ---- ApplyOp ----------------------------------------------------------------
+
+ApplyOp::ApplyOp(OperatorPtr child, OperatorPtr inner, ArgumentOp* argument,
+                 bool optional, std::vector<std::string> schema)
+    : Operator(nullptr, std::move(schema)),
+      inner_(std::move(inner)),
+      argument_(argument),
+      optional_(optional) {
+  child_ = std::move(child);
+}
+
+Status ApplyOp::Open() {
+  have_row_ = false;
+  inner_open_ = false;
+  return child_->Open();
+}
+
+Result<bool> ApplyOp::Next(ValueList* row) {
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      inner_matched_ = false;
+      argument_->BindRow(&current_);
+      GQL_RETURN_IF_ERROR(inner_->Open());
+      inner_open_ = true;
+    }
+    GQL_ASSIGN_OR_RETURN(bool ok, inner_->Next(row));
+    if (ok) {
+      inner_matched_ = true;
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+    inner_open_ = false;
+    if (optional_ && !inner_matched_) {
+      *row = current_;
+      row->resize(schema_.size(), Value::Null());
+      ++rows_produced_;
+      return true;
+    }
+  }
+}
+
+// ---- UnwindOp ---------------------------------------------------------------
+
+UnwindOp::UnwindOp(OperatorPtr child, const ExecContext* ctx,
+                   const ast::Expr* expr, std::string var)
+    : Operator(nullptr, {}), ctx_(ctx), expr_(expr), var_(var) {
+  child_ = std::move(child);
+  schema_ = Extend(child_->schema(), {var});
+}
+
+Status UnwindOp::Open() {
+  have_row_ = false;
+  return child_->Open();
+}
+
+Result<bool> UnwindOp::Next(ValueList* row) {
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      SchemaEnvironment env(child_->schema(), current_);
+      GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr_, env, ctx_->eval));
+      items_.clear();
+      item_pos_ = 0;
+      single_pending_ = false;
+      if (v.is_list()) {
+        items_ = v.AsList();
+      } else {
+        single_pending_ = true;
+        single_value_ = std::move(v);
+      }
+    }
+    if (single_pending_) {
+      single_pending_ = false;
+      *row = current_;
+      row->push_back(single_value_);
+      ++rows_produced_;
+      return true;
+    }
+    if (item_pos_ < items_.size()) {
+      *row = current_;
+      row->push_back(items_[item_pos_++]);
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+// ---- ProjectionOp -----------------------------------------------------------
+
+ProjectionOp::ProjectionOp(OperatorPtr child, const ExecContext* ctx,
+                           const ast::ProjectionBody* body,
+                           const ast::Expr* where,
+                           std::vector<std::string> schema)
+    : Operator(nullptr, std::move(schema)), ctx_(ctx), body_(body),
+      where_(where) {
+  child_ = std::move(child);
+}
+
+Status ProjectionOp::Open() {
+  GQL_RETURN_IF_ERROR(child_->Open());
+  GQL_ASSIGN_OR_RETURN(Table input, DrainPlan(child_.get()));
+  // `*` must not expose planner-hidden columns ('#...'): strip them before
+  // delegating to the shared projection machinery.
+  bool has_hidden = false;
+  for (const auto& f : input.fields()) {
+    if (!f.empty() && f[0] == '#') has_hidden = true;
+  }
+  if (has_hidden && body_->star) {
+    std::vector<std::string> keep_fields;
+    std::vector<size_t> keep_idx;
+    for (size_t i = 0; i < input.fields().size(); ++i) {
+      if (input.fields()[i].empty() || input.fields()[i][0] != '#') {
+        keep_fields.push_back(input.fields()[i]);
+        keep_idx.push_back(i);
+      }
+    }
+    Table stripped(keep_fields);
+    for (const auto& r : input.rows()) {
+      ValueList row;
+      row.reserve(keep_idx.size());
+      for (size_t i : keep_idx) row.push_back(r[i]);
+      stripped.AddRow(std::move(row));
+    }
+    input = std::move(stripped);
+  }
+  GQL_ASSIGN_OR_RETURN(result_, EvaluateProjection(*body_, input, ctx_->eval));
+  if (where_ != nullptr) {
+    Table filtered(result_.fields());
+    for (const auto& r : result_.rows()) {
+      RowEnvironment env(result_, r);
+      GQL_ASSIGN_OR_RETURN(Tri keep,
+                           EvaluatePredicate(*where_, env, ctx_->eval));
+      if (keep == Tri::kTrue) filtered.AddRow(r);
+    }
+    result_ = std::move(filtered);
+  }
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> ProjectionOp::Next(ValueList* row) {
+  if (pos_ >= result_.NumRows()) return false;
+  *row = result_.rows()[pos_++];
+  ++rows_produced_;
+  return true;
+}
+
+std::string ProjectionOp::Describe() const {
+  std::string out = "Projection(";
+  bool agg = false;
+  for (const auto& item : body_->items) {
+    if (ContainsAggregate(*item.expr)) agg = true;
+  }
+  if (agg) out = "EagerAggregation(";
+  for (size_t i = 0; i < schema_.size(); ++i) {
+    if (i) out += ", ";
+    out += schema_[i];
+  }
+  if (body_->distinct) out += " DISTINCT";
+  if (!body_->order_by.empty()) out += " ORDER BY";
+  if (body_->skip) out += " SKIP";
+  if (body_->limit) out += " LIMIT";
+  return out + ")";
+}
+
+// ---- UnionOp ----------------------------------------------------------------
+
+UnionOp::UnionOp(std::vector<OperatorPtr> parts, bool all,
+                 std::vector<std::string> schema)
+    : Operator(nullptr, std::move(schema)), parts_(std::move(parts)),
+      all_(all) {}
+
+Status UnionOp::Open() {
+  materialized_ = Table(schema_);
+  for (auto& p : parts_) {
+    GQL_RETURN_IF_ERROR(p->Open());
+    GQL_ASSIGN_OR_RETURN(Table t, DrainPlan(p.get()));
+    materialized_.Append(t);
+  }
+  if (!all_) materialized_ = materialized_.Deduplicated();
+  pos_ = 0;
+  return Status::OK();
+}
+
+Result<bool> UnionOp::Next(ValueList* row) {
+  if (pos_ >= materialized_.NumRows()) return false;
+  *row = materialized_.rows()[pos_++];
+  ++rows_produced_;
+  return true;
+}
+
+// ---- MatcherOp --------------------------------------------------------------
+
+MatcherOp::MatcherOp(OperatorPtr child, const ExecContext* ctx,
+                     const ast::Pattern* pattern,
+                     std::vector<std::string> new_cols)
+    : Operator(nullptr, {}), ctx_(ctx), pattern_(pattern),
+      new_cols_(std::move(new_cols)) {
+  child_ = std::move(child);
+  schema_ = child_->schema();
+  for (const auto& c : new_cols_) schema_.push_back(c);
+}
+
+Status MatcherOp::Open() {
+  have_row_ = false;
+  buffered_.clear();
+  pos_ = 0;
+  return child_->Open();
+}
+
+Result<bool> MatcherOp::Next(ValueList* row) {
+  while (true) {
+    if (!have_row_) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
+      if (!ok) return false;
+      have_row_ = true;
+      buffered_.clear();
+      pos_ = 0;
+      SchemaEnvironment env(child_->schema(), current_);
+      Status st = MatchPattern(*pattern_, *ctx_->graph, env, ctx_->eval,
+                               ctx_->match, new_cols_,
+                               [&](const BindingRow& b) -> Result<bool> {
+                                 ValueList out = current_;
+                                 for (const Value& v : b) out.push_back(v);
+                                 buffered_.push_back(std::move(out));
+                                 return true;
+                               });
+      GQL_RETURN_IF_ERROR(st);
+    }
+    if (pos_ < buffered_.size()) {
+      *row = buffered_[pos_++];
+      ++rows_produced_;
+      return true;
+    }
+    have_row_ = false;
+  }
+}
+
+// ---- Helpers ----------------------------------------------------------------
+
+Result<Table> DrainPlan(Operator* root) {
+  Table out(root->schema());
+  ValueList row;
+  while (true) {
+    GQL_ASSIGN_OR_RETURN(bool ok, root->Next(&row));
+    if (!ok) break;
+    out.AddRow(row);
+  }
+  return out;
+}
+
+namespace {
+
+void ExplainRec(const Operator& op, int depth, bool with_rows,
+                std::string* out) {
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  *out += "+ " + op.Describe();
+  if (with_rows) {
+    *out += "  (rows: " + std::to_string(op.rows_produced()) + ")";
+  }
+  *out += "\n";
+  for (const Operator* c : op.children()) {
+    if (c != nullptr) ExplainRec(*c, depth + 1, with_rows, out);
+  }
+}
+
+}  // namespace
+
+std::string ExplainPlan(const Operator& root) {
+  std::string out;
+  ExplainRec(root, 0, /*with_rows=*/false, &out);
+  return out;
+}
+
+std::string ProfilePlan(const Operator& root) {
+  std::string out;
+  ExplainRec(root, 0, /*with_rows=*/true, &out);
+  return out;
+}
+
+}  // namespace gqlite

@@ -1,0 +1,362 @@
+#ifndef GQLITE_PLAN_OPERATORS_H_
+#define GQLITE_PLAN_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/frontend/ast.h"
+#include "src/interp/projection.h"
+#include "src/interp/table.h"
+#include "src/pattern/matcher.h"
+
+namespace gqlite {
+
+/// Volcano-style physical operators (§2 "Neo4j implementation": "a simple
+/// tuple-at-a-time iterator-based execution model" following the Volcano
+/// Optimizer Generator design). Rows flow bottom-up; each operator
+/// introduces zero or more columns. Operators are single-use pipelines:
+/// Open() resets, Next() produces one row at a time.
+///
+/// The signature operator is Expand (its own class below): "Semantically
+/// Expand is very similar to a relational join. It finds pairs of nodes
+/// that are connected through an edge … it utilizes the fact that the data
+/// representation contains direct references from each node via its edges
+/// to the related nodes." A hash-join-based baseline (HashJoinExpand) that
+/// scans the relationship store instead is provided for experiment E14.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// Resets the operator (and its inputs) to the start of its stream.
+  virtual Status Open() = 0;
+  /// Produces the next row. Returns false at end of stream.
+  virtual Result<bool> Next(ValueList* row) = 0;
+
+  /// Output schema: column names (hidden planner columns start with '#').
+  const std::vector<std::string>& schema() const { return schema_; }
+
+  /// One line of EXPLAIN output for this operator (children indented by
+  /// the caller).
+  virtual std::string Describe() const = 0;
+  Operator* child() const { return child_.get(); }
+
+  /// Children for EXPLAIN tree rendering (Apply/Union override).
+  virtual std::vector<const Operator*> children() const {
+    std::vector<const Operator*> out;
+    if (child_) out.push_back(child_.get());
+    return out;
+  }
+
+  /// Cumulative rows produced (PROFILE-style counter).
+  int64_t rows_produced() const { return rows_produced_; }
+
+ protected:
+  Operator(std::unique_ptr<Operator> child, std::vector<std::string> schema)
+      : child_(std::move(child)), schema_(std::move(schema)) {}
+
+  std::unique_ptr<Operator> child_;
+  std::vector<std::string> schema_;
+  int64_t rows_produced_ = 0;
+};
+
+using OperatorPtr = std::unique_ptr<Operator>;
+
+/// Shared runtime state for a plan.
+struct ExecContext {
+  const PropertyGraph* graph = nullptr;
+  EvalContext eval;
+  MatchOptions match;
+};
+
+/// Leaf: emits the rows of a driving table (the argument of an Apply, or
+/// the unit table at the top of a query).
+class ArgumentOp : public Operator {
+ public:
+  ArgumentOp(std::vector<std::string> schema, const Table* source)
+      : Operator(nullptr, std::move(schema)), source_(source) {}
+  /// Rebinds to a single row (Apply-style correlation).
+  void BindRow(const ValueList* row) { single_row_ = row; }
+  Status Open() override {
+    pos_ = 0;
+    done_single_ = false;
+    return Status::OK();
+  }
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override { return "Argument"; }
+
+ private:
+  const Table* source_;
+  const ValueList* single_row_ = nullptr;
+  size_t pos_ = 0;
+  bool done_single_ = false;
+};
+
+/// Scans all live nodes, binding `var`.
+class AllNodesScanOp : public Operator {
+ public:
+  AllNodesScanOp(OperatorPtr child, const ExecContext* ctx, std::string var);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override { return "AllNodesScan(" + var_ + ")"; }
+
+ private:
+  const ExecContext* ctx_;
+  std::string var_;
+  ValueList current_;
+  bool have_row_ = false;
+  size_t node_pos_ = 0;
+};
+
+/// Scans the label index, binding `var` (the planner's preferred access
+/// path when the pattern constrains the label).
+class NodeByLabelScanOp : public Operator {
+ public:
+  NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
+                    std::string var, std::string label);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override {
+    return "NodeByLabelScan(" + var_ + ":" + label_ + ")";
+  }
+
+ private:
+  const ExecContext* ctx_;
+  std::string var_;
+  std::string label_;
+  ValueList current_;
+  bool have_row_ = false;
+  size_t idx_pos_ = 0;
+};
+
+/// Common configuration of the expand family: traverse one relationship
+/// pattern hop from a bound node column.
+struct ExpandSpec {
+  int from_col = -1;               // bound source column
+  int to_col = -1;                 // bound target column (ExpandInto) or -1
+  std::string to_var;              // name of new target column (if unbound)
+  std::string rel_var;             // rel column name (may be hidden "#...")
+  int bound_rel_col = -1;          // rel variable already bound, must equal
+  std::vector<std::string> types;  // empty = any
+  ast::Direction direction = ast::Direction::kRight;
+  /// Relationship columns of the same MATCH clause bound before this hop —
+  /// relationship-isomorphism check targets (single rels and rel lists).
+  std::vector<int> uniqueness_cols;
+  /// Property constraints of the relationship pattern, evaluated against
+  /// the driving row (fused into the expand; a candidate relationship must
+  /// carry equal values). Not owned.
+  const std::vector<std::pair<std::string, ast::ExprPtr>>* rel_props = nullptr;
+};
+
+/// Adjacency-based expand: direct node→edge→node references.
+class ExpandOp : public Operator {
+ public:
+  ExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override;
+
+ private:
+  Result<bool> RelMatches(RelId r, const ValueList& row, NodeId* next) const;
+  const ExecContext* ctx_;
+  ExpandSpec spec_;
+  ValueList current_;
+  bool have_row_ = false;
+  size_t adj_pos_ = 0;  // position in the (conceptual) adjacency sequence
+};
+
+/// Baseline expand for experiment E14: builds a hash table over the whole
+/// relationship store at Open (src → rel for the requested types) and
+/// probes it per row — a classic hash join between the driving table and
+/// the edge table, paying the full edge scan the paper says Expand avoids.
+class HashJoinExpandOp : public Operator {
+ public:
+  HashJoinExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override;
+
+ private:
+  const ExecContext* ctx_;
+  ExpandSpec spec_;
+  std::unordered_multimap<uint64_t, uint64_t> index_;  // node id → rel id
+  ValueList current_;
+  bool have_row_ = false;
+  std::pair<std::unordered_multimap<uint64_t, uint64_t>::const_iterator,
+            std::unordered_multimap<uint64_t, uint64_t>::const_iterator>
+      range_;
+  bool built_ = false;
+};
+
+/// Variable-length expand: enumerates relationship sequences of length
+/// [min, max] (DFS), one row per (length, sequence) — preserving the bag
+/// semantics of rigid-pattern refinements.
+class VarLengthExpandOp : public Operator {
+ public:
+  VarLengthExpandOp(OperatorPtr child, const ExecContext* ctx,
+                    ExpandSpec spec, int64_t min, int64_t max);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override;
+
+ private:
+  /// Runs the (bounded) DFS for the current input row, buffering all its
+  /// expansion rows; streaming resumes from the buffer.
+  Status StartRow();
+
+  const ExecContext* ctx_;
+  ExpandSpec spec_;
+  int64_t min_;
+  int64_t max_;
+
+  ValueList current_;
+  bool have_row_ = false;
+  std::vector<ValueList> pending_;  // rows ready to emit
+  size_t pos_in_pending_ = 0;
+};
+
+/// σ: keeps rows whose predicate is true (3VL: null drops the row).
+class FilterOp : public Operator {
+ public:
+  FilterOp(OperatorPtr child, const ExecContext* ctx, const ast::Expr* pred);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override;
+
+ private:
+  const ExecContext* ctx_;
+  const ast::Expr* pred_;
+};
+
+/// Correlated nested-loop apply: for every input row, re-opens the inner
+/// pipeline with the row as its argument and streams the inner output.
+/// `optional` adds OPTIONAL MATCH null-padding when the inner pipeline
+/// produces nothing for a row (Figure 7's rule).
+class ApplyOp : public Operator {
+ public:
+  ApplyOp(OperatorPtr child, OperatorPtr inner, ArgumentOp* argument,
+          bool optional, std::vector<std::string> schema);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override {
+    return optional_ ? "OptionalApply" : "Apply";
+  }
+  std::vector<const Operator*> children() const override {
+    std::vector<const Operator*> out;
+    if (child_) out.push_back(child_.get());
+    out.push_back(inner_.get());
+    return out;
+  }
+
+ private:
+  OperatorPtr inner_;
+  ArgumentOp* argument_;  // leaf of inner_ (owned by inner_)
+  bool optional_;
+  ValueList current_;
+  bool have_row_ = false;
+  bool inner_open_ = false;
+  bool inner_matched_ = false;
+};
+
+/// UNWIND (Figure 7 rule, including the single-row non-list case).
+class UnwindOp : public Operator {
+ public:
+  UnwindOp(OperatorPtr child, const ExecContext* ctx, const ast::Expr* expr,
+           std::string var);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override { return "Unwind(" + var_ + ")"; }
+
+ private:
+  const ExecContext* ctx_;
+  const ast::Expr* expr_;
+  std::string var_;
+  ValueList current_;
+  bool have_row_ = false;
+  ValueList items_;
+  size_t item_pos_ = 0;
+  bool single_pending_ = false;
+  Value single_value_;
+};
+
+/// RETURN/WITH projection. A pipeline breaker: materializes its input and
+/// delegates to the shared projection/aggregation machinery (eager
+/// aggregation, DISTINCT, ORDER BY, SKIP/LIMIT), then streams the result.
+/// `where` (WITH ... WHERE) filters the projected rows.
+class ProjectionOp : public Operator {
+ public:
+  ProjectionOp(OperatorPtr child, const ExecContext* ctx,
+               const ast::ProjectionBody* body, const ast::Expr* where,
+               std::vector<std::string> schema);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override;
+
+ private:
+  const ExecContext* ctx_;
+  const ast::ProjectionBody* body_;
+  const ast::Expr* where_;
+  Table result_;
+  size_t pos_ = 0;
+};
+
+/// UNION [ALL] of complete sub-plans (pipeline breaker for the DISTINCT
+/// variant).
+class UnionOp : public Operator {
+ public:
+  UnionOp(std::vector<OperatorPtr> parts, bool all,
+          std::vector<std::string> schema);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override {
+    return all_ ? "UnionAll" : "Union";
+  }
+  std::vector<const Operator*> children() const override {
+    std::vector<const Operator*> out;
+    for (const auto& p : parts_) out.push_back(p.get());
+    return out;
+  }
+
+ private:
+  std::vector<OperatorPtr> parts_;
+  bool all_;
+  Table materialized_;
+  size_t pos_ = 0;
+};
+
+/// Fallback operator for pattern shapes the specialized pipeline does not
+/// cover (named paths, repeated variable-length variables): runs the
+/// reference matcher per input row. Keeps the runtime complete while the
+/// common shapes stay on the fast path.
+class MatcherOp : public Operator {
+ public:
+  MatcherOp(OperatorPtr child, const ExecContext* ctx,
+            const ast::Pattern* pattern, std::vector<std::string> new_cols);
+  Status Open() override;
+  Result<bool> Next(ValueList* row) override;
+  std::string Describe() const override { return "PatternMatch(fallback)"; }
+
+ private:
+  const ExecContext* ctx_;
+  const ast::Pattern* pattern_;
+  std::vector<std::string> new_cols_;
+  std::vector<ValueList> buffered_;
+  size_t pos_ = 0;
+  bool have_row_ = false;
+  ValueList current_;
+};
+
+/// Drains a plan into a table.
+Result<Table> DrainPlan(Operator* root);
+
+/// Renders an EXPLAIN tree.
+std::string ExplainPlan(const Operator& root);
+
+/// Renders the tree with per-operator row counters (PROFILE) — call after
+/// executing the plan.
+std::string ProfilePlan(const Operator& root);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PLAN_OPERATORS_H_

@@ -1,0 +1,491 @@
+#include "src/plan/planner.h"
+
+#include <algorithm>
+#include <set>
+
+#include "src/frontend/analyzer.h"
+#include "src/plan/logical_plan.h"
+
+namespace gqlite {
+
+using namespace ast;  // NOLINT(build/namespaces)
+
+/// Mutable state while building one MATCH pipeline: the operator tip, the
+/// pending WHERE conjuncts, and the relationship columns bound so far in
+/// this clause (relationship-isomorphism scope).
+struct Planner::PipelineState {
+  OperatorPtr tip;
+  std::vector<const Expr*> pending_filters;
+  std::vector<int> clause_rel_cols;
+  const ast::MatchClause* clause = nullptr;
+
+  bool Bound(const std::string& name) const {
+    const auto& s = tip->schema();
+    return std::find(s.begin(), s.end(), name) != s.end();
+  }
+  int ColIndex(const std::string& name) const {
+    const auto& s = tip->schema();
+    for (size_t i = 0; i < s.size(); ++i) {
+      if (s[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+ExecContext* Planner::MakeContext(Plan* plan, GraphPtr graph) {
+  auto ctx = std::make_unique<ExecContext>();
+  ctx->graph = graph.get();
+  ctx->match = options_.match;
+  ctx->eval.graph = graph.get();
+  ctx->eval.parameters = params_;
+  ctx->eval.rand_state = rand_state_;
+  const PropertyGraph* g = graph.get();
+  const ValueMap* params = params_;
+  uint64_t* rand_state = rand_state_;
+  MatchOptions match = options_.match;
+  ctx->eval.pattern_predicate = [g, params, rand_state, match](
+                                    const Pattern& p,
+                                    const Environment& env) -> Result<bool> {
+    EvalContext inner;
+    inner.graph = g;
+    inner.parameters = params;
+    inner.rand_state = rand_state;
+    return ExistsMatch(p, *g, env, inner, match);
+  };
+  plan->contexts.push_back(std::move(ctx));
+  return plan->contexts.back().get();
+}
+
+Result<Plan> Planner::PlanQuery(const Query& q) {
+  Plan plan;
+  if (q.parts.size() == 1) {
+    GQL_ASSIGN_OR_RETURN(plan.root, PlanSingle(q.parts[0], &plan));
+    return plan;
+  }
+  std::vector<OperatorPtr> parts;
+  for (const auto& part : q.parts) {
+    GQL_ASSIGN_OR_RETURN(OperatorPtr p, PlanSingle(part, &plan));
+    parts.push_back(std::move(p));
+  }
+  // Mixed UNION/UNION ALL: fold left. ALL appends; DISTINCT deduplicates
+  // the accumulated result (mirrors the interpreter's left fold).
+  std::vector<std::string> schema = parts[0]->schema();
+  OperatorPtr acc = std::move(parts[0]);
+  for (size_t i = 1; i < parts.size(); ++i) {
+    std::vector<OperatorPtr> two;
+    two.push_back(std::move(acc));
+    two.push_back(std::move(parts[i]));
+    acc = std::make_unique<UnionOp>(std::move(two), q.union_all[i - 1],
+                                    schema);
+  }
+  plan.root = std::move(acc);
+  return plan;
+}
+
+Result<OperatorPtr> Planner::PlanSingle(const SingleQuery& q, Plan* plan) {
+  GraphPtr saved_graph = graph_;
+  ExecContext* ctx = MakeContext(plan, graph_);
+  // Unit driving table (Figure 6).
+  static const Table* kUnit = new Table(Table::Unit());
+  OperatorPtr tip = std::make_unique<ArgumentOp>(std::vector<std::string>{},
+                                                 kUnit);
+  Status st = Status::OK();
+  for (const auto& clause : q.clauses) {
+    switch (clause->kind) {
+      case Clause::Kind::kMatch: {
+        auto r = PlanMatch(static_cast<const MatchClause&>(*clause),
+                           std::move(tip), plan, ctx);
+        if (!r.ok()) {
+          st = r.status();
+          break;
+        }
+        tip = std::move(r).value();
+        break;
+      }
+      case Clause::Kind::kWith: {
+        const auto& w = static_cast<const WithClause&>(*clause);
+        std::vector<std::string> schema;
+        if (w.body.star) {
+          schema = tip->schema();
+          // Hidden planner columns are internal; drop them at projections.
+          schema.erase(std::remove_if(schema.begin(), schema.end(),
+                                      [](const std::string& s) {
+                                        return !s.empty() && s[0] == '#';
+                                      }),
+                       schema.end());
+        }
+        for (const auto& item : w.body.items) {
+          schema.push_back(item.alias ? *item.alias
+                                      : DerivedColumnName(*item.expr));
+        }
+        tip = std::make_unique<ProjectionOp>(std::move(tip), ctx, &w.body,
+                                             w.where.get(), schema);
+        break;
+      }
+      case Clause::Kind::kReturn: {
+        const auto& r = static_cast<const ReturnClause&>(*clause);
+        std::vector<std::string> schema;
+        if (r.body.star) {
+          schema = tip->schema();
+          schema.erase(std::remove_if(schema.begin(), schema.end(),
+                                      [](const std::string& s) {
+                                        return !s.empty() && s[0] == '#';
+                                      }),
+                       schema.end());
+        }
+        for (const auto& item : r.body.items) {
+          schema.push_back(item.alias ? *item.alias
+                                      : DerivedColumnName(*item.expr));
+        }
+        tip = std::make_unique<ProjectionOp>(std::move(tip), ctx, &r.body,
+                                             nullptr, schema);
+        break;
+      }
+      case Clause::Kind::kUnwind: {
+        const auto& u = static_cast<const UnwindClause&>(*clause);
+        tip = std::make_unique<UnwindOp>(std::move(tip), ctx, u.expr.get(),
+                                         u.var);
+        break;
+      }
+      case Clause::Kind::kFromGraph: {
+        const auto& f = static_cast<const FromGraphClause&>(*clause);
+        GraphPtr g;
+        if (f.url) {
+          auto rg = catalog_->ResolveUrl(*f.url);
+          if (!rg.ok()) {
+            st = rg.status();
+            break;
+          }
+          g = *rg;
+          catalog_->RegisterGraph(f.name, g);
+        } else {
+          auto rg = catalog_->Resolve(f.name);
+          if (!rg.ok()) {
+            st = rg.status();
+            break;
+          }
+          g = *rg;
+        }
+        graph_ = g;
+        ctx = MakeContext(plan, g);
+        break;
+      }
+      default:
+        st = Status::Unimplemented(
+            "the Volcano runtime only executes read queries; updating "
+            "clauses and RETURN GRAPH run on the interpreter");
+        break;
+    }
+    GQL_RETURN_IF_ERROR(st);
+  }
+  graph_ = saved_graph;
+
+  // RETURN * in the runtime keeps the projection of visible columns; but a
+  // RETURN-less read query cannot reach here (analyzer guarantees).
+  return tip;
+}
+
+Result<OperatorPtr> Planner::PlanMatch(const MatchClause& m,
+                                       OperatorPtr input, Plan* plan,
+                                       ExecContext* ctx) {
+  std::vector<std::string> input_schema = input->schema();
+  auto argument =
+      std::make_unique<ArgumentOp>(input_schema, /*source=*/nullptr);
+  ArgumentOp* argument_ptr = argument.get();
+
+  PipelineState state;
+  state.tip = std::move(argument);
+  state.clause = &m;
+  if (m.where) state.pending_filters = SplitConjuncts(*m.where);
+
+  auto place_filters = [&]() {
+    for (auto it = state.pending_filters.begin();
+         it != state.pending_filters.end();) {
+      bool ready = true;
+      for (const std::string& v : ExprVariables(**it)) {
+        if (!state.Bound(v)) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        state.tip = std::make_unique<FilterOp>(std::move(state.tip), ctx, *it);
+        it = state.pending_filters.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  place_filters();
+
+  // A variable-length relationship variable bound by an earlier clause
+  // requires a list-equality join the pipeline does not implement.
+  bool bound_varlength = false;
+  for (const auto& path : m.pattern.paths) {
+    for (const auto& hop : path.hops) {
+      if (hop.rel.var && hop.rel.length &&
+          std::find(input_schema.begin(), input_schema.end(),
+                    *hop.rel.var) != input_schema.end()) {
+        bound_varlength = true;
+      }
+    }
+  }
+
+  // Node isomorphism (§8) constrains node repetition *per matched path*,
+  // including variable-length interior nodes — state that individual
+  // Expand operators cannot see. Those patterns run on the reference
+  // matcher operator.
+  bool needs_matcher =
+      options_.match.morphism == Morphism::kNodeIsomorphism;
+
+  if (!PipelinePlannable(m.pattern) || bound_varlength || needs_matcher) {
+    // Fallback: reference matcher as an operator.
+    std::vector<std::string> new_cols;
+    {
+      std::set<std::string> bound(input_schema.begin(), input_schema.end());
+      for (const std::string& v : PatternVariables(m.pattern)) {
+        if (!bound.count(v)) new_cols.push_back(v);
+      }
+    }
+    state.tip = std::make_unique<MatcherOp>(std::move(state.tip), ctx,
+                                            &m.pattern, new_cols);
+    place_filters();
+  } else {
+    for (const auto& path : m.pattern.paths) {
+      GQL_RETURN_IF_ERROR(PlanChain(path, &state, plan, ctx));
+      place_filters();
+    }
+  }
+  // Any conjunct still pending references unbound variables — the
+  // analyzer should have rejected it; fail loudly rather than silently
+  // dropping a predicate.
+  if (!state.pending_filters.empty()) {
+    return Status::PlanError("WHERE predicate references unbound variables");
+  }
+
+  std::vector<std::string> out_schema = state.tip->schema();
+  return OperatorPtr(std::make_unique<ApplyOp>(std::move(input),
+                                               std::move(state.tip),
+                                               argument_ptr, m.optional,
+                                               out_schema));
+}
+
+Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
+                          Plan* plan, ExecContext* ctx) {
+  GraphStatistics stats(*graph_);
+  CostModel cost(stats);
+  size_t num_nodes = path.hops.size() + 1;
+
+  auto node_at = [&](size_t i) -> const NodePattern& {
+    return i == 0 ? path.start : path.hops[i - 1].node;
+  };
+
+  // Column assignment.
+  std::vector<std::string> node_cols(num_nodes);
+  std::vector<std::string> rel_cols(path.hops.size());
+  std::vector<bool> node_bound(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const NodePattern& np = node_at(i);
+    node_cols[i] = np.var ? *np.var
+                          : "#n" + std::to_string(fresh_counter_++);
+    node_bound[i] = np.var && state->Bound(*np.var);
+  }
+  for (size_t i = 0; i < path.hops.size(); ++i) {
+    const RelPattern& rp = path.hops[i].rel;
+    rel_cols[i] = rp.var ? *rp.var : "#r" + std::to_string(fresh_counter_++);
+  }
+  // Shared node variables within this chain: a later occurrence of the
+  // same column is planned as ExpandInto, which the per-position bound
+  // flags below track dynamically.
+
+  // Anchor selection.
+  size_t anchor = 0;
+  switch (options_.mode) {
+    case PlannerOptions::Mode::kLeftToRight:
+      anchor = 0;
+      break;
+    case PlannerOptions::Mode::kGreedy: {
+      // Prefer a bound node; otherwise the most selective scan.
+      double best = -1;
+      for (size_t i = 0; i < num_nodes; ++i) {
+        double c = node_bound[i] ? 0.0 : cost.ScanCardinality(node_at(i));
+        if (best < 0 || c < best) {
+          best = c;
+          anchor = i;
+        }
+      }
+      break;
+    }
+    case PlannerOptions::Mode::kDpStarts: {
+      double best = -1;
+      for (size_t i = 0; i < num_nodes; ++i) {
+        double c = cost.ChainCost(path, i, node_bound);
+        if (best < 0 || c < best) {
+          best = c;
+          anchor = i;
+        }
+      }
+      break;
+    }
+  }
+
+  // Constraint helpers: synthesized filters are owned by the plan.
+  auto add_node_constraints = [&](size_t i, bool skip_label_index_label,
+                                  const std::string& scanned_label) {
+    const NodePattern& np = node_at(i);
+    std::vector<std::string> labels = np.labels;
+    if (skip_label_index_label) {
+      labels.erase(std::remove(labels.begin(), labels.end(), scanned_label),
+                   labels.end());
+    }
+    if (!labels.empty()) {
+      auto check = std::make_unique<LabelCheckExpr>(
+          std::make_unique<VariableExpr>(node_cols[i]), labels);
+      state->pending_filters.push_back(check.get());
+      plan->synthesized.push_back(std::move(check));
+    }
+    for (const auto& [key, expr] : np.properties) {
+      auto eq = std::make_unique<BinaryExpr>(
+          BinaryOp::kEq,
+          std::make_unique<PropertyExpr>(
+              std::make_unique<VariableExpr>(node_cols[i]), key),
+          CloneExpr(*expr));
+      state->pending_filters.push_back(eq.get());
+      plan->synthesized.push_back(std::move(eq));
+    }
+  };
+
+  // Emit the anchor.
+  if (!node_bound[anchor]) {
+    const NodePattern& np = node_at(anchor);
+    std::string scanned_label;
+    if (!np.labels.empty()) {
+      // Most selective label for the index scan.
+      scanned_label = np.labels[0];
+      double best = stats.NodesWithLabel(scanned_label);
+      for (const auto& l : np.labels) {
+        double c = stats.NodesWithLabel(l);
+        if (c < best) {
+          best = c;
+          scanned_label = l;
+        }
+      }
+      state->tip = std::make_unique<NodeByLabelScanOp>(
+          std::move(state->tip), ctx, node_cols[anchor], scanned_label);
+    } else {
+      state->tip = std::make_unique<AllNodesScanOp>(std::move(state->tip),
+                                                    ctx, node_cols[anchor]);
+    }
+    node_bound[anchor] = true;
+    add_node_constraints(anchor, !scanned_label.empty(), scanned_label);
+  } else {
+    // Bound from the driving table: re-check this occurrence's
+    // constraints.
+    add_node_constraints(anchor, false, "");
+  }
+
+  // Expansion: interleave right and left frontiers.
+  size_t right = anchor;  // next hop to the right is `right`
+  size_t left = anchor;   // next hop to the left is `left - 1`
+
+  auto expand_step = [&](size_t hop_idx, bool to_right) -> Status {
+    const RelPattern& rp = path.hops[hop_idx].rel;
+    size_t from_i = to_right ? hop_idx : hop_idx + 1;
+    size_t to_i = to_right ? hop_idx + 1 : hop_idx;
+
+    ExpandSpec spec;
+    spec.from_col = state->ColIndex(node_cols[from_i]);
+    if (spec.from_col < 0) {
+      return Status::Internal("planner lost track of a bound column");
+    }
+    spec.types = rp.types;
+    spec.direction = rp.direction;
+    if (!to_right) {
+      // Traversing the hop right-to-left flips the pattern arrow.
+      if (rp.direction == Direction::kRight) {
+        spec.direction = Direction::kLeft;
+      } else if (rp.direction == Direction::kLeft) {
+        spec.direction = Direction::kRight;
+      }
+    }
+    spec.uniqueness_cols = state->clause_rel_cols;
+    spec.rel_props = rp.properties.empty() ? nullptr : &rp.properties;
+
+    bool rel_bound = state->Bound(rel_cols[hop_idx]);
+    if (rel_bound && !rp.length) {
+      // The hop must bind exactly the pre-bound relationship; it joins
+      // this clause's isomorphism scope for *later* hops (via
+      // clause_rel_cols below) but must not conflict with itself.
+      spec.bound_rel_col = state->ColIndex(rel_cols[hop_idx]);
+      spec.rel_var.clear();
+    } else {
+      spec.rel_var = rel_cols[hop_idx];
+    }
+
+    bool target_bound = node_bound[to_i] ||
+                        state->Bound(node_cols[to_i]);
+    if (target_bound) {
+      spec.to_col = state->ColIndex(node_cols[to_i]);
+    } else {
+      spec.to_var = node_cols[to_i];
+    }
+
+    if (rp.length) {
+      HopRange range = EffectiveRange(rp, options_.match.max_var_length);
+      int64_t hi = range.hi;
+      if (range.unbounded &&
+          options_.match.morphism != Morphism::kHomomorphism) {
+        // Edge isomorphism bounds path length by the relationship count.
+        hi = std::min<int64_t>(hi,
+                               static_cast<int64_t>(graph_->NumRels()));
+      }
+      state->tip = std::make_unique<VarLengthExpandOp>(
+          std::move(state->tip), ctx, std::move(spec), range.lo, hi);
+    } else if (options_.use_join_expand) {
+      state->tip = std::make_unique<HashJoinExpandOp>(std::move(state->tip),
+                                                      ctx, std::move(spec));
+    } else {
+      state->tip = std::make_unique<ExpandOp>(std::move(state->tip), ctx,
+                                              std::move(spec));
+    }
+    // Track the relationship column for isomorphism (named, hidden or
+    // pre-bound).
+    int rel_col_idx = state->ColIndex(rel_cols[hop_idx]);
+    if (rel_col_idx >= 0) state->clause_rel_cols.push_back(rel_col_idx);
+
+    if (!target_bound) {
+      node_bound[to_i] = true;
+      add_node_constraints(to_i, false, "");
+    } else if (!node_bound[to_i]) {
+      // Bound from the driving table (ExpandInto): re-check constraints.
+      node_bound[to_i] = true;
+      add_node_constraints(to_i, false, "");
+    }
+    return Status::OK();
+  };
+
+  while (right + 1 < num_nodes || left > 0) {
+    bool can_right = right + 1 < num_nodes;
+    bool can_left = left > 0;
+    bool go_right;
+    if (options_.mode == PlannerOptions::Mode::kGreedy && can_right &&
+        can_left) {
+      double fr = cost.ExpandFactor(path.hops[right].rel, false);
+      double fl = cost.ExpandFactor(path.hops[left - 1].rel, true);
+      go_right = fr <= fl;
+    } else {
+      go_right = can_right;
+    }
+    if (go_right) {
+      GQL_RETURN_IF_ERROR(expand_step(right, /*to_right=*/true));
+      ++right;
+    } else {
+      GQL_RETURN_IF_ERROR(expand_step(left - 1, /*to_right=*/false));
+      --left;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gqlite

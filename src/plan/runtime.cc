@@ -1,0 +1,27 @@
+#include "src/plan/runtime.h"
+
+namespace gqlite {
+
+Result<Table> ExecutePlan(Plan* plan) {
+  GQL_RETURN_IF_ERROR(plan->root->Open());
+  return DrainPlan(plan->root.get());
+}
+
+Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
+                         const ValueMap* params, const PlannerOptions& options,
+                         uint64_t* rand_state, const ast::Query& q) {
+  Planner planner(catalog, std::move(graph), params, options, rand_state);
+  GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
+  return ExecutePlan(&plan);
+}
+
+Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
+                                 const ValueMap* params,
+                                 const PlannerOptions& options,
+                                 uint64_t* rand_state, const ast::Query& q) {
+  Planner planner(catalog, std::move(graph), params, options, rand_state);
+  GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
+  return ExplainPlan(*plan.root);
+}
+
+}  // namespace gqlite

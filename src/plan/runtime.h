@@ -1,0 +1,26 @@
+#ifndef GQLITE_PLAN_RUNTIME_H_
+#define GQLITE_PLAN_RUNTIME_H_
+
+#include "src/interp/table.h"
+#include "src/plan/planner.h"
+
+namespace gqlite {
+
+/// Executes a compiled plan: Open the root and drain it into a table
+/// (tuple-at-a-time Volcano iteration, §2 "Neo4j implementation").
+Result<Table> ExecutePlan(Plan* plan);
+
+/// Plans and executes a read-only query in one call.
+Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
+                         const ValueMap* params, const PlannerOptions& options,
+                         uint64_t* rand_state, const ast::Query& q);
+
+/// Plans a query and renders the operator tree (EXPLAIN).
+Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
+                                 const ValueMap* params,
+                                 const PlannerOptions& options,
+                                 uint64_t* rand_state, const ast::Query& q);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PLAN_RUNTIME_H_

@@ -1,0 +1,243 @@
+#include "src/temporal/temporal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gqlite {
+
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const int64_t yoe = y - era * 400;                                  // [0,399]
+  const int64_t doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0,365]
+  const int64_t doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;        // [0,146096]
+  return era * 146097 + doe - 719468;
+}
+
+void CivilFromDays(int64_t z, int64_t* y, int64_t* m, int64_t* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const int64_t doe = z - era * 146097;  // [0, 146096]
+  const int64_t yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = yoe + era * 400;
+  const int64_t doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const int64_t mp = (5 * doy + 2) / 153;                       // [0, 11]
+  *d = doy - (153 * mp + 2) / 5 + 1;                            // [1, 31]
+  *m = mp + (mp < 10 ? 3 : -9);                                 // [1, 12]
+  *y = yy + (*m <= 2);
+}
+
+int DayOfWeek(int64_t days_since_epoch) {
+  // 1970-01-01 was a Thursday (ISO weekday 3, counting Monday=0).
+  int64_t wd = (days_since_epoch + 3) % 7;
+  if (wd < 0) wd += 7;
+  return static_cast<int>(wd);
+}
+
+bool IsLeapYear(int64_t y) {
+  return (y % 4 == 0 && y % 100 != 0) || (y % 400 == 0);
+}
+
+int DaysInMonth(int64_t y, int64_t m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeapYear(y)) return 29;
+  return kDays[m - 1];
+}
+
+int64_t Date::year() const {
+  int64_t y, m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  return y;
+}
+int64_t Date::month() const {
+  int64_t y, m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  return m;
+}
+int64_t Date::day() const {
+  int64_t y, m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  int64_t y, m, d;
+  CivilFromDays(days_since_epoch, &y, &m, &d);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%04lld-%02lld-%02lld",
+                static_cast<long long>(y), static_cast<long long>(m),
+                static_cast<long long>(d));
+  return buf;
+}
+
+namespace {
+
+std::string FormatTimeNanos(int64_t nanos_since_midnight) {
+  int64_t h = nanos_since_midnight / (3600 * kNanosPerSecond);
+  int64_t min = (nanos_since_midnight / (60 * kNanosPerSecond)) % 60;
+  int64_t s = (nanos_since_midnight / kNanosPerSecond) % 60;
+  int64_t ns = nanos_since_midnight % kNanosPerSecond;
+  char buf[48];
+  if (ns == 0) {
+    std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld",
+                  static_cast<long long>(h), static_cast<long long>(min),
+                  static_cast<long long>(s));
+    return buf;
+  }
+  std::snprintf(buf, sizeof(buf), "%02lld:%02lld:%02lld.%09lld",
+                static_cast<long long>(h), static_cast<long long>(min),
+                static_cast<long long>(s), static_cast<long long>(ns));
+  // Trim trailing zeros of the fraction.
+  std::string out = buf;
+  while (out.back() == '0') out.pop_back();
+  return out;
+}
+
+std::string FormatOffset(int32_t offset_seconds) {
+  if (offset_seconds == 0) return "Z";
+  char sign = offset_seconds < 0 ? '-' : '+';
+  int32_t abs = offset_seconds < 0 ? -offset_seconds : offset_seconds;
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%c%02d:%02d", sign, abs / 3600,
+                (abs % 3600) / 60);
+  return buf;
+}
+
+}  // namespace
+
+std::string LocalTime::ToString() const {
+  return FormatTimeNanos(nanos_since_midnight);
+}
+
+std::string ZonedTime::ToString() const {
+  return local.ToString() + FormatOffset(offset_seconds);
+}
+
+std::string LocalDateTime::ToString() const {
+  return date.ToString() + "T" + time.ToString();
+}
+
+std::string ZonedDateTime::ToString() const {
+  return local.ToString() + FormatOffset(offset_seconds);
+}
+
+Duration Duration::Make(int64_t months, int64_t days, int64_t seconds,
+                        int64_t nanos) {
+  // Carry nanos into seconds keeping |nanos| < 1e9 and sign-consistent with
+  // seconds where possible.
+  seconds += nanos / kNanosPerSecond;
+  nanos %= kNanosPerSecond;
+  if (seconds > 0 && nanos < 0) {
+    seconds -= 1;
+    nanos += kNanosPerSecond;
+  } else if (seconds < 0 && nanos > 0) {
+    seconds += 1;
+    nanos -= kNanosPerSecond;
+  }
+  return Duration{months, days, seconds, nanos};
+}
+
+std::string Duration::ToString() const {
+  if (months == 0 && days == 0 && seconds == 0 && nanos == 0) return "P0D";
+  std::string out = "P";
+  int64_t y = months / 12;
+  int64_t mo = months % 12;
+  if (y != 0) out += std::to_string(y) + "Y";
+  if (mo != 0) out += std::to_string(mo) + "M";
+  if (days != 0) out += std::to_string(days) + "D";
+  if (seconds != 0 || nanos != 0) {
+    out += "T";
+    int64_t s = seconds;
+    int64_t h = s / 3600;
+    s %= 3600;
+    int64_t mi = s / 60;
+    s %= 60;
+    if (h != 0) out += std::to_string(h) + "H";
+    if (mi != 0) out += std::to_string(mi) + "M";
+    if (s != 0 || nanos != 0) {
+      if (nanos == 0) {
+        out += std::to_string(s) + "S";
+      } else {
+        // Combine seconds and the fraction; handle negative fraction with
+        // positive seconds display via Make's normalization invariants.
+        double frac = static_cast<double>(s) +
+                      static_cast<double>(nanos) / kNanosPerSecond;
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.9f", frac);
+        std::string fs = buf;
+        while (fs.back() == '0') fs.pop_back();
+        if (fs.back() == '.') fs.pop_back();
+        out += fs + "S";
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Date AddMonthsThenDays(Date d, int64_t add_months, int64_t add_days) {
+  int64_t y, m, day;
+  CivilFromDays(d.days_since_epoch, &y, &m, &day);
+  int64_t total_months = (y * 12 + (m - 1)) + add_months;
+  int64_t ny = total_months >= 0 ? total_months / 12
+                                 : (total_months - 11) / 12;
+  int64_t nm = total_months - ny * 12 + 1;  // [1,12]
+  int64_t dim = DaysInMonth(ny, nm);
+  if (day > dim) day = dim;  // clamp like Neo4j / java.time
+  return Date{DaysFromCivil(ny, nm, day) + add_days};
+}
+
+}  // namespace
+
+Date AddDuration(Date d, const Duration& dur) {
+  // The time components of the duration are truncated for pure dates
+  // (whole days only), matching the CIP.
+  int64_t extra_days = dur.seconds / kSecondsPerDay;
+  return AddMonthsThenDays(d, dur.months, dur.days + extra_days);
+}
+
+LocalDateTime AddDuration(LocalDateTime dt, const Duration& dur) {
+  Date nd = AddMonthsThenDays(dt.date, dur.months, dur.days);
+  int64_t nanos = dt.time.nanos_since_midnight +
+                  dur.seconds * kNanosPerSecond + dur.nanos;
+  int64_t day_carry = nanos >= 0 ? nanos / kNanosPerDay
+                                 : (nanos - (kNanosPerDay - 1)) / kNanosPerDay;
+  nanos -= day_carry * kNanosPerDay;
+  return LocalDateTime{Date{nd.days_since_epoch + day_carry},
+                       LocalTime{nanos}};
+}
+
+ZonedDateTime AddDuration(ZonedDateTime dt, const Duration& dur) {
+  return ZonedDateTime{AddDuration(dt.local, dur), dt.offset_seconds};
+}
+
+LocalTime AddDuration(LocalTime t, const Duration& dur) {
+  int64_t nanos = t.nanos_since_midnight + dur.seconds * kNanosPerSecond +
+                  dur.nanos;
+  nanos %= kNanosPerDay;
+  if (nanos < 0) nanos += kNanosPerDay;
+  return LocalTime{nanos};
+}
+
+Duration DurationBetween(const Date& a, const Date& b) {
+  return Duration::Make(0, b.days_since_epoch - a.days_since_epoch, 0, 0);
+}
+
+Duration DurationBetween(const LocalDateTime& a, const LocalDateTime& b) {
+  int64_t sec = b.EpochSeconds() - a.EpochSeconds();
+  int64_t nanos = b.time.nanosecond() - a.time.nanosecond();
+  int64_t days = sec / kSecondsPerDay;
+  sec -= days * kSecondsPerDay;
+  return Duration::Make(0, days, sec, nanos);
+}
+
+Duration DurationBetween(const ZonedDateTime& a, const ZonedDateTime& b) {
+  int64_t nanos = b.InstantNanos() - a.InstantNanos();
+  int64_t days = nanos / kNanosPerDay;
+  nanos -= days * kNanosPerDay;
+  return Duration::Make(0, days, nanos / kNanosPerSecond,
+                        nanos % kNanosPerSecond);
+}
+
+}  // namespace gqlite

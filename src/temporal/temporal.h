@@ -1,0 +1,173 @@
+#ifndef GQLITE_TEMPORAL_TEMPORAL_H_
+#define GQLITE_TEMPORAL_TEMPORAL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace gqlite {
+
+/// Temporal instant and duration types per the Cypher 10 temporal-types
+/// proposal referenced in §6 of the paper (CIP2015-08-06): DateTime,
+/// LocalDateTime, Date, Time, LocalTime and Duration.
+///
+/// Representation choices:
+///  * Date            — days since 1970-01-01 (proleptic Gregorian).
+///  * LocalTime       — nanoseconds since midnight.
+///  * Time            — LocalTime plus a UTC offset in seconds.
+///  * LocalDateTime   — Date + LocalTime (no zone).
+///  * DateTime        — LocalDateTime plus a UTC offset in seconds.
+///  * Duration        — (months, days, seconds, nanos), the four-component
+///                      model: months and days don't have a fixed length,
+///                      so they are tracked separately.
+
+/// Civil-calendar helpers (Howard Hinnant's algorithms).
+/// Days since 1970-01-01 for a proleptic Gregorian date.
+int64_t DaysFromCivil(int64_t y, int64_t m, int64_t d);
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int64_t* y, int64_t* m, int64_t* d);
+/// Day of week, 0 = Monday ... 6 = Sunday (ISO).
+int DayOfWeek(int64_t days_since_epoch);
+/// True if `y` is a leap year (proleptic Gregorian).
+bool IsLeapYear(int64_t y);
+/// Number of days in month `m` (1..12) of year `y`.
+int DaysInMonth(int64_t y, int64_t m);
+
+inline constexpr int64_t kNanosPerSecond = 1000000000LL;
+inline constexpr int64_t kSecondsPerDay = 86400LL;
+inline constexpr int64_t kNanosPerDay = kNanosPerSecond * kSecondsPerDay;
+/// Average Gregorian month in seconds (used only for Duration ordering).
+inline constexpr int64_t kAvgSecondsPerMonth = 2629746LL;
+
+struct Date {
+  int64_t days_since_epoch = 0;
+
+  static Date FromYmd(int64_t y, int64_t m, int64_t d) {
+    return Date{DaysFromCivil(y, m, d)};
+  }
+  int64_t year() const;
+  int64_t month() const;
+  int64_t day() const;
+  /// ISO "YYYY-MM-DD".
+  std::string ToString() const;
+  auto operator<=>(const Date&) const = default;
+};
+
+struct LocalTime {
+  int64_t nanos_since_midnight = 0;
+
+  static LocalTime FromHms(int64_t h, int64_t m, int64_t s, int64_t nanos = 0) {
+    return LocalTime{((h * 60 + m) * 60 + s) * kNanosPerSecond + nanos};
+  }
+  int64_t hour() const { return nanos_since_midnight / (3600 * kNanosPerSecond); }
+  int64_t minute() const {
+    return (nanos_since_midnight / (60 * kNanosPerSecond)) % 60;
+  }
+  int64_t second() const { return (nanos_since_midnight / kNanosPerSecond) % 60; }
+  int64_t nanosecond() const { return nanos_since_midnight % kNanosPerSecond; }
+  /// ISO "hh:mm:ss[.fffffffff]".
+  std::string ToString() const;
+  auto operator<=>(const LocalTime&) const = default;
+};
+
+struct ZonedTime {
+  LocalTime local;
+  int32_t offset_seconds = 0;
+
+  /// Instant-on-an-abstract-day used for comparisons: local minus offset.
+  int64_t NormalizedNanos() const {
+    return local.nanos_since_midnight -
+           static_cast<int64_t>(offset_seconds) * kNanosPerSecond;
+  }
+  /// ISO "hh:mm:ss[.f]±hh:mm" (or trailing "Z" for zero offset).
+  std::string ToString() const;
+  friend bool operator==(const ZonedTime& a, const ZonedTime& b) {
+    return a.local == b.local && a.offset_seconds == b.offset_seconds;
+  }
+};
+
+struct LocalDateTime {
+  Date date;
+  LocalTime time;
+
+  int64_t EpochSeconds() const {
+    return date.days_since_epoch * kSecondsPerDay +
+           time.nanos_since_midnight / kNanosPerSecond;
+  }
+  /// ISO "YYYY-MM-DDThh:mm:ss[.f]".
+  std::string ToString() const;
+  auto operator<=>(const LocalDateTime&) const = default;
+};
+
+struct ZonedDateTime {
+  LocalDateTime local;
+  int32_t offset_seconds = 0;
+
+  /// Absolute instant in nanoseconds since the epoch.
+  int64_t InstantNanos() const {
+    return (local.EpochSeconds() - offset_seconds) * kNanosPerSecond +
+           local.time.nanosecond();
+  }
+  /// ISO "YYYY-MM-DDThh:mm:ss[.f]±hh:mm" (or "Z").
+  std::string ToString() const;
+  friend bool operator==(const ZonedDateTime& a, const ZonedDateTime& b) {
+    return a.local == b.local && a.offset_seconds == b.offset_seconds;
+  }
+};
+
+struct Duration {
+  int64_t months = 0;
+  int64_t days = 0;
+  int64_t seconds = 0;
+  int64_t nanos = 0;  // |nanos| < 1e9, same sign handling as Neo4j (carried)
+
+  /// Normalizes nanos into seconds so |nanos| < 1e9 and seconds/nanos have
+  /// consistent carry.
+  static Duration Make(int64_t months, int64_t days, int64_t seconds,
+                       int64_t nanos);
+
+  /// Approximate total length used only for global ordering of durations
+  /// (months use the average Gregorian month).
+  int64_t ComparableNanos() const {
+    return (months * kAvgSecondsPerMonth + days * kSecondsPerDay + seconds) *
+               kNanosPerSecond +
+           nanos;
+  }
+
+  Duration operator+(const Duration& o) const {
+    return Make(months + o.months, days + o.days, seconds + o.seconds,
+                nanos + o.nanos);
+  }
+  Duration operator-(const Duration& o) const {
+    return Make(months - o.months, days - o.days, seconds - o.seconds,
+                nanos - o.nanos);
+  }
+  Duration Negated() const { return Make(-months, -days, -seconds, -nanos); }
+  /// Scales all components by `k` (integer factor).
+  Duration ScaledBy(int64_t k) const {
+    return Make(months * k, days * k, seconds * k, nanos * k);
+  }
+
+  /// ISO-8601 "PnYnMnDTnHnMnS" (canonical: P0D for zero).
+  std::string ToString() const;
+  friend bool operator==(const Duration& a, const Duration& b) {
+    return a.months == b.months && a.days == b.days && a.seconds == b.seconds &&
+           a.nanos == b.nanos;
+  }
+};
+
+/// Calendar-aware addition: months first (clamping day-of-month), then days,
+/// then the time part.
+Date AddDuration(Date d, const Duration& dur);
+LocalDateTime AddDuration(LocalDateTime dt, const Duration& dur);
+ZonedDateTime AddDuration(ZonedDateTime dt, const Duration& dur);
+LocalTime AddDuration(LocalTime t, const Duration& dur);
+
+/// duration.between semantics: exact difference expressed in
+/// days/seconds/nanos (no month component) for instants; for Dates, days.
+Duration DurationBetween(const Date& a, const Date& b);
+Duration DurationBetween(const LocalDateTime& a, const LocalDateTime& b);
+Duration DurationBetween(const ZonedDateTime& a, const ZonedDateTime& b);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_TEMPORAL_TEMPORAL_H_

@@ -1,0 +1,227 @@
+#include "src/temporal/temporal_parse.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace gqlite {
+
+namespace {
+
+bool TakeInt(std::string_view& s, int width, int64_t* out) {
+  if (static_cast<int>(s.size()) < width) return false;
+  int64_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  s.remove_prefix(width);
+  *out = v;
+  return true;
+}
+
+bool TakeChar(std::string_view& s, char c) {
+  if (s.empty() || s.front() != c) return false;
+  s.remove_prefix(1);
+  return true;
+}
+
+/// Parses the fraction digits after a '.', returning nanoseconds.
+bool TakeFractionNanos(std::string_view& s, int64_t* nanos) {
+  *nanos = 0;
+  if (!TakeChar(s, '.')) return true;  // no fraction
+  int digits = 0;
+  int64_t v = 0;
+  while (!s.empty() && std::isdigit(static_cast<unsigned char>(s.front())) &&
+         digits < 9) {
+    v = v * 10 + (s.front() - '0');
+    s.remove_prefix(1);
+    ++digits;
+  }
+  if (digits == 0) return false;
+  while (digits < 9) {
+    v *= 10;
+    ++digits;
+  }
+  // Ignore extra sub-nanosecond digits.
+  while (!s.empty() && std::isdigit(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  *nanos = v;
+  return true;
+}
+
+bool TakeOffset(std::string_view& s, int32_t* offset_seconds) {
+  *offset_seconds = 0;
+  if (s.empty()) return true;
+  if (TakeChar(s, 'Z') || TakeChar(s, 'z')) return true;
+  int sign = 0;
+  if (s.front() == '+') sign = 1;
+  else if (s.front() == '-') sign = -1;
+  else return false;
+  s.remove_prefix(1);
+  int64_t hh = 0, mm = 0;
+  if (!TakeInt(s, 2, &hh)) return false;
+  if (!s.empty()) {
+    TakeChar(s, ':');
+    if (!s.empty() && std::isdigit(static_cast<unsigned char>(s.front()))) {
+      if (!TakeInt(s, 2, &mm)) return false;
+    }
+  }
+  *offset_seconds = static_cast<int32_t>(sign * (hh * 3600 + mm * 60));
+  return true;
+}
+
+Status BadFormat(std::string_view what, std::string_view s) {
+  return Status::InvalidArgument("cannot parse " + std::string(what) +
+                                 " from '" + std::string(s) + "'");
+}
+
+Result<LocalTime> ParseLocalTimePrefix(std::string_view& s,
+                                       std::string_view orig) {
+  int64_t h = 0, m = 0, sec = 0, nanos = 0;
+  if (!TakeInt(s, 2, &h) || h > 23) return BadFormat("time", orig);
+  if (TakeChar(s, ':')) {
+    if (!TakeInt(s, 2, &m) || m > 59) return BadFormat("time", orig);
+    if (TakeChar(s, ':')) {
+      if (!TakeInt(s, 2, &sec) || sec > 59) return BadFormat("time", orig);
+      if (!TakeFractionNanos(s, &nanos)) return BadFormat("time", orig);
+    }
+  }
+  return LocalTime::FromHms(h, m, sec, nanos);
+}
+
+Result<Date> ParseDatePrefix(std::string_view& s, std::string_view orig) {
+  bool neg = TakeChar(s, '-');
+  int64_t y = 0, m = 0, d = 0;
+  if (!TakeInt(s, 4, &y)) return BadFormat("date", orig);
+  if (neg) y = -y;
+  if (!TakeChar(s, '-')) return BadFormat("date", orig);
+  if (!TakeInt(s, 2, &m) || m < 1 || m > 12) return BadFormat("date", orig);
+  if (!TakeChar(s, '-')) return BadFormat("date", orig);
+  if (!TakeInt(s, 2, &d) || d < 1 || d > DaysInMonth(y, m)) {
+    return BadFormat("date", orig);
+  }
+  return Date::FromYmd(y, m, d);
+}
+
+}  // namespace
+
+Result<Date> ParseDate(std::string_view s) {
+  std::string_view orig = s;
+  GQL_ASSIGN_OR_RETURN(Date d, ParseDatePrefix(s, orig));
+  if (!s.empty()) return BadFormat("date", orig);
+  return d;
+}
+
+Result<LocalTime> ParseLocalTime(std::string_view s) {
+  std::string_view orig = s;
+  GQL_ASSIGN_OR_RETURN(LocalTime t, ParseLocalTimePrefix(s, orig));
+  if (!s.empty()) return BadFormat("time", orig);
+  return t;
+}
+
+Result<ZonedTime> ParseZonedTime(std::string_view s) {
+  std::string_view orig = s;
+  GQL_ASSIGN_OR_RETURN(LocalTime t, ParseLocalTimePrefix(s, orig));
+  int32_t off = 0;
+  if (!TakeOffset(s, &off) || !s.empty()) return BadFormat("time", orig);
+  return ZonedTime{t, off};
+}
+
+Result<LocalDateTime> ParseLocalDateTime(std::string_view s) {
+  std::string_view orig = s;
+  GQL_ASSIGN_OR_RETURN(Date d, ParseDatePrefix(s, orig));
+  if (!TakeChar(s, 'T') && !TakeChar(s, 't')) {
+    return BadFormat("datetime", orig);
+  }
+  GQL_ASSIGN_OR_RETURN(LocalTime t, ParseLocalTimePrefix(s, orig));
+  if (!s.empty()) return BadFormat("datetime", orig);
+  return LocalDateTime{d, t};
+}
+
+Result<ZonedDateTime> ParseZonedDateTime(std::string_view s) {
+  std::string_view orig = s;
+  GQL_ASSIGN_OR_RETURN(Date d, ParseDatePrefix(s, orig));
+  if (!TakeChar(s, 'T') && !TakeChar(s, 't')) {
+    return BadFormat("datetime", orig);
+  }
+  GQL_ASSIGN_OR_RETURN(LocalTime t, ParseLocalTimePrefix(s, orig));
+  int32_t off = 0;
+  if (!TakeOffset(s, &off) || !s.empty()) return BadFormat("datetime", orig);
+  return ZonedDateTime{LocalDateTime{d, t}, off};
+}
+
+Result<Duration> ParseDuration(std::string_view s) {
+  std::string_view orig = s;
+  bool neg = TakeChar(s, '-');
+  if (!TakeChar(s, 'P')) return BadFormat("duration", orig);
+  int64_t months = 0, days = 0, seconds = 0, nanos = 0;
+  bool in_time = false;
+  bool any = false;
+  while (!s.empty()) {
+    if (s.front() == 'T' || s.front() == 't') {
+      in_time = true;
+      s.remove_prefix(1);
+      continue;
+    }
+    bool comp_neg = TakeChar(s, '-');
+    int64_t v = 0;
+    int digits = 0;
+    while (!s.empty() && std::isdigit(static_cast<unsigned char>(s.front()))) {
+      v = v * 10 + (s.front() - '0');
+      s.remove_prefix(1);
+      ++digits;
+    }
+    if (digits == 0) return BadFormat("duration", orig);
+    int64_t frac_nanos = 0;
+    if (!s.empty() && s.front() == '.') {
+      if (!TakeFractionNanos(s, &frac_nanos)) return BadFormat("duration", orig);
+    }
+    if (s.empty()) return BadFormat("duration", orig);
+    if (comp_neg) {
+      v = -v;
+      frac_nanos = -frac_nanos;
+    }
+    char unit = s.front();
+    s.remove_prefix(1);
+    any = true;
+    switch (unit) {
+      case 'Y':
+      case 'y':
+        months += v * 12;
+        break;
+      case 'M':
+      case 'm':
+        if (in_time) seconds += v * 60;
+        else months += v;
+        break;
+      case 'W':
+      case 'w':
+        days += v * 7;
+        break;
+      case 'D':
+      case 'd':
+        days += v;
+        break;
+      case 'H':
+      case 'h':
+        if (!in_time) return BadFormat("duration", orig);
+        seconds += v * 3600;
+        break;
+      case 'S':
+      case 's':
+        if (!in_time) return BadFormat("duration", orig);
+        seconds += v;
+        nanos += frac_nanos;
+        break;
+      default:
+        return BadFormat("duration", orig);
+    }
+  }
+  if (!any) return BadFormat("duration", orig);
+  Duration d = Duration::Make(months, days, seconds, nanos);
+  return neg ? d.Negated() : d;
+}
+
+}  // namespace gqlite

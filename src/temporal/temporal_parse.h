@@ -1,0 +1,38 @@
+#ifndef GQLITE_TEMPORAL_TEMPORAL_PARSE_H_
+#define GQLITE_TEMPORAL_TEMPORAL_PARSE_H_
+
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/temporal/temporal.h"
+
+namespace gqlite {
+
+/// ISO-8601 parsers backing the Cypher temporal constructor functions
+/// date(), localtime(), time(), localdatetime(), datetime(), duration().
+/// All parsers accept the extended ISO format only (dashes and colons),
+/// which is what the CIP examples use.
+
+/// "YYYY-MM-DD".
+Result<Date> ParseDate(std::string_view s);
+
+/// "hh[:mm[:ss[.fffffffff]]]".
+Result<LocalTime> ParseLocalTime(std::string_view s);
+
+/// Local time followed by offset "Z" | "±hh[:mm]". A missing offset parses
+/// as UTC.
+Result<ZonedTime> ParseZonedTime(std::string_view s);
+
+/// "YYYY-MM-DDThh:mm[:ss[.f]]".
+Result<LocalDateTime> ParseLocalDateTime(std::string_view s);
+
+/// Local date-time followed by optional offset (default UTC).
+Result<ZonedDateTime> ParseZonedDateTime(std::string_view s);
+
+/// "PnYnMnWnDTnHnMnS" with any subset of components; fractional seconds
+/// allowed in the seconds position. A leading '-' negates everything.
+Result<Duration> ParseDuration(std::string_view s);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_TEMPORAL_TEMPORAL_PARSE_H_

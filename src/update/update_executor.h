@@ -1,0 +1,80 @@
+#ifndef GQLITE_UPDATE_UPDATE_EXECUTOR_H_
+#define GQLITE_UPDATE_UPDATE_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/interp/table.h"
+#include "src/pattern/matcher.h"
+
+namespace gqlite {
+
+/// Counters reported after an updating query (the familiar "Added 3
+/// nodes, created 2 relationships…" summary).
+struct UpdateStats {
+  int64_t nodes_created = 0;
+  int64_t nodes_deleted = 0;
+  int64_t rels_created = 0;
+  int64_t rels_deleted = 0;
+  int64_t properties_set = 0;
+  int64_t labels_added = 0;
+  int64_t labels_removed = 0;
+
+  bool Any() const {
+    return nodes_created || nodes_deleted || rels_created || rels_deleted ||
+           properties_set || labels_added || labels_removed;
+  }
+  std::string ToString() const;
+};
+
+/// Executes the update language of §2 ("Data modification"): CREATE,
+/// DELETE / DETACH DELETE, SET, REMOVE and MERGE. Update clauses re-use
+/// the visual graph-pattern language and the same top-down table-driven
+/// model as read clauses: each takes the driving table and processes it
+/// row by row, extending rows with newly created entities.
+class UpdateExecutor {
+ public:
+  UpdateExecutor(PropertyGraph* graph, const ValueMap* params,
+                 const MatchOptions& match_opts, uint64_t* rand_state,
+                 UpdateStats* stats)
+      : graph_(graph),
+        params_(params),
+        match_opts_(match_opts),
+        rand_state_(rand_state),
+        stats_(stats) {}
+
+  /// Dispatches one updating clause (plugs into
+  /// Interpreter::set_update_handler).
+  Result<Table> Execute(const ast::Clause& c, Table input);
+
+ private:
+  EvalContext MakeEvalContext() const;
+
+  Result<Table> ExecCreate(const ast::CreateClause& c, Table input);
+  Result<Table> ExecDelete(const ast::DeleteClause& c, Table input);
+  Result<Table> ExecSet(const ast::SetClause& c, Table input);
+  Result<Table> ExecRemove(const ast::RemoveClause& c, Table input);
+  Result<Table> ExecMerge(const ast::MergeClause& c, Table input);
+
+  /// Instantiates a pattern tuple for one row, creating nodes and
+  /// relationships (variables shared across the tuple's paths resolve to
+  /// the same entity); appends values for `new_cols` to `row`.
+  Status CreatePattern(const ast::Pattern& pattern, const Table& table,
+                       ValueList* row,
+                       const std::vector<std::string>& new_cols);
+
+  Status ApplySetItems(const std::vector<ast::SetItem>& items,
+                       const Table& table, const ValueList& row);
+
+  Status DeleteValue(const Value& v, bool detach);
+
+  PropertyGraph* graph_;
+  const ValueMap* params_;
+  MatchOptions match_opts_;
+  uint64_t* rand_state_;
+  UpdateStats* stats_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_UPDATE_UPDATE_EXECUTOR_H_

@@ -1,0 +1,52 @@
+#include "src/value/value.h"
+
+#include "src/value/value_format.h"
+
+namespace gqlite {
+
+const char* ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kBool:
+      return "BOOLEAN";
+    case ValueType::kInt:
+      return "INTEGER";
+    case ValueType::kFloat:
+      return "FLOAT";
+    case ValueType::kString:
+      return "STRING";
+    case ValueType::kList:
+      return "LIST";
+    case ValueType::kMap:
+      return "MAP";
+    case ValueType::kNode:
+      return "NODE";
+    case ValueType::kRelationship:
+      return "RELATIONSHIP";
+    case ValueType::kPath:
+      return "PATH";
+    case ValueType::kDate:
+      return "DATE";
+    case ValueType::kLocalTime:
+      return "LOCALTIME";
+    case ValueType::kTime:
+      return "TIME";
+    case ValueType::kLocalDateTime:
+      return "LOCALDATETIME";
+    case ValueType::kDateTime:
+      return "DATETIME";
+    case ValueType::kDuration:
+      return "DURATION";
+  }
+  return "UNKNOWN";
+}
+
+ValueType Value::type() const {
+  // The variant alternative order matches ValueType's declaration order.
+  return static_cast<ValueType>(rep_.index());
+}
+
+std::string Value::ToString() const { return FormatValue(*this); }
+
+}  // namespace gqlite

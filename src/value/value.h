@@ -1,0 +1,176 @@
+#ifndef GQLITE_VALUE_VALUE_H_
+#define GQLITE_VALUE_VALUE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/temporal/temporal.h"
+
+namespace gqlite {
+
+/// Strongly-typed node identifier (an element of 𝒩 in the paper's model).
+struct NodeId {
+  uint64_t id = 0;
+  auto operator<=>(const NodeId&) const = default;
+};
+
+/// Strongly-typed relationship identifier (an element of ℛ).
+struct RelId {
+  uint64_t id = 0;
+  auto operator<=>(const RelId&) const = default;
+};
+
+/// A path value path(n1, r1, n2, ..., r_{m-1}, n_m) per §4.1: alternating
+/// node and relationship ids; `nodes.size() == rels.size() + 1`. A
+/// single-node path has an empty `rels`.
+struct Path {
+  std::vector<NodeId> nodes;
+  std::vector<RelId> rels;
+
+  size_t length() const { return rels.size(); }
+  friend bool operator==(const Path& a, const Path& b) {
+    return a.nodes == b.nodes && a.rels == b.rels;
+  }
+};
+
+/// Discriminator for Value. The order here is NOT the orderability order
+/// (see value_compare.h for that).
+enum class ValueType : uint8_t {
+  kNull = 0,
+  kBool,
+  kInt,
+  kFloat,
+  kString,
+  kList,
+  kMap,
+  kNode,
+  kRelationship,
+  kPath,
+  kDate,
+  kLocalTime,
+  kTime,
+  kLocalDateTime,
+  kDateTime,
+  kDuration,
+};
+
+/// Human-readable type name ("INTEGER", "LIST", ...), used in error messages.
+const char* ValueTypeName(ValueType t);
+
+class Value;
+using ValueList = std::vector<Value>;
+/// Maps use std::map for deterministic iteration (printing, comparison).
+using ValueMap = std::map<std::string, Value>;
+
+/// A Cypher value (the set 𝒱 of §4.1): null, booleans, integers, strings
+/// (we also carry floats as a base type, like every real implementation),
+/// lists, maps, node/relationship identifiers, paths, and the Cypher 10
+/// temporal types. Lists, maps and paths are shared_ptr-backed so copying
+/// a Value is cheap; values are immutable once constructed.
+class Value {
+ public:
+  /// Constructs null.
+  Value() : rep_(NullRep{}) {}
+
+  static Value Null() { return Value(); }
+  static Value Bool(bool b) { return Value(Rep(b)); }
+  static Value Int(int64_t i) { return Value(Rep(i)); }
+  static Value Float(double d) { return Value(Rep(d)); }
+  static Value String(std::string s) {
+    return Value(Rep(std::make_shared<std::string>(std::move(s))));
+  }
+  static Value MakeList(ValueList items) {
+    return Value(Rep(std::make_shared<ValueList>(std::move(items))));
+  }
+  static Value EmptyList() { return MakeList({}); }
+  static Value MakeMap(ValueMap m) {
+    return Value(Rep(std::make_shared<ValueMap>(std::move(m))));
+  }
+  static Value Node(NodeId n) { return Value(Rep(n)); }
+  static Value Relationship(RelId r) { return Value(Rep(r)); }
+  static Value MakePath(Path p) {
+    return Value(Rep(std::make_shared<Path>(std::move(p))));
+  }
+  static Value Temporal(Date d) { return Value(Rep(d)); }
+  static Value Temporal(LocalTime t) { return Value(Rep(t)); }
+  static Value Temporal(ZonedTime t) { return Value(Rep(t)); }
+  static Value Temporal(LocalDateTime t) { return Value(Rep(t)); }
+  static Value Temporal(ZonedDateTime t) { return Value(Rep(t)); }
+  static Value Temporal(Duration d) { return Value(Rep(d)); }
+
+  ValueType type() const;
+
+  bool is_null() const { return type() == ValueType::kNull; }
+  bool is_bool() const { return type() == ValueType::kBool; }
+  bool is_int() const { return type() == ValueType::kInt; }
+  bool is_float() const { return type() == ValueType::kFloat; }
+  bool is_number() const { return is_int() || is_float(); }
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_list() const { return type() == ValueType::kList; }
+  bool is_map() const { return type() == ValueType::kMap; }
+  bool is_node() const { return type() == ValueType::kNode; }
+  bool is_relationship() const { return type() == ValueType::kRelationship; }
+  bool is_path() const { return type() == ValueType::kPath; }
+  bool is_temporal() const {
+    ValueType t = type();
+    return t >= ValueType::kDate && t <= ValueType::kDuration;
+  }
+
+  /// Typed accessors. Preconditions: the value holds that type.
+  bool AsBool() const { return std::get<bool>(rep_); }
+  int64_t AsInt() const { return std::get<int64_t>(rep_); }
+  double AsFloat() const { return std::get<double>(rep_); }
+  /// Numeric value widened to double (int or float).
+  double AsNumber() const {
+    return is_int() ? static_cast<double>(AsInt()) : AsFloat();
+  }
+  const std::string& AsString() const {
+    return *std::get<std::shared_ptr<std::string>>(rep_);
+  }
+  const ValueList& AsList() const {
+    return *std::get<std::shared_ptr<ValueList>>(rep_);
+  }
+  const ValueMap& AsMap() const {
+    return *std::get<std::shared_ptr<ValueMap>>(rep_);
+  }
+  NodeId AsNode() const { return std::get<NodeId>(rep_); }
+  RelId AsRelationship() const { return std::get<RelId>(rep_); }
+  const Path& AsPath() const { return *std::get<std::shared_ptr<Path>>(rep_); }
+  Date AsDate() const { return std::get<Date>(rep_); }
+  LocalTime AsLocalTime() const { return std::get<LocalTime>(rep_); }
+  ZonedTime AsTime() const { return std::get<ZonedTime>(rep_); }
+  LocalDateTime AsLocalDateTime() const {
+    return std::get<LocalDateTime>(rep_);
+  }
+  ZonedDateTime AsDateTime() const { return std::get<ZonedDateTime>(rep_); }
+  Duration AsDuration() const { return std::get<Duration>(rep_); }
+
+  /// Display form: `null`, `true`, `'abc'`, `[1, 2]`, `{k: 1}`, `(3)`,
+  /// `[:42]`, `<(1)-[:0]->(2)>`, `1984-06-10`. Graph-aware rendering (with
+  /// labels and properties) lives in graph/property_graph.h.
+  std::string ToString() const;
+
+ private:
+  struct NullRep {};
+
+  using Rep = std::variant<NullRep, bool, int64_t, double,
+                           std::shared_ptr<std::string>,
+                           std::shared_ptr<ValueList>,
+                           std::shared_ptr<ValueMap>, NodeId, RelId,
+                           std::shared_ptr<Path>, Date, LocalTime, ZonedTime,
+                           LocalDateTime, ZonedDateTime, Duration>;
+
+  explicit Value(Rep rep) : rep_(std::move(rep)) {}
+
+  Rep rep_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_VALUE_VALUE_H_

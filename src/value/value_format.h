@@ -1,0 +1,20 @@
+#ifndef GQLITE_VALUE_VALUE_FORMAT_H_
+#define GQLITE_VALUE_VALUE_FORMAT_H_
+
+#include <string>
+
+#include "src/value/value.h"
+
+namespace gqlite {
+
+/// Renders a value for display. Nodes and relationships render as bare ids
+/// ("(3)", "[:7]") because a Value does not know its graph; the
+/// graph-aware pretty printer lives next to PropertyGraph.
+std::string FormatValue(const Value& v);
+
+/// Renders a float like Cypher does: integral floats get a trailing ".0".
+std::string FormatFloat(double d);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_VALUE_VALUE_FORMAT_H_

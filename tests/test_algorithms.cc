@@ -1,0 +1,173 @@
+// Tests for the built-in graph algorithms (§1: "built-in support for
+// graph algorithms (e.g., Page Rank, subgraph matching and so on)").
+
+#include <gtest/gtest.h>
+
+#include "src/algo/graph_algorithms.h"
+#include "src/workload/generators.h"
+#include "src/workload/paper_graphs.h"
+
+namespace gqlite {
+namespace {
+
+using algo::BfsDistances;
+using algo::DegreeHistogram;
+using algo::PageRank;
+using algo::ShortestPath;
+using algo::TraversalOptions;
+using algo::TriangleCount;
+using algo::WeaklyConnectedComponents;
+
+TEST(ShortestPathTest, ChainEndToEnd) {
+  GraphPtr g = workload::MakeChain(6);
+  auto p = ShortestPath(*g, NodeId{0}, NodeId{5});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 5u);
+  EXPECT_EQ(p->nodes.front(), NodeId{0});
+  EXPECT_EQ(p->nodes.back(), NodeId{5});
+}
+
+TEST(ShortestPathTest, SourceEqualsTarget) {
+  GraphPtr g = workload::MakeChain(3);
+  auto p = ShortestPath(*g, NodeId{1}, NodeId{1});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 0u);
+}
+
+TEST(ShortestPathTest, DirectionMatters) {
+  GraphPtr g = workload::MakeChain(4);
+  EXPECT_FALSE(ShortestPath(*g, NodeId{3}, NodeId{0}).has_value());
+  TraversalOptions undirected;
+  undirected.undirected = true;
+  auto p = ShortestPath(*g, NodeId{3}, NodeId{0}, undirected);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 3u);
+}
+
+TEST(ShortestPathTest, TypeFilter) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  NodeId c = g.CreateNode();
+  g.CreateRelationship(a, b, "SLOW").value();
+  g.CreateRelationship(b, c, "SLOW").value();
+  g.CreateRelationship(a, c, "FAST").value();
+  TraversalOptions slow;
+  slow.type = "SLOW";
+  auto p = ShortestPath(g, a, c, slow);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+  auto any = ShortestPath(g, a, c);
+  ASSERT_TRUE(any.has_value());
+  EXPECT_EQ(any->length(), 1u);
+  TraversalOptions nope;
+  nope.type = "MISSING";
+  EXPECT_FALSE(ShortestPath(g, a, c, nope).has_value());
+}
+
+TEST(ShortestPathTest, PaperGraphCitations) {
+  workload::PaperFigure1 fig = workload::MakePaperFigure1Graph();
+  TraversalOptions cites;
+  cites.type = "CITES";
+  // n9 cites n4 cites n2: distance 2.
+  auto p = ShortestPath(*fig.graph, fig.n[9], fig.n[2], cites);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->length(), 2u);
+}
+
+TEST(BfsDistancesTest, GridManhattan) {
+  GraphPtr g = workload::MakeGrid(3, 3);  // RIGHT/DOWN edges
+  auto dist = BfsDistances(*g, NodeId{0});
+  EXPECT_EQ(dist.size(), 9u);  // everything reachable going right/down
+  EXPECT_EQ(dist[8], 4);       // corner to corner = 2+2 hops
+  auto from_corner = BfsDistances(*g, NodeId{8});
+  EXPECT_EQ(from_corner.size(), 1u);  // nothing reachable downstream
+}
+
+TEST(PageRankTest, SumsToOneAndRanksHubs) {
+  workload::DependencyConfig cfg;
+  cfg.layers = 3;
+  cfg.per_layer = 5;
+  cfg.fanout = 2;
+  GraphPtr g = workload::MakeDependencyNetwork(cfg);
+  auto pr = PageRank(*g);
+  double sum = 0;
+  for (const auto& [id, score] : pr) sum += score;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  // The tier-0 core service receives every chain of dependency mass.
+  uint64_t best = 0;
+  double best_score = -1;
+  for (const auto& [id, score] : pr) {
+    if (score > best_score) {
+      best_score = score;
+      best = id;
+    }
+  }
+  EXPECT_EQ(g->NodeProperty(NodeId{best}, "name").AsString(), "svc-0-0");
+}
+
+TEST(PageRankTest, SymmetricCycleIsUniform) {
+  GraphPtr g = workload::MakeCycle(5);
+  auto pr = PageRank(*g);
+  for (const auto& [id, score] : pr) EXPECT_NEAR(score, 0.2, 1e-9);
+}
+
+TEST(ComponentsTest, DisjointChains) {
+  PropertyGraph g;
+  NodeId a0 = g.CreateNode();
+  NodeId a1 = g.CreateNode();
+  NodeId b0 = g.CreateNode();
+  NodeId b1 = g.CreateNode();
+  NodeId lone = g.CreateNode();
+  g.CreateRelationship(a0, a1, "T").value();
+  g.CreateRelationship(b1, b0, "T").value();  // direction irrelevant (WCC)
+  auto comp = WeaklyConnectedComponents(g);
+  EXPECT_EQ(comp[a0.id], comp[a1.id]);
+  EXPECT_EQ(comp[b0.id], comp[b1.id]);
+  EXPECT_NE(comp[a0.id], comp[b0.id]);
+  EXPECT_EQ(comp[lone.id], lone.id);
+}
+
+TEST(TriangleCountTest, CliqueAndGrid) {
+  EXPECT_EQ(TriangleCount(*workload::MakeClique(4)), 4);   // C(4,3)
+  EXPECT_EQ(TriangleCount(*workload::MakeClique(5)), 10);  // C(5,3)
+  EXPECT_EQ(TriangleCount(*workload::MakeGrid(3, 3)), 0);  // bipartite-ish
+  EXPECT_EQ(TriangleCount(*workload::MakeCycle(3)), 1);
+}
+
+TEST(TriangleCountTest, SelfLoopsAndParallelEdgesIgnored) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  NodeId c = g.CreateNode();
+  g.CreateRelationship(a, a, "SELF").value();
+  g.CreateRelationship(a, b, "T").value();
+  g.CreateRelationship(b, a, "T").value();  // parallel (reverse)
+  g.CreateRelationship(b, c, "T").value();
+  g.CreateRelationship(c, a, "T").value();
+  EXPECT_EQ(TriangleCount(g), 1);
+}
+
+TEST(DegreeHistogramTest, Chain) {
+  GraphPtr g = workload::MakeChain(4);
+  auto hist = DegreeHistogram(*g);
+  // Two endpoints with degree 1, two middles with degree 2.
+  ASSERT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist[0], (std::pair<size_t, size_t>{1, 2}));
+  EXPECT_EQ(hist[1], (std::pair<size_t, size_t>{2, 2}));
+}
+
+TEST(AlgorithmsOnDeletedNodes, SkipsTombstones) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  NodeId c = g.CreateNode();
+  g.CreateRelationship(a, b, "T").value();
+  ASSERT_TRUE(g.DeleteNode(c).ok());
+  EXPECT_EQ(PageRank(g).size(), 2u);
+  EXPECT_EQ(WeaklyConnectedComponents(g).size(), 2u);
+  EXPECT_FALSE(ShortestPath(g, a, c).has_value());
+}
+
+}  // namespace
+}  // namespace gqlite

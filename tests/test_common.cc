@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "src/common/interner.h"
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/common/string_util.h"
+
+namespace gqlite {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::SyntaxError("unexpected token");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kSyntaxError);
+  EXPECT_EQ(s.message(), "unexpected token");
+  EXPECT_EQ(s.ToString(), "SyntaxError: unexpected token");
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_EQ(b.code(), StatusCode::kInternal);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x;
+}
+
+Result<int> Doubled(int x) {
+  GQL_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v * 2;
+}
+
+TEST(Result, ValuePath) {
+  Result<int> r = Doubled(21);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, ErrorPath) {
+  Result<int> r = Doubled(-1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StringUtil, CaseConversion) {
+  EXPECT_EQ(AsciiToLower("MaTcH"), "match");
+  EXPECT_EQ(AsciiToUpper("MaTcH"), "MATCH");
+  EXPECT_TRUE(AsciiEqualsIgnoreCase("OPTIONAL", "optional"));
+  EXPECT_FALSE(AsciiEqualsIgnoreCase("OPTIONAL", "option"));
+}
+
+TEST(StringUtil, JoinSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  std::vector<std::string> parts = Split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[2], "");
+  parts = SplitBy("one--two--three", "--");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "two");
+}
+
+TEST(StringUtil, TrimAndPredicates) {
+  EXPECT_EQ(TrimView("  x y  "), "x y");
+  EXPECT_EQ(LTrimView("  z"), "z");
+  EXPECT_EQ(RTrimView("z  "), "z");
+  EXPECT_TRUE(StartsWith("hello", "he"));
+  EXPECT_TRUE(EndsWith("hello", "lo"));
+  EXPECT_TRUE(Contains("hello", "ell"));
+  EXPECT_FALSE(Contains("hello", "xyz"));
+}
+
+TEST(Interner, InternAndLookup) {
+  StringInterner in;
+  SymbolId a = in.Intern("Person");
+  SymbolId b = in.Intern("Movie");
+  SymbolId a2 = in.Intern("Person");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.ToString(a), "Person");
+  EXPECT_EQ(in.Lookup("Movie"), b);
+  EXPECT_EQ(in.Lookup("Nope"), kNoSymbol);
+  EXPECT_EQ(in.Intern(""), kNoSymbol);
+}
+
+TEST(Interner, ManyStringsStableIds) {
+  StringInterner in;
+  std::vector<SymbolId> ids;
+  for (int i = 0; i < 1000; ++i) ids.push_back(in.Intern("s" + std::to_string(i)));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(in.ToString(ids[i]), "s" + std::to_string(i));
+    EXPECT_EQ(in.Lookup("s" + std::to_string(i)), ids[i]);
+  }
+}
+
+}  // namespace
+}  // namespace gqlite

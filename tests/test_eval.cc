@@ -1,0 +1,327 @@
+// Expression-evaluation tests: ⟦expr⟧G,u (§4.3) — operators, 3VL through
+// the connectives and comparisons, arithmetic overloads, lists, maps,
+// CASE, comprehensions, and temporal arithmetic.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/eval/evaluator.h"
+#include "src/frontend/parser.h"
+
+namespace gqlite {
+namespace {
+
+Result<Value> Eval(const std::string& text, const Environment& env,
+                   const PropertyGraph* g = nullptr) {
+  auto expr = ParseExpression(text);
+  if (!expr.ok()) return expr.status();
+  EvalContext ctx;
+  ctx.graph = g;
+  static ValueMap no_params;
+  ctx.parameters = &no_params;
+  return EvaluateExpr(**expr, env, ctx);
+}
+
+Value MustEval(const std::string& text) {
+  MapEnvironment env;
+  auto r = Eval(text, env);
+  EXPECT_TRUE(r.ok()) << text << ": " << r.status().ToString();
+  return r.ok() ? *r : Value::Null();
+}
+
+#define EXPECT_EVAL_INT(text, want) \
+  EXPECT_EQ(MustEval(text).AsInt(), (want)) << (text)
+#define EXPECT_EVAL_NULL(text) \
+  EXPECT_TRUE(MustEval(text).is_null()) << (text)
+#define EXPECT_EVAL_BOOL(text, want) \
+  EXPECT_EQ(MustEval(text).AsBool(), (want)) << (text)
+#define EXPECT_EVAL_STR(text, want) \
+  EXPECT_EQ(MustEval(text).AsString(), (want)) << (text)
+
+TEST(EvalArithmetic, Integers) {
+  EXPECT_EVAL_INT("1 + 2 * 3", 7);
+  EXPECT_EVAL_INT("7 / 2", 3);   // integer division truncates
+  EXPECT_EVAL_INT("7 % 3", 1);
+  EXPECT_EVAL_INT("-(3 + 4)", -7);
+  EXPECT_EVAL_INT("2 - 3 - 4", -5);
+}
+
+TEST(EvalArithmetic, Floats) {
+  EXPECT_DOUBLE_EQ(MustEval("7.0 / 2").AsFloat(), 3.5);
+  EXPECT_DOUBLE_EQ(MustEval("1 + 0.5").AsFloat(), 1.5);
+  EXPECT_DOUBLE_EQ(MustEval("2 ^ 10").AsFloat(), 1024.0);  // pow is float
+  EXPECT_DOUBLE_EQ(MustEval("7.5 % 2").AsFloat(), 1.5);
+}
+
+TEST(EvalArithmetic, NullPropagation) {
+  EXPECT_EVAL_NULL("1 + null");
+  EXPECT_EVAL_NULL("null * 2");
+  EXPECT_EVAL_NULL("null / 0");  // null wins over the division error
+  EXPECT_EVAL_NULL("-null");
+}
+
+TEST(EvalArithmetic, Errors) {
+  MapEnvironment env;
+  EXPECT_EQ(Eval("1 / 0", env).status().code(),
+            StatusCode::kEvaluationError);
+  EXPECT_EQ(Eval("1 % 0", env).status().code(),
+            StatusCode::kEvaluationError);
+  EXPECT_EQ(Eval("true + 1", env).status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Eval("-'x'", env).status().code(), StatusCode::kTypeError);
+}
+
+TEST(EvalArithmetic, StringConcat) {
+  EXPECT_EVAL_STR("'a' + 'b'", "ab");
+  EXPECT_EVAL_STR("'n=' + 3", "n=3");
+  EXPECT_EVAL_STR("1 + 'x'", "1x");
+  EXPECT_EVAL_STR("'pi=' + 2.5", "pi=2.5");
+}
+
+TEST(EvalArithmetic, ListConcat) {
+  Value v = MustEval("[1, 2] + [3]");
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.AsList().size(), 3u);
+  v = MustEval("[1] + 2");  // append element
+  EXPECT_EQ(v.AsList().size(), 2u);
+  v = MustEval("0 + [1, 2]");  // prepend element
+  EXPECT_EQ(v.AsList().size(), 3u);
+  EXPECT_EQ(v.AsList()[0].AsInt(), 0);
+}
+
+TEST(EvalLogic, ConnectivesWithNull) {
+  EXPECT_EVAL_BOOL("true AND true", true);
+  EXPECT_EVAL_BOOL("true AND false", false);
+  EXPECT_EVAL_NULL("true AND null");
+  EXPECT_EVAL_BOOL("false AND null", false);  // false dominates
+  EXPECT_EVAL_BOOL("true OR null", true);     // true dominates
+  EXPECT_EVAL_NULL("false OR null");
+  EXPECT_EVAL_NULL("null XOR true");
+  EXPECT_EVAL_NULL("NOT null");
+  EXPECT_EVAL_BOOL("NOT false", true);
+}
+
+TEST(EvalLogic, TypeErrorsOnNonBoolean) {
+  MapEnvironment env;
+  EXPECT_EQ(Eval("1 AND true", env).status().code(), StatusCode::kTypeError);
+  EXPECT_EQ(Eval("NOT 'x'", env).status().code(), StatusCode::kTypeError);
+}
+
+TEST(EvalComparison, Numbers) {
+  EXPECT_EVAL_BOOL("1 < 2", true);
+  EXPECT_EVAL_BOOL("2 <= 2", true);
+  EXPECT_EVAL_BOOL("2 > 2", false);
+  EXPECT_EVAL_BOOL("2 >= 2.0", true);
+  EXPECT_EVAL_BOOL("1 = 1.0", true);
+  EXPECT_EVAL_BOOL("1 <> 2", true);
+}
+
+TEST(EvalComparison, NullsAndIncomparables) {
+  EXPECT_EVAL_NULL("1 < null");
+  EXPECT_EVAL_NULL("null = null");
+  EXPECT_EVAL_NULL("1 < 'a'");
+  EXPECT_EVAL_BOOL("1 = 'a'", false);  // equality across types is false
+  EXPECT_EVAL_NULL("1 <= 'a'");
+}
+
+TEST(EvalComparison, StringsAndBooleans) {
+  EXPECT_EVAL_BOOL("'abc' < 'abd'", true);
+  EXPECT_EVAL_BOOL("'abc' = 'abc'", true);
+  EXPECT_EVAL_BOOL("false < true", true);
+}
+
+TEST(EvalComparison, ListEquality3VL) {
+  EXPECT_EVAL_BOOL("[1, 2] = [1, 2]", true);
+  EXPECT_EVAL_BOOL("[1, 2] = [1, 3]", false);
+  EXPECT_EVAL_NULL("[1, null] = [1, 2]");
+  EXPECT_EVAL_BOOL("[1, null] = [2, null]", false);
+  EXPECT_EVAL_BOOL("[1, [2, 3]] = [1, [2, 3]]", true);
+}
+
+TEST(EvalStringPredicates, Basics) {
+  EXPECT_EVAL_BOOL("'hello' STARTS WITH 'he'", true);
+  EXPECT_EVAL_BOOL("'hello' ENDS WITH 'lo'", true);
+  EXPECT_EVAL_BOOL("'hello' CONTAINS 'ell'", true);
+  EXPECT_EVAL_BOOL("'hello' CONTAINS 'xyz'", false);
+  EXPECT_EVAL_NULL("null STARTS WITH 'a'");
+  EXPECT_EVAL_NULL("'a' ENDS WITH null");
+  EXPECT_EVAL_NULL("1 CONTAINS 'a'");  // non-string operand → null
+}
+
+TEST(EvalStringPredicates, Regex) {
+  EXPECT_EVAL_BOOL("'hello' =~ 'h.*o'", true);
+  EXPECT_EVAL_BOOL("'hello' =~ 'h'", false);  // full match semantics
+  MapEnvironment env;
+  EXPECT_EQ(Eval("'x' =~ '('", env).status().code(),
+            StatusCode::kEvaluationError);
+}
+
+TEST(EvalIn, MembershipWith3VL) {
+  EXPECT_EVAL_BOOL("2 IN [1, 2, 3]", true);
+  EXPECT_EVAL_BOOL("4 IN [1, 2, 3]", false);
+  EXPECT_EVAL_NULL("4 IN [1, null]");   // maybe the null was 4
+  EXPECT_EVAL_BOOL("1 IN [1, null]", true);
+  EXPECT_EVAL_NULL("null IN [1, 2]");
+  EXPECT_EVAL_BOOL("null IN []", false);  // nothing to match in an empty list
+  EXPECT_EVAL_NULL("2 IN null");
+}
+
+TEST(EvalListAccess, IndexAndSlice) {
+  EXPECT_EVAL_INT("[10, 20, 30][0]", 10);
+  EXPECT_EVAL_INT("[10, 20, 30][-1]", 30);
+  EXPECT_EVAL_NULL("[10][5]");
+  EXPECT_EVAL_NULL("[10][null]");
+  Value v = MustEval("[1, 2, 3, 4][1..3]");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].AsInt(), 2);
+  EXPECT_EQ(MustEval("[1, 2, 3][..2]").AsList().size(), 2u);
+  EXPECT_EQ(MustEval("[1, 2, 3][1..]").AsList().size(), 2u);
+  EXPECT_EQ(MustEval("[1, 2, 3][-2..]").AsList().size(), 2u);
+  EXPECT_EQ(MustEval("[1, 2, 3][2..1]").AsList().size(), 0u);
+}
+
+TEST(EvalMapAccess, KeysAndMissing) {
+  EXPECT_EVAL_INT("{a: 1, b: 2}.a", 1);
+  EXPECT_EVAL_NULL("{a: 1}.missing");
+  EXPECT_EVAL_INT("{a: {b: 3}}.a.b", 3);
+  EXPECT_EVAL_INT("{a: 1}['a']", 1);
+  EXPECT_EVAL_NULL("null.k");
+}
+
+TEST(EvalCase, SimpleAndSearched) {
+  EXPECT_EVAL_STR("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END", "two");
+  EXPECT_EVAL_NULL("CASE 9 WHEN 1 THEN 'one' END");
+  EXPECT_EVAL_STR("CASE 9 WHEN 1 THEN 'one' ELSE 'other' END", "other");
+  EXPECT_EVAL_STR("CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' END", "b");
+  // Simple CASE compares with equality: null never matches.
+  EXPECT_EVAL_STR("CASE null WHEN null THEN 'n' ELSE 'e' END", "e");
+}
+
+TEST(EvalListComprehension, FilterAndMap) {
+  Value v = MustEval("[x IN [1, 2, 3, 4] WHERE x % 2 = 0 | x * 10]");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.AsList().size(), 2u);
+  EXPECT_EQ(v.AsList()[0].AsInt(), 20);
+  EXPECT_EQ(v.AsList()[1].AsInt(), 40);
+  EXPECT_EQ(MustEval("[x IN [1, 2, 3] WHERE x > 1]").AsList().size(), 2u);
+  EXPECT_EQ(MustEval("[x IN [1, 2] | x + 1]").AsList()[0].AsInt(), 2);
+  EXPECT_EVAL_NULL("[x IN null | x]");
+  // Shadowing: inner variable hides outer.
+  MapEnvironment env;
+  env.Set("x", Value::Int(100));
+  auto r = Eval("[x IN [1] | x]", env);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsList()[0].AsInt(), 1);
+}
+
+TEST(EvalNullChecks, IsNull) {
+  EXPECT_EVAL_BOOL("null IS NULL", true);
+  EXPECT_EVAL_BOOL("1 IS NULL", false);
+  EXPECT_EVAL_BOOL("null IS NOT NULL", false);
+  EXPECT_EVAL_BOOL("(null = null) IS NULL", true);
+}
+
+TEST(EvalVariables, LookupAndMissing) {
+  MapEnvironment env;
+  env.Set("x", Value::Int(5));
+  auto r = Eval("x * 2", env);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 10);
+  EXPECT_FALSE(Eval("y", env).ok());
+}
+
+TEST(EvalGraphAccess, PropertiesAndLabels) {
+  PropertyGraph g;
+  NodeId n = g.CreateNode({"Person"}, {{"name", Value::String("Ada")},
+                                       {"age", Value::Int(36)}});
+  NodeId m = g.CreateNode({"Robot"});
+  RelId r = g.CreateRelationship(n, m, "MADE", {{"year", Value::Int(1842)}})
+                .value();
+  MapEnvironment env;
+  env.Set("n", Value::Node(n));
+  env.Set("m", Value::Node(m));
+  env.Set("r", Value::Relationship(r));
+
+  auto v = Eval("n.name", env, &g);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "Ada");
+  EXPECT_TRUE(Eval("n.nope", env, &g)->is_null());
+  EXPECT_EQ(Eval("r.year", env, &g)->AsInt(), 1842);
+  EXPECT_TRUE(Eval("n:Person", env, &g)->AsBool());
+  EXPECT_FALSE(Eval("m:Person", env, &g)->AsBool());
+  EXPECT_FALSE(Eval("n:Person:Robot", env, &g)->AsBool());
+  // Dynamic property access through indexing.
+  EXPECT_EQ(Eval("n['age']", env, &g)->AsInt(), 36);
+}
+
+TEST(EvalTemporalArithmetic, DatePlusDuration) {
+  EXPECT_EQ(MustEval("date('2018-01-31') + duration('P1M')")
+                .AsDate()
+                .ToString(),
+            "2018-02-28");
+  EXPECT_EQ(MustEval("date('2018-06-10') - duration('P10D')")
+                .AsDate()
+                .ToString(),
+            "2018-05-31");
+  EXPECT_EQ(MustEval("duration('P1D') + duration('PT12H')")
+                .AsDuration()
+                .ToString(),
+            "P1DT12H");
+  EXPECT_EQ(MustEval("duration('PT1H') * 3").AsDuration().seconds, 10800);
+  // Instant difference → duration.
+  EXPECT_EQ(MustEval("date('2018-06-20') - date('2018-06-10')")
+                .AsDuration()
+                .days,
+            10);
+}
+
+TEST(EvalTemporalComparison, SameFamilyOnly) {
+  EXPECT_EVAL_BOOL("date('2018-01-01') < date('2018-06-10')", true);
+  EXPECT_EVAL_NULL("date('2018-01-01') < localtime('12:00')");
+  EXPECT_EVAL_BOOL(
+      "datetime('2018-06-10T14:00:00+02:00') = "
+      "datetime('2018-06-10T12:00:00Z')",
+      true);  // same instant
+}
+
+TEST(EvalExists, PropertyForm) {
+  PropertyGraph g;
+  NodeId n = g.CreateNode({}, {{"x", Value::Int(1)}});
+  MapEnvironment env;
+  env.Set("n", Value::Node(n));
+  EXPECT_TRUE(Eval("exists(n.x)", env, &g)->AsBool());
+  EXPECT_FALSE(Eval("exists(n.y)", env, &g)->AsBool());
+}
+
+TEST(EvalPredicate, RequiresBooleanOrNull) {
+  MapEnvironment env;
+  EvalContext ctx;
+  auto expr = ParseExpression("1 + 1");
+  ASSERT_TRUE(expr.ok());
+  auto r = EvaluatePredicate(**expr, env, ctx);
+  EXPECT_EQ(r.status().code(), StatusCode::kTypeError);
+  auto ok_expr = ParseExpression("null");
+  auto ok = EvaluatePredicate(**ok_expr, env, ctx);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, Tri::kNull);
+}
+
+TEST(EvalParameters, Lookup) {
+  auto expr = ParseExpression("$p * 2");
+  ASSERT_TRUE(expr.ok());
+  ValueMap params;
+  params["p"] = Value::Int(21);
+  EvalContext ctx;
+  ctx.parameters = &params;
+  MapEnvironment env;
+  auto r = EvaluateExpr(**expr, env, ctx);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->AsInt(), 42);
+  ValueMap empty;
+  ctx.parameters = &empty;
+  EXPECT_FALSE(EvaluateExpr(**expr, env, ctx).ok());
+}
+
+}  // namespace
+}  // namespace gqlite

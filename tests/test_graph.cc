@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "src/graph/graph_catalog.h"
+#include "src/graph/graph_statistics.h"
+#include "src/graph/property_graph.h"
+#include "src/workload/generators.h"
+#include "src/workload/paper_graphs.h"
+
+namespace gqlite {
+namespace {
+
+TEST(PropertyGraph, CreateNodesAndRels) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"Person"}, {{"name", Value::String("Ada")}});
+  NodeId b = g.CreateNode({"Person", "Admin"});
+  auto r = g.CreateRelationship(a, b, "KNOWS", {{"since", Value::Int(1985)}});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumRels(), 1u);
+  EXPECT_EQ(g.Source(*r), a);
+  EXPECT_EQ(g.Target(*r), b);
+  EXPECT_EQ(g.RelType(*r), "KNOWS");
+  EXPECT_EQ(g.RelProperty(*r, "since").AsInt(), 1985);
+  EXPECT_TRUE(g.NodeHasLabel(a, "Person"));
+  EXPECT_TRUE(g.NodeHasLabel(b, "Admin"));
+  EXPECT_FALSE(g.NodeHasLabel(a, "Admin"));
+}
+
+TEST(PropertyGraph, PropertyAbsentIsNull) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  EXPECT_TRUE(g.NodeProperty(a, "nope").is_null());
+}
+
+TEST(PropertyGraph, SetAndRemoveProperty) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  EXPECT_EQ(g.SetNodeProperty(a, "x", Value::Int(1)), 1);
+  EXPECT_EQ(g.NodeProperty(a, "x").AsInt(), 1);
+  EXPECT_EQ(g.SetNodeProperty(a, "x", Value::Int(2)), 1);
+  EXPECT_EQ(g.NodeProperty(a, "x").AsInt(), 2);
+  // Setting null removes (Cypher SET n.x = null).
+  EXPECT_EQ(g.SetNodeProperty(a, "x", Value::Null()), 1);
+  EXPECT_TRUE(g.NodeProperty(a, "x").is_null());
+  EXPECT_EQ(g.SetNodeProperty(a, "y", Value::Null()), 0);
+  EXPECT_TRUE(g.NodePropertyKeys(a).empty());
+}
+
+TEST(PropertyGraph, NullPropertiesSkippedAtCreation) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({}, {{"x", Value::Null()}, {"y", Value::Int(1)}});
+  EXPECT_EQ(g.NodePropertyKeys(a).size(), 1u);
+  EXPECT_EQ(g.NodeProperties(a).size(), 1u);
+}
+
+TEST(PropertyGraph, AdjacencyIsDirect) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  NodeId c = g.CreateNode();
+  RelId r1 = g.CreateRelationship(a, b, "T").value();
+  RelId r2 = g.CreateRelationship(a, c, "T").value();
+  RelId r3 = g.CreateRelationship(b, a, "U").value();
+  EXPECT_EQ(g.OutRels(a).size(), 2u);
+  EXPECT_EQ(g.InRels(a).size(), 1u);
+  EXPECT_EQ(g.Degree(a), 3u);
+  EXPECT_EQ(g.OtherEnd(r1, a), b);
+  EXPECT_EQ(g.OtherEnd(r1, b), a);
+  EXPECT_EQ(g.OtherEnd(r2, a), c);
+  EXPECT_EQ(g.OtherEnd(r3, a), b);
+}
+
+TEST(PropertyGraph, LabelIndex) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"X"});
+  g.CreateNode({"Y"});
+  NodeId c = g.CreateNode({"X"});
+  const auto& xs = g.NodesWithLabel("X");
+  ASSERT_EQ(xs.size(), 2u);
+  EXPECT_EQ(xs[0], a);
+  EXPECT_EQ(xs[1], c);
+  EXPECT_TRUE(g.NodesWithLabel("Nope").empty());
+}
+
+TEST(PropertyGraph, AddRemoveLabelMaintainsIndex) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"X"});
+  EXPECT_TRUE(g.AddLabel(a, "Y"));
+  EXPECT_FALSE(g.AddLabel(a, "Y"));  // already present
+  EXPECT_EQ(g.NodesWithLabel("Y").size(), 1u);
+  EXPECT_TRUE(g.RemoveLabel(a, "X"));
+  EXPECT_FALSE(g.RemoveLabel(a, "X"));
+  EXPECT_TRUE(g.NodesWithLabel("X").empty());
+  EXPECT_EQ(g.NodeLabels(a), std::vector<std::string>{"Y"});
+}
+
+TEST(PropertyGraph, DeleteRules) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  RelId r = g.CreateRelationship(a, b, "T").value();
+  // Cannot delete a node with relationships.
+  EXPECT_FALSE(g.DeleteNode(a).ok());
+  ASSERT_TRUE(g.DeleteRelationship(r).ok());
+  EXPECT_FALSE(g.IsRelAlive(r));
+  EXPECT_EQ(g.Degree(a), 0u);
+  ASSERT_TRUE(g.DeleteNode(a).ok());
+  EXPECT_FALSE(g.IsNodeAlive(a));
+  EXPECT_EQ(g.NumNodes(), 1u);
+  // Double delete fails cleanly.
+  EXPECT_FALSE(g.DeleteNode(a).ok());
+  EXPECT_FALSE(g.DeleteRelationship(r).ok());
+}
+
+TEST(PropertyGraph, DetachDelete) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  g.CreateRelationship(a, b, "T").value();
+  g.CreateRelationship(b, a, "T").value();
+  g.CreateRelationship(a, a, "SELF").value();
+  ASSERT_TRUE(g.DetachDeleteNode(a).ok());
+  EXPECT_EQ(g.NumRels(), 0u);
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_TRUE(g.IsNodeAlive(b));
+}
+
+TEST(PropertyGraph, RelationshipToDeletedNodeFails) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  ASSERT_TRUE(g.DeleteNode(b).ok());
+  EXPECT_FALSE(g.CreateRelationship(a, b, "T").ok());
+  EXPECT_FALSE(g.CreateRelationship(a, NodeId{999}, "T").ok());
+  EXPECT_FALSE(g.CreateRelationship(a, a, "").ok());  // τ total
+}
+
+TEST(PropertyGraph, RenderShowsLabelsAndProps) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"Person"}, {{"name", Value::String("Nils")}});
+  EXPECT_EQ(g.Render(Value::Node(a)), "(:Person {name: 'Nils'})");
+  NodeId b = g.CreateNode();
+  RelId r = g.CreateRelationship(a, b, "KNOWS").value();
+  EXPECT_EQ(g.Render(Value::Relationship(r)), "[:KNOWS]");
+  Path p;
+  p.nodes = {a, b};
+  p.rels = {r};
+  EXPECT_EQ(g.Render(Value::MakePath(p)),
+            "(:Person {name: 'Nils'})-[:KNOWS]->()");
+}
+
+TEST(GraphStatistics, Counts) {
+  workload::CitationConfig cfg;
+  cfg.num_researchers = 10;
+  GraphPtr g = workload::MakeCitationGraph(cfg);
+  GraphStatistics stats(*g);
+  EXPECT_EQ(stats.NodesWithLabel("Researcher"), 10);
+  EXPECT_GT(stats.NodesWithLabel("Publication"), 0);
+  EXPECT_GT(stats.RelsWithType("AUTHORS"), 0);
+  EXPECT_EQ(stats.RelsWithType("NOPE"), 0);
+  EXPECT_GT(stats.AvgDegree(""), 0);
+  EXPECT_EQ(stats.RelsWithType(""), stats.RelCount());
+}
+
+TEST(GraphCatalog, ResolveByNameAndUrl) {
+  GraphCatalog cat;
+  EXPECT_TRUE(cat.HasGraph(GraphCatalog::kDefaultGraphName));
+  auto g = std::make_shared<PropertyGraph>();
+  cat.RegisterGraph("soc_net", g);
+  cat.RegisterUrl("hdfs://cluster/soc_network", g);
+  ASSERT_TRUE(cat.Resolve("soc_net").ok());
+  EXPECT_EQ(cat.Resolve("soc_net").value().get(), g.get());
+  EXPECT_EQ(cat.ResolveUrl("hdfs://cluster/soc_network").value().get(),
+            g.get());
+  EXPECT_FALSE(cat.Resolve("nope").ok());
+  EXPECT_FALSE(cat.ResolveUrl("bolt://nope").ok());
+}
+
+// ---- Paper graphs ----------------------------------------------------------
+
+TEST(PaperGraphs, Figure1MatchesExample41) {
+  workload::PaperFigure1 f = workload::MakePaperFigure1Graph();
+  const PropertyGraph& g = *f.graph;
+  EXPECT_EQ(g.NumNodes(), 10u);
+  EXPECT_EQ(g.NumRels(), 11u);
+  // Labels per Figure 1 (Example 4.1's swap is an erratum; see DESIGN.md).
+  for (int i : {1, 6, 10}) EXPECT_TRUE(g.NodeHasLabel(f.n[i], "Researcher"));
+  for (int i : {7, 8}) EXPECT_TRUE(g.NodeHasLabel(f.n[i], "Student"));
+  for (int i : {2, 3, 4, 5, 9}) {
+    EXPECT_TRUE(g.NodeHasLabel(f.n[i], "Publication"));
+  }
+  // src/tgt per Example 4.1.
+  EXPECT_EQ(g.Source(f.r[4]), f.n[5]);
+  EXPECT_EQ(g.Target(f.r[4]), f.n[2]);
+  EXPECT_EQ(g.Source(f.r[11]), f.n[9]);
+  EXPECT_EQ(g.Target(f.r[11]), f.n[5]);
+  // ι samples.
+  EXPECT_EQ(g.NodeProperty(f.n[1], "name").AsString(), "Nils");
+  EXPECT_EQ(g.NodeProperty(f.n[2], "acmid").AsInt(), 220);
+  EXPECT_EQ(g.NodeProperty(f.n[10], "name").AsString(), "Thor");
+  // τ samples.
+  EXPECT_EQ(g.RelType(f.r[1]), "AUTHORS");
+  EXPECT_EQ(g.RelType(f.r[6]), "SUPERVISES");
+  EXPECT_EQ(g.RelType(f.r[9]), "CITES");
+}
+
+TEST(PaperGraphs, Figure4Chain) {
+  workload::PaperFigure4 f = workload::MakePaperFigure4Graph();
+  const PropertyGraph& g = *f.graph;
+  EXPECT_EQ(g.NumNodes(), 4u);
+  EXPECT_EQ(g.NumRels(), 3u);
+  EXPECT_TRUE(g.NodeHasLabel(f.n[1], "Teacher"));
+  EXPECT_TRUE(g.NodeHasLabel(f.n[2], "Student"));
+  EXPECT_TRUE(g.NodeHasLabel(f.n[3], "Teacher"));
+  EXPECT_TRUE(g.NodeHasLabel(f.n[4], "Teacher"));
+  EXPECT_EQ(g.Source(f.r[2]), f.n[2]);
+  EXPECT_EQ(g.Target(f.r[2]), f.n[3]);
+}
+
+TEST(PaperGraphs, SelfLoop) {
+  workload::SelfLoop s = workload::MakeSelfLoopGraph();
+  EXPECT_EQ(s.graph->NumNodes(), 1u);
+  EXPECT_EQ(s.graph->NumRels(), 1u);
+  EXPECT_EQ(s.graph->Source(s.rel), s.node);
+  EXPECT_EQ(s.graph->Target(s.rel), s.node);
+}
+
+// ---- Generators -------------------------------------------------------------
+
+TEST(Generators, ChainAndCycle) {
+  GraphPtr chain = workload::MakeChain(5);
+  EXPECT_EQ(chain->NumNodes(), 5u);
+  EXPECT_EQ(chain->NumRels(), 4u);
+  GraphPtr cycle = workload::MakeCycle(5);
+  EXPECT_EQ(cycle->NumRels(), 5u);
+}
+
+TEST(Generators, Grid) {
+  GraphPtr g = workload::MakeGrid(3, 4);
+  EXPECT_EQ(g->NumNodes(), 12u);
+  // 3*(4-1) RIGHT + (3-1)*4 DOWN = 9 + 8.
+  EXPECT_EQ(g->NumRels(), 17u);
+}
+
+TEST(Generators, Clique) {
+  GraphPtr g = workload::MakeClique(4);
+  EXPECT_EQ(g->NumNodes(), 4u);
+  EXPECT_EQ(g->NumRels(), 12u);
+}
+
+TEST(Generators, FraudRingsShareSSN) {
+  workload::FraudConfig cfg;
+  cfg.num_holders = 20;
+  cfg.num_rings = 2;
+  cfg.ring_size = 3;
+  GraphPtr g = workload::MakeFraudGraph(cfg);
+  GraphStatistics stats(*g);
+  EXPECT_EQ(stats.NodesWithLabel("AccountHolder"), 20);
+  // Each ring SSN has ring_size incoming HAS edges.
+  const auto& ssns = g->NodesWithLabel("SSN");
+  size_t shared = 0;
+  for (NodeId s : ssns) {
+    if (g->InRels(s).size() >= 3) ++shared;
+  }
+  EXPECT_EQ(shared, 2u);
+}
+
+TEST(Generators, DeterministicBySeed) {
+  GraphPtr a = workload::MakeRandomGraph(50, 100, 7);
+  GraphPtr b = workload::MakeRandomGraph(50, 100, 7);
+  EXPECT_EQ(a->NumNodes(), b->NumNodes());
+  EXPECT_EQ(a->NumRels(), b->NumRels());
+  for (size_t i = 0; i < a->NumRelSlots(); ++i) {
+    RelId r{i};
+    EXPECT_EQ(a->Source(r), b->Source(r));
+    EXPECT_EQ(a->Target(r), b->Target(r));
+    EXPECT_EQ(a->RelType(r), b->RelType(r));
+  }
+}
+
+TEST(Generators, SocialNetworkShape) {
+  workload::SocialConfig cfg;
+  cfg.num_people = 100;
+  cfg.avg_friends = 4;
+  cfg.num_cities = 5;
+  GraphPtr g = workload::MakeSocialNetwork(cfg);
+  GraphStatistics stats(*g);
+  EXPECT_EQ(stats.NodesWithLabel("Person"), 100);
+  EXPECT_EQ(stats.NodesWithLabel("City"), 5);
+  EXPECT_EQ(stats.RelsWithType("IN"), 100);
+  EXPECT_GT(stats.RelsWithType("FRIEND"), 100);
+}
+
+TEST(Generators, DependencyLayers) {
+  workload::DependencyConfig cfg;
+  cfg.layers = 3;
+  cfg.per_layer = 10;
+  cfg.fanout = 2;
+  GraphPtr g = workload::MakeDependencyNetwork(cfg);
+  EXPECT_EQ(g->NumNodes(), 30u);
+  EXPECT_EQ(g->NumRels(), 2u * 10u * 2u);  // (layers-1) * per_layer * fanout
+}
+
+}  // namespace
+}  // namespace gqlite

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "src/frontend/lexer.h"
+
+namespace gqlite {
+namespace {
+
+std::vector<Token> Lex(std::string_view s) {
+  auto r = Tokenize(s);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? std::move(r).value() : std::vector<Token>{};
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = Lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kEof);
+}
+
+TEST(Lexer, IdentifiersAndKeywordsAreJustIdentifiers) {
+  auto toks = Lex("MATCH match Person _x a1");
+  ASSERT_EQ(toks.size(), 6u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(toks[i].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "MATCH");
+  EXPECT_EQ(toks[1].text, "match");
+  EXPECT_EQ(toks[3].text, "_x");
+}
+
+TEST(Lexer, BacktickIdentifier) {
+  auto toks = Lex("`weird name!`");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[0].text, "weird name!");
+  EXPECT_FALSE(Tokenize("`unterminated").ok());
+  EXPECT_FALSE(Tokenize("``").ok());
+}
+
+TEST(Lexer, Numbers) {
+  auto toks = Lex("42 3.14 .5 6.022e23 1e3 7");
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[0].int_value, 42);
+  EXPECT_EQ(toks[1].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[1].float_value, 3.14);
+  EXPECT_EQ(toks[2].kind, TokenKind::kFloat);
+  EXPECT_DOUBLE_EQ(toks[2].float_value, 0.5);
+  EXPECT_EQ(toks[3].kind, TokenKind::kFloat);
+  EXPECT_EQ(toks[4].kind, TokenKind::kFloat);
+  EXPECT_EQ(toks[5].kind, TokenKind::kInteger);
+}
+
+TEST(Lexer, RangeDotsDontEatNumbers) {
+  // `1..2` must lex as integer, dotdot, integer (variable-length ranges).
+  auto toks = Lex("*1..2");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kStar);
+  EXPECT_EQ(toks[1].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[2].kind, TokenKind::kDotDot);
+  EXPECT_EQ(toks[3].kind, TokenKind::kInteger);
+}
+
+TEST(Lexer, PropertyDot) {
+  auto toks = Lex("r.name");
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(toks[1].kind, TokenKind::kDot);
+  EXPECT_EQ(toks[2].kind, TokenKind::kIdentifier);
+}
+
+TEST(Lexer, Strings) {
+  auto toks = Lex("'abc' \"def\" 'it\\'s' 'tab\\there'");
+  EXPECT_EQ(toks[0].text, "abc");
+  EXPECT_EQ(toks[1].text, "def");
+  EXPECT_EQ(toks[2].text, "it's");
+  EXPECT_EQ(toks[3].text, "tab\there");
+  EXPECT_FALSE(Tokenize("'unterminated").ok());
+  EXPECT_FALSE(Tokenize("'bad\\q'").ok());
+}
+
+TEST(Lexer, Parameters) {
+  auto toks = Lex("$duration $x_1");
+  EXPECT_EQ(toks[0].kind, TokenKind::kParameter);
+  EXPECT_EQ(toks[0].text, "duration");
+  EXPECT_EQ(toks[1].text, "x_1");
+  EXPECT_FALSE(Tokenize("$ ").ok());
+}
+
+TEST(Lexer, OperatorsAndPunct) {
+  auto toks = Lex("<> <= >= < > = =~ + - * / % ^ += .. | ; ,");
+  std::vector<TokenKind> expect = {
+      TokenKind::kNeq,    TokenKind::kLe,     TokenKind::kGe,
+      TokenKind::kLt,     TokenKind::kGt,     TokenKind::kEq,
+      TokenKind::kRegexMatch, TokenKind::kPlus,   TokenKind::kMinus,
+      TokenKind::kStar,   TokenKind::kSlash,  TokenKind::kPercent,
+      TokenKind::kCaret,  TokenKind::kPlusEq, TokenKind::kDotDot,
+      TokenKind::kPipe,   TokenKind::kSemicolon, TokenKind::kComma,
+  };
+  ASSERT_GE(toks.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expect[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, PatternPunctuation) {
+  auto toks = Lex("(a)-[r:KNOWS*1..2]->(b)");
+  std::vector<TokenKind> expect = {
+      TokenKind::kLParen,   TokenKind::kIdentifier, TokenKind::kRParen,
+      TokenKind::kMinus,    TokenKind::kLBracket,   TokenKind::kIdentifier,
+      TokenKind::kColon,    TokenKind::kIdentifier, TokenKind::kStar,
+      TokenKind::kInteger,  TokenKind::kDotDot,     TokenKind::kInteger,
+      TokenKind::kRBracket, TokenKind::kMinus,      TokenKind::kGt,
+      TokenKind::kLParen,   TokenKind::kIdentifier, TokenKind::kRParen,
+      TokenKind::kEof,
+  };
+  ASSERT_EQ(toks.size(), expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(toks[i].kind, expect[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, Comments) {
+  auto toks = Lex("a // line comment\n b /* block\ncomment */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+  EXPECT_FALSE(Tokenize("/* unterminated").ok());
+}
+
+TEST(Lexer, LineColTracking) {
+  auto toks = Lex("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[0].col, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, BangEqAlias) {
+  auto toks = Lex("a != b");
+  EXPECT_EQ(toks[1].kind, TokenKind::kNeq);
+  EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+}  // namespace
+}  // namespace gqlite

@@ -1,0 +1,410 @@
+// TCK-style acceptance scenarios (the openCypher project publishes a
+// Technology Compatibility Kit, §5; these tests follow its
+// given-setup/when-query/then-rows style). Every scenario runs through
+// BOTH executors — the reference interpreter and the Volcano runtime —
+// so the suite doubles as a parity harness on handwritten cases.
+//
+// Expected rows are written as formatted cell values (FormatValue), with
+// row order ignored unless the query has ORDER BY (the harness sorts
+// both sides canonically).
+
+#include <gtest/gtest.h>
+
+#include "src/core/engine.h"
+
+namespace gqlite {
+namespace {
+
+struct Scenario {
+  const char* name;
+  std::vector<const char*> setup;
+  const char* query;
+  std::vector<std::vector<const char*>> expected;  // formatted cells
+  bool ordered = false;
+};
+
+std::vector<Scenario> Scenarios() {
+  return {
+      // ---- MATCH basics ----------------------------------------------------
+      {"match all nodes on empty graph", {}, "MATCH (n) RETURN n", {}},
+      {"match returns every node",
+       {"CREATE (:A), (:B)"},
+       "MATCH (n) RETURN count(*) AS c",
+       {{"2"}}},
+      {"label filters",
+       {"CREATE (:A {v: 1}), (:B {v: 2}), (:A:B {v: 3})"},
+       "MATCH (n:A) RETURN n.v AS v ORDER BY v",
+       {{"1"}, {"3"}},
+       true},
+      {"property map in node pattern",
+       {"CREATE ({v: 1, w: 1}), ({v: 1, w: 2})"},
+       "MATCH (n {v: 1, w: 2}) RETURN n.w AS w",
+       {{"2"}}},
+      {"anonymous nodes do not join",
+       {"CREATE (:A)-[:T]->(:B), (:A)-[:T]->(:B)"},
+       "MATCH ()-[:T]->() RETURN count(*) AS c",
+       {{"2"}}},
+      {"direction matters",
+       {"CREATE (a:A)-[:T]->(b:B)"},
+       "MATCH (b:B)-[:T]->(a:A) RETURN count(*) AS c",
+       {{"0"}}},
+      {"undirected matches both ways",
+       {"CREATE (a:A)-[:T]->(b:B)"},
+       "MATCH (x)-[:T]-(y) RETURN count(*) AS c",
+       {{"2"}}},
+      {"multiple types",
+       {"CREATE (a)-[:X]->(b), (a)-[:Y]->(b), (a)-[:Z]->(b)"},
+       "MATCH ()-[r:X|Y]->() RETURN count(*) AS c",
+       {{"2"}}},
+      {"pattern tuple is a join",
+       {"CREATE (a:A)-[:T]->(b:B), (b)-[:U]->(c:C)"},
+       "MATCH (a:A)-[:T]->(m), (m)-[:U]->(c:C) RETURN count(*) AS c",
+       {{"1"}}},
+      {"relationship variable reuse joins",
+       {"CREATE (a:A)-[:T {w: 1}]->(b:B)"},
+       "MATCH (a)-[r]->(b) MATCH (x)-[r]->(y) RETURN count(*) AS c",
+       {{"1"}}},
+
+      // ---- Variable length --------------------------------------------------
+      {"star means one or more",
+       {"CREATE (a:S)-[:T]->(b)-[:T]->(c)"},
+       "MATCH (a:S)-[:T*]->(x) RETURN count(*) AS c",
+       {{"2"}}},
+      {"zero length includes self",
+       {"CREATE (a:S)-[:T]->(b)"},
+       "MATCH (a:S)-[:T*0..1]->(x) RETURN count(*) AS c",
+       {{"2"}}},
+      {"exact length",
+       {"CREATE (a:S)-[:T]->(b)-[:T]->(c)-[:T]->(d)"},
+       "MATCH (:S)-[:T*3]->(x) RETURN count(*) AS c",
+       {{"1"}}},
+      {"variable length respects rel uniqueness",
+       {"CREATE (a)-[:T]->(b), (b)-[:T]->(a)"},
+       "MATCH (x)-[:T*4]->(y) RETURN count(*) AS c",
+       {{"0"}}},  // only 2 rels exist; a length-4 trail is impossible
+      {"size of relationship list",
+       {"CREATE (a:S)-[:T]->(b)-[:T]->(c)"},
+       "MATCH (:S)-[rs:T*1..2]->() RETURN size(rs) AS n ORDER BY n",
+       {{"1"}, {"2"}},
+       true},
+
+      // ---- OPTIONAL MATCH ---------------------------------------------------
+      {"optional match pads with null",
+       {"CREATE (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN b",
+       {{"null"}}},
+      {"optional match keeps matches",
+       {"CREATE (:A)-[:T]->(:B {v: 7})"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN b.v AS v",
+       {{"7"}}},
+      {"where inside optional decides padding",
+       {"CREATE (:A)-[:T]->(:B {v: 1})"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) WHERE b.v > 5 RETURN b",
+       {{"null"}}},
+      {"optional then aggregate counts zero",
+       {"CREATE (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN count(b) AS c",
+       {{"0"}}},
+
+      // ---- WHERE and null handling ------------------------------------------
+      {"where drops null comparisons",
+       {"CREATE ({v: 1}), ({v: 2}), ({w: 3})"},
+       "MATCH (n) WHERE n.v > 1 RETURN count(*) AS c",
+       {{"1"}}},
+      {"is null predicate",
+       {"CREATE ({v: 1}), ({w: 1})"},
+       "MATCH (n) WHERE n.v IS NULL RETURN count(*) AS c",
+       {{"1"}}},
+      {"label predicate in where",
+       {"CREATE (:A), (:B), (:A:B)"},
+       "MATCH (n) WHERE n:A AND NOT n:B RETURN count(*) AS c",
+       {{"1"}}},
+      {"pattern predicate in where",
+       {"CREATE (:A)-[:T]->(), (:A)"},
+       "MATCH (a:A) WHERE (a)-[:T]->() RETURN count(*) AS c",
+       {{"1"}}},
+      {"negated pattern predicate",
+       {"CREATE (:A)-[:T]->(), (:A)"},
+       "MATCH (a:A) WHERE NOT (a)-[:T]->() RETURN count(*) AS c",
+       {{"1"}}},
+      {"in list with nulls",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) WHERE n.v IN [1, null] RETURN count(*) AS c",
+       {{"1"}}},
+
+      // ---- WITH pipeline ----------------------------------------------------
+      {"with renames and filters",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3})"},
+       "MATCH (n) WITH n.v AS v WHERE v >= 2 RETURN sum(v) AS s",
+       {{"5"}}},
+      {"with distinct",
+       {"CREATE ({v: 1}), ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH DISTINCT n.v AS v RETURN count(*) AS c",
+       {{"2"}}},
+      {"with limit then expand",
+       {"CREATE (:A {v: 1})-[:T]->(:B), (:A {v: 2})-[:T]->(:B)"},
+       "MATCH (a:A) WITH a ORDER BY a.v LIMIT 1 MATCH (a)-[:T]->(b) "
+       "RETURN count(*) AS c",
+       {{"1"}}},
+      {"aggregate then continue",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH count(*) AS n1 MATCH (m) RETURN n1 + count(m) AS t",
+       {{"4"}}},
+
+      // ---- RETURN details ----------------------------------------------------
+      {"return expression columns get derived names",
+       {"CREATE ({v: 41})"},
+       "MATCH (n) RETURN n.v + 1",
+       {{"42"}}},
+      {"return distinct rows",
+       {"CREATE ({v: 1}), ({v: 1})"},
+       "MATCH (n) RETURN DISTINCT n.v AS v",
+       {{"1"}}},
+      {"order by with nulls last ascending",
+       {"CREATE ({v: 2}), ({v: 1}), ({w: 0})"},
+       "MATCH (n) RETURN n.v AS v ORDER BY v",
+       {{"1"}, {"2"}, {"null"}},
+       true},
+      {"skip and limit window",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3}), ({v: 4})"},
+       "MATCH (n) RETURN n.v AS v ORDER BY v SKIP 1 LIMIT 2",
+       {{"2"}, {"3"}},
+       true},
+
+      // ---- UNWIND ------------------------------------------------------------
+      {"unwind literal list", {}, "UNWIND [1, 2, 3] AS x RETURN x ORDER BY x",
+       {{"1"}, {"2"}, {"3"}},
+       true},
+      {"unwind empty list gives no rows",
+       {},
+       "UNWIND [] AS x RETURN x",
+       {}},
+      {"unwind range",
+       {},
+       "UNWIND range(1, 3) AS x RETURN sum(x) AS s",
+       {{"6"}}},
+      {"unwind collected list round trip",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH collect(n.v) AS vs UNWIND vs AS v RETURN v ORDER BY v",
+       {{"1"}, {"2"}},
+       true},
+
+      // ---- UNION -------------------------------------------------------------
+      {"union deduplicates",
+       {"CREATE (:A {v: 1}), (:B {v: 1})"},
+       "MATCH (a:A) RETURN a.v AS v UNION MATCH (b:B) RETURN b.v AS v",
+       {{"1"}}},
+      {"union all keeps duplicates",
+       {"CREATE (:A {v: 1}), (:B {v: 1})"},
+       "MATCH (a:A) RETURN a.v AS v UNION ALL MATCH (b:B) RETURN b.v AS v",
+       {{"1"}, {"1"}}},
+
+      // ---- Expressions in query context ---------------------------------------
+      {"case in return",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) RETURN CASE WHEN n.v = 1 THEN 'one' ELSE 'more' END AS w "
+       "ORDER BY w",
+       {{"'more'"}, {"'one'"}},
+       true},
+      {"list comprehension over collect",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3})"},
+       "MATCH (n) WITH collect(n.v) AS vs "
+       "RETURN [x IN vs WHERE x > 1 | x * 2] AS doubled",
+       {{"[4, 6]"}}},
+      {"path functions",
+       {"CREATE (:S {v: 1})-[:T {w: 9}]->({v: 2})"},
+       "MATCH p = (:S)-[:T]->() RETURN length(p) AS len, "
+       "size(nodes(p)) AS ns, size(relationships(p)) AS rs",
+       {{"1", "2", "1"}}},
+      {"labels and type functions",
+       {"CREATE (:A:B)-[:REL]->()"},
+       "MATCH (a:A)-[r]->() RETURN size(labels(a)) AS nl, type(r) AS t",
+       {{"2", "'REL'"}}},
+      {"coalesce over missing property",
+       {"CREATE ({v: 1}), ({w: 2})"},
+       "MATCH (n) RETURN coalesce(n.v, -1) AS v ORDER BY v",
+       {{"-1"}, {"1"}},
+       true},
+
+      // ---- Self loops & cycles -------------------------------------------------
+      {"self loop matches once each direction",
+       {"CREATE (a:L), (a)-[:T]->(a)"},
+       "MATCH (x:L)-[:T]-(y) RETURN count(*) AS c",
+       {{"1"}}},
+      {"two node cycle",
+       {"CREATE (a)-[:T]->(b), (b)-[:T]->(a)"},
+       "MATCH (x)-[:T]->(y)-[:T]->(x) RETURN count(*) AS c",
+       {{"2"}}},
+
+      // ---- Temporal --------------------------------------------------------------
+      {"temporal ordering",
+       {"CREATE ({d: date('2018-06-10')}), ({d: date('2018-01-01')})"},
+       "MATCH (n) RETURN n.d AS d ORDER BY d LIMIT 1",
+       {{"2018-01-01"}},
+       true},
+      {"duration components in query",
+       {},
+       "RETURN duration('P1Y6M3DT12H').months AS m, "
+       "duration('P1Y6M3DT12H').days AS d",
+       {{"18", "3"}}},
+
+      // ---- Second batch: interactions & edge cases ------------------------------
+      {"two optional matches stack nulls",
+       {"CREATE (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:X]->(x) "
+       "OPTIONAL MATCH (a)-[:Y]->(y) RETURN x, y",
+       {{"null", "null"}}},
+      {"optional match on bound null stays null",
+       {"CREATE (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:X]->(x) "
+       "OPTIONAL MATCH (x)-[:Y]->(z) RETURN z",
+       {{"null"}}},
+      {"match after optional uses bound value",
+       {"CREATE (:A)-[:X]->(:B)-[:Y]->(:C)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:X]->(b) MATCH (b)-[:Y]->(c) "
+       "RETURN count(c) AS n",
+       {{"1"}}},
+      {"where between two matches filters the pipeline",
+       {"CREATE (:A {v: 1})-[:T]->(:B), (:A {v: 2})-[:T]->(:B)"},
+       "MATCH (a:A) WITH a WHERE a.v = 1 MATCH (a)-[:T]->(b) "
+       "RETURN count(b) AS n",
+       {{"1"}}},
+      {"cartesian product of disconnected patterns",
+       {"CREATE (:A), (:A), (:B), (:B), (:B)"},
+       "MATCH (a:A), (b:B) RETURN count(*) AS c",
+       {{"6"}}},
+      {"cartesian with predicate join",
+       {"CREATE (:A {k: 1}), (:A {k: 2}), (:B {k: 1})"},
+       "MATCH (a:A), (b:B) WHERE a.k = b.k RETURN count(*) AS c",
+       {{"1"}}},
+      {"var-length both directions",
+       {"CREATE (a:S)-[:T]->(b), (c)-[:T]->(a)"},
+       "MATCH (:S)-[:T*1]-(x) RETURN count(*) AS c",
+       {{"2"}}},
+      {"deep chain exact bound",
+       {"CREATE (n0:S)-[:T]->(n1)-[:T]->(n2)-[:T]->(n3)-[:T]->(n4)"},
+       "MATCH (:S)-[:T*4]->(x) RETURN count(*) AS c",
+       {{"1"}}},
+      {"distinct nodes of undirected triangle",
+       {"CREATE (a)-[:T]->(b), (b)-[:T]->(c), (c)-[:T]->(a)"},
+       "MATCH (x)-[:T]-(y) RETURN count(DISTINCT x) AS c",
+       {{"3"}}},
+      {"merge inside pipeline per row",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 1})"},
+       "MATCH (n) MERGE (k:Key {v: n.v}) RETURN count(DISTINCT k) AS c",
+       {{"2"}}},
+      {"set from matched value",
+       {"CREATE (:A {v: 5})-[:T]->(:B)"},
+       "MATCH (a:A)-[:T]->(b:B) SET b.copied = a.v WITH b "
+       "RETURN b.copied AS c",
+       {{"5"}}},
+      {"aliasing keeps entity identity",
+       {"CREATE (:A {v: 3})"},
+       "MATCH (a:A) WITH a AS b RETURN b.v AS v",
+       {{"3"}}},
+      {"count on null-only column is zero",
+       {"CREATE (:A), (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(m) "
+       "RETURN count(m) AS c, count(*) AS rows",
+       {{"0", "2"}}},
+      {"collect of nodes renders entities",
+       {"CREATE (:A {v: 1})"},
+       "MATCH (a:A) RETURN size(collect(a)) AS n",
+       {{"1"}}},
+      {"string functions compose",
+       {},
+       "RETURN toUpper(trim('  ok  ')) + '!' AS s",
+       {{"'OK!'"}}},
+      {"arithmetic null propagation through projection",
+       {"CREATE ({v: 1}), ({})"},
+       "MATCH (n) RETURN n.v * 2 AS d ORDER BY d",
+       {{"2"}, {"null"}},
+       true},
+      {"parameterless quantifier over literal",
+       {},
+       "RETURN all(x IN [1, 2, 3] WHERE x > 0) AS a, "
+       "single(x IN [1, 2] WHERE x = 2) AS s",
+       {{"true", "true"}}},
+      {"reduce in query",
+       {},
+       "RETURN reduce(a = 0, x IN range(1, 4) | a + x) AS s",
+       {{"10"}}},
+      {"union of three parts",
+       {"CREATE (:A {v: 1}), (:B {v: 2}), (:C {v: 2})"},
+       "MATCH (a:A) RETURN a.v AS v UNION MATCH (b:B) RETURN b.v AS v "
+       "UNION MATCH (c:C) RETURN c.v AS v",
+       {{"1"}, {"2"}}},
+      {"zero length var with label filter",
+       {"CREATE (:A:Stop), (:A)-[:T]->(:Stop)"},
+       "MATCH (a:A)-[:T*0..1]->(s:Stop) RETURN count(*) AS c",
+       {{"2"}}},
+      {"relationship property in var-length all steps",
+       {"CREATE (:S)-[:T {ok: true}]->()-[:T {ok: false}]->(:E)"},
+       "MATCH (:S)-[:T*2 {ok: true}]->(x) RETURN count(*) AS c",
+       {{"0"}}},
+      {"index into collect",
+       {"CREATE ({v: 10}), ({v: 20})"},
+       "MATCH (n) WITH collect(n.v) AS vs RETURN vs[0] + vs[1] AS s",
+       {{"30"}}},
+      {"nested maps and lists in properties",
+       {"CREATE ({data: [1, [2, 3]]})"},
+       "MATCH (n) RETURN n.data[1][0] AS x",
+       {{"2"}}},
+      {"boolean property filter shortcut",
+       {"CREATE ({flag: true}), ({flag: false}), ({})"},
+       "MATCH (n) WHERE n.flag RETURN count(*) AS c",
+       {{"1"}}},
+      {"remove then optional read",
+       {"CREATE (:A {v: 1})"},
+       "MATCH (a:A) REMOVE a.v WITH a RETURN a.v AS v",
+       {{"null"}}},
+  };
+}
+
+class TckTest : public ::testing::TestWithParam<ExecutionMode> {};
+
+TEST_P(TckTest, Scenarios) {
+  for (const Scenario& s : Scenarios()) {
+    EngineOptions opts;
+    opts.mode = GetParam();
+    CypherEngine engine(opts);
+    for (const char* setup : s.setup) {
+      auto r = engine.Execute(setup);
+      ASSERT_TRUE(r.ok()) << s.name << " setup: " << r.status().ToString();
+    }
+    auto result = engine.Execute(s.query);
+    ASSERT_TRUE(result.ok()) << s.name << ": " << result.status().ToString();
+
+    // Render measured rows.
+    std::vector<std::vector<std::string>> got;
+    const Table& t =
+        s.ordered ? result->table : result->table.Sorted();
+    for (const auto& row : t.rows()) {
+      std::vector<std::string> cells;
+      for (const auto& v : row) cells.push_back(v.ToString());
+      got.push_back(std::move(cells));
+    }
+    std::vector<std::vector<std::string>> want;
+    for (const auto& row : s.expected) {
+      std::vector<std::string> cells;
+      for (const char* c : row) cells.emplace_back(c);
+      want.push_back(std::move(cells));
+    }
+    if (!s.ordered) std::sort(want.begin(), want.end());
+    auto got_sorted = got;
+    if (!s.ordered) std::sort(got_sorted.begin(), got_sorted.end());
+    EXPECT_EQ(got_sorted, want) << s.name << "\n" << result->table.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothExecutors, TckTest,
+                         ::testing::Values(ExecutionMode::kInterpreter,
+                                           ExecutionMode::kVolcano),
+                         [](const auto& info) {
+                           return info.param == ExecutionMode::kInterpreter
+                                      ? "Interpreter"
+                                      : "Volcano";
+                         });
+
+}  // namespace
+}  // namespace gqlite

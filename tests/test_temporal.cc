@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include "src/temporal/temporal.h"
+#include "src/temporal/temporal_parse.h"
+
+namespace gqlite {
+namespace {
+
+TEST(CivilCalendar, EpochRoundTrip) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  int64_t y, m, d;
+  CivilFromDays(0, &y, &m, &d);
+  EXPECT_EQ(y, 1970);
+  EXPECT_EQ(m, 1);
+  EXPECT_EQ(d, 1);
+}
+
+TEST(CivilCalendar, RoundTripSweep) {
+  // Round-trip every ~97 days across four centuries.
+  for (int64_t days = -200000; days < 200000; days += 97) {
+    int64_t y, m, d;
+    CivilFromDays(days, &y, &m, &d);
+    EXPECT_EQ(DaysFromCivil(y, m, d), days);
+    EXPECT_GE(m, 1);
+    EXPECT_LE(m, 12);
+    EXPECT_GE(d, 1);
+    EXPECT_LE(d, DaysInMonth(y, m));
+  }
+}
+
+TEST(CivilCalendar, LeapYears) {
+  EXPECT_TRUE(IsLeapYear(2000));
+  EXPECT_FALSE(IsLeapYear(1900));
+  EXPECT_TRUE(IsLeapYear(2016));
+  EXPECT_FALSE(IsLeapYear(2018));
+  EXPECT_EQ(DaysInMonth(2016, 2), 29);
+  EXPECT_EQ(DaysInMonth(2018, 2), 28);
+}
+
+TEST(CivilCalendar, DayOfWeek) {
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(1970, 1, 1)), 3);   // Thursday
+  EXPECT_EQ(DayOfWeek(DaysFromCivil(2018, 6, 10)), 6);  // SIGMOD'18 Sunday
+}
+
+TEST(Date, AccessorsAndFormat) {
+  Date d = Date::FromYmd(2018, 6, 10);
+  EXPECT_EQ(d.year(), 2018);
+  EXPECT_EQ(d.month(), 6);
+  EXPECT_EQ(d.day(), 10);
+  EXPECT_EQ(d.ToString(), "2018-06-10");
+}
+
+TEST(ParseDate, Valid) {
+  auto r = ParseDate("2015-07-21");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->year(), 2015);
+  EXPECT_EQ(r->month(), 7);
+  EXPECT_EQ(r->day(), 21);
+}
+
+TEST(ParseDate, Invalid) {
+  EXPECT_FALSE(ParseDate("2015-13-01").ok());
+  EXPECT_FALSE(ParseDate("2015-02-30").ok());
+  EXPECT_FALSE(ParseDate("2015/01/01").ok());
+  EXPECT_FALSE(ParseDate("2015-01-01extra").ok());
+}
+
+TEST(ParseLocalTime, Forms) {
+  EXPECT_EQ(ParseLocalTime("12:31:14")->ToString(), "12:31:14");
+  EXPECT_EQ(ParseLocalTime("12:31:14.5")->ToString(), "12:31:14.5");
+  EXPECT_EQ(ParseLocalTime("12:31")->ToString(), "12:31:00");
+  EXPECT_EQ(ParseLocalTime("12")->ToString(), "12:00:00");
+  EXPECT_FALSE(ParseLocalTime("25:00").ok());
+  EXPECT_FALSE(ParseLocalTime("12:61").ok());
+}
+
+TEST(ParseZonedTime, Offsets) {
+  auto r = ParseZonedTime("10:00:00+01:00");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->offset_seconds, 3600);
+  EXPECT_EQ(r->ToString(), "10:00:00+01:00");
+  auto z = ParseZonedTime("10:00:00Z");
+  ASSERT_TRUE(z.ok());
+  EXPECT_EQ(z->offset_seconds, 0);
+  // 10:00+01:00 == 09:00Z as instants.
+  EXPECT_EQ(r->NormalizedNanos(),
+            ParseZonedTime("09:00:00Z")->NormalizedNanos());
+}
+
+TEST(ParseDateTime, Full) {
+  auto r = ParseZonedDateTime("2018-06-10T14:30:00+02:00");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->local.date.year(), 2018);
+  EXPECT_EQ(r->offset_seconds, 7200);
+  EXPECT_EQ(r->ToString(), "2018-06-10T14:30:00+02:00");
+  auto l = ParseLocalDateTime("2018-06-10T14:30:00");
+  ASSERT_TRUE(l.ok());
+  EXPECT_EQ(l->ToString(), "2018-06-10T14:30:00");
+}
+
+TEST(ParseDuration, Components) {
+  auto r = ParseDuration("P1Y2M10DT2H30M14.5S");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->months, 14);
+  EXPECT_EQ(r->days, 10);
+  EXPECT_EQ(r->seconds, 2 * 3600 + 30 * 60 + 14);
+  EXPECT_EQ(r->nanos, 500000000);
+}
+
+TEST(ParseDuration, WeeksAndNegation) {
+  auto r = ParseDuration("P2W");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->days, 14);
+  auto n = ParseDuration("-P1D");
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->days, -1);
+  EXPECT_FALSE(ParseDuration("P").ok());
+  EXPECT_FALSE(ParseDuration("1D").ok());
+}
+
+TEST(Duration, FormatCanonical) {
+  EXPECT_EQ(Duration::Make(0, 0, 0, 0).ToString(), "P0D");
+  EXPECT_EQ(Duration::Make(14, 10, 9014, 500000000).ToString(),
+            "P1Y2M10DT2H30M14.5S");
+  EXPECT_EQ(Duration::Make(0, 0, 45, 0).ToString(), "PT45S");
+}
+
+TEST(Duration, ArithmeticAndNormalization) {
+  Duration a = Duration::Make(0, 0, 1, 999999999);
+  Duration b = Duration::Make(0, 0, 0, 2);
+  Duration c = a + b;
+  EXPECT_EQ(c.seconds, 2);
+  EXPECT_EQ(c.nanos, 1);
+  Duration d = Duration::Make(0, 0, 5, 0) - Duration::Make(0, 0, 0, 1);
+  EXPECT_EQ(d.seconds, 4);
+  EXPECT_EQ(d.nanos, 999999999);
+}
+
+TEST(AddDuration, DateClampsEndOfMonth) {
+  // Jan 31 + 1 month = Feb 28 (2018 not leap).
+  Date d = Date::FromYmd(2018, 1, 31);
+  Date r = AddDuration(d, Duration::Make(1, 0, 0, 0));
+  EXPECT_EQ(r.ToString(), "2018-02-28");
+  // ... + another month = Mar 28 (clamped day kept).
+  EXPECT_EQ(AddDuration(r, Duration::Make(1, 0, 0, 0)).ToString(),
+            "2018-03-28");
+}
+
+TEST(AddDuration, DateTimeCarriesDays) {
+  LocalDateTime dt{Date::FromYmd(2018, 6, 10),
+                   LocalTime::FromHms(23, 30, 0)};
+  LocalDateTime r = AddDuration(dt, Duration::Make(0, 0, 3600, 0));
+  EXPECT_EQ(r.ToString(), "2018-06-11T00:30:00");
+  LocalDateTime back = AddDuration(r, Duration::Make(0, 0, -3600, 0));
+  EXPECT_EQ(back.ToString(), "2018-06-10T23:30:00");
+}
+
+TEST(AddDuration, LocalTimeWraps) {
+  LocalTime t = LocalTime::FromHms(23, 0, 0);
+  EXPECT_EQ(AddDuration(t, Duration::Make(0, 0, 7200, 0)).ToString(),
+            "01:00:00");
+  EXPECT_EQ(AddDuration(t, Duration::Make(0, 0, -86400, 0)).ToString(),
+            "23:00:00");
+}
+
+TEST(DurationBetween, Dates) {
+  Duration d = DurationBetween(Date::FromYmd(2018, 6, 10),
+                               Date::FromYmd(2018, 7, 1));
+  EXPECT_EQ(d.days, 21);
+  EXPECT_EQ(d.months, 0);
+}
+
+TEST(DurationBetween, Instants) {
+  ZonedDateTime a{
+      {Date::FromYmd(2018, 6, 10), LocalTime::FromHms(12, 0, 0)}, 0};
+  ZonedDateTime b{
+      {Date::FromYmd(2018, 6, 10), LocalTime::FromHms(14, 0, 0)}, 7200};
+  // b is 14:00+02:00 == 12:00Z — the same instant as a.
+  Duration d = DurationBetween(a, b);
+  EXPECT_EQ(d.days, 0);
+  EXPECT_EQ(d.seconds, 0);
+}
+
+TEST(Duration, ComparableNanosOrdersByApproxLength) {
+  Duration month = Duration::Make(1, 0, 0, 0);
+  Duration days29 = Duration::Make(0, 29, 0, 0);
+  Duration days32 = Duration::Make(0, 32, 0, 0);
+  EXPECT_LT(days29.ComparableNanos(), month.ComparableNanos());
+  EXPECT_LT(month.ComparableNanos(), days32.ComparableNanos());
+}
+
+}  // namespace
+}  // namespace gqlite

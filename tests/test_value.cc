@@ -1,0 +1,266 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/value/value.h"
+#include "src/value/value_compare.h"
+#include "src/value/value_format.h"
+
+namespace gqlite {
+namespace {
+
+TEST(Value, TypeTags) {
+  EXPECT_EQ(Value::Null().type(), ValueType::kNull);
+  EXPECT_EQ(Value::Bool(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value::Int(3).type(), ValueType::kInt);
+  EXPECT_EQ(Value::Float(3.5).type(), ValueType::kFloat);
+  EXPECT_EQ(Value::String("x").type(), ValueType::kString);
+  EXPECT_EQ(Value::EmptyList().type(), ValueType::kList);
+  EXPECT_EQ(Value::MakeMap({}).type(), ValueType::kMap);
+  EXPECT_EQ(Value::Node(NodeId{1}).type(), ValueType::kNode);
+  EXPECT_EQ(Value::Relationship(RelId{1}).type(), ValueType::kRelationship);
+  EXPECT_EQ(Value::MakePath(Path{{NodeId{0}}, {}}).type(), ValueType::kPath);
+  EXPECT_EQ(Value::Temporal(Date{0}).type(), ValueType::kDate);
+  EXPECT_EQ(Value::Temporal(Duration{}).type(), ValueType::kDuration);
+  EXPECT_TRUE(Value::Temporal(Date{0}).is_temporal());
+  EXPECT_FALSE(Value::Int(1).is_temporal());
+}
+
+TEST(Value, Accessors) {
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Float(2.5).AsFloat(), 2.5);
+  EXPECT_DOUBLE_EQ(Value::Int(2).AsNumber(), 2.0);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+  Value l = Value::MakeList({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(l.AsList().size(), 2u);
+  Value m = Value::MakeMap({{"a", Value::Int(1)}});
+  EXPECT_EQ(m.AsMap().at("a").AsInt(), 1);
+}
+
+// ---- 3VL connective truth tables (parameterized over the full grid) ------
+
+struct TriCase {
+  Tri a, b, and_r, or_r, xor_r;
+};
+
+class TriLogicTest : public ::testing::TestWithParam<TriCase> {};
+
+TEST_P(TriLogicTest, TruthTable) {
+  const TriCase& c = GetParam();
+  EXPECT_EQ(TriAnd(c.a, c.b), c.and_r);
+  EXPECT_EQ(TriOr(c.a, c.b), c.or_r);
+  EXPECT_EQ(TriXor(c.a, c.b), c.xor_r);
+  // Commutativity.
+  EXPECT_EQ(TriAnd(c.b, c.a), c.and_r);
+  EXPECT_EQ(TriOr(c.b, c.a), c.or_r);
+  EXPECT_EQ(TriXor(c.b, c.a), c.xor_r);
+}
+
+constexpr Tri F = Tri::kFalse, N = Tri::kNull, T = Tri::kTrue;
+
+INSTANTIATE_TEST_SUITE_P(
+    SqlTruthTables, TriLogicTest,
+    ::testing::Values(TriCase{T, T, T, T, F}, TriCase{T, F, F, T, T},
+                      TriCase{T, N, N, T, N}, TriCase{F, F, F, F, F},
+                      TriCase{F, N, F, N, N}, TriCase{N, N, N, N, N}));
+
+TEST(TriLogic, Not) {
+  EXPECT_EQ(TriNot(T), F);
+  EXPECT_EQ(TriNot(F), T);
+  EXPECT_EQ(TriNot(N), N);
+}
+
+// ---- Equality (`=`) -------------------------------------------------------
+
+TEST(ValueEquals, NullPropagates) {
+  EXPECT_EQ(ValueEquals(Value::Null(), Value::Null()), N);
+  EXPECT_EQ(ValueEquals(Value::Null(), Value::Int(1)), N);
+  EXPECT_EQ(ValueEquals(Value::Int(1), Value::Null()), N);
+}
+
+TEST(ValueEquals, NumbersAcrossIntFloat) {
+  EXPECT_EQ(ValueEquals(Value::Int(1), Value::Float(1.0)), T);
+  EXPECT_EQ(ValueEquals(Value::Int(1), Value::Int(2)), F);
+  EXPECT_EQ(ValueEquals(Value::Float(0.5), Value::Float(0.5)), T);
+  double nan = std::nan("");
+  EXPECT_EQ(ValueEquals(Value::Float(nan), Value::Float(nan)), F);
+}
+
+TEST(ValueEquals, MixedTypesAreFalse) {
+  EXPECT_EQ(ValueEquals(Value::Int(1), Value::String("1")), F);
+  EXPECT_EQ(ValueEquals(Value::Bool(true), Value::Int(1)), F);
+}
+
+TEST(ValueEquals, ListsRecurseWith3VL) {
+  Value a = Value::MakeList({Value::Int(1), Value::Null()});
+  Value b = Value::MakeList({Value::Int(1), Value::Int(2)});
+  Value c = Value::MakeList({Value::Int(9), Value::Null()});
+  EXPECT_EQ(ValueEquals(a, b), N);  // 1=1 true, null=2 null → null
+  EXPECT_EQ(ValueEquals(a, c), F);  // 1=9 false dominates
+  EXPECT_EQ(ValueEquals(b, b), T);
+  EXPECT_EQ(ValueEquals(a, Value::MakeList({Value::Int(1)})), F);  // lengths
+}
+
+TEST(ValueEquals, Maps) {
+  Value a = Value::MakeMap({{"x", Value::Int(1)}, {"y", Value::Null()}});
+  Value b = Value::MakeMap({{"x", Value::Int(1)}, {"y", Value::Int(2)}});
+  Value c = Value::MakeMap({{"x", Value::Int(1)}, {"z", Value::Int(2)}});
+  EXPECT_EQ(ValueEquals(a, b), N);
+  EXPECT_EQ(ValueEquals(a, c), F);  // different key sets
+  EXPECT_EQ(ValueEquals(b, b), T);
+}
+
+TEST(ValueEquals, EntitiesById) {
+  EXPECT_EQ(ValueEquals(Value::Node(NodeId{3}), Value::Node(NodeId{3})), T);
+  EXPECT_EQ(ValueEquals(Value::Node(NodeId{3}), Value::Node(NodeId{4})), F);
+  EXPECT_EQ(ValueEquals(Value::Relationship(RelId{1}),
+                        Value::Relationship(RelId{1})),
+            T);
+}
+
+// ---- Ordering comparison (`<`) -------------------------------------------
+
+TEST(ValueLess, Numbers) {
+  EXPECT_EQ(ValueLess(Value::Int(1), Value::Int(2)), T);
+  EXPECT_EQ(ValueLess(Value::Int(2), Value::Float(1.5)), F);
+  EXPECT_EQ(ValueLess(Value::Float(1.25), Value::Int(2)), T);
+}
+
+TEST(ValueLess, IncomparableTypesAreNull) {
+  EXPECT_EQ(ValueLess(Value::Int(1), Value::String("a")), N);
+  EXPECT_EQ(ValueLess(Value::Bool(false), Value::Int(1)), N);
+  EXPECT_EQ(ValueLess(Value::Null(), Value::Int(1)), N);
+}
+
+TEST(ValueLess, StringsAndBooleans) {
+  EXPECT_EQ(ValueLess(Value::String("abc"), Value::String("abd")), T);
+  EXPECT_EQ(ValueLess(Value::Bool(false), Value::Bool(true)), T);
+  EXPECT_EQ(ValueLess(Value::Bool(true), Value::Bool(false)), F);
+}
+
+TEST(ValueLess, Temporals) {
+  EXPECT_EQ(ValueLess(Value::Temporal(Date{10}), Value::Temporal(Date{20})), T);
+  EXPECT_EQ(ValueLess(Value::Temporal(Date{10}),
+                      Value::Temporal(LocalTime{5})),
+            N);  // different temporal families don't compare
+}
+
+// ---- Equivalence (DISTINCT/grouping) --------------------------------------
+
+TEST(ValueEquivalent, NullAndNaN) {
+  EXPECT_TRUE(ValueEquivalent(Value::Null(), Value::Null()));
+  double nan = std::nan("");
+  EXPECT_TRUE(ValueEquivalent(Value::Float(nan), Value::Float(nan)));
+  EXPECT_FALSE(ValueEquivalent(Value::Null(), Value::Int(0)));
+  EXPECT_TRUE(ValueEquivalent(Value::Int(1), Value::Float(1.0)));
+}
+
+TEST(ValueEquivalent, Containers) {
+  Value a = Value::MakeList({Value::Null(), Value::Int(1)});
+  Value b = Value::MakeList({Value::Null(), Value::Int(1)});
+  EXPECT_TRUE(ValueEquivalent(a, b));
+  EXPECT_FALSE(ValueEquivalent(a, Value::MakeList({Value::Int(1)})));
+}
+
+TEST(ValueHash, ConsistentWithEquivalence) {
+  EXPECT_EQ(ValueHash(Value::Int(1)), ValueHash(Value::Float(1.0)));
+  Value a = Value::MakeList({Value::Null(), Value::Int(1)});
+  Value b = Value::MakeList({Value::Null(), Value::Int(1)});
+  EXPECT_EQ(ValueHash(a), ValueHash(b));
+}
+
+// ---- Global orderability ---------------------------------------------------
+
+TEST(ValueOrder, TypeBuckets) {
+  // MAP < NODE < REL < LIST < ... < STRING < BOOLEAN < NUMBER < null.
+  Value map = Value::MakeMap({});
+  Value node = Value::Node(NodeId{0});
+  Value rel = Value::Relationship(RelId{0});
+  Value list = Value::EmptyList();
+  Value str = Value::String("s");
+  Value boolean = Value::Bool(false);
+  Value num = Value::Int(0);
+  Value null = Value::Null();
+  std::vector<Value> order = {map, node, rel, list, str, boolean, num, null};
+  for (size_t i = 0; i < order.size(); ++i) {
+    for (size_t j = 0; j < order.size(); ++j) {
+      int c = ValueOrder(order[i], order[j]);
+      if (i < j) {
+        EXPECT_LT(c, 0) << i << " vs " << j;
+      } else if (i > j) {
+        EXPECT_GT(c, 0) << i << " vs " << j;
+      } else {
+        EXPECT_EQ(c, 0) << i;
+      }
+    }
+  }
+}
+
+TEST(ValueOrder, NumbersInterleaveAndNaNLast) {
+  EXPECT_LT(ValueOrder(Value::Int(1), Value::Float(1.5)), 0);
+  EXPECT_LT(ValueOrder(Value::Float(0.5), Value::Int(1)), 0);
+  double inf = std::numeric_limits<double>::infinity();
+  double nan = std::nan("");
+  EXPECT_LT(ValueOrder(Value::Float(inf), Value::Float(nan)), 0);
+  EXPECT_EQ(ValueOrder(Value::Float(nan), Value::Float(nan)), 0);
+}
+
+TEST(ValueOrder, TotalOrderProperties) {
+  // Orderability must be a total order on a mixed value set: antisymmetric,
+  // transitive, consistent with equivalence.
+  std::vector<Value> vals = {
+      Value::Null(),
+      Value::Int(-3),
+      Value::Int(7),
+      Value::Float(0.5),
+      Value::Float(7.0),
+      Value::String(""),
+      Value::String("zz"),
+      Value::Bool(true),
+      Value::MakeList({Value::Int(1)}),
+      Value::MakeList({Value::Int(1), Value::Int(2)}),
+      Value::MakeMap({{"a", Value::Int(1)}}),
+      Value::Node(NodeId{2}),
+      Value::Relationship(RelId{5}),
+      Value::Temporal(Date{100}),
+      Value::Temporal(Duration::Make(0, 1, 0, 0)),
+  };
+  for (const Value& a : vals) {
+    for (const Value& b : vals) {
+      EXPECT_EQ(ValueOrder(a, b), -ValueOrder(b, a));
+      for (const Value& c : vals) {
+        if (ValueOrder(a, b) <= 0 && ValueOrder(b, c) <= 0) {
+          EXPECT_LE(ValueOrder(a, c), 0);
+        }
+      }
+    }
+  }
+}
+
+// ---- Formatting -------------------------------------------------------------
+
+TEST(Format, Scalars) {
+  EXPECT_EQ(Value::Null().ToString(), "null");
+  EXPECT_EQ(Value::Bool(true).ToString(), "true");
+  EXPECT_EQ(Value::Int(-5).ToString(), "-5");
+  EXPECT_EQ(Value::Float(2.0).ToString(), "2.0");
+  EXPECT_EQ(Value::Float(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value::String("hi").ToString(), "'hi'");
+}
+
+TEST(Format, Containers) {
+  Value l = Value::MakeList({Value::Int(1), Value::String("a")});
+  EXPECT_EQ(l.ToString(), "[1, 'a']");
+  Value m = Value::MakeMap({{"k", Value::Int(1)}, {"j", Value::Null()}});
+  EXPECT_EQ(m.ToString(), "{j: null, k: 1}");
+}
+
+TEST(Format, Path) {
+  Path p;
+  p.nodes = {NodeId{1}, NodeId{2}};
+  p.rels = {RelId{7}};
+  EXPECT_EQ(Value::MakePath(p).ToString(), "<(1)-[:7]-(2)>");
+}
+
+}  // namespace
+}  // namespace gqlite
