@@ -53,6 +53,8 @@ std::vector<std::string> Split(std::string_view s, char sep) {
 }
 
 std::vector<std::string> SplitBy(std::string_view s, std::string_view sep) {
+  // Byte-exact separator matching is UTF-8 clean: a valid UTF-8 separator
+  // can only match at code-point boundaries, so the pieces stay valid.
   std::vector<std::string> out;
   if (sep.empty()) {
     out.emplace_back(s);
@@ -105,6 +107,83 @@ bool EndsWith(std::string_view s, std::string_view piece) {
 
 bool Contains(std::string_view s, std::string_view piece) {
   return s.find(piece) != std::string_view::npos;
+}
+
+namespace {
+
+/// True if `b` is a UTF-8 continuation byte (10xxxxxx).
+inline bool IsUtf8Continuation(unsigned char b) { return (b & 0xC0) == 0x80; }
+
+/// Byte length of the code point starting at `s[i]`. An invalid lead byte
+/// (or a truncated sequence) yields 1 so malformed input advances byte by
+/// byte instead of looping or overrunning.
+size_t Utf8SeqLen(std::string_view s, size_t i) {
+  unsigned char b = static_cast<unsigned char>(s[i]);
+  size_t len = 1;
+  if ((b & 0x80) == 0x00) len = 1;
+  else if ((b & 0xE0) == 0xC0) len = 2;
+  else if ((b & 0xF0) == 0xE0) len = 3;
+  else if ((b & 0xF8) == 0xF0) len = 4;
+  else return 1;  // stray continuation or invalid lead byte
+  if (i + len > s.size()) return 1;
+  for (size_t k = 1; k < len; ++k) {
+    if (!IsUtf8Continuation(static_cast<unsigned char>(s[i + k]))) return 1;
+  }
+  return len;
+}
+
+}  // namespace
+
+size_t Utf8Length(std::string_view s) {
+  size_t count = 0;
+  for (size_t i = 0; i < s.size(); i += Utf8SeqLen(s, i)) ++count;
+  return count;
+}
+
+size_t Utf8OffsetOf(std::string_view s, size_t cp_index) {
+  size_t i = 0;
+  while (cp_index > 0 && i < s.size()) {
+    i += Utf8SeqLen(s, i);
+    --cp_index;
+  }
+  return i;
+}
+
+std::string Utf8Substr(std::string_view s, size_t start, size_t len) {
+  size_t from = Utf8OffsetOf(s, start);
+  std::string_view rest = s.substr(from);
+  size_t to = Utf8OffsetOf(rest, len);
+  return std::string(rest.substr(0, to));
+}
+
+std::string Utf8Reverse(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  size_t i = s.size();
+  while (i > 0) {
+    // A UTF-8 sequence is at most 4 bytes, so the back-scan for the lead
+    // byte is bounded; long invalid continuation runs must stay O(n).
+    size_t start = i - 1;
+    while (start > 0 && i - start < 4 &&
+           IsUtf8Continuation(static_cast<unsigned char>(s[start]))) {
+      --start;
+    }
+    if (IsUtf8Continuation(static_cast<unsigned char>(s[start]))) {
+      out.push_back(s[i - 1]);
+      --i;
+      continue;
+    }
+    // Only keep the run together if it really is one code point; otherwise
+    // emit the trailing bytes individually (invalid input stays byte-wise).
+    if (Utf8SeqLen(s, start) == i - start) {
+      out.append(s.substr(start, i - start));
+      i = start;
+    } else {
+      out.push_back(s[i - 1]);
+      --i;
+    }
+  }
+  return out;
 }
 
 }  // namespace gqlite

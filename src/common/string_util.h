@@ -38,6 +38,28 @@ bool StartsWith(std::string_view s, std::string_view piece);
 bool EndsWith(std::string_view s, std::string_view piece);
 bool Contains(std::string_view s, std::string_view piece);
 
+// --- UTF-8 code-point helpers -------------------------------------------
+// Cypher string functions are specified over characters, not bytes
+// (openCypher; Francis et al. §3.1 treat strings as character sequences).
+// These helpers treat a string as a sequence of UTF-8 code points. Bytes
+// that do not form valid UTF-8 degrade gracefully: every invalid byte
+// counts as one unit, so operations never split a valid multi-byte
+// sequence and never read out of bounds.
+
+/// Number of UTF-8 code points in `s`.
+size_t Utf8Length(std::string_view s);
+
+/// Byte offset of the `cp_index`-th code point; `s.size()` when `cp_index`
+/// is at or past the end.
+size_t Utf8OffsetOf(std::string_view s, size_t cp_index);
+
+/// Substring of `len` code points starting at code point `start`.
+std::string Utf8Substr(std::string_view s, size_t start, size_t len);
+
+/// `s` with its code points in reverse order (bytes inside each code
+/// point keep their order, so the result is valid UTF-8).
+std::string Utf8Reverse(std::string_view s);
+
 }  // namespace gqlite
 
 #endif  // GQLITE_COMMON_STRING_UTIL_H_

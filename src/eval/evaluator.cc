@@ -1,6 +1,7 @@
 #include "src/eval/evaluator.h"
 
 #include <cmath>
+#include <cstdint>
 #include <regex>
 
 #include "src/common/string_util.h"
@@ -238,19 +239,42 @@ Result<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
     return Value::Float(std::pow(a.AsNumber(), b.AsNumber()));
   }
   if (a.is_int() && b.is_int()) {
+    // Integer arithmetic must raise on overflow (openCypher; wrapping is
+    // UB in C++), so every op goes through a checked builtin.
     int64_t x = a.AsInt(), y = b.AsInt();
+    int64_t r = 0;
     switch (op) {
       case BinaryOp::kAdd:
-        return Value::Int(x + y);
+        if (__builtin_add_overflow(x, y, &r)) {
+          return Status::EvaluationError("integer overflow: " +
+                                         std::to_string(x) + " + " +
+                                         std::to_string(y));
+        }
+        return Value::Int(r);
       case BinaryOp::kSub:
-        return Value::Int(x - y);
+        if (__builtin_sub_overflow(x, y, &r)) {
+          return Status::EvaluationError("integer overflow: " +
+                                         std::to_string(x) + " - " +
+                                         std::to_string(y));
+        }
+        return Value::Int(r);
       case BinaryOp::kMul:
-        return Value::Int(x * y);
+        if (__builtin_mul_overflow(x, y, &r)) {
+          return Status::EvaluationError("integer overflow: " +
+                                         std::to_string(x) + " * " +
+                                         std::to_string(y));
+        }
+        return Value::Int(r);
       case BinaryOp::kDiv:
         if (y == 0) return Status::EvaluationError("division by zero");
+        if (x == INT64_MIN && y == -1) {
+          return Status::EvaluationError("integer overflow: " +
+                                         std::to_string(x) + " / -1");
+        }
         return Value::Int(x / y);
       case BinaryOp::kMod:
         if (y == 0) return Status::EvaluationError("modulo by zero");
+        if (y == -1) return Value::Int(0);  // INT64_MIN % -1 is UB
         return Value::Int(x % y);
       default:
         break;
@@ -509,7 +533,13 @@ Result<Value> EvaluateExpr(const Expr& e, const Environment& env,
         }
         case UnaryOp::kMinus:
           if (v.is_null()) return Value::Null();
-          if (v.is_int()) return Value::Int(-v.AsInt());
+          if (v.is_int()) {
+            if (v.AsInt() == INT64_MIN) {
+              return Status::EvaluationError(
+                  "integer overflow: -(" + std::to_string(v.AsInt()) + ")");
+            }
+            return Value::Int(-v.AsInt());
+          }
           if (v.is_float()) return Value::Float(-v.AsFloat());
           if (v.type() == ValueType::kDuration) {
             return Value::Temporal(v.AsDuration().Negated());

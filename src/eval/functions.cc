@@ -1,7 +1,12 @@
 #include "src/eval/functions.h"
 
+#include <cctype>
+#include <cerrno>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <functional>
+#include <limits>
 #include <unordered_map>
 
 #include "src/common/string_util.h"
@@ -132,7 +137,7 @@ Result<Value> FnLength(const Args& a, const EvalContext&) {
   }
   if (v.is_list()) return Value::Int(static_cast<int64_t>(v.AsList().size()));
   if (v.is_string()) {
-    return Value::Int(static_cast<int64_t>(v.AsString().size()));
+    return Value::Int(static_cast<int64_t>(Utf8Length(v.AsString())));
   }
   return WrongType("length", v);
 }
@@ -142,7 +147,8 @@ Result<Value> FnSize(const Args& a, const EvalContext&) {
   if (v.is_null()) return Value::Null();
   if (v.is_list()) return Value::Int(static_cast<int64_t>(v.AsList().size()));
   if (v.is_string()) {
-    return Value::Int(static_cast<int64_t>(v.AsString().size()));
+    // size(string) counts characters (code points), not bytes.
+    return Value::Int(static_cast<int64_t>(Utf8Length(v.AsString())));
   }
   if (v.is_map()) return Value::Int(static_cast<int64_t>(v.AsMap().size()));
   return WrongType("size", v);
@@ -199,8 +205,8 @@ Result<Value> FnReverse(const Args& a, const EvalContext&) {
     return Value::MakeList(std::move(out));
   }
   if (v.is_string()) {
-    std::string s(v.AsString().rbegin(), v.AsString().rend());
-    return Value::String(std::move(s));
+    // Reverse by code point so multi-byte characters survive intact.
+    return Value::String(Utf8Reverse(v.AsString()));
   }
   return WrongType("reverse", v);
 }
@@ -216,9 +222,15 @@ Result<Value> FnRange(const Args& a, const EvalContext&) {
   if (step == 0) return Status::EvaluationError("range() step must not be 0");
   ValueList out;
   if (step > 0) {
-    for (int64_t i = start; i <= end; i += step) out.push_back(Value::Int(i));
+    for (int64_t i = start; i <= end;) {
+      out.push_back(Value::Int(i));
+      if (__builtin_add_overflow(i, step, &i)) break;  // ran off INT64_MAX
+    }
   } else {
-    for (int64_t i = start; i >= end; i += step) out.push_back(Value::Int(i));
+    for (int64_t i = start; i >= end;) {
+      out.push_back(Value::Int(i));
+      if (__builtin_add_overflow(i, step, &i)) break;  // ran off INT64_MIN
+    }
   }
   return Value::MakeList(std::move(out));
 }
@@ -241,17 +253,77 @@ Result<Value> FnToString(const Args& a, const EvalContext&) {
   return WrongType("toString", v);
 }
 
+/// Range-checked double → int64 truncation; the raw static_cast is UB when
+/// the value does not fit. 2^63 is exactly representable as a double, so
+/// `d >= 2^63` and `d < -2^63` bracket exactly the non-representable range.
+bool DoubleFitsInt64(double d) {
+  return !std::isnan(d) && d >= -9223372036854775808.0 &&
+         d < 9223372036854775808.0;
+}
+
+/// True when `s` has the shape of a decimal number literal
+/// [+-]?(digits[.digits] | .digits)([eE][+-]?digits)?. Needed because
+/// strtod/stod also accept hex ("0x1A") and case-insensitive "inf"/"nan",
+/// which Neo4j treats as unconvertible (null). The exact-case forms
+/// "Infinity"/"NaN" that Java's parseDouble accepts are special-cased in
+/// toFloat, not here.
+bool IsDecimalNumberString(std::string_view s) {
+  size_t i = 0;
+  if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+  size_t digits = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+    ++i;
+    ++digits;
+  }
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++digits;
+    }
+  }
+  if (digits == 0) return false;
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    size_t exp_digits = 0;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) {
+      ++i;
+      ++exp_digits;
+    }
+    if (exp_digits == 0) return false;
+  }
+  return i == s.size();
+}
+
 Result<Value> FnToInteger(const Args& a, const EvalContext&) {
   const Value& v = a[0];
   if (v.is_null()) return Value::Null();
   if (v.is_int()) return v;
-  if (v.is_float()) return Value::Int(static_cast<int64_t>(v.AsFloat()));
+  if (v.is_float()) {
+    if (!DoubleFitsInt64(v.AsFloat())) {
+      return Status::EvaluationError("integer overflow: toInteger(" +
+                                     FormatFloat(v.AsFloat()) + ")");
+    }
+    return Value::Int(static_cast<int64_t>(v.AsFloat()));
+  }
   if (v.is_string()) {
+    // Neo4j trims surrounding whitespace before converting.
+    std::string s(TrimView(v.AsString()));
+    if (!IsDecimalNumberString(s)) return Value::Null();
+    // Pure integer strings convert at full 64-bit precision; anything else
+    // (e.g. "42.9", "6e2") goes through double and truncates.
+    errno = 0;
+    char* end = nullptr;
+    long long ll = std::strtoll(s.c_str(), &end, 10);
+    if (errno == 0 && end == s.c_str() + s.size()) {
+      return Value::Int(static_cast<int64_t>(ll));
+    }
     try {
       size_t pos = 0;
-      // Accept "42" and "42.9" (truncating), like Neo4j.
-      double d = std::stod(v.AsString(), &pos);
-      if (pos != v.AsString().size()) return Value::Null();
+      double d = std::stod(s, &pos);
+      if (pos != s.size()) return Value::Null();
+      if (!DoubleFitsInt64(d)) return Value::Null();
       return Value::Int(static_cast<int64_t>(d));
     } catch (...) {
       return Value::Null();
@@ -266,10 +338,23 @@ Result<Value> FnToFloat(const Args& a, const EvalContext&) {
   if (v.is_float()) return v;
   if (v.is_int()) return Value::Float(static_cast<double>(v.AsInt()));
   if (v.is_string()) {
+    std::string s(TrimView(v.AsString()));
+    // Neo4j follows Java's Double.parseDouble: the exact-case words
+    // "Infinity" and "NaN" convert; lowercase "inf"/"nan" do not.
+    if (s == "Infinity" || s == "+Infinity") {
+      return Value::Float(std::numeric_limits<double>::infinity());
+    }
+    if (s == "-Infinity") {
+      return Value::Float(-std::numeric_limits<double>::infinity());
+    }
+    if (s == "NaN") {
+      return Value::Float(std::numeric_limits<double>::quiet_NaN());
+    }
+    if (!IsDecimalNumberString(s)) return Value::Null();
     try {
       size_t pos = 0;
-      double d = std::stod(v.AsString(), &pos);
-      if (pos != v.AsString().size()) return Value::Null();
+      double d = std::stod(s, &pos);
+      if (pos != s.size()) return Value::Null();
       return Value::Float(d);
     } catch (...) {
       return Value::Null();
@@ -304,7 +389,13 @@ Result<Value> Math1(const std::string& name, const Args& a,
 Result<Value> FnAbs(const Args& a, const EvalContext&) {
   const Value& v = a[0];
   if (v.is_null()) return Value::Null();
-  if (v.is_int()) return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+  if (v.is_int()) {
+    if (v.AsInt() == INT64_MIN) {
+      return Status::EvaluationError("integer overflow: abs(" +
+                                     std::to_string(v.AsInt()) + ")");
+    }
+    return Value::Int(v.AsInt() < 0 ? -v.AsInt() : v.AsInt());
+  }
   if (v.is_float()) return Value::Float(std::fabs(v.AsFloat()));
   return WrongType("abs", v);
 }
@@ -398,13 +489,14 @@ Result<Value> FnSubstring(const Args& a, const EvalContext&) {
     return Status::TypeError("substring(string, start[, length])");
   }
   const std::string& s = a[0].AsString();
+  int64_t chars = static_cast<int64_t>(Utf8Length(s));
   int64_t start = a[1].AsInt();
   if (start < 0) return Status::EvaluationError("substring start < 0");
-  if (start >= static_cast<int64_t>(s.size())) return Value::String("");
-  int64_t len = a.size() > 2 ? a[2].AsInt()
-                             : static_cast<int64_t>(s.size()) - start;
+  if (start >= chars) return Value::String("");
+  int64_t len = a.size() > 2 ? a[2].AsInt() : chars - start;
   if (len < 0) return Status::EvaluationError("substring length < 0");
-  return Value::String(s.substr(start, len));
+  return Value::String(Utf8Substr(s, static_cast<size_t>(start),
+                                  static_cast<size_t>(len)));
 }
 
 Result<Value> FnLeftRight(const Args& a, const EvalContext&, bool left) {
@@ -415,8 +507,10 @@ Result<Value> FnLeftRight(const Args& a, const EvalContext&, bool left) {
   const std::string& s = a[0].AsString();
   int64_t n = a[1].AsInt();
   if (n < 0) return Status::EvaluationError("left/right length < 0");
-  size_t take = std::min<size_t>(n, s.size());
-  return Value::String(left ? s.substr(0, take) : s.substr(s.size() - take));
+  size_t chars = Utf8Length(s);
+  size_t take = std::min<size_t>(static_cast<size_t>(n), chars);
+  return Value::String(left ? Utf8Substr(s, 0, take)
+                            : Utf8Substr(s, chars - take, take));
 }
 
 template <typename T>

@@ -1,6 +1,8 @@
 #include "src/frontend/lexer.h"
 
 #include <cctype>
+#include <cerrno>
+#include <cstdint>
 #include <cstdlib>
 #include <string>
 
@@ -147,8 +149,19 @@ class Lexer {
     } else {
       t->kind = TokenKind::kInteger;
       errno = 0;
-      t->int_value = std::strtoll(text.c_str(), nullptr, 10);
-      if (errno == ERANGE) return Error("integer literal out of range");
+      unsigned long long u = std::strtoull(text.c_str(), nullptr, 10);
+      constexpr unsigned long long kMinMagnitude = 9223372036854775808ULL;
+      if (errno == ERANGE || u > kMinMagnitude) {
+        return Error("integer literal out of range");
+      }
+      if (u == kMinMagnitude) {
+        // |INT64_MIN| survives lexing so `-9223372036854775808` can parse;
+        // the parser rejects it without a preceding unary minus.
+        t->int_value = INT64_MIN;
+        t->int_is_min_magnitude = true;
+      } else {
+        t->int_value = static_cast<int64_t>(u);
+      }
     }
     t->text = std::move(text);
     return Status::OK();

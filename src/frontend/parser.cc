@@ -471,11 +471,19 @@ class Parser {
         VarLength vl;
         bool has_min = false;
         if (At(TokenKind::kInteger)) {
+          if (Peek().int_is_min_magnitude) {
+            return ErrorHere("integer literal out of range");
+          }
           vl.min = Bump().int_value;
           has_min = true;
         }
         if (Eat(TokenKind::kDotDot)) {
-          if (At(TokenKind::kInteger)) vl.max = Bump().int_value;
+          if (At(TokenKind::kInteger)) {
+            if (Peek().int_is_min_magnitude) {
+              return ErrorHere("integer literal out of range");
+            }
+            vl.max = Bump().int_value;
+          }
         } else if (has_min) {
           vl.max = vl.min;  // *d means exactly d (§4.2: I = (d, d))
         }
@@ -632,6 +640,16 @@ class Parser {
 
   Result<ExprPtr> ParseUnary() {
     if (At(TokenKind::kMinus)) {
+      // `-9223372036854775808` must fold to the INT64_MIN literal here:
+      // the magnitude alone does not fit in int64, so it cannot survive
+      // as `-(literal)`.
+      if (Peek(1).kind == TokenKind::kInteger &&
+          Peek(1).int_is_min_magnitude) {
+        Bump();  // -
+        Bump();  // |INT64_MIN|
+        return ExprPtr(
+            std::make_unique<LiteralExpr>(Value::Int(INT64_MIN)));
+      }
       Bump();
       GQL_ASSIGN_OR_RETURN(ExprPtr e, ParseUnary());
       return ExprPtr(
@@ -697,6 +715,9 @@ class Parser {
     ExprPtr out;
     switch (t.kind) {
       case TokenKind::kInteger:
+        if (t.int_is_min_magnitude) {
+          return ErrorHere("integer literal out of range");
+        }
         out = std::make_unique<LiteralExpr>(Value::Int(Bump().int_value));
         break;
       case TokenKind::kFloat:

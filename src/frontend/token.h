@@ -56,6 +56,11 @@ struct Token {
   std::string text;
   int64_t int_value = 0;
   double float_value = 0;
+  /// True for the integer literal 9223372036854775808 (= |INT64_MIN|,
+  /// one past INT64_MAX). It is only legal directly under a unary minus —
+  /// `-9223372036854775808` is INT64_MIN — and a syntax error elsewhere;
+  /// the parser decides which. `int_value` holds INT64_MIN.
+  bool int_is_min_magnitude = false;
   int line = 1;
   int col = 1;
 

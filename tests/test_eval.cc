@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "src/eval/evaluator.h"
 #include "src/frontend/parser.h"
@@ -321,6 +322,51 @@ TEST(EvalParameters, Lookup) {
   ValueMap empty;
   ctx.parameters = &empty;
   EXPECT_FALSE(EvaluateExpr(**expr, env, ctx).ok());
+}
+
+Status MustFail(const std::string& text) {
+  MapEnvironment env;
+  auto r = Eval(text, env);
+  EXPECT_FALSE(r.ok()) << text << " unexpectedly evaluated";
+  return r.ok() ? Status::OK() : r.status();
+}
+
+TEST(EvalArithmetic, IntegerOverflowRaises) {
+  // Signed wrap-around is UB in C++ and an error per openCypher: every
+  // checked op must surface EvaluationError, not INT64_MIN-flavoured junk.
+  for (const char* text : {
+           "9223372036854775807 + 1",
+           "-9223372036854775808 - 1",
+           "9223372036854775807 * 2",
+           "-9223372036854775808 * -1",
+           "-9223372036854775808 / -1",
+           "-(-9223372036854775808)",
+       }) {
+    Status s = MustFail(text);
+    EXPECT_EQ(s.code(), StatusCode::kEvaluationError) << text;
+    EXPECT_NE(s.message().find("integer overflow"), std::string::npos)
+        << text << ": " << s.ToString();
+  }
+}
+
+TEST(EvalArithmetic, Int64BoundaryValues) {
+  EXPECT_EVAL_INT("-9223372036854775808", INT64_MIN);
+  EXPECT_EVAL_INT("9223372036854775807", INT64_MAX);
+  EXPECT_EVAL_INT("-9223372036854775808 + 1", INT64_MIN + 1);
+  EXPECT_EVAL_INT("9223372036854775807 + -1", INT64_MAX - 1);
+  // INT64_MIN % -1 is mathematically 0 (and UB if done naively).
+  EXPECT_EVAL_INT("-9223372036854775808 % -1", 0);
+  EXPECT_EVAL_INT("-9223372036854775808 / 1", INT64_MIN);
+  // Overflow still propagates null before it can raise.
+  EXPECT_EVAL_NULL("null + 9223372036854775807");
+}
+
+TEST(EvalArithmetic, RangeStopsAtInt64Max) {
+  Value v = MustEval(
+      "range(9223372036854775805, 9223372036854775807)");
+  ASSERT_TRUE(v.is_list());
+  ASSERT_EQ(v.AsList().size(), 3u);
+  EXPECT_EQ(v.AsList().back().AsInt(), INT64_MAX);
 }
 
 }  // namespace

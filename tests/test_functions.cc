@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 
 #include "src/eval/evaluator.h"
 #include "src/eval/functions.h"
@@ -228,6 +229,67 @@ TEST(IsBuiltin, KnowsItsNames) {
   EXPECT_TRUE(IsBuiltinFunction("durationbetween"));
   EXPECT_FALSE(IsBuiltinFunction("count"));  // aggregate, not scalar
   EXPECT_FALSE(IsBuiltinFunction("frobnicate"));
+}
+
+TEST_F(FunctionsTest, StringFunctionsCountCodePointsNotBytes) {
+  // 'héllo' is 5 characters in 6 bytes; byte-oriented implementations
+  // split the 'é' and emit invalid UTF-8.
+  EXPECT_EQ(Must("reverse('héllo')").AsString(), "olléh");
+  EXPECT_EQ(Must("size('héllo')").AsInt(), 5);
+  EXPECT_EQ(Must("length('héllo')").AsInt(), 5);
+  EXPECT_EQ(Must("substring('héllo', 1, 2)").AsString(), "él");
+  EXPECT_EQ(Must("substring('héllo', 1)").AsString(), "éllo");
+  EXPECT_EQ(Must("substring('héllo', 5)").AsString(), "");
+  EXPECT_EQ(Must("left('héllo', 2)").AsString(), "hé");
+  EXPECT_EQ(Must("right('héllo', 4)").AsString(), "éllo");
+  EXPECT_EQ(Must("right('héllo', 99)").AsString(), "héllo");
+  // Multi-byte beyond Latin-1: 3-byte CJK and a 4-byte emoji.
+  EXPECT_EQ(Must("size('日本語')").AsInt(), 3);
+  EXPECT_EQ(Must("reverse('日本語')").AsString(), "語本日");
+  EXPECT_EQ(Must("size('a👍b')").AsInt(), 3);
+  EXPECT_EQ(Must("reverse('a👍b')").AsString(), "b👍a");
+  EXPECT_EQ(Must("substring('a👍b', 1, 1)").AsString(), "👍");
+  // split() on a multi-byte separator keeps pieces intact.
+  Value parts = Must("split('héxllo', 'é')");
+  ASSERT_TRUE(parts.is_list());
+  ASSERT_EQ(parts.AsList().size(), 2u);
+  EXPECT_EQ(parts.AsList()[0].AsString(), "h");
+  EXPECT_EQ(parts.AsList()[1].AsString(), "xllo");
+}
+
+TEST_F(FunctionsTest, ToIntegerTrimsWhitespace) {
+  EXPECT_EQ(Must("toInteger('  42  ')").AsInt(), 42);
+  EXPECT_EQ(Must("toInteger('\\t-7\\n')").AsInt(), -7);
+  EXPECT_EQ(Must("toInteger(' 42.9 ')").AsInt(), 42);
+  EXPECT_TRUE(Must("toInteger('   ')").is_null());
+  EXPECT_TRUE(Must("toInteger('4 2')").is_null());
+  // strtod-isms Neo4j rejects: hex and lowercase inf/nan...
+  EXPECT_TRUE(Must("toInteger(' 0x1A ')").is_null());
+  EXPECT_TRUE(Must("toFloat('inf')").is_null());
+  EXPECT_TRUE(Must("toFloat('nan')").is_null());
+  // ...but the exact-case Java forms convert (Double.parseDouble).
+  EXPECT_TRUE(std::isinf(Must("toFloat('Infinity')").AsFloat()));
+  EXPECT_LT(Must("toFloat('-Infinity')").AsFloat(), 0);
+  EXPECT_TRUE(std::isnan(Must("toFloat('NaN')").AsFloat()));
+  EXPECT_TRUE(Must("toInteger('Infinity')").is_null());
+  EXPECT_EQ(Must("toInteger('+5')").AsInt(), 5);
+  EXPECT_EQ(Must("toInteger(' 6e2 ')").AsInt(), 600);
+  EXPECT_DOUBLE_EQ(Must("toFloat(' 3.5 ')").AsFloat(), 3.5);
+  // Full 64-bit precision (a double-roundtrip would land on ...5808).
+  EXPECT_EQ(Must("toInteger('9223372036854775807')").AsInt(),
+            INT64_MAX);
+}
+
+TEST_F(FunctionsTest, AbsAndToIntegerOverflow) {
+  EXPECT_EQ(Must("abs(-9223372036854775807)").AsInt(), INT64_MAX);
+  auto r = Eval("abs(-9223372036854775807 - 1)");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kEvaluationError);
+  EXPECT_NE(r.status().message().find("integer overflow"), std::string::npos);
+  // toInteger on a float that cannot fit raises; huge float strings are
+  // a conversion failure → null.
+  EXPECT_FALSE(Eval("toInteger(1e300)").ok());
+  EXPECT_TRUE(Must("toInteger('1e300')").is_null());
 }
 
 }  // namespace

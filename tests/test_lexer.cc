@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
+
 #include "src/frontend/lexer.h"
 
 namespace gqlite {
@@ -138,6 +140,34 @@ TEST(Lexer, BangEqAlias) {
   auto toks = Lex("a != b");
   EXPECT_EQ(toks[1].kind, TokenKind::kNeq);
   EXPECT_FALSE(Tokenize("a ! b").ok());
+}
+
+TEST(Lexer, Int64BoundaryLiterals) {
+  auto toks = Lex("9223372036854775807");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[0].int_value, INT64_MAX);
+  EXPECT_FALSE(toks[0].int_is_min_magnitude);
+
+  // |INT64_MIN| lexes (flagged) so `-9223372036854775808` can parse; one
+  // more than that is unconditionally out of range.
+  toks = Lex("9223372036854775808");
+  ASSERT_GE(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kInteger);
+  EXPECT_EQ(toks[0].int_value, INT64_MIN);
+  EXPECT_TRUE(toks[0].int_is_min_magnitude);
+
+  EXPECT_FALSE(Tokenize("9223372036854775809").ok());
+  EXPECT_FALSE(Tokenize("99999999999999999999999999").ok());
+}
+
+TEST(Lexer, MinusThenIntegerStaysTwoTokens) {
+  // The sign is the parser's business: `-5` lexes as minus, integer.
+  auto toks = Lex("-9223372036854775808");
+  ASSERT_GE(toks.size(), 2u);
+  EXPECT_EQ(toks[0].kind, TokenKind::kMinus);
+  EXPECT_EQ(toks[1].kind, TokenKind::kInteger);
+  EXPECT_TRUE(toks[1].int_is_min_magnitude);
 }
 
 }  // namespace
