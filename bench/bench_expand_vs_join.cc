@@ -82,4 +82,4 @@ BENCHMARK(BM_FullExpandHashJoin)->Arg(1000)->Arg(4000);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

@@ -74,4 +74,4 @@ BENCHMARK(BM_SharedPairJoin)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

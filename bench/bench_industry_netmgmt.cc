@@ -69,4 +69,4 @@ BENCHMARK(BM_BlastRadius)->Arg(8)->Arg(16);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

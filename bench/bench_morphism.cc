@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
         static_cast<long long>(t2.rows()[0][0].AsInt()));
     if (t.rows()[0][0].AsInt() != 2) return 1;
   }
+  gqlite::bench::ConsumeGqliteBenchFlags(&argc, argv);
   ::benchmark::Initialize(&argc, argv);
   ::benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -82,4 +82,4 @@ BENCHMARK(BM_Example61Composition)->Arg(60)->Arg(120);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

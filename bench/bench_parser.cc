@@ -4,6 +4,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/bench_util.h"
 #include "src/frontend/analyzer.h"
 #include "src/frontend/ast_printer.h"
 #include "src/frontend/lexer.h"
@@ -105,4 +106,4 @@ BENCHMARK(BM_UnparseRoundTrip);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

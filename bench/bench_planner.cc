@@ -48,6 +48,9 @@ void RunMode(benchmark::State& state, ExecutionMode mode,
   EngineOptions opts;
   opts.mode = mode;
   opts.planner = planner;
+  // This benchmark measures the planner itself: plan reuse would collapse
+  // all planner modes onto the warm path (see bench_plancache for that).
+  opts.use_plan_cache = false;
   CypherEngine engine = bench::MakeEngine(g, opts);
   for (auto _ : state) {
     Table t = bench::MustRun(engine, kQuery);
@@ -76,4 +79,4 @@ BENCHMARK(BM_VolcanoDpStarts)->Arg(500)->Arg(2000)->Arg(8000);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

@@ -82,4 +82,4 @@ BENCHMARK(BM_TemporalQueryMix);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

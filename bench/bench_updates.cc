@@ -130,4 +130,4 @@ BENCHMARK(BM_DetachDelete)->Arg(500)->Arg(2000);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

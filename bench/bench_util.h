@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
 
 #include "src/core/engine.h"
 #include "src/workload/generators.h"
@@ -12,11 +13,34 @@
 namespace gqlite {
 namespace bench {
 
-/// Builds an engine whose default graph is `g`.
+/// Set by the shared `--no-plan-cache` flag (GQLITE_BENCH_MAIN): disables
+/// plan reuse in every engine built through MakeEngine, restoring
+/// plan-per-execution behaviour so runs stay comparable with pre-cache
+/// baselines.
+inline bool g_no_plan_cache = false;
+
+/// Strips gqlite-specific flags from argv before benchmark::Initialize
+/// (which rejects flags it does not know).
+inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::string_view(argv[i]) == "--no-plan-cache") {
+      g_no_plan_cache = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+/// Builds an engine whose default graph is `g` — both the implicit graph
+/// plain `engine.Execute(query)` sees and the `bench` named graph the
+/// MustRun `FROM GRAPH bench` prefix selects.
 inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
+  if (g_no_plan_cache) opts.use_plan_cache = false;
   CypherEngine engine(opts);
-  engine.catalog().RegisterGraph(GraphCatalog::kDefaultGraphName, g);
-  engine.catalog().RegisterGraph("bench", g);
+  engine.set_default_graph(g);
+  engine.catalog().RegisterGraph("bench", std::move(g));
   return engine;
 }
 
@@ -47,5 +71,17 @@ inline bool CheckTable(const char* experiment, const Table& measured,
 
 }  // namespace bench
 }  // namespace gqlite
+
+/// Drop-in replacement for BENCHMARK_MAIN() that understands the shared
+/// gqlite flags (currently `--no-plan-cache`). Benchmarks built on the
+/// Google Benchmark harness use this instead of BENCHMARK_MAIN().
+#define GQLITE_BENCH_MAIN()                                             \
+  int main(int argc, char** argv) {                                     \
+    ::gqlite::bench::ConsumeGqliteBenchFlags(&argc, argv);              \
+    ::benchmark::Initialize(&argc, argv);                               \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1; \
+    ::benchmark::RunSpecifiedBenchmarks();                              \
+    return 0;                                                           \
+  }
 
 #endif  // GQLITE_BENCH_BENCH_UTIL_H_

@@ -98,4 +98,4 @@ BENCHMARK(BM_CitationTransitive)->Arg(20)->Arg(40)->Arg(80);
 }  // namespace
 }  // namespace gqlite
 
-BENCHMARK_MAIN();
+GQLITE_BENCH_MAIN()

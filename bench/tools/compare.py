@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare Google-Benchmark JSON outputs against a committed baseline.
+
+Usage:
+    compare.py BASELINE_DIR CURRENT_DIR [--threshold 0.15]
+               [--min-time-ns 1000] [--no-normalize]
+
+Reads every BENCH_*.json present in BOTH directories, matches benchmarks
+by name, and fails (exit 1) when a benchmark regressed by more than
+--threshold relative to the baseline.
+
+Because the committed baseline was produced on a different machine than
+the CI runner, raw ratios mix machine speed with real regressions. The
+comparison therefore normalizes by the MEDIAN ratio across all matched
+benchmarks (the "machine factor"): a benchmark only counts as a
+regression when it is more than --threshold slower than the baseline
+*after* dividing out that shared factor. A genuine regression in one
+benchmark barely moves the median, so it still sticks out; a uniformly
+slower runner moves every ratio equally and nothing is flagged. Use
+--no-normalize when both directories come from the same machine.
+
+Benchmarks faster than --min-time-ns in the baseline are skipped: at
+nanosecond scale the runner's jitter swamps any real signal.
+"""
+
+import argparse
+import glob
+import json
+import os
+import statistics
+import sys
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_times(path):
+    """name -> real_time in ns for one benchmark JSON file.
+
+    When the run used --benchmark_repetitions, the MINIMUM across
+    repetitions is used: scheduler/co-tenant interference only ever adds
+    time, so the min is the most reproducible estimate of the true cost
+    (medians still wobble by tens of percent on busy runners).
+    """
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = TIME_UNIT_NS.get(b.get("time_unit", "ns"), 1.0)
+        name = b["name"]
+        # Repetition entries share the base name ("BM_Foo" or
+        # "BM_Foo/repeats:5"); keep the fastest.
+        name = name.split("/repeats:")[0]
+        t = float(b["real_time"]) * unit
+        times[name] = min(times.get(name, t), t)
+    return times
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated slowdown, e.g. 0.15 = +15%% (default)",
+    )
+    ap.add_argument(
+        "--min-time-ns",
+        type=float,
+        default=1000.0,
+        help="skip benchmarks whose baseline time is below this (noise floor)",
+    )
+    ap.add_argument(
+        "--no-normalize",
+        action="store_true",
+        help="compare raw ratios (both runs from the same machine)",
+    )
+    args = ap.parse_args()
+
+    baseline_files = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(args.baseline_dir, "BENCH_*.json"))
+    }
+    current_files = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(args.current_dir, "BENCH_*.json"))
+    }
+    shared = sorted(baseline_files & current_files)
+    if not shared:
+        print(
+            f"error: no BENCH_*.json files shared between "
+            f"{args.baseline_dir} and {args.current_dir}",
+            file=sys.stderr,
+        )
+        return 2
+    for only_base in sorted(baseline_files - current_files):
+        print(f"note: {only_base} only in baseline (benchmark not run?)")
+    for only_cur in sorted(current_files - baseline_files):
+        print(f"note: {only_cur} has no committed baseline yet")
+
+    rows = []  # (file, name, base_ns, cur_ns, ratio)
+    for fname in shared:
+        base = load_times(os.path.join(args.baseline_dir, fname))
+        cur = load_times(os.path.join(args.current_dir, fname))
+        for name in sorted(base.keys() & cur.keys()):
+            if base[name] < args.min_time_ns:
+                continue
+            rows.append((fname, name, base[name], cur[name], cur[name] / base[name]))
+        for name in sorted(base.keys() - cur.keys()):
+            print(f"note: {fname}: '{name}' missing from current run")
+
+    if not rows:
+        print("error: no comparable benchmarks above the noise floor", file=sys.stderr)
+        return 2
+
+    scale = 1.0 if args.no_normalize else statistics.median(r[4] for r in rows)
+    limit = scale * (1.0 + args.threshold)
+    print(
+        f"machine factor (median current/baseline ratio): {scale:.3f}; "
+        f"flagging normalized slowdowns beyond +{args.threshold:.0%}"
+    )
+
+    regressions = []
+    width = max(len(r[1]) for r in rows)
+    for fname, name, base_ns, cur_ns, ratio in rows:
+        normalized = ratio / scale
+        flag = ""
+        if ratio > limit:
+            flag = "  << REGRESSION"
+            regressions.append((fname, name, normalized))
+        print(
+            f"{name:<{width}}  base {base_ns:>12.0f} ns  "
+            f"cur {cur_ns:>12.0f} ns  norm x{normalized:.2f}{flag}"
+        )
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} benchmark(s) regressed >"
+              f" {args.threshold:.0%} (normalized):", file=sys.stderr)
+        for fname, name, normalized in regressions:
+            print(f"  {fname}: {name} (x{normalized:.2f})", file=sys.stderr)
+        return 1
+    print(f"\nOK: {len(rows)} benchmark(s) within +{args.threshold:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

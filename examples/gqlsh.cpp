@@ -30,6 +30,11 @@ void PrintStats(CypherEngine& engine) {
                 << "\n";
     }
   }
+  const PlanCacheStats& pc = engine.plan_cache_stats();
+  std::cout << "plan cache: " << engine.plan_cache().size() << "/"
+            << engine.plan_cache().capacity() << " entries, " << pc.hits
+            << " hits, " << pc.misses << " misses, " << pc.evictions
+            << " evictions, " << pc.invalidations << " invalidations\n";
 }
 
 }  // namespace

@@ -1,6 +1,7 @@
 #include "src/core/engine.h"
 
 #include "src/frontend/analyzer.h"
+#include "src/frontend/canonicalize.h"
 #include "src/frontend/parser.h"
 #include "src/interp/interpreter.h"
 #include "src/plan/runtime.h"
@@ -8,7 +9,9 @@
 namespace gqlite {
 
 CypherEngine::CypherEngine(EngineOptions options)
-    : options_(options), rand_state_(options.rand_seed) {
+    : options_(options),
+      rand_state_(options.rand_seed),
+      plan_cache_(options.plan_cache_capacity) {
   graph_ = catalog_.default_graph();
 }
 
@@ -19,34 +22,137 @@ MatchOptions CypherEngine::MakeMatchOptions() const {
   return m;
 }
 
-Result<QueryResult> CypherEngine::Execute(std::string_view query,
-                                          const ValueMap& params) {
-  GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
-  GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
+PlannerOptions CypherEngine::MakePlannerOptions() const {
+  PlannerOptions popts;
+  popts.mode = options_.planner;
+  popts.use_join_expand = options_.use_join_expand;
+  popts.match = MakeMatchOptions();
+  return popts;
+}
 
-  QueryResult result;
+std::string CypherEngine::OptionsFingerprint() const {
+  // Every option that changes the compiled plan. The unit separator keeps
+  // the suffix from colliding with query text.
+  std::string f = "\x1f";
+  f += 'p';
+  f += std::to_string(static_cast<int>(options_.planner));
+  f += 'm';
+  f += std::to_string(static_cast<int>(options_.morphism));
+  f += 'v';
+  f += std::to_string(options_.max_var_length);
+  f += 'j';
+  f += options_.use_join_expand ? '1' : '0';
+  return f;
+}
 
-  bool has_return_graph = false;
-  for (const auto& part : q.parts) {
+Result<PreparedQuery> CypherEngine::Prepare(std::string_view query) {
+  auto state = std::make_shared<PreparedStatement>();
+  GQL_ASSIGN_OR_RETURN(state->query, ParseQuery(query));
+  // Analysis runs on the original tree so diagnostics mention the
+  // literals the user wrote, not synthetic parameters.
+  GQL_ASSIGN_OR_RETURN(state->info, Analyze(state->query));
+  for (const auto& part : state->query.parts) {
     for (const auto& c : part.clauses) {
-      if (c->kind == ast::Clause::Kind::kReturnGraph) has_return_graph = true;
+      if (c->kind == ast::Clause::Kind::kReturnGraph) {
+        state->has_return_graph = true;
+      }
     }
   }
+  // Canonicalize only when a cached plan can actually use it: updating
+  // and RETURN GRAPH queries run on the interpreter (where keeping the
+  // user's literals also keeps diagnostics in their terms), and with the
+  // cache off the rewrite+unparse would be pure overhead on every
+  // Execute(text) call. A statement prepared while the cache is off
+  // stays uncached (text_key empty) even if the cache is enabled later.
+  bool cacheable = !state->info.updating && !state->has_return_graph &&
+                   options_.mode == ExecutionMode::kVolcano &&
+                   options_.use_plan_cache && plan_cache_.capacity() > 0;
+  if (cacheable) {
+    state->constants = AutoParameterize(&state->query).extracted;
+    state->text_key = NormalizedQueryKey(state->query);
+  }
+  return PreparedQuery(PreparedPtr(std::move(state)));
+}
 
-  if (!info.updating && !has_return_graph &&
-      options_.mode == ExecutionMode::kVolcano) {
-    PlannerOptions popts;
-    popts.mode = options_.planner;
-    popts.use_join_expand = options_.use_join_expand;
-    popts.match = MakeMatchOptions();
-    GQL_ASSIGN_OR_RETURN(result.table,
-                         RunPlanned(&catalog_, graph_, &params, popts,
-                                    &rand_state_, q));
+Result<QueryResult> CypherEngine::Execute(std::string_view query,
+                                          const ValueMap& params) {
+  GQL_ASSIGN_OR_RETURN(PreparedQuery prepared, Prepare(query));
+  return Execute(prepared, params);
+}
+
+Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
+                                          const ValueMap& params) {
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("executing an empty PreparedQuery");
+  }
+  const PreparedStatement& st = *prepared.state_;
+  bool interpreted = st.info.updating || st.has_return_graph ||
+                     options_.mode == ExecutionMode::kInterpreter;
+  if (st.constants.empty()) {
+    // Nothing was extracted — run on the caller's map directly (the
+    // common case for fully-parameterized and non-cacheable statements).
+    if (interpreted) return RunInterpreter(st.query, params);
+    return RunVolcano(prepared.state_, params);
+  }
+  // User parameters first, then the literals extracted at Prepare time.
+  // Synthetic names never collide with parameters referenced by the
+  // query, so the overlay cannot shadow a binding the query can see.
+  ValueMap merged = params;
+  for (const auto& [name, value] : st.constants) {
+    merged[name] = value;
+  }
+  if (interpreted) return RunInterpreter(st.query, merged);
+  return RunVolcano(prepared.state_, merged);
+}
+
+Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
+                                             const ValueMap& params) {
+  QueryResult result;
+  if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
+      prepared->text_key.empty()) {
+    GQL_ASSIGN_OR_RETURN(
+        result.table, RunPlanned(&catalog_, graph_, &params,
+                                 MakePlannerOptions(), &rand_state_,
+                                 prepared->query));
     return result;
   }
+  // A catalog-version move strands every older entry (they can never
+  // validate again); sweep them now so the graphs they pin are released
+  // promptly rather than on LRU eviction.
+  if (catalog_.version() != swept_catalog_version_) {
+    plan_cache_.SweepStale(catalog_.version());
+    swept_catalog_version_ = catalog_.version();
+  }
+  std::string key = prepared->text_key + OptionsFingerprint();
+  PlanCache::Entry* entry = plan_cache_.Lookup(key, catalog_.version());
+  if (entry == nullptr) {
+    Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
+                    &rand_state_);
+    GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(prepared->query));
+    // Snapshot generations AFTER planning: FROM GRAPH ... AT "url" may
+    // register a graph name while planning, bumping the catalog version.
+    std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
+        guards;
+    guards.reserve(plan.contexts.size());
+    for (const auto& ctx : plan.contexts) {
+      guards.emplace_back(ctx->graph_owner, ctx->graph_owner->stats_version());
+    }
+    entry = plan_cache_.Insert(std::move(key), prepared, std::move(plan),
+                               catalog_.version(), std::move(guards));
+  }
+  // Rebind execution-scoped state: this execution's parameter bindings
+  // and the engine's PRNG stream.
+  for (auto& ctx : entry->plan.contexts) {
+    ctx->eval.parameters = &params;
+    ctx->eval.rand_state = &rand_state_;
+  }
+  GQL_ASSIGN_OR_RETURN(result.table, ExecutePlan(&entry->plan));
+  return result;
+}
 
-  // Interpreter path: the reference semantics; also the only executor for
-  // updating queries and graph projections.
+Result<QueryResult> CypherEngine::RunInterpreter(const ast::Query& q,
+                                                 const ValueMap& params) {
+  QueryResult result;
   Interpreter::Options iopts;
   iopts.match = MakeMatchOptions();
   Interpreter interp(&catalog_, graph_, &params, iopts, &rand_state_);
@@ -70,11 +176,8 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
     return Status::Unimplemented(
         "PROFILE of updating queries is not supported");
   }
-  PlannerOptions popts;
-  popts.mode = options_.planner;
-  popts.use_join_expand = options_.use_join_expand;
-  popts.match = MakeMatchOptions();
-  Planner planner(&catalog_, graph_, &params, popts, &rand_state_);
+  Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
+                  &rand_state_);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
   GQL_ASSIGN_OR_RETURN(Table t, ExecutePlan(&plan));
   std::string out = ProfilePlan(*plan.root);
@@ -91,11 +194,8 @@ Result<std::string> CypherEngine::Explain(std::string_view query,
         "EXPLAIN of updating queries is not supported (they run on the "
         "clause interpreter)");
   }
-  PlannerOptions popts;
-  popts.mode = options_.planner;
-  popts.use_join_expand = options_.use_join_expand;
-  popts.match = MakeMatchOptions();
-  return ExplainQuery(&catalog_, graph_, &params, popts, &rand_state_, q);
+  return ExplainQuery(&catalog_, graph_, &params, MakePlannerOptions(),
+                      &rand_state_, q);
 }
 
 }  // namespace gqlite

@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "src/core/query_result.h"
+#include "src/plan/plan_cache.h"
 #include "src/plan/planner.h"
 #include "src/update/update_executor.h"
 
@@ -32,6 +33,45 @@ struct EngineOptions {
   bool use_join_expand = false;
   /// Seed for rand() (deterministic runs).
   uint64_t rand_seed = 0x5EEDC0FFEEULL;
+  /// Reuse compiled plans across executions of read queries that differ
+  /// only in literal constants (auto-parameterization). Disable to get
+  /// plan-per-query behavior, e.g. when benchmarking the planner itself.
+  bool use_plan_cache = true;
+  /// Bound on cached plans (LRU beyond it). 0 disables caching.
+  size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+};
+
+/// A parsed, analyzed and auto-parameterized query handle returned by
+/// CypherEngine::Prepare. Cheap to copy (shared immutable state); execute
+/// it repeatedly with different `$param` bindings via
+/// CypherEngine::Execute(prepared, params). Literals from the original
+/// text participate as synthetic parameters, so
+/// `Prepare("MATCH (n {id: 1}) RETURN n")` and the same query with
+/// `id: 42` share one cached plan.
+class PreparedQuery {
+ public:
+  PreparedQuery() = default;
+
+  bool valid() const { return state_ != nullptr; }
+  /// True for queries containing CREATE/DELETE/SET/REMOVE/MERGE.
+  bool updating() const { return state_ != nullptr && state_->info.updating; }
+  /// The normalized (auto-parameterized) query text — the structural part
+  /// of the plan-cache key. Empty for statements that bypass the cache
+  /// (updating queries, RETURN GRAPH, or prepared while caching was off).
+  const std::string& normalized_text() const {
+    static const std::string kEmpty;
+    return state_ ? state_->text_key : kEmpty;
+  }
+  /// Extracted literal values, keyed by synthetic parameter name.
+  const ValueMap& constants() const {
+    static const ValueMap kNone;
+    return state_ ? state_->constants : kNone;
+  }
+
+ private:
+  friend class CypherEngine;
+  explicit PreparedQuery(PreparedPtr state) : state_(std::move(state)) {}
+  PreparedPtr state_;
 };
 
 /// The public entry point of gqlite: parse → analyze → execute Cypher
@@ -44,6 +84,17 @@ struct EngineOptions {
 /// auto result = engine.Execute("MATCH (p:Person) RETURN p.name");
 /// std::cout << result->ToString();
 /// ```
+///
+/// Read queries on the Volcano path go through a plan cache: the query is
+/// auto-parameterized, and the compiled plan is reused for later queries
+/// with the same normalized text (hit/miss/eviction counters via
+/// plan_cache_stats()). For repeated queries, skip re-parsing entirely:
+///
+/// ```
+/// auto stmt = engine.Prepare("MATCH (p:Person {id: $id}) RETURN p.name");
+/// auto r1 = engine.Execute(*stmt, {{"id", Value::Int(1)}});
+/// auto r2 = engine.Execute(*stmt, {{"id", Value::Int(2)}});
+/// ```
 class CypherEngine {
  public:
   explicit CypherEngine(EngineOptions options = {});
@@ -51,12 +102,32 @@ class CypherEngine {
   /// The implicit Cypher 9 global graph.
   PropertyGraph& graph() { return *graph_; }
   GraphPtr graph_ptr() { return graph_; }
+  /// Rebinds the implicit default graph (the engine snapshots it at
+  /// construction, so registering a new "default" in the catalog alone
+  /// does NOT change what queries see). Also registers it in the
+  /// catalog; cached plans against the old graph are invalidated through
+  /// the catalog version bump.
+  void set_default_graph(GraphPtr g) {
+    catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
+    graph_ = std::move(g);
+  }
   /// Named-graph catalog (Cypher 10, §6).
   GraphCatalog& catalog() { return catalog_; }
 
   /// Parses, validates and runs a query. `params` supplies `$name`
   /// parameters (§2: built-in parameter support).
   Result<QueryResult> Execute(std::string_view query,
+                              const ValueMap& params = {});
+
+  /// Parses, validates and auto-parameterizes a query without running
+  /// it. The handle is engine-independent and never stales: executing it
+  /// re-plans through the plan cache as needed.
+  Result<PreparedQuery> Prepare(std::string_view query);
+
+  /// Runs a prepared query. `params` supplies user `$name` parameters;
+  /// literals extracted at Prepare time are bound automatically (their
+  /// synthetic `$_pN` names never collide with user parameters).
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
                               const ValueMap& params = {});
 
   /// Renders the physical plan for a read query (Volcano operators).
@@ -69,15 +140,39 @@ class CypherEngine {
                               const ValueMap& params = {});
 
   const EngineOptions& options() const { return options_; }
-  void set_options(EngineOptions options) { options_ = options; }
+  void set_options(EngineOptions options) {
+    options_ = options;
+    plan_cache_.set_capacity(options.plan_cache_capacity);
+  }
+
+  /// The plan cache (tests/tools may Clear(), resize or reset stats).
+  PlanCache& plan_cache() { return plan_cache_; }
+  /// Hit/miss/eviction/invalidation counters.
+  const PlanCacheStats& plan_cache_stats() const {
+    return plan_cache_.stats();
+  }
 
  private:
   MatchOptions MakeMatchOptions() const;
+  PlannerOptions MakePlannerOptions() const;
+  /// Cache key suffix encoding every option that changes the compiled
+  /// plan (mode, planner, morphism, bounds, expand strategy).
+  std::string OptionsFingerprint() const;
+  /// The interpreter path: reference semantics; the only executor for
+  /// updating queries and RETURN GRAPH.
+  Result<QueryResult> RunInterpreter(const ast::Query& q,
+                                     const ValueMap& params);
+  /// The Volcano path with plan-cache consultation.
+  Result<QueryResult> RunVolcano(const PreparedPtr& prepared,
+                                 const ValueMap& params);
 
   EngineOptions options_;
   GraphCatalog catalog_;
   GraphPtr graph_;
   uint64_t rand_state_;
+  PlanCache plan_cache_;
+  /// Catalog version at the last stale-entry sweep (see RunVolcano).
+  uint64_t swept_catalog_version_ = 0;
 };
 
 }  // namespace gqlite

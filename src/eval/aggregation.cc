@@ -2,6 +2,7 @@
 
 #include <unordered_set>
 
+#include "src/eval/evaluator.h"
 #include "src/value/value_compare.h"
 
 namespace gqlite {
@@ -60,7 +61,9 @@ class SumAggregator : public BaseAggregator {
   using BaseAggregator::BaseAggregator;
   Status Feed(const Value& v) override {
     if (v.is_int() && !is_float_) {
-      int_sum_ += v.AsInt();
+      // Checked: a running sum of int64s must raise on overflow like the
+      // `+` operator does, not wrap (UB).
+      GQL_ASSIGN_OR_RETURN(int_sum_, CheckedAddInt64(int_sum_, v.AsInt()));
     } else if (v.is_number()) {
       if (!is_float_) {
         is_float_ = true;
@@ -106,17 +109,41 @@ class AvgAggregator : public BaseAggregator {
     if (!v.is_number()) {
       return Status::TypeError("avg() requires numeric values");
     }
-    sum_ += v.AsNumber();
+    if (v.is_int() && !is_float_) {
+      // All-integer input accumulates exactly in checked int64 (doubles
+      // silently lose precision past 2^53). Unlike sum(), whose result
+      // type is integral and must raise, avg() returns a float anyway —
+      // on int64 overflow it degrades gracefully to float accumulation
+      // instead of rejecting a representable mean.
+      auto checked = CheckedAddInt64(int_sum_, v.AsInt());
+      if (checked.ok()) {
+        int_sum_ = *checked;
+      } else {
+        is_float_ = true;
+        float_sum_ = static_cast<double>(int_sum_) +
+                     static_cast<double>(v.AsInt());
+      }
+    } else {
+      if (!is_float_) {
+        is_float_ = true;
+        float_sum_ = static_cast<double>(int_sum_);
+      }
+      float_sum_ += v.AsNumber();
+    }
     ++count_;
     return Status::OK();
   }
   Result<Value> Finish() override {
     if (count_ == 0) return Value::Null();
-    return Value::Float(sum_ / static_cast<double>(count_));
+    double total =
+        is_float_ ? float_sum_ : static_cast<double>(int_sum_);
+    return Value::Float(total / static_cast<double>(count_));
   }
 
  private:
-  double sum_ = 0;
+  bool is_float_ = false;
+  int64_t int_sum_ = 0;
+  double float_sum_ = 0;
   int64_t count_ = 0;
 };
 

@@ -137,6 +137,15 @@ Result<Value> Arith(BinaryOp op, const Value& a, const Value& b);
 
 }  // namespace
 
+Result<int64_t> CheckedAddInt64(int64_t a, int64_t b) {
+  int64_t r = 0;
+  if (__builtin_add_overflow(a, b, &r)) {
+    return Status::EvaluationError("integer overflow: " + std::to_string(a) +
+                                   " + " + std::to_string(b));
+  }
+  return r;
+}
+
 Result<Value> AddValues(const Value& a, const Value& b) {
   return Arith(BinaryOp::kAdd, a, b);
 }
@@ -244,13 +253,10 @@ Result<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
     int64_t x = a.AsInt(), y = b.AsInt();
     int64_t r = 0;
     switch (op) {
-      case BinaryOp::kAdd:
-        if (__builtin_add_overflow(x, y, &r)) {
-          return Status::EvaluationError("integer overflow: " +
-                                         std::to_string(x) + " + " +
-                                         std::to_string(y));
-        }
+      case BinaryOp::kAdd: {
+        GQL_ASSIGN_OR_RETURN(r, CheckedAddInt64(x, y));
         return Value::Int(r);
+      }
       case BinaryOp::kSub:
         if (__builtin_sub_overflow(x, y, &r)) {
           return Status::EvaluationError("integer overflow: " +

@@ -83,6 +83,11 @@ Result<Tri> EvaluatePredicate(const ast::Expr& e, const Environment& env,
 /// Arithmetic helpers shared with the update executor.
 Result<Value> AddValues(const Value& a, const Value& b);
 
+/// Checked int64 addition shared by the `+` operator and the sum()/avg()
+/// aggregators: raises `EvaluationError: integer overflow` instead of
+/// wrapping (which is UB in C++ and wrong under openCypher semantics).
+Result<int64_t> CheckedAddInt64(int64_t a, int64_t b);
+
 }  // namespace gqlite
 
 #endif  // GQLITE_EVAL_EVALUATOR_H_

@@ -1,0 +1,46 @@
+#ifndef GQLITE_FRONTEND_CANONICALIZE_H_
+#define GQLITE_FRONTEND_CANONICALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/frontend/ast.h"
+
+namespace gqlite {
+
+/// Auto-parameterization (§2: built-in parameters exist "so plans can be
+/// reused"): rewrites literal expressions in a parsed query into synthetic
+/// `$_p0, $_p1, ...` parameters and collects their values, so queries that
+/// differ only in literal constants (`{id: 1}` vs `{id: 42}`) canonicalize
+/// to the same text and can share one cached plan.
+///
+/// Literals are extracted everywhere they are evaluated at runtime —
+/// MATCH/WITH WHERE predicates, pattern property maps, UNWIND lists,
+/// SKIP/LIMIT, update-clause right-hand sides — EXCEPT inside projection
+/// items and ORDER BY expressions. Those two positions contribute to
+/// observable output: un-aliased return items derive their column name
+/// from the expression text (the paper's injective α function), and ORDER
+/// BY resolves against projected columns by that same text, so rewriting
+/// them would change results.
+struct AutoParameterization {
+  /// Synthetic parameter names (in extraction order) and their values.
+  /// Execute-time bindings are `extracted` overlaid on the user's map;
+  /// names are chosen to never collide with a `$param` already used in
+  /// the query.
+  ValueMap extracted;
+  /// Number of literals extracted.
+  int count = 0;
+};
+
+/// Rewrites `q` in place. Deterministic: the same query text always
+/// produces the same rewritten tree and the same synthetic names.
+AutoParameterization AutoParameterize(ast::Query* q);
+
+/// The normalized plan-cache key of an (already auto-parameterized)
+/// query: its canonical unparse. Two queries share a key iff they are the
+/// same query modulo extracted literal values.
+std::string NormalizedQueryKey(const ast::Query& q);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_FRONTEND_CANONICALIZE_H_

@@ -26,15 +26,31 @@ class GraphCatalog {
 
   GraphCatalog() { RegisterGraph(kDefaultGraphName, std::make_shared<PropertyGraph>()); }
 
-  /// Registers (or replaces) a named graph.
+  /// Registers (or replaces) a named graph. Bumps the catalog version
+  /// only when the mapping actually changes, so re-registering the same
+  /// graph (e.g. when planning FROM GRAPH ... AT re-resolves a URL) does
+  /// not invalidate cached plans.
   void RegisterGraph(std::string_view name, GraphPtr graph) {
-    graphs_[std::string(name)] = std::move(graph);
+    GraphPtr& slot = graphs_[std::string(name)];
+    if (slot != graph) {
+      slot = std::move(graph);
+      ++version_;
+    }
   }
 
   /// Registers a URL as resolving to a (new or existing) graph.
   void RegisterUrl(std::string_view url, GraphPtr graph) {
-    urls_[std::string(url)] = std::move(graph);
+    GraphPtr& slot = urls_[std::string(url)];
+    if (slot != graph) {
+      slot = std::move(graph);
+      ++version_;
+    }
   }
+
+  /// Monotonic counter of name/URL (re)bindings. Cached plans resolve
+  /// FROM GRAPH references at planning time, so any rebinding stales
+  /// them (generation-based invalidation in the plan cache).
+  uint64_t version() const { return version_; }
 
   bool HasGraph(std::string_view name) const {
     return graphs_.count(std::string(name)) > 0;
@@ -52,6 +68,7 @@ class GraphCatalog {
  private:
   std::unordered_map<std::string, GraphPtr> graphs_;
   std::unordered_map<std::string, GraphPtr> urls_;
+  uint64_t version_ = 0;
 };
 
 }  // namespace gqlite

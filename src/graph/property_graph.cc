@@ -23,6 +23,7 @@ NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
   }
   nodes_.push_back(std::move(rec));
   ++num_nodes_;
+  ++stats_version_;
   for (SymbolId s : nodes_.back().labels) {
     label_index_[s].push_back(id);
     ++label_counts_[s];
@@ -50,6 +51,7 @@ Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
   }
   rels_.push_back(std::move(rec));
   ++num_rels_;
+  ++stats_version_;
   ++type_counts_[rels_.back().type];
   nodes_[src.id].out.push_back(id);
   nodes_[tgt.id].in.push_back(id);
@@ -89,6 +91,7 @@ bool PropertyGraph::AddLabel(NodeId n, std::string_view label) {
   ls.insert(it, s);
   label_index_[s].push_back(n);
   ++label_counts_[s];
+  ++stats_version_;
   return true;
 }
 
@@ -102,6 +105,7 @@ bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
   auto& idx = label_index_[s];
   idx.erase(std::remove(idx.begin(), idx.end(), n), idx.end());
   --label_counts_[s];
+  ++stats_version_;
   return true;
 }
 
@@ -194,6 +198,7 @@ Status PropertyGraph::DeleteRelationship(RelId r) {
   rec.deleted = true;
   rec.props.clear();
   --num_rels_;
+  ++stats_version_;
   return Status::OK();
 }
 
@@ -213,6 +218,7 @@ Status PropertyGraph::DeleteNode(NodeId n) {
   rec.labels.clear();
   rec.props.clear();
   --num_nodes_;
+  ++stats_version_;
   return Status::OK();
 }
 

@@ -140,6 +140,16 @@ class PropertyGraph {
 
   // ---- Interners & statistics ----------------------------------------------
 
+  /// Monotonic counter of plan-relevant structural changes: node and
+  /// relationship creation/deletion and label changes — everything that
+  /// moves the cardinality statistics the planner bakes into a plan (and
+  /// the relationship-count bound substituted for ∞ in unbounded
+  /// variable-length patterns). Property value updates do NOT bump it:
+  /// plans evaluate property predicates at runtime, so cached plans stay
+  /// valid across SET/REMOVE of properties. The plan cache uses this for
+  /// generation-based invalidation.
+  uint64_t stats_version() const { return stats_version_; }
+
   const StringInterner& labels() const { return labels_; }
   const StringInterner& types() const { return types_; }
   const StringInterner& keys() const { return keys_; }
@@ -186,6 +196,7 @@ class PropertyGraph {
   std::vector<RelRecord> rels_;
   size_t num_nodes_ = 0;
   size_t num_rels_ = 0;
+  uint64_t stats_version_ = 0;
 
   StringInterner labels_;
   StringInterner types_;

@@ -63,9 +63,16 @@ class Operator {
 
 using OperatorPtr = std::unique_ptr<Operator>;
 
-/// Shared runtime state for a plan.
+/// Shared runtime state for a plan. Execution-scoped fields
+/// (eval.parameters, eval.rand_state) are REBOUND by the engine before
+/// each execution of a cached plan — everything that reads them must go
+/// through this struct at call time rather than copying them at plan
+/// time.
 struct ExecContext {
   const PropertyGraph* graph = nullptr;
+  /// Keeps `graph` alive while a cached plan outlives the query (and, for
+  /// FROM GRAPH plans, while the catalog drops a named graph).
+  std::shared_ptr<const PropertyGraph> graph_owner;
   EvalContext eval;
   MatchOptions match;
 };

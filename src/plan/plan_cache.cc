@@ -1,0 +1,85 @@
+#include "src/plan/plan_cache.h"
+
+namespace gqlite {
+
+PlanCache::Entry* PlanCache::Lookup(const std::string& key,
+                                    uint64_t catalog_version) {
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  Entry& e = *it->second;
+  bool valid = e.catalog_version == catalog_version;
+  for (const auto& [graph, version] : e.graph_guards) {
+    if (graph->stats_version() != version) {
+      valid = false;
+      break;
+    }
+  }
+  if (!valid) {
+    lru_.erase(it->second);
+    index_.erase(it);
+    ++stats_.invalidations;
+    ++stats_.misses;
+    return nullptr;
+  }
+  // Promote to most-recently-used.
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+  ++stats_.hits;
+  return &lru_.front();
+}
+
+PlanCache::Entry* PlanCache::Insert(
+    std::string key, PreparedPtr prepared, Plan plan, uint64_t catalog_version,
+    std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
+        graph_guards) {
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Entry{std::move(key), std::move(prepared), std::move(plan),
+                        catalog_version, std::move(graph_guards)});
+  index_.emplace(lru_.front().key, lru_.begin());
+  EvictToCapacity();
+  return lru_.empty() ? nullptr : &lru_.front();
+}
+
+void PlanCache::SweepStale(uint64_t catalog_version) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    bool valid = it->catalog_version == catalog_version;
+    for (const auto& [graph, version] : it->graph_guards) {
+      if (!valid) break;
+      valid = graph->stats_version() == version;
+    }
+    if (valid) {
+      ++it;
+    } else {
+      index_.erase(it->key);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+    }
+  }
+}
+
+void PlanCache::Clear() {
+  lru_.clear();
+  index_.clear();
+}
+
+void PlanCache::set_capacity(size_t capacity) {
+  capacity_ = capacity;
+  EvictToCapacity();
+}
+
+void PlanCache::EvictToCapacity() {
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+}  // namespace gqlite

@@ -1,0 +1,120 @@
+#ifndef GQLITE_PLAN_PLAN_CACHE_H_
+#define GQLITE_PLAN_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/frontend/analyzer.h"
+#include "src/plan/planner.h"
+
+namespace gqlite {
+
+/// A parsed, analyzed and auto-parameterized query, shared between
+/// PreparedQuery handles and plan-cache entries. Immutable once built;
+/// cached plans borrow its AST, so entries keep it alive via shared_ptr.
+struct PreparedStatement {
+  /// The canonicalized AST (literals replaced by synthetic parameters).
+  ast::Query query;
+  /// Values of the extracted literals, keyed by their synthetic `$_pN`
+  /// names. Overlaid on the user's parameter map at execution time.
+  ValueMap constants;
+  /// Analysis result (computed on the original query text).
+  QueryInfo info;
+  /// True if any clause is RETURN GRAPH (routes to the interpreter).
+  bool has_return_graph = false;
+  /// Normalized query text — the structural part of the cache key.
+  std::string text_key;
+};
+
+using PreparedPtr = std::shared_ptr<const PreparedStatement>;
+
+/// Hit/miss accounting, surfaced through CypherEngine::plan_cache_stats().
+struct PlanCacheStats {
+  uint64_t hits = 0;           // valid cached plan reused
+  uint64_t misses = 0;         // no usable plan (includes invalidations)
+  uint64_t evictions = 0;      // LRU capacity evictions
+  uint64_t invalidations = 0;  // entries dropped because the graph catalog
+                               // or statistics changed since planning
+};
+
+/// A bounded LRU cache of compiled physical plans keyed on the normalized
+/// (auto-parameterized) query text plus an engine-options fingerprint.
+///
+/// Validity is generation-based: an entry records, for every graph its
+/// plan touches, the graph's stats_version at planning time (plans bake
+/// in cardinality statistics and the relationship-count bound for
+/// unbounded variable-length patterns), plus the catalog version (FROM
+/// GRAPH resolves names at planning time). A lookup that finds a stale
+/// entry drops it and reports a miss.
+class PlanCache {
+ public:
+  struct Entry {
+    std::string key;
+    PreparedPtr prepared;
+    Plan plan;
+    uint64_t catalog_version = 0;
+    /// (graph, stats_version at plan time) for every execution context of
+    /// the plan. The shared_ptr also pins graphs a stale catalog may have
+    /// dropped, so borrowed pointers inside the plan never dangle.
+    std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
+        graph_guards;
+  };
+
+  explicit PlanCache(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity) {}
+
+  static constexpr size_t kDefaultCapacity = 128;
+
+  /// Looks up `key`. Returns the entry (promoted to most-recently-used)
+  /// if present and still valid against `catalog_version` and its graph
+  /// guards; otherwise null. Counts a hit, a miss, or an invalidation
+  /// (stale entries are erased and also counted as misses). The returned
+  /// pointer is owned by the cache and valid until the next non-const
+  /// cache operation.
+  Entry* Lookup(const std::string& key, uint64_t catalog_version);
+
+  /// Inserts (or replaces) the entry for `key`, evicting the least
+  /// recently used entry if over capacity. Returns the stored entry.
+  Entry* Insert(std::string key, PreparedPtr prepared, Plan plan,
+                uint64_t catalog_version,
+                std::vector<std::pair<std::shared_ptr<const PropertyGraph>,
+                                      uint64_t>>
+                    graph_guards);
+
+  /// Drops every entry that can no longer validate against
+  /// `catalog_version` or its graph guards, releasing the graphs those
+  /// entries pin. Counted as invalidations. The engine calls this when
+  /// the catalog version moves, so replaced graphs are freed promptly
+  /// instead of lingering until their exact key is looked up again or
+  /// LRU-evicted.
+  void SweepStale(uint64_t catalog_version);
+
+  /// Drops all entries (stats are kept; use ResetStats to clear them).
+  void Clear();
+
+  /// Changes the bound; evicts LRU entries immediately if shrinking.
+  void set_capacity(size_t capacity);
+  size_t capacity() const { return capacity_; }
+  size_t size() const { return index_.size(); }
+
+  const PlanCacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = PlanCacheStats(); }
+
+ private:
+  void EvictToCapacity();
+
+  size_t capacity_;
+  /// MRU at the front; eviction pops from the back.
+  std::list<Entry> lru_;
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  PlanCacheStats stats_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_PLAN_PLAN_CACHE_H_

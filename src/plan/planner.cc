@@ -34,23 +34,25 @@ struct Planner::PipelineState {
 
 ExecContext* Planner::MakeContext(Plan* plan, GraphPtr graph) {
   auto ctx = std::make_unique<ExecContext>();
+  ExecContext* raw = ctx.get();
   ctx->graph = graph.get();
+  ctx->graph_owner = std::move(graph);
   ctx->match = options_.match;
-  ctx->eval.graph = graph.get();
+  ctx->eval.graph = raw->graph;
   ctx->eval.parameters = params_;
   ctx->eval.rand_state = rand_state_;
-  const PropertyGraph* g = graph.get();
-  const ValueMap* params = params_;
-  uint64_t* rand_state = rand_state_;
   MatchOptions match = options_.match;
-  ctx->eval.pattern_predicate = [g, params, rand_state, match](
+  // Capture the context (stable: heap-allocated, owned by the plan) and
+  // read parameters/rand_state through it at call time — the engine
+  // rebinds them on every execution of a cached plan.
+  ctx->eval.pattern_predicate = [raw, match](
                                     const Pattern& p,
                                     const Environment& env) -> Result<bool> {
     EvalContext inner;
-    inner.graph = g;
-    inner.parameters = params;
-    inner.rand_state = rand_state;
-    return ExistsMatch(p, *g, env, inner, match);
+    inner.graph = raw->graph;
+    inner.parameters = raw->eval.parameters;
+    inner.rand_state = raw->eval.rand_state;
+    return ExistsMatch(p, *raw->graph, env, inner, match);
   };
   plan->contexts.push_back(std::move(ctx));
   return plan->contexts.back().get();

@@ -7,6 +7,7 @@
 #include <cmath>
 #include <cstdint>
 
+#include "src/eval/aggregation.h"
 #include "src/eval/evaluator.h"
 #include "src/frontend/parser.h"
 
@@ -367,6 +368,92 @@ TEST(EvalArithmetic, RangeStopsAtInt64Max) {
   ASSERT_TRUE(v.is_list());
   ASSERT_EQ(v.AsList().size(), 3u);
   EXPECT_EQ(v.AsList().back().AsInt(), INT64_MAX);
+}
+
+// ---- Aggregation overflow (sum/avg route through the checked helpers) ------
+
+Status FeedAll(Aggregator* agg, std::initializer_list<Value> values) {
+  for (const Value& v : values) {
+    Status s = agg->Accumulate(v);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+TEST(EvalAggregation, SumIntOverflowRaises) {
+  auto agg = MakeAggregator("sum", false);
+  ASSERT_TRUE(agg.ok());
+  Status s = FeedAll(agg->get(),
+                     {Value::Int(INT64_MAX), Value::Int(1)});
+  EXPECT_EQ(s.code(), StatusCode::kEvaluationError) << s.ToString();
+  EXPECT_NE(s.message().find("integer overflow"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(EvalAggregation, SumIntNegativeOverflowRaises) {
+  auto agg = MakeAggregator("sum", false);
+  ASSERT_TRUE(agg.ok());
+  Status s = FeedAll(agg->get(),
+                     {Value::Int(INT64_MIN), Value::Int(-1)});
+  EXPECT_EQ(s.code(), StatusCode::kEvaluationError) << s.ToString();
+}
+
+TEST(EvalAggregation, SumAtInt64BoundaryIsExact) {
+  auto agg = MakeAggregator("sum", false);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(FeedAll(agg->get(), {Value::Int(INT64_MAX - 5),
+                                   Value::Int(3), Value::Int(2)})
+                  .ok());
+  auto v = (*agg)->Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInt(), INT64_MAX);
+}
+
+TEST(EvalAggregation, SumSwitchesToFloatOnMixedInput) {
+  auto agg = MakeAggregator("sum", false);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(FeedAll(agg->get(), {Value::Int(1), Value::Float(0.5)}).ok());
+  // Once float, int64 overflow no longer applies.
+  ASSERT_TRUE((*agg)->Accumulate(Value::Int(INT64_MAX)).ok());
+  auto v = (*agg)->Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_TRUE(v->is_float());
+}
+
+TEST(EvalAggregation, AvgIntOverflowFallsBackToFloat) {
+  // avg() returns a float regardless, so an int64-overflowing running
+  // sum must not reject the input — it degrades to float accumulation
+  // (the mean itself is representable).
+  auto agg = MakeAggregator("avg", false);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(FeedAll(agg->get(),
+                      {Value::Int(INT64_MAX), Value::Int(INT64_MAX)})
+                  .ok());
+  auto v = (*agg)->Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsFloat(), static_cast<double>(INT64_MAX));
+}
+
+TEST(EvalAggregation, AvgOfLargeIntsIsExact) {
+  // Doubles lose integer precision past 2^53; the checked int64
+  // accumulator keeps the sum exact until Finish.
+  auto agg = MakeAggregator("avg", false);
+  ASSERT_TRUE(agg.ok());
+  int64_t big = (int64_t{1} << 60) + 2;
+  ASSERT_TRUE(FeedAll(agg->get(), {Value::Int(big), Value::Int(big)}).ok());
+  auto v = (*agg)->Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsFloat(), static_cast<double>(big));
+}
+
+TEST(EvalAggregation, AvgMixedStillFloat) {
+  auto agg = MakeAggregator("avg", false);
+  ASSERT_TRUE(agg.ok());
+  ASSERT_TRUE(
+      FeedAll(agg->get(), {Value::Int(1), Value::Float(2.0)}).ok());
+  auto v = (*agg)->Finish();
+  ASSERT_TRUE(v.ok());
+  EXPECT_DOUBLE_EQ(v->AsFloat(), 1.5);
 }
 
 }  // namespace

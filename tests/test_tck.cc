@@ -358,7 +358,294 @@ std::vector<Scenario> Scenarios() {
        {"CREATE (:A {v: 1})"},
        "MATCH (a:A) REMOVE a.v WITH a RETURN a.v AS v",
        {{"null"}}},
+
+      // ---- Third batch: OPTIONAL MATCH ------------------------------------
+      {"optional match two-hop pads both columns",
+       {"CREATE (:A)-[:T]->(:B)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:X]->(b)-[:Y]->(c) RETURN b, c",
+       {{"null", "null"}}},
+      {"optional match keeps multiplicity",
+       {"CREATE (a:A), (a)-[:T]->(:B), (a)-[:T]->(:B)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN count(b) AS c",
+       {{"2"}}},
+      {"optional match with property map mismatch pads",
+       {"CREATE (:A)-[:T]->(:B {v: 2})"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b {v: 1}) RETURN b",
+       {{"null"}}},
+      {"optional match with zero anchor rows yields zero rows",
+       {},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN a, b",
+       {}},
+      {"optional match undirected finds either direction",
+       {"CREATE (:A)<-[:T]-(:B)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]-(b:B) RETURN count(b) AS c",
+       {{"1"}}},
+      {"optional then is-null filter counts unmatched",
+       {"CREATE (:A)-[:T]->(:B), (:A), (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) WITH a, b "
+       "WHERE b IS NULL RETURN count(a) AS c",
+       {{"2"}}},
+      {"optional match property of null is null",
+       {"CREATE (:A)"},
+       "MATCH (a:A) OPTIONAL MATCH (a)-[:T]->(b) RETURN b.v AS v",
+       {{"null"}}},
+
+      // ---- Third batch: WITH + WHERE chains -------------------------------
+      {"with where chain filters twice",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3})"},
+       "MATCH (n) WITH n.v * 2 AS d WHERE d > 2 "
+       "WITH d + 1 AS e WHERE e < 7 RETURN sum(e) AS s",
+       {{"5"}}},
+      {"with distinct then where",
+       {"CREATE ({v: 1}), ({v: 1}), ({v: 2}), ({v: 3})"},
+       "MATCH (n) WITH DISTINCT n.v AS v WHERE v >= 2 "
+       "RETURN count(*) AS c",
+       {{"2"}}},
+      {"with order limit then aggregate",
+       {"CREATE ({v: 3}), ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH n.v AS v ORDER BY v LIMIT 2 RETURN sum(v) AS s",
+       {{"3"}}},
+      {"with star and extra item",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH *, n.v AS v WHERE v = 1 RETURN count(n) AS c",
+       {{"1"}}},
+      {"having style filter on aggregate",
+       {"CREATE ({g: 1}), ({g: 1}), ({g: 2})"},
+       "MATCH (n) WITH n.g AS g, count(*) AS c WHERE c > 1 RETURN g",
+       {{"1"}}},
+      {"with window skip limit",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3}), ({v: 4})"},
+       "MATCH (n) WITH n.v AS v ORDER BY v SKIP 1 LIMIT 2 "
+       "RETURN sum(v) AS s",
+       {{"5"}}},
+      {"aggregate feeds next where",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3})"},
+       "MATCH (n) WITH count(*) AS c MATCH (m) WHERE m.v < c "
+       "RETURN count(m) AS k",
+       {{"2"}}},
+      {"with chain renames value twice",
+       {"CREATE ({v: 5})"},
+       "MATCH (n) WITH n.v AS a WITH a AS b WITH b + 1 AS c RETURN c",
+       {{"6"}}},
+
+      // ---- Third batch: UNWIND --------------------------------------------
+      {"double unwind cross product",
+       {},
+       "UNWIND [1, 2] AS x UNWIND [10, 20] AS y RETURN x + y AS s "
+       "ORDER BY s",
+       {{"11"}, {"12"}, {"21"}, {"22"}},
+       true},
+      {"unwind null yields one null row (Figure 7 fidelity)",
+       {},
+       "UNWIND null AS x RETURN x",
+       {{"null"}}},
+      {"unwind scalar yields one row",
+       {},
+       "UNWIND 5 AS x RETURN x",
+       {{"5"}}},
+      {"unwind nested lists",
+       {},
+       "UNWIND [[1, 2], [3]] AS l RETURN size(l) AS s ORDER BY s",
+       {{"1"}, {"2"}},
+       true},
+      {"unwind range with step",
+       {},
+       "UNWIND range(0, 6, 2) AS x RETURN sum(x) AS s",
+       {{"12"}}},
+      {"unwind drives match",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3})"},
+       "UNWIND [1, 3] AS id MATCH (n {v: id}) RETURN sum(n.v) AS s",
+       {{"4"}}},
+      {"unwind distinct collect",
+       {"CREATE ({v: 1}), ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH collect(DISTINCT n.v) AS vs UNWIND vs AS v "
+       "RETURN count(v) AS c",
+       {{"2"}}},
+
+      // ---- Third batch: MERGE ---------------------------------------------
+      {"merge creates when absent",
+       {},
+       "MERGE (n:X {v: 1}) RETURN n.v AS v",
+       {{"1"}}},
+      {"merge matches existing",
+       {"CREATE (:X {v: 1})"},
+       "MERGE (n:X {v: 1}) RETURN count(*) AS c",
+       {{"1"}}},
+      {"merge on create set",
+       {},
+       "MERGE (n:X {v: 1}) ON CREATE SET n.s = 'new' RETURN n.s AS s",
+       {{"'new'"}}},
+      {"merge on match set",
+       {"CREATE (:X {v: 1})"},
+       "MERGE (n:X {v: 1}) ON MATCH SET n.s = 'old' RETURN n.s AS s",
+       {{"'old'"}}},
+      {"merge relationship between matched nodes",
+       {"CREATE (:A), (:B)"},
+       "MATCH (a:A), (b:B) MERGE (a)-[r:L]->(b) RETURN count(r) AS c",
+       {{"1"}}},
+      {"merge in setup is idempotent",
+       {"CREATE ({v: 1}), ({v: 1})", "MATCH (n) MERGE (k:K {v: n.v})"},
+       "MATCH (k:K) RETURN count(*) AS c",
+       {{"1"}}},
+
+      // ---- Third batch: DELETE / SET / REMOVE -----------------------------
+      {"delete in setup removes nodes",
+       {"CREATE (:D {v: 1}), (:D {v: 2}), (:D {v: 3})",
+        "MATCH (d:D {v: 1}) DELETE d"},
+       "MATCH (d:D) RETURN count(*) AS c",
+       {{"2"}}},
+      {"detach delete removes relationships",
+       {"CREATE (:A)-[:T]->(:B)", "MATCH (a:A) DETACH DELETE a"},
+       "MATCH ()-[r]->() RETURN count(r) AS c",
+       {{"0"}}},
+      {"set two properties in one clause",
+       {"CREATE (:S)"},
+       "MATCH (n:S) SET n.a = 1, n.b = 2 WITH n RETURN n.a + n.b AS s",
+       {{"3"}}},
+      {"set plus-equals merges maps",
+       {"CREATE (:S {a: 1})"},
+       "MATCH (n:S) SET n += {a: 10, b: 2} WITH n RETURN n.a + n.b AS s",
+       {{"12"}}},
+      {"set equals replaces all properties",
+       {"CREATE (:S {a: 1, b: 2})"},
+       "MATCH (n:S) SET n = {x: 5} WITH n RETURN n.x AS x, n.a AS a",
+       {{"5", "null"}}},
+      {"set adds label",
+       {"CREATE (:S)"},
+       "MATCH (n:S) SET n:Extra WITH n RETURN size(labels(n)) AS c",
+       {{"2"}}},
+      {"remove label",
+       {"CREATE (:A:B)"},
+       "MATCH (n:A) REMOVE n:B WITH n RETURN size(labels(n)) AS c",
+       {{"1"}}},
+      {"remove property then coalesce",
+       {"CREATE (:S {v: 1})"},
+       "MATCH (n:S) REMOVE n.v WITH n RETURN coalesce(n.v, -1) AS v",
+       {{"-1"}}},
+
+      // ---- Third batch: SKIP / LIMIT --------------------------------------
+      {"limit zero returns nothing",
+       {"CREATE ({v: 1}), ({v: 2})"},
+       "MATCH (n) RETURN n.v AS v LIMIT 0",
+       {}},
+      {"skip past end returns nothing",
+       {"CREATE ({v: 1})"},
+       "MATCH (n) RETURN n.v AS v SKIP 5",
+       {}},
+      {"descending order with window",
+       {"CREATE ({v: 1}), ({v: 2}), ({v: 3}), ({v: 4})"},
+       "MATCH (n) RETURN n.v AS v ORDER BY v DESC SKIP 1 LIMIT 2",
+       {{"3"}, {"2"}},
+       true},
+      {"order by two keys mixed directions",
+       {"CREATE ({a: 1, b: 2}), ({a: 1, b: 1}), ({a: 0, b: 9})"},
+       "MATCH (n) RETURN n.a AS a, n.b AS b ORDER BY a, b DESC",
+       {{"0", "9"}, {"1", "2"}, {"1", "1"}},
+       true},
+      {"limit applies after order in with",
+       {"CREATE ({v: 3}), ({v: 1}), ({v: 2})"},
+       "MATCH (n) WITH n ORDER BY n.v DESC LIMIT 1 RETURN n.v AS v",
+       {{"3"}}},
+
+      // ---- Third batch: three-valued null logic ---------------------------
+      {"null equals null is null in where",
+       {"CREATE ({v: 1})"},
+       "MATCH (n) WHERE null = null RETURN count(*) AS c",
+       {{"0"}}},
+      {"null comparisons project null",
+       {},
+       "RETURN null = null AS a, null <> null AS b",
+       {{"null", "null"}}},
+      {"three valued and or truth table",
+       {},
+       "RETURN true OR null AS a, false OR null AS b, true AND null AS c, "
+       "false AND null AS d",
+       {{"true", "null", "null", "false"}}},
+      {"not null is null",
+       {},
+       "RETURN NOT null AS x",
+       {{"null"}}},
+      {"xor with null is null",
+       {},
+       "RETURN true XOR null AS x",
+       {{"null"}}},
+      {"in list three valued",
+       {},
+       "RETURN 1 IN [1, null] AS hit, 2 IN [1, null] AS maybe",
+       {{"true", "null"}}},
+      {"null arithmetic propagates",
+       {},
+       "RETURN null + 1 AS a, null * 2 AS b",
+       {{"null", "null"}}},
+      {"negated comparison drops nulls too",
+       {"CREATE ({v: 1}), ({v: 2}), ({})"},
+       "MATCH (n) WHERE NOT (n.v > 1) RETURN count(*) AS c",
+       {{"1"}}},
+      {"coalesce skips leading nulls",
+       {},
+       "RETURN coalesce(null, null, 7, 8) AS v",
+       {{"7"}}},
+
+      // ---- Third batch: list comprehensions -------------------------------
+      {"comprehension map only",
+       {},
+       "RETURN [x IN [1, 2, 3] | x * x] AS xs",
+       {{"[1, 4, 9]"}}},
+      {"comprehension filter only",
+       {},
+       "RETURN [x IN [1, 2, 3] WHERE x % 2 = 1] AS xs",
+       {{"[1, 3]"}}},
+      {"nested comprehension",
+       {},
+       "RETURN [x IN [1, 2] | [y IN [1, 2] | x * y]] AS xs",
+       {{"[[1, 2], [2, 4]]"}}},
+      {"comprehension filters nulls",
+       {},
+       "RETURN size([x IN [1, null, 3] WHERE x IS NOT NULL]) AS c",
+       {{"2"}}},
+      {"reduce over filtered range",
+       {},
+       "RETURN reduce(s = 0, x IN [y IN range(1, 4) WHERE y > 1] | s + x) "
+       "AS s",
+       {{"9"}}},
+      {"quantifier over comprehension",
+       {},
+       "RETURN all(y IN [x IN [2, 4] | x] WHERE y % 2 = 0) AS a",
+       {{"true"}}},
+
+      // ---- Third batch: aggregates ----------------------------------------
+      {"aggregates on empty input",
+       {},
+       "MATCH (n:None) RETURN count(n) AS c, sum(n.v) AS s, avg(n.v) AS a, "
+       "collect(n.v) AS l",
+       {{"0", "0", "null", "[]"}}},
+      {"count distinct versus count",
+       {"CREATE ({v: 1}), ({v: 1}), ({v: 2})"},
+       "MATCH (n) RETURN count(n.v) AS c, count(DISTINCT n.v) AS d",
+       {{"3", "2"}}},
   };
+}
+
+/// Compares a measured result against the scenario's expected rows
+/// (canonically sorted on both sides unless the query is ordered).
+void CheckRows(const Scenario& s, const QueryResult& result) {
+  std::vector<std::vector<std::string>> got;
+  const Table& t = s.ordered ? result.table : result.table.Sorted();
+  for (const auto& row : t.rows()) {
+    std::vector<std::string> cells;
+    for (const auto& v : row) cells.push_back(v.ToString());
+    got.push_back(std::move(cells));
+  }
+  std::vector<std::vector<std::string>> want;
+  for (const auto& row : s.expected) {
+    std::vector<std::string> cells;
+    for (const char* c : row) cells.emplace_back(c);
+    want.push_back(std::move(cells));
+  }
+  if (!s.ordered) std::sort(want.begin(), want.end());
+  auto got_sorted = got;
+  if (!s.ordered) std::sort(got_sorted.begin(), got_sorted.end());
+  EXPECT_EQ(got_sorted, want) << s.name << "\n" << result.table.ToString();
 }
 
 class TckTest : public ::testing::TestWithParam<ExecutionMode> {};
@@ -374,26 +661,7 @@ TEST_P(TckTest, Scenarios) {
     }
     auto result = engine.Execute(s.query);
     ASSERT_TRUE(result.ok()) << s.name << ": " << result.status().ToString();
-
-    // Render measured rows.
-    std::vector<std::vector<std::string>> got;
-    const Table& t =
-        s.ordered ? result->table : result->table.Sorted();
-    for (const auto& row : t.rows()) {
-      std::vector<std::string> cells;
-      for (const auto& v : row) cells.push_back(v.ToString());
-      got.push_back(std::move(cells));
-    }
-    std::vector<std::vector<std::string>> want;
-    for (const auto& row : s.expected) {
-      std::vector<std::string> cells;
-      for (const char* c : row) cells.emplace_back(c);
-      want.push_back(std::move(cells));
-    }
-    if (!s.ordered) std::sort(want.begin(), want.end());
-    auto got_sorted = got;
-    if (!s.ordered) std::sort(got_sorted.begin(), got_sorted.end());
-    EXPECT_EQ(got_sorted, want) << s.name << "\n" << result->table.ToString();
+    CheckRows(s, *result);
   }
 }
 
@@ -405,6 +673,39 @@ INSTANTIATE_TEST_SUITE_P(BothExecutors, TckTest,
                                       ? "Interpreter"
                                       : "Volcano";
                          });
+
+// Third executor leg: every scenario also runs through the plan cache —
+// Prepare once, then (for read queries) execute repeatedly via both the
+// prepared handle and the query text, all against the same expected rows.
+// This is the "cached plans are indistinguishable from fresh planning"
+// guarantee the cache must uphold.
+TEST(TckPlanCache, CachedPlansMatchFreshPlanning) {
+  for (const Scenario& s : Scenarios()) {
+    CypherEngine engine;  // Volcano mode, plan cache on (defaults)
+    for (const char* setup : s.setup) {
+      auto r = engine.Execute(setup);
+      ASSERT_TRUE(r.ok()) << s.name << " setup: " << r.status().ToString();
+    }
+    auto stmt = engine.Prepare(s.query);
+    ASSERT_TRUE(stmt.ok()) << s.name << ": " << stmt.status().ToString();
+    auto first = engine.Execute(*stmt);
+    ASSERT_TRUE(first.ok()) << s.name << ": " << first.status().ToString();
+    CheckRows(s, *first);
+    if (stmt->updating()) continue;  // re-running would mutate again
+
+    // Second execution reuses the cached plan; the text path shares it
+    // too (auto-parameterized key). Both must reproduce the first run.
+    auto again = engine.Execute(*stmt);
+    ASSERT_TRUE(again.ok()) << s.name << ": " << again.status().ToString();
+    EXPECT_TRUE(first->table.SameBag(again->table))
+        << s.name << "\nfirst:\n" << first->table.ToString()
+        << "cached:\n" << again->table.ToString();
+    auto text = engine.Execute(s.query);
+    ASSERT_TRUE(text.ok()) << s.name << ": " << text.status().ToString();
+    EXPECT_TRUE(first->table.SameBag(text->table)) << s.name;
+    EXPECT_GE(engine.plan_cache_stats().hits, 2u) << s.name;
+  }
+}
 
 }  // namespace
 }  // namespace gqlite
