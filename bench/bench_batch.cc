@@ -1,0 +1,88 @@
+// Batched vs tuple-at-a-time execution on fan-out-heavy graphs: the same
+// query runs at the default morsel size (1024) and at batch size 1 (the
+// degenerate per-tuple mode), so the gap IS the dispatch/bookkeeping
+// overhead the vectorized runtime amortizes. This suite is part of the CI
+// regression gate (bench/tools/compare.py against bench/baselines/): a
+// regression in either mode, or a collapse of the batched advantage,
+// shows up as a >15% normalized slowdown.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+
+namespace gqlite {
+namespace {
+
+/// Shared fan-out-heavy graph: 256 people averaging 8 FRIEND edges each
+/// (so a two-hop pattern explodes to ~64 rows per source), plus cities.
+GraphPtr FanoutGraph() {
+  static GraphPtr g = [] {
+    workload::SocialConfig cfg;
+    cfg.num_people = 256;
+    cfg.avg_friends = 8;
+    cfg.num_cities = 8;
+    return workload::MakeSocialNetwork(cfg);
+  }();
+  return g;
+}
+
+void RunQuery(benchmark::State& state, const char* query,
+              size_t batch_size) {
+  EngineOptions opts;
+  opts.batch_size = batch_size;
+  CypherEngine engine = bench::MakeEngine(FanoutGraph(), opts);
+  int64_t rows = 0;
+  for (auto _ : state) {
+    Table t = bench::MustRun(engine, query);
+    rows = t.rows()[0][0].AsInt();
+    benchmark::DoNotOptimize(t);
+  }
+  state.counters["result"] = static_cast<double>(rows);
+  // Effective size: --no-batch / GQLITE_BATCH_SIZE override the request.
+  size_t effective = engine.options().batch_size;
+  state.SetLabel(effective == 1
+                     ? "tuple-at-a-time"
+                     : "morsel " + std::to_string(effective));
+}
+
+constexpr const char* kTwoHop =
+    "MATCH (a:Person)-[:FRIEND]->(b)-[:FRIEND]->(c) RETURN count(*) AS c";
+
+void BM_TwoHopBatched(benchmark::State& s) { RunQuery(s, kTwoHop, 1024); }
+void BM_TwoHopPerTuple(benchmark::State& s) { RunQuery(s, kTwoHop, 1); }
+BENCHMARK(BM_TwoHopBatched);
+BENCHMARK(BM_TwoHopPerTuple);
+
+constexpr const char* kFilterExpand =
+    "MATCH (a:Person)-[:FRIEND]-(b) WHERE b.name < 'P2' "
+    "RETURN count(*) AS c";
+
+void BM_FilterExpandBatched(benchmark::State& s) {
+  RunQuery(s, kFilterExpand, 1024);
+}
+void BM_FilterExpandPerTuple(benchmark::State& s) {
+  RunQuery(s, kFilterExpand, 1);
+}
+BENCHMARK(BM_FilterExpandBatched);
+BENCHMARK(BM_FilterExpandPerTuple);
+
+constexpr const char* kVarLength =
+    "MATCH (a:Person)-[:FRIEND*1..2]-(b) RETURN count(*) AS c";
+
+void BM_VarLengthBatched(benchmark::State& s) { RunQuery(s, kVarLength, 1024); }
+void BM_VarLengthPerTuple(benchmark::State& s) { RunQuery(s, kVarLength, 1); }
+BENCHMARK(BM_VarLengthBatched);
+BENCHMARK(BM_VarLengthPerTuple);
+
+constexpr const char* kUnwind =
+    "UNWIND range(1, 4096) AS x RETURN count(*) AS c";
+
+void BM_UnwindBatched(benchmark::State& s) { RunQuery(s, kUnwind, 1024); }
+void BM_UnwindPerTuple(benchmark::State& s) { RunQuery(s, kUnwind, 1); }
+BENCHMARK(BM_UnwindBatched);
+BENCHMARK(BM_UnwindPerTuple);
+
+}  // namespace
+}  // namespace gqlite
+
+GQLITE_BENCH_MAIN()

@@ -19,6 +19,11 @@ namespace bench {
 /// baselines.
 inline bool g_no_plan_cache = false;
 
+/// Set by the shared `--no-batch` flag: forces batch_size = 1 in every
+/// engine built through MakeEngine, restoring tuple-at-a-time Volcano
+/// execution so runs stay comparable with pre-batching baselines.
+inline bool g_no_batch = false;
+
 /// Strips gqlite-specific flags from argv before benchmark::Initialize
 /// (which rejects flags it does not know).
 inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
@@ -26,6 +31,8 @@ inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
   for (int i = 1; i < *argc; ++i) {
     if (std::string_view(argv[i]) == "--no-plan-cache") {
       g_no_plan_cache = true;
+    } else if (std::string_view(argv[i]) == "--no-batch") {
+      g_no_batch = true;
     } else {
       argv[out++] = argv[i];
     }
@@ -38,6 +45,7 @@ inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
 /// MustRun `FROM GRAPH bench` prefix selects.
 inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
   if (g_no_plan_cache) opts.use_plan_cache = false;
+  if (g_no_batch) opts.batch_size = 1;
   CypherEngine engine(opts);
   engine.set_default_graph(g);
   engine.catalog().RegisterGraph("bench", std::move(g));

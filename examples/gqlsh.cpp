@@ -35,6 +35,14 @@ void PrintStats(CypherEngine& engine) {
             << engine.plan_cache().capacity() << " entries, " << pc.hits
             << " hits, " << pc.misses << " misses, " << pc.evictions
             << " evictions, " << pc.invalidations << " invalidations\n";
+  const BatchStats& ex = engine.exec_stats();
+  std::cout << "execution: " << engine.exec_queries() << " queries, "
+            << ex.rows << " rows in " << ex.batches << " batches (morsel size "
+            << engine.options().batch_size;
+  if (ex.batches > 0) {
+    std::cout << ", avg " << (ex.rows / ex.batches) << " rows/batch";
+  }
+  std::cout << ")\n";
 }
 
 }  // namespace

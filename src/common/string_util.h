@@ -60,6 +60,16 @@ std::string Utf8Substr(std::string_view s, size_t start, size_t len);
 /// point keep their order, so the result is valid UTF-8).
 std::string Utf8Reverse(std::string_view s);
 
+/// Unicode simple (1:1) case mapping over UTF-8 for toUpper()/toLower().
+/// Covers ASCII, Latin-1 Supplement, Latin Extended-A, Greek and basic
+/// Cyrillic via a generated case-folding table (the container has no
+/// ICU); code points outside the table pass through unchanged, as do
+/// caseless letters (ß, ĸ, ŉ). ASCII-only strings take a byte-loop fast
+/// path. One-to-many full mappings (ß → "SS") are intentionally not
+/// applied — the mapping is length-preserving in code points.
+std::string Utf8ToUpper(std::string_view s);
+std::string Utf8ToLower(std::string_view s);
+
 }  // namespace gqlite
 
 #endif  // GQLITE_COMMON_STRING_UTIL_H_

@@ -8,10 +8,15 @@
 
 namespace gqlite {
 
+void CypherEngine::ApplyBatchSizeOverride(EngineOptions* options) {
+  options->batch_size = EffectiveBatchSize(options->batch_size);
+}
+
 CypherEngine::CypherEngine(EngineOptions options)
     : options_(options),
       rand_state_(options.rand_seed),
       plan_cache_(options.plan_cache_capacity) {
+  ApplyBatchSizeOverride(&options_);
   graph_ = catalog_.default_graph();
 }
 
@@ -26,6 +31,7 @@ PlannerOptions CypherEngine::MakePlannerOptions() const {
   PlannerOptions popts;
   popts.mode = options_.planner;
   popts.use_join_expand = options_.use_join_expand;
+  popts.batch_size = options_.batch_size;
   popts.match = MakeMatchOptions();
   return popts;
 }
@@ -42,6 +48,10 @@ std::string CypherEngine::OptionsFingerprint() const {
   f += std::to_string(options_.max_var_length);
   f += 'j';
   f += options_.use_join_expand ? '1' : '0';
+  // Morsel size is baked into the plan's ExecContext (pipeline-breaker
+  // drains), so it is part of the key.
+  f += 'b';
+  f += std::to_string(options_.batch_size);
   return f;
 }
 
@@ -108,12 +118,13 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
 Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                                              const ValueMap& params) {
   QueryResult result;
+  ++exec_queries_;
   if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
       prepared->text_key.empty()) {
     GQL_ASSIGN_OR_RETURN(
         result.table, RunPlanned(&catalog_, graph_, &params,
                                  MakePlannerOptions(), &rand_state_,
-                                 prepared->query));
+                                 prepared->query, &exec_stats_));
     return result;
   }
   // A catalog-version move strands every older entry (they can never
@@ -146,7 +157,9 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
     ctx->eval.parameters = &params;
     ctx->eval.rand_state = &rand_state_;
   }
-  GQL_ASSIGN_OR_RETURN(result.table, ExecutePlan(&entry->plan));
+  GQL_ASSIGN_OR_RETURN(result.table,
+                       ExecutePlan(&entry->plan, options_.batch_size,
+                                   &exec_stats_));
   return result;
 }
 
@@ -179,7 +192,9 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
   Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
                   &rand_state_);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
-  GQL_ASSIGN_OR_RETURN(Table t, ExecutePlan(&plan));
+  ++exec_queries_;
+  GQL_ASSIGN_OR_RETURN(
+      Table t, ExecutePlan(&plan, options_.batch_size, &exec_stats_));
   std::string out = ProfilePlan(*plan.root);
   out += "result: " + std::to_string(t.NumRows()) + " rows\n";
   return out;

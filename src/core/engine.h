@@ -15,9 +15,10 @@ namespace gqlite {
 /// How read queries execute (experiment E15 ablates the two):
 ///  * kInterpreter — the reference implementation of the paper's formal
 ///    semantics (clause-by-clause table functions, naive matching);
-///  * kVolcano     — cost-based planning to tuple-at-a-time operators
-///    (§2 "Neo4j implementation"), with the MatcherOp fallback for
-///    pattern shapes outside the pipeline subset.
+///  * kVolcano     — cost-based planning to batched (morsel-at-a-time)
+///    Volcano operators (§2 "Neo4j implementation", vectorized: see
+///    src/plan/runtime.h and EngineOptions::batch_size), with the
+///    MatcherOp fallback for pattern shapes outside the pipeline subset.
 /// Updating queries and RETURN GRAPH always run on the interpreter path.
 enum class ExecutionMode : uint8_t { kInterpreter, kVolcano };
 
@@ -39,6 +40,13 @@ struct EngineOptions {
   bool use_plan_cache = true;
   /// Bound on cached plans (LRU beyond it). 0 disables caching.
   size_t plan_cache_capacity = PlanCache::kDefaultCapacity;
+  /// Morsel capacity of the batched Volcano runtime: how many rows each
+  /// NextBatch call moves between operators. 1 restores tuple-at-a-time
+  /// execution (the benches' `--no-batch` escape hatch). The environment
+  /// variable GQLITE_BATCH_SIZE overrides this at engine construction —
+  /// CI runs the whole test suite at batch size 1 under ASan to shake
+  /// out batch-boundary bugs.
+  size_t batch_size = RowBatch::kDefaultCapacity;
 };
 
 /// A parsed, analyzed and auto-parameterized query handle returned by
@@ -142,6 +150,7 @@ class CypherEngine {
   const EngineOptions& options() const { return options_; }
   void set_options(EngineOptions options) {
     options_ = options;
+    ApplyBatchSizeOverride(&options_);
     plan_cache_.set_capacity(options.plan_cache_capacity);
   }
 
@@ -152,7 +161,18 @@ class CypherEngine {
     return plan_cache_.stats();
   }
 
+  /// Cumulative rows/batches the batched runtime's root drain produced
+  /// across this engine's Volcano executions (gqlsh :stats).
+  const BatchStats& exec_stats() const { return exec_stats_; }
+  /// Number of Volcano executions behind exec_stats().
+  uint64_t exec_queries() const { return exec_queries_; }
+
  private:
+  /// Applies the GQLITE_BATCH_SIZE environment override (if set) and
+  /// clamps batch_size to >= 1 — shared by the constructor and
+  /// set_options so reconfiguring an engine cannot silently drop the
+  /// override CI relies on.
+  static void ApplyBatchSizeOverride(EngineOptions* options);
   MatchOptions MakeMatchOptions() const;
   PlannerOptions MakePlannerOptions() const;
   /// Cache key suffix encoding every option that changes the compiled
@@ -171,6 +191,8 @@ class CypherEngine {
   GraphPtr graph_;
   uint64_t rand_state_;
   PlanCache plan_cache_;
+  BatchStats exec_stats_;
+  uint64_t exec_queries_ = 0;
   /// Catalog version at the last stale-entry sweep (see RunVolcano).
   uint64_t swept_catalog_version_ = 0;
 };

@@ -725,11 +725,11 @@ Result<Value> CallFunction(const std::string& name, const Args& args,
   // Strings.
   if (name == "toupper" || name == "upper") {
     GQL_RETURN_IF_ERROR(Arity(name, args, 1, 1));
-    return Str1(name, args, AsciiToUpper);
+    return Str1(name, args, Utf8ToUpper);
   }
   if (name == "tolower" || name == "lower") {
     GQL_RETURN_IF_ERROR(Arity(name, args, 1, 1));
-    return Str1(name, args, AsciiToLower);
+    return Str1(name, args, Utf8ToLower);
   }
   if (name == "trim") {
     GQL_RETURN_IF_ERROR(Arity(name, args, 1, 1));

@@ -4,6 +4,7 @@
 #include <unordered_set>
 
 #include "src/graph/property_graph.h"
+#include "src/interp/row_batch.h"
 #include "src/value/value_compare.h"
 
 namespace gqlite {
@@ -17,6 +18,12 @@ int Table::FieldIndex(const std::string& name) const {
 
 void Table::Append(const Table& other) {
   for (const auto& r : other.rows_) rows_.push_back(r);
+}
+
+void Table::AddBatch(RowBatch* batch) {
+  for (size_t i = 0; i < batch->size(); ++i) {
+    rows_.push_back(std::move(batch->MutableRow(i)));
+  }
 }
 
 Table Table::Deduplicated() const {

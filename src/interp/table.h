@@ -10,6 +10,7 @@
 namespace gqlite {
 
 class PropertyGraph;
+class RowBatch;
 
 /// A table in the paper's sense (§4.1): a *bag* of uniform records over a
 /// set of named fields. Queries are functions from tables to tables;
@@ -38,6 +39,10 @@ class Table {
   int FieldIndex(const std::string& name) const;
 
   void AddRow(ValueList row) { rows_.push_back(std::move(row)); }
+
+  /// Moves the live rows of a morsel into the table (the batched
+  /// runtime's drain step; `batch` is left in an unspecified row state).
+  void AddBatch(RowBatch* batch);
 
   /// Bag union (⊎): appends the rows of `other` (fields must agree).
   void Append(const Table& other);

@@ -61,39 +61,62 @@ bool TypeOk(const PropertyGraph& g, const std::vector<std::string>& types,
   return false;
 }
 
-/// Fused relationship property constraints: evaluated against the driving
-/// row (pattern property expressions reference outer bindings, not the
-/// candidate relationship).
-Result<bool> RelPropsOk(const ExecContext& ctx, const ExpandSpec& spec,
-                        RelId r, const std::vector<std::string>& schema,
-                        const ValueList& row) {
+}  // namespace
+
+// ---- LazyPropWants ----------------------------------------------------------
+
+Result<bool> LazyPropWants::Ok(const ExecContext& ctx, const ExpandSpec& spec,
+                               const std::vector<std::string>& schema,
+                               const ValueList& row, RelId r) {
   if (spec.rel_props == nullptr) return true;
-  SchemaEnvironment env(schema, row);
-  for (const auto& [key, expr] : *spec.rel_props) {
-    GQL_ASSIGN_OR_RETURN(Value want, EvaluateExpr(*expr, env, ctx.eval));
-    if (ValueEquals(ctx.graph->RelProperty(r, key), want) != Tri::kTrue) {
+  const auto& props = *spec.rel_props;
+  for (size_t i = 0; i < props.size(); ++i) {
+    if (i >= wants_.size()) {
+      // Key i's constraint value is evaluated at the first candidate
+      // that survives keys 0..i-1 — exactly when the per-candidate
+      // reference check would evaluate it, so an erroring expression
+      // behind a mismatching earlier key stays unevaluated.
+      SchemaEnvironment env(schema, row);
+      GQL_ASSIGN_OR_RETURN(Value want,
+                           EvaluateExpr(*props[i].second, env, ctx.eval));
+      wants_.push_back(std::move(want));
+    }
+    if (ValueEquals(ctx.graph->RelProperty(r, props[i].first), wants_[i]) !=
+        Tri::kTrue) {
       return false;
     }
   }
   return true;
 }
 
-}  // namespace
+// ---- BatchCursor ------------------------------------------------------------
+
+Result<const ValueList*> BatchCursor::Current(Operator* child,
+                                              size_t capacity) {
+  while (!done_ && pos_ >= batch_.size()) {
+    if (batch_.capacity() != capacity) batch_ = RowBatch(capacity);
+    GQL_ASSIGN_OR_RETURN(bool ok, child->NextBatch(&batch_));
+    pos_ = 0;
+    if (!ok) done_ = true;
+  }
+  if (done_) return static_cast<const ValueList*>(nullptr);
+  return &batch_.row(pos_);
+}
 
 // ---- ArgumentOp -------------------------------------------------------------
 
-Result<bool> ArgumentOp::Next(ValueList* row) {
+Result<bool> ArgumentOp::NextBatchImpl(RowBatch* out) {
   if (single_row_ != nullptr) {
     if (done_single_) return false;
     done_single_ = true;
-    *row = *single_row_;
-    ++rows_produced_;
+    out->Append(*single_row_);
     return true;
   }
-  if (source_ == nullptr || pos_ >= source_->NumRows()) return false;
-  *row = source_->rows()[pos_++];
-  ++rows_produced_;
-  return true;
+  if (source_ == nullptr) return false;
+  while (pos_ < source_->NumRows() && !out->full()) {
+    out->Append(source_->rows()[pos_++]);
+  }
+  return !out->empty();
 }
 
 // ---- AllNodesScanOp ---------------------------------------------------------
@@ -106,30 +129,28 @@ AllNodesScanOp::AllNodesScanOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status AllNodesScanOp::Open() {
-  have_row_ = false;
+  input_.Reset();
   node_pos_ = 0;
   return child_->Open();
 }
 
-Result<bool> AllNodesScanOp::Next(ValueList* row) {
+Result<bool> AllNodesScanOp::NextBatchImpl(RowBatch* out) {
   const PropertyGraph& g = *ctx_->graph;
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      node_pos_ = 0;
-    }
-    while (node_pos_ < g.NumNodeSlots()) {
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    while (node_pos_ < g.NumNodeSlots() && !out->full()) {
       NodeId n{node_pos_++};
       if (!g.IsNodeAlive(n)) continue;
-      *row = current_;
-      row->push_back(Value::Node(n));
-      ++rows_produced_;
-      return true;
+      out->AppendFrom(*in).push_back(Value::Node(n));
     }
-    have_row_ = false;
+    if (node_pos_ >= g.NumNodeSlots()) {
+      input_.Advance();
+      node_pos_ = 0;
+    }
   }
+  return !out->empty();
 }
 
 // ---- NodeByLabelScanOp ------------------------------------------------------
@@ -142,28 +163,26 @@ NodeByLabelScanOp::NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status NodeByLabelScanOp::Open() {
-  have_row_ = false;
+  input_.Reset();
   idx_pos_ = 0;
   return child_->Open();
 }
 
-Result<bool> NodeByLabelScanOp::Next(ValueList* row) {
+Result<bool> NodeByLabelScanOp::NextBatchImpl(RowBatch* out) {
   const auto& idx = ctx_->graph->NodesWithLabel(label_);
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    while (idx_pos_ < idx.size() && !out->full()) {
+      out->AppendFrom(*in).push_back(Value::Node(idx[idx_pos_++]));
+    }
+    if (idx_pos_ >= idx.size()) {
+      input_.Advance();
       idx_pos_ = 0;
     }
-    if (idx_pos_ < idx.size()) {
-      *row = current_;
-      row->push_back(Value::Node(idx[idx_pos_++]));
-      ++rows_produced_;
-      return true;
-    }
-    have_row_ = false;
   }
+  return !out->empty();
 }
 
 // ---- ExpandOp ---------------------------------------------------------------
@@ -177,13 +196,14 @@ ExpandOp::ExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec)
 }
 
 Status ExpandOp::Open() {
-  have_row_ = false;
+  input_.Reset();
   adj_pos_ = 0;
+  props_.Reset();
   return child_->Open();
 }
 
 Result<bool> ExpandOp::RelMatches(RelId r, const ValueList& row,
-                                  NodeId* next) const {
+                                  NodeId* next) {
   const PropertyGraph& g = *ctx_->graph;
   if (!TypeOk(g, spec_.types, r)) return false;
   if (ctx_->match.morphism != Morphism::kHomomorphism &&
@@ -191,7 +211,7 @@ Result<bool> ExpandOp::RelMatches(RelId r, const ValueList& row,
     return false;
   }
   GQL_ASSIGN_OR_RETURN(bool props_ok,
-                       RelPropsOk(*ctx_, spec_, r, child_->schema(), row));
+                       props_.Ok(*ctx_, spec_, child_->schema(), row, r));
   if (!props_ok) return false;
   if (spec_.bound_rel_col >= 0) {
     const Value& bound = row[spec_.bound_rel_col];
@@ -222,33 +242,32 @@ Result<bool> ExpandOp::RelMatches(RelId r, const ValueList& row,
   return true;
 }
 
-Result<bool> ExpandOp::Next(ValueList* row) {
+Result<bool> ExpandOp::NextBatchImpl(RowBatch* out) {
   const PropertyGraph& g = *ctx_->graph;
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      adj_pos_ = 0;
-    }
-    const Value& from_v = current_[spec_.from_col];
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    const Value& from_v = (*in)[spec_.from_col];
     if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) {
-      have_row_ = false;
+      input_.Advance();
+      adj_pos_ = 0;
+      props_.Reset();
       continue;
     }
     NodeId from = from_v.AsNode();
-    const auto& out = g.OutRels(from);
-    const auto& in = g.InRels(from);
+    const auto& out_rels = g.OutRels(from);
+    const auto& in_rels = g.InRels(from);
     // Conceptual adjacency sequence: out rels then (when direction allows)
     // in rels. Self-loops are skipped in the `in` half so undirected
     // traversal sees them once.
-    size_t total = out.size() + in.size();
-    while (adj_pos_ < total) {
+    size_t total = out_rels.size() + in_rels.size();
+    while (adj_pos_ < total && !out->full()) {
       size_t i = adj_pos_++;
       RelId r;
-      bool from_out = i < out.size();
+      bool from_out = i < out_rels.size();
       if (from_out) {
-        r = out[i];
+        r = out_rels[i];
         if (spec_.direction == ast::Direction::kLeft &&
             g.Source(r) == g.Target(r)) {
           // A self-loop also appears in `in`; let the `in` half handle it
@@ -260,7 +279,7 @@ Result<bool> ExpandOp::Next(ValueList* row) {
           continue;
         }
       } else {
-        r = in[i - out.size()];
+        r = in_rels[i - out_rels.size()];
         if (spec_.direction != ast::Direction::kLeft &&
             g.Source(r) == g.Target(r)) {
           continue;  // self-loop handled in the `out` half
@@ -268,16 +287,19 @@ Result<bool> ExpandOp::Next(ValueList* row) {
         if (spec_.direction == ast::Direction::kRight) continue;
       }
       NodeId next;
-      GQL_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(r, current_, &next));
+      GQL_ASSIGN_OR_RETURN(bool rel_ok, RelMatches(r, *in, &next));
       if (!rel_ok) continue;
-      *row = current_;
-      if (!spec_.rel_var.empty()) row->push_back(Value::Relationship(r));
-      if (spec_.to_col < 0) row->push_back(Value::Node(next));
-      ++rows_produced_;
-      return true;
+      ValueList& row = out->AppendFrom(*in);
+      if (!spec_.rel_var.empty()) row.push_back(Value::Relationship(r));
+      if (spec_.to_col < 0) row.push_back(Value::Node(next));
     }
-    have_row_ = false;
+    if (adj_pos_ >= total) {
+      input_.Advance();
+      adj_pos_ = 0;
+      props_.Reset();
+    }
   }
+  return !out->empty();
 }
 
 std::string ExpandOp::Describe() const {
@@ -306,7 +328,8 @@ HashJoinExpandOp::HashJoinExpandOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status HashJoinExpandOp::Open() {
-  have_row_ = false;
+  input_.Reset();
+  probing_ = false;
   if (!built_) {
     // Build side: scan the entire relationship store (the indirection the
     // adjacency-based Expand avoids).
@@ -336,53 +359,57 @@ Status HashJoinExpandOp::Open() {
   return child_->Open();
 }
 
-Result<bool> HashJoinExpandOp::Next(ValueList* row) {
+Result<bool> HashJoinExpandOp::NextBatchImpl(RowBatch* out) {
   const PropertyGraph& g = *ctx_->graph;
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      const Value& from_v = current_[spec_.from_col];
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    if (!probing_) {
+      const Value& from_v = (*in)[spec_.from_col];
       if (!from_v.is_node()) {
-        have_row_ = false;
+        input_.Advance();
         continue;
       }
       range_ = index_.equal_range(from_v.AsNode().id);
+      probing_ = true;
+      props_.Reset();
     }
-    while (range_.first != range_.second) {
+    while (range_.first != range_.second && !out->full()) {
       RelId r{range_.first->second};
       ++range_.first;
       if (ctx_->match.morphism != Morphism::kHomomorphism &&
-          RelAlreadyUsed(r, current_, spec_.uniqueness_cols)) {
+          RelAlreadyUsed(r, *in, spec_.uniqueness_cols)) {
         continue;
       }
       if (spec_.bound_rel_col >= 0) {
-        const Value& bound = current_[spec_.bound_rel_col];
+        const Value& bound = (*in)[spec_.bound_rel_col];
         if (!bound.is_relationship() || !(bound.AsRelationship() == r)) {
           continue;
         }
       }
       GQL_ASSIGN_OR_RETURN(
           bool props_ok,
-          RelPropsOk(*ctx_, spec_, r, child_->schema(), current_));
+          props_.Ok(*ctx_, spec_, child_->schema(), *in, r));
       if (!props_ok) continue;
-      NodeId from = current_[spec_.from_col].AsNode();
+      NodeId from = (*in)[spec_.from_col].AsNode();
       NodeId next = g.OtherEnd(r, from);
       if (spec_.direction == ast::Direction::kRight) next = g.Target(r);
       if (spec_.direction == ast::Direction::kLeft) next = g.Source(r);
       if (spec_.to_col >= 0) {
-        const Value& want = current_[spec_.to_col];
+        const Value& want = (*in)[spec_.to_col];
         if (!want.is_node() || !(want.AsNode() == next)) continue;
       }
-      *row = current_;
-      if (!spec_.rel_var.empty()) row->push_back(Value::Relationship(r));
-      if (spec_.to_col < 0) row->push_back(Value::Node(next));
-      ++rows_produced_;
-      return true;
+      ValueList& row = out->AppendFrom(*in);
+      if (!spec_.rel_var.empty()) row.push_back(Value::Relationship(r));
+      if (spec_.to_col < 0) row.push_back(Value::Node(next));
     }
-    have_row_ = false;
+    if (range_.first == range_.second) {
+      probing_ = false;
+      input_.Advance();
+    }
   }
+  return !out->empty();
 }
 
 std::string HashJoinExpandOp::Describe() const {
@@ -403,113 +430,141 @@ VarLengthExpandOp::VarLengthExpandOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status VarLengthExpandOp::Open() {
-  have_row_ = false;
+  input_.Clear();
   pending_.clear();
+  pos_in_pending_ = 0;
   return child_->Open();
 }
 
-Status VarLengthExpandOp::StartRow() {
+Status VarLengthExpandOp::ExpandBatch() {
   const PropertyGraph& g = *ctx_->graph;
   pending_.clear();
-  const Value& from_v = current_[spec_.from_col];
-  if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) {
-    return Status::OK();
-  }
-  NodeId from = from_v.AsNode();
+  const std::vector<std::string>& in_schema = child_->schema();
+  size_t n = input_.size();
 
-  auto emit = [&](NodeId target, const std::vector<RelId>& rels) {
+  // Per-row lazily-hoisted relationship property constraint values.
+  std::vector<LazyPropWants> wants(spec_.rel_props != nullptr ? n : 0);
+
+  auto emit = [&](uint32_t row_idx, NodeId target,
+                  const std::vector<RelId>& path) {
+    const ValueList& in = input_.row(row_idx);
     if (spec_.to_col >= 0) {
-      const Value& want = current_[spec_.to_col];
+      const Value& want = in[spec_.to_col];
       if (!want.is_node() || !(want.AsNode() == target)) return;
     }
-    ValueList row = current_;
+    ValueList row = in;
     if (!spec_.rel_var.empty()) {
       ValueList list;
-      for (RelId r : rels) list.push_back(Value::Relationship(r));
+      list.reserve(path.size());
+      for (RelId r : path) list.push_back(Value::Relationship(r));
       row.push_back(Value::MakeList(std::move(list)));
     }
     if (spec_.to_col < 0) row.push_back(Value::Node(target));
     pending_.push_back(std::move(row));
   };
 
-  if (min_ == 0) emit(from, {});
-
-  // DFS enumerating each relationship sequence of length in [max(1,min),
-  // max]: every depth in range produces its own row (rigid refinements).
-  std::vector<RelId> rels;
-  std::function<Status(NodeId, int64_t)> dfs =
-      [&](NodeId cur, int64_t depth) -> Status {
-    if (depth >= max_) return Status::OK();
-    auto consider = [&](RelId r, bool from_out) -> Status {
-      if (!TypeOk(g, spec_.types, r)) return Status::OK();
-      // Within-hop uniqueness plus clause-level uniqueness columns.
-      if (ctx_->match.morphism != Morphism::kHomomorphism) {
-        for (RelId used : rels) {
-          if (used == r) return Status::OK();
-        }
-        if (RelAlreadyUsed(r, current_, spec_.uniqueness_cols)) {
-          return Status::OK();
-        }
-      }
-      GQL_ASSIGN_OR_RETURN(
-          bool props_ok,
-          RelPropsOk(*ctx_, spec_, r, child_->schema(), current_));
-      if (!props_ok) return Status::OK();
-      NodeId src = g.Source(r);
-      NodeId tgt = g.Target(r);
-      NodeId next;
-      switch (spec_.direction) {
-        case ast::Direction::kRight:
-          if (src != cur) return Status::OK();
-          next = tgt;
-          break;
-        case ast::Direction::kLeft:
-          if (tgt != cur) return Status::OK();
-          next = src;
-          break;
-        case ast::Direction::kBoth:
-          if (src == tgt && !from_out) return Status::OK();  // once
-          next = (src == cur) ? tgt : src;
-          break;
-      }
-      rels.push_back(r);
-      if (depth + 1 >= min_) emit(next, rels);
-      Status st = dfs(next, depth + 1);
-      rels.pop_back();
-      return st;
-    };
-    if (spec_.direction != ast::Direction::kLeft) {
-      for (RelId r : g.OutRels(cur)) {
-        GQL_RETURN_IF_ERROR(consider(r, true));
-      }
-    }
-    if (spec_.direction != ast::Direction::kRight) {
-      for (RelId r : g.InRels(cur)) {
-        GQL_RETURN_IF_ERROR(consider(r, false));
-      }
-    }
-    return Status::OK();
+  // One frontier entry per in-flight path. Paths are owned contiguous
+  // vectors: extending copies the prefix (one memcpy), and the
+  // trail-uniqueness scan stays a linear pass over contiguous memory —
+  // parent-linked path sharing measures slower at depth (pointer-chasing
+  // latency on every uniqueness probe).
+  struct FrontierEntry {
+    uint32_t row;
+    NodeId node;
+    std::vector<RelId> path;
   };
-  if (max_ >= 1) GQL_RETURN_IF_ERROR(dfs(from, 0));
+  std::vector<FrontierEntry> frontier;
+  for (uint32_t i = 0; i < n; ++i) {
+    const ValueList& in = input_.row(i);
+    const Value& from_v = in[spec_.from_col];
+    if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) continue;
+    NodeId from = from_v.AsNode();
+    if (min_ == 0) emit(i, from, {});
+    if (max_ >= 1) frontier.push_back({i, from, {}});
+  }
+
+  // Level-synchronous BFS over the whole morsel: every depth in
+  // [max(1,min), max] produces its own rows (rigid refinements), and the
+  // relationship-isomorphism rule (no rel reused within one path, nor
+  // against the clause's uniqueness columns) keeps enumeration finite.
+  std::vector<FrontierEntry> next_frontier;
+  for (int64_t depth = 1; depth <= max_ && !frontier.empty(); ++depth) {
+    next_frontier.clear();
+    for (const FrontierEntry& e : frontier) {
+      const ValueList& in = input_.row(e.row);
+      auto consider = [&](RelId r, bool from_out) -> Status {
+        if (!TypeOk(g, spec_.types, r)) return Status::OK();
+        // Within-path uniqueness plus clause-level uniqueness columns.
+        if (ctx_->match.morphism != Morphism::kHomomorphism) {
+          for (RelId used : e.path) {
+            if (used == r) return Status::OK();
+          }
+          if (RelAlreadyUsed(r, in, spec_.uniqueness_cols)) {
+            return Status::OK();
+          }
+        }
+        if (spec_.rel_props != nullptr) {
+          GQL_ASSIGN_OR_RETURN(
+              bool props_ok,
+              wants[e.row].Ok(*ctx_, spec_, in_schema, in, r));
+          if (!props_ok) return Status::OK();
+        }
+        NodeId src = g.Source(r);
+        NodeId tgt = g.Target(r);
+        NodeId next;
+        switch (spec_.direction) {
+          case ast::Direction::kRight:
+            if (src != e.node) return Status::OK();
+            next = tgt;
+            break;
+          case ast::Direction::kLeft:
+            if (tgt != e.node) return Status::OK();
+            next = src;
+            break;
+          case ast::Direction::kBoth:
+            if (src == tgt && !from_out) return Status::OK();  // once
+            next = (src == e.node) ? tgt : src;
+            break;
+        }
+        FrontierEntry extended{e.row, next, {}};
+        extended.path.reserve(e.path.size() + 1);
+        extended.path = e.path;
+        extended.path.push_back(r);
+        if (depth >= min_) emit(e.row, next, extended.path);
+        if (depth < max_) next_frontier.push_back(std::move(extended));
+        return Status::OK();
+      };
+      if (spec_.direction != ast::Direction::kLeft) {
+        for (RelId r : g.OutRels(e.node)) {
+          GQL_RETURN_IF_ERROR(consider(r, true));
+        }
+      }
+      if (spec_.direction != ast::Direction::kRight) {
+        for (RelId r : g.InRels(e.node)) {
+          GQL_RETURN_IF_ERROR(consider(r, false));
+        }
+      }
+    }
+    frontier.swap(next_frontier);
+  }
   return Status::OK();
 }
 
-Result<bool> VarLengthExpandOp::Next(ValueList* row) {
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      GQL_RETURN_IF_ERROR(StartRow());
-      pos_in_pending_ = 0;
-    }
+Result<bool> VarLengthExpandOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full()) {
     if (pos_in_pending_ < pending_.size()) {
-      *row = pending_[pos_in_pending_++];
-      ++rows_produced_;
-      return true;
+      while (pos_in_pending_ < pending_.size() && !out->full()) {
+        out->Append(std::move(pending_[pos_in_pending_++]));
+      }
+      continue;
     }
-    have_row_ = false;
+    if (input_.capacity() != out->capacity()) input_ = RowBatch(out->capacity());
+    GQL_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&input_));
+    if (!ok) break;
+    GQL_RETURN_IF_ERROR(ExpandBatch());
+    pos_in_pending_ = 0;
   }
+  return !out->empty();
 }
 
 std::string VarLengthExpandOp::Describe() const {
@@ -533,16 +588,20 @@ FilterOp::FilterOp(OperatorPtr child, const ExecContext* ctx,
 
 Status FilterOp::Open() { return child_->Open(); }
 
-Result<bool> FilterOp::Next(ValueList* row) {
+Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
   while (true) {
-    GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(row));
+    GQL_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(out));
     if (!ok) return false;
-    SchemaEnvironment env(schema_, *row);
-    GQL_ASSIGN_OR_RETURN(Tri keep, EvaluatePredicate(*pred_, env, ctx_->eval));
-    if (keep == Tri::kTrue) {
-      ++rows_produced_;
-      return true;
+    keep_.clear();
+    for (uint32_t i = 0; i < out->size(); ++i) {
+      SchemaEnvironment env(schema_, out->row(i));
+      GQL_ASSIGN_OR_RETURN(Tri keep,
+                           EvaluatePredicate(*pred_, env, ctx_->eval));
+      if (keep == Tri::kTrue) keep_.push_back(i);
     }
+    if (keep_.empty()) continue;  // whole morsel filtered out; pull more
+    if (keep_.size() < out->size()) out->Select(keep_);
+    return true;
   }
 }
 
@@ -562,34 +621,37 @@ ApplyOp::ApplyOp(OperatorPtr child, OperatorPtr inner, ArgumentOp* argument,
 }
 
 Status ApplyOp::Open() {
-  have_row_ = false;
+  input_.Reset();
   inner_open_ = false;
   return child_->Open();
 }
 
-Result<bool> ApplyOp::Next(ValueList* row) {
+Result<bool> ApplyOp::NextBatchImpl(RowBatch* out) {
+  // Streams the inner pipeline's morsels straight through (no
+  // re-buffering): each return carries one inner morsel of the current
+  // driving row. Morsels from an Apply may therefore run smaller than
+  // the configured capacity — the batch contract only requires >= 1 row.
   while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      inner_matched_ = false;
-      argument_->BindRow(&current_);
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) return false;
+    if (!inner_open_) {
+      // One-row correlation: the Argument leaf replays this driving row.
+      argument_->BindRow(in);
       GQL_RETURN_IF_ERROR(inner_->Open());
       inner_open_ = true;
+      inner_matched_ = false;
     }
-    GQL_ASSIGN_OR_RETURN(bool ok, inner_->Next(row));
+    GQL_ASSIGN_OR_RETURN(bool ok, inner_->NextBatch(out));
     if (ok) {
       inner_matched_ = true;
-      ++rows_produced_;
       return true;
     }
-    have_row_ = false;
     inner_open_ = false;
+    input_.Advance();
     if (optional_ && !inner_matched_) {
-      *row = current_;
-      row->resize(schema_.size(), Value::Null());
-      ++rows_produced_;
+      // OPTIONAL MATCH null-padding (Figure 7's rule).
+      out->AppendFrom(*in).resize(schema_.size(), Value::Null());
       return true;
     }
   }
@@ -605,17 +667,18 @@ UnwindOp::UnwindOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status UnwindOp::Open() {
-  have_row_ = false;
+  input_.Reset();
+  row_ready_ = false;
   return child_->Open();
 }
 
-Result<bool> UnwindOp::Next(ValueList* row) {
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
-      SchemaEnvironment env(child_->schema(), current_);
+Result<bool> UnwindOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    if (!row_ready_) {
+      SchemaEnvironment env(child_->schema(), *in);
       GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr_, env, ctx_->eval));
       items_.clear();
       item_pos_ = 0;
@@ -626,22 +689,21 @@ Result<bool> UnwindOp::Next(ValueList* row) {
         single_pending_ = true;
         single_value_ = std::move(v);
       }
+      row_ready_ = true;
     }
     if (single_pending_) {
       single_pending_ = false;
-      *row = current_;
-      row->push_back(single_value_);
-      ++rows_produced_;
-      return true;
+      out->AppendFrom(*in).push_back(single_value_);
     }
-    if (item_pos_ < items_.size()) {
-      *row = current_;
-      row->push_back(items_[item_pos_++]);
-      ++rows_produced_;
-      return true;
+    while (item_pos_ < items_.size() && !out->full()) {
+      out->AppendFrom(*in).push_back(items_[item_pos_++]);
     }
-    have_row_ = false;
+    if (!single_pending_ && item_pos_ >= items_.size()) {
+      input_.Advance();
+      row_ready_ = false;
+    }
   }
+  return !out->empty();
 }
 
 // ---- ProjectionOp -----------------------------------------------------------
@@ -657,7 +719,8 @@ ProjectionOp::ProjectionOp(OperatorPtr child, const ExecContext* ctx,
 
 Status ProjectionOp::Open() {
   GQL_RETURN_IF_ERROR(child_->Open());
-  GQL_ASSIGN_OR_RETURN(Table input, DrainPlan(child_.get()));
+  GQL_ASSIGN_OR_RETURN(Table input,
+                       DrainPlan(child_.get(), ctx_->batch_size));
   // `*` must not expose planner-hidden columns ('#...'): strip them before
   // delegating to the shared projection machinery.
   bool has_hidden = false;
@@ -697,11 +760,12 @@ Status ProjectionOp::Open() {
   return Status::OK();
 }
 
-Result<bool> ProjectionOp::Next(ValueList* row) {
-  if (pos_ >= result_.NumRows()) return false;
-  *row = result_.rows()[pos_++];
-  ++rows_produced_;
-  return true;
+Result<bool> ProjectionOp::NextBatchImpl(RowBatch* out) {
+  // Streams the materialized result; rows move out (Open rebuilds).
+  while (pos_ < result_.NumRows() && !out->full()) {
+    out->Append(std::move(result_.mutable_rows()[pos_++]));
+  }
+  return !out->empty();
 }
 
 std::string ProjectionOp::Describe() const {
@@ -725,27 +789,29 @@ std::string ProjectionOp::Describe() const {
 // ---- UnionOp ----------------------------------------------------------------
 
 UnionOp::UnionOp(std::vector<OperatorPtr> parts, bool all,
-                 std::vector<std::string> schema)
+                 std::vector<std::string> schema, size_t batch_size)
     : Operator(nullptr, std::move(schema)), parts_(std::move(parts)),
-      all_(all) {}
+      all_(all), batch_size_(batch_size) {}
 
 Status UnionOp::Open() {
   materialized_ = Table(schema_);
   for (auto& p : parts_) {
     GQL_RETURN_IF_ERROR(p->Open());
-    GQL_ASSIGN_OR_RETURN(Table t, DrainPlan(p.get()));
-    materialized_.Append(t);
+    GQL_ASSIGN_OR_RETURN(Table t, DrainPlan(p.get(), batch_size_));
+    for (auto& r : t.mutable_rows()) {
+      materialized_.AddRow(std::move(r));  // NextBatch moves them out again
+    }
   }
   if (!all_) materialized_ = materialized_.Deduplicated();
   pos_ = 0;
   return Status::OK();
 }
 
-Result<bool> UnionOp::Next(ValueList* row) {
-  if (pos_ >= materialized_.NumRows()) return false;
-  *row = materialized_.rows()[pos_++];
-  ++rows_produced_;
-  return true;
+Result<bool> UnionOp::NextBatchImpl(RowBatch* out) {
+  while (pos_ < materialized_.NumRows() && !out->full()) {
+    out->Append(std::move(materialized_.mutable_rows()[pos_++]));
+  }
+  return !out->empty();
 }
 
 // ---- MatcherOp --------------------------------------------------------------
@@ -761,49 +827,58 @@ MatcherOp::MatcherOp(OperatorPtr child, const ExecContext* ctx,
 }
 
 Status MatcherOp::Open() {
-  have_row_ = false;
+  input_.Reset();
+  row_ready_ = false;
   buffered_.clear();
   pos_ = 0;
   return child_->Open();
 }
 
-Result<bool> MatcherOp::Next(ValueList* row) {
-  while (true) {
-    if (!have_row_) {
-      GQL_ASSIGN_OR_RETURN(bool ok, child_->Next(&current_));
-      if (!ok) return false;
-      have_row_ = true;
+Result<bool> MatcherOp::NextBatchImpl(RowBatch* out) {
+  while (!out->full()) {
+    GQL_ASSIGN_OR_RETURN(const ValueList* in,
+                         input_.Current(child_.get(), out->capacity()));
+    if (in == nullptr) break;
+    if (!row_ready_) {
       buffered_.clear();
       pos_ = 0;
-      SchemaEnvironment env(child_->schema(), current_);
+      SchemaEnvironment env(child_->schema(), *in);
       Status st = MatchPattern(*pattern_, *ctx_->graph, env, ctx_->eval,
                                ctx_->match, new_cols_,
                                [&](const BindingRow& b) -> Result<bool> {
-                                 ValueList out = current_;
-                                 for (const Value& v : b) out.push_back(v);
-                                 buffered_.push_back(std::move(out));
+                                 ValueList row = *in;
+                                 for (const Value& v : b) row.push_back(v);
+                                 buffered_.push_back(std::move(row));
                                  return true;
                                });
       GQL_RETURN_IF_ERROR(st);
+      row_ready_ = true;
     }
-    if (pos_ < buffered_.size()) {
-      *row = buffered_[pos_++];
-      ++rows_produced_;
-      return true;
+    while (pos_ < buffered_.size() && !out->full()) {
+      out->Append(std::move(buffered_[pos_++]));
     }
-    have_row_ = false;
+    if (pos_ >= buffered_.size()) {
+      input_.Advance();
+      row_ready_ = false;
+    }
   }
+  return !out->empty();
 }
 
 // ---- Helpers ----------------------------------------------------------------
 
-Result<Table> DrainPlan(Operator* root) {
+Result<Table> DrainPlan(Operator* root, size_t batch_size,
+                        BatchStats* stats) {
   Table out(root->schema());
-  ValueList row;
+  RowBatch batch(batch_size);
   while (true) {
-    GQL_ASSIGN_OR_RETURN(bool ok, root->Next(&row));
+    GQL_ASSIGN_OR_RETURN(bool ok, root->NextBatch(&batch));
     if (!ok) break;
-    out.AddRow(row);
+    if (stats != nullptr) {
+      ++stats->batches;
+      stats->rows += static_cast<int64_t>(batch.size());
+    }
+    out.AddBatch(&batch);
   }
   return out;
 }
@@ -815,7 +890,8 @@ void ExplainRec(const Operator& op, int depth, bool with_rows,
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += "+ " + op.Describe();
   if (with_rows) {
-    *out += "  (rows: " + std::to_string(op.rows_produced()) + ")";
+    *out += "  (rows: " + std::to_string(op.rows_produced()) +
+            ", batches: " + std::to_string(op.batches_produced()) + ")";
   }
   *out += "\n";
   for (const Operator* c : op.children()) {

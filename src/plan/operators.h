@@ -8,16 +8,46 @@
 
 #include "src/frontend/ast.h"
 #include "src/interp/projection.h"
+#include "src/interp/row_batch.h"
 #include "src/interp/table.h"
 #include "src/pattern/matcher.h"
 
 namespace gqlite {
 
-/// Volcano-style physical operators (§2 "Neo4j implementation": "a simple
-/// tuple-at-a-time iterator-based execution model" following the Volcano
-/// Optimizer Generator design). Rows flow bottom-up; each operator
-/// introduces zero or more columns. Operators are single-use pipelines:
-/// Open() resets, Next() produces one row at a time.
+class Operator;
+
+/// Cursor over a child operator's output: pulls one morsel at a time and
+/// hands out row references, preserving per-row resume state for
+/// operators (scans, expands, unwind) that produce many output rows per
+/// input row. The referenced row stays valid until Advance() moves past
+/// the end of the current morsel and the next Current() pulls a new one.
+class BatchCursor {
+ public:
+  void Reset() {
+    batch_.Clear();
+    pos_ = 0;
+    done_ = false;
+  }
+  /// The current input row, pulling the next batch from `child` as
+  /// needed (`capacity` sizes the internal morsel). nullptr at end of
+  /// stream.
+  Result<const ValueList*> Current(Operator* child, size_t capacity);
+  void Advance() { ++pos_; }
+
+ private:
+  RowBatch batch_{1};
+  size_t pos_ = 0;
+  bool done_ = false;
+};
+
+/// Batched Volcano operators. §2 describes Neo4j's "simple
+/// tuple-at-a-time iterator-based execution model"; this runtime keeps
+/// the same pull-based operator tree but moves a *morsel* of rows per
+/// NextBatch call (RowBatch, default 1024 rows, selection vector for
+/// filters), amortizing virtual dispatch and per-row bookkeeping across
+/// the batch. Rows flow bottom-up; each operator introduces zero or more
+/// columns. Operators are single-use pipelines: Open() resets, NextBatch()
+/// fills a caller-provided morsel.
 ///
 /// The signature operator is Expand (its own class below): "Semantically
 /// Expand is very similar to a relational join. It finds pairs of nodes
@@ -31,8 +61,21 @@ class Operator {
 
   /// Resets the operator (and its inputs) to the start of its stream.
   virtual Status Open() = 0;
-  /// Produces the next row. Returns false at end of stream.
-  virtual Result<bool> Next(ValueList* row) = 0;
+
+  /// Clears `out` and fills it with up to out->capacity() rows. Returns
+  /// false at end of stream (and only then — a true return carries at
+  /// least one live row). Correlated subplans keep one-row semantics by
+  /// driving the pipeline from a single-row ArgumentOp; everything else
+  /// streams whole morsels.
+  Result<bool> NextBatch(RowBatch* out) {
+    out->Clear();
+    GQL_ASSIGN_OR_RETURN(bool ok, NextBatchImpl(out));
+    if (ok) {
+      ++batches_produced_;
+      rows_produced_ += static_cast<int64_t>(out->size());
+    }
+    return ok;
+  }
 
   /// Output schema: column names (hidden planner columns start with '#').
   const std::vector<std::string>& schema() const { return schema_; }
@@ -49,16 +92,22 @@ class Operator {
     return out;
   }
 
-  /// Cumulative rows produced (PROFILE-style counter).
+  /// Cumulative rows / batches produced (PROFILE-style counters).
   int64_t rows_produced() const { return rows_produced_; }
+  int64_t batches_produced() const { return batches_produced_; }
 
  protected:
   Operator(std::unique_ptr<Operator> child, std::vector<std::string> schema)
       : child_(std::move(child)), schema_(std::move(schema)) {}
 
+  /// The per-operator batch producer (NextBatch handles clearing and
+  /// counter bookkeeping).
+  virtual Result<bool> NextBatchImpl(RowBatch* out) = 0;
+
   std::unique_ptr<Operator> child_;
   std::vector<std::string> schema_;
   int64_t rows_produced_ = 0;
+  int64_t batches_produced_ = 0;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;
@@ -75,10 +124,16 @@ struct ExecContext {
   std::shared_ptr<const PropertyGraph> graph_owner;
   EvalContext eval;
   MatchOptions match;
+  /// Morsel capacity for pipeline breakers that drain a subplan
+  /// themselves (ProjectionOp); leaf-to-root morsels are sized by the
+  /// caller of NextBatch.
+  size_t batch_size = RowBatch::kDefaultCapacity;
 };
 
 /// Leaf: emits the rows of a driving table (the argument of an Apply, or
-/// the unit table at the top of a query).
+/// the unit table at the top of a query). When bound to a single row
+/// (Apply-style correlation) it produces a one-row batch — the thin
+/// adapter that keeps one-row semantics for correlated subplans.
 class ArgumentOp : public Operator {
  public:
   ArgumentOp(std::vector<std::string> schema, const Table* source)
@@ -90,7 +145,7 @@ class ArgumentOp : public Operator {
     done_single_ = false;
     return Status::OK();
   }
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override { return "Argument"; }
 
  private:
@@ -105,14 +160,13 @@ class AllNodesScanOp : public Operator {
  public:
   AllNodesScanOp(OperatorPtr child, const ExecContext* ctx, std::string var);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override { return "AllNodesScan(" + var_ + ")"; }
 
  private:
   const ExecContext* ctx_;
   std::string var_;
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
   size_t node_pos_ = 0;
 };
 
@@ -123,7 +177,7 @@ class NodeByLabelScanOp : public Operator {
   NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
                     std::string var, std::string label);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override {
     return "NodeByLabelScan(" + var_ + ":" + label_ + ")";
   }
@@ -132,8 +186,7 @@ class NodeByLabelScanOp : public Operator {
   const ExecContext* ctx_;
   std::string var_;
   std::string label_;
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
   size_t idx_pos_ = 0;
 };
 
@@ -156,21 +209,52 @@ struct ExpandSpec {
   const std::vector<std::pair<std::string, ast::ExprPtr>>* rel_props = nullptr;
 };
 
-/// Adjacency-based expand: direct node→edge→node references.
+/// Lazily-hoisted relationship-property constraint values for one
+/// driving row: the pattern's property expressions reference outer
+/// bindings (the driving row), never the candidate relationship, so each
+/// key's value is evaluated at the FIRST candidate that reaches that key
+/// (i.e. survives the earlier keys) and reused for the row's remaining
+/// candidates. Lazy per key, not eager: the reference check evaluates a
+/// key's expression only when some candidate gets that far, so a row
+/// with no candidates — or whose candidates all fail an earlier key —
+/// must not evaluate (and possibly error on) the later expressions.
+/// Call Reset() whenever the driving row changes.
+///
+/// Deliberate tradeoff: a non-deterministic constraint expression (e.g.
+/// `{w: rand()}`) samples once per driving row here, while the
+/// reference matcher samples per candidate. Cypher leaves the
+/// evaluation count of such expressions unspecified; the hoist trades
+/// that freedom for not re-evaluating per candidate.
+class LazyPropWants {
+ public:
+  void Reset() { wants_.clear(); }
+  /// True if candidate `r` satisfies the constraints of `spec` for
+  /// `row`; evaluates constraint values on first use per row and key.
+  Result<bool> Ok(const ExecContext& ctx, const ExpandSpec& spec,
+                  const std::vector<std::string>& schema,
+                  const ValueList& row, RelId r);
+
+ private:
+  std::vector<Value> wants_;  // values for keys 0..wants_.size()-1
+};
+
+/// Adjacency-based expand: direct node→edge→node references. Batched:
+/// the relationship-property constraint expressions are evaluated ONCE
+/// per driving row (hoisted out of the per-relationship loop).
 class ExpandOp : public Operator {
  public:
   ExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
 
  private:
-  Result<bool> RelMatches(RelId r, const ValueList& row, NodeId* next) const;
+  Result<bool> RelMatches(RelId r, const ValueList& row, NodeId* next);
   const ExecContext* ctx_;
   ExpandSpec spec_;
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
   size_t adj_pos_ = 0;  // position in the (conceptual) adjacency sequence
+  LazyPropWants props_;
 };
 
 /// Baseline expand for experiment E14: builds a hash table over the whole
@@ -181,15 +265,16 @@ class HashJoinExpandOp : public Operator {
  public:
   HashJoinExpandOp(OperatorPtr child, const ExecContext* ctx, ExpandSpec spec);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
 
  private:
   const ExecContext* ctx_;
   ExpandSpec spec_;
   std::unordered_multimap<uint64_t, uint64_t> index_;  // node id → rel id
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
+  bool probing_ = false;
+  LazyPropWants props_;
   std::pair<std::unordered_multimap<uint64_t, uint64_t>::const_iterator,
             std::unordered_multimap<uint64_t, uint64_t>::const_iterator>
       range_;
@@ -197,55 +282,64 @@ class HashJoinExpandOp : public Operator {
 };
 
 /// Variable-length expand: enumerates relationship sequences of length
-/// [min, max] (DFS), one row per (length, sequence) — preserving the bag
-/// semantics of rigid-pattern refinements.
+/// [min, max], one row per (length, sequence) — preserving the bag
+/// semantics of rigid-pattern refinements. Batched as a
+/// frontier-per-morsel BFS: all driving rows of a batch expand one level
+/// at a time over a shared frontier of owned contiguous paths. Working
+/// memory is therefore the whole morsel's in-flight level plus its
+/// buffered expansion rows (the per-tuple DFS held one row's worth);
+/// lowering EngineOptions::batch_size bounds it when a dense graph with
+/// a high `min` makes that a concern.
 class VarLengthExpandOp : public Operator {
  public:
   VarLengthExpandOp(OperatorPtr child, const ExecContext* ctx,
                     ExpandSpec spec, int64_t min, int64_t max);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
 
  private:
-  /// Runs the (bounded) DFS for the current input row, buffering all its
-  /// expansion rows; streaming resumes from the buffer.
-  Status StartRow();
+  /// Runs the level-synchronous BFS for the whole input batch, buffering
+  /// its expansion rows in pending_; streaming resumes from the buffer.
+  Status ExpandBatch();
 
   const ExecContext* ctx_;
   ExpandSpec spec_;
   int64_t min_;
   int64_t max_;
 
-  ValueList current_;
-  bool have_row_ = false;
+  RowBatch input_{1};
   std::vector<ValueList> pending_;  // rows ready to emit
   size_t pos_in_pending_ = 0;
 };
 
 /// σ: keeps rows whose predicate is true (3VL: null drops the row).
+/// Batched: marks survivors in the morsel's selection vector — no row is
+/// copied or moved by a filter.
 class FilterOp : public Operator {
  public:
   FilterOp(OperatorPtr child, const ExecContext* ctx, const ast::Expr* pred);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
 
  private:
   const ExecContext* ctx_;
   const ast::Expr* pred_;
+  std::vector<uint32_t> keep_;
 };
 
 /// Correlated nested-loop apply: for every input row, re-opens the inner
-/// pipeline with the row as its argument and streams the inner output.
-/// `optional` adds OPTIONAL MATCH null-padding when the inner pipeline
-/// produces nothing for a row (Figure 7's rule).
+/// pipeline with the row as its argument (a one-row ArgumentOp batch) and
+/// streams the inner output into the caller's morsel. `optional` adds
+/// OPTIONAL MATCH null-padding when the inner pipeline produces nothing
+/// for a row (Figure 7's rule).
 class ApplyOp : public Operator {
  public:
   ApplyOp(OperatorPtr child, OperatorPtr inner, ArgumentOp* argument,
           bool optional, std::vector<std::string> schema);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override {
     return optional_ ? "OptionalApply" : "Apply";
   }
@@ -260,8 +354,7 @@ class ApplyOp : public Operator {
   OperatorPtr inner_;
   ArgumentOp* argument_;  // leaf of inner_ (owned by inner_)
   bool optional_;
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
   bool inner_open_ = false;
   bool inner_matched_ = false;
 };
@@ -272,15 +365,15 @@ class UnwindOp : public Operator {
   UnwindOp(OperatorPtr child, const ExecContext* ctx, const ast::Expr* expr,
            std::string var);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override { return "Unwind(" + var_ + ")"; }
 
  private:
   const ExecContext* ctx_;
   const ast::Expr* expr_;
   std::string var_;
-  ValueList current_;
-  bool have_row_ = false;
+  BatchCursor input_;
+  bool row_ready_ = false;
   ValueList items_;
   size_t item_pos_ = 0;
   bool single_pending_ = false;
@@ -289,15 +382,15 @@ class UnwindOp : public Operator {
 
 /// RETURN/WITH projection. A pipeline breaker: materializes its input and
 /// delegates to the shared projection/aggregation machinery (eager
-/// aggregation, DISTINCT, ORDER BY, SKIP/LIMIT), then streams the result.
-/// `where` (WITH ... WHERE) filters the projected rows.
+/// aggregation, DISTINCT, ORDER BY, SKIP/LIMIT), then streams the result
+/// in morsels. `where` (WITH ... WHERE) filters the projected rows.
 class ProjectionOp : public Operator {
  public:
   ProjectionOp(OperatorPtr child, const ExecContext* ctx,
                const ast::ProjectionBody* body, const ast::Expr* where,
                std::vector<std::string> schema);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
 
  private:
@@ -313,9 +406,10 @@ class ProjectionOp : public Operator {
 class UnionOp : public Operator {
  public:
   UnionOp(std::vector<OperatorPtr> parts, bool all,
-          std::vector<std::string> schema);
+          std::vector<std::string> schema,
+          size_t batch_size = RowBatch::kDefaultCapacity);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override {
     return all_ ? "UnionAll" : "Union";
   }
@@ -328,40 +422,45 @@ class UnionOp : public Operator {
  private:
   std::vector<OperatorPtr> parts_;
   bool all_;
+  size_t batch_size_;
   Table materialized_;
   size_t pos_ = 0;
 };
 
 /// Fallback operator for pattern shapes the specialized pipeline does not
 /// cover (named paths, repeated variable-length variables): runs the
-/// reference matcher per input row. Keeps the runtime complete while the
-/// common shapes stay on the fast path.
+/// reference matcher per input row (one-row correlation semantics).
+/// Keeps the runtime complete while the common shapes stay on the fast
+/// path.
 class MatcherOp : public Operator {
  public:
   MatcherOp(OperatorPtr child, const ExecContext* ctx,
             const ast::Pattern* pattern, std::vector<std::string> new_cols);
   Status Open() override;
-  Result<bool> Next(ValueList* row) override;
+  Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override { return "PatternMatch(fallback)"; }
 
  private:
   const ExecContext* ctx_;
   const ast::Pattern* pattern_;
   std::vector<std::string> new_cols_;
+  BatchCursor input_;
+  bool row_ready_ = false;
   std::vector<ValueList> buffered_;
   size_t pos_ = 0;
-  bool have_row_ = false;
-  ValueList current_;
 };
 
-/// Drains a plan into a table.
-Result<Table> DrainPlan(Operator* root);
+/// Drains a plan into a table, morsel by morsel. `stats` (optional)
+/// accumulates the rows/batches the root produced.
+Result<Table> DrainPlan(Operator* root,
+                        size_t batch_size = RowBatch::kDefaultCapacity,
+                        BatchStats* stats = nullptr);
 
 /// Renders an EXPLAIN tree.
 std::string ExplainPlan(const Operator& root);
 
-/// Renders the tree with per-operator row counters (PROFILE) — call after
-/// executing the plan.
+/// Renders the tree with per-operator row/batch counters (PROFILE) —
+/// call after executing the plan.
 std::string ProfilePlan(const Operator& root);
 
 }  // namespace gqlite

@@ -38,6 +38,7 @@ ExecContext* Planner::MakeContext(Plan* plan, GraphPtr graph) {
   ctx->graph = graph.get();
   ctx->graph_owner = std::move(graph);
   ctx->match = options_.match;
+  ctx->batch_size = options_.batch_size;
   ctx->eval.graph = raw->graph;
   ctx->eval.parameters = params_;
   ctx->eval.rand_state = rand_state_;
@@ -78,7 +79,7 @@ Result<Plan> Planner::PlanQuery(const Query& q) {
     two.push_back(std::move(acc));
     two.push_back(std::move(parts[i]));
     acc = std::make_unique<UnionOp>(std::move(two), q.union_all[i - 1],
-                                    schema);
+                                    schema, options_.batch_size);
   }
   plan.root = std::move(acc);
   return plan;

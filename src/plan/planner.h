@@ -26,6 +26,10 @@ struct PlannerOptions {
   /// E14 baseline: replace adjacency Expand with a relationship-store
   /// hash join.
   bool use_join_expand = false;
+  /// Morsel capacity of the batched runtime (1 = tuple-at-a-time).
+  /// Copied into each plan's ExecContext for pipeline breakers and used
+  /// by RunPlanned/ExecutePlan for the root drain.
+  size_t batch_size = RowBatch::kDefaultCapacity;
   MatchOptions match;
 };
 

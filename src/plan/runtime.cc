@@ -1,18 +1,35 @@
 #include "src/plan/runtime.h"
 
+#include <cstdlib>
+
 namespace gqlite {
 
-Result<Table> ExecutePlan(Plan* plan) {
+size_t EffectiveBatchSize(size_t configured) {
+  constexpr size_t kMaxBatchSize = size_t{1} << 20;
+  if (const char* env = std::getenv("GQLITE_BATCH_SIZE")) {
+    char* end = nullptr;
+    long long v = std::strtoll(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      configured = static_cast<size_t>(v);
+    }
+  }
+  if (configured == 0) configured = 1;
+  if (configured > kMaxBatchSize) configured = kMaxBatchSize;
+  return configured;
+}
+
+Result<Table> ExecutePlan(Plan* plan, size_t batch_size, BatchStats* stats) {
   GQL_RETURN_IF_ERROR(plan->root->Open());
-  return DrainPlan(plan->root.get());
+  return DrainPlan(plan->root.get(), batch_size, stats);
 }
 
 Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
-                         uint64_t* rand_state, const ast::Query& q) {
+                         uint64_t* rand_state, const ast::Query& q,
+                         BatchStats* stats) {
   Planner planner(catalog, std::move(graph), params, options, rand_state);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
-  return ExecutePlan(&plan);
+  return ExecutePlan(&plan, options.batch_size, stats);
 }
 
 Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
@@ -21,7 +38,10 @@ Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
                                  uint64_t* rand_state, const ast::Query& q) {
   Planner planner(catalog, std::move(graph), params, options, rand_state);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
-  return ExplainPlan(*plan.root);
+  std::string out = "Batched Volcano runtime (morsel size " +
+                    std::to_string(options.batch_size) + ")\n";
+  out += ExplainPlan(*plan.root);
+  return out;
 }
 
 }  // namespace gqlite

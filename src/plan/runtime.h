@@ -1,21 +1,44 @@
 #ifndef GQLITE_PLAN_RUNTIME_H_
 #define GQLITE_PLAN_RUNTIME_H_
 
+#include "src/interp/row_batch.h"
 #include "src/interp/table.h"
 #include "src/plan/planner.h"
 
 namespace gqlite {
 
-/// Executes a compiled plan: Open the root and drain it into a table
-/// (tuple-at-a-time Volcano iteration, §2 "Neo4j implementation").
-Result<Table> ExecutePlan(Plan* plan);
+/// Executes a compiled plan: Open the root and drain it morsel by morsel
+/// into a table. The runtime is batched ("morsel-at-a-time") Volcano
+/// iteration: operators keep the pull-based tree of §2's "Neo4j
+/// implementation", but each NextBatch call moves a RowBatch of up to
+/// `batch_size` rows (selection vectors carry filter results), amortizing
+/// virtual dispatch across the morsel. `batch_size == 1` degenerates to
+/// classic tuple-at-a-time execution — the escape hatch the benches
+/// expose as `--no-batch` and tests drive via GQLITE_BATCH_SIZE=1.
+/// `stats` (optional) accumulates rows/batches the root produced.
+Result<Table> ExecutePlan(Plan* plan,
+                          size_t batch_size = RowBatch::kDefaultCapacity,
+                          BatchStats* stats = nullptr);
 
-/// Plans and executes a read-only query in one call.
+/// Resolves the effective morsel capacity for `configured`: applies the
+/// GQLITE_BATCH_SIZE environment override (how CI drives every executor
+/// at batch size 1) and clamps to [1, 2^20] — a morsel bounds the
+/// per-batch working set (batch buffers, pending var-length expansions),
+/// and batching gains nothing past cache sizes. Every entry point that
+/// builds execution options (CypherEngine, test harnesses that call
+/// RunPlanned directly) must route its batch size through this so the
+/// override means the same thing everywhere.
+size_t EffectiveBatchSize(size_t configured);
+
+/// Plans and executes a read-only query in one call (morsel size from
+/// `options.batch_size`).
 Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
-                         uint64_t* rand_state, const ast::Query& q);
+                         uint64_t* rand_state, const ast::Query& q,
+                         BatchStats* stats = nullptr);
 
-/// Plans a query and renders the operator tree (EXPLAIN).
+/// Plans a query and renders the operator tree (EXPLAIN), headed by the
+/// execution model line (batched runtime + morsel size).
 Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
                                  const ValueMap* params,
                                  const PlannerOptions& options,

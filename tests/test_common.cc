@@ -59,6 +59,21 @@ TEST(StringUtil, CaseConversion) {
   EXPECT_FALSE(AsciiEqualsIgnoreCase("OPTIONAL", "option"));
 }
 
+TEST(StringUtil, Utf8CaseMappingInvalidBytesPassThrough) {
+  EXPECT_EQ(Utf8ToUpper("ärger"), "ÄRGER");
+  EXPECT_EQ(Utf8ToLower("ÄRGER"), "ärger");
+  // Lone continuation / invalid lead bytes stay byte-identical.
+  EXPECT_EQ(Utf8ToUpper(std::string_view("a\x80z", 3)),
+            std::string_view("A\x80Z", 3));
+  // Overlong encodings (C1 A1 would decode to 'a') must not be
+  // normalized into a shorter valid sequence.
+  EXPECT_EQ(Utf8ToUpper(std::string_view("\xC1\xA1", 2)),
+            std::string_view("\xC1\xA1", 2));
+  // Truncated sequence at end of string.
+  EXPECT_EQ(Utf8ToLower(std::string_view("A\xC3", 2)),
+            std::string_view("a\xC3", 2));
+}
+
 TEST(StringUtil, JoinSplit) {
   EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
   EXPECT_EQ(Join({}, ","), "");

@@ -257,6 +257,42 @@ TEST_F(FunctionsTest, StringFunctionsCountCodePointsNotBytes) {
   EXPECT_EQ(parts.AsList()[1].AsString(), "xllo");
 }
 
+TEST_F(FunctionsTest, UnicodeCaseMapping) {
+  // ASCII fast path.
+  EXPECT_EQ(Must("toUpper('hello!')").AsString(), "HELLO!");
+  EXPECT_EQ(Must("toLower('HeLLo!')").AsString(), "hello!");
+  // Latin-1 Supplement.
+  EXPECT_EQ(Must("toUpper('café')").AsString(), "CAFÉ");
+  EXPECT_EQ(Must("toLower('ÀÉÎÕÜ')").AsString(), "àéîõü");
+  EXPECT_EQ(Must("toUpper('àéîõü')").AsString(), "ÀÉÎÕÜ");
+  // × and ÷ sit inside the letter ranges but are not letters.
+  EXPECT_EQ(Must("toUpper('a×b÷c')").AsString(), "A×B÷C");
+  // ÿ's uppercase lives in Latin Extended-A.
+  EXPECT_EQ(Must("toUpper('ÿ')").AsString(), "Ÿ");
+  EXPECT_EQ(Must("toLower('Ÿ')").AsString(), "ÿ");
+  // Latin Extended-A pairs (even/upper and odd/upper subranges).
+  EXPECT_EQ(Must("toUpper('āćłńšž')").AsString(), "ĀĆŁŃŠŽ");
+  EXPECT_EQ(Must("toLower('ĀĆŁŃŠŽ')").AsString(), "āćłńšž");
+  // Asymmetric exceptions: dotted/dotless i, long s; ß has no simple
+  // uppercase and passes through.
+  EXPECT_EQ(Must("toLower('İ')").AsString(), "i");
+  EXPECT_EQ(Must("toUpper('ı')").AsString(), "I");
+  EXPECT_EQ(Must("toUpper('ſ')").AsString(), "S");
+  EXPECT_EQ(Must("toUpper('straße')").AsString(), "STRAßE");
+  // Greek, including final sigma and tonos/dialytika accents.
+  EXPECT_EQ(Must("toUpper('αβγδς')").AsString(), "ΑΒΓΔΣ");
+  EXPECT_EQ(Must("toLower('ΑΒΓΔΣ')").AsString(), "αβγδσ");
+  EXPECT_EQ(Must("toUpper('αέρας')").AsString(), "ΑΈΡΑΣ");
+  EXPECT_EQ(Must("toLower('ΑΈΡΙΟ')").AsString(), "αέριο");
+  EXPECT_EQ(Must("toUpper('ήίόύώϊ')").AsString(), "ΉΊΌΎΏΪ");
+  EXPECT_EQ(Must("toLower('ΉΊΌΎΏΪ')").AsString(), "ήίόύώϊ");
+  // Cyrillic (basic + Ё).
+  EXPECT_EQ(Must("toUpper('привёт')").AsString(), "ПРИВЁТ");
+  EXPECT_EQ(Must("toLower('ПРИВЁТ')").AsString(), "привёт");
+  // Out-of-table code points pass through unchanged.
+  EXPECT_EQ(Must("toUpper('日本語a👍')").AsString(), "日本語A👍");
+}
+
 TEST_F(FunctionsTest, ToIntegerTrimsWhitespace) {
   EXPECT_EQ(Must("toInteger('  42  ')").AsInt(), 42);
   EXPECT_EQ(Must("toInteger('\\t-7\\n')").AsInt(), -7);

@@ -33,9 +33,9 @@ class OperatorTest : public ::testing::Test {
     return std::make_unique<ArgumentOp>(std::vector<std::string>{}, unit);
   }
 
-  Table Drain(Operator* op) {
+  Table Drain(Operator* op, size_t batch_size = RowBatch::kDefaultCapacity) {
     EXPECT_TRUE(op->Open().ok());
-    auto t = DrainPlan(op);
+    auto t = DrainPlan(op, batch_size);
     EXPECT_TRUE(t.ok()) << t.status().ToString();
     return t.ok() ? *t : Table();
   }
@@ -212,6 +212,86 @@ TEST_F(OperatorTest, ExplainTreeShapes) {
   auto e4 = engine.Explain("MATCH p = (a)-[:T]->(b) RETURN length(p)");
   ASSERT_TRUE(e4.ok());
   EXPECT_NE(e4->find("PatternMatch(fallback)"), std::string::npos) << *e4;
+}
+
+TEST_F(OperatorTest, RowBatchSelectionComposes) {
+  RowBatch b(8);
+  for (int i = 0; i < 6; ++i) b.Append({Value::Int(i)});
+  EXPECT_EQ(b.size(), 6u);
+  b.Select({0, 2, 3, 5});  // live values 0, 2, 3, 5
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.row(1)[0].AsInt(), 2);
+  b.Select({1, 3});  // live positions of the previous view → values 2, 5
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b.row(0)[0].AsInt(), 2);
+  EXPECT_EQ(b.row(1)[0].AsInt(), 5);
+  b.Clear();
+  EXPECT_EQ(b.size(), 0u);
+  b.Append({Value::Int(7)});  // slot reuse after Clear keeps rows dense
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_EQ(b.row(0)[0].AsInt(), 7);
+}
+
+TEST_F(OperatorTest, BatchBoundariesDoNotChangeResults) {
+  // The same pipeline drained at awkward morsel sizes (1, 2, 3, 7) must
+  // produce the same bag as the default morsel — catches off-by-one
+  // resume bugs at batch boundaries.
+  auto make = [&]() {
+    auto scan = std::make_unique<AllNodesScanOp>(Unit(), &ctx_, "n");
+    ExpandSpec spec;
+    spec.from_col = 0;
+    spec.rel_var = "r";
+    spec.to_var = "m";
+    spec.direction = ast::Direction::kBoth;
+    return std::make_unique<ExpandOp>(std::move(scan), &ctx_, spec);
+  };
+  auto ref_op = make();
+  Table reference = Drain(ref_op.get());
+  EXPECT_EQ(reference.NumRows(), 6u);
+  for (size_t bs : {1u, 2u, 3u, 7u}) {
+    auto op = make();
+    Table t = Drain(op.get(), bs);
+    EXPECT_TRUE(reference.SameBag(t)) << "batch_size=" << bs;
+  }
+}
+
+TEST_F(OperatorTest, FilterUsesSelectionWithoutCopying) {
+  auto scan = std::make_unique<AllNodesScanOp>(Unit(), &ctx_, "n");
+  auto pred = ParseExpression("n.v > 1");
+  ASSERT_TRUE(pred.ok());
+  FilterOp filter(std::move(scan), &ctx_, pred->get());
+  ASSERT_TRUE(filter.Open().ok());
+  RowBatch batch(16);
+  auto ok = filter.NextBatch(&batch);
+  ASSERT_TRUE(ok.ok());
+  ASSERT_TRUE(*ok);
+  // 3 nodes scanned into the morsel, 2 survive through the selection.
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(filter.rows_produced(), 2);
+  EXPECT_EQ(filter.batches_produced(), 1);
+}
+
+TEST_F(OperatorTest, VarLengthBatchBoundaries) {
+  GraphPtr chain = workload::MakeChain(6);
+  ExecContext cctx;
+  cctx.graph = chain.get();
+  cctx.eval.graph = chain.get();
+  auto make = [&]() {
+    auto scan = std::make_unique<AllNodesScanOp>(Unit(), &cctx, "n");
+    ExpandSpec spec;
+    spec.from_col = 0;
+    spec.rel_var = "rs";
+    spec.to_var = "m";
+    spec.direction = ast::Direction::kRight;
+    return std::make_unique<VarLengthExpandOp>(std::move(scan), &cctx,
+                                               spec, 0, 3);
+  };
+  auto ref_op = make();
+  Table reference = Drain(ref_op.get());
+  for (size_t bs : {1u, 2u, 5u}) {
+    auto op = make();
+    EXPECT_TRUE(reference.SameBag(Drain(op.get(), bs))) << "batch_size=" << bs;
+  }
 }
 
 TEST_F(OperatorTest, UnionOpDeduplicates) {

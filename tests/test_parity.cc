@@ -88,6 +88,10 @@ Result<Table> RunVolcano(GraphPtr graph, const std::string& query,
   PlannerOptions opts;
   opts.mode = mode;
   opts.use_join_expand = use_join_expand;
+  // This harness drives RunPlanned below CypherEngine, so it must honor
+  // the CI morsel-size override itself (the batch-size-1 sanitizer leg
+  // relies on this corpus walking the batch-boundary resume paths).
+  opts.batch_size = EffectiveBatchSize(opts.batch_size);
   // Keep the ast::Query alive through execution: RunPlanned takes it by
   // reference and finishes before returning.
   return RunPlanned(&catalog, graph, &params, opts, &rand_state, q);
@@ -167,6 +171,7 @@ TEST(ParityMorphism, ModesAgreeAcrossEngines) {
     ValueMap params;
     PlannerOptions opts;
     opts.match = mo;
+    opts.batch_size = EffectiveBatchSize(opts.batch_size);
     auto planned =
         RunPlanned(&catalog, g, &params, opts, &rand_state, query);
     ASSERT_TRUE(planned.ok());

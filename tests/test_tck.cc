@@ -10,7 +10,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "src/core/engine.h"
+#include "src/plan/runtime.h"
 
 namespace gqlite {
 namespace {
@@ -87,6 +90,26 @@ std::vector<Scenario> Scenarios() {
        "MATCH (:S)-[rs:T*1..2]->() RETURN size(rs) AS n ORDER BY n",
        {{"1"}, {"2"}},
        true},
+
+      // A relationship-pattern property constraint must only be evaluated
+      // for candidate relationships — a row with none never evaluates the
+      // (here: overflowing) expression. Guards the batched runtime's
+      // lazily-hoisted constraint evaluation.
+      {"rel property constraint unevaluated without candidates",
+       {"CREATE (:P {big: 9223372036854775807})"},
+       "MATCH (a:P)-[:NOPE {w: a.big + a.big}]->(b) RETURN b",
+       {}},
+      {"varlength property constraint unevaluated without candidates",
+       {"CREATE (:P {big: 9223372036854775807})"},
+       "MATCH (a:P)-[:NOPE*1..2 {w: a.big + a.big}]->(b) RETURN b",
+       {}},
+      // Keys short-circuit left to right per candidate: when every
+      // candidate fails an earlier key, a later (erroring) expression is
+      // never evaluated.
+      {"rel property constraint keys short-circuit",
+       {"CREATE (:P {big: 9223372036854775807})-[:T {ok: 1}]->(:Q)"},
+       "MATCH (a:P)-[:T {ok: 2, w: a.big + a.big}]->(b) RETURN b",
+       {}},
 
       // ---- OPTIONAL MATCH ---------------------------------------------------
       {"optional match pads with null",
@@ -672,6 +695,49 @@ INSTANTIATE_TEST_SUITE_P(BothExecutors, TckTest,
                            return info.param == ExecutionMode::kInterpreter
                                       ? "Interpreter"
                                       : "Volcano";
+                         });
+
+// Fourth executor leg: every scenario runs through the batched Volcano
+// runtime at the smallest and the default morsel size, and the produced
+// rows must be identical (as a bag) to the reference interpreter's — the
+// comparison that catches off-by-one bugs at batch boundaries, which the
+// expected-rows check alone can miss when a bug drops and duplicates
+// symmetric rows.
+class TckBatchTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(TckBatchTest, BatchedRuntimeMatchesInterpreter) {
+  // GQLITE_BATCH_SIZE overrides every engine's morsel size, which would
+  // silently turn this leg into a duplicate of the override's size.
+  if (EffectiveBatchSize(GetParam()) != GetParam()) {
+    GTEST_SKIP() << "GQLITE_BATCH_SIZE overrides this leg's batch size";
+  }
+  for (const Scenario& s : Scenarios()) {
+    EngineOptions iopts;
+    iopts.mode = ExecutionMode::kInterpreter;
+    CypherEngine interp(iopts);
+    EngineOptions bopts;
+    bopts.mode = ExecutionMode::kVolcano;
+    bopts.batch_size = GetParam();
+    CypherEngine batched(bopts);
+    for (const char* setup : s.setup) {
+      ASSERT_TRUE(interp.Execute(setup).ok()) << s.name;
+      ASSERT_TRUE(batched.Execute(setup).ok()) << s.name;
+    }
+    auto want = interp.Execute(s.query);
+    ASSERT_TRUE(want.ok()) << s.name << ": " << want.status().ToString();
+    auto got = batched.Execute(s.query);
+    ASSERT_TRUE(got.ok()) << s.name << ": " << got.status().ToString();
+    CheckRows(s, *got);
+    EXPECT_TRUE(want->table.SameBag(got->table))
+        << s.name << " (batch_size=" << GetParam() << ")\ninterpreter:\n"
+        << want->table.ToString() << "batched:\n" << got->table.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MorselSizes, TckBatchTest,
+                         ::testing::Values(size_t{1}, size_t{1024}),
+                         [](const auto& info) {
+                           return "Batch" + std::to_string(info.param);
                          });
 
 // Third executor leg: every scenario also runs through the plan cache —
