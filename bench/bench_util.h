@@ -24,15 +24,41 @@ inline bool g_no_plan_cache = false;
 /// execution so runs stay comparable with pre-batching baselines.
 inline bool g_no_batch = false;
 
+/// Set by the shared `--threads N` / `--threads=N` flag: worker count of
+/// the morsel-driven parallel runtime for every engine built through
+/// MakeEngine (0 = leave each benchmark's own EngineOptions untouched).
+inline size_t g_num_threads = 0;
+
+/// Parses the `--threads` value strictly: a benchmark silently running at
+/// the wrong worker count measures something other than what the
+/// operator asked for (the same failure mode GQLITE_THREADS parsing
+/// rejects).
+inline size_t ParseThreadsFlagOrDie(const char* text) {
+  char* end = nullptr;
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || v <= 0 || v > 256) {
+    std::fprintf(stderr, "--threads: \"%s\" is not a worker count in "
+                         "[1, 256]\n", text);
+    std::exit(2);
+  }
+  return static_cast<size_t>(v);
+}
+
 /// Strips gqlite-specific flags from argv before benchmark::Initialize
 /// (which rejects flags it does not know).
 inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::string_view(argv[i]) == "--no-plan-cache") {
+    std::string_view arg(argv[i]);
+    if (arg == "--no-plan-cache") {
       g_no_plan_cache = true;
-    } else if (std::string_view(argv[i]) == "--no-batch") {
+    } else if (arg == "--no-batch") {
       g_no_batch = true;
+    } else if (arg == "--threads" && i + 1 < *argc) {
+      g_num_threads = ParseThreadsFlagOrDie(argv[++i]);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_num_threads =
+          ParseThreadsFlagOrDie(argv[i] + sizeof("--threads=") - 1);
     } else {
       argv[out++] = argv[i];
     }
@@ -46,6 +72,7 @@ inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
 inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
   if (g_no_plan_cache) opts.use_plan_cache = false;
   if (g_no_batch) opts.batch_size = 1;
+  if (g_num_threads > 0) opts.num_threads = g_num_threads;
   CypherEngine engine(opts);
   engine.set_default_graph(g);
   engine.catalog().RegisterGraph("bench", std::move(g));

@@ -27,6 +27,7 @@ import argparse
 import glob
 import json
 import os
+import re
 import statistics
 import sys
 
@@ -80,7 +81,18 @@ def main():
         action="store_true",
         help="compare raw ratios (both runs from the same machine)",
     )
+    ap.add_argument(
+        "--exclude",
+        default=None,
+        metavar="REGEX",
+        help=(
+            "skip benchmarks whose name matches REGEX (e.g. multi-worker "
+            "rows of bench_parallel, whose times depend on the runner's "
+            "core count and would skew the machine factor)"
+        ),
+    )
     args = ap.parse_args()
+    exclude = re.compile(args.exclude) if args.exclude else None
 
     baseline_files = {
         os.path.basename(p)
@@ -109,6 +121,8 @@ def main():
         cur = load_times(os.path.join(args.current_dir, fname))
         for name in sorted(base.keys() & cur.keys()):
             if base[name] < args.min_time_ns:
+                continue
+            if exclude is not None and exclude.search(name):
                 continue
             rows.append((fname, name, base[name], cur[name], cur[name] / base[name]))
         for name in sorted(base.keys() - cur.keys()):

@@ -43,6 +43,10 @@ void PrintStats(CypherEngine& engine) {
     std::cout << ", avg " << (ex.rows / ex.batches) << " rows/batch";
   }
   std::cout << ")\n";
+  const auto& par = engine.parallel_stats();
+  std::cout << "parallel: " << engine.options().num_threads << " workers, "
+            << par.queries << " parallel queries, " << par.morsels
+            << " scan morsels dispatched\n";
 }
 
 }  // namespace

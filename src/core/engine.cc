@@ -1,5 +1,7 @@
 #include "src/core/engine.h"
 
+#include "src/exec/parallel.h"
+#include "src/exec/worker_pool.h"
 #include "src/frontend/analyzer.h"
 #include "src/frontend/canonicalize.h"
 #include "src/frontend/parser.h"
@@ -8,16 +10,31 @@
 
 namespace gqlite {
 
-void CypherEngine::ApplyBatchSizeOverride(EngineOptions* options) {
-  options->batch_size = EffectiveBatchSize(options->batch_size);
+Status CypherEngine::ApplyEnvOverrides(EngineOptions* options) {
+  GQL_ASSIGN_OR_RETURN(options->batch_size,
+                       EffectiveBatchSize(options->batch_size));
+  GQL_ASSIGN_OR_RETURN(options->num_threads,
+                       EffectiveNumThreads(options->num_threads));
+  return Status::OK();
 }
 
 CypherEngine::CypherEngine(EngineOptions options)
     : options_(options),
       rand_state_(options.rand_seed),
       plan_cache_(options.plan_cache_capacity) {
-  ApplyBatchSizeOverride(&options_);
+  options_status_ = ApplyEnvOverrides(&options_);
   graph_ = catalog_.default_graph();
+}
+
+CypherEngine::~CypherEngine() = default;
+CypherEngine::CypherEngine(CypherEngine&&) noexcept = default;
+
+WorkerPool* CypherEngine::EnsureWorkerPool() {
+  size_t extra = options_.num_threads - 1;
+  if (pool_ == nullptr || pool_->size() != extra) {
+    pool_ = std::make_unique<WorkerPool>(extra);
+  }
+  return pool_.get();
 }
 
 MatchOptions CypherEngine::MakeMatchOptions() const {
@@ -32,6 +49,7 @@ PlannerOptions CypherEngine::MakePlannerOptions() const {
   popts.mode = options_.planner;
   popts.use_join_expand = options_.use_join_expand;
   popts.batch_size = options_.batch_size;
+  popts.num_threads = options_.num_threads;
   popts.match = MakeMatchOptions();
   return popts;
 }
@@ -52,10 +70,14 @@ std::string CypherEngine::OptionsFingerprint() const {
   // drains), so it is part of the key.
   f += 'b';
   f += std::to_string(options_.batch_size);
+  // Worker count is baked in as per-worker pipeline instances.
+  f += 't';
+  f += std::to_string(options_.num_threads);
   return f;
 }
 
 Result<PreparedQuery> CypherEngine::Prepare(std::string_view query) {
+  GQL_RETURN_IF_ERROR(options_status_);
   auto state = std::make_shared<PreparedStatement>();
   GQL_ASSIGN_OR_RETURN(state->query, ParseQuery(query));
   // Analysis runs on the original tree so diagnostics mention the
@@ -92,6 +114,7 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
 
 Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
                                           const ValueMap& params) {
+  GQL_RETURN_IF_ERROR(options_status_);
   if (!prepared.valid()) {
     return Status::InvalidArgument("executing an empty PreparedQuery");
   }
@@ -119,12 +142,19 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                                              const ValueMap& params) {
   QueryResult result;
   ++exec_queries_;
+  WorkerPool* pool =
+      options_.num_threads > 1 ? EnsureWorkerPool() : nullptr;
+  ParallelRunStats prun;
   if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
       prepared->text_key.empty()) {
     GQL_ASSIGN_OR_RETURN(
         result.table, RunPlanned(&catalog_, graph_, &params,
                                  MakePlannerOptions(), &rand_state_,
-                                 prepared->query, &exec_stats_));
+                                 prepared->query, &exec_stats_, pool, &prun));
+    if (prun.workers > 0) {
+      ++parallel_stats_.queries;
+      parallel_stats_.morsels += prun.morsels;
+    }
     return result;
   }
   // A catalog-version move strands every older entry (they can never
@@ -157,6 +187,15 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
     ctx->eval.parameters = &params;
     ctx->eval.rand_state = &rand_state_;
   }
+  if (pool != nullptr && entry->plan.parallel.safe) {
+    GQL_ASSIGN_OR_RETURN(result.table,
+                         ExecutePlanParallel(&entry->plan, pool,
+                                             options_.batch_size,
+                                             &exec_stats_, &prun));
+    ++parallel_stats_.queries;
+    parallel_stats_.morsels += prun.morsels;
+    return result;
+  }
   GQL_ASSIGN_OR_RETURN(result.table,
                        ExecutePlan(&entry->plan, options_.batch_size,
                                    &exec_stats_));
@@ -183,6 +222,7 @@ Result<QueryResult> CypherEngine::RunInterpreter(const ast::Query& q,
 
 Result<std::string> CypherEngine::Profile(std::string_view query,
                                           const ValueMap& params) {
+  GQL_RETURN_IF_ERROR(options_status_);
   GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
   GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
   if (info.updating) {
@@ -193,15 +233,38 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
                   &rand_state_);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
   ++exec_queries_;
-  GQL_ASSIGN_OR_RETURN(
-      Table t, ExecutePlan(&plan, options_.batch_size, &exec_stats_));
-  std::string out = ProfilePlan(*plan.root);
+  Table t;
+  std::string head;
+  if (options_.num_threads > 1 && plan.parallel.safe) {
+    ParallelRunStats prun;
+    GQL_ASSIGN_OR_RETURN(t, ExecutePlanParallel(&plan, EnsureWorkerPool(),
+                                                options_.batch_size,
+                                                &exec_stats_, &prun));
+    ++parallel_stats_.queries;
+    parallel_stats_.morsels += prun.morsels;
+    // Fold every worker instance's counters into the printed tree.
+    for (const OperatorPtr& instance : plan.extra_roots) {
+      plan.root->AbsorbCounters(*instance);
+    }
+    head = "Parallel: " + std::to_string(prun.workers) + " workers, " +
+           std::to_string(prun.morsels) +
+           " morsels dispatched (the root projection runs in the merge "
+           "stage; its tree counters stay 0)\n";
+  } else {
+    GQL_ASSIGN_OR_RETURN(
+        t, ExecutePlan(&plan, options_.batch_size, &exec_stats_));
+    if (options_.num_threads > 1) {
+      head = "Parallel: serial (" + plan.parallel.reason + ")\n";
+    }
+  }
+  std::string out = head + ProfilePlan(*plan.root);
   out += "result: " + std::to_string(t.NumRows()) + " rows\n";
   return out;
 }
 
 Result<std::string> CypherEngine::Explain(std::string_view query,
                                           const ValueMap& params) {
+  GQL_RETURN_IF_ERROR(options_status_);
   GQL_ASSIGN_OR_RETURN(ast::Query q, ParseQuery(query));
   GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
   if (info.updating) {

@@ -12,6 +12,8 @@
 
 namespace gqlite {
 
+class WorkerPool;
+
 /// How read queries execute (experiment E15 ablates the two):
 ///  * kInterpreter — the reference implementation of the paper's formal
 ///    semantics (clause-by-clause table functions, naive matching);
@@ -45,8 +47,17 @@ struct EngineOptions {
   /// execution (the benches' `--no-batch` escape hatch). The environment
   /// variable GQLITE_BATCH_SIZE overrides this at engine construction —
   /// CI runs the whole test suite at batch size 1 under ASan to shake
-  /// out batch-boundary bugs.
+  /// out batch-boundary bugs. A garbage override surfaces as an error
+  /// from Prepare/Execute rather than a silent clamp.
   size_t batch_size = RowBatch::kDefaultCapacity;
+  /// Worker count of the morsel-driven parallel runtime (src/exec/):
+  /// parallel-safe read plans partition their driving scan across this
+  /// many workers (a fixed pool of num_threads - 1 threads plus the
+  /// calling thread). 1 = today's serial path. The environment variable
+  /// GQLITE_THREADS overrides this at engine construction (the TSan CI
+  /// leg runs the whole suite at 4). Part of the plan-cache options
+  /// fingerprint: plans bake in per-worker pipeline instances.
+  size_t num_threads = 1;
 };
 
 /// A parsed, analyzed and auto-parameterized query handle returned by
@@ -106,6 +117,10 @@ class PreparedQuery {
 class CypherEngine {
  public:
   explicit CypherEngine(EngineOptions options = {});
+  // Out-of-line (WorkerPool is incomplete here); moves keep working for
+  // factory helpers that return an engine by value.
+  ~CypherEngine();
+  CypherEngine(CypherEngine&&) noexcept;
 
   /// The implicit Cypher 9 global graph.
   PropertyGraph& graph() { return *graph_; }
@@ -150,7 +165,7 @@ class CypherEngine {
   const EngineOptions& options() const { return options_; }
   void set_options(EngineOptions options) {
     options_ = options;
-    ApplyBatchSizeOverride(&options_);
+    options_status_ = ApplyEnvOverrides(&options_);
     plan_cache_.set_capacity(options.plan_cache_capacity);
   }
 
@@ -167,12 +182,23 @@ class CypherEngine {
   /// Number of Volcano executions behind exec_stats().
   uint64_t exec_queries() const { return exec_queries_; }
 
+  /// Cumulative morsel-driven parallel execution counters (gqlsh :stats).
+  struct ParallelStats {
+    uint64_t queries = 0;  // executions that ran on the parallel runtime
+    uint64_t morsels = 0;  // scan morsels dispatched across them
+  };
+  const ParallelStats& parallel_stats() const { return parallel_stats_; }
+
  private:
-  /// Applies the GQLITE_BATCH_SIZE environment override (if set) and
-  /// clamps batch_size to >= 1 — shared by the constructor and
-  /// set_options so reconfiguring an engine cannot silently drop the
-  /// override CI relies on.
-  static void ApplyBatchSizeOverride(EngineOptions* options);
+  /// Applies the GQLITE_BATCH_SIZE / GQLITE_THREADS environment
+  /// overrides and clamps programmatic values — shared by the
+  /// constructor and set_options so reconfiguring an engine cannot
+  /// silently drop the overrides CI relies on. A garbage override is
+  /// remembered and surfaced as the error of every later
+  /// Prepare/Execute.
+  static Status ApplyEnvOverrides(EngineOptions* options);
+  /// (Re)creates the fixed worker pool to match num_threads.
+  WorkerPool* EnsureWorkerPool();
   MatchOptions MakeMatchOptions() const;
   PlannerOptions MakePlannerOptions() const;
   /// Cache key suffix encoding every option that changes the compiled
@@ -187,12 +213,19 @@ class CypherEngine {
                                  const ValueMap& params);
 
   EngineOptions options_;
+  /// Error from parsing the environment overrides (OK when clean).
+  Status options_status_ = Status::OK();
   GraphCatalog catalog_;
   GraphPtr graph_;
   uint64_t rand_state_;
   PlanCache plan_cache_;
   BatchStats exec_stats_;
   uint64_t exec_queries_ = 0;
+  ParallelStats parallel_stats_;
+  /// Fixed worker pool for the parallel runtime (num_threads - 1
+  /// threads; the query thread is worker 0). Created lazily on the first
+  /// parallel-eligible execution.
+  std::unique_ptr<WorkerPool> pool_;
   /// Catalog version at the last stale-entry sweep (see RunVolcano).
   uint64_t swept_catalog_version_ = 0;
 };

@@ -10,6 +10,10 @@ namespace gqlite {
 namespace {
 
 /// Mixin handling DISTINCT and null-skipping; calls Feed() on kept values.
+/// DISTINCT partials are the kept values themselves (in first-seen order,
+/// so order-sensitive aggregates merge deterministically); merging
+/// re-accumulates them, de-duplicating across partitions. Non-DISTINCT
+/// partials delegate to the per-function ExportState/MergeState.
 class BaseAggregator : public Aggregator {
  public:
   explicit BaseAggregator(bool distinct) : distinct_(distinct) {}
@@ -18,16 +22,41 @@ class BaseAggregator : public Aggregator {
     if (v.is_null()) return Status::OK();
     if (distinct_) {
       if (!seen_.insert(v).second) return Status::OK();
+      seen_order_.push_back(v);
     }
     return Feed(v);
   }
 
+  Result<Value> ExportPartial() final {
+    if (distinct_) return Value::MakeList(std::move(seen_order_));
+    return ExportState();
+  }
+
+  Status MergePartial(const Value& partial) final {
+    if (distinct_) {
+      if (!partial.is_list()) {
+        return Status::Internal("DISTINCT aggregate partial must be a list");
+      }
+      for (const Value& v : partial.AsList()) {
+        GQL_RETURN_IF_ERROR(Accumulate(v));
+      }
+      return Status::OK();
+    }
+    return MergeState(partial);
+  }
+
  protected:
   virtual Status Feed(const Value& v) = 0;
+  virtual Result<Value> ExportState() = 0;
+  virtual Status MergeState(const Value& partial) = 0;
 
  private:
   bool distinct_;
   std::unordered_set<Value, ValueEquivalenceHash, ValueEquivalenceEq> seen_;
+  /// Insertion-ordered view of seen_, kept for ExportPartial. Each entry
+  /// duplicates only the Value HANDLE (strings/lists/maps are
+  /// shared_ptr-backed), not the payload.
+  ValueList seen_order_;
 };
 
 class CountAggregator : public BaseAggregator {
@@ -38,6 +67,14 @@ class CountAggregator : public BaseAggregator {
     return Status::OK();
   }
   Result<Value> Finish() override { return Value::Int(count_); }
+  Result<Value> ExportState() override { return Value::Int(count_); }
+  Status MergeState(const Value& partial) override {
+    if (!partial.is_int()) {
+      return Status::Internal("count() partial must be an integer");
+    }
+    GQL_ASSIGN_OR_RETURN(count_, CheckedAddInt64(count_, partial.AsInt()));
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -51,6 +88,14 @@ class CountStarAggregator : public Aggregator {
     return Status::OK();
   }
   Result<Value> Finish() override { return Value::Int(count_); }
+  Result<Value> ExportPartial() override { return Value::Int(count_); }
+  Status MergePartial(const Value& partial) override {
+    if (!partial.is_int()) {
+      return Status::Internal("count(*) partial must be an integer");
+    }
+    GQL_ASSIGN_OR_RETURN(count_, CheckedAddInt64(count_, partial.AsInt()));
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -91,6 +136,27 @@ class SumAggregator : public BaseAggregator {
     if (is_duration_) return Value::Temporal(duration_sum_);
     if (is_float_) return Value::Float(float_sum_);
     return Value::Int(int_sum_);
+  }
+  /// Partial: [running sum, seen-any flag]. The flag distinguishes the
+  /// neutral 0 of an empty partition (skipped on merge) from a genuine
+  /// zero sum, so duration-adoption and mixing rules replay exactly.
+  Result<Value> ExportState() override {
+    GQL_ASSIGN_OR_RETURN(Value sum, Finish());
+    ValueList state;
+    state.push_back(std::move(sum));
+    state.push_back(Value::Bool(seen_any_));
+    return Value::MakeList(std::move(state));
+  }
+  Status MergeState(const Value& partial) override {
+    if (!partial.is_list() || partial.AsList().size() != 2 ||
+        !partial.AsList()[1].is_bool()) {
+      return Status::Internal("sum() partial must be [sum, seen]");
+    }
+    if (!partial.AsList()[1].AsBool()) return Status::OK();
+    // Re-feeding the partial sum replays the serial type-combination
+    // rules, including the checked int64 add: an overflow that only
+    // appears when partial sums combine still raises EvaluationError.
+    return Feed(partial.AsList()[0]);
   }
 
  private:
@@ -139,6 +205,47 @@ class AvgAggregator : public BaseAggregator {
         is_float_ ? float_sum_ : static_cast<double>(int_sum_);
     return Value::Float(total / static_cast<double>(count_));
   }
+  /// Partial: [is_float, int_sum, float_sum, count] — the raw accumulator,
+  /// so all-integer input stays exact across the merge (doubles lose
+  /// precision past 2^53) and the mean is identical to the serial run.
+  Result<Value> ExportState() override {
+    ValueList state;
+    state.push_back(Value::Bool(is_float_));
+    state.push_back(Value::Int(int_sum_));
+    state.push_back(Value::Float(float_sum_));
+    state.push_back(Value::Int(count_));
+    return Value::MakeList(std::move(state));
+  }
+  Status MergeState(const Value& partial) override {
+    if (!partial.is_list() || partial.AsList().size() != 4) {
+      return Status::Internal(
+          "avg() partial must be [is_float, int_sum, float_sum, count]");
+    }
+    const ValueList& s = partial.AsList();
+    bool other_float = s[0].AsBool();
+    int64_t other_int = s[1].AsInt();
+    double other_f = s[2].AsFloat();
+    if (!other_float && !is_float_) {
+      // Mirror Feed: degrade to float on int64 overflow instead of
+      // rejecting a representable mean.
+      auto checked = CheckedAddInt64(int_sum_, other_int);
+      if (checked.ok()) {
+        int_sum_ = *checked;
+      } else {
+        is_float_ = true;
+        float_sum_ =
+            static_cast<double>(int_sum_) + static_cast<double>(other_int);
+      }
+    } else {
+      double mine = is_float_ ? float_sum_ : static_cast<double>(int_sum_);
+      double theirs =
+          other_float ? other_f : static_cast<double>(other_int);
+      is_float_ = true;
+      float_sum_ = mine + theirs;
+    }
+    count_ += s[3].AsInt();
+    return Status::OK();
+  }
 
  private:
   bool is_float_ = false;
@@ -161,6 +268,11 @@ class MinMaxAggregator : public BaseAggregator {
     return Status::OK();
   }
   Result<Value> Finish() override { return best_; }
+  Result<Value> ExportState() override { return best_; }
+  Status MergeState(const Value& partial) override {
+    if (partial.is_null()) return Status::OK();  // empty partition
+    return Feed(partial);
+  }
 
  private:
   bool is_min_;
@@ -176,6 +288,18 @@ class CollectAggregator : public BaseAggregator {
   }
   Result<Value> Finish() override {
     return Value::MakeList(std::move(items_));
+  }
+  Result<Value> ExportState() override {
+    return Value::MakeList(std::move(items_));
+  }
+  Status MergeState(const Value& partial) override {
+    if (!partial.is_list()) {
+      return Status::Internal("collect() partial must be a list");
+    }
+    // Partials arrive in partition order, so appending reproduces the
+    // serial input order.
+    for (const Value& v : partial.AsList()) items_.push_back(v);
+    return Status::OK();
   }
 
  private:

@@ -23,6 +23,22 @@ class Aggregator {
   virtual Status Accumulate(const Value& v) = 0;
   /// Produces the aggregate result for the group.
   virtual Result<Value> Finish() = 0;
+
+  /// Parallel-merge support (morsel-driven runtime): a worker exports its
+  /// accumulator state as a plain Value, and the merge stage absorbs such
+  /// partials into another accumulator of the SAME function/distinctness.
+  /// Merging partials in input (partition) order reproduces the serial
+  /// accumulation for every order-sensitive aggregate (collect keeps
+  /// first-to-last order, DISTINCT keeps first occurrence). Merge re-runs
+  /// the same checked arithmetic as accumulation, so an int64 overflow
+  /// produced only by combining partial sums still raises
+  /// EvaluationError. The converse does not hold: a serial running sum
+  /// that overflows mid-stream (while the true total is representable)
+  /// may succeed when accumulated in chunks — accumulation order is
+  /// unspecified in Cypher, and chunked addition is the price of
+  /// parallel sum (see src/exec/parallel.h).
+  virtual Result<Value> ExportPartial() = 0;
+  virtual Status MergePartial(const Value& partial) = 0;
 };
 
 /// Creates an aggregator. `name` is the lowercase function name: "count",

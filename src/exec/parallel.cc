@@ -1,0 +1,400 @@
+#include "src/exec/parallel.h"
+
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "src/interp/projection.h"
+
+namespace gqlite {
+
+namespace {
+
+using ast::Expr;
+
+bool ExprNondet(const Expr& e);
+
+bool PatternNondet(const ast::Pattern& p) {
+  for (const auto& path : p.paths) {
+    for (const auto& [k, v] : path.start.properties) {
+      if (ExprNondet(*v)) return true;
+    }
+    for (const auto& hop : path.hops) {
+      for (const auto& [k, v] : hop.rel.properties) {
+        if (ExprNondet(*v)) return true;
+      }
+      for (const auto& [k, v] : hop.node.properties) {
+        if (ExprNondet(*v)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+/// Does the expression call rand()? (The parser lower-cases function
+/// names.) Mirrors ContainsAggregate's traversal, plus pattern
+/// predicates, whose property expressions ContainsAggregate need not
+/// visit.
+bool ExprNondet(const Expr& e) {
+  switch (e.kind) {
+    case Expr::Kind::kFunctionCall: {
+      const auto& f = static_cast<const ast::FunctionCallExpr&>(e);
+      if (f.name == "rand") return true;
+      for (const auto& a : f.args) {
+        if (ExprNondet(*a)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kProperty:
+      return ExprNondet(*static_cast<const ast::PropertyExpr&>(e).object);
+    case Expr::Kind::kLabelCheck:
+      return ExprNondet(*static_cast<const ast::LabelCheckExpr&>(e).object);
+    case Expr::Kind::kListLiteral: {
+      for (const auto& i : static_cast<const ast::ListLiteralExpr&>(e).items) {
+        if (ExprNondet(*i)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kMapLiteral: {
+      for (const auto& [k, v] :
+           static_cast<const ast::MapLiteralExpr&>(e).entries) {
+        if (ExprNondet(*v)) return true;
+      }
+      return false;
+    }
+    case Expr::Kind::kBinary: {
+      const auto& b = static_cast<const ast::BinaryExpr&>(e);
+      return ExprNondet(*b.lhs) || ExprNondet(*b.rhs);
+    }
+    case Expr::Kind::kUnary:
+      return ExprNondet(*static_cast<const ast::UnaryExpr&>(e).operand);
+    case Expr::Kind::kIndex: {
+      const auto& i = static_cast<const ast::IndexExpr&>(e);
+      return ExprNondet(*i.object) || ExprNondet(*i.index);
+    }
+    case Expr::Kind::kSlice: {
+      const auto& s = static_cast<const ast::SliceExpr&>(e);
+      if (ExprNondet(*s.object)) return true;
+      if (s.from && ExprNondet(*s.from)) return true;
+      if (s.to && ExprNondet(*s.to)) return true;
+      return false;
+    }
+    case Expr::Kind::kCase: {
+      const auto& c = static_cast<const ast::CaseExpr&>(e);
+      if (c.operand && ExprNondet(*c.operand)) return true;
+      for (const auto& [w, t] : c.whens) {
+        if (ExprNondet(*w) || ExprNondet(*t)) return true;
+      }
+      if (c.otherwise && ExprNondet(*c.otherwise)) return true;
+      return false;
+    }
+    case Expr::Kind::kListComprehension: {
+      const auto& c = static_cast<const ast::ListComprehensionExpr&>(e);
+      if (ExprNondet(*c.list)) return true;
+      if (c.where && ExprNondet(*c.where)) return true;
+      if (c.project && ExprNondet(*c.project)) return true;
+      return false;
+    }
+    case Expr::Kind::kQuantifier: {
+      const auto& q = static_cast<const ast::QuantifierExpr&>(e);
+      return ExprNondet(*q.list) || ExprNondet(*q.where);
+    }
+    case Expr::Kind::kReduce: {
+      const auto& r = static_cast<const ast::ReduceExpr&>(e);
+      return ExprNondet(*r.init) || ExprNondet(*r.list) ||
+             ExprNondet(*r.body);
+    }
+    case Expr::Kind::kPatternPredicate:
+      return PatternNondet(
+          static_cast<const ast::PatternPredicateExpr&>(e).pattern);
+    case Expr::Kind::kLiteral:
+    case Expr::Kind::kVariable:
+    case Expr::Kind::kParameter:
+    case Expr::Kind::kCountStar:
+      return false;  // leaves
+  }
+  // A kind this walk does not know cannot be proven deterministic —
+  // treat it as nondeterministic so a future Expr addition fails SAFE
+  // (serial fallback) instead of racing on shared PRNG state.
+  return true;
+}
+
+bool BodyNondet(const ast::ProjectionBody& body) {
+  for (const auto& item : body.items) {
+    if (ExprNondet(*item.expr)) return true;
+  }
+  for (const auto& o : body.order_by) {
+    if (ExprNondet(*o.expr)) return true;
+  }
+  if (body.skip && ExprNondet(*body.skip)) return true;
+  if (body.limit && ExprNondet(*body.limit)) return true;
+  return false;
+}
+
+/// True when `op` (a non-root operator) distributes over a partition of
+/// the driving scan: running it per partition and concatenating results
+/// in partition order equals the serial run. Fills `why` otherwise.
+bool Distributive(const Operator* op, std::string* why) {
+  if (op == nullptr) return true;
+  if (auto* p = dynamic_cast<const ProjectionOp*>(op)) {
+    const ast::ProjectionBody& b = *p->body();
+    const char* blocker = nullptr;
+    if (ProjectionAggregates(b)) {
+      blocker = "aggregation";
+    } else if (b.distinct) {
+      blocker = "DISTINCT";
+    } else if (!b.order_by.empty()) {
+      // A per-partition sort reorders rows the final SKIP/LIMIT (or a
+      // downstream non-commutative step) could observe; keep it serial.
+      blocker = "ORDER BY";
+    } else if (b.skip != nullptr) {
+      blocker = "SKIP";
+    } else if (b.limit != nullptr) {
+      blocker = "LIMIT";
+    }
+    if (blocker != nullptr) {
+      *why = std::string("intermediate WITH ") + blocker +
+             " is a serial pipeline breaker";
+      return false;
+    }
+  } else if (dynamic_cast<const UnionOp*>(op) != nullptr) {
+    *why = "UNION materializes whole sub-plans";
+    return false;
+  } else if (dynamic_cast<const ArgumentOp*>(op) == nullptr &&
+             dynamic_cast<const AllNodesScanOp*>(op) == nullptr &&
+             dynamic_cast<const NodeByLabelScanOp*>(op) == nullptr &&
+             dynamic_cast<const ExpandOp*>(op) == nullptr &&
+             dynamic_cast<const HashJoinExpandOp*>(op) == nullptr &&
+             dynamic_cast<const VarLengthExpandOp*>(op) == nullptr &&
+             dynamic_cast<const FilterOp*>(op) == nullptr &&
+             dynamic_cast<const ApplyOp*>(op) == nullptr &&
+             dynamic_cast<const UnwindOp*>(op) == nullptr &&
+             dynamic_cast<const MatcherOp*>(op) == nullptr) {
+    // Unknown operator kinds are conservatively serial.
+    *why = "operator " + op->Describe() + " is not parallel-safe";
+    return false;
+  }
+  for (const Operator* ch : op->children()) {
+    if (!Distributive(ch, why)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+size_t MorselChunk(size_t domain, size_t workers) {
+  // ~8 morsels per worker gives the claim counter something to steal
+  // while bounding the per-range buffer count; the floor keeps tiny
+  // domains from paying a pipeline re-Open per handful of positions.
+  constexpr size_t kMinChunk = 16;
+  if (workers == 0) workers = 1;
+  size_t chunk = domain / (workers * 8);
+  return chunk < kMinChunk ? kMinChunk : chunk;
+}
+
+ParallelCandidate AnalyzeParallelCandidate(Operator* root) {
+  ParallelCandidate c;
+  auto* proj = dynamic_cast<ProjectionOp*>(root);
+  if (proj == nullptr) {
+    c.reason = "plan root is not a projection (UNION runs serially)";
+    return c;
+  }
+  if (!Distributive(proj->child(), &c.reason)) return c;
+
+  // The driving pipeline: descend the child() chain to the unit-table
+  // Argument leaf; the Apply directly above it correlates the first
+  // MATCH, and the bottom of ITS inner pipeline is the scan to
+  // partition.
+  Operator* prev = nullptr;
+  Operator* cur = proj->child();
+  if (cur == nullptr) {
+    c.reason = "projection has no input pipeline";
+    return c;
+  }
+  while (cur->child() != nullptr) {
+    prev = cur;
+    cur = cur->child();
+  }
+  auto* leaf = dynamic_cast<ArgumentOp*>(cur);
+  if (leaf == nullptr || !leaf->has_table_source()) {
+    c.reason = "pipeline does not bottom out at the unit table";
+    return c;
+  }
+  auto* drive = dynamic_cast<ApplyOp*>(prev);
+  if (drive == nullptr) {
+    c.reason = "no MATCH drives the plan (nothing to partition)";
+    return c;
+  }
+  if (drive->optional()) {
+    // OPTIONAL MATCH null-pads when the WHOLE scan finds nothing; a
+    // partition that happens to be empty must not pad on its own.
+    c.reason = "OPTIONAL MATCH drives the plan";
+    return c;
+  }
+  // The DEEPEST partitionable scan of the driving pipeline anchors the
+  // partition (variable-free filters may sit between it and the Argument
+  // leaf; scans of later cross-product paths sit above it and iterate
+  // their full domain per partitioned row).
+  PartitionedScan* scan = nullptr;
+  for (Operator* op = drive->inner(); op != nullptr; op = op->child()) {
+    if (auto* s = dynamic_cast<PartitionedScan*>(op)) scan = s;
+  }
+  if (scan == nullptr) {
+    c.reason = "driving pattern does not start at a partitionable scan";
+    return c;
+  }
+  c.ok = true;
+  c.projection = proj;
+  c.scan = scan;
+  return c;
+}
+
+bool QueryCallsNondeterministicFunction(const ast::Query& q) {
+  for (const auto& part : q.parts) {
+    for (const auto& clause : part.clauses) {
+      switch (clause->kind) {
+        case ast::Clause::Kind::kMatch: {
+          const auto& m = static_cast<const ast::MatchClause&>(*clause);
+          if (PatternNondet(m.pattern)) return true;
+          if (m.where && ExprNondet(*m.where)) return true;
+          break;
+        }
+        case ast::Clause::Kind::kWith: {
+          const auto& w = static_cast<const ast::WithClause&>(*clause);
+          if (BodyNondet(w.body)) return true;
+          if (w.where && ExprNondet(*w.where)) return true;
+          break;
+        }
+        case ast::Clause::Kind::kReturn: {
+          const auto& r = static_cast<const ast::ReturnClause&>(*clause);
+          if (BodyNondet(r.body)) return true;
+          break;
+        }
+        case ast::Clause::Kind::kUnwind: {
+          const auto& u = static_cast<const ast::UnwindClause&>(*clause);
+          if (ExprNondet(*u.expr)) return true;
+          break;
+        }
+        default:
+          // Updating clauses and RETURN GRAPH never reach the planner.
+          break;
+      }
+    }
+  }
+  return false;
+}
+
+Result<Table> ExecutePlanParallel(Plan* plan, WorkerPool* pool,
+                                  size_t batch_size, BatchStats* stats,
+                                  ParallelRunStats* pstats) {
+  const ParallelPlanInfo& par = plan->parallel;
+  if (!par.safe || par.scans.empty() ||
+      par.scans.size() != par.projections.size()) {
+    return Status::Internal("plan is not prepared for parallel execution");
+  }
+  const size_t instances = par.scans.size();
+  const size_t workers =
+      instances < pool->size() + 1 ? instances : pool->size() + 1;
+
+  const size_t domain = par.scans[0]->ScanDomainSize();
+  MorselDispatcher dispatcher(domain, MorselChunk(domain, workers));
+  const size_t num_morsels = dispatcher.num_morsels();
+
+  ProjectionOp* merge_proj = par.projections[0];
+  const EvalContext& merge_eval = merge_proj->exec_context()->eval;
+  // Aggregating roots fold each range into an AggregationState so the
+  // pre-aggregation rows never materialize centrally; everything else
+  // buffers rows per range (the merge concatenates them in range order —
+  // the serial scan order).
+  const bool partial_agg = num_morsels > 0 &&
+                           ProjectionAggregates(*merge_proj->body()) &&
+                           merge_proj->where() == nullptr;
+
+  std::vector<Table> range_rows(partial_agg ? 0 : num_morsels);
+  std::vector<std::unique_ptr<AggregationState>> range_aggs(
+      partial_agg ? num_morsels : 0);
+  std::vector<Status> range_status(num_morsels, Status::OK());
+  std::vector<BatchStats> worker_stats(instances);
+
+  auto work = [&](size_t w) -> Status {
+    if (w >= instances) return Status::OK();
+    Operator* root = par.projections[w]->child();
+    PartitionedScan* scan = par.scans[w];
+    // One aggregation plan per worker; per-range states Fork() it (the
+    // item resolution and rewritten aggregate expressions are shared).
+    std::optional<AggregationState> proto;
+    if (partial_agg) {
+      GQL_ASSIGN_OR_RETURN(
+          AggregationState planned,
+          AggregationState::Plan(*par.projections[w]->body(),
+                                 root->schema()));
+      proto.emplace(std::move(planned));
+    }
+    ScanMorsel morsel;
+    while (dispatcher.Next(&morsel)) {
+      scan->SetScanRange(morsel.begin, morsel.end);
+      auto run_range = [&]() -> Status {
+        GQL_RETURN_IF_ERROR(root->Open());
+        GQL_ASSIGN_OR_RETURN(Table t,
+                             DrainPlan(root, batch_size, &worker_stats[w]));
+        if (partial_agg) {
+          AggregationState st = proto->Fork();
+          GQL_RETURN_IF_ERROR(
+              st.Accumulate(t, par.projections[w]->exec_context()->eval));
+          range_aggs[morsel.index] =
+              std::make_unique<AggregationState>(std::move(st));
+        } else {
+          range_rows[morsel.index] = std::move(t);
+        }
+        return Status::OK();
+      };
+      Status st = run_range();
+      if (!st.ok()) {
+        // Record per range and stop this worker; survivors drain the
+        // dispatcher, and the merge stage reports the error of the
+        // FIRST range in scan order — deterministic even though the
+        // worker-to-range assignment is not.
+        range_status[morsel.index] = std::move(st);
+        break;
+      }
+    }
+    scan->SetScanRange(0, SIZE_MAX);  // restore the serial default
+    return Status::OK();
+  };
+  GQL_RETURN_IF_ERROR(pool->RunOnAll(work));
+
+  if (stats != nullptr) {
+    for (const BatchStats& ws : worker_stats) {
+      stats->rows += ws.rows;
+      stats->batches += ws.batches;
+    }
+  }
+  if (pstats != nullptr) {
+    pstats->workers = workers;
+    pstats->morsels = num_morsels;
+  }
+  for (const Status& st : range_status) {
+    GQL_RETURN_IF_ERROR(st);
+  }
+
+  if (partial_agg) {
+    AggregationState merged = std::move(*range_aggs[0]);
+    for (size_t i = 1; i < num_morsels; ++i) {
+      GQL_RETURN_IF_ERROR(merged.MergeFrom(std::move(*range_aggs[i])));
+    }
+    GQL_ASSIGN_OR_RETURN(Table grouped, merged.Finish(merge_eval));
+    return ApplyProjectionTail(*merge_proj->body(), std::move(grouped),
+                               nullptr, nullptr, merge_eval);
+  }
+
+  Table merged(merge_proj->child()->schema());
+  for (Table& t : range_rows) {
+    for (ValueList& row : t.mutable_rows()) {
+      merged.AddRow(std::move(row));
+    }
+  }
+  return merge_proj->ProjectTable(std::move(merged));
+}
+
+}  // namespace gqlite

@@ -1,0 +1,127 @@
+#ifndef GQLITE_EXEC_PARALLEL_H_
+#define GQLITE_EXEC_PARALLEL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "src/exec/worker_pool.h"
+#include "src/plan/planner.h"
+
+namespace gqlite {
+
+/// Morsel-driven parallel execution of compiled plans (ROADMAP's "worker
+/// pool stealing morsel boundaries"). The model:
+///
+///  * The planner builds one pipeline INSTANCE per worker (structurally
+///    identical operator trees over the same AST — operators are
+///    stateful single-use pipelines, so workers must not share them).
+///  * The driving scan of each instance is morsel-partitioned: a shared
+///    MorselDispatcher splits the scan domain (node slots / label-index
+///    entries) into contiguous ranges that workers claim atomically —
+///    work stealing falls out of the shared claim counter.
+///  * A worker binds its instance's scan to the claimed range, re-Opens
+///    the pipeline, drains it, and buffers the result PER RANGE.
+///  * The merge stage runs serially after the pool barrier and
+///    concatenates per-range results in range order — exactly the order
+///    the serial scan produces — before the root projection runs once
+///    over the merged rows. ORDER BY / DISTINCT / SKIP / LIMIT therefore
+///    see the same input as a serial run (the pipeline-breaker barrier),
+///    and ORDER BY output is byte-identical regardless of thread count.
+///  * For aggregating root projections the workers instead fold each
+///    range into an AggregationState and the merge stage combines the
+///    partial aggregates in range order (count/sum/min/max/avg/collect
+///    merge; see Aggregator::MergePartial) — the pre-aggregation rows
+///    never materialize centrally. One DELIBERATE semantic edge: sum()
+///    over int64 adds in chunks, so a serial run whose running sum
+///    overflows mid-stream (while the true total is representable) can
+///    raise where the chunked run returns the total. Cypher leaves
+///    accumulation order unspecified; the strict guarantee kept is
+///    one-sided — any overflow the MERGE itself produces still raises
+///    EvaluationError, never wraps.
+///
+/// Plans qualify when every operator below the root projection
+/// distributes over a partition of the driving scan (per-row operators:
+/// Expand, Filter, Unwind, Apply, simple WITH) and the query calls no
+/// nondeterministic function (rand() mutates engine-shared PRNG state).
+/// Everything else — UNION, aggregating/sorting WITH, OPTIONAL MATCH at
+/// the driving position, matcher-fallback driving patterns, updating
+/// queries (interpreter-only) — stays on the serial runtime.
+
+/// One contiguous chunk of a partitioned scan domain.
+struct ScanMorsel {
+  size_t index = 0;  // position in range order (deterministic merge key)
+  size_t begin = 0;
+  size_t end = 0;
+};
+
+/// Splits `domain` positions into ceil(domain/chunk) contiguous morsels
+/// claimed atomically by workers. Thread-safe; claim order is first-come.
+class MorselDispatcher {
+ public:
+  MorselDispatcher(size_t domain, size_t chunk)
+      : domain_(domain), chunk_(chunk == 0 ? 1 : chunk) {
+    count_ = domain_ == 0 ? 0 : (domain_ + chunk_ - 1) / chunk_;
+  }
+
+  /// Claims the next morsel; false once the domain is exhausted.
+  bool Next(ScanMorsel* out) {
+    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return false;
+    out->index = i;
+    out->begin = i * chunk_;
+    out->end = out->begin + chunk_ < domain_ ? out->begin + chunk_ : domain_;
+    return true;
+  }
+
+  size_t num_morsels() const { return count_; }
+  size_t chunk() const { return chunk_; }
+
+ private:
+  size_t domain_;
+  size_t chunk_;
+  size_t count_;
+  std::atomic<size_t> next_{0};
+};
+
+/// Scan-range chunk for `domain` positions across `workers` workers:
+/// roughly eight morsels per worker (steal granularity) with a floor that
+/// keeps tiny domains from paying a pipeline re-Open per handful of
+/// nodes.
+size_t MorselChunk(size_t domain, size_t workers);
+
+/// Result of analyzing one compiled operator tree for parallel
+/// execution: the root projection (merge stage) and the partitioned
+/// driving scan, or the reason the plan stays serial.
+struct ParallelCandidate {
+  bool ok = false;
+  std::string reason;
+  ProjectionOp* projection = nullptr;
+  PartitionedScan* scan = nullptr;
+};
+ParallelCandidate AnalyzeParallelCandidate(Operator* root);
+
+/// True if any expression in the query calls rand() — which both mutates
+/// engine-shared PRNG state (a data race across workers) and makes
+/// results depend on evaluation order.
+bool QueryCallsNondeterministicFunction(const ast::Query& q);
+
+/// Per-execution counters surfaced through PROFILE and gqlsh :stats.
+struct ParallelRunStats {
+  size_t workers = 0;
+  size_t morsels = 0;
+};
+
+/// Executes a parallel-safe plan (Plan::parallel.safe) on `pool` (workers
+/// = pool->size() + 1 including the calling thread; the plan must carry
+/// at least that many instances is NOT required — extra pool threads
+/// idle, extra instances go unused). `stats` accumulates rows/batches
+/// drained across all workers.
+Result<Table> ExecutePlanParallel(Plan* plan, WorkerPool* pool,
+                                  size_t batch_size,
+                                  BatchStats* stats = nullptr,
+                                  ParallelRunStats* pstats = nullptr);
+
+}  // namespace gqlite
+
+#endif  // GQLITE_EXEC_PARALLEL_H_

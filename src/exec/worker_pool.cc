@@ -1,0 +1,66 @@
+#include "src/exec/worker_pool.h"
+
+namespace gqlite {
+
+WorkerPool::WorkerPool(size_t num_threads) {
+  statuses_.resize(num_threads + 1, Status::OK());
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i + 1); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void WorkerPool::WorkerLoop(size_t index) {
+  uint64_t seen = 0;
+  while (true) {
+    const std::function<Status(size_t)>* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+    }
+    Status st = (*job)(index);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      statuses_[index] = std::move(st);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+Status WorkerPool::RunOnAll(const std::function<Status(size_t)>& fn) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& s : statuses_) s = Status::OK();
+    job_ = &fn;
+    pending_ = threads_.size();
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread is worker 0 — it participates instead of idling.
+  Status mine = fn(0);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    job_ = nullptr;
+    statuses_[0] = std::move(mine);
+    for (const Status& s : statuses_) {
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gqlite

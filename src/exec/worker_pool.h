@@ -1,0 +1,54 @@
+#ifndef GQLITE_EXEC_WORKER_POOL_H_
+#define GQLITE_EXEC_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/status.h"
+
+namespace gqlite {
+
+/// A fixed pool of worker threads for morsel-driven parallel execution.
+/// The pool spawns its threads once and parks them between jobs, so a
+/// parallel query pays a wakeup, not a thread spawn. One job runs at a
+/// time (parallelism is intra-query): RunOnAll(fn) invokes
+/// `fn(worker_index)` on every pool thread (indices 1..size()) AND on the
+/// calling thread (index 0), returns after all complete, and reports the
+/// lowest-indexed worker's failure — a deterministic pick when several
+/// workers fail.
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` parked worker threads (0 is valid: RunOnAll
+  /// then runs everything on the calling thread).
+  explicit WorkerPool(size_t num_threads);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of pool threads (total workers a job sees = size() + 1).
+  size_t size() const { return threads_.size(); }
+
+  Status RunOnAll(const std::function<Status(size_t)>& fn);
+
+ private:
+  void WorkerLoop(size_t index);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<Status(size_t)>* job_ = nullptr;  // guarded by mu_
+  uint64_t generation_ = 0;  // bumped per job; workers run once per bump
+  size_t pending_ = 0;       // pool threads still running the current job
+  bool shutdown_ = false;
+  std::vector<Status> statuses_;  // per worker index, 0 = caller
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_EXEC_WORKER_POOL_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <memory>
 #include <unordered_map>
+#include <utility>
 
 #include "src/eval/aggregation.h"
 #include "src/frontend/analyzer.h"
@@ -89,14 +90,6 @@ class AggEnvironment : public Environment {
   const ValueList& agg_values_;
 };
 
-struct ResolvedItem {
-  std::string name;
-  const Expr* expr = nullptr;  // original expression
-  bool aggregating = false;
-  ExprPtr rewritten;           // with aggregates extracted (if aggregating)
-  std::vector<AggSlot> slots;  // this item's aggregate sub-expressions
-};
-
 Result<int64_t> EvalCount(const Expr& e, const EvalContext& ctx,
                           const char* what) {
   MapEnvironment empty;
@@ -110,171 +103,235 @@ Result<int64_t> EvalCount(const Expr& e, const EvalContext& ctx,
 
 }  // namespace
 
-Result<Table> EvaluateProjection(const ProjectionBody& body,
-                                 const Table& input, const EvalContext& ctx) {
-  // Resolve the item list: `*` expands to all input fields (in order).
-  std::vector<ResolvedItem> items;
+bool ProjectionAggregates(const ProjectionBody& body) {
+  for (const auto& item : body.items) {
+    if (ContainsAggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+// ---- AggregationState -------------------------------------------------------
+
+struct AggregationState::Impl {
+  struct Item {
+    std::string name;
+    const Expr* expr = nullptr;  // original expression (null: copy field)
+    bool aggregating = false;
+    ExprPtr rewritten;           // with aggregates extracted (if aggregating)
+    std::vector<AggSlot> slots;  // this item's aggregate sub-expressions
+  };
+  /// The immutable part of the plan (item resolution, the rewritten
+  /// aggregate expressions, the output schema) — shared between Fork()ed
+  /// states so per-partition states pay no re-planning.
+  struct Shape {
+    std::vector<std::string> input_fields;
+    std::vector<Item> items;
+    std::vector<std::string> out_fields;
+    bool has_keys = false;
+  };
+  /// One group, in first-occurrence order. The representative row is
+  /// owned (partitions outlive their input tables under the parallel
+  /// merge) and is the group's FIRST input row, as in the serial run.
+  struct Group {
+    ValueList key;
+    ValueList representative;
+    std::vector<std::unique_ptr<Aggregator>> aggs;
+  };
+
+  std::shared_ptr<const Shape> shape;
+  std::vector<Group> groups;
+  std::unordered_map<ValueList, size_t, RowEquivalenceHash, RowEquivalenceEq>
+      index;
+
+  Result<std::vector<std::unique_ptr<Aggregator>>> MakeGroupAggs() const {
+    std::vector<std::unique_ptr<Aggregator>> aggs;
+    for (const auto& it : shape->items) {
+      for (const auto& slot : it.slots) {
+        GQL_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
+                             MakeAggregator(slot.fn, slot.distinct));
+        aggs.push_back(std::move(agg));
+      }
+    }
+    return aggs;
+  }
+};
+
+AggregationState::AggregationState() : impl_(std::make_unique<Impl>()) {}
+AggregationState::AggregationState(AggregationState&&) noexcept = default;
+AggregationState& AggregationState::operator=(AggregationState&&) noexcept =
+    default;
+AggregationState::~AggregationState() = default;
+
+const std::vector<std::string>& AggregationState::out_fields() const {
+  return impl_->shape->out_fields;
+}
+
+Result<AggregationState> AggregationState::Plan(
+    const ProjectionBody& body, const std::vector<std::string>& input_fields) {
+  AggregationState state;
+  auto shape = std::make_shared<Impl::Shape>();
+  shape->input_fields = input_fields;
+  // `*` expands to the visible input fields, in order (planner-hidden
+  // '#...' columns are internal and never projected).
   if (body.star) {
-    for (const auto& f : input.fields()) {
-      ResolvedItem it;
+    for (const auto& f : input_fields) {
+      if (!f.empty() && f[0] == '#') continue;
+      Impl::Item it;
       it.name = f;
-      items.push_back(std::move(it));  // expr == nullptr: copy field
+      shape->items.push_back(std::move(it));  // expr == nullptr: copy field
     }
   }
-  bool any_aggregate = false;
   for (const auto& item : body.items) {
-    ResolvedItem it;
+    Impl::Item it;
     it.name = item.alias ? *item.alias : DerivedColumnName(*item.expr);
     it.expr = item.expr.get();
     it.aggregating = ContainsAggregate(*item.expr);
     if (it.aggregating) {
-      any_aggregate = true;
       it.rewritten = ExtractAggregates(*item.expr, &it.slots);
     }
-    items.push_back(std::move(it));
+    shape->items.push_back(std::move(it));
   }
+  for (const auto& it : shape->items) {
+    shape->out_fields.push_back(it.name);
+    if (!it.aggregating) shape->has_keys = true;
+  }
+  state.impl_->shape = std::move(shape);
+  return state;
+}
 
-  std::vector<std::string> out_fields;
-  for (const auto& it : items) out_fields.push_back(it.name);
-  Table output(out_fields);
+AggregationState AggregationState::Fork() const {
+  AggregationState state;
+  state.impl_->shape = impl_->shape;  // planning is shared, groups are not
+  return state;
+}
 
-  // Track the input row that produced each output row (for ORDER BY on
-  // pre-projection variables in the non-aggregating case).
-  std::vector<const ValueList*> source_rows;
-
-  if (!any_aggregate) {
-    for (const auto& row : input.rows()) {
-      RowEnvironment env(input, row);
-      ValueList out_row;
-      out_row.reserve(items.size());
-      for (const auto& it : items) {
-        if (it.expr == nullptr) {
-          out_row.push_back(row[input.FieldIndex(it.name)]);
-        } else {
-          GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
-          out_row.push_back(std::move(v));
-        }
-      }
-      output.AddRow(std::move(out_row));
-      source_rows.push_back(&row);
-    }
-  } else {
-    // Group by the values of the non-aggregating items (§3: "the first
-    // expression, r, is a non-aggregating expression and therefore acts
-    // as an implicit grouping key").
-    struct Group {
-      const ValueList* representative = nullptr;
-      std::vector<std::unique_ptr<Aggregator>> aggs;
-    };
-    std::vector<ValueList> group_keys;
-    std::vector<Group> groups;
-    std::unordered_map<ValueList, size_t, RowEquivalenceHash,
-                       RowEquivalenceEq>
-        index;
-
-    // Fixed slot layout: per item, per slot.
-    for (const auto& row : input.rows()) {
-      RowEnvironment env(input, row);
-      ValueList key;
-      for (const auto& it : items) {
-        if (it.aggregating) continue;
-        if (it.expr == nullptr) {
-          key.push_back(row[input.FieldIndex(it.name)]);
-        } else {
-          GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
-          key.push_back(std::move(v));
-        }
-      }
-      auto [pos, inserted] = index.try_emplace(key, groups.size());
-      if (inserted) {
-        group_keys.push_back(key);
-        Group g;
-        g.representative = &row;
-        for (const auto& it : items) {
-          for (const auto& slot : it.slots) {
-            GQL_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
-                                 MakeAggregator(slot.fn, slot.distinct));
-            g.aggs.push_back(std::move(agg));
-          }
-        }
-        groups.push_back(std::move(g));
-      }
-      Group& g = groups[pos->second];
-      size_t slot_idx = 0;
-      for (const auto& it : items) {
-        for (const auto& slot : it.slots) {
-          Value v = Value::Bool(true);  // row marker for count(*)
-          if (slot.arg != nullptr) {
-            GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
-          }
-          GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
-          ++slot_idx;
-        }
+Status AggregationState::Accumulate(const Table& input,
+                                    const EvalContext& ctx) {
+  Impl& im = *impl_;
+  // Group by the values of the non-aggregating items (§3: "the first
+  // expression, r, is a non-aggregating expression and therefore acts
+  // as an implicit grouping key").
+  for (const auto& row : input.rows()) {
+    RowEnvironment env(input, row);
+    ValueList key;
+    for (const auto& it : im.shape->items) {
+      if (it.aggregating) continue;
+      if (it.expr == nullptr) {
+        key.push_back(row[input.FieldIndex(it.name)]);
+      } else {
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
+        key.push_back(std::move(v));
       }
     }
-
-    // Global aggregation over an empty input: one group with neutral
-    // aggregates — but only when there are no grouping keys.
-    bool has_keys = false;
-    for (const auto& it : items) {
-      if (!it.aggregating) has_keys = true;
+    auto [pos, inserted] = im.index.try_emplace(key, im.groups.size());
+    if (inserted) {
+      Impl::Group g;
+      g.key = std::move(key);
+      g.representative = row;
+      GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
+      im.groups.push_back(std::move(g));
     }
-    if (groups.empty() && !has_keys) {
-      Group g;
-      for (const auto& it : items) {
-        for (const auto& slot : it.slots) {
-          GQL_ASSIGN_OR_RETURN(std::unique_ptr<Aggregator> agg,
-                               MakeAggregator(slot.fn, slot.distinct));
-          g.aggs.push_back(std::move(agg));
+    Impl::Group& g = im.groups[pos->second];
+    size_t slot_idx = 0;
+    for (const auto& it : im.shape->items) {
+      for (const auto& slot : it.slots) {
+        Value v = Value::Bool(true);  // row marker for count(*)
+        if (slot.arg != nullptr) {
+          GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
         }
+        GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
+        ++slot_idx;
       }
-      group_keys.emplace_back();
-      groups.push_back(std::move(g));
-    }
-
-    static const ValueList kEmptyRow;
-    static const Table kEmptyTable;
-    for (size_t gi = 0; gi < groups.size(); ++gi) {
-      Group& g = groups[gi];
-      // Finish aggregates.
-      ValueList agg_values;
-      for (auto& agg : g.aggs) {
-        GQL_ASSIGN_OR_RETURN(Value v, agg->Finish());
-        agg_values.push_back(std::move(v));
-      }
-      const ValueList* rep = g.representative ? g.representative : &kEmptyRow;
-      const Table& rep_table = g.representative ? input : kEmptyTable;
-      RowEnvironment rep_env(rep_table, *rep);
-      AggEnvironment env(rep_env, agg_values);
-      ValueList out_row;
-      size_t key_idx = 0;
-      size_t slot_base = 0;
-      for (const auto& it : items) {
-        if (!it.aggregating) {
-          out_row.push_back(group_keys[gi][key_idx++]);
-        } else {
-          // Offset this item's placeholders into the global slot vector:
-          // placeholders were numbered per item starting at its base.
-          ValueList local(agg_values.begin() + slot_base,
-                          agg_values.begin() + slot_base + it.slots.size());
-          AggEnvironment item_env(rep_env, local);
-          GQL_ASSIGN_OR_RETURN(Value v,
-                               EvaluateExpr(*it.rewritten, item_env, ctx));
-          out_row.push_back(std::move(v));
-          slot_base += it.slots.size();
-        }
-      }
-      (void)env;
-      output.AddRow(std::move(out_row));
-      source_rows.push_back(nullptr);
     }
   }
+  return Status::OK();
+}
 
+Status AggregationState::MergeFrom(AggregationState&& other) {
+  Impl& im = *impl_;
+  Impl& oim = *other.impl_;
+  // Walking the later partition's groups in ITS first-occurrence order
+  // keeps the merged group order equal to first occurrence over the
+  // concatenated input; an already-known group keeps its (earlier)
+  // representative.
+  for (Impl::Group& og : oim.groups) {
+    auto [pos, inserted] = im.index.try_emplace(og.key, im.groups.size());
+    if (inserted) {
+      im.groups.push_back(std::move(og));
+      continue;
+    }
+    Impl::Group& g = im.groups[pos->second];
+    for (size_t a = 0; a < g.aggs.size(); ++a) {
+      GQL_ASSIGN_OR_RETURN(Value partial, og.aggs[a]->ExportPartial());
+      GQL_RETURN_IF_ERROR(g.aggs[a]->MergePartial(partial));
+    }
+  }
+  oim.groups.clear();
+  oim.index.clear();
+  return Status::OK();
+}
+
+Result<Table> AggregationState::Finish(const EvalContext& ctx) {
+  Impl& im = *impl_;
+  // Global aggregation over an empty input: one row of neutral aggregate
+  // values — but only when there are no grouping keys.
+  if (im.groups.empty() && !im.shape->has_keys) {
+    Impl::Group g;
+    GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
+    im.groups.push_back(std::move(g));
+  }
+
+  Table output(im.shape->out_fields);
+  Table rep_fields(im.shape->input_fields);  // representative env fields
+  const Table no_fields((std::vector<std::string>()));
+  for (Impl::Group& g : im.groups) {
+    ValueList agg_values;
+    for (auto& agg : g.aggs) {
+      GQL_ASSIGN_OR_RETURN(Value v, agg->Finish());
+      agg_values.push_back(std::move(v));
+    }
+    // The neutral group of an empty keyless input has no representative;
+    // its environment must resolve nothing (not index into an empty row).
+    bool has_rep =
+        g.representative.size() == im.shape->input_fields.size();
+    RowEnvironment rep_env(has_rep ? rep_fields : no_fields,
+                           g.representative);
+    ValueList out_row;
+    size_t key_idx = 0;
+    size_t slot_base = 0;
+    for (const auto& it : im.shape->items) {
+      if (!it.aggregating) {
+        out_row.push_back(g.key[key_idx++]);
+      } else {
+        // Offset this item's placeholders into the global slot vector:
+        // placeholders were numbered per item starting at its base.
+        ValueList local(agg_values.begin() + slot_base,
+                        agg_values.begin() + slot_base + it.slots.size());
+        AggEnvironment item_env(rep_env, local);
+        GQL_ASSIGN_OR_RETURN(Value v,
+                             EvaluateExpr(*it.rewritten, item_env, ctx));
+        out_row.push_back(std::move(v));
+        slot_base += it.slots.size();
+      }
+    }
+    output.AddRow(std::move(out_row));
+  }
+  im.groups.clear();
+  im.index.clear();
+  return output;
+}
+
+// ---- Post-projection tail ---------------------------------------------------
+
+Result<Table> ApplyProjectionTail(
+    const ProjectionBody& body, Table output,
+    const std::vector<const ValueList*>* source_rows, const Table* input,
+    const EvalContext& ctx) {
   if (body.distinct) {
     // ε after projection; source-row pairing is dropped (ORDER BY then
     // sees only the projected columns, as in Cypher).
     output = output.Deduplicated();
-    source_rows.assign(output.NumRows(), nullptr);
+    source_rows = nullptr;
   }
 
   // ORDER BY.
@@ -291,8 +348,9 @@ Result<Table> EvaluateProjection(const ProjectionBody& body,
       std::unique_ptr<RowEnvironment> in_env;
       std::unique_ptr<MergedRowEnvironment> merged;
       const Environment* env = &out_env;
-      if (i < source_rows.size() && source_rows[i] != nullptr) {
-        in_env = std::make_unique<RowEnvironment>(input, *source_rows[i]);
+      if (source_rows != nullptr && i < source_rows->size() &&
+          (*source_rows)[i] != nullptr && input != nullptr) {
+        in_env = std::make_unique<RowEnvironment>(*input, *(*source_rows)[i]);
         merged = std::make_unique<MergedRowEnvironment>(out_env, *in_env);
         env = merged.get();
       }
@@ -347,6 +405,59 @@ Result<Table> EvaluateProjection(const ProjectionBody& body,
   }
 
   return output;
+}
+
+// ---- EvaluateProjection -----------------------------------------------------
+
+Result<Table> EvaluateProjection(const ProjectionBody& body,
+                                 const Table& input, const EvalContext& ctx) {
+  if (ProjectionAggregates(body)) {
+    GQL_ASSIGN_OR_RETURN(AggregationState state,
+                         AggregationState::Plan(body, input.fields()));
+    GQL_RETURN_IF_ERROR(state.Accumulate(input, ctx));
+    GQL_ASSIGN_OR_RETURN(Table output, state.Finish(ctx));
+    return ApplyProjectionTail(body, std::move(output), nullptr, &input, ctx);
+  }
+
+  // Non-aggregating: map each row. `*` expands to all input fields (in
+  // order).
+  struct Item {
+    std::string name;
+    const Expr* expr = nullptr;  // null: copy the named input field
+  };
+  std::vector<Item> items;
+  if (body.star) {
+    for (const auto& f : input.fields()) items.push_back({f, nullptr});
+  }
+  for (const auto& item : body.items) {
+    items.push_back(
+        {item.alias ? *item.alias : DerivedColumnName(*item.expr),
+         item.expr.get()});
+  }
+  std::vector<std::string> out_fields;
+  for (const auto& it : items) out_fields.push_back(it.name);
+  Table output(out_fields);
+
+  // Track the input row that produced each output row (for ORDER BY on
+  // pre-projection variables).
+  std::vector<const ValueList*> source_rows;
+  for (const auto& row : input.rows()) {
+    RowEnvironment env(input, row);
+    ValueList out_row;
+    out_row.reserve(items.size());
+    for (const auto& it : items) {
+      if (it.expr == nullptr) {
+        out_row.push_back(row[input.FieldIndex(it.name)]);
+      } else {
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
+        out_row.push_back(std::move(v));
+      }
+    }
+    output.AddRow(std::move(out_row));
+    source_rows.push_back(&row);
+  }
+  return ApplyProjectionTail(body, std::move(output), &source_rows, &input,
+                             ctx);
 }
 
 }  // namespace gqlite

@@ -1,6 +1,10 @@
 #ifndef GQLITE_INTERP_PROJECTION_H_
 #define GQLITE_INTERP_PROJECTION_H_
 
+#include <memory>
+#include <string>
+#include <vector>
+
 #include "src/common/result.h"
 #include "src/frontend/ast.h"
 #include "src/interp/table.h"
@@ -24,6 +28,71 @@ namespace gqlite {
 /// may also reference the pre-projection variables (output shadows input).
 Result<Table> EvaluateProjection(const ast::ProjectionBody& body,
                                  const Table& input, const EvalContext& ctx);
+
+/// True if any projection item contains an aggregate function call (the
+/// body groups rather than maps).
+bool ProjectionAggregates(const ast::ProjectionBody& body);
+
+/// Grouping/aggregation state of one aggregating projection body — the
+/// machinery behind EvaluateProjection's aggregate path, exposed so the
+/// morsel-driven parallel runtime can aggregate per worker and merge.
+///
+/// Protocol: every partition Plan()s its own state against its input
+/// fields, Accumulate()s its share of the rows, and the merge stage folds
+/// the partials together with MergeFrom() *in partition (input) order* —
+/// that order makes collect(), DISTINCT first-occurrence, group output
+/// order and representative-row choice identical to a serial run over the
+/// concatenated input. Finish() then produces the grouped rows (one per
+/// group, plus the neutral row for empty keyless input), to be
+/// post-processed by ApplyProjectionTail.
+class AggregationState {
+ public:
+  static Result<AggregationState> Plan(
+      const ast::ProjectionBody& body,
+      const std::vector<std::string>& input_fields);
+
+  AggregationState(AggregationState&&) noexcept;
+  AggregationState& operator=(AggregationState&&) noexcept;
+  ~AggregationState();
+
+  /// A fresh (empty-groups) state sharing this state's plan — item
+  /// resolution and the rewritten aggregate expressions are immutable
+  /// and shared, so a worker plans once and forks per partition.
+  AggregationState Fork() const;
+
+  /// Folds every row of `input` into the group accumulators. The table's
+  /// columns must be positionally compatible with the fields this state
+  /// was planned against.
+  Status Accumulate(const Table& input, const EvalContext& ctx);
+
+  /// Absorbs a partial that accumulated a LATER partition of the input
+  /// (merge in partition order). `other` must be planned from the same
+  /// projection body; it is consumed.
+  Status MergeFrom(AggregationState&& other);
+
+  /// Produces the grouped output rows (group keys in first-occurrence
+  /// order). Terminal: the accumulators are consumed.
+  Result<Table> Finish(const EvalContext& ctx);
+
+  /// Output column names (one per projection item).
+  const std::vector<std::string>& out_fields() const;
+
+ private:
+  AggregationState();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// The shared post-projection pipeline: DISTINCT, ORDER BY, SKIP / LIMIT
+/// over already-projected rows. `source_rows` (optional, sized to
+/// `output`) pairs each output row with the input row that produced it so
+/// ORDER BY in non-aggregating projections can reference pre-projection
+/// variables (`input` supplies their fields); aggregated output passes
+/// nullptr.
+Result<Table> ApplyProjectionTail(
+    const ast::ProjectionBody& body, Table output,
+    const std::vector<const ValueList*>* source_rows, const Table* input,
+    const EvalContext& ctx);
 
 }  // namespace gqlite
 

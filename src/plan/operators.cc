@@ -1,5 +1,7 @@
 #include "src/plan/operators.h"
 
+#include <algorithm>
+
 #include "src/frontend/analyzer.h"
 #include "src/value/value_compare.h"
 
@@ -128,26 +130,31 @@ AllNodesScanOp::AllNodesScanOp(OperatorPtr child, const ExecContext* ctx,
   schema_ = Extend(child_->schema(), {var});
 }
 
+size_t AllNodesScanOp::ScanDomainSize() const {
+  return ctx_->graph->NumNodeSlots();
+}
+
 Status AllNodesScanOp::Open() {
   input_.Reset();
-  node_pos_ = 0;
+  node_pos_ = range_begin_;
   return child_->Open();
 }
 
 Result<bool> AllNodesScanOp::NextBatchImpl(RowBatch* out) {
   const PropertyGraph& g = *ctx_->graph;
+  const size_t end = std::min(range_end_, g.NumNodeSlots());
   while (!out->full()) {
     GQL_ASSIGN_OR_RETURN(const ValueList* in,
                          input_.Current(child_.get(), out->capacity()));
     if (in == nullptr) break;
-    while (node_pos_ < g.NumNodeSlots() && !out->full()) {
+    while (node_pos_ < end && !out->full()) {
       NodeId n{node_pos_++};
       if (!g.IsNodeAlive(n)) continue;
       out->AppendFrom(*in).push_back(Value::Node(n));
     }
-    if (node_pos_ >= g.NumNodeSlots()) {
+    if (node_pos_ >= end) {
       input_.Advance();
-      node_pos_ = 0;
+      node_pos_ = range_begin_;
     }
   }
   return !out->empty();
@@ -162,24 +169,29 @@ NodeByLabelScanOp::NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
   schema_ = Extend(child_->schema(), {var});
 }
 
+size_t NodeByLabelScanOp::ScanDomainSize() const {
+  return ctx_->graph->NodesWithLabel(label_).size();
+}
+
 Status NodeByLabelScanOp::Open() {
   input_.Reset();
-  idx_pos_ = 0;
+  idx_pos_ = range_begin_;
   return child_->Open();
 }
 
 Result<bool> NodeByLabelScanOp::NextBatchImpl(RowBatch* out) {
   const auto& idx = ctx_->graph->NodesWithLabel(label_);
+  const size_t end = std::min(range_end_, idx.size());
   while (!out->full()) {
     GQL_ASSIGN_OR_RETURN(const ValueList* in,
                          input_.Current(child_.get(), out->capacity()));
     if (in == nullptr) break;
-    while (idx_pos_ < idx.size() && !out->full()) {
+    while (idx_pos_ < end && !out->full()) {
       out->AppendFrom(*in).push_back(Value::Node(idx[idx_pos_++]));
     }
-    if (idx_pos_ >= idx.size()) {
+    if (idx_pos_ >= end) {
       input_.Advance();
-      idx_pos_ = 0;
+      idx_pos_ = range_begin_;
     }
   }
   return !out->empty();
@@ -717,10 +729,7 @@ ProjectionOp::ProjectionOp(OperatorPtr child, const ExecContext* ctx,
   child_ = std::move(child);
 }
 
-Status ProjectionOp::Open() {
-  GQL_RETURN_IF_ERROR(child_->Open());
-  GQL_ASSIGN_OR_RETURN(Table input,
-                       DrainPlan(child_.get(), ctx_->batch_size));
+Result<Table> ProjectionOp::ProjectTable(Table input) const {
   // `*` must not expose planner-hidden columns ('#...'): strip them before
   // delegating to the shared projection machinery.
   bool has_hidden = false;
@@ -745,17 +754,26 @@ Status ProjectionOp::Open() {
     }
     input = std::move(stripped);
   }
-  GQL_ASSIGN_OR_RETURN(result_, EvaluateProjection(*body_, input, ctx_->eval));
+  GQL_ASSIGN_OR_RETURN(Table result,
+                       EvaluateProjection(*body_, input, ctx_->eval));
   if (where_ != nullptr) {
-    Table filtered(result_.fields());
-    for (const auto& r : result_.rows()) {
-      RowEnvironment env(result_, r);
+    Table filtered(result.fields());
+    for (const auto& r : result.rows()) {
+      RowEnvironment env(result, r);
       GQL_ASSIGN_OR_RETURN(Tri keep,
                            EvaluatePredicate(*where_, env, ctx_->eval));
       if (keep == Tri::kTrue) filtered.AddRow(r);
     }
-    result_ = std::move(filtered);
+    result = std::move(filtered);
   }
+  return result;
+}
+
+Status ProjectionOp::Open() {
+  GQL_RETURN_IF_ERROR(child_->Open());
+  GQL_ASSIGN_OR_RETURN(Table input,
+                       DrainPlan(child_.get(), ctx_->batch_size));
+  GQL_ASSIGN_OR_RETURN(result_, ProjectTable(std::move(input)));
   pos_ = 0;
   return Status::OK();
 }
@@ -866,6 +884,18 @@ Result<bool> MatcherOp::NextBatchImpl(RowBatch* out) {
 }
 
 // ---- Helpers ----------------------------------------------------------------
+
+void Operator::AbsorbCounters(const Operator& other) {
+  rows_produced_ += other.rows_produced_;
+  batches_produced_ += other.batches_produced_;
+  std::vector<const Operator*> mine = children();
+  std::vector<const Operator*> theirs = other.children();
+  for (size_t i = 0; i < mine.size() && i < theirs.size(); ++i) {
+    // children() exposes const views for EXPLAIN; the counters being
+    // folded belong to this (mutable) tree.
+    const_cast<Operator*>(mine[i])->AbsorbCounters(*theirs[i]);
+  }
+}
 
 Result<Table> DrainPlan(Operator* root, size_t batch_size,
                         BatchStats* stats) {

@@ -96,6 +96,12 @@ class Operator {
   int64_t rows_produced() const { return rows_produced_; }
   int64_t batches_produced() const { return batches_produced_; }
 
+  /// Adds `other`'s counters into this tree, operator by operator — the
+  /// trees must be structurally identical (per-worker instances of the
+  /// same plan). PROFILE of a parallel run folds every worker's counters
+  /// into the printed tree.
+  void AbsorbCounters(const Operator& other);
+
  protected:
   Operator(std::unique_ptr<Operator> child, std::vector<std::string> schema)
       : child_(std::move(child)), schema_(std::move(schema)) {}
@@ -130,6 +136,20 @@ struct ExecContext {
   size_t batch_size = RowBatch::kDefaultCapacity;
 };
 
+/// Implemented by scan leaves whose domain (node slots, label-index
+/// entries) the parallel runtime can split into contiguous morsel ranges
+/// claimed by workers (src/exec/parallel.h). A range restriction applies
+/// from the next Open(); SetScanRange(0, SIZE_MAX) restores the full
+/// domain (the serial default).
+class PartitionedScan {
+ public:
+  virtual ~PartitionedScan() = default;
+  /// Current size of the scan domain (positions, not live entries).
+  virtual size_t ScanDomainSize() const = 0;
+  /// Restricts the scan to domain positions [begin, end).
+  virtual void SetScanRange(size_t begin, size_t end) = 0;
+};
+
 /// Leaf: emits the rows of a driving table (the argument of an Apply, or
 /// the unit table at the top of a query). When bound to a single row
 /// (Apply-style correlation) it produces a one-row batch — the thin
@@ -138,6 +158,10 @@ class ArgumentOp : public Operator {
  public:
   ArgumentOp(std::vector<std::string> schema, const Table* source)
       : Operator(nullptr, std::move(schema)), source_(source) {}
+  /// True when this leaf replays a fixed table (the unit table at the top
+  /// of a pipeline) rather than an Apply-bound row — the anchor the
+  /// parallel-safety analysis looks for.
+  bool has_table_source() const { return source_ != nullptr; }
   /// Rebinds to a single row (Apply-style correlation).
   void BindRow(const ValueList* row) { single_row_ = row; }
   Status Open() override {
@@ -155,24 +179,31 @@ class ArgumentOp : public Operator {
   bool done_single_ = false;
 };
 
-/// Scans all live nodes, binding `var`.
-class AllNodesScanOp : public Operator {
+/// Scans all live nodes, binding `var`. Domain = node slot space.
+class AllNodesScanOp : public Operator, public PartitionedScan {
  public:
   AllNodesScanOp(OperatorPtr child, const ExecContext* ctx, std::string var);
   Status Open() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override { return "AllNodesScan(" + var_ + ")"; }
+  size_t ScanDomainSize() const override;
+  void SetScanRange(size_t begin, size_t end) override {
+    range_begin_ = begin;
+    range_end_ = end;
+  }
 
  private:
   const ExecContext* ctx_;
   std::string var_;
   BatchCursor input_;
   size_t node_pos_ = 0;
+  size_t range_begin_ = 0;
+  size_t range_end_ = SIZE_MAX;
 };
 
 /// Scans the label index, binding `var` (the planner's preferred access
-/// path when the pattern constrains the label).
-class NodeByLabelScanOp : public Operator {
+/// path when the pattern constrains the label). Domain = index entries.
+class NodeByLabelScanOp : public Operator, public PartitionedScan {
  public:
   NodeByLabelScanOp(OperatorPtr child, const ExecContext* ctx,
                     std::string var, std::string label);
@@ -181,6 +212,11 @@ class NodeByLabelScanOp : public Operator {
   std::string Describe() const override {
     return "NodeByLabelScan(" + var_ + ":" + label_ + ")";
   }
+  size_t ScanDomainSize() const override;
+  void SetScanRange(size_t begin, size_t end) override {
+    range_begin_ = begin;
+    range_end_ = end;
+  }
 
  private:
   const ExecContext* ctx_;
@@ -188,6 +224,8 @@ class NodeByLabelScanOp : public Operator {
   std::string label_;
   BatchCursor input_;
   size_t idx_pos_ = 0;
+  size_t range_begin_ = 0;
+  size_t range_end_ = SIZE_MAX;
 };
 
 /// Common configuration of the expand family: traverse one relationship
@@ -349,6 +387,9 @@ class ApplyOp : public Operator {
     out.push_back(inner_.get());
     return out;
   }
+  /// Correlated inner pipeline / OPTIONAL flag (parallel-safety analysis).
+  Operator* inner() const { return inner_.get(); }
+  bool optional() const { return optional_; }
 
  private:
   OperatorPtr inner_;
@@ -392,6 +433,18 @@ class ProjectionOp : public Operator {
   Status Open() override;
   Result<bool> NextBatchImpl(RowBatch* out) override;
   std::string Describe() const override;
+
+  /// Applies this operator's projection (hidden-column stripping for `*`,
+  /// EvaluateProjection, the WITH ... WHERE filter) to an
+  /// already-materialized input — the same transformation Open() applies
+  /// to the drained child. The parallel runtime merges per-worker rows
+  /// and runs this once, serially, as the pipeline-breaker barrier that
+  /// keeps ORDER BY / DISTINCT / SKIP / LIMIT deterministic.
+  Result<Table> ProjectTable(Table input) const;
+
+  const ast::ProjectionBody* body() const { return body_; }
+  const ast::Expr* where() const { return where_; }
+  const ExecContext* exec_context() const { return ctx_; }
 
  private:
   const ExecContext* ctx_;

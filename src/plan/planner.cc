@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "src/exec/parallel.h"
 #include "src/frontend/analyzer.h"
 #include "src/plan/logical_plan.h"
 
@@ -59,11 +60,48 @@ ExecContext* Planner::MakeContext(Plan* plan, GraphPtr graph) {
   return plan->contexts.back().get();
 }
 
+Status Planner::BuildParallelInstances(const Query& q, Plan* plan) {
+  if (options_.num_threads <= 1) return Status::OK();
+  ParallelCandidate first = AnalyzeParallelCandidate(plan->root.get());
+  if (!first.ok) {
+    plan->parallel.reason = std::move(first.reason);
+    return Status::OK();
+  }
+  if (QueryCallsNondeterministicFunction(q)) {
+    plan->parallel.reason = "rand() requires the serial runtime";
+    return Status::OK();
+  }
+  plan->parallel.projections.push_back(first.projection);
+  plan->parallel.scans.push_back(first.scan);
+  // One structurally identical pipeline instance per extra worker —
+  // operators are stateful single-use pipelines, so workers cannot share
+  // them. Planning is deterministic over an unchanged graph; only the
+  // fresh-column counter differs (hidden '#' names), which the merge
+  // concatenates positionally.
+  for (size_t i = 1; i < options_.num_threads; ++i) {
+    GQL_ASSIGN_OR_RETURN(OperatorPtr instance, PlanSingle(q.parts[0], plan));
+    ParallelCandidate c = AnalyzeParallelCandidate(instance.get());
+    if (!c.ok) {
+      return Status::Internal("parallel instance diverged from the plan: " +
+                              c.reason);
+    }
+    plan->parallel.projections.push_back(c.projection);
+    plan->parallel.scans.push_back(c.scan);
+    plan->extra_roots.push_back(std::move(instance));
+  }
+  plan->parallel.safe = true;
+  return Status::OK();
+}
+
 Result<Plan> Planner::PlanQuery(const Query& q) {
   Plan plan;
   if (q.parts.size() == 1) {
     GQL_ASSIGN_OR_RETURN(plan.root, PlanSingle(q.parts[0], &plan));
+    GQL_RETURN_IF_ERROR(BuildParallelInstances(q, &plan));
     return plan;
+  }
+  if (options_.num_threads > 1) {
+    plan.parallel.reason = "UNION materializes whole sub-plans";
   }
   std::vector<OperatorPtr> parts;
   for (const auto& part : q.parts) {

@@ -30,7 +30,27 @@ struct PlannerOptions {
   /// Copied into each plan's ExecContext for pipeline breakers and used
   /// by RunPlanned/ExecutePlan for the root drain.
   size_t batch_size = RowBatch::kDefaultCapacity;
+  /// Worker count for morsel-driven parallel execution (src/exec/). With
+  /// num_threads > 1 the planner builds one pipeline instance per worker
+  /// for parallel-safe plans; 1 keeps today's serial path.
+  size_t num_threads = 1;
   MatchOptions match;
+};
+
+/// Parallel-execution metadata of a compiled plan (filled by the planner
+/// when PlannerOptions::num_threads > 1; see src/exec/parallel.h for the
+/// execution model and the safety rules).
+struct ParallelPlanInfo {
+  /// True when worker instances were built and the plan may run on the
+  /// morsel-driven parallel runtime.
+  bool safe = false;
+  /// Why the plan stays serial (surfaced by EXPLAIN); empty when safe.
+  std::string reason;
+  /// Per worker instance (instance 0 is Plan::root, instance i > 0 is
+  /// extra_roots[i-1]): the merge-stage root projection and the
+  /// morsel-partitioned driving scan of that instance's pipeline.
+  std::vector<ProjectionOp*> projections;
+  std::vector<PartitionedScan*> scans;
 };
 
 /// A compiled physical plan plus everything it borrows (execution
@@ -38,6 +58,11 @@ struct PlannerOptions {
 /// outlive the plan.
 struct Plan {
   OperatorPtr root;
+  /// Additional per-worker pipeline instances (parallel execution only):
+  /// structurally identical trees planned from the same AST — operators
+  /// are stateful single-use pipelines, so each worker needs its own.
+  std::vector<OperatorPtr> extra_roots;
+  ParallelPlanInfo parallel;
   std::vector<std::unique_ptr<ExecContext>> contexts;
   std::vector<ast::ExprPtr> synthesized;
 };
@@ -62,6 +87,9 @@ class Planner {
   struct PipelineState;
 
   Result<OperatorPtr> PlanSingle(const ast::SingleQuery& q, Plan* plan);
+  /// Analyzes `plan` for parallel safety and, when safe, plans the
+  /// num_threads - 1 extra worker instances (no-op at num_threads <= 1).
+  Status BuildParallelInstances(const ast::Query& q, Plan* plan);
   Result<OperatorPtr> PlanMatch(const ast::MatchClause& m, OperatorPtr input,
                                 Plan* plan, ExecContext* ctx);
   Status PlanChain(const ast::PathPattern& path, PipelineState* state,

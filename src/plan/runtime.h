@@ -7,6 +7,9 @@
 
 namespace gqlite {
 
+class WorkerPool;
+struct ParallelRunStats;
+
 /// Executes a compiled plan: Open the root and drain it morsel by morsel
 /// into a table. The runtime is batched ("morsel-at-a-time") Volcano
 /// iteration: operators keep the pull-based tree of §2's "Neo4j
@@ -22,23 +25,42 @@ Result<Table> ExecutePlan(Plan* plan,
 
 /// Resolves the effective morsel capacity for `configured`: applies the
 /// GQLITE_BATCH_SIZE environment override (how CI drives every executor
-/// at batch size 1) and clamps to [1, 2^20] — a morsel bounds the
-/// per-batch working set (batch buffers, pending var-length expansions),
-/// and batching gains nothing past cache sizes. Every entry point that
-/// builds execution options (CypherEngine, test harnesses that call
-/// RunPlanned directly) must route its batch size through this so the
-/// override means the same thing everywhere.
-size_t EffectiveBatchSize(size_t configured);
+/// at batch size 1) and clamps the programmatic value to [1, 2^20] — a
+/// morsel bounds the per-batch working set (batch buffers, pending
+/// var-length expansions), and batching gains nothing past cache sizes.
+/// A garbage override (non-numeric, non-positive, overflowing, or above
+/// the cap) is an InvalidArgument error naming the variable — NOT a
+/// silent clamp; CI relying on the override must learn when it is
+/// ineffective. Every entry point that builds execution options
+/// (CypherEngine, test harnesses that call RunPlanned directly) must
+/// route its batch size through this so the override means the same
+/// thing everywhere.
+Result<size_t> EffectiveBatchSize(size_t configured);
+
+/// Same contract for the worker count of the morsel-driven parallel
+/// runtime: applies the GQLITE_THREADS environment override (how the
+/// TSan CI leg drives every engine at 4 workers), clamps the
+/// programmatic value to [1, 256], and rejects garbage overrides with a
+/// clear error instead of silently clamping.
+Result<size_t> EffectiveNumThreads(size_t configured);
 
 /// Plans and executes a read-only query in one call (morsel size from
-/// `options.batch_size`).
+/// `options.batch_size`). With `options.num_threads > 1` AND a non-null
+/// `pool`, parallel-safe plans run on the morsel-driven parallel runtime
+/// (src/exec/parallel.h); everything else takes the serial drain.
+/// `pstats` (optional) reports workers/morsels when the parallel path
+/// ran.
 Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
                          uint64_t* rand_state, const ast::Query& q,
-                         BatchStats* stats = nullptr);
+                         BatchStats* stats = nullptr,
+                         WorkerPool* pool = nullptr,
+                         ParallelRunStats* pstats = nullptr);
 
 /// Plans a query and renders the operator tree (EXPLAIN), headed by the
-/// execution model line (batched runtime + morsel size).
+/// execution model line (batched runtime + morsel size) and — when
+/// `options.num_threads > 1` — whether the plan runs on the parallel
+/// runtime or why it stays serial.
 Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
                                  const ValueMap* params,
                                  const PlannerOptions& options,

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <optional>
+#include <string>
+
 #include "src/core/engine.h"
 #include "src/workload/generators.h"
 #include "src/workload/paper_graphs.h"
@@ -320,6 +324,108 @@ TEST(Engine, RandIsDeterministicPerSeed) {
   ASSERT_TRUE(rb.ok());
   EXPECT_DOUBLE_EQ(ra->table.rows()[0][0].AsFloat(),
                    rb->table.rows()[0][0].AsFloat());
+}
+
+// ---- Environment override parsing ------------------------------------------
+// GQLITE_BATCH_SIZE / GQLITE_THREADS drive whole CI legs; a garbage value
+// silently clamped would mean the leg stops testing what it claims to.
+// The engine must reject garbage with a clear error naming the variable.
+
+/// Sets (or, with nullptr, unsets) an environment variable for the
+/// duration of one test and restores the previous value after (the rest
+/// of the suite must not see the garbage).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = getenv(name);
+    if (old != nullptr) saved_ = old;
+    if (value != nullptr) {
+      setenv(name, value, /*overwrite=*/1);
+    } else {
+      unsetenv(name);
+    }
+  }
+  ~ScopedEnv() {
+    if (saved_.has_value()) {
+      setenv(name_, saved_->c_str(), 1);
+    } else {
+      unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(EngineEnv, GarbageBatchSizeIsAClearErrorNotAClamp) {
+  // (An EMPTY value is treated as unset, per the usual env-var custom.)
+  for (const char* garbage :
+       {"abc", "12abc", " 8", "-3", "0", "99999999999999999999999",
+        "1048577" /* above the 2^20 cap */}) {
+    ScopedEnv env("GQLITE_BATCH_SIZE", garbage);
+    CypherEngine engine;
+    auto r = engine.Execute("RETURN 1 AS one");
+    ASSERT_FALSE(r.ok()) << "accepted GQLITE_BATCH_SIZE=" << garbage;
+    EXPECT_NE(r.status().ToString().find("GQLITE_BATCH_SIZE"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(EngineEnv, GarbageThreadsIsAClearErrorNotAClamp) {
+  for (const char* garbage :
+       {"four", "2x", "-1", "0", "12345678901234567890", "257"}) {
+    ScopedEnv env("GQLITE_THREADS", garbage);
+    CypherEngine engine;
+    auto r = engine.Execute("RETURN 1 AS one");
+    ASSERT_FALSE(r.ok()) << "accepted GQLITE_THREADS=" << garbage;
+    EXPECT_NE(r.status().ToString().find("GQLITE_THREADS"),
+              std::string::npos)
+        << r.status().ToString();
+  }
+}
+
+TEST(EngineEnv, ValidOverridesApply) {
+  {
+    ScopedEnv env("GQLITE_BATCH_SIZE", "7");
+    CypherEngine engine;
+    EXPECT_EQ(engine.options().batch_size, 7u);
+    EXPECT_TRUE(engine.Execute("RETURN 1 AS one").ok());
+  }
+  {
+    ScopedEnv env("GQLITE_THREADS", "2");
+    EngineOptions opts;
+    opts.num_threads = 1;  // the override wins over the programmatic value
+    CypherEngine engine(opts);
+    EXPECT_EQ(engine.options().num_threads, 2u);
+    EXPECT_TRUE(engine.Execute("RETURN 1 AS one").ok());
+  }
+}
+
+TEST(EngineEnv, GarbageSurfacesFromPrepareToo) {
+  ScopedEnv env("GQLITE_THREADS", "lots");
+  CypherEngine engine;
+  auto prepared = engine.Prepare("MATCH (n) RETURN n");
+  EXPECT_FALSE(prepared.ok());
+  // set_options re-parses: fixing the environment mid-life is possible.
+  EXPECT_FALSE(engine.Execute("RETURN 1 AS one").ok());
+}
+
+TEST(EngineEnv, ProgrammaticValuesStillClampQuietly) {
+  // Only the ENVIRONMENT is held to strict parsing; EngineOptions set in
+  // code keep the forgiving clamp (0 means "default", not an error).
+  // CI legs export these variables suite-wide; this test is about their
+  // absence.
+  ScopedEnv no_batch("GQLITE_BATCH_SIZE", nullptr);
+  ScopedEnv no_threads("GQLITE_THREADS", nullptr);
+  EngineOptions opts;
+  opts.batch_size = 0;
+  opts.num_threads = 0;
+  CypherEngine engine(opts);
+  EXPECT_EQ(engine.options().batch_size, 1u);
+  EXPECT_EQ(engine.options().num_threads, 1u);
+  EXPECT_TRUE(engine.Execute("RETURN 1 AS one").ok());
 }
 
 }  // namespace

@@ -1,0 +1,423 @@
+// Unit tests for the morsel-driven parallel runtime (src/exec/): the
+// worker pool, the morsel dispatcher, partitioned scans, the
+// parallel-aggregation merge (AggregationState + Aggregator partials),
+// and the engine-level plumbing (num_threads, EXPLAIN/PROFILE surface,
+// serial fallbacks for unsafe plans). The end-to-end equivalence sweep
+// lives in test_differential.cc; the TCK parallel leg in test_tck.cc.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <limits>
+#include <set>
+
+#include "src/core/engine.h"
+#include "src/exec/parallel.h"
+#include "src/exec/worker_pool.h"
+#include "src/frontend/parser.h"
+#include "src/interp/projection.h"
+#include "src/plan/runtime.h"
+#include "src/workload/generators.h"
+
+namespace gqlite {
+namespace {
+
+// ---- WorkerPool -------------------------------------------------------------
+
+TEST(WorkerPool, RunsCallerAndPoolThreads) {
+  WorkerPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+  std::atomic<int> ran{0};
+  std::set<size_t> indices;
+  std::mutex mu;
+  ASSERT_TRUE(pool
+                  .RunOnAll([&](size_t w) {
+                    ran.fetch_add(1);
+                    std::lock_guard<std::mutex> lock(mu);
+                    indices.insert(w);
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(ran.load(), 4);  // 3 pool threads + the calling thread
+  EXPECT_EQ(indices, (std::set<size_t>{0, 1, 2, 3}));
+}
+
+TEST(WorkerPool, ReportsLowestIndexedFailure) {
+  WorkerPool pool(3);
+  Status st = pool.RunOnAll([&](size_t w) {
+    if (w >= 2) {
+      return Status::EvaluationError("worker " + std::to_string(w));
+    }
+    return Status::OK();
+  });
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("worker 2"), std::string::npos);
+}
+
+TEST(WorkerPool, ReusableAcrossJobs) {
+  WorkerPool pool(2);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<int> ran{0};
+    ASSERT_TRUE(pool
+                    .RunOnAll([&](size_t) {
+                      ran.fetch_add(1);
+                      return Status::OK();
+                    })
+                    .ok());
+    ASSERT_EQ(ran.load(), 3);
+  }
+}
+
+TEST(WorkerPool, ZeroThreadsRunsOnCaller) {
+  WorkerPool pool(0);
+  int ran = 0;
+  ASSERT_TRUE(pool
+                  .RunOnAll([&](size_t w) {
+                    EXPECT_EQ(w, 0u);
+                    ++ran;
+                    return Status::OK();
+                  })
+                  .ok());
+  EXPECT_EQ(ran, 1);
+}
+
+// ---- MorselDispatcher -------------------------------------------------------
+
+TEST(MorselDispatcher, CoversDomainWithoutOverlap) {
+  MorselDispatcher d(100, 16);
+  EXPECT_EQ(d.num_morsels(), 7u);  // ceil(100/16)
+  std::vector<bool> seen(100, false);
+  ScanMorsel m;
+  size_t last_index = 0;
+  size_t count = 0;
+  while (d.Next(&m)) {
+    EXPECT_EQ(m.index, count) << "claims arrive in range order";
+    last_index = m.index;
+    for (size_t i = m.begin; i < m.end; ++i) {
+      EXPECT_FALSE(seen[i]) << "position " << i << " claimed twice";
+      seen[i] = true;
+    }
+    ++count;
+  }
+  (void)last_index;
+  EXPECT_EQ(count, 7u);
+  for (size_t i = 0; i < 100; ++i) EXPECT_TRUE(seen[i]);
+}
+
+TEST(MorselDispatcher, EmptyDomain) {
+  MorselDispatcher d(0, 16);
+  EXPECT_EQ(d.num_morsels(), 0u);
+  ScanMorsel m;
+  EXPECT_FALSE(d.Next(&m));
+}
+
+TEST(MorselDispatcher, ChunkScalesWithDomainAndFloors) {
+  EXPECT_EQ(MorselChunk(10, 4), 16u);     // floor wins on tiny domains
+  EXPECT_EQ(MorselChunk(3200, 4), 100u);  // ~8 morsels per worker
+  EXPECT_GE(MorselChunk(1u << 20, 4), (1u << 20) / 32);
+}
+
+// ---- AggregationState: parallel-aggregation merge ---------------------------
+
+/// Parses `RETURN ...` and hands back the projection body.
+class BodyFixture {
+ public:
+  explicit BodyFixture(const std::string& ret) {
+    auto q = ParseQuery(ret);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    query_ = std::move(q).value();
+  }
+  const ast::ProjectionBody& body() const {
+    return static_cast<const ast::ReturnClause&>(
+               *query_.parts[0].clauses.back())
+        .body;
+  }
+
+ private:
+  ast::Query query_;
+};
+
+Table IntTable(std::vector<std::string> fields,
+               std::vector<std::vector<int64_t>> rows) {
+  Table t(std::move(fields));
+  for (const auto& r : rows) {
+    ValueList row;
+    for (int64_t v : r) row.push_back(Value::Int(v));
+    t.AddRow(std::move(row));
+  }
+  return t;
+}
+
+/// Accumulates `input` split into `partitions` separate states merged in
+/// order, and returns the finished rows.
+Result<Table> MergePartitions(const ast::ProjectionBody& body,
+                              const Table& input,
+                              const std::vector<size_t>& splits) {
+  EvalContext ctx;
+  std::vector<AggregationState> states;
+  size_t row = 0;
+  for (size_t len : splits) {
+    GQL_ASSIGN_OR_RETURN(AggregationState st,
+                         AggregationState::Plan(body, input.fields()));
+    Table part(input.fields());
+    for (size_t i = 0; i < len && row < input.NumRows(); ++i, ++row) {
+      part.AddRow(input.rows()[row]);
+    }
+    GQL_RETURN_IF_ERROR(st.Accumulate(part, ctx));
+    states.push_back(std::move(st));
+  }
+  AggregationState merged = std::move(states[0]);
+  for (size_t i = 1; i < states.size(); ++i) {
+    GQL_RETURN_IF_ERROR(merged.MergeFrom(std::move(states[i])));
+  }
+  return merged.Finish(ctx);
+}
+
+TEST(AggregationMerge, MatchesSerialAcrossPartitionings) {
+  BodyFixture fx(
+      "RETURN x AS x, count(*) AS c, sum(y) AS s, min(y) AS mn, "
+      "max(y) AS mx, avg(y) AS av, collect(y) AS ys, "
+      "count(DISTINCT y) AS d");
+  Table input = IntTable({"x", "y"}, {{1, 10},
+                                      {2, 20},
+                                      {1, 30},
+                                      {2, 20},
+                                      {1, 10},
+                                      {3, 5},
+                                      {1, 40}});
+  EvalContext ctx;
+  auto serial = EvaluateProjection(fx.body(), input, ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  // Every partitioning must reproduce the serial result byte for byte:
+  // group order (first occurrence), collect order, DISTINCT dedup.
+  for (const std::vector<size_t>& splits :
+       std::vector<std::vector<size_t>>{{7},
+                                        {1, 1, 1, 1, 1, 1, 1},  // one-row
+                                        {3, 4},
+                                        {2, 0, 5},     // empty middle morsel
+                                        {0, 7, 0}}) {  // empty edge morsels
+    auto merged = MergePartitions(fx.body(), input, splits);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(serial->ToString(), merged->ToString());
+  }
+}
+
+TEST(AggregationMerge, EmptyMorselsProduceTheNeutralRow) {
+  BodyFixture fx(
+      "RETURN count(*) AS c, sum(y) AS s, avg(y) AS a, collect(y) AS ys, "
+      "min(y) AS mn");
+  Table input = IntTable({"y"}, {});
+  auto merged = MergePartitions(fx.body(), input, {0, 0, 0});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->NumRows(), 1u);
+  EXPECT_EQ(merged->rows()[0][0].ToString(), "0");     // count
+  EXPECT_EQ(merged->rows()[0][1].ToString(), "0");     // sum
+  EXPECT_EQ(merged->rows()[0][2].ToString(), "null");  // avg
+  EXPECT_EQ(merged->rows()[0][3].ToString(), "[]");    // collect
+  EXPECT_EQ(merged->rows()[0][4].ToString(), "null");  // min
+}
+
+TEST(AggregationMerge, SumOverflowInMergeRaisesEvaluationError) {
+  BodyFixture fx("RETURN sum(y) AS s");
+  constexpr int64_t kBig = std::numeric_limits<int64_t>::max() - 1;
+  Table input = IntTable({"y"}, {{kBig}, {kBig}});
+  // Each one-row partition sums fine; combining the partial sums is the
+  // overflow — the merge must raise exactly like serial accumulation
+  // would, not wrap.
+  auto merged = MergePartitions(fx.body(), input, {1, 1});
+  ASSERT_FALSE(merged.ok());
+  EXPECT_NE(merged.status().ToString().find("overflow"), std::string::npos)
+      << merged.status().ToString();
+}
+
+TEST(AggregationMerge, AvgStaysExactOverIntegerPartitions) {
+  BodyFixture fx("RETURN avg(y) AS a");
+  // 2^53 + 2 and 2: the float path would round the sum; the int path
+  // must keep the mean exact ((2^53 + 4) / 2 = 2^52 + 2).
+  Table input(std::vector<std::string>{"y"});
+  ValueList r1, r2;
+  r1.push_back(Value::Int((int64_t{1} << 53) + 2));
+  r2.push_back(Value::Int(2));
+  input.AddRow(std::move(r1));
+  input.AddRow(std::move(r2));
+  auto merged = MergePartitions(fx.body(), input, {1, 1});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->rows()[0][0].AsFloat(),
+            static_cast<double>((int64_t{1} << 52) + 2));
+}
+
+TEST(AggregationMerge, DistinctCollectKeepsFirstOccurrenceOrder) {
+  BodyFixture fx("RETURN collect(DISTINCT y) AS ys");
+  Table input = IntTable({"y"}, {{3}, {1}, {3}, {2}, {1}, {4}});
+  for (const std::vector<size_t>& splits :
+       std::vector<std::vector<size_t>>{{6}, {2, 2, 2}, {1, 5}}) {
+    auto merged = MergePartitions(fx.body(), input, splits);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(merged->rows()[0][0].ToString(), "[3, 1, 2, 4]");
+  }
+}
+
+// ---- Engine-level parallel execution ---------------------------------------
+
+GraphPtr TestGraph() {
+  static GraphPtr g = workload::MakeRandomGraph(120, 300, 99);
+  return g;
+}
+
+CypherEngine ParallelEngine(size_t threads) {
+  EngineOptions opts;
+  opts.num_threads = threads;
+  CypherEngine engine(opts);
+  engine.set_default_graph(TestGraph());
+  return engine;
+}
+
+TEST(ParallelEngine, MatchesSerialVolcano) {
+  if (!EffectiveNumThreads(4).ok() || *EffectiveNumThreads(4) != 4u) {
+    GTEST_SKIP() << "GQLITE_THREADS overrides this test's thread count";
+  }
+  CypherEngine serial = ParallelEngine(1);
+  CypherEngine par = ParallelEngine(4);
+  for (const char* q : {
+           "MATCH (n) RETURN count(*) AS c",
+           "MATCH (a:A)-[:T]->(b) RETURN count(*) AS c, sum(a.v) AS s",
+           "MATCH (a)-[:T]->(b) WHERE a.v > b.v RETURN a.v AS x, b.v AS y "
+           "ORDER BY x, y",
+           "MATCH (a)-[:T]->(b)-[:T]->(c) RETURN b.v AS g, count(*) AS c "
+           "ORDER BY g",
+       }) {
+    auto want = serial.Execute(q);
+    auto got = par.Execute(q);
+    ASSERT_TRUE(want.ok()) << q << ": " << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+    EXPECT_TRUE(want->table.SameBag(got->table)) << q;
+    // ORDER BY results must be byte-identical, not just bag-identical.
+    if (std::string(q).find("ORDER BY") != std::string::npos) {
+      EXPECT_EQ(want->table.ToString(), got->table.ToString()) << q;
+    }
+  }
+  EXPECT_GE(par.parallel_stats().queries, 4u);
+  EXPECT_GT(par.parallel_stats().morsels, 0u);
+}
+
+TEST(ParallelEngine, ExplainSurfacesWorkersAndSerialReasons) {
+  CypherEngine par = ParallelEngine(4);
+  // GQLITE_THREADS (the sanitizer CI legs) overrides the requested 4; the
+  // reason strings below only print for a parallel-capable engine.
+  size_t effective = par.options().num_threads;
+  if (effective <= 1) {
+    GTEST_SKIP() << "GQLITE_THREADS forces serial execution";
+  }
+  auto ex = par.Explain("MATCH (n) RETURN count(*) AS c");
+  ASSERT_TRUE(ex.ok());
+  EXPECT_NE(ex->find("Parallel: " + std::to_string(effective) + " workers"),
+            std::string::npos)
+      << *ex;
+
+  // Serial fallbacks name their reason.
+  struct Case {
+    const char* query;
+    const char* reason;
+  };
+  for (const Case& c : std::vector<Case>{
+           {"MATCH (n) RETURN n.v AS v UNION MATCH (m) RETURN m.v AS v",
+            "UNION"},
+           {"MATCH (n) WHERE rand() < 2 RETURN count(*) AS c", "rand()"},
+           {"MATCH (n) WITH n.v AS v ORDER BY v RETURN count(*) AS c",
+            "ORDER BY"},
+           {"MATCH (n) WITH DISTINCT n.v AS v RETURN count(*) AS c",
+            "DISTINCT"},
+           {"OPTIONAL MATCH (n:NoSuchLabel) RETURN count(*) AS c",
+            "OPTIONAL MATCH"},
+           {"RETURN 1 AS one", "no MATCH drives the plan"},
+       }) {
+    auto plan = par.Explain(c.query);
+    ASSERT_TRUE(plan.ok()) << c.query << ": " << plan.status().ToString();
+    EXPECT_NE(plan->find("Parallel: serial"), std::string::npos)
+        << c.query << "\n" << *plan;
+    EXPECT_NE(plan->find(c.reason), std::string::npos)
+        << c.query << "\n" << *plan;
+    // ... and the fallback must still compute the right answer.
+    auto r = par.Execute(c.query);
+    EXPECT_TRUE(r.ok()) << c.query << ": " << r.status().ToString();
+  }
+}
+
+TEST(ParallelEngine, SerialFallbacksMatchInterpreter) {
+  EngineOptions iopts;
+  iopts.mode = ExecutionMode::kInterpreter;
+  CypherEngine interp(iopts);
+  interp.set_default_graph(TestGraph());
+  CypherEngine par = ParallelEngine(3);
+  for (const char* q : {
+           "MATCH (n:A) RETURN n.v AS v UNION MATCH (m:B) RETURN m.v AS v",
+           "MATCH (n) WITH n.v AS v ORDER BY v LIMIT 5 RETURN v",
+           "OPTIONAL MATCH (n:NoSuchLabel) RETURN n AS n",
+           "MATCH (a) WITH a.v AS v, count(*) AS c RETURN v, c ORDER BY v",
+       }) {
+    auto want = interp.Execute(q);
+    auto got = par.Execute(q);
+    ASSERT_TRUE(want.ok()) << q << ": " << want.status().ToString();
+    ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+    EXPECT_TRUE(want->table.SameBag(got->table))
+        << q << "\ninterpreter:\n" << want->table.ToString()
+        << "parallel engine:\n" << got->table.ToString();
+  }
+}
+
+TEST(ParallelEngine, ProfileReportsWorkersAndMorsels) {
+  CypherEngine par = ParallelEngine(2);
+  if (par.options().num_threads <= 1) {
+    GTEST_SKIP() << "GQLITE_THREADS forces serial execution";
+  }
+  auto prof = par.Profile("MATCH (a)-[:T]->(b) RETURN count(*) AS c");
+  ASSERT_TRUE(prof.ok()) << prof.status().ToString();
+  EXPECT_NE(prof->find("workers"), std::string::npos) << *prof;
+  EXPECT_NE(prof->find("morsels dispatched"), std::string::npos) << *prof;
+}
+
+TEST(ParallelEngine, CachedParallelPlansReplanAfterGraphMutation) {
+  EngineOptions opts;
+  opts.num_threads = 2;
+  CypherEngine engine(opts);
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(engine.Execute("CREATE (:P {v: " + std::to_string(i) + "})")
+                    .ok());
+  }
+  const char* q = "MATCH (n:P) RETURN count(*) AS c";
+  auto first = engine.Execute(q);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->table.rows()[0][0].AsInt(), 40);
+  // Structural change bumps stats_version: the cached plan (and its
+  // baked-in worker instances with their scan-domain assumptions) must
+  // not be reused.
+  ASSERT_TRUE(engine.Execute("CREATE (:P {v: 100}), (:P {v: 101})").ok());
+  auto second = engine.Execute(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->table.rows()[0][0].AsInt(), 42);
+}
+
+TEST(ParallelEngine, PlanCacheKeySeparatesThreadCounts) {
+  if (!EffectiveNumThreads(2).ok() || *EffectiveNumThreads(2) != 2u) {
+    GTEST_SKIP() << "GQLITE_THREADS overrides this test's thread count";
+  }
+  CypherEngine engine = ParallelEngine(2);
+  const char* q = "MATCH (n) RETURN count(*) AS c";
+  auto first = engine.Execute(q);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Execute(q);
+  ASSERT_TRUE(second.ok());
+  EXPECT_GE(engine.plan_cache_stats().hits, 1u);
+  EXPECT_TRUE(first->table.SameBag(second->table));
+  // Re-keying through set_options: a different worker count must not
+  // reuse the 2-thread plan (its baked-in instances are wrong).
+  EngineOptions opts = engine.options();
+  opts.num_threads = 1;
+  engine.set_options(opts);
+  auto serial = engine.Execute(q);
+  ASSERT_TRUE(serial.ok());
+  EXPECT_TRUE(first->table.SameBag(serial->table));
+}
+
+}  // namespace
+}  // namespace gqlite

@@ -91,7 +91,7 @@ Result<Table> RunVolcano(GraphPtr graph, const std::string& query,
   // This harness drives RunPlanned below CypherEngine, so it must honor
   // the CI morsel-size override itself (the batch-size-1 sanitizer leg
   // relies on this corpus walking the batch-boundary resume paths).
-  opts.batch_size = EffectiveBatchSize(opts.batch_size);
+  GQL_ASSIGN_OR_RETURN(opts.batch_size, EffectiveBatchSize(opts.batch_size));
   // Keep the ast::Query alive through execution: RunPlanned takes it by
   // reference and finishes before returning.
   return RunPlanned(&catalog, graph, &params, opts, &rand_state, q);
@@ -171,7 +171,9 @@ TEST(ParityMorphism, ModesAgreeAcrossEngines) {
     ValueMap params;
     PlannerOptions opts;
     opts.match = mo;
-    opts.batch_size = EffectiveBatchSize(opts.batch_size);
+    auto batch = EffectiveBatchSize(opts.batch_size);
+    ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+    opts.batch_size = *batch;
     auto planned =
         RunPlanned(&catalog, g, &params, opts, &rand_state, query);
     ASSERT_TRUE(planned.ok());

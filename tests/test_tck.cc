@@ -708,7 +708,8 @@ class TckBatchTest : public ::testing::TestWithParam<size_t> {};
 TEST_P(TckBatchTest, BatchedRuntimeMatchesInterpreter) {
   // GQLITE_BATCH_SIZE overrides every engine's morsel size, which would
   // silently turn this leg into a duplicate of the override's size.
-  if (EffectiveBatchSize(GetParam()) != GetParam()) {
+  auto effective = EffectiveBatchSize(GetParam());
+  if (!effective.ok() || *effective != GetParam()) {
     GTEST_SKIP() << "GQLITE_BATCH_SIZE overrides this leg's batch size";
   }
   for (const Scenario& s : Scenarios()) {
@@ -739,6 +740,43 @@ INSTANTIATE_TEST_SUITE_P(MorselSizes, TckBatchTest,
                          [](const auto& info) {
                            return "Batch" + std::to_string(info.param);
                          });
+
+// Fifth executor leg: every scenario runs through the morsel-driven
+// PARALLEL runtime at four workers and must produce the same bag as the
+// reference interpreter. Scenario graphs are small (often a single
+// morsel) — the leg's value is routing coverage: parallel-safe plans
+// take the worker-pool path, everything else (UNION, aggregating WITH,
+// OPTIONAL MATCH at the driving position, updating setups) must fall
+// back to the serial runtime and still agree.
+TEST(TckParallel, ParallelRuntimeMatchesInterpreter) {
+  // GQLITE_THREADS overrides every engine's worker count, which would
+  // silently change what this leg tests (the TSan CI job sets it to 4 on
+  // purpose — that keeps this leg at 4 workers, not a skip).
+  auto effective = EffectiveNumThreads(4);
+  if (!effective.ok() || *effective != 4u) {
+    GTEST_SKIP() << "GQLITE_THREADS overrides this leg's worker count";
+  }
+  for (const Scenario& s : Scenarios()) {
+    EngineOptions iopts;
+    iopts.mode = ExecutionMode::kInterpreter;
+    CypherEngine interp(iopts);
+    EngineOptions popts;
+    popts.num_threads = 4;
+    CypherEngine parallel(popts);
+    for (const char* setup : s.setup) {
+      ASSERT_TRUE(interp.Execute(setup).ok()) << s.name;
+      ASSERT_TRUE(parallel.Execute(setup).ok()) << s.name;
+    }
+    auto want = interp.Execute(s.query);
+    ASSERT_TRUE(want.ok()) << s.name << ": " << want.status().ToString();
+    auto got = parallel.Execute(s.query);
+    ASSERT_TRUE(got.ok()) << s.name << ": " << got.status().ToString();
+    CheckRows(s, *got);
+    EXPECT_TRUE(want->table.SameBag(got->table))
+        << s.name << " (num_threads=4)\ninterpreter:\n"
+        << want->table.ToString() << "parallel:\n" << got->table.ToString();
+  }
+}
 
 // Third executor leg: every scenario also runs through the plan cache —
 // Prepare once, then (for read queries) execute repeatedly via both the
