@@ -42,7 +42,7 @@ Result<Tri> AsTri(const Value& v, const char* op) {
 
 /// Property/component access on a value: maps index by key; nodes and
 /// relationships consult ι; temporal values expose their components.
-Result<Value> AccessProperty(const Value& obj, const std::string& key,
+Result<Value> AccessProperty(const Value& obj, std::string_view key,
                              const EvalContext& ctx) {
   switch (obj.type()) {
     case ValueType::kNull:
@@ -78,7 +78,8 @@ Result<Value> AccessProperty(const Value& obj, const std::string& key,
         return Value::Int(DayOfWeek(d.days_since_epoch) + 1);  // ISO 1..7
       }
       if (key == "epochDays") return Value::Int(d.days_since_epoch);
-      return Status::EvaluationError("unknown Date component `" + key + "`");
+      return Status::EvaluationError("unknown Date component `" +
+                                     std::string(key) + "`");
     }
     case ValueType::kLocalTime:
     case ValueType::kTime: {
@@ -93,7 +94,8 @@ Result<Value> AccessProperty(const Value& obj, const std::string& key,
       if (key == "offsetSeconds" && obj.type() == ValueType::kTime) {
         return Value::Int(obj.AsTime().offset_seconds);
       }
-      return Status::EvaluationError("unknown time component `" + key + "`");
+      return Status::EvaluationError("unknown time component `" +
+                                     std::string(key) + "`");
     }
     case ValueType::kLocalDateTime:
     case ValueType::kDateTime: {
@@ -123,8 +125,8 @@ Result<Value> AccessProperty(const Value& obj, const std::string& key,
       if (key == "years") return Value::Int(d.months / 12);
       if (key == "hours") return Value::Int(d.seconds / 3600);
       if (key == "minutes") return Value::Int(d.seconds / 60);
-      return Status::EvaluationError("unknown Duration component `" + key +
-                                     "`");
+      return Status::EvaluationError("unknown Duration component `" +
+                                     std::string(key) + "`");
     }
     default:
       return TypeErr("property access requires a map, node, relationship or "
@@ -157,20 +159,27 @@ Result<Value> Arith(BinaryOp op, const Value& a, const Value& b) {
   // String concatenation: 'a' + x.
   if (op == BinaryOp::kAdd) {
     if (a.is_string() && b.is_string()) {
-      return Value::String(a.AsString() + b.AsString());
+      std::string_view x = a.AsString();
+      std::string_view y = b.AsString();
+      std::string out;
+      out.reserve(x.size() + y.size());
+      out += x;
+      out += y;
+      return Value::String(std::move(out));
     }
     if (a.is_string() && b.is_number()) {
-      return Value::String(a.AsString() + (b.is_int()
-                                               ? std::to_string(b.AsInt())
-                                               : FormatFloat(b.AsFloat())));
+      std::string out(a.AsString());
+      out += b.is_int() ? std::to_string(b.AsInt()) : FormatFloat(b.AsFloat());
+      return Value::String(std::move(out));
     }
     if (a.is_number() && b.is_string()) {
-      return Value::String((a.is_int() ? std::to_string(a.AsInt())
-                                       : FormatFloat(a.AsFloat())) +
-                           b.AsString());
+      std::string out = a.is_int() ? std::to_string(a.AsInt())
+                                   : FormatFloat(a.AsFloat());
+      out += b.AsString();
+      return Value::String(std::move(out));
     }
     if (a.is_list() && b.is_list()) {
-      ValueList out = a.AsList();
+      ValueList out = a.AsList();  // new payload: payloads are immutable
       out.insert(out.end(), b.AsList().begin(), b.AsList().end());
       return Value::MakeList(std::move(out));
     }
@@ -318,12 +327,14 @@ Result<Value> StringPredicate(BinaryOp op, const Value& a, const Value& b) {
     case BinaryOp::kContains:
       return Value::Bool(Contains(a.AsString(), b.AsString()));
     case BinaryOp::kRegexMatch: {
+      std::string_view s = a.AsString();
+      std::string_view pattern = b.AsString();
       try {
-        std::regex re(b.AsString());
-        return Value::Bool(std::regex_match(a.AsString(), re));
+        std::regex re(pattern.begin(), pattern.end());
+        return Value::Bool(std::regex_match(s.begin(), s.end(), re));
       } catch (const std::regex_error&) {
         return Status::EvaluationError("invalid regular expression: " +
-                                       b.AsString());
+                                       std::string(b.AsString()));
       }
     }
     default:
@@ -390,8 +401,8 @@ Result<Value> EvaluateExpr(const Expr& e, const Environment& env,
       return static_cast<const LiteralExpr&>(e).value;
     case Expr::Kind::kVariable: {
       const auto& v = static_cast<const VariableExpr&>(e);
-      std::optional<Value> val = env.Lookup(v.name);
-      if (!val) {
+      const Value* val = env.Lookup(v.name);
+      if (val == nullptr) {
         return Status::EvaluationError("variable `" + v.name +
                                        "` is not bound");
       }

@@ -18,8 +18,11 @@ namespace gqlite {
 class Environment {
  public:
   virtual ~Environment() = default;
-  /// Value bound to `name`, or nullopt if unbound.
-  virtual std::optional<Value> Lookup(const std::string& name) const = 0;
+  /// Pointer to the value bound to `name`, or nullptr if unbound. The
+  /// pointee lives in the environment's backing storage (a row, a map, an
+  /// overlay binding) — no Value is materialized by a lookup; callers
+  /// copy only when they need ownership.
+  virtual const Value* Lookup(const std::string& name) const = 0;
 };
 
 /// Environment over an explicit map (tests, parameters-only evaluation).
@@ -28,10 +31,10 @@ class MapEnvironment : public Environment {
   MapEnvironment() = default;
   explicit MapEnvironment(ValueMap vars) : vars_(std::move(vars)) {}
   void Set(const std::string& name, Value v) { vars_[name] = std::move(v); }
-  std::optional<Value> Lookup(const std::string& name) const override {
+  const Value* Lookup(const std::string& name) const override {
     auto it = vars_.find(name);
-    if (it == vars_.end()) return std::nullopt;
-    return it->second;
+    if (it == vars_.end()) return nullptr;
+    return &it->second;
   }
 
  private:
@@ -45,8 +48,8 @@ class OverlayEnvironment : public Environment {
   OverlayEnvironment(const Environment& base, const std::string& name,
                      const Value& v)
       : base_(base), name_(name), value_(v) {}
-  std::optional<Value> Lookup(const std::string& name) const override {
-    if (name == name_) return value_;
+  const Value* Lookup(const std::string& name) const override {
+    if (name == name_) return &value_;
     return base_.Lookup(name);
   }
 
@@ -54,6 +57,25 @@ class OverlayEnvironment : public Environment {
   const Environment& base_;
   const std::string& name_;
   const Value& value_;
+};
+
+/// Environment over a schema (column names) and one positional row — the
+/// batched runtime's row view (no Table required).
+class SchemaRowEnvironment : public Environment {
+ public:
+  SchemaRowEnvironment(const std::vector<std::string>& schema,
+                       const ValueList& row)
+      : schema_(schema), row_(row) {}
+  const Value* Lookup(const std::string& name) const override {
+    for (size_t i = 0; i < schema_.size() && i < row_.size(); ++i) {
+      if (schema_[i] == name) return &row_[i];
+    }
+    return nullptr;
+  }
+
+ private:
+  const std::vector<std::string>& schema_;
+  const ValueList& row_;
 };
 
 /// Context threaded through expression evaluation: the graph G (for

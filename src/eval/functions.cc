@@ -451,9 +451,9 @@ Result<Value> FnReplace(const Args& a, const EvalContext&) {
     if (v.is_null()) return Value::Null();
     if (!v.is_string()) return WrongType("replace", v);
   }
-  const std::string& s = a[0].AsString();
-  const std::string& find = a[1].AsString();
-  const std::string& repl = a[2].AsString();
+  std::string_view s = a[0].AsString();
+  std::string_view find = a[1].AsString();
+  std::string_view repl = a[2].AsString();
   if (find.empty()) return a[0];
   std::string out;
   size_t start = 0;
@@ -488,7 +488,7 @@ Result<Value> FnSubstring(const Args& a, const EvalContext&) {
       (a.size() > 2 && !a[2].is_int())) {
     return Status::TypeError("substring(string, start[, length])");
   }
-  const std::string& s = a[0].AsString();
+  std::string_view s = a[0].AsString();
   int64_t chars = static_cast<int64_t>(Utf8Length(s));
   int64_t start = a[1].AsInt();
   if (start < 0) return Status::EvaluationError("substring start < 0");
@@ -504,7 +504,7 @@ Result<Value> FnLeftRight(const Args& a, const EvalContext&, bool left) {
   if (!a[0].is_string() || !a[1].is_int()) {
     return Status::TypeError("left/right(string, n)");
   }
-  const std::string& s = a[0].AsString();
+  std::string_view s = a[0].AsString();
   int64_t n = a[1].AsInt();
   if (n < 0) return Status::EvaluationError("left/right length < 0");
   size_t chars = Utf8Length(s);

@@ -336,15 +336,27 @@ Result<Table> ExecutePlanParallel(Plan* plan, WorkerPool* pool,
       scan->SetScanRange(morsel.begin, morsel.end);
       auto run_range = [&]() -> Status {
         GQL_RETURN_IF_ERROR(root->Open());
-        GQL_ASSIGN_OR_RETURN(Table t,
-                             DrainPlan(root, batch_size, &worker_stats[w]));
         if (partial_agg) {
+          // Stream the range's morsels straight into the partial state:
+          // the pre-aggregation rows never materialize, so a range's
+          // working memory is one RowBatch, not its whole row count.
+          const EvalContext& eval = par.projections[w]->exec_context()->eval;
           AggregationState st = proto->Fork();
-          GQL_RETURN_IF_ERROR(
-              st.Accumulate(t, par.projections[w]->exec_context()->eval));
+          RowBatch batch(batch_size);
+          while (true) {
+            GQL_ASSIGN_OR_RETURN(bool ok, root->NextBatch(&batch));
+            if (!ok) break;
+            ++worker_stats[w].batches;
+            worker_stats[w].rows += static_cast<int64_t>(batch.size());
+            for (size_t i = 0; i < batch.size(); ++i) {
+              GQL_RETURN_IF_ERROR(st.AccumulateRow(batch.row(i), eval));
+            }
+          }
           range_aggs[morsel.index] =
               std::make_unique<AggregationState>(std::move(st));
         } else {
+          GQL_ASSIGN_OR_RETURN(Table t,
+                               DrainPlan(root, batch_size, &worker_stats[w]));
           range_rows[morsel.index] = std::move(t);
         }
         return Status::OK();

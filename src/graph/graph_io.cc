@@ -8,7 +8,7 @@ namespace gqlite {
 
 namespace {
 
-std::string EscapeString(const std::string& s) {
+std::string EscapeString(std::string_view s) {
   std::string out = "'";
   for (char c : s) {
     switch (c) {

@@ -109,13 +109,14 @@ bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
   return true;
 }
 
-Value PropertyGraph::GetProp(
+const Value& PropertyGraph::GetProp(
     const std::vector<std::pair<SymbolId, Value>>& props, SymbolId key) {
-  if (key == kNoSymbol) return Value::Null();
+  static const Value kAbsent;  // ι is partial: absent keys read as null
+  if (key == kNoSymbol) return kAbsent;
   for (const auto& [k, v] : props) {
     if (k == key) return v;
   }
-  return Value::Null();
+  return kAbsent;
 }
 
 int PropertyGraph::SetProp(std::vector<std::pair<SymbolId, Value>>* props,
@@ -135,11 +136,13 @@ int PropertyGraph::SetProp(std::vector<std::pair<SymbolId, Value>>* props,
   return 1;
 }
 
-Value PropertyGraph::NodeProperty(NodeId n, std::string_view key) const {
+const Value& PropertyGraph::NodeProperty(NodeId n,
+                                         std::string_view key) const {
   return GetProp(nodes_[n.id].props, keys_.Lookup(key));
 }
 
-Value PropertyGraph::RelProperty(RelId r, std::string_view key) const {
+const Value& PropertyGraph::RelProperty(RelId r,
+                                        std::string_view key) const {
   return GetProp(rels_[r.id].props, keys_.Lookup(key));
 }
 

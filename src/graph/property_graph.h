@@ -102,10 +102,12 @@ class PropertyGraph {
 
   // ---- ι: properties ------------------------------------------------------
 
-  /// ι(entity, key); Value::Null() when the property is absent (the partial
-  /// function is undefined), matching Cypher's `x.k` semantics.
-  Value NodeProperty(NodeId n, std::string_view key) const;
-  Value RelProperty(RelId r, std::string_view key) const;
+  /// ι(entity, key); a null Value when the property is absent (the partial
+  /// function is undefined), matching Cypher's `x.k` semantics. Returns a
+  /// reference into the record (or a static null) — hot paths compare and
+  /// copy without materializing an intermediate.
+  const Value& NodeProperty(NodeId n, std::string_view key) const;
+  const Value& RelProperty(RelId r, std::string_view key) const;
   /// Sets (or, with a null value, removes) a property. Returns the number
   /// of properties added/changed (0 or 1).
   int SetNodeProperty(NodeId n, std::string_view key, Value v);
@@ -187,8 +189,8 @@ class PropertyGraph {
     std::vector<std::pair<SymbolId, Value>> props;
   };
 
-  static Value GetProp(const std::vector<std::pair<SymbolId, Value>>& props,
-                       SymbolId key);
+  static const Value& GetProp(
+      const std::vector<std::pair<SymbolId, Value>>& props, SymbolId key);
   static int SetProp(std::vector<std::pair<SymbolId, Value>>* props,
                      SymbolId key, Value v);
 

@@ -77,10 +77,10 @@ class AggEnvironment : public Environment {
  public:
   AggEnvironment(const Environment& base, const ValueList& agg_values)
       : base_(base), agg_values_(agg_values) {}
-  std::optional<Value> Lookup(const std::string& name) const override {
+  const Value* Lookup(const std::string& name) const override {
     if (name.size() > 4 && name.compare(0, 4, "#agg") == 0) {
       size_t i = std::stoul(name.substr(4));
-      if (i < agg_values_.size()) return agg_values_[i];
+      if (i < agg_values_.size()) return &agg_values_[i];
     }
     return base_.Lookup(name);
   }
@@ -116,6 +116,7 @@ struct AggregationState::Impl {
   struct Item {
     std::string name;
     const Expr* expr = nullptr;  // original expression (null: copy field)
+    int field_index = -1;        // input column when expr == nullptr
     bool aggregating = false;
     ExprPtr rewritten;           // with aggregates extracted (if aggregating)
     std::vector<AggSlot> slots;  // this item's aggregate sub-expressions
@@ -142,6 +143,7 @@ struct AggregationState::Impl {
   std::vector<Group> groups;
   std::unordered_map<ValueList, size_t, RowEquivalenceHash, RowEquivalenceEq>
       index;
+  ValueList key_scratch;  // reused per row; copied only on new groups
 
   Result<std::vector<std::unique_ptr<Aggregator>>> MakeGroupAggs() const {
     std::vector<std::unique_ptr<Aggregator>> aggs;
@@ -174,10 +176,12 @@ Result<AggregationState> AggregationState::Plan(
   // `*` expands to the visible input fields, in order (planner-hidden
   // '#...' columns are internal and never projected).
   if (body.star) {
-    for (const auto& f : input_fields) {
+    for (size_t i = 0; i < input_fields.size(); ++i) {
+      const std::string& f = input_fields[i];
       if (!f.empty() && f[0] == '#') continue;
       Impl::Item it;
       it.name = f;
+      it.field_index = static_cast<int>(i);
       shape->items.push_back(std::move(it));  // expr == nullptr: copy field
     }
   }
@@ -207,41 +211,63 @@ AggregationState AggregationState::Fork() const {
 
 Status AggregationState::Accumulate(const Table& input,
                                     const EvalContext& ctx) {
-  Impl& im = *impl_;
-  // Group by the values of the non-aggregating items (§3: "the first
-  // expression, r, is a non-aggregating expression and therefore acts
-  // as an implicit grouping key").
   for (const auto& row : input.rows()) {
-    RowEnvironment env(input, row);
-    ValueList key;
+    GQL_RETURN_IF_ERROR(AccumulateRow(row, ctx));
+  }
+  return Status::OK();
+}
+
+Status AggregationState::AccumulateRow(const ValueList& row,
+                                       const EvalContext& ctx) {
+  Impl& im = *impl_;
+  SchemaRowEnvironment env(im.shape->input_fields, row);
+  size_t group_idx = 0;
+  if (!im.shape->has_keys) {
+    // Global aggregation: every row lands in the single group — no key to
+    // build, hash or probe.
+    if (im.groups.empty()) {
+      Impl::Group g;
+      g.representative = row;
+      GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
+      im.groups.push_back(std::move(g));
+    }
+  } else {
+    // Group by the values of the non-aggregating items (§3: "the first
+    // expression, r, is a non-aggregating expression and therefore acts
+    // as an implicit grouping key"). The key is built in a reused scratch
+    // buffer; the existing-group path allocates nothing.
+    ValueList& key = im.key_scratch;
+    key.clear();
     for (const auto& it : im.shape->items) {
       if (it.aggregating) continue;
       if (it.expr == nullptr) {
-        key.push_back(row[input.FieldIndex(it.name)]);
+        key.push_back(row[it.field_index]);
       } else {
         GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
         key.push_back(std::move(v));
       }
     }
-    auto [pos, inserted] = im.index.try_emplace(key, im.groups.size());
-    if (inserted) {
+    auto pos = im.index.find(key);
+    if (pos == im.index.end()) {
       Impl::Group g;
-      g.key = std::move(key);
+      g.key = key;
       g.representative = row;
       GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
+      pos = im.index.emplace(key, im.groups.size()).first;
       im.groups.push_back(std::move(g));
     }
-    Impl::Group& g = im.groups[pos->second];
-    size_t slot_idx = 0;
-    for (const auto& it : im.shape->items) {
-      for (const auto& slot : it.slots) {
-        Value v = Value::Bool(true);  // row marker for count(*)
-        if (slot.arg != nullptr) {
-          GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
-        }
-        GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
-        ++slot_idx;
+    group_idx = pos->second;
+  }
+  Impl::Group& g = im.groups[group_idx];
+  size_t slot_idx = 0;
+  for (const auto& it : im.shape->items) {
+    for (const auto& slot : it.slots) {
+      Value v = Value::Bool(true);  // row marker for count(*)
+      if (slot.arg != nullptr) {
+        GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
       }
+      GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
+      ++slot_idx;
     }
   }
   return Status::OK();
@@ -250,6 +276,25 @@ Status AggregationState::Accumulate(const Table& input,
 Status AggregationState::MergeFrom(AggregationState&& other) {
   Impl& im = *impl_;
   Impl& oim = *other.impl_;
+  if (!im.shape->has_keys) {
+    // Keyless states bypass the group index (single group, no keys); fold
+    // the other state's accumulators directly.
+    if (!oim.groups.empty()) {
+      if (im.groups.empty()) {
+        im.groups = std::move(oim.groups);
+      } else {
+        Impl::Group& g = im.groups[0];
+        Impl::Group& og = oim.groups[0];
+        for (size_t a = 0; a < g.aggs.size(); ++a) {
+          GQL_ASSIGN_OR_RETURN(Value partial, og.aggs[a]->ExportPartial());
+          GQL_RETURN_IF_ERROR(g.aggs[a]->MergePartial(partial));
+        }
+      }
+    }
+    oim.groups.clear();
+    oim.index.clear();
+    return Status::OK();
+  }
   // Walking the later partition's groups in ITS first-occurrence order
   // keeps the merged group order equal to first occurrence over the
   // concatenated input; an already-known group keeps its (earlier)
@@ -343,7 +388,7 @@ Result<Table> ApplyProjectionTail(
     std::vector<Keyed> keyed;
     keyed.reserve(output.NumRows());
     for (size_t i = 0; i < output.NumRows(); ++i) {
-      const ValueList& row = output.rows()[i];
+      ValueList& row = output.mutable_rows()[i];
       RowEnvironment out_env(output, row);
       std::unique_ptr<RowEnvironment> in_env;
       std::unique_ptr<MergedRowEnvironment> merged;
@@ -355,7 +400,6 @@ Result<Table> ApplyProjectionTail(
         env = merged.get();
       }
       Keyed k;
-      k.row = row;
       for (const auto& o : body.order_by) {
         // An ORDER BY expression that textually matches a projected column
         // (e.g. ORDER BY p.acmid after RETURN p.acmid, count(*)) refers to
@@ -368,6 +412,8 @@ Result<Table> ApplyProjectionTail(
         GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, *env, ctx));
         k.keys.push_back(std::move(v));
       }
+      // Keys are computed; the row itself can move out of the table.
+      k.row = std::move(row);
       keyed.push_back(std::move(k));
     }
     std::stable_sort(keyed.begin(), keyed.end(),
@@ -399,7 +445,7 @@ Result<Table> ApplyProjectionTail(
     int64_t n = static_cast<int64_t>(output.NumRows());
     int64_t end = limit < 0 ? n : std::min(n, skip + limit);
     for (int64_t i = skip; i < end; ++i) {
-      limited.AddRow(output.rows()[i]);
+      limited.AddRow(std::move(output.mutable_rows()[i]));
     }
     output = std::move(limited);
   }

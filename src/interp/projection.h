@@ -65,6 +65,12 @@ class AggregationState {
   /// was planned against.
   Status Accumulate(const Table& input, const EvalContext& ctx);
 
+  /// Folds one row (positionally compatible with the planned input
+  /// fields) into the group accumulators — the streaming entry point: the
+  /// batched and parallel runtimes feed morsels straight into the state
+  /// without materializing the pre-aggregation table.
+  Status AccumulateRow(const ValueList& row, const EvalContext& ctx);
+
   /// Absorbs a partial that accumulated a LATER partition of the input
   /// (merge in partition order). `other` must be planned from the same
   /// projection body; it is consumed.

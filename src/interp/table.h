@@ -71,10 +71,10 @@ class RowEnvironment : public Environment {
  public:
   RowEnvironment(const Table& table, const ValueList& row)
       : table_(table), row_(row) {}
-  std::optional<Value> Lookup(const std::string& name) const override {
+  const Value* Lookup(const std::string& name) const override {
     int i = table_.FieldIndex(name);
-    if (i < 0) return std::nullopt;
-    return row_[i];
+    if (i < 0) return nullptr;
+    return &row_[i];
   }
 
  private:
@@ -88,9 +88,9 @@ class MergedRowEnvironment : public Environment {
  public:
   MergedRowEnvironment(const Environment& output, const Environment& input)
       : output_(output), input_(input) {}
-  std::optional<Value> Lookup(const std::string& name) const override {
-    std::optional<Value> v = output_.Lookup(name);
-    if (v) return v;
+  const Value* Lookup(const std::string& name) const override {
+    const Value* v = output_.Lookup(name);
+    if (v != nullptr) return v;
     return input_.Lookup(name);
   }
 

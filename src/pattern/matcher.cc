@@ -45,7 +45,7 @@ class Matcher {
   class LocalEnv : public Environment {
    public:
     explicit LocalEnv(const Matcher& m) : m_(m) {}
-    std::optional<Value> Lookup(const std::string& name) const override {
+    const Value* Lookup(const std::string& name) const override {
       return m_.LookupVar(name);
     }
 
@@ -53,9 +53,9 @@ class Matcher {
     const Matcher& m_;
   };
 
-  std::optional<Value> LookupVar(const std::string& name) const {
+  const Value* LookupVar(const std::string& name) const {
     for (auto it = locals_.rbegin(); it != locals_.rend(); ++it) {
-      if (it->first == name) return it->second;
+      if (it->first == name) return &it->second;
     }
     return env_.Lookup(name);
   }
@@ -64,8 +64,8 @@ class Matcher {
   /// true if the binding is consistent. The caller restores locals_ to its
   /// saved size on backtrack.
   bool BindVar(const std::string& name, Value v) {
-    std::optional<Value> existing = LookupVar(name);
-    if (existing) return ValueEquivalent(*existing, v);
+    const Value* existing = LookupVar(name);
+    if (existing != nullptr) return ValueEquivalent(*existing, v);
     locals_.emplace_back(name, std::move(v));
     return true;
   }
@@ -174,8 +174,8 @@ class Matcher {
   Result<bool> MatchPathStart(size_t path_idx, const PathPattern& path) {
     // Determine candidate start nodes.
     if (path.start.var) {
-      std::optional<Value> bound = LookupVar(*path.start.var);
-      if (bound) {
+      const Value* bound = LookupVar(*path.start.var);
+      if (bound != nullptr) {
         if (!bound->is_node()) return true;  // bound to non-node: no match
         return TryStart(path_idx, path, bound->AsNode());
       }
@@ -357,12 +357,12 @@ class Matcher {
     BindingRow row;
     row.reserve(columns_.size());
     for (const std::string& col : columns_) {
-      std::optional<Value> v = LookupVar(col);
-      if (!v) {
+      const Value* v = LookupVar(col);
+      if (v == nullptr) {
         return Status::Internal("pattern variable `" + col +
                                 "` unbound at emit");
       }
-      row.push_back(std::move(*v));
+      row.push_back(*v);
     }
     return sink_(row);
   }

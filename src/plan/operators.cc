@@ -9,24 +9,6 @@ namespace gqlite {
 
 namespace {
 
-/// Environment over an operator row (schema + values).
-class SchemaEnvironment : public Environment {
- public:
-  SchemaEnvironment(const std::vector<std::string>& schema,
-                    const ValueList& row)
-      : schema_(schema), row_(row) {}
-  std::optional<Value> Lookup(const std::string& name) const override {
-    for (size_t i = 0; i < schema_.size() && i < row_.size(); ++i) {
-      if (schema_[i] == name) return row_[i];
-    }
-    return std::nullopt;
-  }
-
- private:
-  const std::vector<std::string>& schema_;
-  const ValueList& row_;
-};
-
 std::vector<std::string> Extend(const std::vector<std::string>& base,
                                 std::initializer_list<std::string> extra) {
   std::vector<std::string> out = base;
@@ -53,14 +35,23 @@ bool RelAlreadyUsed(RelId r, const ValueList& row,
   return false;
 }
 
-bool TypeOk(const PropertyGraph& g, const std::vector<std::string>& types,
-            RelId r) {
-  if (types.empty()) return true;
-  const std::string& t = g.RelType(r);
-  for (const auto& want : types) {
+/// Type check against the spec's pre-resolved type ids (see
+/// ExpandSpec::type_ids) — one integer compare per wanted type.
+bool TypeOk(const PropertyGraph& g, const ExpandSpec& spec, RelId r) {
+  if (spec.type_ids.empty()) return true;
+  SymbolId t = g.RelTypeId(r);
+  for (SymbolId want : spec.type_ids) {
     if (want == t) return true;
   }
   return false;
+}
+
+/// Resolves the spec's type names against the bound graph (call from
+/// Open(): the graph is fixed per execution, ids are stable per graph).
+void ResolveTypeIds(const PropertyGraph& g, ExpandSpec* spec) {
+  spec->type_ids.clear();
+  spec->type_ids.reserve(spec->types.size());
+  for (const auto& t : spec->types) spec->type_ids.push_back(g.LookupType(t));
 }
 
 }  // namespace
@@ -78,7 +69,7 @@ Result<bool> LazyPropWants::Ok(const ExecContext& ctx, const ExpandSpec& spec,
       // that survives keys 0..i-1 — exactly when the per-candidate
       // reference check would evaluate it, so an erroring expression
       // behind a mismatching earlier key stays unevaluated.
-      SchemaEnvironment env(schema, row);
+      SchemaRowEnvironment env(schema, row);
       GQL_ASSIGN_OR_RETURN(Value want,
                            EvaluateExpr(*props[i].second, env, ctx.eval));
       wants_.push_back(std::move(want));
@@ -211,13 +202,14 @@ Status ExpandOp::Open() {
   input_.Reset();
   adj_pos_ = 0;
   props_.Reset();
+  ResolveTypeIds(*ctx_->graph, &spec_);
   return child_->Open();
 }
 
 Result<bool> ExpandOp::RelMatches(RelId r, const ValueList& row,
                                   NodeId* next) {
   const PropertyGraph& g = *ctx_->graph;
-  if (!TypeOk(g, spec_.types, r)) return false;
+  if (!TypeOk(g, spec_, r)) return false;
   if (ctx_->match.morphism != Morphism::kHomomorphism &&
       RelAlreadyUsed(r, row, spec_.uniqueness_cols)) {
     return false;
@@ -342,6 +334,7 @@ HashJoinExpandOp::HashJoinExpandOp(OperatorPtr child, const ExecContext* ctx,
 Status HashJoinExpandOp::Open() {
   input_.Reset();
   probing_ = false;
+  ResolveTypeIds(*ctx_->graph, &spec_);
   if (!built_) {
     // Build side: scan the entire relationship store (the indirection the
     // adjacency-based Expand avoids).
@@ -349,7 +342,7 @@ Status HashJoinExpandOp::Open() {
     for (size_t i = 0; i < g.NumRelSlots(); ++i) {
       RelId r{i};
       if (!g.IsRelAlive(r)) continue;
-      if (!TypeOk(g, spec_.types, r)) continue;
+      if (!TypeOk(g, spec_, r)) continue;
       switch (spec_.direction) {
         case ast::Direction::kRight:
           index_.emplace(g.Source(r).id, r.id);
@@ -443,14 +436,26 @@ VarLengthExpandOp::VarLengthExpandOp(OperatorPtr child, const ExecContext* ctx,
 
 Status VarLengthExpandOp::Open() {
   input_.Clear();
-  pending_.clear();
+  pending_size_ = 0;
   pos_in_pending_ = 0;
+  ResolveTypeIds(*ctx_->graph, &spec_);
   return child_->Open();
+}
+
+ValueList& VarLengthExpandOp::NextPendingSlot() {
+  if (pending_size_ < pending_.size()) {
+    ValueList& slot = pending_[pending_size_++];
+    slot.clear();
+    return slot;
+  }
+  pending_.emplace_back();
+  ++pending_size_;
+  return pending_.back();
 }
 
 Status VarLengthExpandOp::ExpandBatch() {
   const PropertyGraph& g = *ctx_->graph;
-  pending_.clear();
+  pending_size_ = 0;
   const std::vector<std::string>& in_schema = child_->schema();
   size_t n = input_.size();
 
@@ -464,7 +469,9 @@ Status VarLengthExpandOp::ExpandBatch() {
       const Value& want = in[spec_.to_col];
       if (!want.is_node() || !(want.AsNode() == target)) return;
     }
-    ValueList row = in;
+    ValueList& row = NextPendingSlot();
+    row.reserve(in.size() + 2);
+    row.assign(in.begin(), in.end());
     if (!spec_.rel_var.empty()) {
       ValueList list;
       list.reserve(path.size());
@@ -472,7 +479,6 @@ Status VarLengthExpandOp::ExpandBatch() {
       row.push_back(Value::MakeList(std::move(list)));
     }
     if (spec_.to_col < 0) row.push_back(Value::Node(target));
-    pending_.push_back(std::move(row));
   };
 
   // One frontier entry per in-flight path. Paths are owned contiguous
@@ -505,7 +511,7 @@ Status VarLengthExpandOp::ExpandBatch() {
     for (const FrontierEntry& e : frontier) {
       const ValueList& in = input_.row(e.row);
       auto consider = [&](RelId r, bool from_out) -> Status {
-        if (!TypeOk(g, spec_.types, r)) return Status::OK();
+        if (!TypeOk(g, spec_, r)) return Status::OK();
         // Within-path uniqueness plus clause-level uniqueness columns.
         if (ctx_->match.morphism != Morphism::kHomomorphism) {
           for (RelId used : e.path) {
@@ -564,9 +570,12 @@ Status VarLengthExpandOp::ExpandBatch() {
 
 Result<bool> VarLengthExpandOp::NextBatchImpl(RowBatch* out) {
   while (!out->full()) {
-    if (pos_in_pending_ < pending_.size()) {
-      while (pos_in_pending_ < pending_.size() && !out->full()) {
-        out->Append(std::move(pending_[pos_in_pending_++]));
+    if (pos_in_pending_ < pending_size_) {
+      while (pos_in_pending_ < pending_size_ && !out->full()) {
+        // Copy (don't move): both the pending slot and the out slot keep
+        // their allocations for the next refill; the elements themselves
+        // are O(1) to copy.
+        out->AppendFrom(pending_[pos_in_pending_++]);
       }
       continue;
     }
@@ -606,7 +615,7 @@ Result<bool> FilterOp::NextBatchImpl(RowBatch* out) {
     if (!ok) return false;
     keep_.clear();
     for (uint32_t i = 0; i < out->size(); ++i) {
-      SchemaEnvironment env(schema_, out->row(i));
+      SchemaRowEnvironment env(schema_, out->row(i));
       GQL_ASSIGN_OR_RETURN(Tri keep,
                            EvaluatePredicate(*pred_, env, ctx_->eval));
       if (keep == Tri::kTrue) keep_.push_back(i);
@@ -690,14 +699,15 @@ Result<bool> UnwindOp::NextBatchImpl(RowBatch* out) {
                          input_.Current(child_.get(), out->capacity()));
     if (in == nullptr) break;
     if (!row_ready_) {
-      SchemaEnvironment env(child_->schema(), *in);
+      SchemaRowEnvironment env(child_->schema(), *in);
       GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*expr_, env, ctx_->eval));
-      items_.clear();
       item_pos_ = 0;
       single_pending_ = false;
       if (v.is_list()) {
-        items_ = v.AsList();
+        items_ = std::move(v);  // share the payload; no element copies
       } else {
+        static const Value kSharedEmptyList = Value::EmptyList();
+        items_ = kSharedEmptyList;  // refcount bump, no allocation
         single_pending_ = true;
         single_value_ = std::move(v);
       }
@@ -707,10 +717,11 @@ Result<bool> UnwindOp::NextBatchImpl(RowBatch* out) {
       single_pending_ = false;
       out->AppendFrom(*in).push_back(single_value_);
     }
-    while (item_pos_ < items_.size() && !out->full()) {
-      out->AppendFrom(*in).push_back(items_[item_pos_++]);
+    const ValueList& items = items_.AsList();
+    while (item_pos_ < items.size() && !out->full()) {
+      out->AppendFrom(*in).push_back(items[item_pos_++]);
     }
-    if (!single_pending_ && item_pos_ >= items_.size()) {
+    if (!single_pending_ && item_pos_ >= items.size()) {
       input_.Advance();
       row_ready_ = false;
     }
@@ -727,6 +738,18 @@ ProjectionOp::ProjectionOp(OperatorPtr child, const ExecContext* ctx,
     : Operator(nullptr, std::move(schema)), ctx_(ctx), body_(body),
       where_(where) {
   child_ = std::move(child);
+}
+
+Result<Table> ProjectionOp::FilterWhere(Table result) const {
+  if (where_ == nullptr) return result;
+  Table filtered(result.fields());
+  for (auto& r : result.mutable_rows()) {
+    RowEnvironment env(result, r);
+    GQL_ASSIGN_OR_RETURN(Tri keep,
+                         EvaluatePredicate(*where_, env, ctx_->eval));
+    if (keep == Tri::kTrue) filtered.AddRow(std::move(r));
+  }
+  return filtered;
 }
 
 Result<Table> ProjectionOp::ProjectTable(Table input) const {
@@ -746,34 +769,46 @@ Result<Table> ProjectionOp::ProjectTable(Table input) const {
       }
     }
     Table stripped(keep_fields);
-    for (const auto& r : input.rows()) {
+    for (auto& r : input.mutable_rows()) {
       ValueList row;
       row.reserve(keep_idx.size());
-      for (size_t i : keep_idx) row.push_back(r[i]);
+      for (size_t i : keep_idx) row.push_back(std::move(r[i]));
       stripped.AddRow(std::move(row));
     }
     input = std::move(stripped);
   }
   GQL_ASSIGN_OR_RETURN(Table result,
                        EvaluateProjection(*body_, input, ctx_->eval));
-  if (where_ != nullptr) {
-    Table filtered(result.fields());
-    for (const auto& r : result.rows()) {
-      RowEnvironment env(result, r);
-      GQL_ASSIGN_OR_RETURN(Tri keep,
-                           EvaluatePredicate(*where_, env, ctx_->eval));
-      if (keep == Tri::kTrue) filtered.AddRow(r);
-    }
-    result = std::move(filtered);
-  }
-  return result;
+  return FilterWhere(std::move(result));
 }
 
 Status ProjectionOp::Open() {
   GQL_RETURN_IF_ERROR(child_->Open());
-  GQL_ASSIGN_OR_RETURN(Table input,
-                       DrainPlan(child_.get(), ctx_->batch_size));
-  GQL_ASSIGN_OR_RETURN(result_, ProjectTable(std::move(input)));
+  if (ProjectionAggregates(*body_)) {
+    // Aggregating projection: stream the child's morsels straight into
+    // the aggregation state — the pre-aggregation table (often the whole
+    // join) never materializes. AggregationState::Plan skips planner-
+    // hidden '#' columns for `*`, so no stripping pass is needed here.
+    GQL_ASSIGN_OR_RETURN(AggregationState state,
+                         AggregationState::Plan(*body_, child_->schema()));
+    RowBatch batch(ctx_->batch_size);
+    while (true) {
+      GQL_ASSIGN_OR_RETURN(bool ok, child_->NextBatch(&batch));
+      if (!ok) break;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        GQL_RETURN_IF_ERROR(state.AccumulateRow(batch.row(i), ctx_->eval));
+      }
+    }
+    GQL_ASSIGN_OR_RETURN(Table grouped, state.Finish(ctx_->eval));
+    GQL_ASSIGN_OR_RETURN(
+        grouped, ApplyProjectionTail(*body_, std::move(grouped), nullptr,
+                                     nullptr, ctx_->eval));
+    GQL_ASSIGN_OR_RETURN(result_, FilterWhere(std::move(grouped)));
+  } else {
+    GQL_ASSIGN_OR_RETURN(Table input,
+                         DrainPlan(child_.get(), ctx_->batch_size));
+    GQL_ASSIGN_OR_RETURN(result_, ProjectTable(std::move(input)));
+  }
   pos_ = 0;
   return Status::OK();
 }
@@ -860,7 +895,7 @@ Result<bool> MatcherOp::NextBatchImpl(RowBatch* out) {
     if (!row_ready_) {
       buffered_.clear();
       pos_ = 0;
-      SchemaEnvironment env(child_->schema(), *in);
+      SchemaRowEnvironment env(child_->schema(), *in);
       Status st = MatchPattern(*pattern_, *ctx_->graph, env, ctx_->eval,
                                ctx_->match, new_cols_,
                                [&](const BindingRow& b) -> Result<bool> {

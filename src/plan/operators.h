@@ -237,6 +237,11 @@ struct ExpandSpec {
   std::string rel_var;             // rel column name (may be hidden "#...")
   int bound_rel_col = -1;          // rel variable already bound, must equal
   std::vector<std::string> types;  // empty = any
+  /// `types` resolved against the bound graph's type interner (filled by
+  /// each expand operator's Open) so the per-candidate type check is an
+  /// integer compare, not a string compare. A type the graph has never
+  /// seen resolves to kNoSymbol, which no live relationship carries.
+  std::vector<SymbolId> type_ids;
   ast::Direction direction = ast::Direction::kRight;
   /// Relationship columns of the same MATCH clause bound before this hop —
   /// relationship-isomorphism check targets (single rels and rel lists).
@@ -341,13 +346,19 @@ class VarLengthExpandOp : public Operator {
   /// its expansion rows in pending_; streaming resumes from the buffer.
   Status ExpandBatch();
 
+  /// Next reusable pending-row slot (cleared). Slots keep their ValueList
+  /// allocations across batches, so a refill costs element assignments,
+  /// not a malloc per emitted row.
+  ValueList& NextPendingSlot();
+
   const ExecContext* ctx_;
   ExpandSpec spec_;
   int64_t min_;
   int64_t max_;
 
   RowBatch input_{1};
-  std::vector<ValueList> pending_;  // rows ready to emit
+  std::vector<ValueList> pending_;  // slot pool of rows ready to emit
+  size_t pending_size_ = 0;         // live prefix of pending_
   size_t pos_in_pending_ = 0;
 };
 
@@ -415,7 +426,9 @@ class UnwindOp : public Operator {
   std::string var_;
   BatchCursor input_;
   bool row_ready_ = false;
-  ValueList items_;
+  /// The evaluated list being unwound (the payload is shared with the
+  /// evaluation result, never copied element-wise).
+  Value items_ = Value::EmptyList();
   size_t item_pos_ = 0;
   bool single_pending_ = false;
   Value single_value_;
@@ -447,6 +460,10 @@ class ProjectionOp : public Operator {
   const ExecContext* exec_context() const { return ctx_; }
 
  private:
+  /// Applies the WITH ... WHERE filter to projected rows (no-op without a
+  /// WHERE). Shared by ProjectTable and the streaming-aggregation Open.
+  Result<Table> FilterWhere(Table result) const;
+
   const ExecContext* ctx_;
   const ast::ProjectionBody* body_;
   const ast::Expr* where_;

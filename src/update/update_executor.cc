@@ -104,12 +104,12 @@ Status UpdateExecutor::CreatePattern(const Pattern& pattern,
     Env(const Table& t, const ValueList& r,
         const std::map<std::string, Value>& l)
         : t_(t), r_(r), l_(l) {}
-    std::optional<Value> Lookup(const std::string& name) const override {
+    const Value* Lookup(const std::string& name) const override {
       auto it = l_.find(name);
-      if (it != l_.end()) return it->second;
+      if (it != l_.end()) return &it->second;
       int i = t_.FieldIndex(name);
-      if (i < 0) return std::nullopt;
-      return r_[i];
+      if (i < 0) return nullptr;
+      return &r_[i];
     }
 
    private:
@@ -120,8 +120,8 @@ Status UpdateExecutor::CreatePattern(const Pattern& pattern,
 
   auto resolve_node = [&](const NodePattern& np) -> Result<NodeId> {
     if (np.var) {
-      std::optional<Value> bound = env.Lookup(*np.var);
-      if (bound) {
+      const Value* bound = env.Lookup(*np.var);
+      if (bound != nullptr) {
         if (!bound->is_node()) {
           return Status::TypeError("CREATE endpoint `" + *np.var +
                                    "` is not a node");
@@ -271,8 +271,8 @@ Status UpdateExecutor::ApplySetItems(const std::vector<SetItem>& items,
       }
       case SetItem::Kind::kReplaceProps:
       case SetItem::Kind::kMergeProps: {
-        std::optional<Value> obj = env.Lookup(item.var);
-        if (!obj || obj->is_null()) break;
+        const Value* obj = env.Lookup(item.var);
+        if (obj == nullptr || obj->is_null()) break;
         GQL_ASSIGN_OR_RETURN(Value val, EvaluateExpr(*item.value, env, ctx));
         ValueMap new_props;
         if (val.is_map()) {
@@ -319,8 +319,8 @@ Status UpdateExecutor::ApplySetItems(const std::vector<SetItem>& items,
         break;
       }
       case SetItem::Kind::kLabels: {
-        std::optional<Value> obj = env.Lookup(item.var);
-        if (!obj || obj->is_null()) break;
+        const Value* obj = env.Lookup(item.var);
+        if (obj == nullptr || obj->is_null()) break;
         if (!obj->is_node()) {
           return Status::TypeError("SET :Label target must be a node");
         }
@@ -347,8 +347,8 @@ Result<Table> UpdateExecutor::ExecRemove(const RemoveClause& c, Table input) {
   for (const auto& row : input.rows()) {
     RowEnvironment env(input, row);
     for (const auto& item : c.items) {
-      std::optional<Value> obj = env.Lookup(item.var);
-      if (!obj || obj->is_null()) continue;
+      const Value* obj = env.Lookup(item.var);
+      if (obj == nullptr || obj->is_null()) continue;
       if (item.kind == RemoveItem::Kind::kProperty) {
         if (obj->is_node()) {
           stats_->properties_set +=

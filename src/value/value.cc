@@ -42,11 +42,6 @@ const char* ValueTypeName(ValueType t) {
   return "UNKNOWN";
 }
 
-ValueType Value::type() const {
-  // The variant alternative order matches ValueType's declaration order.
-  return static_cast<ValueType>(rep_.index());
-}
-
 std::string Value::ToString() const { return FormatValue(*this); }
 
 }  // namespace gqlite

@@ -1,10 +1,13 @@
 #ifndef GQLITE_VALUE_VALUE_H_
 #define GQLITE_VALUE_VALUE_H_
 
+#include <compare>
 #include <cstdint>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <variant>
 #include <vector>
@@ -29,14 +32,17 @@ struct RelId {
 /// A path value path(n1, r1, n2, ..., r_{m-1}, n_m) per §4.1: alternating
 /// node and relationship ids; `nodes.size() == rels.size() + 1`. A
 /// single-node path has an empty `rels`.
+///
+/// Equality and ordering are the defaulted lexicographic member
+/// comparison; the Cypher ORDER BY ordering of paths (length first) lives
+/// in ValueOrder, not here — hash/equality (value_compare.h) must agree
+/// with THIS operator==, which the property test in test_value.cc pins.
 struct Path {
   std::vector<NodeId> nodes;
   std::vector<RelId> rels;
 
   size_t length() const { return rels.size(); }
-  friend bool operator==(const Path& a, const Path& b) {
-    return a.nodes == b.nodes && a.rels == b.rels;
-  }
+  friend auto operator<=>(const Path&, const Path&) = default;
 };
 
 /// Discriminator for Value. The order here is NOT the orderability order
@@ -66,15 +72,32 @@ const char* ValueTypeName(ValueType t);
 class Value;
 using ValueList = std::vector<Value>;
 /// Maps use std::map for deterministic iteration (printing, comparison).
-using ValueMap = std::map<std::string, Value>;
+/// The transparent comparator lets string_view keys (e.g. a Value's
+/// inline string) probe the map without materializing a std::string.
+using ValueMap = std::map<std::string, Value, std::less<>>;
 
 /// A Cypher value (the set 𝒱 of §4.1): null, booleans, integers, strings
 /// (we also carry floats as a base type, like every real implementation),
 /// lists, maps, node/relationship identifiers, paths, and the Cypher 10
-/// temporal types. Lists, maps and paths are shared_ptr-backed so copying
-/// a Value is cheap; values are immutable once constructed.
+/// temporal types.
+///
+/// Values are IMMUTABLE once constructed, and every non-trivial payload is
+/// either stored inline or behind a shared, const, reference-counted
+/// allocation — so copying any Value is O(1):
+///  * strings of <= kInlineStringCapacity bytes live inline in the
+///    variant (copy = memcpy, no allocation, no refcount traffic);
+///  * longer strings are shared_ptr<const std::string>;
+///  * lists, maps and paths are shared_ptr<const T>.
+/// "Copy-on-write" degenerates to "copy-never": since payloads are const,
+/// building a modified value always constructs a new payload (see e.g.
+/// list concatenation in eval/evaluator.cc) and sharing is always safe —
+/// including across the parallel runtime's worker threads.
 class Value {
  public:
+  /// Longest string stored inline (chosen so the inline alternative does
+  /// not grow the variant beyond its largest existing member, Duration).
+  static constexpr size_t kInlineStringCapacity = 31;
+
   /// Constructs null.
   Value() : rep_(NullRep{}) {}
 
@@ -82,20 +105,33 @@ class Value {
   static Value Bool(bool b) { return Value(Rep(b)); }
   static Value Int(int64_t i) { return Value(Rep(i)); }
   static Value Float(double d) { return Value(Rep(d)); }
-  static Value String(std::string s) {
-    return Value(Rep(std::make_shared<std::string>(std::move(s))));
+  static Value String(std::string_view s) {
+    if (s.size() <= kInlineStringCapacity) return Value(Rep(InlineString(s)));
+    return Value(Rep(std::make_shared<const std::string>(s)));
+  }
+  static Value String(std::string&& s) {
+    if (s.size() <= kInlineStringCapacity) {
+      return Value(Rep(InlineString(std::string_view(s))));
+    }
+    return Value(Rep(std::make_shared<const std::string>(std::move(s))));
+  }
+  static Value String(const char* s) { return String(std::string_view(s)); }
+  /// Adopts an already-shared string (re-sharing an existing handle never
+  /// allocates, whatever its length).
+  static Value String(std::shared_ptr<const std::string> s) {
+    return Value(Rep(std::move(s)));
   }
   static Value MakeList(ValueList items) {
-    return Value(Rep(std::make_shared<ValueList>(std::move(items))));
+    return Value(Rep(std::make_shared<const ValueList>(std::move(items))));
   }
   static Value EmptyList() { return MakeList({}); }
   static Value MakeMap(ValueMap m) {
-    return Value(Rep(std::make_shared<ValueMap>(std::move(m))));
+    return Value(Rep(std::make_shared<const ValueMap>(std::move(m))));
   }
   static Value Node(NodeId n) { return Value(Rep(n)); }
   static Value Relationship(RelId r) { return Value(Rep(r)); }
   static Value MakePath(Path p) {
-    return Value(Rep(std::make_shared<Path>(std::move(p))));
+    return Value(Rep(std::make_shared<const Path>(std::move(p))));
   }
   static Value Temporal(Date d) { return Value(Rep(d)); }
   static Value Temporal(LocalTime t) { return Value(Rep(t)); }
@@ -104,7 +140,14 @@ class Value {
   static Value Temporal(ZonedDateTime t) { return Value(Rep(t)); }
   static Value Temporal(Duration d) { return Value(Rep(d)); }
 
-  ValueType type() const;
+  ValueType type() const {
+    size_t i = rep_.index();
+    // The variant alternative order matches ValueType's declaration order;
+    // the inline-string alternative is appended past the end and maps back
+    // to kString.
+    if (i == kInlineStringIndex) return ValueType::kString;
+    return static_cast<ValueType>(i);
+  }
 
   bool is_null() const { return type() == ValueType::kNull; }
   bool is_bool() const { return type() == ValueType::kBool; }
@@ -130,18 +173,33 @@ class Value {
   double AsNumber() const {
     return is_int() ? static_cast<double>(AsInt()) : AsFloat();
   }
-  const std::string& AsString() const {
-    return *std::get<std::shared_ptr<std::string>>(rep_);
+  /// View into this value's string payload — valid while this Value (or
+  /// any copy sharing its representation) is alive. Never materializes.
+  std::string_view AsString() const {
+    if (const InlineString* s = std::get_if<InlineString>(&rep_)) {
+      return s->view();
+    }
+    return *std::get<SharedString>(rep_);
+  }
+  /// Shared handle to the string payload; inline strings are promoted to
+  /// a fresh allocation (use only where ownership must outlive the Value).
+  std::shared_ptr<const std::string> AsSharedString() const {
+    if (const InlineString* s = std::get_if<InlineString>(&rep_)) {
+      return std::make_shared<const std::string>(s->view());
+    }
+    return std::get<SharedString>(rep_);
   }
   const ValueList& AsList() const {
-    return *std::get<std::shared_ptr<ValueList>>(rep_);
+    return *std::get<std::shared_ptr<const ValueList>>(rep_);
   }
   const ValueMap& AsMap() const {
-    return *std::get<std::shared_ptr<ValueMap>>(rep_);
+    return *std::get<std::shared_ptr<const ValueMap>>(rep_);
   }
   NodeId AsNode() const { return std::get<NodeId>(rep_); }
   RelId AsRelationship() const { return std::get<RelId>(rep_); }
-  const Path& AsPath() const { return *std::get<std::shared_ptr<Path>>(rep_); }
+  const Path& AsPath() const {
+    return *std::get<std::shared_ptr<const Path>>(rep_);
+  }
   Date AsDate() const { return std::get<Date>(rep_); }
   LocalTime AsLocalTime() const { return std::get<LocalTime>(rep_); }
   ZonedTime AsTime() const { return std::get<ZonedTime>(rep_); }
@@ -151,6 +209,26 @@ class Value {
   ZonedDateTime AsDateTime() const { return std::get<ZonedDateTime>(rep_); }
   Duration AsDuration() const { return std::get<Duration>(rep_); }
 
+  /// Address of the shared heap payload (long string, list, map, path), or
+  /// nullptr for every other representation. Two values with the same
+  /// non-null shared_rep() are identical by construction — the O(1)
+  /// short-circuit for equivalence/ordering (NOT for 3VL ValueEquals:
+  /// a list that contains null is not `=` to itself).
+  const void* shared_rep() const {
+    switch (rep_.index()) {
+      case static_cast<size_t>(ValueType::kString):
+        return std::get<SharedString>(rep_).get();
+      case static_cast<size_t>(ValueType::kList):
+        return std::get<std::shared_ptr<const ValueList>>(rep_).get();
+      case static_cast<size_t>(ValueType::kMap):
+        return std::get<std::shared_ptr<const ValueMap>>(rep_).get();
+      case static_cast<size_t>(ValueType::kPath):
+        return std::get<std::shared_ptr<const Path>>(rep_).get();
+      default:
+        return nullptr;
+    }
+  }
+
   /// Display form: `null`, `true`, `'abc'`, `[1, 2]`, `{k: 1}`, `(3)`,
   /// `[:42]`, `<(1)-[:0]->(2)>`, `1984-06-10`. Graph-aware rendering (with
   /// labels and properties) lives in graph/property_graph.h.
@@ -159,12 +237,32 @@ class Value {
  private:
   struct NullRep {};
 
-  using Rep = std::variant<NullRep, bool, int64_t, double,
-                           std::shared_ptr<std::string>,
-                           std::shared_ptr<ValueList>,
-                           std::shared_ptr<ValueMap>, NodeId, RelId,
-                           std::shared_ptr<Path>, Date, LocalTime, ZonedTime,
-                           LocalDateTime, ZonedDateTime, Duration>;
+  /// Small-string fast path: the bytes live inside the variant, so short
+  /// strings (property values, names, keys — the overwhelmingly common
+  /// case) cost no allocation to create and no atomics to copy.
+  struct InlineString {
+    char data[kInlineStringCapacity];
+    uint8_t size;
+
+    explicit InlineString(std::string_view s)
+        : size(static_cast<uint8_t>(s.size())) {
+      if (!s.empty()) std::memcpy(data, s.data(), s.size());
+    }
+    std::string_view view() const { return std::string_view(data, size); }
+  };
+
+  using SharedString = std::shared_ptr<const std::string>;
+
+  using Rep = std::variant<NullRep, bool, int64_t, double, SharedString,
+                           std::shared_ptr<const ValueList>,
+                           std::shared_ptr<const ValueMap>, NodeId, RelId,
+                           std::shared_ptr<const Path>, Date, LocalTime,
+                           ZonedTime, LocalDateTime, ZonedDateTime, Duration,
+                           InlineString>;
+
+  /// Variant index of the appended InlineString alternative.
+  static constexpr size_t kInlineStringIndex =
+      std::variant_size_v<Rep> - 1;
 
   explicit Value(Rep rep) : rep_(std::move(rep)) {}
 

@@ -165,6 +165,10 @@ Tri ValueLess(const Value& a, const Value& b) {
 }
 
 bool ValueEquivalent(const Value& a, const Value& b) {
+  // Values sharing one heap payload are identical by construction — the
+  // common case after the pipeline copies a row without rewriting it.
+  const void* shared = a.shared_rep();
+  if (shared != nullptr && shared == b.shared_rep()) return true;
   if (a.is_null() || b.is_null()) return a.is_null() && b.is_null();
   if (a.is_number() && b.is_number()) {
     if (a.is_int() && b.is_int()) return a.AsInt() == b.AsInt();
@@ -269,6 +273,8 @@ int ValueOrder(const Value& a, const Value& b) {
   int ra = OrderabilityRank(a);
   int rb = OrderabilityRank(b);
   if (ra != rb) return ra < rb ? -1 : 1;
+  const void* shared = a.shared_rep();
+  if (shared != nullptr && shared == b.shared_rep()) return 0;
   switch (a.type()) {
     case ValueType::kNull:
       return 0;
@@ -370,7 +376,7 @@ size_t ValueHash(const Value& v) {
       return HashCombine(seed, std::hash<double>{}(d));
     }
     case ValueType::kString:
-      return HashCombine(seed, std::hash<std::string>{}(v.AsString()));
+      return HashCombine(seed, std::hash<std::string_view>{}(v.AsString()));
     case ValueType::kNode:
       return HashCombine(seed, v.AsNode().id);
     case ValueType::kRelationship:
@@ -400,7 +406,7 @@ size_t ValueHash(const Value& v) {
     case ValueType::kMap: {
       size_t h = HashCombine(seed, v.AsMap().size());
       for (const auto& [k, val] : v.AsMap()) {
-        h = HashCombine(h, std::hash<std::string>{}(k));
+        h = HashCombine(h, std::hash<std::string_view>{}(std::string_view(k)));
         h = HashCombine(h, ValueHash(val));
       }
       return h;

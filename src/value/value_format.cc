@@ -29,8 +29,15 @@ std::string FormatValue(const Value& v) {
       return std::to_string(v.AsInt());
     case ValueType::kFloat:
       return FormatFloat(v.AsFloat());
-    case ValueType::kString:
-      return "'" + v.AsString() + "'";
+    case ValueType::kString: {
+      std::string_view s = v.AsString();
+      std::string out;
+      out.reserve(s.size() + 2);
+      out += '\'';
+      out += s;
+      out += '\'';
+      return out;
+    }
     case ValueType::kList: {
       std::string out = "[";
       bool first = true;

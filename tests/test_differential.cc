@@ -11,7 +11,12 @@
 //
 // and asserts SameBag-identical results everywhere (byte-identical when
 // the query is fully ordered). Queries are deterministic from a fixed
-// seed, so a failure reproduces by number.
+// seed, so a failure reproduces by number. The grammar is deliberately
+// string-heavy — short (inline-representation) and long (shared heap
+// representation) string properties, toUpper/substring/concatenation
+// projections, string WHERE predicates and string GROUP BY keys — so the
+// copy-on-write value representation is pinned by the oracle on every
+// executor leg (batch 1/1024, 1/2/4 workers).
 //
 // collect() is the one bag-breaking aggregate: its LIST order mirrors
 // the executor's row order, which legitimately differs between the
@@ -53,9 +58,11 @@ struct Rng {
 };
 
 /// ~150 nodes over labels {A, B, C} with integer properties `id`
-/// (unique), `v` (0..9), `w` (0..4, present on ~60%), a string `name`,
-/// and ~400 relationships of types {R, S} with an integer `k` on ~70%.
-/// All properties are integers or strings: float aggregation would make
+/// (unique), `v` (0..9), `w` (0..4, present on ~60%), a SHORT string
+/// `name` (inline small-string representation) and a LONG string `blurb`
+/// (shared heap representation, ~40-70 bytes, present on ~80%), and ~400
+/// relationships of types {R, S} with an integer `k` on ~70%. All
+/// properties are integers or strings: float aggregation would make
 /// per-partition partial sums legitimately differ in the last ulp.
 GraphPtr MakeDifferentialGraph(uint64_t seed) {
   Rng rng{seed};
@@ -72,6 +79,14 @@ GraphPtr MakeDifferentialGraph(uint64_t seed) {
       props.emplace_back("w", Value::Int(static_cast<int64_t>(rng.Below(5))));
     }
     props.emplace_back("name", Value::String("n" + std::to_string(i)));
+    if (rng.Chance(80)) {
+      // Long enough to always take the shared (heap) string path.
+      std::string blurb = "blurb-" + std::to_string(i) + "-";
+      while (blurb.size() < 40 + rng.Below(30)) {
+        blurb += static_cast<char>('a' + rng.Below(26));
+      }
+      props.emplace_back("blurb", Value::String(std::move(blurb)));
+    }
     nodes.push_back(g->CreateNode(rng.Pick(label_sets), props));
   }
   for (size_t e = 0; e < 400; ++e) {
@@ -157,7 +172,7 @@ GeneratedQuery GenerateQuery(Rng& rng) {
   // ---- WHERE ----
   auto predicate = [&]() -> std::string {
     const std::string& x = rng.Pick(node_vars);
-    switch (rng.Below(6)) {
+    switch (rng.Below(9)) {
       case 0:
         return x + ".v > " + std::to_string(rng.Below(10));
       case 1:
@@ -168,6 +183,17 @@ GeneratedQuery GenerateQuery(Rng& rng) {
         return x + ".w IS NULL";
       case 4:
         return x + ".w IS NOT NULL";
+      case 5:
+        // Inline-string comparison: name is 'n<id>'.
+        return x + ".name STARTS WITH 'n" + std::to_string(rng.Below(10)) +
+               "'";
+      case 6:
+        return x + ".name " + (rng.Chance(50) ? ">= 'n5'" : "< 'n5'");
+      case 7:
+        // Heap-string comparison (blurb is absent on ~20%: exercises the
+        // null path too).
+        return x + ".blurb CONTAINS '" +
+               std::string(1, static_cast<char>('a' + rng.Below(26))) + "'";
       default: {
         const std::string& y = rng.Pick(node_vars);
         return x + ".v = " + y + ".v";
@@ -184,27 +210,64 @@ GeneratedQuery GenerateQuery(Rng& rng) {
 
   // ---- optional WITH ----
   std::vector<std::string> cols;  // value columns available to RETURN
+  std::vector<bool> col_is_int;   // parallel to cols: safe for sum()/avg()
+  bool node_vars_in_scope = true;  // false once a WITH projects them away
   std::string with;
   if (rng.Chance(30)) {
     // Per-row WITH (parallel-safe): project properties, maybe filter.
+    // ~half the projections produce STRINGS (case mapping, substring,
+    // concatenation) so the shared/inline string representation flows
+    // through WITH, the filter, grouping and ORDER BY on every executor.
     with = " WITH ";
+    bool strings = rng.Chance(50);
     for (size_t i = 0; i < node_vars.size(); ++i) {
       if (i) with += ", ";
-      with += node_vars[i] + "." + rng.Pick(int_props) + " AS p" +
-              std::to_string(i);
+      if (strings) {
+        switch (rng.Below(4)) {
+          case 0:
+            with += "toUpper(" + node_vars[i] + ".name)";
+            break;
+          case 1:
+            with += "substring(" + node_vars[i] + ".blurb, 0, " +
+                    std::to_string(1 + rng.Below(8)) + ")";
+            break;
+          case 2:
+            with += node_vars[i] + ".name + '_' + " + node_vars[i] +
+                    ".name";
+            break;
+          default:
+            with += node_vars[i] + ".name + " + node_vars[i] + ".v";
+            break;
+        }
+        with += " AS p" + std::to_string(i);
+      } else {
+        with += node_vars[i] + "." + rng.Pick(int_props) + " AS p" +
+                std::to_string(i);
+      }
       cols.push_back("p" + std::to_string(i));
+      col_is_int.push_back(!strings);
     }
     if (rng.Chance(50)) {
-      with += " WHERE p0 >= " + std::to_string(rng.Below(8));
+      with += strings ? " WHERE p0 IS NOT NULL"
+                      : " WHERE p0 >= " + std::to_string(rng.Below(8));
     }
+    node_vars_in_scope = false;
   } else if (rng.Chance(12)) {
     // Aggregating WITH (serial fallback on purpose).
     with = " WITH " + node_vars[0] + "." + rng.Pick(int_props) +
            " AS p0, count(*) AS cnt";
     cols = {"p0", "cnt"};
+    col_is_int = {true, true};
+    node_vars_in_scope = false;
   } else {
     for (const std::string& v : node_vars) {
-      cols.push_back(v + "." + rng.Pick(int_props));
+      if (rng.Chance(25)) {
+        cols.push_back(v + (rng.Chance(70) ? ".name" : ".blurb"));
+        col_is_int.push_back(false);
+      } else {
+        cols.push_back(v + "." + rng.Pick(int_props));
+        col_is_int.push_back(true);
+      }
     }
   }
 
@@ -220,17 +283,39 @@ GeneratedQuery GenerateQuery(Rng& rng) {
       out_cols.push_back("c" + std::to_string(i));
     }
   } else if (ret_shape < 7) {
-    // Global aggregation.
-    ret += "count(*) AS c0, sum(" + cols[0] + ") AS c1, min(" + cols[0] +
-           ") AS c2, max(" + cols.back() + ") AS c3, avg(" + cols.back() +
-           ") AS c4";
+    // Global aggregation. sum()/avg() are numeric-only, so they draw from
+    // the integer columns; min/max/count(DISTINCT) accept the string
+    // columns too (string orderability and hashing under aggregation).
+    std::string int_col;
+    for (size_t i = 0; i < cols.size(); ++i) {
+      if (col_is_int[i]) int_col = cols[i];
+    }
+    ret += "count(*) AS c0, min(" + cols[0] + ") AS c1, max(" +
+           cols.back() + ") AS c2";
+    if (!int_col.empty()) {
+      ret += ", sum(" + int_col + ") AS c3, avg(" + int_col + ") AS c4";
+    }
     if (rng.Chance(40)) {
       ret += ", count(DISTINCT " + cols[0] + ") AS c5";
     }
     out_cols.clear();  // single row; ordering is moot
   } else if (ret_shape < 9) {
-    // Grouped aggregation.
-    ret += cols[0] + " AS g, count(*) AS c, sum(" + cols.back() + ") AS s";
+    // Grouped aggregation; string keys take the same path as integer keys
+    // (hash + equivalence over the shared representation). `x.name` is
+    // only legal while the node variables are still in scope (no WITH
+    // projected them away); otherwise a string column from `cols` serves
+    // as the (possibly string) grouping key.
+    if (node_vars_in_scope && (rng.Chance(35) || !col_is_int.back())) {
+      const std::string& x = rng.Pick(node_vars);
+      ret += x + ".name AS g, count(*) AS c, min(" + cols[0] +
+             ") AS mn, max(" + cols.back() + ") AS mx";
+    } else if (!col_is_int.back()) {
+      ret += cols[0] + " AS g, count(*) AS c, min(" + cols.back() +
+             ") AS mn, max(" + cols.back() + ") AS mx";
+    } else {
+      ret += cols[0] + " AS g, count(*) AS c, sum(" + cols.back() +
+             ") AS s";
+    }
     out_cols = {"g"};
   } else {
     // collect(): order-sensitive — volcano-only oracle, no var-length
@@ -307,7 +392,7 @@ TEST(Differential, RuntimesMatchTheOracle) {
   const size_t kSerialBatched = 1;  // runtimes[1] is the volcano oracle
 
   Rng rng{0x5EEDED5EEDULL};
-  const int kCases = 220;
+  const int kCases = 300;
   int executed = 0;
   int oracle_errors = 0;
   for (int i = 0; i < kCases; ++i) {

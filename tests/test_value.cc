@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <memory>
+#include <string>
 
 #include "src/value/value.h"
 #include "src/value/value_compare.h"
@@ -260,6 +263,215 @@ TEST(Format, Path) {
   p.nodes = {NodeId{1}, NodeId{2}};
   p.rels = {RelId{7}};
   EXPECT_EQ(Value::MakePath(p).ToString(), "<(1)-[:7]-(2)>");
+}
+
+
+// ---- Representation & coherence audit ---------------------------------------
+// The shared/inline value representation must be invisible to semantics:
+// equality, orderability and hashing may never depend on WHICH
+// representation (inline string vs shared string, shared vs distinct
+// payload) a value happens to carry. These tests pin the contract
+// `ValueOrder == 0  =>  ValueEquivalent  =>  equal ValueHash` (plus
+// `ValueEquals == true => ValueEquivalent`) over the representation
+// boundary and over randomly generated values.
+
+TEST(ValueRep, InlineAndSharedStringsCompareEqual) {
+  // One byte around the inline capacity in both directions.
+  for (size_t len : {size_t{0}, size_t{1}, Value::kInlineStringCapacity - 1,
+                     Value::kInlineStringCapacity,
+                     Value::kInlineStringCapacity + 1, size_t{200}}) {
+    std::string text(len, 'x');
+    Value direct = Value::String(text);           // inline when it fits
+    Value shared = Value::String(
+        std::make_shared<const std::string>(text));  // always heap-shared
+    EXPECT_EQ(direct.AsString(), text);
+    EXPECT_EQ(shared.AsString(), text);
+    EXPECT_EQ(ValueEquals(direct, shared), Tri::kTrue) << len;
+    EXPECT_TRUE(ValueEquivalent(direct, shared)) << len;
+    EXPECT_EQ(ValueOrder(direct, shared), 0) << len;
+    EXPECT_EQ(ValueHash(direct), ValueHash(shared)) << len;
+    EXPECT_EQ(*direct.AsSharedString(), text);
+  }
+}
+
+TEST(ValueRep, CopiesShareThePayload) {
+  Value long_string = Value::String(std::string(100, 'y'));
+  Value copy = long_string;
+  EXPECT_NE(long_string.shared_rep(), nullptr);
+  EXPECT_EQ(long_string.shared_rep(), copy.shared_rep());
+  Value small = Value::String("tiny");
+  EXPECT_EQ(small.shared_rep(), nullptr);  // inline: nothing on the heap
+  Value list = Value::MakeList({Value::Int(1), Value::Null()});
+  Value list_copy = list;
+  EXPECT_EQ(list.shared_rep(), list_copy.shared_rep());
+  // The shared-payload shortcut applies to equivalence/order, but must
+  // NOT leak into 3VL equality: a list containing null is not `=` to
+  // itself.
+  EXPECT_EQ(ValueEquals(list, list_copy), Tri::kNull);
+  EXPECT_TRUE(ValueEquivalent(list, list_copy));
+  EXPECT_EQ(ValueOrder(list, list_copy), 0);
+}
+
+TEST(PathAudit, EqualityOrderingAndHashAgree) {
+  Path p1{{NodeId{1}, NodeId{2}}, {RelId{7}}};
+  Path p2{{NodeId{1}, NodeId{2}}, {RelId{7}}};
+  Path other_rel{{NodeId{1}, NodeId{2}}, {RelId{8}}};
+  Path other_node{{NodeId{1}, NodeId{3}}, {RelId{7}}};
+  Path longer{{NodeId{1}, NodeId{2}, NodeId{3}}, {RelId{7}, RelId{8}}};
+  EXPECT_EQ(p1, p2);
+  EXPECT_NE(p1, other_rel);
+  EXPECT_NE(p1, other_node);
+  EXPECT_NE(p1, longer);
+  // Path::operator<=> (member-lexicographic) and ValueOrder (length
+  // first) may order differently, but their notion of EQUALITY must
+  // agree, and hashing must follow it.
+  Value v1 = Value::MakePath(p1);
+  Value v2 = Value::MakePath(p2);  // distinct allocation, same value
+  EXPECT_NE(v1.shared_rep(), v2.shared_rep());
+  EXPECT_EQ(ValueEquals(v1, v2), Tri::kTrue);
+  EXPECT_TRUE(ValueEquivalent(v1, v2));
+  EXPECT_EQ(ValueOrder(v1, v2), 0);
+  EXPECT_EQ(ValueHash(v1), ValueHash(v2));
+  for (const Path& q : {other_rel, other_node, longer}) {
+    Value vq = Value::MakePath(q);
+    EXPECT_EQ(ValueEquals(v1, vq), Tri::kFalse);
+    EXPECT_FALSE(ValueEquivalent(v1, vq));
+    EXPECT_NE(ValueOrder(v1, vq), 0);
+  }
+  // ValueOrder sorts paths by length before node ids (Cypher ORDER BY);
+  // operator<=> is lexicographic on nodes. Both are total orders.
+  EXPECT_LT(ValueOrder(v1, Value::MakePath(longer)), 0);
+}
+
+namespace {
+
+/// splitmix64 — deterministic across platforms.
+struct AuditRng {
+  uint64_t state;
+  uint64_t Next() {
+    uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+  uint64_t Below(uint64_t n) { return Next() % n; }
+};
+
+/// A random value; depth-bounded so lists/maps terminate. Strings are
+/// drawn from a small alphabet on both sides of the inline capacity so
+/// collisions (equal values built independently) are common.
+Value RandomValue(AuditRng& rng, int depth = 0) {
+  switch (rng.Below(depth >= 2 ? 10 : 12)) {
+    case 0:
+      return Value::Null();
+    case 1:
+      return Value::Bool(rng.Below(2) == 0);
+    case 2:
+      return Value::Int(static_cast<int64_t>(rng.Below(5)) - 2);
+    case 3:
+      // Int-valued floats on purpose: 1 and 1.0 are equivalent and must
+      // hash together.
+      return Value::Float(static_cast<double>(rng.Below(5)) - 2);
+    case 4:
+      return Value::Float(rng.Below(2) == 0
+                              ? std::numeric_limits<double>::quiet_NaN()
+                              : 0.5);
+    case 5: {
+      size_t len = rng.Below(2) == 0 ? rng.Below(4)
+                                     : Value::kInlineStringCapacity - 1 +
+                                           rng.Below(4);
+      std::string s(len, 'a');
+      for (char& c : s) c = static_cast<char>('a' + rng.Below(3));
+      return Value::String(std::move(s));
+    }
+    case 6:
+      return Value::Node(NodeId{rng.Below(3)});
+    case 7:
+      return Value::Relationship(RelId{rng.Below(3)});
+    case 8: {
+      Path p;
+      size_t hops = rng.Below(3);
+      p.nodes.push_back(NodeId{rng.Below(2)});
+      for (size_t i = 0; i < hops; ++i) {
+        p.rels.push_back(RelId{rng.Below(2)});
+        p.nodes.push_back(NodeId{rng.Below(2)});
+      }
+      return Value::MakePath(std::move(p));
+    }
+    case 9:
+      return Value::Temporal(Date{static_cast<int64_t>(rng.Below(3))});
+    case 10: {
+      ValueList items;
+      size_t n = rng.Below(3);
+      for (size_t i = 0; i < n; ++i) {
+        items.push_back(RandomValue(rng, depth + 1));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    default: {
+      ValueMap m;
+      size_t n = rng.Below(3);
+      for (size_t i = 0; i < n; ++i) {
+        m[std::string(1, static_cast<char>('p' + rng.Below(2)))] =
+            RandomValue(rng, depth + 1);
+      }
+      return Value::MakeMap(std::move(m));
+    }
+  }
+}
+
+}  // namespace
+
+TEST(ValueAudit, RandomizedHashEqualityOrderCoherence) {
+  AuditRng rng{0xC0FFEE5EEDULL};
+  const int kPairs = 5000;
+  int equivalent_pairs = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    Value a = RandomValue(rng);
+    Value b = RandomValue(rng);
+    // Reflexivity, including through a copy (shared payload).
+    Value a_copy = a;
+    EXPECT_TRUE(ValueEquivalent(a, a));
+    EXPECT_EQ(ValueOrder(a, a), 0);
+    EXPECT_TRUE(ValueEquivalent(a, a_copy));
+    EXPECT_EQ(ValueOrder(a, a_copy), 0);
+    EXPECT_EQ(ValueHash(a), ValueHash(a_copy));
+    // Antisymmetry.
+    int ab = ValueOrder(a, b);
+    int ba = ValueOrder(b, a);
+    EXPECT_EQ(ab < 0, ba > 0) << a.ToString() << " vs " << b.ToString();
+    EXPECT_EQ(ab == 0, ba == 0) << a.ToString() << " vs " << b.ToString();
+    // The coherence chain: Order==0 => Equivalent => hashes equal; and
+    // 3VL `=` true implies equivalence.
+    if (ab == 0) {
+      EXPECT_TRUE(ValueEquivalent(a, b))
+          << a.ToString() << " vs " << b.ToString();
+    }
+    if (ValueEquivalent(a, b)) {
+      ++equivalent_pairs;
+      EXPECT_EQ(ValueHash(a), ValueHash(b))
+          << a.ToString() << " vs " << b.ToString();
+      // Equivalent values are indistinguishable to ordering — with ONE
+      // sanctioned exception: an int and the int-valued float it equals
+      // keep a deterministic int-before-float order (value_compare.cc's
+      // NumberOrder tiebreak), so ORDER BY is stable across runs.
+      if (a.type() == b.type()) {
+        EXPECT_EQ(ab, 0) << a.ToString() << " vs " << b.ToString();
+      } else {
+        ASSERT_TRUE(a.is_number() && b.is_number())
+            << a.ToString() << " vs " << b.ToString();
+        EXPECT_EQ(ab, a.is_int() ? -1 : 1)
+            << a.ToString() << " vs " << b.ToString();
+      }
+    }
+    if (ValueEquals(a, b) == Tri::kTrue) {
+      EXPECT_TRUE(ValueEquivalent(a, b))
+          << a.ToString() << " vs " << b.ToString();
+    }
+  }
+  // The generator must actually produce colliding pairs, or the
+  // implications above are vacuous.
+  EXPECT_GE(equivalent_pairs, kPairs / 50);
 }
 
 }  // namespace
