@@ -18,8 +18,8 @@ CypherEngine MakeMultiGraphEngine(size_t people) {
   cfg.seed = 99;
   GraphPtr soc = workload::MakeSocialNetwork(cfg);
   CypherEngine engine;
-  engine.catalog().RegisterUrl("hdfs://cluster/soc_network", soc);
-  engine.catalog().RegisterUrl("bolt://cluster/citizens", soc);
+  engine.RegisterUrl("hdfs://cluster/soc_network", soc);
+  engine.RegisterUrl("bolt://cluster/citizens", soc);
   return engine;
 }
 

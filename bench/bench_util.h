@@ -75,7 +75,7 @@ inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
   if (g_num_threads > 0) opts.num_threads = g_num_threads;
   CypherEngine engine(opts);
   engine.set_default_graph(g);
-  engine.catalog().RegisterGraph("bench", std::move(g));
+  engine.RegisterGraph("bench", std::move(g));
   return engine;
 }
 

@@ -18,11 +18,11 @@ namespace {
 void RunOn(GraphPtr graph, const char* query) {
   std::cout << "cypher> " << query << "\n";
   CypherEngine engine;
-  engine.catalog().RegisterGraph("default", graph);
+  engine.RegisterGraph("default", graph);
   // Point the engine at the prebuilt graph via the catalog: FROM GRAPH
   // selects it (Cypher 10), or we just register it as the default.
   CypherEngine fresh;
-  fresh.catalog().RegisterGraph("paper", graph);
+  fresh.RegisterGraph("paper", graph);
   auto result = fresh.Execute(std::string("FROM GRAPH paper ") + query);
   if (!result.ok()) {
     std::cout << "  " << result.status().ToString() << "\n\n";

@@ -18,7 +18,7 @@ int main() {
   GraphPtr data = workload::MakeFraudGraph(cfg);
 
   CypherEngine engine;
-  engine.catalog().RegisterGraph("accounts", data);
+  engine.RegisterGraph("accounts", data);
 
   std::cout << "Account graph: " << data->NumNodes() << " nodes, "
             << data->NumRels() << " relationships\n\n";

@@ -31,8 +31,8 @@ void PrintStats(CypherEngine& engine) {
     }
   }
   const PlanCacheStats& pc = engine.plan_cache_stats();
-  std::cout << "plan cache: " << engine.plan_cache().size() << "/"
-            << engine.plan_cache().capacity() << " entries, " << pc.hits
+  std::cout << "plan cache: " << engine.plan_cache_size() << "/"
+            << engine.plan_cache_capacity() << " entries, " << pc.hits
             << " hits, " << pc.misses << " misses, " << pc.evictions
             << " evictions, " << pc.invalidations << " invalidations\n";
   const BatchStats& ex = engine.exec_stats();

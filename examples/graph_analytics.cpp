@@ -41,7 +41,7 @@ int main() {
 
   // Cross-check with a Cypher query: in-degree correlates with PageRank.
   CypherEngine engine;
-  engine.catalog().RegisterGraph("cites", citations);
+  engine.RegisterGraph("cites", citations);
   auto top_cited = engine.Execute(
       "FROM GRAPH cites MATCH (p:Publication)<-[:CITES]-(q) "
       "RETURN p.acmid AS acmid, count(q) AS cites "

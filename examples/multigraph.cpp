@@ -19,11 +19,11 @@ int main() {
   cfg.avg_friends = 6;
   cfg.num_cities = 10;
   GraphPtr soc = workload::MakeSocialNetwork(cfg);
-  engine.catalog().RegisterUrl("hdfs://cluster/soc_network", soc);
+  engine.RegisterUrl("hdfs://cluster/soc_network", soc);
 
   // The register graph: the same people, IN edges to cities (the social
   // generator already adds them, so reuse a second network as register).
-  engine.catalog().RegisterUrl("bolt://cluster/citizens", soc);
+  engine.RegisterUrl("bolt://cluster/citizens", soc);
 
   std::cout << "soc_net: " << soc->NumNodes() << " nodes, " << soc->NumRels()
             << " relationships\n\n";

@@ -17,7 +17,7 @@ int main() {
   GraphPtr net = workload::MakeDependencyNetwork(cfg);
 
   CypherEngine engine;
-  engine.catalog().RegisterGraph("datacenter", net);
+  engine.RegisterGraph("datacenter", net);
   std::cout << "Dependency graph: " << net->NumNodes() << " services, "
             << net->NumRels() << " dependencies\n\n";
 

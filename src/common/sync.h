@@ -1,0 +1,122 @@
+#ifndef GQLITE_COMMON_SYNC_H_
+#define GQLITE_COMMON_SYNC_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+#include "src/common/thread_annotations.h"
+
+namespace gqlite {
+
+/// Annotated synchronization primitives — the ONLY way to lock in this
+/// codebase. Raw std::mutex / std::condition_variable are banned outside
+/// this header (enforced by bench/tools/lint_banned.py and reviewed
+/// against Clang's -Wthread-safety analysis in CI): a mutex that exists
+/// only as a `Mutex` member with `GUARDED_BY` fields is a mutex whose
+/// discipline the compiler proves on every call path.
+///
+/// Policy for new concurrency:
+///  * every new mutex is a `Mutex` member named for what it protects,
+///    with GUARDED_BY(mu) on each protected field;
+///  * externally-synchronized classes annotate their methods
+///    REQUIRES(mu_) and expose `mu()` so callers can lock (see PlanCache,
+///    GraphCatalog) — flipping them to internal locking later is a
+///    body-only change;
+///  * lock-free atomics go through AtomicCounter below (or add a new
+///    wrapper here) so the banned-API lint keeps a single inventory of
+///    every concurrency primitive in the engine.
+
+/// A std::mutex carrying the Clang `capability` attribute. Non-reentrant.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+  /// "Moving" a Mutex constructs a FRESH, UNLOCKED mutex — no lock state
+  /// transfers. This exists so single-owner aggregates that embed one
+  /// (CypherEngine, PlanCache, GraphCatalog) stay movable for by-value
+  /// factory returns. Precondition: neither side is held.
+  Mutex(Mutex&&) noexcept : Mutex() {}
+  Mutex& operator=(Mutex&&) noexcept { return *this; }
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII guard: locks on construction, unlocks on destruction (the
+/// `scoped_lockable` attribute tells the analysis the capability is held
+/// between the two). The only sanctioned way to hold a Mutex.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() takes the Mutex the
+/// caller already holds (REQUIRES documents it; the wait releases and
+/// reacquires it internally). Spurious wakeups are possible — always wait
+/// in a `while (!condition)` loop; a raw loop keeps every read of the
+/// guarded condition visible to the analysis (predicate lambdas are
+/// analyzed as lock-free functions and would warn).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+  /// Same contract as Mutex's move: a fresh condition variable with no
+  /// waiters. Precondition: nothing is blocked on either side.
+  CondVar(CondVar&&) noexcept : CondVar() {}
+  CondVar& operator=(CondVar&&) noexcept { return *this; }
+
+  /// Blocks until notified (or spuriously woken). The caller must hold
+  /// `mu`; it is released while blocked and reacquired before returning.
+  void Wait(Mutex* mu) REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu->mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller's MutexLock still owns the mutex
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+/// Monotonic lock-free counter (morsel claim counters, test probes).
+/// Relaxed ordering: callers must not use it to publish other memory —
+/// it orders nothing but itself. For anything fancier, add an explicit
+/// wrapper here rather than reaching for std::atomic at the use site.
+class AtomicCounter {
+ public:
+  constexpr AtomicCounter() = default;
+  constexpr explicit AtomicCounter(size_t initial) : v_(initial) {}
+  AtomicCounter(const AtomicCounter&) = delete;
+  AtomicCounter& operator=(const AtomicCounter&) = delete;
+
+  /// Returns the pre-increment value.
+  size_t FetchAdd(size_t d = 1) { return v_.fetch_add(d, kRelaxed); }
+  size_t Load() const { return v_.load(kRelaxed); }
+  void Store(size_t v) { v_.store(v, kRelaxed); }
+
+ private:
+  static constexpr std::memory_order kRelaxed = std::memory_order_relaxed;
+  std::atomic<size_t> v_{0};
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_COMMON_SYNC_H_

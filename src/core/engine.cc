@@ -23,6 +23,7 @@ CypherEngine::CypherEngine(EngineOptions options)
       rand_state_(options.rand_seed),
       plan_cache_(options.plan_cache_capacity) {
   options_status_ = ApplyEnvOverrides(&options_);
+  MutexLock lock(catalog_.mu());
   graph_ = catalog_.default_graph();
 }
 
@@ -30,11 +31,23 @@ CypherEngine::~CypherEngine() = default;
 CypherEngine::CypherEngine(CypherEngine&&) noexcept = default;
 
 WorkerPool* CypherEngine::EnsureWorkerPool() {
+  MutexLock lock(&pool_mu_);
   size_t extra = options_.num_threads - 1;
   if (pool_ == nullptr || pool_->size() != extra) {
     pool_ = std::make_unique<WorkerPool>(extra);
   }
   return pool_.get();
+}
+
+void CypherEngine::FoldRunStats(const BatchStats& run,
+                                const ParallelRunStats& prun) {
+  MutexLock lock(&stats_mu_);
+  exec_stats_.rows += run.rows;
+  exec_stats_.batches += run.batches;
+  if (prun.workers > 0) {
+    ++parallel_stats_.queries;
+    parallel_stats_.morsels += prun.morsels;
+  }
 }
 
 MatchOptions CypherEngine::MakeMatchOptions() const {
@@ -96,9 +109,14 @@ Result<PreparedQuery> CypherEngine::Prepare(std::string_view query) {
   // cache off the rewrite+unparse would be pure overhead on every
   // Execute(text) call. A statement prepared while the cache is off
   // stays uncached (text_key empty) even if the cache is enabled later.
+  size_t cache_capacity;
+  {
+    MutexLock lock(plan_cache_.mu());
+    cache_capacity = plan_cache_.capacity();
+  }
   bool cacheable = !state->info.updating && !state->has_return_graph &&
                    options_.mode == ExecutionMode::kVolcano &&
-                   options_.use_plan_cache && plan_cache_.capacity() > 0;
+                   options_.use_plan_cache && cache_capacity > 0;
   if (cacheable) {
     state->constants = AutoParameterize(&state->query).extracted;
     state->text_key = NormalizedQueryKey(state->query);
@@ -141,31 +159,52 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
 Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                                              const ValueMap& params) {
   QueryResult result;
-  ++exec_queries_;
+  {
+    MutexLock lock(&stats_mu_);
+    ++exec_queries_;  // counts attempts, like the serial-era counter
+  }
   WorkerPool* pool =
       options_.num_threads > 1 ? EnsureWorkerPool() : nullptr;
+  // Per-execution counters accumulate into locals and fold into the
+  // guarded cumulative stats once at the end, so a monitoring thread can
+  // read exec_stats()/parallel_stats() while the query runs.
+  BatchStats run_stats;
   ParallelRunStats prun;
-  if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
+  size_t cache_capacity;
+  {
+    MutexLock lock(plan_cache_.mu());
+    cache_capacity = plan_cache_.capacity();
+  }
+  if (!options_.use_plan_cache || cache_capacity == 0 ||
       prepared->text_key.empty()) {
     GQL_ASSIGN_OR_RETURN(
         result.table, RunPlanned(&catalog_, graph_, &params,
                                  MakePlannerOptions(), &rand_state_,
-                                 prepared->query, &exec_stats_, pool, &prun));
-    if (prun.workers > 0) {
-      ++parallel_stats_.queries;
-      parallel_stats_.morsels += prun.morsels;
-    }
+                                 prepared->query, &run_stats, pool, &prun));
+    FoldRunStats(run_stats, prun);
     return result;
+  }
+  // Snapshot the catalog version, then release its lock: planning below
+  // may re-enter the catalog (FROM GRAPH ... AT registers names).
+  uint64_t cat_version;
+  {
+    MutexLock lock(catalog_.mu());
+    cat_version = catalog_.version();
   }
   // A catalog-version move strands every older entry (they can never
   // validate again); sweep them now so the graphs they pin are released
   // promptly rather than on LRU eviction.
-  if (catalog_.version() != swept_catalog_version_) {
-    plan_cache_.SweepStale(catalog_.version());
-    swept_catalog_version_ = catalog_.version();
+  if (cat_version != swept_catalog_version_) {
+    MutexLock lock(plan_cache_.mu());
+    plan_cache_.SweepStale(cat_version);
+    swept_catalog_version_ = cat_version;
   }
   std::string key = prepared->text_key + OptionsFingerprint();
-  PlanCache::Entry* entry = plan_cache_.Lookup(key, catalog_.version());
+  PlanCache::Entry* entry;
+  {
+    MutexLock lock(plan_cache_.mu());
+    entry = plan_cache_.Lookup(key, cat_version);
+  }
   if (entry == nullptr) {
     Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
                     &rand_state_);
@@ -178,9 +217,17 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
     for (const auto& ctx : plan.contexts) {
       guards.emplace_back(ctx->graph_owner, ctx->graph_owner->stats_version());
     }
+    {
+      MutexLock lock(catalog_.mu());
+      cat_version = catalog_.version();
+    }
+    MutexLock lock(plan_cache_.mu());
     entry = plan_cache_.Insert(std::move(key), prepared, std::move(plan),
-                               catalog_.version(), std::move(guards));
+                               cat_version, std::move(guards));
   }
+  // The Entry* outlives the lock scopes above: under today's
+  // single-session contract no other cache operation can intervene
+  // before this execution finishes (the MVCC PR pins entries instead).
   // Rebind execution-scoped state: this execution's parameter bindings
   // and the engine's PRNG stream.
   for (auto& ctx : entry->plan.contexts) {
@@ -191,14 +238,14 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
     GQL_ASSIGN_OR_RETURN(result.table,
                          ExecutePlanParallel(&entry->plan, pool,
                                              options_.batch_size,
-                                             &exec_stats_, &prun));
-    ++parallel_stats_.queries;
-    parallel_stats_.morsels += prun.morsels;
+                                             &run_stats, &prun));
+    FoldRunStats(run_stats, prun);
     return result;
   }
   GQL_ASSIGN_OR_RETURN(result.table,
                        ExecutePlan(&entry->plan, options_.batch_size,
-                                   &exec_stats_));
+                                   &run_stats));
+  FoldRunStats(run_stats, prun);
   return result;
 }
 
@@ -232,16 +279,18 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
   Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
                   &rand_state_);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
-  ++exec_queries_;
+  {
+    MutexLock lock(&stats_mu_);
+    ++exec_queries_;
+  }
   Table t;
   std::string head;
+  BatchStats run_stats;
+  ParallelRunStats prun;
   if (options_.num_threads > 1 && plan.parallel.safe) {
-    ParallelRunStats prun;
     GQL_ASSIGN_OR_RETURN(t, ExecutePlanParallel(&plan, EnsureWorkerPool(),
                                                 options_.batch_size,
-                                                &exec_stats_, &prun));
-    ++parallel_stats_.queries;
-    parallel_stats_.morsels += prun.morsels;
+                                                &run_stats, &prun));
     // Fold every worker instance's counters into the printed tree.
     for (const OperatorPtr& instance : plan.extra_roots) {
       plan.root->AbsorbCounters(*instance);
@@ -252,11 +301,12 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
            "stage; its tree counters stay 0)\n";
   } else {
     GQL_ASSIGN_OR_RETURN(
-        t, ExecutePlan(&plan, options_.batch_size, &exec_stats_));
+        t, ExecutePlan(&plan, options_.batch_size, &run_stats));
     if (options_.num_threads > 1) {
       head = "Parallel: serial (" + plan.parallel.reason + ")\n";
     }
   }
+  FoldRunStats(run_stats, prun);
   std::string out = head + ProfilePlan(*plan.root);
   out += "result: " + std::to_string(t.NumRows()) + " rows\n";
   return out;

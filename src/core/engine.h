@@ -5,6 +5,7 @@
 #include <string>
 #include <string_view>
 
+#include "src/common/sync.h"
 #include "src/core/query_result.h"
 #include "src/plan/plan_cache.h"
 #include "src/plan/planner.h"
@@ -13,6 +14,7 @@
 namespace gqlite {
 
 class WorkerPool;
+struct ParallelRunStats;
 
 /// How read queries execute (experiment E15 ablates the two):
 ///  * kInterpreter — the reference implementation of the paper's formal
@@ -131,10 +133,24 @@ class CypherEngine {
   /// catalog; cached plans against the old graph are invalidated through
   /// the catalog version bump.
   void set_default_graph(GraphPtr g) {
+    MutexLock lock(catalog_.mu());
     catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
     graph_ = std::move(g);
   }
-  /// Named-graph catalog (Cypher 10, §6).
+  /// Registers a named graph in the catalog. Equivalent to locking
+  /// catalog().mu() and calling the catalog method — the convenience form
+  /// for setup code (examples, benches, tests).
+  void RegisterGraph(const std::string& name, GraphPtr g) {
+    MutexLock lock(catalog_.mu());
+    catalog_.RegisterGraph(name, std::move(g));
+  }
+  /// Registers a graph under an external URL (FROM GRAPH ... AT "url").
+  void RegisterUrl(const std::string& url, GraphPtr g) {
+    MutexLock lock(catalog_.mu());
+    catalog_.RegisterUrl(url, std::move(g));
+  }
+  /// Named-graph catalog (Cypher 10, §6). Externally synchronized: its
+  /// methods REQUIRE catalog().mu() — hold a MutexLock across calls.
   GraphCatalog& catalog() { return catalog_; }
 
   /// Parses, validates and runs a query. `params` supplies `$name`
@@ -166,28 +182,53 @@ class CypherEngine {
   void set_options(EngineOptions options) {
     options_ = options;
     options_status_ = ApplyEnvOverrides(&options_);
+    MutexLock lock(plan_cache_.mu());
     plan_cache_.set_capacity(options.plan_cache_capacity);
   }
 
-  /// The plan cache (tests/tools may Clear(), resize or reset stats).
+  /// The plan cache (tests/tools may Clear(), resize or reset stats —
+  /// holding plan_cache().mu(), which its methods REQUIRE).
   PlanCache& plan_cache() { return plan_cache_; }
-  /// Hit/miss/eviction/invalidation counters.
-  const PlanCacheStats& plan_cache_stats() const {
+  /// Hit/miss/eviction/invalidation counters (snapshot by value: safe to
+  /// call from a monitoring thread while queries execute).
+  PlanCacheStats plan_cache_stats() const {
+    MutexLock lock(plan_cache_.mu());
     return plan_cache_.stats();
+  }
+  /// Number of cached plans / configured bound, snapshot under the cache
+  /// lock (same contract as plan_cache_stats()).
+  size_t plan_cache_size() const {
+    MutexLock lock(plan_cache_.mu());
+    return plan_cache_.size();
+  }
+  size_t plan_cache_capacity() const {
+    MutexLock lock(plan_cache_.mu());
+    return plan_cache_.capacity();
   }
 
   /// Cumulative rows/batches the batched runtime's root drain produced
-  /// across this engine's Volcano executions (gqlsh :stats).
-  const BatchStats& exec_stats() const { return exec_stats_; }
+  /// across this engine's Volcano executions (gqlsh :stats). Snapshot by
+  /// value: safe to call from a monitoring thread while queries execute
+  /// (counters fold in under stats_mu_ when each execution finishes).
+  BatchStats exec_stats() const EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return exec_stats_;
+  }
   /// Number of Volcano executions behind exec_stats().
-  uint64_t exec_queries() const { return exec_queries_; }
+  uint64_t exec_queries() const EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return exec_queries_;
+  }
 
   /// Cumulative morsel-driven parallel execution counters (gqlsh :stats).
   struct ParallelStats {
     uint64_t queries = 0;  // executions that ran on the parallel runtime
     uint64_t morsels = 0;  // scan morsels dispatched across them
   };
-  const ParallelStats& parallel_stats() const { return parallel_stats_; }
+  ParallelStats parallel_stats() const EXCLUDES(stats_mu_) {
+    MutexLock lock(&stats_mu_);
+    return parallel_stats_;
+  }
 
  private:
   /// Applies the GQLITE_BATCH_SIZE / GQLITE_THREADS environment
@@ -198,7 +239,10 @@ class CypherEngine {
   /// Prepare/Execute.
   static Status ApplyEnvOverrides(EngineOptions* options);
   /// (Re)creates the fixed worker pool to match num_threads.
-  WorkerPool* EnsureWorkerPool();
+  WorkerPool* EnsureWorkerPool() EXCLUDES(pool_mu_);
+  /// Folds one execution's counters into the cumulative stats.
+  void FoldRunStats(const BatchStats& run, const ParallelRunStats& prun)
+      EXCLUDES(stats_mu_);
   MatchOptions MakeMatchOptions() const;
   PlannerOptions MakePlannerOptions() const;
   /// Cache key suffix encoding every option that changes the compiled
@@ -219,13 +263,23 @@ class CypherEngine {
   GraphPtr graph_;
   uint64_t rand_state_;
   PlanCache plan_cache_;
-  BatchStats exec_stats_;
-  uint64_t exec_queries_ = 0;
-  ParallelStats parallel_stats_;
+  /// Guards the cumulative execution counters below. Executions
+  /// accumulate into locals and fold in here once per query, so a
+  /// monitoring thread reading exec_stats()/parallel_stats() mid-query
+  /// never races the runtime (pinned by a TSan-run test).
+  mutable Mutex stats_mu_;
+  BatchStats exec_stats_ GUARDED_BY(stats_mu_);
+  uint64_t exec_queries_ GUARDED_BY(stats_mu_) = 0;
+  ParallelStats parallel_stats_ GUARDED_BY(stats_mu_);
+  /// Guards the lazy (re)construction of the worker pool. The returned
+  /// raw pointer stays valid until the next set_options/num_threads
+  /// change — a single-owner operation today; the session PR makes
+  /// reconfiguration quiesce in-flight queries first.
+  Mutex pool_mu_;
   /// Fixed worker pool for the parallel runtime (num_threads - 1
   /// threads; the query thread is worker 0). Created lazily on the first
   /// parallel-eligible execution.
-  std::unique_ptr<WorkerPool> pool_;
+  std::unique_ptr<WorkerPool> pool_ GUARDED_BY(pool_mu_);
   /// Catalog version at the last stale-entry sweep (see RunVolcano).
   uint64_t swept_catalog_version_ = 0;
 };

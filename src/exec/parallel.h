@@ -1,9 +1,10 @@
 #ifndef GQLITE_EXEC_PARALLEL_H_
 #define GQLITE_EXEC_PARALLEL_H_
 
-#include <atomic>
 #include <cstddef>
 #include <string>
+
+#include "src/common/sync.h"
 
 #include "src/exec/worker_pool.h"
 #include "src/plan/planner.h"
@@ -66,7 +67,7 @@ class MorselDispatcher {
 
   /// Claims the next morsel; false once the domain is exhausted.
   bool Next(ScanMorsel* out) {
-    size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    size_t i = next_.FetchAdd(1);
     if (i >= count_) return false;
     out->index = i;
     out->begin = i * chunk_;
@@ -81,7 +82,8 @@ class MorselDispatcher {
   size_t domain_;
   size_t chunk_;
   size_t count_;
-  std::atomic<size_t> next_{0};
+  /// The shared claim counter — work stealing falls out of FetchAdd.
+  AtomicCounter next_;
 };
 
 /// Scan-range chunk for `domain` positions across `workers` workers:

@@ -1,5 +1,7 @@
 #include "src/exec/worker_pool.h"
 
+#include <utility>
+
 namespace gqlite {
 
 WorkerPool::WorkerPool(size_t num_threads) {
@@ -10,13 +12,17 @@ WorkerPool::WorkerPool(size_t num_threads) {
   }
 }
 
-WorkerPool::~WorkerPool() {
+WorkerPool::~WorkerPool() { Shutdown(); }
+
+void WorkerPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
+    if (shutdown_) return;  // idempotent: the threads are already joined
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (auto& t : threads_) t.join();
+  threads_.clear();
 }
 
 void WorkerPool::WorkerLoop(size_t index) {
@@ -24,36 +30,38 @@ void WorkerPool::WorkerLoop(size_t index) {
   while (true) {
     const std::function<Status(size_t)>* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || generation_ != seen; });
+      MutexLock lock(&mu_);
+      // Raw wait loop (not a predicate lambda): every read of the
+      // guarded fields stays inside this function, where the analysis
+      // can see the lock is held.
+      while (!shutdown_ && generation_ == seen) work_cv_.Wait(&mu_);
       if (shutdown_) return;
       seen = generation_;
       job = job_;
     }
     Status st = (*job)(index);
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       statuses_[index] = std::move(st);
-      if (--pending_ == 0) done_cv_.notify_all();
+      if (--pending_ == 0) done_cv_.NotifyAll();
     }
   }
 }
 
 Status WorkerPool::RunOnAll(const std::function<Status(size_t)>& fn) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (auto& s : statuses_) s = Status::OK();
     job_ = &fn;
     pending_ = threads_.size();
     ++generation_;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   // The calling thread is worker 0 — it participates instead of idling.
   Status mine = fn(0);
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(&mu_);
+    while (pending_ != 0) done_cv_.Wait(&mu_);
     job_ = nullptr;
     statuses_[0] = std::move(mine);
     for (const Status& s : statuses_) {

@@ -1,14 +1,13 @@
 #ifndef GQLITE_EXEC_WORKER_POOL_H_
 #define GQLITE_EXEC_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "src/common/status.h"
+#include "src/common/sync.h"
 
 namespace gqlite {
 
@@ -20,6 +19,12 @@ namespace gqlite {
 /// calling thread (index 0), returns after all complete, and reports the
 /// lowest-indexed worker's failure — a deterministic pick when several
 /// workers fail.
+///
+/// Thread-safety: the job handoff is fully annotated (`mu_` guards every
+/// handoff field; Clang's -Wthread-safety proves the discipline).
+/// Construction, Shutdown and RunOnAll themselves are single-owner
+/// operations — one thread drives the pool, the pool threads only ever
+/// run WorkerLoop.
 class WorkerPool {
  public:
   /// Spawns `num_threads` parked worker threads (0 is valid: RunOnAll
@@ -33,19 +38,32 @@ class WorkerPool {
   /// Number of pool threads (total workers a job sees = size() + 1).
   size_t size() const { return threads_.size(); }
 
-  Status RunOnAll(const std::function<Status(size_t)>& fn);
+  /// Stops and joins every pool thread. Idempotent — a second call (or
+  /// the destructor after an explicit call) is a no-op. After Shutdown
+  /// the pool is empty: size() is 0 and RunOnAll degenerates to running
+  /// the job on the calling thread only.
+  void Shutdown() EXCLUDES(mu_);
+
+  Status RunOnAll(const std::function<Status(size_t)>& fn) EXCLUDES(mu_);
 
  private:
-  void WorkerLoop(size_t index);
+  void WorkerLoop(size_t index) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  const std::function<Status(size_t)>* job_ = nullptr;  // guarded by mu_
-  uint64_t generation_ = 0;  // bumped per job; workers run once per bump
-  size_t pending_ = 0;       // pool threads still running the current job
-  bool shutdown_ = false;
-  std::vector<Status> statuses_;  // per worker index, 0 = caller
+  Mutex mu_;
+  CondVar work_cv_;
+  CondVar done_cv_;
+  /// The in-flight job; non-null exactly while a RunOnAll is active.
+  const std::function<Status(size_t)>* job_ GUARDED_BY(mu_) = nullptr;
+  /// Bumped per job; workers run once per bump.
+  uint64_t generation_ GUARDED_BY(mu_) = 0;
+  /// Pool threads still running the current job.
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Per worker index, 0 = caller.
+  std::vector<Status> statuses_ GUARDED_BY(mu_);
+  /// Written by the constructor and Shutdown() only (both single-owner
+  /// operations; joining must not hold mu_ — WorkerLoop needs it to
+  /// observe shutdown_). WorkerLoop never touches it.
   std::vector<std::thread> threads_;
 };
 

@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "src/common/result.h"
+#include "src/common/sync.h"
 #include "src/graph/property_graph.h"
 
 namespace gqlite {
@@ -19,18 +20,32 @@ using GraphPtr = std::shared_ptr<PropertyGraph>;
 /// URL. We simulate external storage with a URL→graph registry (see
 /// DESIGN.md substitution table) so the resolution code path is exercised
 /// without a network.
+///
+/// Thread-safety: EXTERNALLY SYNCHRONIZED. Every method REQUIRES(mu())
+/// and callers hold the lock across each call (the engine, the planner's
+/// FROM GRAPH resolution, and the interpreter's graph clauses all lock at
+/// their call sites today). The MVCC/session PR flips the catalog to
+/// internal locking by moving the MutexLock into the method bodies — no
+/// interface change, and every field is already GUARDED_BY.
 class GraphCatalog {
  public:
   /// Name of the implicit single global graph of Cypher 9.
   static constexpr const char* kDefaultGraphName = "default";
 
-  GraphCatalog() { RegisterGraph(kDefaultGraphName, std::make_shared<PropertyGraph>()); }
+  // Direct field init (not RegisterGraph): constructors run before the
+  // object can be shared, where holding mu_ would be meaningless.
+  GraphCatalog() {
+    graphs_[kDefaultGraphName] = std::make_shared<PropertyGraph>();
+  }
+
+  /// The capability callers must hold around every method below.
+  Mutex* mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
 
   /// Registers (or replaces) a named graph. Bumps the catalog version
   /// only when the mapping actually changes, so re-registering the same
   /// graph (e.g. when planning FROM GRAPH ... AT re-resolves a URL) does
   /// not invalidate cached plans.
-  void RegisterGraph(std::string_view name, GraphPtr graph) {
+  void RegisterGraph(std::string_view name, GraphPtr graph) REQUIRES(mu_) {
     GraphPtr& slot = graphs_[std::string(name)];
     if (slot != graph) {
       slot = std::move(graph);
@@ -39,7 +54,7 @@ class GraphCatalog {
   }
 
   /// Registers a URL as resolving to a (new or existing) graph.
-  void RegisterUrl(std::string_view url, GraphPtr graph) {
+  void RegisterUrl(std::string_view url, GraphPtr graph) REQUIRES(mu_) {
     GraphPtr& slot = urls_[std::string(url)];
     if (slot != graph) {
       slot = std::move(graph);
@@ -50,25 +65,30 @@ class GraphCatalog {
   /// Monotonic counter of name/URL (re)bindings. Cached plans resolve
   /// FROM GRAPH references at planning time, so any rebinding stales
   /// them (generation-based invalidation in the plan cache).
-  uint64_t version() const { return version_; }
+  uint64_t version() const REQUIRES(mu_) { return version_; }
 
-  bool HasGraph(std::string_view name) const {
-    return graphs_.count(std::string(name)) > 0;
+  bool HasGraph(std::string_view name) const REQUIRES(mu_) {
+    return graphs_.contains(std::string(name));
   }
 
   /// Resolves a graph by name.
-  Result<GraphPtr> Resolve(std::string_view name) const;
+  Result<GraphPtr> Resolve(std::string_view name) const REQUIRES(mu_);
 
   /// Resolves a graph by URL (FROM GRAPH g AT "url"); registers the result
   /// under `name` as a side effect when called through the engine.
-  Result<GraphPtr> ResolveUrl(std::string_view url) const;
+  Result<GraphPtr> ResolveUrl(std::string_view url) const REQUIRES(mu_);
 
-  GraphPtr default_graph() const { return graphs_.at(kDefaultGraphName); }
+  GraphPtr default_graph() const REQUIRES(mu_) {
+    return graphs_.at(kDefaultGraphName);
+  }
 
  private:
-  std::unordered_map<std::string, GraphPtr> graphs_;
-  std::unordered_map<std::string, GraphPtr> urls_;
-  uint64_t version_ = 0;
+  /// Mutable so const reads (version, Resolve) lock through the same
+  /// capability as writers.
+  mutable Mutex mu_;
+  std::unordered_map<std::string, GraphPtr> graphs_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, GraphPtr> urls_ GUARDED_BY(mu_);
+  uint64_t version_ GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace gqlite

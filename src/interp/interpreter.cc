@@ -177,6 +177,8 @@ Result<Table> Interpreter::ExecUnwind(const UnwindClause& u,
 
 Result<Table> Interpreter::ExecFromGraph(const FromGraphClause& f,
                                          Table input) {
+  // The catalog is externally synchronized (REQUIRES its mu()).
+  MutexLock cat_lock(catalog_->mu());
   if (f.url) {
     // FROM GRAPH g AT "url": resolve through the URL registry and bind the
     // name (simulating an external graph store; see DESIGN.md).
@@ -250,7 +252,10 @@ Result<Table> Interpreter::ExecReturnGraph(const ReturnGraphClause& r,
     }
   }
 
-  catalog_->RegisterGraph(r.graph_name, out_graph);
+  {
+    MutexLock cat_lock(catalog_->mu());
+    catalog_->RegisterGraph(r.graph_name, out_graph);
+  }
   produced_graphs_.emplace_back(r.graph_name, out_graph);
   // RETURN GRAPH produces a graph, not a table: the table part of the
   // "table-graphs" result (§6) is empty here.

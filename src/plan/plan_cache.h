@@ -9,6 +9,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/sync.h"
 #include "src/frontend/analyzer.h"
 #include "src/plan/planner.h"
 
@@ -51,6 +52,14 @@ struct PlanCacheStats {
 /// unbounded variable-length patterns), plus the catalog version (FROM
 /// GRAPH resolves names at planning time). A lookup that finds a stale
 /// entry drops it and reports a miss.
+///
+/// Thread-safety: EXTERNALLY SYNCHRONIZED. The cache does not lock;
+/// every method REQUIRES(mu()) and callers hold the lock across each
+/// call (plus, for Lookup/Insert, for as long as they use the returned
+/// Entry*). Today the engine is the only caller and queries are
+/// single-session, so the lock is uncontended; the MVCC/session PR flips
+/// the class to internal locking by moving the MutexLock into the method
+/// bodies — no interface change, and every field is already GUARDED_BY.
 class PlanCache {
  public:
   struct Entry {
@@ -70,13 +79,17 @@ class PlanCache {
 
   static constexpr size_t kDefaultCapacity = 128;
 
+  /// The capability callers must hold around every method below.
+  Mutex* mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
+
   /// Looks up `key`. Returns the entry (promoted to most-recently-used)
   /// if present and still valid against `catalog_version` and its graph
   /// guards; otherwise null. Counts a hit, a miss, or an invalidation
   /// (stale entries are erased and also counted as misses). The returned
   /// pointer is owned by the cache and valid until the next non-const
   /// cache operation.
-  Entry* Lookup(const std::string& key, uint64_t catalog_version);
+  Entry* Lookup(const std::string& key, uint64_t catalog_version)
+      REQUIRES(mu_);
 
   /// Inserts (or replaces) the entry for `key`, evicting the least
   /// recently used entry if over capacity. Returns the stored entry.
@@ -84,7 +97,7 @@ class PlanCache {
                 uint64_t catalog_version,
                 std::vector<std::pair<std::shared_ptr<const PropertyGraph>,
                                       uint64_t>>
-                    graph_guards);
+                    graph_guards) REQUIRES(mu_);
 
   /// Drops every entry that can no longer validate against
   /// `catalog_version` or its graph guards, releasing the graphs those
@@ -92,27 +105,31 @@ class PlanCache {
   /// the catalog version moves, so replaced graphs are freed promptly
   /// instead of lingering until their exact key is looked up again or
   /// LRU-evicted.
-  void SweepStale(uint64_t catalog_version);
+  void SweepStale(uint64_t catalog_version) REQUIRES(mu_);
 
   /// Drops all entries (stats are kept; use ResetStats to clear them).
-  void Clear();
+  void Clear() REQUIRES(mu_);
 
   /// Changes the bound; evicts LRU entries immediately if shrinking.
-  void set_capacity(size_t capacity);
-  size_t capacity() const { return capacity_; }
-  size_t size() const { return index_.size(); }
+  void set_capacity(size_t capacity) REQUIRES(mu_);
+  size_t capacity() const REQUIRES(mu_) { return capacity_; }
+  size_t size() const REQUIRES(mu_) { return index_.size(); }
 
-  const PlanCacheStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = PlanCacheStats(); }
+  const PlanCacheStats& stats() const REQUIRES(mu_) { return stats_; }
+  void ResetStats() REQUIRES(mu_) { stats_ = PlanCacheStats(); }
 
  private:
-  void EvictToCapacity();
+  void EvictToCapacity() REQUIRES(mu_);
 
-  size_t capacity_;
+  /// Mutable so const reads (size, stats) lock through the same
+  /// capability as writers.
+  mutable Mutex mu_;
+  size_t capacity_ GUARDED_BY(mu_);
   /// MRU at the front; eviction pops from the back.
-  std::list<Entry> lru_;
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
-  PlanCacheStats stats_;
+  std::list<Entry> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+      GUARDED_BY(mu_);
+  PlanCacheStats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace gqlite

@@ -191,6 +191,9 @@ Result<OperatorPtr> Planner::PlanSingle(const SingleQuery& q, Plan* plan) {
       case Clause::Kind::kFromGraph: {
         const auto& f = static_cast<const FromGraphClause&>(*clause);
         GraphPtr g;
+        // The catalog is externally synchronized (REQUIRES its mu());
+        // FROM GRAPH resolution is its only planner touchpoint.
+        MutexLock cat_lock(catalog_->mu());
         if (f.url) {
           auto rg = catalog_->ResolveUrl(*f.url);
           if (!rg.ok()) {
@@ -286,7 +289,7 @@ Result<OperatorPtr> Planner::PlanMatch(const MatchClause& m,
     {
       std::set<std::string> bound(input_schema.begin(), input_schema.end());
       for (const std::string& v : PatternVariables(m.pattern)) {
-        if (!bound.count(v)) new_cols.push_back(v);
+        if (!bound.contains(v)) new_cols.push_back(v);
       }
     }
     state.tip = std::make_unique<MatcherOp>(std::move(state.tip), ctx,

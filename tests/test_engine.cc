@@ -46,7 +46,7 @@ TEST(Engine, BothModesAgreeOnPaperQuery) {
   EngineOptions interp_opts;
   interp_opts.mode = ExecutionMode::kInterpreter;
   CypherEngine interp_engine(interp_opts);
-  interp_engine.catalog().RegisterGraph(GraphCatalog::kDefaultGraphName,
+  interp_engine.RegisterGraph(GraphCatalog::kDefaultGraphName,
                                         fig.graph);
   // Re-fetch: the engine binds the default graph at construction.
   EngineOptions volcano_opts;
@@ -229,7 +229,7 @@ TEST(Engine, MultiGraphExample61) {
       .value();
   soc->CreateRelationship(p0, p3, "FRIEND", {{"since", Value::Int(2000)}})
       .value();
-  engine.catalog().RegisterUrl("hdfs://cluster/soc_network", soc);
+  engine.RegisterUrl("hdfs://cluster/soc_network", soc);
 
   // register: p0 and p1 live in the same city.
   auto reg = std::make_shared<PropertyGraph>();
@@ -238,7 +238,7 @@ TEST(Engine, MultiGraphExample61) {
   NodeId city = reg->CreateNode({"City"}, {{"name", Value::String("Oslo")}});
   reg->CreateRelationship(q0, city, "IN").value();
   reg->CreateRelationship(q1, city, "IN").value();
-  engine.catalog().RegisterUrl("bolt://cluster/citizens", reg);
+  engine.RegisterUrl("bolt://cluster/citizens", reg);
 
   ValueMap params;
   params["duration"] = Value::Int(5);

@@ -164,6 +164,8 @@ TEST(GraphStatistics, Counts) {
 
 TEST(GraphCatalog, ResolveByNameAndUrl) {
   GraphCatalog cat;
+  // The catalog is externally synchronized: every method REQUIRES mu().
+  MutexLock lock(cat.mu());
   EXPECT_TRUE(cat.HasGraph(GraphCatalog::kDefaultGraphName));
   auto g = std::make_shared<PropertyGraph>();
   cat.RegisterGraph("soc_net", g);

@@ -21,8 +21,8 @@ void ExpectEquivalent(GraphPtr a, GraphPtr b,
   ASSERT_EQ(a->NumRels(), b->NumRels());
   for (const std::string& q : probes) {
     CypherEngine ea, eb;
-    ea.catalog().RegisterGraph("g", a);
-    eb.catalog().RegisterGraph("g", b);
+    ea.RegisterGraph("g", a);
+    eb.RegisterGraph("g", b);
     auto ra = ea.Execute("FROM GRAPH g " + q);
     auto rb = eb.Execute("FROM GRAPH g " + q);
     ASSERT_TRUE(ra.ok()) << q << ra.status().ToString();

@@ -105,7 +105,7 @@ TEST(PlanCache, LiteralVariantsShareOnePlan) {
   const PlanCacheStats& s = engine.plan_cache_stats();
   EXPECT_EQ(s.misses, 1u);  // first read plans
   EXPECT_EQ(s.hits, 2u);    // the other literals reuse it
-  EXPECT_EQ(engine.plan_cache().size(), 1u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
 }
 
 TEST(PlanCache, HitCountsAndDistinctQueries) {
@@ -122,7 +122,7 @@ TEST(PlanCache, HitCountsAndDistinctQueries) {
   EXPECT_EQ(s.misses, 2u);
   EXPECT_EQ(s.hits, 3u);
   EXPECT_EQ(s.evictions, 0u);
-  EXPECT_EQ(engine.plan_cache().size(), 2u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
 }
 
 TEST(PlanCache, LruEvictionOrder) {
@@ -144,7 +144,7 @@ TEST(PlanCache, LruEvictionOrder) {
   uint64_t misses_before = engine.plan_cache_stats().misses;
   MustRun(engine, qb);  // was evicted → miss (and evicts a)
   EXPECT_EQ(engine.plan_cache_stats().misses, misses_before + 1);
-  EXPECT_EQ(engine.plan_cache().size(), 2u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
 }
 
 TEST(PlanCache, InvalidationAfterCreateAndDelete) {
@@ -193,7 +193,7 @@ TEST(PlanCache, CatalogRebindInvalidates) {
   CypherEngine engine;
   auto other = std::make_shared<PropertyGraph>();
   other->CreateNode({"A"}, {});
-  engine.catalog().RegisterGraph("g", other);
+  engine.RegisterGraph("g", other);
   const std::string q = "FROM GRAPH g MATCH (a:A) RETURN count(*) AS c";
   EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 1);
   EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 1);
@@ -202,7 +202,7 @@ TEST(PlanCache, CatalogRebindInvalidates) {
   auto replacement = std::make_shared<PropertyGraph>();
   replacement->CreateNode({"A"}, {});
   replacement->CreateNode({"A"}, {});
-  engine.catalog().RegisterGraph("g", replacement);
+  engine.RegisterGraph("g", replacement);
   EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 2);
   EXPECT_GE(engine.plan_cache_stats().invalidations, 1u);
 }
@@ -215,7 +215,7 @@ TEST(PlanCache, DisabledCacheStillAnswers) {
   const std::string q = "MATCH (n) RETURN n.v AS v";
   EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 1);
   EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 1);
-  EXPECT_EQ(engine.plan_cache().size(), 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
   EXPECT_EQ(engine.plan_cache_stats().hits, 0u);
   EXPECT_EQ(engine.plan_cache_stats().misses, 0u);
 }
@@ -227,7 +227,7 @@ TEST(PlanCache, ZeroCapacityDisables) {
   MustRun(engine, "CREATE ({v: 1})");
   MustRun(engine, "MATCH (n) RETURN n.v AS v");
   MustRun(engine, "MATCH (n) RETURN n.v AS v");
-  EXPECT_EQ(engine.plan_cache().size(), 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
 }
 
 TEST(PlanCache, InterpreterModeBypassesCache) {
@@ -237,7 +237,7 @@ TEST(PlanCache, InterpreterModeBypassesCache) {
   MustRun(engine, "CREATE ({v: 1})");
   MustRun(engine, "MATCH (n) RETURN n.v AS v");
   MustRun(engine, "MATCH (n) RETURN n.v AS v");
-  EXPECT_EQ(engine.plan_cache().size(), 0u);
+  EXPECT_EQ(engine.plan_cache_size(), 0u);
 }
 
 TEST(PlanCache, DerivedColumnNamesSurviveCanonicalization) {
@@ -272,7 +272,7 @@ TEST(PlanCache, DifferentEngineOptionsDoNotShareEntries) {
   opts.use_join_expand = true;
   engine.set_options(opts);
   MustRun(engine, q);  // different fingerprint → separate entry
-  EXPECT_EQ(engine.plan_cache().size(), 2u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
   EXPECT_EQ(engine.plan_cache_stats().misses, 2u);
 }
 
@@ -286,7 +286,7 @@ TEST(PlanCache, QuotedStringLiteralsDoNotCollide) {
   auto r2 = MustRun(engine, "RETURN 'a\\' + \\'b' AS x");
   EXPECT_EQ(r1.table.rows()[0][0].AsString(), "ab");
   EXPECT_EQ(r2.table.rows()[0][0].AsString(), "a' + 'b");
-  EXPECT_EQ(engine.plan_cache().size(), 2u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
 }
 
 TEST(PlanCache, FloatLiteralsBeyondDisplayPrecisionDoNotCollide) {
@@ -296,21 +296,21 @@ TEST(PlanCache, FloatLiteralsBeyondDisplayPrecisionDoNotCollide) {
   auto r1 = MustRun(engine, "RETURN 1.0 AS x");
   auto r2 = MustRun(engine, "RETURN 1.0000000000000002 AS x");
   EXPECT_NE(r1.table.rows()[0][0].AsFloat(), r2.table.rows()[0][0].AsFloat());
-  EXPECT_EQ(engine.plan_cache().size(), 2u);
+  EXPECT_EQ(engine.plan_cache_size(), 2u);
 }
 
 TEST(PlanCache, SweepReleasesStaleEntriesOnCatalogChange) {
   CypherEngine engine;
   MustRun(engine, "CREATE ({v: 1})");
   MustRun(engine, "MATCH (n) RETURN n.v AS v");
-  EXPECT_EQ(engine.plan_cache().size(), 1u);
+  EXPECT_EQ(engine.plan_cache_size(), 1u);
   // Rebinding the default graph strands the entry; the next read query
   // (any key) sweeps it so the old graph is released promptly.
   auto replacement = std::make_shared<PropertyGraph>();
   replacement->CreateNode({}, {{"v", Value::Int(2)}});
   engine.set_default_graph(replacement);
   MustRun(engine, "MATCH (m) RETURN count(*) AS c");
-  EXPECT_EQ(engine.plan_cache().size(), 1u);  // stale entry swept
+  EXPECT_EQ(engine.plan_cache_size(), 1u);  // stale entry swept
   EXPECT_GE(engine.plan_cache_stats().invalidations, 1u);
   // And queries actually see the new default graph.
   EXPECT_EQ(MustRun(engine, "MATCH (n) RETURN n.v AS v")
@@ -389,7 +389,7 @@ TEST(Prepare, UpdatingQueriesRunOnTheInterpreter) {
   auto check = MustRun(engine, "MATCH (a:A) RETURN sum(a.v) AS s");
   EXPECT_EQ(check.table.rows()[0][0].AsInt(), 6);
   // Updating queries never enter the plan cache.
-  EXPECT_EQ(engine.plan_cache().size(), 1u);  // only the MATCH above
+  EXPECT_EQ(engine.plan_cache_size(), 1u);  // only the MATCH above
 }
 
 TEST(Prepare, EmptyHandleIsAnError) {
