@@ -52,7 +52,7 @@ std::optional<Path> ShortestPath(const PropertyGraph& g, NodeId source,
     queue.pop_front();
     bool found = false;
     ForEachStep(g, cur, opts, [&](RelId r, NodeId next) {
-      if (found || parent.count(next.id)) return;
+      if (found || parent.contains(next.id)) return;
       parent.emplace(next.id, std::make_pair(cur.id, r.id));
       if (next == target) {
         found = true;
@@ -95,7 +95,7 @@ std::unordered_map<uint64_t, int64_t> BfsDistances(
     queue.pop_front();
     int64_t d = dist[cur.id];
     ForEachStep(g, cur, opts, [&](RelId, NodeId next) {
-      if (dist.count(next.id)) return;
+      if (dist.contains(next.id)) return;
       dist[next.id] = d + 1;
       queue.push_back(next);
     });
@@ -146,7 +146,7 @@ std::unordered_map<uint64_t, uint64_t> WeaklyConnectedComponents(
   undirected.undirected = true;
   for (size_t i = 0; i < g.NumNodeSlots(); ++i) {
     NodeId start{i};
-    if (!g.IsNodeAlive(start) || comp.count(start.id)) continue;
+    if (!g.IsNodeAlive(start) || comp.contains(start.id)) continue;
     // BFS labelling with the smallest node id (starts ascend).
     std::deque<NodeId> queue;
     queue.push_back(start);
@@ -155,7 +155,7 @@ std::unordered_map<uint64_t, uint64_t> WeaklyConnectedComponents(
       NodeId cur = queue.front();
       queue.pop_front();
       ForEachStep(g, cur, undirected, [&](RelId, NodeId next) {
-        if (comp.count(next.id)) return;
+        if (comp.contains(next.id)) return;
         comp[next.id] = start.id;
         queue.push_back(next);
       });
@@ -184,7 +184,7 @@ int64_t TriangleCount(const PropertyGraph& g) {
       const auto& nb = nbr[b];
       for (uint64_t c : na) {
         if (c <= b) continue;
-        if (nb.count(c)) ++count;
+        if (nb.contains(c)) ++count;
       }
     }
   }

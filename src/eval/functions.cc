@@ -820,7 +820,7 @@ bool IsBuiltinFunction(const std::string& name) {
     }
     return m;
   }();
-  return kNames->count(name) > 0;
+  return kNames->contains(name);
 }
 
 }  // namespace gqlite

@@ -181,7 +181,7 @@ class Analyzer {
         case Clause::Kind::kUnwind: {
           const auto& u = static_cast<const UnwindClause&>(c);
           GQL_RETURN_IF_ERROR(CheckExpr(*u.expr, scope, false));
-          if (scope.count(u.var)) {
+          if (scope.contains(u.var)) {
             return Status::SemanticError("variable `" + u.var +
                                          "` already bound");
           }
@@ -238,7 +238,7 @@ class Analyzer {
   }
 
   Status RequireVar(const std::string& name, const Scope& scope) {
-    if (!scope.count(name)) {
+    if (!scope.contains(name)) {
       return Status::SemanticError("variable `" + name + "` not defined");
     }
     return Status::OK();
@@ -262,7 +262,7 @@ class Analyzer {
   Status CheckMatchPattern(const Pattern& p, Scope* scope) {
     for (const auto& path : p.paths) {
       if (path.path_var) {
-        if (scope->count(*path.path_var)) {
+        if (scope->contains(*path.path_var)) {
           return Status::SemanticError("path variable `" + *path.path_var +
                                        "` already bound");
         }
@@ -304,7 +304,7 @@ class Analyzer {
   Status CheckCreatePattern(const Pattern& p, Scope* scope) {
     for (const auto& path : p.paths) {
       if (path.path_var) {
-        if (scope->count(*path.path_var)) {
+        if (scope->contains(*path.path_var)) {
           return Status::SemanticError("path variable `" + *path.path_var +
                                        "` already bound");
         }
@@ -327,7 +327,7 @@ class Analyzer {
               "CREATE requires exactly one relationship type");
         }
         if (r.var) {
-          if (scope->count(*r.var)) {
+          if (scope->contains(*r.var)) {
             return Status::SemanticError("relationship variable `" + *r.var +
                                          "` already bound");
           }
@@ -358,7 +358,7 @@ class Analyzer {
             "MERGE requires exactly one relationship type");
       }
       if (r.var) {
-        if (scope->count(*r.var)) {
+        if (scope->contains(*r.var)) {
           return Status::SemanticError("relationship variable `" + *r.var +
                                        "` already bound");
         }
@@ -466,7 +466,7 @@ class Analyzer {
     for (const auto& o : body.order_by) {
       // ORDER BY may name a projected column by its derived text (e.g.
       // ORDER BY p.acmid after RETURN p.acmid, count(*)).
-      if (names.count(DerivedColumnName(*o.expr))) continue;
+      if (names.contains(DerivedColumnName(*o.expr))) continue;
       GQL_RETURN_IF_ERROR(CheckExpr(*o.expr, order_scope, false));
     }
     if (body.skip) {

@@ -369,7 +369,7 @@ class Extractor {
   std::string FreshName() {
     while (true) {
       std::string name = "_p" + std::to_string(next_++);
-      if (!reserved_.count(name)) return name;
+      if (!reserved_.contains(name)) return name;
     }
   }
 

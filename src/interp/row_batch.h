@@ -55,6 +55,7 @@ class RowBatch {
     has_selection_ = false;
   }
 
+  // lint: allow(value-by-value) move sink: callers hand over the row
   void Append(ValueList row) {
     if (used_ < rows_.size()) {
       rows_[used_] = std::move(row);

@@ -38,6 +38,7 @@ class Table {
   /// Index of `name` or -1.
   int FieldIndex(const std::string& name) const;
 
+  // lint: allow(value-by-value) move sink: callers hand over the row
   void AddRow(ValueList row) { rows_.push_back(std::move(row)); }
 
   /// Moves the live rows of a morsel into the table (the batched

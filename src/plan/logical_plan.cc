@@ -28,7 +28,7 @@ void CollectVars(const Expr& e, std::set<std::string>* skip,
   switch (e.kind) {
     case Expr::Kind::kVariable: {
       const auto& v = static_cast<const VariableExpr&>(e);
-      if (!skip->count(v.name)) out->push_back(v.name);
+      if (!skip->contains(v.name)) out->push_back(v.name);
       return;
     }
     case Expr::Kind::kProperty:
@@ -115,14 +115,14 @@ void CollectVars(const Expr& e, std::set<std::string>* skip,
     case Expr::Kind::kPatternPredicate: {
       const auto& p = static_cast<const PatternPredicateExpr&>(e);
       for (const auto& path : p.pattern.paths) {
-        if (path.start.var && !skip->count(*path.start.var)) {
+        if (path.start.var && !skip->contains(*path.start.var)) {
           out->push_back(*path.start.var);
         }
         for (const auto& hop : path.hops) {
-          if (hop.rel.var && !skip->count(*hop.rel.var)) {
+          if (hop.rel.var && !skip->contains(*hop.rel.var)) {
             out->push_back(*hop.rel.var);
           }
-          if (hop.node.var && !skip->count(*hop.node.var)) {
+          if (hop.node.var && !skip->contains(*hop.node.var)) {
             out->push_back(*hop.node.var);
           }
         }

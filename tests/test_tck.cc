@@ -691,8 +691,8 @@ TEST_P(TckTest, Scenarios) {
 INSTANTIATE_TEST_SUITE_P(BothExecutors, TckTest,
                          ::testing::Values(ExecutionMode::kInterpreter,
                                            ExecutionMode::kVolcano),
-                         [](const auto& info) {
-                           return info.param == ExecutionMode::kInterpreter
+                         [](const auto& pinfo) {
+                           return pinfo.param == ExecutionMode::kInterpreter
                                       ? "Interpreter"
                                       : "Volcano";
                          });
@@ -737,8 +737,8 @@ TEST_P(TckBatchTest, BatchedRuntimeMatchesInterpreter) {
 
 INSTANTIATE_TEST_SUITE_P(MorselSizes, TckBatchTest,
                          ::testing::Values(size_t{1}, size_t{1024}),
-                         [](const auto& info) {
-                           return "Batch" + std::to_string(info.param);
+                         [](const auto& pinfo) {
+                           return "Batch" + std::to_string(pinfo.param);
                          });
 
 // Fifth executor leg: every scenario runs through the morsel-driven
