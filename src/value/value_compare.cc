@@ -36,13 +36,35 @@ Tri TriFromValue(const Value& v) {
 
 namespace {
 
-/// Compares two numbers (int/float mix) exactly like Cypher: numeric value
-/// comparison; NaN is unequal to and not less than anything.
+/// Exact three-way comparison of an int64 against a non-NaN double.
+/// Casting the int to double (what AsNumber() does) rounds above 2^53 and
+/// made e.g. 9007199254740993 = 9007199254740992.0 come out true; Cypher
+/// compares the mathematical values. The caller screens out NaN.
+int CompareIntFloat(int64_t i, double d) {
+  // 2^63 is exactly representable as a double, so these two tests bracket
+  // exactly the doubles outside int64's range (±inf included).
+  if (d >= 9223372036854775808.0) return -1;
+  if (d < -9223372036854775808.0) return 1;
+  int64_t t = static_cast<int64_t>(d);  // truncation; in range by the above
+  if (i != t) return i < t ? -1 : 1;
+  // Equal integral parts: the fraction decides. Exact, because any double
+  // with a nonzero fraction has |d| < 2^53 where (double)t is lossless,
+  // and above that every double is integral (frac == 0).
+  double frac = d - static_cast<double>(t);
+  if (frac > 0) return -1;  // d just above i
+  if (frac < 0) return 1;   // d just below i (negative values)
+  return 0;
+}
+
+/// Compares two numbers (int/float mix) exactly like Cypher: mathematical
+/// value comparison; NaN is unequal to and not less than anything.
 Tri NumberEquals(const Value& a, const Value& b) {
   if (a.is_int() && b.is_int()) return TriFromBool(a.AsInt() == b.AsInt());
   double x = a.AsNumber();
   double y = b.AsNumber();
   if (std::isnan(x) || std::isnan(y)) return Tri::kFalse;
+  if (a.is_int()) return TriFromBool(CompareIntFloat(a.AsInt(), y) == 0);
+  if (b.is_int()) return TriFromBool(CompareIntFloat(b.AsInt(), x) == 0);
   return TriFromBool(x == y);
 }
 
@@ -51,6 +73,8 @@ Tri NumberLess(const Value& a, const Value& b) {
   double x = a.AsNumber();
   double y = b.AsNumber();
   if (std::isnan(x) || std::isnan(y)) return Tri::kNull;
+  if (a.is_int()) return TriFromBool(CompareIntFloat(a.AsInt(), y) < 0);
+  if (b.is_int()) return TriFromBool(CompareIntFloat(b.AsInt(), x) > 0);
   return TriFromBool(x < y);
 }
 
@@ -175,6 +199,8 @@ bool ValueEquivalent(const Value& a, const Value& b) {
     double x = a.AsNumber();
     double y = b.AsNumber();
     if (std::isnan(x) || std::isnan(y)) return std::isnan(x) && std::isnan(y);
+    if (a.is_int()) return CompareIntFloat(a.AsInt(), y) == 0;
+    if (b.is_int()) return CompareIntFloat(b.AsInt(), x) == 0;
     return x == y;
   }
   if (a.type() != b.type()) return false;
@@ -262,7 +288,15 @@ int NumberOrder(const Value& a, const Value& b) {
     if (nx && ny) return 0;
     return nx ? 1 : -1;
   }
-  if (x != y) return x < y ? -1 : 1;
+  if (a.is_int()) {
+    int c = CompareIntFloat(a.AsInt(), y);
+    if (c != 0) return c;
+  } else if (b.is_int()) {
+    int c = CompareIntFloat(b.AsInt(), x);
+    if (c != 0) return -c;
+  } else if (x != y) {
+    return x < y ? -1 : 1;
+  }
   // Equal numeric value: int sorts before float for a deterministic order.
   return Cmp3(static_cast<int>(a.type()), static_cast<int>(b.type()));
 }

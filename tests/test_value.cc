@@ -89,6 +89,40 @@ TEST(ValueEquals, NumbersAcrossIntFloat) {
   EXPECT_EQ(ValueEquals(Value::Float(nan), Value::Float(nan)), F);
 }
 
+TEST(ValueEquals, LargeIntFloatComparisonIsExact) {
+  // 2^53 is the first double where n and n+1 collapse to the same value.
+  // Comparison must use the mathematical values, not a lossy cast: the
+  // old double-cast path reported 2^53 + 1 = 2^53.0 as true.
+  const int64_t two53 = int64_t{1} << 53;
+  EXPECT_EQ(ValueEquals(Value::Int(two53 + 1), Value::Float(1.0 * two53)), F);
+  EXPECT_EQ(ValueEquals(Value::Int(two53), Value::Float(1.0 * two53)), T);
+  // INT64_MAX is not a double; the nearest double is 2^63, outside int64.
+  const int64_t imax = std::numeric_limits<int64_t>::max();
+  EXPECT_EQ(ValueEquals(Value::Int(imax), Value::Float(9223372036854775808.0)),
+            F);
+  EXPECT_EQ(ValueLess(Value::Int(imax), Value::Float(9223372036854775808.0)),
+            T);
+  EXPECT_EQ(ValueLess(Value::Int(two53 + 1), Value::Float(1.0 * two53)), F);
+  EXPECT_EQ(ValueLess(Value::Float(1.0 * two53), Value::Int(two53 + 1)), T);
+  // Fractional doubles sit strictly between neighboring ints.
+  EXPECT_EQ(ValueLess(Value::Int(2), Value::Float(2.5)), T);
+  EXPECT_EQ(ValueLess(Value::Int(-2), Value::Float(-2.5)), F);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ValueLess(Value::Int(imax), Value::Float(inf)), T);
+  EXPECT_EQ(ValueLess(Value::Float(-inf), Value::Int(imax)), T);
+}
+
+TEST(ValueOrder, LargeIntFloatOrderIsExact) {
+  const int64_t two53 = int64_t{1} << 53;
+  EXPECT_GT(ValueOrder(Value::Int(two53 + 1), Value::Float(1.0 * two53)), 0);
+  EXPECT_LT(ValueOrder(Value::Float(1.0 * two53), Value::Int(two53 + 1)), 0);
+  // Equal mathematical value: int sorts before float (deterministic).
+  EXPECT_LT(ValueOrder(Value::Int(two53), Value::Float(1.0 * two53)), 0);
+  EXPECT_FALSE(ValueEquivalent(Value::Int(two53 + 1),
+                               Value::Float(1.0 * two53)));
+  EXPECT_TRUE(ValueEquivalent(Value::Int(two53), Value::Float(1.0 * two53)));
+}
+
 TEST(ValueEquals, MixedTypesAreFalse) {
   EXPECT_EQ(ValueEquals(Value::Int(1), Value::String("1")), F);
   EXPECT_EQ(ValueEquals(Value::Bool(true), Value::Int(1)), F);
