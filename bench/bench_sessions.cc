@@ -1,0 +1,167 @@
+// Mixed read/write throughput under the session API: N reader sessions
+// run snapshot-isolated read transactions on their own threads while one
+// writer session keeps committing. Reader items/sec should scale with
+// the session count — readers never block behind the writer (they pin
+// COW snapshots), the writer never blocks behind readers (it owns the
+// single writer slot outright).
+//
+// BM_SnapshotPin isolates the per-transaction cost the MVCC layer adds:
+// Begin(kRead) + one query + Commit against a quiescent engine, vs the
+// same query auto-committed.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/sync.h"
+#include "src/core/session.h"
+
+namespace gqlite {
+namespace {
+
+void SeedPeople(CypherEngine& engine, int64_t n) {
+  auto seed = engine.Execute("UNWIND range(0, " + std::to_string(n - 1) +
+                             ") AS i CREATE (:Person {id: i, score: i % 9})");
+  if (!seed.ok()) {
+    std::fprintf(stderr, "seed failed: %s\n", seed.status().ToString().c_str());
+    std::exit(1);
+  }
+  auto wire = engine.Execute(
+      "MATCH (a:Person), (b:Person) WHERE b.id = a.id + 1 "
+      "CREATE (a)-[:KNOWS]->(b)");
+  if (!wire.ok()) {
+    std::fprintf(stderr, "wire failed: %s\n", wire.status().ToString().c_str());
+    std::exit(1);
+  }
+}
+
+/// range(0) = reader session count. Each reader thread runs read
+/// transactions (Begin / 2 statements / Commit) for the timed region
+/// while the writer thread commits small write transactions in a loop.
+/// Items = completed reader transactions.
+void BM_MixedReadWrite(benchmark::State& state) {
+  const int kReaders = static_cast<int>(state.range(0));
+  CypherEngine engine;
+  SeedPeople(engine, 256);
+
+  for (auto _ : state) {
+    state.PauseTiming();
+    AtomicCounter stop;
+    AtomicCounter reader_txns;
+    std::thread writer([&engine, &stop] {
+      auto session = engine.CreateSession();
+      int64_t i = 0;
+      while (stop.Load() == 0) {
+        if (!session->Begin(TxnMode::kWrite).ok()) continue;
+        std::string q = "MATCH (p:Person) WHERE p.id = " +
+                        std::to_string(i++ % 256) +
+                        " SET p.score = p.score + 1";
+        if (!session->Execute(q).ok()) {
+          session->Rollback();
+          continue;
+        }
+        session->Commit();
+      }
+    });
+    std::vector<std::thread> readers;
+    readers.reserve(kReaders);
+    state.ResumeTiming();
+
+    constexpr int kTxnsPerReader = 32;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&engine, &reader_txns] {
+        auto session = engine.CreateSession();
+        for (int i = 0; i < kTxnsPerReader; ++i) {
+          if (!session->Begin(TxnMode::kRead).ok()) continue;
+          auto c = session->Execute("MATCH (p:Person) RETURN count(p) AS c");
+          auto s = session->Execute(
+              "MATCH (p:Person) WHERE p.score > 4 RETURN count(p) AS c");
+          benchmark::DoNotOptimize(c);
+          benchmark::DoNotOptimize(s);
+          session->Commit();
+          reader_txns.FetchAdd();
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+
+    state.PauseTiming();
+    stop.Store(1);
+    writer.join();
+    if (reader_txns.Load() !=
+        static_cast<size_t>(kReaders) * kTxnsPerReader) {
+      state.SkipWithError("reader transactions failed");
+      return;
+    }
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 32);
+}
+BENCHMARK(BM_MixedReadWrite)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// The MVCC tax on a quiescent engine: explicit read transaction vs
+/// auto-commit for the same single statement. Items = statements.
+void BM_SnapshotPin(benchmark::State& state) {
+  const bool explicit_txn = state.range(0) != 0;
+  CypherEngine engine;
+  SeedPeople(engine, 256);
+  auto session = engine.CreateSession();
+  for (auto _ : state) {
+    if (explicit_txn) {
+      if (!session->Begin(TxnMode::kRead).ok()) {
+        state.SkipWithError("Begin failed");
+        return;
+      }
+    }
+    auto r = session->Execute("MATCH (p:Person) RETURN count(p) AS c");
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(r->table.rows());
+    if (explicit_txn) session->Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotPin)->Arg(0)->Arg(1);
+
+/// Writer commit throughput while snapshots are pinned: a reader session
+/// holds a transaction open across the whole run, so every commit COWs
+/// pages the pinned snapshot shares. Items = write transactions.
+void BM_CommitUnderPinnedSnapshot(benchmark::State& state) {
+  CypherEngine engine;
+  SeedPeople(engine, 256);
+  auto pin = engine.CreateSession();
+  if (!pin->Begin(TxnMode::kRead).ok()) {
+    state.SkipWithError("pin failed");
+    return;
+  }
+  auto writer = engine.CreateSession();
+  int64_t i = 0;
+  for (auto _ : state) {
+    if (!writer->Begin(TxnMode::kWrite).ok()) {
+      state.SkipWithError("writer Begin failed");
+      return;
+    }
+    std::string q = "MATCH (p:Person) WHERE p.id = " +
+                    std::to_string(i++ % 256) + " SET p.score = p.score + 1";
+    auto r = writer->Execute(q);
+    if (!r.ok()) {
+      state.SkipWithError(r.status().ToString().c_str());
+      return;
+    }
+    writer->Commit();
+  }
+  pin->Commit();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommitUnderPinnedSnapshot);
+
+}  // namespace
+}  // namespace gqlite
+
+GQLITE_BENCH_MAIN()

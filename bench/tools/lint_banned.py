@@ -22,6 +22,14 @@ compiler nor clang-tidy enforces:
                  used for seeding). Tests must be deterministic; benches
                  may time themselves, so bench/ is exempt.
 
+  graph-mutation PropertyGraph mutator calls in src/ outside the layers
+                 that own writes (src/graph/ itself, src/update/, the
+                 src/workload/ generators). Engine code must route writes
+                 through UpdateExecutor under the session/transaction
+                 layer, so the single-writer MVCC discipline (frozen
+                 snapshots, COW pages, data_version bumps) cannot be
+                 bypassed by a stray direct call.
+
 Waivers: append `// lint: allow(<rule>) <reason>` on the offending line,
 or as a full-line comment on the line directly above (for lines that
 would blow the 80-column limit). The reason is mandatory — a bare
@@ -72,6 +80,18 @@ RULES = [
         lambda path: path.startswith("tests/"),
         "nondeterministic seed/clock in a test; use a fixed seed "
         "(tests must be reproducible)",
+    ),
+    (
+        "graph-mutation",
+        re.compile(
+            r"(?:->|\.)\s*(CreateNode|CreateRelationship|AddLabel"
+            r"|RemoveLabel|SetNodeProperty|SetRelProperty|DeleteNode"
+            r"|DetachDeleteNode|DeleteRelationship)\s*\("),
+        lambda path: (path.startswith("src/")
+                      and not path.startswith(("src/graph/", "src/update/",
+                                               "src/workload/"))),
+        "direct PropertyGraph mutation outside the write-owning layers; "
+        "route writes through UpdateExecutor / the transaction layer",
     ),
 ]
 

@@ -23,7 +23,18 @@ class StringInterner {
  public:
   StringInterner() { strings_.emplace_back(); /* id 0 = empty */ }
 
-  StringInterner(const StringInterner&) = delete;
+  /// Copying clones the symbol table with identical ids (the index is
+  /// rebuilt to view the copy's own strings). Graph snapshots rely on
+  /// this: a snapshot's interner answers Lookup/ToString without touching
+  /// the live graph's (growing) table. Cost is O(interned strings) —
+  /// labels, types and property keys, i.e. schema-sized, not data-sized.
+  StringInterner(const StringInterner& other) : strings_(other.strings_) {
+    index_.reserve(strings_.size());
+    for (size_t id = 1; id < strings_.size(); ++id) {
+      index_.emplace(std::string_view(strings_[id]),
+                     static_cast<SymbolId>(id));
+    }
+  }
   StringInterner& operator=(const StringInterner&) = delete;
 
   /// Returns the id for `s`, interning it if new. Never returns kNoSymbol

@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Unimplemented";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kConflict:
+      return "Conflict";
   }
   return "Unknown";
 }

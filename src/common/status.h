@@ -23,6 +23,9 @@ enum class StatusCode : uint8_t {
   kAlreadyExists,
   kUnimplemented,
   kInternal,
+  /// A transactional conflict the caller can retry (e.g. attempting to
+  /// begin a write transaction while another writer is active).
+  kConflict,
 };
 
 /// Returns a human-readable name for a status code ("SyntaxError", ...).
@@ -72,6 +75,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

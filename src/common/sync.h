@@ -20,10 +20,10 @@ namespace gqlite {
 /// Policy for new concurrency:
 ///  * every new mutex is a `Mutex` member named for what it protects,
 ///    with GUARDED_BY(mu) on each protected field;
-///  * externally-synchronized classes annotate their methods
-///    REQUIRES(mu_) and expose `mu()` so callers can lock (see PlanCache,
-///    GraphCatalog) — flipping them to internal locking later is a
-///    body-only change;
+///  * internally-locked classes keep `mu_` private, take MutexLock in
+///    the method bodies, and annotate the interface EXCLUDES(mu_) (see
+///    PlanCache, GraphCatalog) — methods hand out copies or shared
+///    ownership, never references into guarded state;
 ///  * lock-free atomics go through AtomicCounter below (or add a new
 ///    wrapper here) so the banned-API lint keeps a single inventory of
 ///    every concurrency primitive in the engine.

@@ -1,5 +1,6 @@
 #include "src/core/engine.h"
 
+#include "src/core/session.h"
 #include "src/exec/parallel.h"
 #include "src/exec/worker_pool.h"
 #include "src/frontend/analyzer.h"
@@ -9,6 +10,20 @@
 #include "src/plan/runtime.h"
 
 namespace gqlite {
+
+namespace {
+
+/// Un-pins a plan-cache entry on scope exit, including error returns
+/// mid-execution.
+struct EntryReleaser {
+  PlanCache* cache;
+  PlanCache::EntryPtr entry;
+  ~EntryReleaser() {
+    if (entry != nullptr) cache->Release(entry);
+  }
+};
+
+}  // namespace
 
 Status CypherEngine::ApplyEnvOverrides(EngineOptions* options) {
   GQL_ASSIGN_OR_RETURN(options->batch_size,
@@ -20,15 +35,18 @@ Status CypherEngine::ApplyEnvOverrides(EngineOptions* options) {
 
 CypherEngine::CypherEngine(EngineOptions options)
     : options_(options),
-      rand_state_(options.rand_seed),
-      plan_cache_(options.plan_cache_capacity) {
+      plan_cache_(options.plan_cache_capacity),
+      rand_state_(options.rand_seed) {
   options_status_ = ApplyEnvOverrides(&options_);
-  MutexLock lock(catalog_.mu());
   graph_ = catalog_.default_graph();
 }
 
 CypherEngine::~CypherEngine() = default;
 CypherEngine::CypherEngine(CypherEngine&&) noexcept = default;
+
+std::unique_ptr<Session> CypherEngine::CreateSession() {
+  return std::unique_ptr<Session>(new Session(this));
+}
 
 WorkerPool* CypherEngine::EnsureWorkerPool() {
   MutexLock lock(&pool_mu_);
@@ -89,6 +107,103 @@ std::string CypherEngine::OptionsFingerprint() const {
   return f;
 }
 
+// ---- MVCC transaction core -------------------------------------------------
+
+void CypherEngine::set_default_graph(GraphPtr g) {
+  catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
+  MutexLock lock(&txn_mu_);
+  graph_ = std::move(g);
+  // Invalidate the committed snapshot: the next read snapshots the new
+  // head. An active writer keeps the (old) head it pinned at begin;
+  // writer_graph_ no longer matches graph_, so readers are not deferred
+  // to that writer's begin snapshot.
+  committed_snapshot_ = nullptr;
+  committed_src_ = nullptr;
+  committed_version_ = 0;
+}
+
+GraphPtr CypherEngine::ReadSnapshot() {
+  MutexLock lock(&txn_mu_);
+  return ReadSnapshotLocked();
+}
+
+GraphPtr CypherEngine::ReadSnapshotLocked() {
+  if (writer_active_ && graph_.get() == writer_graph_) {
+    // A writer owns the head: serve the snapshot taken at its begin and
+    // do not touch head fields it may be mutating right now.
+    return committed_snapshot_;
+  }
+  if (graph_->frozen()) {
+    // The default graph is itself a frozen snapshot (e.g. an oracle
+    // engine bound to another engine's snapshot): it cannot change, so
+    // it IS the committed state. Copying here would also race — frozen
+    // graphs are shared across engines and Snapshot() is a mutation.
+    return graph_;
+  }
+  if (committed_snapshot_ == nullptr || committed_src_ != graph_.get() ||
+      committed_version_ != graph_->data_version()) {
+    committed_snapshot_ = graph_->Snapshot();
+    committed_src_ = graph_.get();
+    committed_version_ = graph_->data_version();
+  }
+  return committed_snapshot_;
+}
+
+Result<GraphPtr> CypherEngine::AcquireWriter(bool wait) {
+  MutexLock lock(&txn_mu_);
+  while (writer_active_) {
+    if (!wait) {
+      return Status::Conflict(
+          "write-write conflict: another write transaction is in progress");
+    }
+    txn_cv_.Wait(&txn_mu_);
+  }
+  // Pin the pre-transaction committed state BEFORE any dirty write:
+  // readers starting during the transaction are served this snapshot,
+  // and Rollback restores it.
+  ReadSnapshotLocked();
+  writer_active_ = true;
+  writer_graph_ = graph_.get();
+  return graph_;
+}
+
+void CypherEngine::CommitWriter() {
+  MutexLock lock(&txn_mu_);
+  // Publishing is lazy: with the writer slot free, the next
+  // ReadSnapshotLocked sees the head's data_version moved and takes a
+  // fresh snapshot.
+  writer_active_ = false;
+  writer_graph_ = nullptr;
+  txn_cv_.NotifyAll();
+}
+
+void CypherEngine::RollbackWriter() {
+  GraphPtr restored;
+  {
+    MutexLock lock(&txn_mu_);
+    if (graph_.get() == writer_graph_) {
+      // Re-materialize the pre-begin state as a fresh live head. The
+      // committed snapshot stays (it is content-equal to the new head).
+      restored = committed_snapshot_->Clone();
+      graph_ = restored;
+      committed_src_ = restored.get();
+      committed_version_ = restored->data_version();
+    }
+    // else: set_default_graph replaced the head mid-transaction, so the
+    // writer's graph is already unbound; releasing the slot suffices.
+    writer_active_ = false;
+    writer_graph_ = nullptr;
+    txn_cv_.NotifyAll();
+  }
+  if (restored != nullptr) {
+    // Bumps the catalog version, invalidating cached plans bound to the
+    // abandoned head.
+    catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, restored);
+  }
+}
+
+// ---- Statement execution ---------------------------------------------------
+
 Result<PreparedQuery> CypherEngine::Prepare(std::string_view query) {
   GQL_RETURN_IF_ERROR(options_status_);
   auto state = std::make_shared<PreparedStatement>();
@@ -109,14 +224,9 @@ Result<PreparedQuery> CypherEngine::Prepare(std::string_view query) {
   // cache off the rewrite+unparse would be pure overhead on every
   // Execute(text) call. A statement prepared while the cache is off
   // stays uncached (text_key empty) even if the cache is enabled later.
-  size_t cache_capacity;
-  {
-    MutexLock lock(plan_cache_.mu());
-    cache_capacity = plan_cache_.capacity();
-  }
   bool cacheable = !state->info.updating && !state->has_return_graph &&
                    options_.mode == ExecutionMode::kVolcano &&
-                   options_.use_plan_cache && cache_capacity > 0;
+                   options_.use_plan_cache && plan_cache_.capacity() > 0;
   if (cacheable) {
     state->constants = AutoParameterize(&state->query).extracted;
     state->text_key = NormalizedQueryKey(state->query);
@@ -136,14 +246,33 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
   if (!prepared.valid()) {
     return Status::InvalidArgument("executing an empty PreparedQuery");
   }
+  if (prepared.state_->info.updating) {
+    // Auto-commit write: wait for the single-writer slot, apply to the
+    // live head, commit. Commit also on error — a failed statement may
+    // have applied partial effects (pre-session behavior); explicit
+    // Session transactions get Rollback instead.
+    GQL_ASSIGN_OR_RETURN(GraphPtr live, AcquireWriter(/*wait=*/true));
+    Result<QueryResult> result = ExecuteOn(prepared, params, live);
+    CommitWriter();
+    return result;
+  }
+  // Read statement: execute against the committed-state snapshot. The
+  // binding is resolved here, once — a concurrent set_default_graph
+  // cannot rebind the statement mid-flight.
+  return ExecuteOn(prepared, params, ReadSnapshot());
+}
+
+Result<QueryResult> CypherEngine::ExecuteOn(const PreparedQuery& prepared,
+                                            const ValueMap& params,
+                                            const GraphPtr& graph) {
   const PreparedStatement& st = *prepared.state_;
   bool interpreted = st.info.updating || st.has_return_graph ||
                      options_.mode == ExecutionMode::kInterpreter;
   if (st.constants.empty()) {
     // Nothing was extracted — run on the caller's map directly (the
     // common case for fully-parameterized and non-cacheable statements).
-    if (interpreted) return RunInterpreter(st.query, params);
-    return RunVolcano(prepared.state_, params);
+    if (interpreted) return RunInterpreter(st.query, params, graph);
+    return RunVolcano(prepared.state_, params, graph);
   }
   // User parameters first, then the literals extracted at Prepare time.
   // Synthetic names never collide with parameters referenced by the
@@ -152,114 +281,139 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
   for (const auto& [name, value] : st.constants) {
     merged[name] = value;
   }
-  if (interpreted) return RunInterpreter(st.query, merged);
-  return RunVolcano(prepared.state_, merged);
+  if (interpreted) return RunInterpreter(st.query, merged, graph);
+  return RunVolcano(prepared.state_, merged, graph);
 }
 
 Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
-                                             const ValueMap& params) {
+                                             const ValueMap& params,
+                                             const GraphPtr& graph) {
   QueryResult result;
   {
     MutexLock lock(&stats_mu_);
     ++exec_queries_;  // counts attempts, like the serial-era counter
   }
-  WorkerPool* pool =
-      options_.num_threads > 1 ? EnsureWorkerPool() : nullptr;
+  WorkerPool* pool = options_.num_threads > 1 ? EnsureWorkerPool() : nullptr;
   // Per-execution counters accumulate into locals and fold into the
   // guarded cumulative stats once at the end, so a monitoring thread can
   // read exec_stats()/parallel_stats() while the query runs.
   BatchStats run_stats;
   ParallelRunStats prun;
-  size_t cache_capacity;
-  {
-    MutexLock lock(plan_cache_.mu());
-    cache_capacity = plan_cache_.capacity();
-  }
-  if (!options_.use_plan_cache || cache_capacity == 0 ||
+  RandScope rand(this);
+  if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
       prepared->text_key.empty()) {
-    GQL_ASSIGN_OR_RETURN(
-        result.table, RunPlanned(&catalog_, graph_, &params,
-                                 MakePlannerOptions(), &rand_state_,
-                                 prepared->query, &run_stats, pool, &prun));
+    if (pool != nullptr) {
+      // RunPlanned may take the parallel runtime internally; sessions
+      // take turns on the shared pool.
+      MutexLock plock(&pool_exec_mu_);
+      GQL_ASSIGN_OR_RETURN(
+          result.table, RunPlanned(&catalog_, graph, &params,
+                                   MakePlannerOptions(), rand.get(),
+                                   prepared->query, &run_stats, pool, &prun));
+    } else {
+      GQL_ASSIGN_OR_RETURN(
+          result.table,
+          RunPlanned(&catalog_, graph, &params, MakePlannerOptions(),
+                     rand.get(), prepared->query, &run_stats, nullptr, &prun));
+    }
     FoldRunStats(run_stats, prun);
     return result;
   }
-  // Snapshot the catalog version, then release its lock: planning below
-  // may re-enter the catalog (FROM GRAPH ... AT registers names).
-  uint64_t cat_version;
-  {
-    MutexLock lock(catalog_.mu());
-    cat_version = catalog_.version();
-  }
+  uint64_t cat_version = catalog_.version();
   // A catalog-version move strands every older entry (they can never
   // validate again); sweep them now so the graphs they pin are released
   // promptly rather than on LRU eviction.
-  if (cat_version != swept_catalog_version_) {
-    MutexLock lock(plan_cache_.mu());
-    plan_cache_.SweepStale(cat_version);
-    swept_catalog_version_ = cat_version;
-  }
-  std::string key = prepared->text_key + OptionsFingerprint();
-  PlanCache::Entry* entry;
+  bool sweep = false;
   {
-    MutexLock lock(plan_cache_.mu());
-    entry = plan_cache_.Lookup(key, cat_version);
+    MutexLock lock(&stats_mu_);
+    if (cat_version != swept_catalog_version_) {
+      swept_catalog_version_ = cat_version;
+      sweep = true;
+    }
   }
+  if (sweep) plan_cache_.SweepStale(cat_version, graph->stats_version());
+  std::string key = prepared->text_key + OptionsFingerprint();
+  bool busy = false;
+  PlanCache::EntryPtr entry =
+      plan_cache_.Acquire(key, cat_version, graph->stats_version(), &busy);
+  EntryReleaser releaser{&plan_cache_, entry};
+  Plan local_plan;
   if (entry == nullptr) {
-    Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
-                    &rand_state_);
-    GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(prepared->query));
-    // Snapshot generations AFTER planning: FROM GRAPH ... AT "url" may
-    // register a graph name while planning, bumping the catalog version.
-    std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
-        guards;
-    guards.reserve(plan.contexts.size());
-    for (const auto& ctx : plan.contexts) {
-      guards.emplace_back(ctx->graph_owner, ctx->graph_owner->stats_version());
-    }
-    {
-      MutexLock lock(catalog_.mu());
+    Planner planner(&catalog_, graph, &params, MakePlannerOptions(),
+                    rand.get());
+    GQL_ASSIGN_OR_RETURN(local_plan, planner.PlanQuery(prepared->query));
+    if (!busy) {
+      // Snapshot generations AFTER planning: FROM GRAPH ... AT "url" may
+      // register a graph name while planning, bumping the catalog
+      // version. Contexts planned against this execution's default-graph
+      // snapshot are flagged: later executions validate them against
+      // (and rebind them to) THEIR snapshot.
+      std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
+          guards;
+      std::vector<bool> default_ctx;
+      guards.reserve(local_plan.contexts.size());
+      default_ctx.reserve(local_plan.contexts.size());
+      for (const auto& ctx : local_plan.contexts) {
+        guards.emplace_back(ctx->graph_owner,
+                            ctx->graph_owner->stats_version());
+        default_ctx.push_back(ctx->graph_owner == graph);
+      }
       cat_version = catalog_.version();
+      entry = plan_cache_.InsertAcquire(std::move(key), prepared,
+                                        std::move(local_plan), cat_version,
+                                        std::move(guards),
+                                        std::move(default_ctx));
+      releaser.entry = entry;
     }
-    MutexLock lock(plan_cache_.mu());
-    entry = plan_cache_.Insert(std::move(key), prepared, std::move(plan),
-                               cat_version, std::move(guards));
+    // else: the cached entry is mid-execution in another session; run
+    // the fresh plan uncached (its contexts are already bound to this
+    // execution's graph, params and PRNG).
   }
-  // The Entry* outlives the lock scopes above: under today's
-  // single-session contract no other cache operation can intervene
-  // before this execution finishes (the MVCC PR pins entries instead).
-  // Rebind execution-scoped state: this execution's parameter bindings
-  // and the engine's PRNG stream.
-  for (auto& ctx : entry->plan.contexts) {
-    ctx->eval.parameters = &params;
-    ctx->eval.rand_state = &rand_state_;
+  Plan* plan = &local_plan;
+  if (entry != nullptr) {
+    plan = &entry->plan;
+    // Rebind execution-scoped state: this execution's parameter
+    // bindings, PRNG checkout, and — for default-graph contexts — this
+    // transaction's snapshot. The pin guarantees exclusivity.
+    for (size_t i = 0; i < entry->plan.contexts.size(); ++i) {
+      auto& ctx = entry->plan.contexts[i];
+      ctx->eval.parameters = &params;
+      ctx->eval.rand_state = rand.get();
+      if (i < entry->default_ctx.size() && entry->default_ctx[i]) {
+        ctx->graph = graph.get();
+        ctx->graph_owner = graph;
+        ctx->eval.graph = graph.get();
+      }
+    }
   }
-  if (pool != nullptr && entry->plan.parallel.safe) {
+  if (pool != nullptr && plan->parallel.safe) {
+    MutexLock plock(&pool_exec_mu_);
     GQL_ASSIGN_OR_RETURN(result.table,
-                         ExecutePlanParallel(&entry->plan, pool,
-                                             options_.batch_size,
+                         ExecutePlanParallel(plan, pool, options_.batch_size,
                                              &run_stats, &prun));
-    FoldRunStats(run_stats, prun);
-    return result;
+  } else {
+    GQL_ASSIGN_OR_RETURN(
+        result.table, ExecutePlan(plan, options_.batch_size, &run_stats));
   }
-  GQL_ASSIGN_OR_RETURN(result.table,
-                       ExecutePlan(&entry->plan, options_.batch_size,
-                                   &run_stats));
   FoldRunStats(run_stats, prun);
   return result;
 }
 
 Result<QueryResult> CypherEngine::RunInterpreter(const ast::Query& q,
-                                                 const ValueMap& params) {
+                                                 const ValueMap& params,
+                                                 const GraphPtr& graph) {
   QueryResult result;
+  RandScope rand(this);
   Interpreter::Options iopts;
   iopts.match = MakeMatchOptions();
-  Interpreter interp(&catalog_, graph_, &params, iopts, &rand_state_);
+  Interpreter interp(&catalog_, graph, &params, iopts, rand.get());
   MatchOptions match = MakeMatchOptions();
-  interp.set_update_handler([&](const ast::Clause& c,
+  uint64_t* rand_state = rand.get();
+  interp.set_update_handler([&interp, &params, &result, match, rand_state](
+                                const ast::Clause& c,
                                 Table t) -> Result<Table> {
     UpdateExecutor upd(interp.current_graph().get(), &params, match,
-                       &rand_state_, &result.stats);
+                       rand_state, &result.stats);
     return upd.Execute(c, std::move(t));
   });
   GQL_ASSIGN_OR_RETURN(result.table, interp.ExecuteQuery(q));
@@ -276,8 +430,10 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
     return Status::Unimplemented(
         "PROFILE of updating queries is not supported");
   }
-  Planner planner(&catalog_, graph_, &params, MakePlannerOptions(),
-                  &rand_state_);
+  GraphPtr snapshot = ReadSnapshot();
+  RandScope rand(this);
+  Planner planner(&catalog_, snapshot, &params, MakePlannerOptions(),
+                  rand.get());
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
   {
     MutexLock lock(&stats_mu_);
@@ -288,9 +444,13 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
   BatchStats run_stats;
   ParallelRunStats prun;
   if (options_.num_threads > 1 && plan.parallel.safe) {
-    GQL_ASSIGN_OR_RETURN(t, ExecutePlanParallel(&plan, EnsureWorkerPool(),
-                                                options_.batch_size,
-                                                &run_stats, &prun));
+    WorkerPool* pool = EnsureWorkerPool();
+    {
+      MutexLock plock(&pool_exec_mu_);
+      GQL_ASSIGN_OR_RETURN(t, ExecutePlanParallel(&plan, pool,
+                                                  options_.batch_size,
+                                                  &run_stats, &prun));
+    }
     // Fold every worker instance's counters into the printed tree.
     for (const OperatorPtr& instance : plan.extra_roots) {
       plan.root->AbsorbCounters(*instance);
@@ -322,8 +482,9 @@ Result<std::string> CypherEngine::Explain(std::string_view query,
         "EXPLAIN of updating queries is not supported (they run on the "
         "clause interpreter)");
   }
-  return ExplainQuery(&catalog_, graph_, &params, MakePlannerOptions(),
-                      &rand_state_, q);
+  RandScope rand(this);
+  return ExplainQuery(&catalog_, ReadSnapshot(), &params,
+                      MakePlannerOptions(), rand.get(), q);
 }
 
 }  // namespace gqlite

@@ -14,6 +14,7 @@
 namespace gqlite {
 
 class WorkerPool;
+class Session;
 struct ParallelRunStats;
 
 /// How read queries execute (experiment E15 ablates the two):
@@ -116,6 +117,26 @@ class PreparedQuery {
 /// auto r1 = engine.Execute(*stmt, {{"id", Value::Int(1)}});
 /// auto r2 = engine.Execute(*stmt, {{"id", Value::Int(2)}});
 /// ```
+///
+/// ## Concurrency and transactions
+///
+/// Engine entry points are thread-safe and snapshot-isolated on the
+/// DEFAULT graph (MVCC, single writer):
+///  * a read statement executes against an immutable copy-on-write
+///    snapshot of the last committed state — it never observes a
+///    concurrent writer's partial effects;
+///  * an updating statement acquires the engine-wide writer slot
+///    (blocking until free), applies to the live graph, and commits on
+///    completion, at which point later reads snapshot the new state.
+/// For multi-statement transactions and explicit snapshot control, open
+/// a Session (CreateSession): `Begin(kRead)` pins one snapshot across
+/// many statements; `Begin(kWrite)` takes the writer slot without
+/// blocking, surfacing Status::Conflict when a second writer exists.
+/// NOT covered by snapshots: named/URL graphs (FROM GRAPH targets are
+/// shared mutable state — in practice read-only after setup), and the
+/// rand() stream, which overlaps across concurrent statements. The
+/// graph()/graph_ptr() accessors bypass transactions entirely and stay
+/// single-caller setup APIs.
 class CypherEngine {
  public:
   explicit CypherEngine(EngineOptions options = {});
@@ -124,34 +145,34 @@ class CypherEngine {
   ~CypherEngine();
   CypherEngine(CypherEngine&&) noexcept;
 
-  /// The implicit Cypher 9 global graph.
+  /// The implicit Cypher 9 global graph, bypassing the transaction layer
+  /// — a single-caller setup API (loading fixtures before queries run).
+  /// Mutating it concurrently with executing statements is a data race.
   PropertyGraph& graph() { return *graph_; }
   GraphPtr graph_ptr() { return graph_; }
-  /// Rebinds the implicit default graph (the engine snapshots it at
-  /// construction, so registering a new "default" in the catalog alone
-  /// does NOT change what queries see). Also registers it in the
+  /// Rebinds the implicit default graph. Also registers it in the
   /// catalog; cached plans against the old graph are invalidated through
-  /// the catalog version bump.
-  void set_default_graph(GraphPtr g) {
-    MutexLock lock(catalog_.mu());
-    catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
-    graph_ = std::move(g);
-  }
-  /// Registers a named graph in the catalog. Equivalent to locking
-  /// catalog().mu() and calling the catalog method — the convenience form
-  /// for setup code (examples, benches, tests).
+  /// the catalog version bump. Under sessions the binding is pinned per
+  /// transaction: statements already running (and open transactions)
+  /// keep the graph they resolved at begin; later transactions see `g`.
+  void set_default_graph(GraphPtr g);
+  /// Registers a named graph in the catalog (convenience form for setup
+  /// code — examples, benches, tests).
   void RegisterGraph(const std::string& name, GraphPtr g) {
-    MutexLock lock(catalog_.mu());
     catalog_.RegisterGraph(name, std::move(g));
   }
   /// Registers a graph under an external URL (FROM GRAPH ... AT "url").
   void RegisterUrl(const std::string& url, GraphPtr g) {
-    MutexLock lock(catalog_.mu());
     catalog_.RegisterUrl(url, std::move(g));
   }
-  /// Named-graph catalog (Cypher 10, §6). Externally synchronized: its
-  /// methods REQUIRE catalog().mu() — hold a MutexLock across calls.
+  /// Named-graph catalog (Cypher 10, §6). Internally locked.
   GraphCatalog& catalog() { return catalog_; }
+
+  /// Opens a session: a single-threaded conversation with the engine
+  /// that can group statements into explicit transactions. Any number of
+  /// sessions may be open (each on its own thread); the engine must
+  /// outlive every session it created.
+  std::unique_ptr<Session> CreateSession();
 
   /// Parses, validates and runs a query. `params` supplies `$name`
   /// parameters (§2: built-in parameter support).
@@ -182,29 +203,19 @@ class CypherEngine {
   void set_options(EngineOptions options) {
     options_ = options;
     options_status_ = ApplyEnvOverrides(&options_);
-    MutexLock lock(plan_cache_.mu());
     plan_cache_.set_capacity(options.plan_cache_capacity);
   }
 
   /// The plan cache (tests/tools may Clear(), resize or reset stats —
-  /// holding plan_cache().mu(), which its methods REQUIRE).
+  /// its methods lock internally).
   PlanCache& plan_cache() { return plan_cache_; }
   /// Hit/miss/eviction/invalidation counters (snapshot by value: safe to
   /// call from a monitoring thread while queries execute).
-  PlanCacheStats plan_cache_stats() const {
-    MutexLock lock(plan_cache_.mu());
-    return plan_cache_.stats();
-  }
-  /// Number of cached plans / configured bound, snapshot under the cache
-  /// lock (same contract as plan_cache_stats()).
-  size_t plan_cache_size() const {
-    MutexLock lock(plan_cache_.mu());
-    return plan_cache_.size();
-  }
-  size_t plan_cache_capacity() const {
-    MutexLock lock(plan_cache_.mu());
-    return plan_cache_.capacity();
-  }
+  PlanCacheStats plan_cache_stats() const { return plan_cache_.stats(); }
+  /// Number of cached plans / configured bound (same contract as
+  /// plan_cache_stats()).
+  size_t plan_cache_size() const { return plan_cache_.size(); }
+  size_t plan_cache_capacity() const { return plan_cache_.capacity(); }
 
   /// Cumulative rows/batches the batched runtime's root drain produced
   /// across this engine's Volcano executions (gqlsh :stats). Snapshot by
@@ -231,6 +242,8 @@ class CypherEngine {
   }
 
  private:
+  friend class Session;
+
   /// Applies the GQLITE_BATCH_SIZE / GQLITE_THREADS environment
   /// overrides and clamps programmatic values — shared by the
   /// constructor and set_options so reconfiguring an engine cannot
@@ -248,21 +261,95 @@ class CypherEngine {
   /// Cache key suffix encoding every option that changes the compiled
   /// plan (mode, planner, morphism, bounds, expand strategy).
   std::string OptionsFingerprint() const;
+
+  // ---- MVCC transaction core (used by Execute and by Session) ----------
+
+  /// The committed-state snapshot read statements execute against,
+  /// refreshed lazily: while no writer is active on the current head and
+  /// the head's data_version moved since the last snapshot, take a fresh
+  /// one. While a writer IS active on the head, returns the snapshot
+  /// taken at that writer's begin — readers never observe mid-transaction
+  /// state, and never touch head fields a writer may be mutating.
+  GraphPtr ReadSnapshot() EXCLUDES(txn_mu_);
+  GraphPtr ReadSnapshotLocked() REQUIRES(txn_mu_);
+  /// Takes the engine-wide single-writer slot and returns the live head
+  /// graph pinned for the transaction. With `wait`, blocks until the
+  /// slot frees (auto-commit statements); without, surfaces
+  /// Status::Conflict (explicit Begin(kWrite) — the caller decides
+  /// whether to retry).
+  Result<GraphPtr> AcquireWriter(bool wait) EXCLUDES(txn_mu_);
+  /// Publishes the writer's changes (later ReadSnapshot calls see them)
+  /// and frees the writer slot.
+  void CommitWriter() EXCLUDES(txn_mu_);
+  /// Discards the writer's changes by re-materializing the pre-begin
+  /// committed snapshot as the new live head, then frees the slot.
+  void RollbackWriter() EXCLUDES(txn_mu_);
+
+  /// Executes a prepared statement against an explicit graph binding —
+  /// the per-transaction pinned graph (satellite of ISSUE 7: the binding
+  /// is resolved ONCE, at transaction begin, so a concurrent
+  /// set_default_graph cannot rebind a statement mid-flight).
+  Result<QueryResult> ExecuteOn(const PreparedQuery& prepared,
+                                const ValueMap& params, const GraphPtr& graph);
   /// The interpreter path: reference semantics; the only executor for
   /// updating queries and RETURN GRAPH.
   Result<QueryResult> RunInterpreter(const ast::Query& q,
-                                     const ValueMap& params);
+                                     const ValueMap& params,
+                                     const GraphPtr& graph);
   /// The Volcano path with plan-cache consultation.
   Result<QueryResult> RunVolcano(const PreparedPtr& prepared,
-                                 const ValueMap& params);
+                                 const ValueMap& params,
+                                 const GraphPtr& graph);
+
+  /// Checks out the engine PRNG state into a local for one execution and
+  /// folds it back on scope exit, so the runtime advances a plain
+  /// uint64_t without holding any lock. Serial behavior is unchanged;
+  /// concurrent executions overlap streams (each starts from the same
+  /// checkout, last writer wins) — rand() makes no cross-session
+  /// determinism promise.
+  class RandScope {
+   public:
+    explicit RandScope(CypherEngine* e) : engine_(e) {
+      MutexLock lock(&e->stats_mu_);
+      local_ = e->rand_state_;
+    }
+    ~RandScope() {
+      MutexLock lock(&engine_->stats_mu_);
+      engine_->rand_state_ = local_;
+    }
+    RandScope(const RandScope&) = delete;
+    RandScope& operator=(const RandScope&) = delete;
+    uint64_t* get() { return &local_; }
+
+   private:
+    CypherEngine* engine_;
+    uint64_t local_;
+  };
 
   EngineOptions options_;
   /// Error from parsing the environment overrides (OK when clean).
   Status options_status_ = Status::OK();
   GraphCatalog catalog_;
+  /// The live head of the default graph. Unannotated because the legacy
+  /// graph() accessor hands it out lock-free (setup-only contract);
+  /// every transactional path reads/writes it under txn_mu_.
   GraphPtr graph_;
-  uint64_t rand_state_;
   PlanCache plan_cache_;
+
+  /// Transaction coordination: the single-writer slot and the lazily
+  /// refreshed committed-state snapshot.
+  Mutex txn_mu_;
+  CondVar txn_cv_;
+  bool writer_active_ GUARDED_BY(txn_mu_) = false;
+  /// The head object the active writer pinned at begin (null when none).
+  /// Distinguishes "writer on this head" from "writer on a head that
+  /// set_default_graph has since replaced".
+  const PropertyGraph* writer_graph_ GUARDED_BY(txn_mu_) = nullptr;
+  GraphPtr committed_snapshot_ GUARDED_BY(txn_mu_);
+  /// Which head object / data_version committed_snapshot_ was taken from.
+  const PropertyGraph* committed_src_ GUARDED_BY(txn_mu_) = nullptr;
+  uint64_t committed_version_ GUARDED_BY(txn_mu_) = 0;
+
   /// Guards the cumulative execution counters below. Executions
   /// accumulate into locals and fold in here once per query, so a
   /// monitoring thread reading exec_stats()/parallel_stats() mid-query
@@ -271,17 +358,25 @@ class CypherEngine {
   BatchStats exec_stats_ GUARDED_BY(stats_mu_);
   uint64_t exec_queries_ GUARDED_BY(stats_mu_) = 0;
   ParallelStats parallel_stats_ GUARDED_BY(stats_mu_);
+  /// PRNG state for rand(); checked out per execution via RandScope.
+  uint64_t rand_state_ GUARDED_BY(stats_mu_);
+  /// Catalog version at the last stale-entry sweep (see RunVolcano).
+  uint64_t swept_catalog_version_ GUARDED_BY(stats_mu_) = 0;
+
   /// Guards the lazy (re)construction of the worker pool. The returned
   /// raw pointer stays valid until the next set_options/num_threads
-  /// change — a single-owner operation today; the session PR makes
-  /// reconfiguration quiesce in-flight queries first.
+  /// change — a single-owner operation (reconfiguration must quiesce
+  /// in-flight queries first).
   Mutex pool_mu_;
   /// Fixed worker pool for the parallel runtime (num_threads - 1
   /// threads; the query thread is worker 0). Created lazily on the first
   /// parallel-eligible execution.
   std::unique_ptr<WorkerPool> pool_ GUARDED_BY(pool_mu_);
-  /// Catalog version at the last stale-entry sweep (see RunVolcano).
-  uint64_t swept_catalog_version_ = 0;
+  /// Serializes executions on the shared worker pool: the morsel
+  /// dispatcher and per-worker pipelines handle one plan at a time, so
+  /// concurrent sessions take turns on the parallel runtime (serial
+  /// executions proceed unserialized).
+  Mutex pool_exec_mu_;
 };
 
 }  // namespace gqlite

@@ -1,0 +1,78 @@
+#include "src/core/session.h"
+
+namespace gqlite {
+
+Session::~Session() {
+  if (open_ && mode_ == TxnMode::kWrite) {
+    engine_->RollbackWriter();
+  }
+}
+
+Status Session::Begin(TxnMode mode) {
+  if (open_) {
+    return Status::InvalidArgument(
+        "a transaction is already open in this session");
+  }
+  if (mode == TxnMode::kWrite) {
+    // Explicit write transactions surface conflicts instead of queueing
+    // behind the active writer; the caller owns the retry policy.
+    GQL_ASSIGN_OR_RETURN(txn_graph_, engine_->AcquireWriter(/*wait=*/false));
+  } else {
+    txn_graph_ = engine_->ReadSnapshot();
+  }
+  open_ = true;
+  mode_ = mode;
+  return Status::OK();
+}
+
+Status Session::Commit() {
+  if (!open_) {
+    return Status::InvalidArgument("no open transaction to commit");
+  }
+  if (mode_ == TxnMode::kWrite) {
+    engine_->CommitWriter();
+  }
+  open_ = false;
+  txn_graph_.reset();
+  return Status::OK();
+}
+
+Status Session::Rollback() {
+  if (!open_) {
+    return Status::InvalidArgument("no open transaction to roll back");
+  }
+  if (mode_ == TxnMode::kWrite) {
+    engine_->RollbackWriter();
+  }
+  open_ = false;
+  txn_graph_.reset();
+  return Status::OK();
+}
+
+Result<QueryResult> Session::Execute(std::string_view query,
+                                     const ValueMap& params) {
+  GQL_ASSIGN_OR_RETURN(PreparedQuery prepared, engine_->Prepare(query));
+  return Execute(prepared, params);
+}
+
+Result<QueryResult> Session::Execute(const PreparedQuery& prepared,
+                                     const ValueMap& params) {
+  if (!open_) {
+    // No explicit transaction: per-statement auto-commit, exactly the
+    // engine-level contract.
+    return engine_->Execute(prepared, params);
+  }
+  GQL_RETURN_IF_ERROR(engine_->options_status_);
+  if (!prepared.valid()) {
+    return Status::InvalidArgument("executing an empty PreparedQuery");
+  }
+  if (mode_ == TxnMode::kRead && prepared.updating()) {
+    return Status::InvalidArgument(
+        "updating statement in a read transaction; Begin(TxnMode::kWrite)");
+  }
+  // Bind to the transaction's pinned graph: the kRead snapshot, or the
+  // live head the kWrite transaction owns (it sees its own writes).
+  return engine_->ExecuteOn(prepared, params, txn_graph_);
+}
+
+}  // namespace gqlite

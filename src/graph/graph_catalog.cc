@@ -3,6 +3,7 @@
 namespace gqlite {
 
 Result<GraphPtr> GraphCatalog::Resolve(std::string_view name) const {
+  MutexLock lock(&mu_);
   auto it = graphs_.find(std::string(name));
   if (it == graphs_.end()) {
     return Status::NotFound("no graph named `" + std::string(name) +
@@ -12,6 +13,7 @@ Result<GraphPtr> GraphCatalog::Resolve(std::string_view name) const {
 }
 
 Result<GraphPtr> GraphCatalog::ResolveUrl(std::string_view url) const {
+  MutexLock lock(&mu_);
   auto it = urls_.find(std::string(url));
   if (it == urls_.end()) {
     return Status::NotFound("no graph registered at URL '" + std::string(url) +

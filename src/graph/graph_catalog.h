@@ -21,12 +21,11 @@ using GraphPtr = std::shared_ptr<PropertyGraph>;
 /// DESIGN.md substitution table) so the resolution code path is exercised
 /// without a network.
 ///
-/// Thread-safety: EXTERNALLY SYNCHRONIZED. Every method REQUIRES(mu())
-/// and callers hold the lock across each call (the engine, the planner's
-/// FROM GRAPH resolution, and the interpreter's graph clauses all lock at
-/// their call sites today). The MVCC/session PR flips the catalog to
-/// internal locking by moving the MutexLock into the method bodies — no
-/// interface change, and every field is already GUARDED_BY.
+/// Thread-safety: INTERNALLY LOCKED — every method takes mu_ itself, as
+/// the PR-6 annotations planned (the MutexLock moved from the call sites
+/// into the method bodies; no interface change otherwise). Methods hand
+/// out GraphPtr copies, never references into guarded state, so callers
+/// hold no lock while using a resolved graph.
 class GraphCatalog {
  public:
   /// Name of the implicit single global graph of Cypher 9.
@@ -38,14 +37,12 @@ class GraphCatalog {
     graphs_[kDefaultGraphName] = std::make_shared<PropertyGraph>();
   }
 
-  /// The capability callers must hold around every method below.
-  Mutex* mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
-
   /// Registers (or replaces) a named graph. Bumps the catalog version
   /// only when the mapping actually changes, so re-registering the same
   /// graph (e.g. when planning FROM GRAPH ... AT re-resolves a URL) does
   /// not invalidate cached plans.
-  void RegisterGraph(std::string_view name, GraphPtr graph) REQUIRES(mu_) {
+  void RegisterGraph(std::string_view name, GraphPtr graph) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     GraphPtr& slot = graphs_[std::string(name)];
     if (slot != graph) {
       slot = std::move(graph);
@@ -54,7 +51,8 @@ class GraphCatalog {
   }
 
   /// Registers a URL as resolving to a (new or existing) graph.
-  void RegisterUrl(std::string_view url, GraphPtr graph) REQUIRES(mu_) {
+  void RegisterUrl(std::string_view url, GraphPtr graph) EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     GraphPtr& slot = urls_[std::string(url)];
     if (slot != graph) {
       slot = std::move(graph);
@@ -65,20 +63,25 @@ class GraphCatalog {
   /// Monotonic counter of name/URL (re)bindings. Cached plans resolve
   /// FROM GRAPH references at planning time, so any rebinding stales
   /// them (generation-based invalidation in the plan cache).
-  uint64_t version() const REQUIRES(mu_) { return version_; }
+  uint64_t version() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return version_;
+  }
 
-  bool HasGraph(std::string_view name) const REQUIRES(mu_) {
+  bool HasGraph(std::string_view name) const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return graphs_.contains(std::string(name));
   }
 
   /// Resolves a graph by name.
-  Result<GraphPtr> Resolve(std::string_view name) const REQUIRES(mu_);
+  Result<GraphPtr> Resolve(std::string_view name) const EXCLUDES(mu_);
 
   /// Resolves a graph by URL (FROM GRAPH g AT "url"); registers the result
   /// under `name` as a side effect when called through the engine.
-  Result<GraphPtr> ResolveUrl(std::string_view url) const REQUIRES(mu_);
+  Result<GraphPtr> ResolveUrl(std::string_view url) const EXCLUDES(mu_);
 
-  GraphPtr default_graph() const REQUIRES(mu_) {
+  GraphPtr default_graph() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return graphs_.at(kDefaultGraphName);
   }
 

@@ -6,26 +6,113 @@
 
 namespace gqlite {
 
+// ---- Copy-on-write plumbing ------------------------------------------------
+
+template <typename Rec>
+Rec* PropertyGraph::MutableSlot(PageVec<Rec>* pages, size_t id) {
+  AssertMutable();
+  auto& page = (*pages)[id >> kPageBits];
+  if (page.epoch != epoch_) {
+    // Some snapshot/clone may share this payload: write to a private copy.
+    page.payload = std::make_shared<std::vector<Rec>>(*page.payload);
+    page.epoch = epoch_;
+  }
+  return &(*page.payload)[id & kPageMask];
+}
+
+template <typename Rec>
+Rec* PropertyGraph::AppendSlot(PageVec<Rec>* pages, size_t* slots) {
+  AssertMutable();
+  size_t id = (*slots)++;
+  if ((id & kPageMask) == 0) {
+    // First slot of a fresh page.
+    auto& page = pages->emplace_back();
+    page.payload = std::make_shared<std::vector<Rec>>();
+    page.payload->reserve(kPageSize);
+    page.epoch = epoch_;
+    page.payload->emplace_back();
+    return &page.payload->back();
+  }
+  auto& page = pages->back();
+  if (page.epoch != epoch_) {
+    page.payload = std::make_shared<std::vector<Rec>>(*page.payload);
+    page.payload->reserve(kPageSize);
+    page.epoch = epoch_;
+  }
+  page.payload->emplace_back();
+  return &page.payload->back();
+}
+
+std::vector<NodeId>* PropertyGraph::MutablePosting(SymbolId s) {
+  AssertMutable();
+  auto& entry = label_index_[s];
+  if (!entry.payload) {
+    entry.payload = std::make_shared<std::vector<NodeId>>();
+    entry.epoch = epoch_;
+  } else if (entry.epoch != epoch_) {
+    entry.payload = std::make_shared<std::vector<NodeId>>(*entry.payload);
+    entry.epoch = epoch_;
+  }
+  return entry.payload.get();
+}
+
+PropertyGraph::PropertyGraph(const PropertyGraph& other, bool frozen)
+    : node_pages_(other.node_pages_),
+      rel_pages_(other.rel_pages_),
+      node_slots_(other.node_slots_),
+      rel_slots_(other.rel_slots_),
+      num_nodes_(other.num_nodes_),
+      num_rels_(other.num_rels_),
+      stats_version_(other.stats_version_),
+      data_version_(other.data_version_),
+      // Strictly past every shared payload's epoch, so the copy's first
+      // write to any page clones it instead of mutating shared state.
+      epoch_(other.epoch_ + 1),
+      frozen_(frozen),
+      labels_(other.labels_),
+      types_(other.types_),
+      keys_(other.keys_),
+      label_index_(other.label_index_),
+      label_counts_(other.label_counts_),
+      type_counts_(other.type_counts_) {}
+
+std::shared_ptr<PropertyGraph> PropertyGraph::Snapshot() {
+  // Advance our own epoch FIRST: every page we currently hold becomes
+  // "shared" from our perspective, so our next write clones it and the
+  // snapshot keeps observing the pre-write payload.
+  ++epoch_;
+  return std::shared_ptr<PropertyGraph>(
+      new PropertyGraph(*this, /*frozen=*/true));
+}
+
+std::shared_ptr<PropertyGraph> PropertyGraph::Clone() const {
+  return std::shared_ptr<PropertyGraph>(
+      new PropertyGraph(*this, /*frozen=*/false));
+}
+
+// ---- Creation --------------------------------------------------------------
+
 NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
                                  const PropertyList& props) {
-  NodeId id{nodes_.size()};
-  NodeRecord rec;
+  AssertMutable();
+  NodeId id{node_slots_};
+  NodeRecord* rec = AppendSlot(&node_pages_, &node_slots_);
   for (const std::string& l : labels) {
     SymbolId s = labels_.Intern(l);
-    if (std::find(rec.labels.begin(), rec.labels.end(), s) ==
-        rec.labels.end()) {
-      rec.labels.push_back(s);
+    if (std::find(rec->labels.begin(), rec->labels.end(), s) ==
+        rec->labels.end()) {
+      rec->labels.push_back(s);
     }
   }
-  std::sort(rec.labels.begin(), rec.labels.end());
+  std::sort(rec->labels.begin(), rec->labels.end());
   for (const auto& [k, v] : props) {
-    if (!v.is_null()) rec.props.emplace_back(keys_.Intern(k), v);
+    if (!v.is_null()) rec->props.emplace_back(keys_.Intern(k), v);
   }
-  nodes_.push_back(std::move(rec));
   ++num_nodes_;
   ++stats_version_;
-  for (SymbolId s : nodes_.back().labels) {
-    label_index_[s].push_back(id);
+  ++data_version_;
+  for (SymbolId s : node(id).labels) {
+    MutablePosting(s)->push_back(id);
     ++label_counts_[s];
   }
   return id;
@@ -34,6 +121,9 @@ NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
 Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
                                                 std::string_view type,
                                                 const PropertyList& props) {
+  if (frozen_) {
+    return Status::InvalidArgument("cannot mutate a frozen graph snapshot");
+  }
   if (!IsNodeAlive(src) || !IsNodeAlive(tgt)) {
     return Status::InvalidArgument(
         "relationship endpoint does not exist or was deleted");
@@ -41,35 +131,37 @@ Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
   if (type.empty()) {
     return Status::InvalidArgument("relationship type must be non-empty");
   }
-  RelId id{rels_.size()};
-  RelRecord rec;
-  rec.src = src;
-  rec.tgt = tgt;
-  rec.type = types_.Intern(type);
+  RelId id{rel_slots_};
+  RelRecord* rec = AppendSlot(&rel_pages_, &rel_slots_);
+  rec->src = src;
+  rec->tgt = tgt;
+  rec->type = types_.Intern(type);
   for (const auto& [k, v] : props) {
-    if (!v.is_null()) rec.props.emplace_back(keys_.Intern(k), v);
+    if (!v.is_null()) rec->props.emplace_back(keys_.Intern(k), v);
   }
-  rels_.push_back(std::move(rec));
   ++num_rels_;
   ++stats_version_;
-  ++type_counts_[rels_.back().type];
-  nodes_[src.id].out.push_back(id);
-  nodes_[tgt.id].in.push_back(id);
+  ++data_version_;
+  ++type_counts_[rel(id).type];
+  MutableNode(src)->out.push_back(id);
+  MutableNode(tgt)->in.push_back(id);
   return id;
 }
 
 std::vector<NodeId> PropertyGraph::AllNodes() const {
   std::vector<NodeId> out;
   out.reserve(num_nodes_);
-  for (size_t i = 0; i < nodes_.size(); ++i) {
-    if (!nodes_[i].deleted) out.push_back(NodeId{i});
+  for (size_t i = 0; i < node_slots_; ++i) {
+    if (!node(NodeId{i}).deleted) out.push_back(NodeId{i});
   }
   return out;
 }
 
+// ---- Labels ----------------------------------------------------------------
+
 std::vector<std::string> PropertyGraph::NodeLabels(NodeId n) const {
   std::vector<std::string> out;
-  for (SymbolId s : nodes_[n.id].labels) out.push_back(labels_.ToString(s));
+  for (SymbolId s : node(n).labels) out.push_back(labels_.ToString(s));
   return out;
 }
 
@@ -79,35 +171,41 @@ bool PropertyGraph::NodeHasLabel(NodeId n, std::string_view label) const {
 }
 
 bool PropertyGraph::NodeHasLabelId(NodeId n, SymbolId label) const {
-  const auto& ls = nodes_[n.id].labels;
+  const auto& ls = node(n).labels;
   return std::binary_search(ls.begin(), ls.end(), label);
 }
 
 bool PropertyGraph::AddLabel(NodeId n, std::string_view label) {
+  AssertMutable();
   SymbolId s = labels_.Intern(label);
-  auto& ls = nodes_[n.id].labels;
+  auto& ls = MutableNode(n)->labels;
   auto it = std::lower_bound(ls.begin(), ls.end(), s);
   if (it != ls.end() && *it == s) return false;
   ls.insert(it, s);
-  label_index_[s].push_back(n);
+  MutablePosting(s)->push_back(n);
   ++label_counts_[s];
   ++stats_version_;
+  ++data_version_;
   return true;
 }
 
 bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
+  AssertMutable();
   SymbolId s = labels_.Lookup(label);
   if (s == kNoSymbol) return false;
-  auto& ls = nodes_[n.id].labels;
+  auto& ls = MutableNode(n)->labels;
   auto it = std::lower_bound(ls.begin(), ls.end(), s);
   if (it == ls.end() || *it != s) return false;
   ls.erase(it);
-  auto& idx = label_index_[s];
-  idx.erase(std::remove(idx.begin(), idx.end(), n), idx.end());
+  std::vector<NodeId>* idx = MutablePosting(s);
+  idx->erase(std::remove(idx->begin(), idx->end(), n), idx->end());
   --label_counts_[s];
   ++stats_version_;
+  ++data_version_;
   return true;
 }
+
+// ---- Properties ------------------------------------------------------------
 
 const Value& PropertyGraph::GetProp(
     const std::vector<std::pair<SymbolId, Value>>& props, SymbolId key) {
@@ -138,43 +236,51 @@ int PropertyGraph::SetProp(std::vector<std::pair<SymbolId, Value>>* props,
 
 const Value& PropertyGraph::NodeProperty(NodeId n,
                                          std::string_view key) const {
-  return GetProp(nodes_[n.id].props, keys_.Lookup(key));
+  return GetProp(node(n).props, keys_.Lookup(key));
 }
 
 const Value& PropertyGraph::RelProperty(RelId r,
                                         std::string_view key) const {
-  return GetProp(rels_[r.id].props, keys_.Lookup(key));
+  return GetProp(rel(r).props, keys_.Lookup(key));
 }
 
 int PropertyGraph::SetNodeProperty(NodeId n, std::string_view key, Value v) {
-  return SetProp(&nodes_[n.id].props, keys_.Intern(key), std::move(v));
+  AssertMutable();
+  int changed = SetProp(&MutableNode(n)->props, keys_.Intern(key),
+                        std::move(v));
+  if (changed != 0) ++data_version_;
+  return changed;
 }
 
 int PropertyGraph::SetRelProperty(RelId r, std::string_view key, Value v) {
-  return SetProp(&rels_[r.id].props, keys_.Intern(key), std::move(v));
+  AssertMutable();
+  int changed = SetProp(&MutableRel(r)->props, keys_.Intern(key),
+                        std::move(v));
+  if (changed != 0) ++data_version_;
+  return changed;
 }
 
 ValueMap PropertyGraph::NodeProperties(NodeId n) const {
   ValueMap out;
-  for (const auto& [k, v] : nodes_[n.id].props) out[keys_.ToString(k)] = v;
+  for (const auto& [k, v] : node(n).props) out[keys_.ToString(k)] = v;
   return out;
 }
 
 ValueMap PropertyGraph::RelProperties(RelId r) const {
   ValueMap out;
-  for (const auto& [k, v] : rels_[r.id].props) out[keys_.ToString(k)] = v;
+  for (const auto& [k, v] : rel(r).props) out[keys_.ToString(k)] = v;
   return out;
 }
 
 std::vector<std::string> PropertyGraph::NodePropertyKeys(NodeId n) const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : nodes_[n.id].props) out.push_back(keys_.ToString(k));
+  for (const auto& [k, v] : node(n).props) out.push_back(keys_.ToString(k));
   return out;
 }
 
 std::vector<std::string> PropertyGraph::RelPropertyKeys(RelId r) const {
   std::vector<std::string> out;
-  for (const auto& [k, v] : rels_[r.id].props) out.push_back(keys_.ToString(k));
+  for (const auto& [k, v] : rel(r).props) out.push_back(keys_.ToString(k));
   return out;
 }
 
@@ -184,58 +290,81 @@ const std::vector<NodeId>& PropertyGraph::NodesWithLabel(
   SymbolId s = labels_.Lookup(label);
   if (s == kNoSymbol) return kEmpty;
   auto it = label_index_.find(s);
-  return it == label_index_.end() ? kEmpty : it->second;
+  return it == label_index_.end() || !it->second.payload
+             ? kEmpty
+             : *it->second.payload;
 }
 
+// ---- Deletion --------------------------------------------------------------
+
 Status PropertyGraph::DeleteRelationship(RelId r) {
+  if (frozen_) {
+    return Status::InvalidArgument("cannot mutate a frozen graph snapshot");
+  }
   if (!IsRelAlive(r)) {
     return Status::InvalidArgument("relationship already deleted");
   }
-  RelRecord& rec = rels_[r.id];
+  RelRecord* rec = MutableRel(r);
   auto unlink = [r](std::vector<RelId>* v) {
     v->erase(std::remove(v->begin(), v->end(), r), v->end());
   };
-  unlink(&nodes_[rec.src.id].out);
-  unlink(&nodes_[rec.tgt.id].in);
-  --type_counts_[rec.type];
-  rec.deleted = true;
-  rec.props.clear();
+  unlink(&MutableNode(rec->src)->out);
+  unlink(&MutableNode(rec->tgt)->in);
+  --type_counts_[rec->type];
+  rec->deleted = true;
+  rec->props.clear();
   --num_rels_;
   ++stats_version_;
+  ++data_version_;
   return Status::OK();
 }
 
 Status PropertyGraph::DeleteNode(NodeId n) {
+  if (frozen_) {
+    return Status::InvalidArgument("cannot mutate a frozen graph snapshot");
+  }
   if (!IsNodeAlive(n)) return Status::InvalidArgument("node already deleted");
   if (Degree(n) > 0) {
     return Status::InvalidArgument(
         "cannot delete node with relationships; use DETACH DELETE");
   }
-  NodeRecord& rec = nodes_[n.id];
-  for (SymbolId s : rec.labels) {
-    auto& idx = label_index_[s];
-    idx.erase(std::remove(idx.begin(), idx.end(), n), idx.end());
+  NodeRecord* rec = MutableNode(n);
+  for (SymbolId s : rec->labels) {
+    std::vector<NodeId>* idx = MutablePosting(s);
+    idx->erase(std::remove(idx->begin(), idx->end(), n), idx->end());
     --label_counts_[s];
   }
-  rec.deleted = true;
-  rec.labels.clear();
-  rec.props.clear();
+  rec->deleted = true;
+  rec->labels.clear();
+  rec->props.clear();
   --num_nodes_;
   ++stats_version_;
+  ++data_version_;
   return Status::OK();
 }
 
-Status PropertyGraph::DetachDeleteNode(NodeId n) {
+Result<int64_t> PropertyGraph::DetachDeleteNode(NodeId n) {
+  if (frozen_) {
+    return Status::InvalidArgument("cannot mutate a frozen graph snapshot");
+  }
   if (!IsNodeAlive(n)) return Status::InvalidArgument("node already deleted");
   // Copy: DeleteRelationship mutates the adjacency vectors.
-  std::vector<RelId> incident = nodes_[n.id].out;
-  incident.insert(incident.end(), nodes_[n.id].in.begin(),
-                  nodes_[n.id].in.end());
+  std::vector<RelId> incident = node(n).out;
+  incident.insert(incident.end(), node(n).in.begin(), node(n).in.end());
+  int64_t removed = 0;
   for (RelId r : incident) {
-    if (IsRelAlive(r)) GQL_RETURN_IF_ERROR(DeleteRelationship(r));
+    // A self-loop appears in both `out` and `in`; the second occurrence
+    // is no longer alive and is (correctly) counted once, not twice.
+    if (IsRelAlive(r)) {
+      GQL_RETURN_IF_ERROR(DeleteRelationship(r));
+      ++removed;
+    }
   }
-  return DeleteNode(n);
+  GQL_RETURN_IF_ERROR(DeleteNode(n));
+  return removed;
 }
+
+// ---- Rendering -------------------------------------------------------------
 
 namespace {
 
@@ -307,3 +436,4 @@ std::string PropertyGraph::Render(const Value& v) const {
 }
 
 }  // namespace gqlite
+

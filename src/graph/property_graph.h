@@ -1,7 +1,9 @@
 #ifndef GQLITE_GRAPH_PROPERTY_GRAPH_H_
 #define GQLITE_GRAPH_PROPERTY_GRAPH_H_
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -33,13 +35,65 @@ using PropertyList = std::vector<std::pair<std::string, Value>>;
 /// related nodes", §2). A label index supports NodeByLabelScan.
 ///
 /// Labels, relationship types and property keys are interned to dense ids.
-/// The graph is single-threaded; the update language (src/update) mutates
-/// it through this API.
+///
+/// ## Versioned snapshots (MVCC substrate)
+///
+/// Node/relationship slots live in fixed-size copy-on-write pages
+/// (kPageSize records behind a shared_ptr), and each label-index posting
+/// list is likewise a shared payload. Snapshot() produces a new
+/// PropertyGraph that SHARES every page with this one — O(slots/kPageSize)
+/// pointer copies plus a schema-sized interner clone, independent of data
+/// volume. After a snapshot, the first mutation touching a page clones
+/// just that page (epoch-tagged: a page is written in place only while
+/// this graph object owns it exclusively), so
+///  * a snapshot is deeply immutable — reader threads traverse it without
+///    any locking while the live graph keeps committing, and
+///  * the live graph pays copy costs proportional to what it actually
+///    writes, not to graph size.
+/// Snapshots are frozen: mutators on a frozen graph fail (Status-returning
+/// ones) or assert (infallible ones). The session layer (src/core/session)
+/// is the intended consumer; it hands frozen snapshots to readers and
+/// routes every write to the single live graph under the engine's writer
+/// transaction.
+///
+/// Thread-safety: a PropertyGraph object is single-writer. Concurrent
+/// READERS of a frozen snapshot are safe (nothing mutates shared pages);
+/// the live graph must not be read while a writer mutates it — the engine
+/// enforces this by running readers on snapshots.
+///
+/// References returned by accessors (NodeProperty, OutRels, ...) point
+/// into the record's current page payload; a later mutation of ANY record
+/// on the same page may copy-on-write the page and invalidate them. Copy
+/// the Value (O(1), shared payload) instead of holding references across
+/// mutations.
 class PropertyGraph {
  public:
   PropertyGraph() = default;
   PropertyGraph(const PropertyGraph&) = delete;
   PropertyGraph& operator=(const PropertyGraph&) = delete;
+
+  // ---- Versioned snapshots -------------------------------------------------
+
+  /// An immutable snapshot of this graph's current state, sharing slot
+  /// pages copy-on-write. Cheap (page-pointer vector + interner clone);
+  /// safe to read from any number of threads while this graph keeps
+  /// mutating. Marks every current page frozen, so subsequent writes to
+  /// this graph clone the pages they touch.
+  std::shared_ptr<PropertyGraph> Snapshot();
+
+  /// A mutable copy sharing pages copy-on-write (the transaction-rollback
+  /// restore path: re-materialize the last committed state as a fresh
+  /// live graph). Content-equal to `*this` at call time.
+  std::shared_ptr<PropertyGraph> Clone() const;
+
+  /// True for graphs produced by Snapshot(): every mutator fails/asserts.
+  bool frozen() const { return frozen_; }
+
+  /// Monotonic counter of ALL mutations (structural and property). The
+  /// engine compares it against the version captured at the last
+  /// committed snapshot to decide whether a fresh read snapshot is
+  /// needed. Unlike stats_version(), property SETs bump it.
+  uint64_t data_version() const { return data_version_; }
 
   // ---- Creation ----------------------------------------------------------
 
@@ -56,17 +110,17 @@ class PropertyGraph {
   // ---- Existence & cardinality -------------------------------------------
 
   bool IsNodeAlive(NodeId n) const {
-    return n.id < nodes_.size() && !nodes_[n.id].deleted;
+    return n.id < node_slots_ && !node(n).deleted;
   }
   bool IsRelAlive(RelId r) const {
-    return r.id < rels_.size() && !rels_[r.id].deleted;
+    return r.id < rel_slots_ && !rel(r).deleted;
   }
   /// Number of live nodes / relationships.
   size_t NumNodes() const { return num_nodes_; }
   size_t NumRels() const { return num_rels_; }
   /// Slot-space upper bounds for id iteration (ids < NumNodeSlots()).
-  size_t NumNodeSlots() const { return nodes_.size(); }
-  size_t NumRelSlots() const { return rels_.size(); }
+  size_t NumNodeSlots() const { return node_slots_; }
+  size_t NumRelSlots() const { return rel_slots_; }
 
   /// All live node ids (materialized; prefer slot iteration in hot paths).
   std::vector<NodeId> AllNodes() const;
@@ -75,7 +129,7 @@ class PropertyGraph {
 
   /// Label set of a node, as interned ids (sorted ascending).
   const std::vector<SymbolId>& NodeLabelIds(NodeId n) const {
-    return nodes_[n.id].labels;
+    return node(n).labels;
   }
   std::vector<std::string> NodeLabels(NodeId n) const;
   bool NodeHasLabel(NodeId n, std::string_view label) const;
@@ -86,18 +140,18 @@ class PropertyGraph {
 
   // ---- τ: relationship types ---------------------------------------------
 
-  SymbolId RelTypeId(RelId r) const { return rels_[r.id].type; }
+  SymbolId RelTypeId(RelId r) const { return rel(r).type; }
   const std::string& RelType(RelId r) const {
-    return types_.ToString(rels_[r.id].type);
+    return types_.ToString(rel(r).type);
   }
 
   // ---- src / tgt ----------------------------------------------------------
 
-  NodeId Source(RelId r) const { return rels_[r.id].src; }
-  NodeId Target(RelId r) const { return rels_[r.id].tgt; }
+  NodeId Source(RelId r) const { return rel(r).src; }
+  NodeId Target(RelId r) const { return rel(r).tgt; }
   /// The endpoint of `r` that is not `n` (for undirected traversal).
   NodeId OtherEnd(RelId r, NodeId n) const {
-    return rels_[r.id].src == n ? rels_[r.id].tgt : rels_[r.id].src;
+    return rel(r).src == n ? rel(r).tgt : rel(r).src;
   }
 
   // ---- ι: properties ------------------------------------------------------
@@ -120,10 +174,13 @@ class PropertyGraph {
 
   // ---- Adjacency (the Expand substrate) -----------------------------------
 
-  const std::vector<RelId>& OutRels(NodeId n) const { return nodes_[n.id].out; }
-  const std::vector<RelId>& InRels(NodeId n) const { return nodes_[n.id].in; }
+  const std::vector<RelId>& OutRels(NodeId n) const { return node(n).out; }
+  const std::vector<RelId>& InRels(NodeId n) const { return node(n).in; }
+  /// Incident slot count. NOTE: a self-loop appears in both `out` and
+  /// `in`, so Degree counts it twice — callers counting distinct incident
+  /// relationships (DETACH DELETE accounting) must not use this.
   size_t Degree(NodeId n) const {
-    return nodes_[n.id].out.size() + nodes_[n.id].in.size();
+    return node(n).out.size() + node(n).in.size();
   }
 
   // ---- Label index ---------------------------------------------------------
@@ -138,7 +195,11 @@ class PropertyGraph {
   /// Deletes a node; fails if it still has relationships (Cypher DELETE).
   Status DeleteNode(NodeId n);
   /// Deletes a node and all incident relationships (DETACH DELETE).
-  Status DetachDeleteNode(NodeId n);
+  /// Returns the number of relationships actually removed — a self-loop
+  /// counts once (Degree would count it twice), and relationships a
+  /// previous deletion already removed do not count at all. DELETE
+  /// statement accounting must use this value, not a pre-delete Degree.
+  Result<int64_t> DetachDeleteNode(NodeId n);
 
   // ---- Interners & statistics ----------------------------------------------
 
@@ -149,7 +210,8 @@ class PropertyGraph {
   /// variable-length patterns). Property value updates do NOT bump it:
   /// plans evaluate property predicates at runtime, so cached plans stay
   /// valid across SET/REMOVE of properties. The plan cache uses this for
-  /// generation-based invalidation.
+  /// generation-based invalidation; snapshots inherit the value at
+  /// snapshot time (and, being frozen, never move it).
   uint64_t stats_version() const { return stats_version_; }
 
   const StringInterner& labels() const { return labels_; }
@@ -167,7 +229,7 @@ class PropertyGraph {
     return type_counts_;
   }
 
-  // ---- Rendering -------------------------------------------------------------
+  // ---- Rendering -----------------------------------------------------------
 
   /// Graph-aware display: nodes as `(:Label {k: v})`, relationships as
   /// `[:TYPE {k: v}]`, paths expanded, containers recursed.
@@ -189,22 +251,76 @@ class PropertyGraph {
     std::vector<std::pair<SymbolId, Value>> props;
   };
 
+  /// 64 records per copy-on-write page: small enough that a point write
+  /// after a snapshot copies little, large enough that the page-pointer
+  /// vector (and thus Snapshot cost) stays 64x smaller than the slots.
+  static constexpr size_t kPageBits = 6;
+  static constexpr size_t kPageSize = size_t{1} << kPageBits;
+  static constexpr size_t kPageMask = kPageSize - 1;
+
+  /// A shared payload plus the epoch at which THIS graph object last
+  /// owned it exclusively. Writable in place iff epoch == epoch_;
+  /// otherwise some snapshot/clone may share the payload and the writer
+  /// clones it first (see MutableSlot).
+  template <typename T>
+  struct Cow {
+    std::shared_ptr<T> payload;
+    uint64_t epoch = 0;
+  };
+  template <typename Rec>
+  using PageVec = std::vector<Cow<std::vector<Rec>>>;
+
+  /// Copy-on-write copy: shares every page/posting payload, clones the
+  /// interners and count maps. The copy's epoch is advanced past every
+  /// shared payload's, so its first write to any page clones it.
+  PropertyGraph(const PropertyGraph& other, bool frozen);
+
+  const NodeRecord& node(NodeId n) const {
+    return (*node_pages_[n.id >> kPageBits].payload)[n.id & kPageMask];
+  }
+  const RelRecord& rel(RelId r) const {
+    return (*rel_pages_[r.id >> kPageBits].payload)[r.id & kPageMask];
+  }
+  template <typename Rec>
+  Rec* MutableSlot(PageVec<Rec>* pages, size_t id);
+  NodeRecord* MutableNode(NodeId n) {
+    return MutableSlot(&node_pages_, n.id);
+  }
+  RelRecord* MutableRel(RelId r) { return MutableSlot(&rel_pages_, r.id); }
+  /// Appends one slot (cloning/creating the tail page as needed) and
+  /// returns the new record.
+  template <typename Rec>
+  Rec* AppendSlot(PageVec<Rec>* pages, size_t* slots);
+  /// The label-index posting list for `s`, writable in place.
+  std::vector<NodeId>* MutablePosting(SymbolId s);
+
+  void AssertMutable() const {
+    assert(!frozen_ && "mutating a frozen graph snapshot");
+  }
+
   static const Value& GetProp(
       const std::vector<std::pair<SymbolId, Value>>& props, SymbolId key);
   static int SetProp(std::vector<std::pair<SymbolId, Value>>* props,
                      SymbolId key, Value v);
 
-  std::vector<NodeRecord> nodes_;
-  std::vector<RelRecord> rels_;
+  PageVec<NodeRecord> node_pages_;
+  PageVec<RelRecord> rel_pages_;
+  size_t node_slots_ = 0;
+  size_t rel_slots_ = 0;
   size_t num_nodes_ = 0;
   size_t num_rels_ = 0;
   uint64_t stats_version_ = 0;
+  uint64_t data_version_ = 0;
+  /// Epoch for the Cow ownership test; bumped by Snapshot() so every
+  /// page held at snapshot time reads as shared.
+  uint64_t epoch_ = 1;
+  bool frozen_ = false;
 
   StringInterner labels_;
   StringInterner types_;
   StringInterner keys_;
 
-  std::unordered_map<SymbolId, std::vector<NodeId>> label_index_;
+  std::unordered_map<SymbolId, Cow<std::vector<NodeId>>> label_index_;
   std::unordered_map<SymbolId, size_t> label_counts_;
   std::unordered_map<SymbolId, size_t> type_counts_;
 };

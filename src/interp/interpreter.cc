@@ -177,8 +177,7 @@ Result<Table> Interpreter::ExecUnwind(const UnwindClause& u,
 
 Result<Table> Interpreter::ExecFromGraph(const FromGraphClause& f,
                                          Table input) {
-  // The catalog is externally synchronized (REQUIRES its mu()).
-  MutexLock cat_lock(catalog_->mu());
+  // The catalog locks internally.
   if (f.url) {
     // FROM GRAPH g AT "url": resolve through the URL registry and bind the
     // name (simulating an external graph store; see DESIGN.md).
@@ -212,6 +211,7 @@ Result<Table> Interpreter::ExecReturnGraph(const ReturnGraphClause& r,
     for (const auto& [k, val] : graph_->NodeProperties(src)) {
       props.emplace_back(k, val);
     }
+    // lint: allow(graph-mutation) RETURN GRAPH builds a brand-new graph
     NodeId dst = out_graph->CreateNode(graph_->NodeLabels(src), props);
     node_map.emplace(src.id, dst);
     return dst;
@@ -245,6 +245,7 @@ Result<Table> Interpreter::ExecReturnGraph(const ReturnGraphClause& r,
         if (hop.rel.direction == Direction::kLeft) std::swap(from, to);
         GQL_ASSIGN_OR_RETURN(
             RelId rel,
+            // lint: allow(graph-mutation) RETURN GRAPH builds a new graph
             out_graph->CreateRelationship(from, to, hop.rel.types[0], props));
         (void)rel;
         prev = next;
@@ -252,10 +253,7 @@ Result<Table> Interpreter::ExecReturnGraph(const ReturnGraphClause& r,
     }
   }
 
-  {
-    MutexLock cat_lock(catalog_->mu());
-    catalog_->RegisterGraph(r.graph_name, out_graph);
-  }
+  catalog_->RegisterGraph(r.graph_name, out_graph);
   produced_graphs_.emplace_back(r.graph_name, out_graph);
   // RETURN GRAPH produces a graph, not a table: the table part of the
   // "table-graphs" result (§6) is empty here.

@@ -2,62 +2,96 @@
 
 namespace gqlite {
 
-PlanCache::Entry* PlanCache::Lookup(const std::string& key,
-                                    uint64_t catalog_version) {
+bool PlanCache::Valid(const Entry& e, uint64_t catalog_version,
+                      uint64_t default_stats_version) {
+  if (e.catalog_version != catalog_version) return false;
+  for (size_t i = 0; i < e.graph_guards.size(); ++i) {
+    // Default-graph contexts are rebound to the executing snapshot, so
+    // they validate against ITS stats_version — never the live graph's,
+    // which a concurrent writer may be moving.
+    uint64_t current = (i < e.default_ctx.size() && e.default_ctx[i])
+                           ? default_stats_version
+                           : e.graph_guards[i].first->stats_version();
+    if (current != e.graph_guards[i].second) return false;
+  }
+  return true;
+}
+
+PlanCache::EntryPtr PlanCache::Acquire(const std::string& key,
+                                       uint64_t catalog_version,
+                                       uint64_t default_stats_version,
+                                       bool* busy) {
+  MutexLock lock(&mu_);
+  if (busy != nullptr) *busy = false;
   auto it = index_.find(key);
   if (it == index_.end()) {
     ++stats_.misses;
     return nullptr;
   }
-  Entry& e = *it->second;
-  bool valid = e.catalog_version == catalog_version;
-  for (const auto& [graph, version] : e.graph_guards) {
-    if (graph->stats_version() != version) {
-      valid = false;
-      break;
-    }
-  }
-  if (!valid) {
+  EntryPtr e = *it->second;
+  if (!Valid(*e, catalog_version, default_stats_version)) {
     lru_.erase(it->second);
     index_.erase(it);
     ++stats_.invalidations;
     ++stats_.misses;
     return nullptr;
   }
+  if (e->in_use) {
+    // Another session is mid-execution on this plan's (stateful)
+    // operator tree. Caller plans fresh and runs uncached.
+    if (busy != nullptr) *busy = true;
+    ++stats_.misses;
+    return nullptr;
+  }
   // Promote to most-recently-used.
   lru_.splice(lru_.begin(), lru_, it->second);
   it->second = lru_.begin();
+  e->in_use = true;
   ++stats_.hits;
-  return &lru_.front();
+  return e;
 }
 
-PlanCache::Entry* PlanCache::Insert(
+PlanCache::EntryPtr PlanCache::InsertAcquire(
     std::string key, PreparedPtr prepared, Plan plan, uint64_t catalog_version,
     std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
-        graph_guards) {
+        graph_guards,
+    std::vector<bool> default_ctx) {
+  MutexLock lock(&mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
+    // Displaced entry may still be pinned by an executor; dropping it
+    // from the index is enough — the executor's shared_ptr owns it.
     lru_.erase(it->second);
     index_.erase(it);
   }
-  lru_.push_front(Entry{std::move(key), std::move(prepared), std::move(plan),
-                        catalog_version, std::move(graph_guards)});
-  index_.emplace(lru_.front().key, lru_.begin());
+  auto e = std::make_shared<Entry>();
+  e->key = std::move(key);
+  e->prepared = std::move(prepared);
+  e->plan = std::move(plan);
+  e->catalog_version = catalog_version;
+  e->graph_guards = std::move(graph_guards);
+  e->default_ctx = std::move(default_ctx);
+  e->in_use = true;
+  lru_.push_front(e);
+  index_.emplace(e->key, lru_.begin());
   EvictToCapacity();
-  return lru_.empty() ? nullptr : &lru_.front();
+  return e;
 }
 
-void PlanCache::SweepStale(uint64_t catalog_version) {
+void PlanCache::Release(const EntryPtr& entry) {
+  if (entry == nullptr) return;
+  MutexLock lock(&mu_);
+  entry->in_use = false;
+}
+
+void PlanCache::SweepStale(uint64_t catalog_version,
+                           uint64_t default_stats_version) {
+  MutexLock lock(&mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
-    bool valid = it->catalog_version == catalog_version;
-    for (const auto& [graph, version] : it->graph_guards) {
-      if (!valid) break;
-      valid = graph->stats_version() == version;
-    }
-    if (valid) {
+    if (Valid(**it, catalog_version, default_stats_version)) {
       ++it;
     } else {
-      index_.erase(it->key);
+      index_.erase((*it)->key);
       it = lru_.erase(it);
       ++stats_.invalidations;
     }
@@ -65,18 +99,20 @@ void PlanCache::SweepStale(uint64_t catalog_version) {
 }
 
 void PlanCache::Clear() {
+  MutexLock lock(&mu_);
   lru_.clear();
   index_.clear();
 }
 
 void PlanCache::set_capacity(size_t capacity) {
+  MutexLock lock(&mu_);
   capacity_ = capacity;
   EvictToCapacity();
 }
 
 void PlanCache::EvictToCapacity() {
   while (index_.size() > capacity_) {
-    index_.erase(lru_.back().key);
+    index_.erase(lru_.back()->key);
     lru_.pop_back();
     ++stats_.evictions;
   }

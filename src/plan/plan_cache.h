@@ -37,7 +37,8 @@ using PreparedPtr = std::shared_ptr<const PreparedStatement>;
 /// Hit/miss accounting, surfaced through CypherEngine::plan_cache_stats().
 struct PlanCacheStats {
   uint64_t hits = 0;           // valid cached plan reused
-  uint64_t misses = 0;         // no usable plan (includes invalidations)
+  uint64_t misses = 0;         // no usable plan (includes invalidations
+                               // and busy entries pinned by another session)
   uint64_t evictions = 0;      // LRU capacity evictions
   uint64_t invalidations = 0;  // entries dropped because the graph catalog
                                // or statistics changed since planning
@@ -53,13 +54,15 @@ struct PlanCacheStats {
 /// GRAPH resolves names at planning time). A lookup that finds a stale
 /// entry drops it and reports a miss.
 ///
-/// Thread-safety: EXTERNALLY SYNCHRONIZED. The cache does not lock;
-/// every method REQUIRES(mu()) and callers hold the lock across each
-/// call (plus, for Lookup/Insert, for as long as they use the returned
-/// Entry*). Today the engine is the only caller and queries are
-/// single-session, so the lock is uncontended; the MVCC/session PR flips
-/// the class to internal locking by moving the MutexLock into the method
-/// bodies — no interface change, and every field is already GUARDED_BY.
+/// Thread-safety: INTERNALLY LOCKED — every method takes mu_ itself, so
+/// any number of sessions may call concurrently (the PR-6 annotations
+/// planned exactly this flip). Entries are handed out PINNED: a plan's
+/// operator tree is a stateful single-use pipeline, so two executions
+/// must never share one entry. Acquire marks the entry in-use and a
+/// concurrent Acquire of the same key reports `busy` (the caller plans
+/// fresh and executes uncached); Release un-pins. Eviction, replacement,
+/// Clear and SweepStale may remove a pinned entry from the cache — the
+/// executing session's shared_ptr keeps it alive until Release.
 class PlanCache {
  public:
   struct Entry {
@@ -72,53 +75,85 @@ class PlanCache {
     /// dropped, so borrowed pointers inside the plan never dangle.
     std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
         graph_guards;
+    /// guards[i] planned against the session's DEFAULT graph (as opposed
+    /// to a named/URL graph). Default-graph contexts are validated
+    /// against the *executing snapshot's* stats_version and rebound to it
+    /// per execution; named graphs are validated against the guard graph
+    /// itself.
+    std::vector<bool> default_ctx;
+    /// True while a session executes this plan (guarded by the cache
+    /// mutex; never touch outside the cache).
+    bool in_use = false;
   };
+  using EntryPtr = std::shared_ptr<Entry>;
 
   explicit PlanCache(size_t capacity = kDefaultCapacity)
       : capacity_(capacity) {}
 
   static constexpr size_t kDefaultCapacity = 128;
 
-  /// The capability callers must hold around every method below.
-  Mutex* mu() const RETURN_CAPABILITY(mu_) { return &mu_; }
+  /// Looks up `key` and pins the entry for execution. Returns null when:
+  ///  * absent (miss);
+  ///  * stale against `catalog_version` / its graph guards — default-graph
+  ///    contexts compare against `default_stats_version`, the executing
+  ///    snapshot's value (the entry is erased; invalidation + miss);
+  ///  * present and valid but pinned by another session (`*busy` set to
+  ///    true; miss) — the caller should plan fresh and skip InsertAcquire.
+  /// On success the entry is promoted to most-recently-used, marked
+  /// in-use, and counted as a hit; the caller MUST Release it.
+  EntryPtr Acquire(const std::string& key, uint64_t catalog_version,
+                   uint64_t default_stats_version, bool* busy) EXCLUDES(mu_);
 
-  /// Looks up `key`. Returns the entry (promoted to most-recently-used)
-  /// if present and still valid against `catalog_version` and its graph
-  /// guards; otherwise null. Counts a hit, a miss, or an invalidation
-  /// (stale entries are erased and also counted as misses). The returned
-  /// pointer is owned by the cache and valid until the next non-const
-  /// cache operation.
-  Entry* Lookup(const std::string& key, uint64_t catalog_version)
-      REQUIRES(mu_);
+  /// Inserts (or replaces) the entry for `key`, pinned for the caller's
+  /// execution; evicts the least recently used entry if over capacity.
+  /// A displaced or evicted entry that is currently pinned simply drops
+  /// out of the index — its executor still owns it. Caller MUST Release.
+  EntryPtr InsertAcquire(
+      std::string key, PreparedPtr prepared, Plan plan,
+      uint64_t catalog_version,
+      std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
+          graph_guards,
+      std::vector<bool> default_ctx) EXCLUDES(mu_);
 
-  /// Inserts (or replaces) the entry for `key`, evicting the least
-  /// recently used entry if over capacity. Returns the stored entry.
-  Entry* Insert(std::string key, PreparedPtr prepared, Plan plan,
-                uint64_t catalog_version,
-                std::vector<std::pair<std::shared_ptr<const PropertyGraph>,
-                                      uint64_t>>
-                    graph_guards) REQUIRES(mu_);
+  /// Un-pins an entry returned by Acquire/InsertAcquire.
+  void Release(const EntryPtr& entry) EXCLUDES(mu_);
 
   /// Drops every entry that can no longer validate against
   /// `catalog_version` or its graph guards, releasing the graphs those
   /// entries pin. Counted as invalidations. The engine calls this when
   /// the catalog version moves, so replaced graphs are freed promptly
   /// instead of lingering until their exact key is looked up again or
-  /// LRU-evicted.
-  void SweepStale(uint64_t catalog_version) REQUIRES(mu_);
+  /// LRU-evicted. Default-graph contexts compare against
+  /// `default_stats_version` (the committed head's value).
+  void SweepStale(uint64_t catalog_version, uint64_t default_stats_version)
+      EXCLUDES(mu_);
 
   /// Drops all entries (stats are kept; use ResetStats to clear them).
-  void Clear() REQUIRES(mu_);
+  void Clear() EXCLUDES(mu_);
 
   /// Changes the bound; evicts LRU entries immediately if shrinking.
-  void set_capacity(size_t capacity) REQUIRES(mu_);
-  size_t capacity() const REQUIRES(mu_) { return capacity_; }
-  size_t size() const REQUIRES(mu_) { return index_.size(); }
+  void set_capacity(size_t capacity) EXCLUDES(mu_);
+  size_t capacity() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return capacity_;
+  }
+  size_t size() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return index_.size();
+  }
 
-  const PlanCacheStats& stats() const REQUIRES(mu_) { return stats_; }
-  void ResetStats() REQUIRES(mu_) { stats_ = PlanCacheStats(); }
+  PlanCacheStats stats() const EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    return stats_;
+  }
+  void ResetStats() EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    stats_ = PlanCacheStats();
+  }
 
  private:
+  static bool Valid(const Entry& e, uint64_t catalog_version,
+                    uint64_t default_stats_version);
   void EvictToCapacity() REQUIRES(mu_);
 
   /// Mutable so const reads (size, stats) lock through the same
@@ -126,8 +161,8 @@ class PlanCache {
   mutable Mutex mu_;
   size_t capacity_ GUARDED_BY(mu_);
   /// MRU at the front; eviction pops from the back.
-  std::list<Entry> lru_ GUARDED_BY(mu_);
-  std::unordered_map<std::string, std::list<Entry>::iterator> index_
+  std::list<EntryPtr> lru_ GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::list<EntryPtr>::iterator> index_
       GUARDED_BY(mu_);
   PlanCacheStats stats_ GUARDED_BY(mu_);
 };

@@ -191,9 +191,8 @@ Result<OperatorPtr> Planner::PlanSingle(const SingleQuery& q, Plan* plan) {
       case Clause::Kind::kFromGraph: {
         const auto& f = static_cast<const FromGraphClause&>(*clause);
         GraphPtr g;
-        // The catalog is externally synchronized (REQUIRES its mu());
-        // FROM GRAPH resolution is its only planner touchpoint.
-        MutexLock cat_lock(catalog_->mu());
+        // The catalog locks internally; FROM GRAPH resolution is its only
+        // planner touchpoint.
         if (f.url) {
           auto rg = catalog_->ResolveUrl(*f.url);
           if (!rg.ok()) {

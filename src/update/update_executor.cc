@@ -202,11 +202,17 @@ Status UpdateExecutor::DeleteValue(const Value& v, bool detach) {
       return Status::EvaluationError(
           "cannot delete node with relationships; use DETACH DELETE");
     }
-    int64_t rel_count = static_cast<int64_t>(graph_->Degree(n));
-    GQL_RETURN_IF_ERROR(detach ? graph_->DetachDeleteNode(n)
-                               : graph_->DeleteNode(n));
+    if (detach) {
+      // Count what DetachDeleteNode actually removes — the pre-delete
+      // Degree over-counted self-loops (they appear in both adjacency
+      // directions) and relationships already removed when the other
+      // endpoint was DETACH DELETEd earlier in the same statement.
+      GQL_ASSIGN_OR_RETURN(int64_t removed, graph_->DetachDeleteNode(n));
+      stats_->rels_deleted += removed;
+    } else {
+      GQL_RETURN_IF_ERROR(graph_->DeleteNode(n));
+    }
     ++stats_->nodes_deleted;
-    if (detach) stats_->rels_deleted += rel_count;
     return Status::OK();
   }
   if (v.is_relationship()) {

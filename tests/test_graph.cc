@@ -149,6 +149,103 @@ TEST(PropertyGraph, RenderShowsLabelsAndProps) {
             "(:Person {name: 'Nils'})-[:KNOWS]->()");
 }
 
+TEST(Snapshot, StableUnderSubsequentMutation) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"Person"}, {{"name", Value::String("Ada")}});
+  NodeId b = g.CreateNode({"Person"});
+  RelId r = g.CreateRelationship(a, b, "KNOWS").value();
+
+  auto snap = g.Snapshot();
+  ASSERT_TRUE(snap->frozen());
+  EXPECT_FALSE(g.frozen());
+
+  // Mutate every COW surface on the live graph: slot pages (property
+  // set, new node, delete), label-index postings, adjacency.
+  g.SetNodeProperty(a, "name", Value::String("Grace"));
+  g.CreateNode({"Person"});
+  g.AddLabel(b, "Admin");
+  ASSERT_TRUE(g.DeleteRelationship(r).ok());
+  ASSERT_TRUE(g.DeleteNode(b).ok());
+
+  // The snapshot still answers with pre-mutation state.
+  EXPECT_EQ(snap->NumNodes(), 2u);
+  EXPECT_EQ(snap->NumRels(), 1u);
+  EXPECT_EQ(snap->NodeProperty(a, "name").AsString(), "Ada");
+  EXPECT_TRUE(snap->IsRelAlive(r));
+  EXPECT_TRUE(snap->IsNodeAlive(b));
+  EXPECT_FALSE(snap->NodeHasLabel(b, "Admin"));
+  EXPECT_EQ(snap->NodesWithLabel("Person").size(), 2u);
+  // And the live graph moved on.
+  EXPECT_EQ(g.NumNodes(), 2u);  // +1 created, -1 deleted
+  EXPECT_EQ(g.NodeProperty(a, "name").AsString(), "Grace");
+  EXPECT_EQ(g.NodesWithLabel("Person").size(), 2u);
+}
+
+TEST(Snapshot, MutatorsOnFrozenGraphFail) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  NodeId b = g.CreateNode();
+  RelId r = g.CreateRelationship(a, b, "T").value();
+  auto snap = g.Snapshot();
+
+  EXPECT_FALSE(snap->CreateRelationship(a, b, "T").ok());
+  EXPECT_FALSE(snap->DeleteRelationship(r).ok());
+  EXPECT_FALSE(snap->DeleteNode(a).ok());
+  EXPECT_FALSE(snap->DetachDeleteNode(a).ok());
+  // The snapshot is byte-for-byte intact afterwards.
+  EXPECT_EQ(snap->NumNodes(), 2u);
+  EXPECT_EQ(snap->NumRels(), 1u);
+}
+
+TEST(Snapshot, CloneIsIndependentAndMutable) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode({"Person"});
+  auto snap = g.Snapshot();
+  auto clone = snap->Clone();
+  ASSERT_FALSE(clone->frozen());
+
+  clone->AddLabel(a, "Admin");
+  clone->CreateNode({"Person"});
+  EXPECT_EQ(clone->NumNodes(), 2u);
+  EXPECT_TRUE(clone->NodeHasLabel(a, "Admin"));
+  // Neither the snapshot nor the original saw the clone's writes.
+  EXPECT_EQ(snap->NumNodes(), 1u);
+  EXPECT_FALSE(snap->NodeHasLabel(a, "Admin"));
+  EXPECT_EQ(g.NumNodes(), 1u);
+  EXPECT_FALSE(g.NodeHasLabel(a, "Admin"));
+}
+
+TEST(Snapshot, ChainedSnapshotsEachPinTheirEpoch) {
+  PropertyGraph g;
+  g.CreateNode({"A"});
+  auto s1 = g.Snapshot();
+  g.CreateNode({"A"});
+  auto s2 = g.Snapshot();
+  g.CreateNode({"A"});
+
+  EXPECT_EQ(s1->NumNodes(), 1u);
+  EXPECT_EQ(s2->NumNodes(), 2u);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  EXPECT_EQ(s1->NodesWithLabel("A").size(), 1u);
+  EXPECT_EQ(s2->NodesWithLabel("A").size(), 2u);
+}
+
+TEST(Snapshot, DataVersionTracksEveryMutation) {
+  PropertyGraph g;
+  NodeId a = g.CreateNode();
+  uint64_t v = g.data_version();
+  // Property sets bump data_version (snapshot refresh) but not
+  // stats_version (plan-cache statistics guards).
+  uint64_t sv = g.stats_version();
+  EXPECT_EQ(g.SetNodeProperty(a, "x", Value::Int(1)), 1);
+  EXPECT_GT(g.data_version(), v);
+  EXPECT_EQ(g.stats_version(), sv);
+  // A no-op (removing an absent key) does not bump it.
+  v = g.data_version();
+  EXPECT_EQ(g.SetNodeProperty(a, "absent", Value::Null()), 0);
+  EXPECT_EQ(g.data_version(), v);
+}
+
 TEST(GraphStatistics, Counts) {
   workload::CitationConfig cfg;
   cfg.num_researchers = 10;
@@ -163,9 +260,8 @@ TEST(GraphStatistics, Counts) {
 }
 
 TEST(GraphCatalog, ResolveByNameAndUrl) {
+  // The catalog locks internally; no external MutexLock needed.
   GraphCatalog cat;
-  // The catalog is externally synchronized: every method REQUIRES mu().
-  MutexLock lock(cat.mu());
   EXPECT_TRUE(cat.HasGraph(GraphCatalog::kDefaultGraphName));
   auto g = std::make_shared<PropertyGraph>();
   cat.RegisterGraph("soc_net", g);

@@ -15,7 +15,6 @@ class ClauseTest : public ::testing::Test {
  protected:
   void SetUp() override {
     fig4_ = workload::MakePaperFigure4Graph();
-    MutexLock lock(catalog_.mu());
     catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, fig4_.graph);
   }
 

@@ -20,11 +20,7 @@ inline Result<Table> RunInterp(GraphPtr graph, const std::string& query,
   GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
   (void)info;
   GraphCatalog catalog;
-  {
-    // Scoped: the interpreter locks the catalog itself on FROM GRAPH.
-    MutexLock lock(catalog.mu());
-    catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, graph);
-  }
+  catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, graph);
   uint64_t rand_state = 0xC0FFEE;
   Interpreter::Options opts;
   opts.match = match_opts;

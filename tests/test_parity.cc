@@ -82,11 +82,7 @@ Result<Table> RunVolcano(GraphPtr graph, const std::string& query,
   GQL_ASSIGN_OR_RETURN(QueryInfo info, Analyze(q));
   (void)info;
   GraphCatalog catalog;
-  {
-    // Scoped: the planner locks the catalog itself on FROM GRAPH.
-    MutexLock lock(catalog.mu());
-    catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, graph);
-  }
+  catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, graph);
   uint64_t rand_state = 0xC0FFEE;
   ValueMap params;
   PlannerOptions opts;
@@ -170,10 +166,7 @@ TEST(ParityMorphism, ModesAgreeAcrossEngines) {
     ASSERT_TRUE(parsed.ok());
     ast::Query query = std::move(parsed).value();
     GraphCatalog catalog;
-    {
-      MutexLock lock(catalog.mu());
-      catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
-    }
+    catalog.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
     uint64_t rand_state = 1;
     ValueMap params;
     PlannerOptions opts;

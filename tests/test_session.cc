@@ -1,0 +1,242 @@
+// Session / transaction semantics: snapshot isolation for readers,
+// single-writer conflicts, rollback, default-graph pinning, and
+// plan-cache invalidation visibility across sessions.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/core/engine.h"
+#include "src/core/session.h"
+
+namespace gqlite {
+namespace {
+
+int64_t CountNodes(Session* s) {
+  auto r = s->Execute("MATCH (n) RETURN count(n) AS c");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->table.rows()[0][0].AsInt();
+}
+
+int64_t CountNodes(CypherEngine* engine) {
+  auto r = engine->Execute("MATCH (n) RETURN count(n) AS c");
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r->table.rows()[0][0].AsInt();
+}
+
+TEST(Session, AutoCommitMatchesEngine) {
+  CypherEngine engine;
+  auto session = engine.CreateSession();
+  ASSERT_TRUE(session->Execute("CREATE (:A {x: 1})").ok());
+  EXPECT_FALSE(session->in_transaction());
+  EXPECT_EQ(session->graph(), nullptr);
+  EXPECT_EQ(CountNodes(&engine), 1);
+}
+
+TEST(Session, ReadTransactionPinsSnapshot) {
+  CypherEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE (:A), (:A)").ok());
+
+  auto reader = engine.CreateSession();
+  ASSERT_TRUE(reader->Begin(TxnMode::kRead).ok());
+  EXPECT_EQ(CountNodes(reader.get()), 2);
+
+  // A commit through the engine (auto-commit writer) must not leak into
+  // the pinned snapshot.
+  ASSERT_TRUE(engine.Execute("CREATE (:A)").ok());
+  EXPECT_EQ(CountNodes(reader.get()), 2);
+  EXPECT_EQ(CountNodes(&engine), 3);
+
+  // After the transaction closes, the session sees the new state.
+  ASSERT_TRUE(reader->Commit().ok());
+  EXPECT_EQ(CountNodes(reader.get()), 3);
+}
+
+TEST(Session, SnapshotSeesNoneOfConcurrentWriterChanges) {
+  CypherEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE (:A {x: 1})").ok());
+
+  auto reader = engine.CreateSession();
+  auto writer = engine.CreateSession();
+  ASSERT_TRUE(reader->Begin(TxnMode::kRead).ok());
+  ASSERT_TRUE(writer->Begin(TxnMode::kWrite).ok());
+
+  // The writer mutates labels, properties, and topology; the reader's
+  // snapshot must observe none of it, even before the writer commits.
+  ASSERT_TRUE(writer->Execute("MATCH (a:A) SET a.x = 99").ok());
+  ASSERT_TRUE(writer->Execute("MATCH (a:A) CREATE (a)-[:R]->(:B)").ok());
+
+  auto rx = reader->Execute("MATCH (a:A) RETURN a.x AS x");
+  ASSERT_TRUE(rx.ok());
+  EXPECT_EQ(rx->table.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(CountNodes(reader.get()), 1);
+
+  // The writer sees its own uncommitted writes.
+  auto wx = writer->Execute("MATCH (a:A) RETURN a.x AS x");
+  ASSERT_TRUE(wx.ok());
+  EXPECT_EQ(wx->table.rows()[0][0].AsInt(), 99);
+
+  ASSERT_TRUE(writer->Commit().ok());
+  // Still pinned: the commit happened after the reader's Begin.
+  EXPECT_EQ(CountNodes(reader.get()), 1);
+  ASSERT_TRUE(reader->Commit().ok());
+  EXPECT_EQ(CountNodes(reader.get()), 2);
+}
+
+TEST(Session, WriteWriteConflictSurfaces) {
+  CypherEngine engine;
+  auto s1 = engine.CreateSession();
+  auto s2 = engine.CreateSession();
+  ASSERT_TRUE(s1->Begin(TxnMode::kWrite).ok());
+
+  Status conflict = s2->Begin(TxnMode::kWrite);
+  EXPECT_EQ(conflict.code(), StatusCode::kConflict) << conflict.ToString();
+  EXPECT_FALSE(s2->in_transaction());
+
+  // Releasing the slot (either way) lets the other writer in.
+  ASSERT_TRUE(s1->Rollback().ok());
+  EXPECT_TRUE(s2->Begin(TxnMode::kWrite).ok());
+  EXPECT_TRUE(s2->Commit().ok());
+}
+
+TEST(Session, UpdatingStatementRejectedInReadTransaction) {
+  CypherEngine engine;
+  auto session = engine.CreateSession();
+  ASSERT_TRUE(session->Begin(TxnMode::kRead).ok());
+  auto r = session->Execute("CREATE (:A)");
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // The failed statement does not poison the transaction.
+  EXPECT_EQ(CountNodes(session.get()), 0);
+  ASSERT_TRUE(session->Commit().ok());
+  EXPECT_EQ(CountNodes(&engine), 0);
+}
+
+TEST(Session, RollbackRestoresPreBeginState) {
+  CypherEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE (:A {x: 1})").ok());
+
+  auto session = engine.CreateSession();
+  ASSERT_TRUE(session->Begin(TxnMode::kWrite).ok());
+  ASSERT_TRUE(session->Execute("MATCH (a:A) SET a.x = 2").ok());
+  ASSERT_TRUE(session->Execute("CREATE (:B), (:C)").ok());
+  EXPECT_EQ(CountNodes(session.get()), 3);
+  ASSERT_TRUE(session->Rollback().ok());
+
+  EXPECT_EQ(CountNodes(&engine), 1);
+  auto r = engine.Execute("MATCH (a:A) RETURN a.x AS x");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.rows()[0][0].AsInt(), 1);
+}
+
+TEST(Session, DestructorRollsBackOpenWrite) {
+  CypherEngine engine;
+  {
+    auto session = engine.CreateSession();
+    ASSERT_TRUE(session->Begin(TxnMode::kWrite).ok());
+    ASSERT_TRUE(session->Execute("CREATE (:A)").ok());
+    // Session destroyed with the transaction still open.
+  }
+  EXPECT_EQ(CountNodes(&engine), 0);
+  // The writer slot was released: a fresh write transaction succeeds.
+  auto s2 = engine.CreateSession();
+  EXPECT_TRUE(s2->Begin(TxnMode::kWrite).ok());
+  EXPECT_TRUE(s2->Commit().ok());
+}
+
+TEST(Session, DoubleBeginAndStrayCommitFail) {
+  CypherEngine engine;
+  auto session = engine.CreateSession();
+  EXPECT_EQ(session->Commit().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(session->Rollback().code(), StatusCode::kInvalidArgument);
+  ASSERT_TRUE(session->Begin(TxnMode::kRead).ok());
+  EXPECT_EQ(session->Begin(TxnMode::kRead).code(),
+            StatusCode::kInvalidArgument);
+  ASSERT_TRUE(session->Commit().ok());
+}
+
+TEST(Session, ResultsOutliveSessionAndTransaction) {
+  CypherEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE (:A {name: 'keep'})").ok());
+  Result<QueryResult> r = Status::InvalidArgument("not yet assigned");
+  {
+    auto session = engine.CreateSession();
+    ASSERT_TRUE(session->Begin(TxnMode::kRead).ok());
+    r = session->Execute("MATCH (a:A) RETURN a.name AS name");
+    ASSERT_TRUE(session->Commit().ok());
+  }
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->table.rows().size(), 1u);
+  EXPECT_EQ(r->table.rows()[0][0].AsString(), "keep");
+}
+
+TEST(Session, PlanCacheInvalidationVisibleAcrossSessions) {
+  EngineOptions opts;
+  opts.plan_cache_capacity = 8;
+  CypherEngine engine(opts);
+  ASSERT_TRUE(engine.Execute("CREATE (:A)").ok());
+
+  auto s1 = engine.CreateSession();
+  auto s2 = engine.CreateSession();
+  const std::string q = "MATCH (n:A) RETURN count(n) AS c";
+
+  // Warm the cache through s1, hit it through s2.
+  ASSERT_TRUE(s1->Execute(q).ok());
+  ASSERT_TRUE(s2->Execute(q).ok());
+  PlanCacheStats warm = engine.plan_cache_stats();
+  EXPECT_GE(warm.hits, 1u);
+
+  // A structural change through s1 must invalidate the cached plan for
+  // s2's next execution — stale per-snapshot statistics are not reused.
+  ASSERT_TRUE(s1->Execute("CREATE (:A), (:A)").ok());
+  auto r = s2->Execute(q);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.rows()[0][0].AsInt(), 3);
+  PlanCacheStats after = engine.plan_cache_stats();
+  EXPECT_GT(after.invalidations + after.misses,
+            warm.invalidations + warm.misses);
+}
+
+TEST(Session, DefaultGraphBindingPinnedAtBegin) {
+  CypherEngine engine;
+  ASSERT_TRUE(engine.Execute("CREATE (:Old)").ok());
+
+  auto reader = engine.CreateSession();
+  ASSERT_TRUE(reader->Begin(TxnMode::kRead).ok());
+  EXPECT_EQ(CountNodes(reader.get()), 1);
+
+  // Rebind the engine's default graph mid-transaction.
+  auto replacement = std::make_shared<PropertyGraph>();
+  engine.set_default_graph(replacement);
+  ASSERT_TRUE(engine.Execute("CREATE (:New), (:New)").ok());
+
+  // The open transaction stays bound to the graph it began on.
+  auto r = reader->Execute("MATCH (n:Old) RETURN count(n) AS c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->table.rows()[0][0].AsInt(), 1);
+  EXPECT_EQ(CountNodes(reader.get()), 1);
+  ASSERT_TRUE(reader->Commit().ok());
+
+  // A fresh transaction binds to the replacement.
+  ASSERT_TRUE(reader->Begin(TxnMode::kRead).ok());
+  EXPECT_EQ(CountNodes(reader.get()), 2);
+  ASSERT_TRUE(reader->Commit().ok());
+}
+
+TEST(Session, WriteTransactionSurvivesDefaultGraphSwap) {
+  CypherEngine engine;
+  auto writer = engine.CreateSession();
+  ASSERT_TRUE(writer->Begin(TxnMode::kWrite).ok());
+  ASSERT_TRUE(writer->Execute("CREATE (:InTxn)").ok());
+
+  // Swapping the default graph mid-write leaves the transaction bound
+  // to the old head; its rollback must not clobber the new default.
+  auto replacement = std::make_shared<PropertyGraph>();
+  replacement->CreateNode();
+  engine.set_default_graph(replacement);
+  ASSERT_TRUE(writer->Rollback().ok());
+
+  EXPECT_EQ(CountNodes(&engine), 1);
+}
+
+}  // namespace
+}  // namespace gqlite

@@ -175,6 +175,48 @@ TEST(Delete, DoubleDeleteIsTolerated) {
   EXPECT_EQ(r->stats.nodes_deleted, 2);
 }
 
+TEST(Delete, DetachSelfLoopCountsOnce) {
+  CypherEngine engine;
+  // A self-loop sits in BOTH adjacency directions of its node; the
+  // pre-fix accounting read Degree(n) (== 2 here) instead of counting
+  // what DetachDeleteNode actually removed.
+  ASSERT_TRUE(engine.Execute("CREATE (n:A)-[:R]->(n)").ok());
+  auto r = engine.Execute("MATCH (a:A) DETACH DELETE a");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.nodes_deleted, 1);
+  EXPECT_EQ(r->stats.rels_deleted, 1);
+  EXPECT_EQ(engine.graph().NumRels(), 0u);
+}
+
+TEST(Delete, DetachBothEndpointsCountsRelOnce) {
+  CypherEngine engine;
+  // DETACH DELETE of both endpoints in one statement: the shared
+  // relationship is removed by the first node's detach; the second
+  // node's detach must not count it again (pre-fix it contributed to
+  // both nodes' pre-delete Degree).
+  ASSERT_TRUE(engine.Execute("CREATE (:A)-[:T]->(:B)").ok());
+  auto r = engine.Execute("MATCH (a:A), (b:B) DETACH DELETE a, b");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.nodes_deleted, 2);
+  EXPECT_EQ(r->stats.rels_deleted, 1);
+}
+
+TEST(Delete, DetachMixedFanCountsDistinctRels) {
+  CypherEngine engine;
+  // Hub with a self-loop plus one in- and one out-edge: 3 distinct
+  // relationships (Degree would report 4).
+  ASSERT_TRUE(engine.Execute("CREATE (h:Hub)-[:L]->(h)").ok());
+  ASSERT_TRUE(
+      engine.Execute("MATCH (h:Hub) CREATE (h)-[:O]->(:X), (:Y)-[:I]->(h)")
+          .ok());
+  auto r = engine.Execute("MATCH (h:Hub) DETACH DELETE h");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->stats.nodes_deleted, 1);
+  EXPECT_EQ(r->stats.rels_deleted, 3);
+  EXPECT_EQ(engine.graph().NumRels(), 0u);
+  EXPECT_EQ(engine.graph().NumNodes(), 2u);
+}
+
 TEST(Merge, PerRowSemantics) {
   CypherEngine engine;
   // Rows 1, 2, 2, 3: MERGE creates 1, 2, 3 once each — the second 2
