@@ -46,7 +46,17 @@ void PrintStats(CypherEngine& engine) {
   const auto& par = engine.parallel_stats();
   std::cout << "parallel: " << engine.options().num_threads << " workers, "
             << par.queries << " parallel queries, " << par.morsels
-            << " scan morsels dispatched\n";
+            << " scan morsels dispatched, " << par.merge_tasks
+            << " merge tasks\n";
+  std::cout << "parallel merges: " << par.sort_merges << " sort, "
+            << par.agg_merges << " partitioned aggregation, "
+            << par.distinct_merges << " partitioned DISTINCT\n";
+  if (!par.serial_reasons.empty()) {
+    std::cout << "serial fallbacks:\n";
+    for (const auto& [reason, count] : par.serial_reasons) {
+      std::cout << "  " << count << "x " << reason << "\n";
+    }
+  }
 }
 
 }  // namespace

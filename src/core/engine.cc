@@ -45,7 +45,20 @@ CypherEngine::~CypherEngine() = default;
 CypherEngine::CypherEngine(CypherEngine&&) noexcept = default;
 
 std::unique_ptr<Session> CypherEngine::CreateSession() {
-  return std::unique_ptr<Session>(new Session(this));
+  uint64_t ordinal;
+  {
+    MutexLock lock(&stats_mu_);
+    ordinal = ++sessions_created_;
+  }
+  // Distinct substream per session: the engine seed advanced by a
+  // per-session Weyl increment (the splitmix64 constant), then mixed so
+  // nearby ordinals do not yield nearby rand() sequences. Deterministic
+  // given the seed and session creation order.
+  uint64_t seed = options_.rand_seed + ordinal * 0x9E3779B97F4A7C15ULL;
+  seed ^= seed >> 30;
+  seed *= 0xBF58476D1CE4E5B9ULL;
+  seed ^= seed >> 27;
+  return std::unique_ptr<Session>(new Session(this, seed));
 }
 
 WorkerPool* CypherEngine::EnsureWorkerPool() {
@@ -65,7 +78,17 @@ void CypherEngine::FoldRunStats(const BatchStats& run,
   if (prun.workers > 0) {
     ++parallel_stats_.queries;
     parallel_stats_.morsels += prun.morsels;
+    parallel_stats_.merge_tasks += prun.merge_tasks;
+    if (prun.sort_merge) ++parallel_stats_.sort_merges;
+    if (prun.partitioned_agg) ++parallel_stats_.agg_merges;
+    if (prun.partitioned_distinct) ++parallel_stats_.distinct_merges;
   }
+}
+
+void CypherEngine::RecordSerialFallback(const std::string& reason) {
+  if (reason.empty()) return;
+  MutexLock lock(&stats_mu_);
+  ++parallel_stats_.serial_reasons[reason];
 }
 
 MatchOptions CypherEngine::MakeMatchOptions() const {
@@ -242,6 +265,12 @@ Result<QueryResult> CypherEngine::Execute(std::string_view query,
 
 Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
                                           const ValueMap& params) {
+  return ExecuteWith(prepared, params, /*session_rand=*/nullptr);
+}
+
+Result<QueryResult> CypherEngine::ExecuteWith(const PreparedQuery& prepared,
+                                              const ValueMap& params,
+                                              uint64_t* session_rand) {
   GQL_RETURN_IF_ERROR(options_status_);
   if (!prepared.valid()) {
     return Status::InvalidArgument("executing an empty PreparedQuery");
@@ -252,27 +281,30 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
     // have applied partial effects (pre-session behavior); explicit
     // Session transactions get Rollback instead.
     GQL_ASSIGN_OR_RETURN(GraphPtr live, AcquireWriter(/*wait=*/true));
-    Result<QueryResult> result = ExecuteOn(prepared, params, live);
+    Result<QueryResult> result = ExecuteOn(prepared, params, live,
+                                           session_rand);
     CommitWriter();
     return result;
   }
   // Read statement: execute against the committed-state snapshot. The
   // binding is resolved here, once — a concurrent set_default_graph
   // cannot rebind the statement mid-flight.
-  return ExecuteOn(prepared, params, ReadSnapshot());
+  return ExecuteOn(prepared, params, ReadSnapshot(), session_rand);
 }
 
 Result<QueryResult> CypherEngine::ExecuteOn(const PreparedQuery& prepared,
                                             const ValueMap& params,
-                                            const GraphPtr& graph) {
+                                            const GraphPtr& graph,
+                                            uint64_t* session_rand) {
   const PreparedStatement& st = *prepared.state_;
   bool interpreted = st.info.updating || st.has_return_graph ||
                      options_.mode == ExecutionMode::kInterpreter;
   if (st.constants.empty()) {
     // Nothing was extracted — run on the caller's map directly (the
     // common case for fully-parameterized and non-cacheable statements).
-    if (interpreted) return RunInterpreter(st.query, params, graph);
-    return RunVolcano(prepared.state_, params, graph);
+    if (interpreted) return RunInterpreter(st.query, params, graph,
+                                           session_rand);
+    return RunVolcano(prepared.state_, params, graph, session_rand);
   }
   // User parameters first, then the literals extracted at Prepare time.
   // Synthetic names never collide with parameters referenced by the
@@ -281,13 +313,15 @@ Result<QueryResult> CypherEngine::ExecuteOn(const PreparedQuery& prepared,
   for (const auto& [name, value] : st.constants) {
     merged[name] = value;
   }
-  if (interpreted) return RunInterpreter(st.query, merged, graph);
-  return RunVolcano(prepared.state_, merged, graph);
+  if (interpreted) return RunInterpreter(st.query, merged, graph,
+                                         session_rand);
+  return RunVolcano(prepared.state_, merged, graph, session_rand);
 }
 
 Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                                              const ValueMap& params,
-                                             const GraphPtr& graph) {
+                                             const GraphPtr& graph,
+                                             uint64_t* session_rand) {
   QueryResult result;
   {
     MutexLock lock(&stats_mu_);
@@ -299,7 +333,8 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
   // read exec_stats()/parallel_stats() while the query runs.
   BatchStats run_stats;
   ParallelRunStats prun;
-  RandScope rand(this);
+  std::string serial_reason;
+  RandScope rand(this, session_rand);
   if (!options_.use_plan_cache || plan_cache_.capacity() == 0 ||
       prepared->text_key.empty()) {
     if (pool != nullptr) {
@@ -307,9 +342,10 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
       // take turns on the shared pool.
       MutexLock plock(&pool_exec_mu_);
       GQL_ASSIGN_OR_RETURN(
-          result.table, RunPlanned(&catalog_, graph, &params,
-                                   MakePlannerOptions(), rand.get(),
-                                   prepared->query, &run_stats, pool, &prun));
+          result.table,
+          RunPlanned(&catalog_, graph, &params, MakePlannerOptions(),
+                     rand.get(), prepared->query, &run_stats, pool, &prun,
+                     &serial_reason));
     } else {
       GQL_ASSIGN_OR_RETURN(
           result.table,
@@ -317,6 +353,7 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                      rand.get(), prepared->query, &run_stats, nullptr, &prun));
     }
     FoldRunStats(run_stats, prun);
+    RecordSerialFallback(serial_reason);
     return result;
   }
   uint64_t cat_version = catalog_.version();
@@ -392,18 +429,21 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
                          ExecutePlanParallel(plan, pool, options_.batch_size,
                                              &run_stats, &prun));
   } else {
+    if (pool != nullptr) serial_reason = plan->parallel.reason;
     GQL_ASSIGN_OR_RETURN(
         result.table, ExecutePlan(plan, options_.batch_size, &run_stats));
   }
   FoldRunStats(run_stats, prun);
+  RecordSerialFallback(serial_reason);
   return result;
 }
 
 Result<QueryResult> CypherEngine::RunInterpreter(const ast::Query& q,
                                                  const ValueMap& params,
-                                                 const GraphPtr& graph) {
+                                                 const GraphPtr& graph,
+                                                 uint64_t* session_rand) {
   QueryResult result;
-  RandScope rand(this);
+  RandScope rand(this, session_rand);
   Interpreter::Options iopts;
   iopts.match = MakeMatchOptions();
   Interpreter interp(&catalog_, graph, &params, iopts, rand.get());
@@ -456,14 +496,17 @@ Result<std::string> CypherEngine::Profile(std::string_view query,
       plan.root->AbsorbCounters(*instance);
     }
     head = "Parallel: " + std::to_string(prun.workers) + " workers, " +
-           std::to_string(prun.morsels) +
-           " morsels dispatched (the root projection runs in the merge "
-           "stage; its tree counters stay 0)\n";
+           std::to_string(prun.morsels) + " morsels dispatched, " +
+           std::to_string(prun.merge_tasks) + " merge tasks, " +
+           plan.parallel.merge_shape +
+           " (the merge-point projection runs in the merge stage; its "
+           "tree counters stay 0)\n";
   } else {
     GQL_ASSIGN_OR_RETURN(
         t, ExecutePlan(&plan, options_.batch_size, &run_stats));
     if (options_.num_threads > 1) {
       head = "Parallel: serial (" + plan.parallel.reason + ")\n";
+      RecordSerialFallback(plan.parallel.reason);
     }
   }
   FoldRunStats(run_stats, prun);

@@ -1,6 +1,7 @@
 #ifndef GQLITE_CORE_ENGINE_H_
 #define GQLITE_CORE_ENGINE_H_
 
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -134,7 +135,9 @@ class PreparedQuery {
 /// blocking, surfacing Status::Conflict when a second writer exists.
 /// NOT covered by snapshots: named/URL graphs (FROM GRAPH targets are
 /// shared mutable state — in practice read-only after setup), and the
-/// rand() stream, which overlaps across concurrent statements. The
+/// engine-level rand() stream, which overlaps across concurrent
+/// engine-level statements (statements run through a Session draw from
+/// that session's own seeded substream instead). The
 /// graph()/graph_ptr() accessors bypass transactions entirely and stay
 /// single-caller setup APIs.
 class CypherEngine {
@@ -235,6 +238,18 @@ class CypherEngine {
   struct ParallelStats {
     uint64_t queries = 0;  // executions that ran on the parallel runtime
     uint64_t morsels = 0;  // scan morsels dispatched across them
+    /// Pool tasks run by merge stages (pairwise sort merges + per-
+    /// partition aggregation/DISTINCT merges) across those executions.
+    uint64_t merge_tasks = 0;
+    uint64_t sort_merges = 0;      // executions using parallel merge sort
+    uint64_t agg_merges = 0;       // ... partitioned aggregation merge
+    uint64_t distinct_merges = 0;  // ... partitioned DISTINCT merge
+    /// Serial fallbacks of parallel-eligible executions (num_threads > 1),
+    /// keyed by the AnalyzeParallelCandidate reason. EXPLAIN shows the
+    /// reason for one query; these counters make coverage regressions
+    /// (a query class silently dropping off the parallel path) observable
+    /// in aggregate via gqlsh :stats.
+    std::map<std::string, uint64_t> serial_reasons;
   };
   ParallelStats parallel_stats() const EXCLUDES(stats_mu_) {
     MutexLock lock(&stats_mu_);
@@ -256,6 +271,9 @@ class CypherEngine {
   /// Folds one execution's counters into the cumulative stats.
   void FoldRunStats(const BatchStats& run, const ParallelRunStats& prun)
       EXCLUDES(stats_mu_);
+  /// Counts one serial fallback of a parallel-eligible execution under
+  /// its AnalyzeParallelCandidate reason (no-op on an empty reason).
+  void RecordSerialFallback(const std::string& reason) EXCLUDES(stats_mu_);
   MatchOptions MakeMatchOptions() const;
   PlannerOptions MakePlannerOptions() const;
   /// Cache key suffix encoding every option that changes the compiled
@@ -285,45 +303,65 @@ class CypherEngine {
   /// committed snapshot as the new live head, then frees the slot.
   void RollbackWriter() EXCLUDES(txn_mu_);
 
+  /// Execute(prepared, params) with an explicit PRNG substream: the
+  /// auto-commit transaction wrapper shared by the engine-level entry
+  /// point (session_rand == nullptr → the engine-wide stream) and
+  /// Session::Execute outside a transaction (the session's substream).
+  Result<QueryResult> ExecuteWith(const PreparedQuery& prepared,
+                                  const ValueMap& params,
+                                  uint64_t* session_rand);
   /// Executes a prepared statement against an explicit graph binding —
   /// the per-transaction pinned graph (satellite of ISSUE 7: the binding
   /// is resolved ONCE, at transaction begin, so a concurrent
   /// set_default_graph cannot rebind a statement mid-flight).
+  /// `session_rand` (optional) is the calling session's PRNG substream;
+  /// null uses the engine-wide stream (ISSUE 8 satellite: sessions stop
+  /// contending on — and perturbing — one shared stream).
   Result<QueryResult> ExecuteOn(const PreparedQuery& prepared,
-                                const ValueMap& params, const GraphPtr& graph);
+                                const ValueMap& params, const GraphPtr& graph,
+                                uint64_t* session_rand = nullptr);
   /// The interpreter path: reference semantics; the only executor for
   /// updating queries and RETURN GRAPH.
   Result<QueryResult> RunInterpreter(const ast::Query& q,
                                      const ValueMap& params,
-                                     const GraphPtr& graph);
+                                     const GraphPtr& graph,
+                                     uint64_t* session_rand = nullptr);
   /// The Volcano path with plan-cache consultation.
   Result<QueryResult> RunVolcano(const PreparedPtr& prepared,
-                                 const ValueMap& params,
-                                 const GraphPtr& graph);
+                                 const ValueMap& params, const GraphPtr& graph,
+                                 uint64_t* session_rand = nullptr);
 
   /// Checks out the engine PRNG state into a local for one execution and
   /// folds it back on scope exit, so the runtime advances a plain
   /// uint64_t without holding any lock. Serial behavior is unchanged;
-  /// concurrent executions overlap streams (each starts from the same
-  /// checkout, last writer wins) — rand() makes no cross-session
-  /// determinism promise.
+  /// concurrent engine-level executions overlap streams (each starts
+  /// from the same checkout, last writer wins) — rand() makes no
+  /// cross-session determinism promise. With a non-null `session_rand`
+  /// the scope is a pass-through to that session-owned substream: no
+  /// checkout, no lock (a Session is single-threaded by contract), and
+  /// the substream advances statement to statement without ever touching
+  /// the engine-wide state.
   class RandScope {
    public:
-    explicit RandScope(CypherEngine* e) : engine_(e) {
+    RandScope(CypherEngine* e, uint64_t* session_rand = nullptr)
+        : engine_(e), session_(session_rand) {
+      if (session_ != nullptr) return;
       MutexLock lock(&e->stats_mu_);
       local_ = e->rand_state_;
     }
     ~RandScope() {
+      if (session_ != nullptr) return;
       MutexLock lock(&engine_->stats_mu_);
       engine_->rand_state_ = local_;
     }
     RandScope(const RandScope&) = delete;
     RandScope& operator=(const RandScope&) = delete;
-    uint64_t* get() { return &local_; }
+    uint64_t* get() { return session_ != nullptr ? session_ : &local_; }
 
    private:
     CypherEngine* engine_;
-    uint64_t local_;
+    uint64_t* session_;
+    uint64_t local_ = 0;
   };
 
   EngineOptions options_;
@@ -360,6 +398,9 @@ class CypherEngine {
   ParallelStats parallel_stats_ GUARDED_BY(stats_mu_);
   /// PRNG state for rand(); checked out per execution via RandScope.
   uint64_t rand_state_ GUARDED_BY(stats_mu_);
+  /// Sessions created so far — each gets a distinct seeded substream
+  /// (rand_seed advanced by a per-session Weyl increment).
+  uint64_t sessions_created_ GUARDED_BY(stats_mu_) = 0;
   /// Catalog version at the last stale-entry sweep (see RunVolcano).
   uint64_t swept_catalog_version_ GUARDED_BY(stats_mu_) = 0;
 

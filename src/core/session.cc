@@ -59,8 +59,8 @@ Result<QueryResult> Session::Execute(const PreparedQuery& prepared,
                                      const ValueMap& params) {
   if (!open_) {
     // No explicit transaction: per-statement auto-commit, exactly the
-    // engine-level contract.
-    return engine_->Execute(prepared, params);
+    // engine-level contract — but on this session's rand() substream.
+    return engine_->ExecuteWith(prepared, params, &rand_state_);
   }
   GQL_RETURN_IF_ERROR(engine_->options_status_);
   if (!prepared.valid()) {
@@ -72,7 +72,7 @@ Result<QueryResult> Session::Execute(const PreparedQuery& prepared,
   }
   // Bind to the transaction's pinned graph: the kRead snapshot, or the
   // live head the kWrite transaction owns (it sees its own writes).
-  return engine_->ExecuteOn(prepared, params, txn_graph_);
+  return engine_->ExecuteOn(prepared, params, txn_graph_, &rand_state_);
 }
 
 }  // namespace gqlite

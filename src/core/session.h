@@ -83,12 +83,20 @@ class Session {
 
  private:
   friend class CypherEngine;
-  explicit Session(CypherEngine* engine) : engine_(engine) {}
+  Session(CypherEngine* engine, uint64_t rand_seed)
+      : engine_(engine), rand_state_(rand_seed) {}
 
   CypherEngine* engine_;
   bool open_ = false;
   TxnMode mode_ = TxnMode::kRead;
   GraphPtr txn_graph_;
+  /// This session's seeded rand() substream (ISSUE 8 satellite, PR 7
+  /// follow-up): derived from the engine seed and the session ordinal at
+  /// CreateSession, advanced statement to statement by this session
+  /// alone. Concurrent sessions no longer contend on — or perturb — the
+  /// engine-wide stream, and a session's rand() sequence is reproducible
+  /// given the engine seed and session creation order.
+  uint64_t rand_state_;
 };
 
 }  // namespace gqlite

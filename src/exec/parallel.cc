@@ -1,11 +1,16 @@
 #include "src/exec/parallel.h"
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
+#include "src/frontend/analyzer.h"
 #include "src/interp/projection.h"
+#include "src/value/value_compare.h"
 
 namespace gqlite {
 
@@ -181,6 +186,134 @@ bool Distributive(const Operator* op, std::string* why) {
   return true;
 }
 
+/// True when the body is a pipeline breaker whose tail the merge stage
+/// must own (aggregation / DISTINCT / ORDER BY / SKIP / LIMIT).
+bool BodyBreaks(const ast::ProjectionBody& b) {
+  return ProjectionAggregates(b) || b.distinct || !b.order_by.empty() ||
+         b.skip != nullptr || b.limit != nullptr;
+}
+
+/// Mirrors AggregationState::has_keys() (any non-aggregating item,
+/// `*`-expanded input fields included) for the EXPLAIN shape string.
+bool AggBodyHasKeys(const ast::ProjectionBody& b) {
+  if (b.star) return true;
+  for (const auto& item : b.items) {
+    if (!ContainsAggregate(*item.expr)) return true;
+  }
+  return false;
+}
+
+std::string MergeShape(const ast::ProjectionBody& b) {
+  if (ProjectionAggregates(b)) {
+    return AggBodyHasKeys(b) ? "partitioned aggregation merge"
+                             : "global aggregation fold";
+  }
+  if (b.distinct) {
+    return b.order_by.empty() ? "partitioned DISTINCT merge"
+                              : "partitioned DISTINCT + parallel merge sort";
+  }
+  if (!b.order_by.empty()) return "parallel merge sort";
+  return "concat merge";
+}
+
+/// One projected row in a sorted run: its ORDER BY key row plus the
+/// (range, row-within-range) sequence that breaks ties on original scan
+/// order. The tie-break makes the comparator a STRICT total order, so
+/// every merge-tree shape — and top-K truncation — reproduces the serial
+/// std::stable_sort byte-for-byte.
+struct SortRow {
+  ValueList row;
+  ValueList keys;
+  uint64_t range = 0;
+  uint64_t idx = 0;
+};
+using SortedRun = std::vector<SortRow>;
+
+bool SortRowLess(const ast::ProjectionBody& body, const SortRow& a,
+                 const SortRow& b) {
+  int c = CompareOrderKeys(body, a.keys, b.keys);
+  if (c != 0) return c < 0;
+  return a.range != b.range ? a.range < b.range : a.idx < b.idx;
+}
+
+/// Two-way merge of sorted runs, truncated to the first `topk` rows
+/// (UINT64_MAX = unbounded).
+SortedRun MergeSortedRuns(const ast::ProjectionBody& body, SortedRun a,
+                          SortedRun b, uint64_t topk) {
+  SortedRun out;
+  uint64_t total = a.size() + b.size();
+  out.reserve(static_cast<size_t>(total < topk ? total : topk));
+  size_t i = 0;
+  size_t j = 0;
+  while ((i < a.size() || j < b.size()) && out.size() < topk) {
+    bool take_a =
+        j >= b.size() || (i < a.size() && SortRowLess(body, a[i], b[j]));
+    out.push_back(std::move(take_a ? a[i++] : b[j++]));
+  }
+  return out;
+}
+
+/// Tree-structured pairwise merge on the pool, leaving one run. The
+/// pairing is deterministic, but under the strict total order ANY tree
+/// shape yields identical output — the determinism is belt-and-braces.
+Status TreeMergeRuns(WorkerPool* pool, const ast::ProjectionBody& body,
+                     std::vector<SortedRun>* runs, uint64_t topk,
+                     size_t* merge_tasks) {
+  while (runs->size() > 1) {
+    std::vector<SortedRun>& rs = *runs;
+    size_t pairs = rs.size() / 2;
+    std::vector<SortedRun> next(pairs + rs.size() % 2);
+    GQL_RETURN_IF_ERROR(pool->RunTasks(pairs, [&](size_t t) -> Status {
+      next[t] = MergeSortedRuns(body, std::move(rs[2 * t]),
+                                std::move(rs[2 * t + 1]), topk);
+      return Status::OK();
+    }));
+    if (rs.size() % 2 != 0) next[pairs] = std::move(rs.back());
+    *merge_tasks += pairs;
+    *runs = std::move(next);
+  }
+  return Status::OK();
+}
+
+/// Global (range, row-within-range) position of a projected row — the
+/// interleave key that restores serial first-occurrence order after the
+/// partitioned DISTINCT.
+struct RowSeq {
+  uint64_t range = 0;
+  uint64_t idx = 0;
+};
+bool SeqLess(RowSeq a, RowSeq b) {
+  return a.range != b.range ? a.range < b.range : a.idx < b.idx;
+}
+
+/// Seen-set over pointers into the per-range projected tables (the rows
+/// stay owned by their tables; the set stores no copies). Same
+/// hash/equivalence pair as Table::Deduplicated.
+struct RowPtrHash {
+  size_t operator()(const ValueList* r) const { return RowHash(*r); }
+};
+struct RowPtrEq {
+  bool operator()(const ValueList* a, const ValueList* b) const {
+    return RowEquivalent(*a, *b);
+  }
+};
+
+/// The serial tail's SKIP/LIMIT slice (the merge stages sort/dedup
+/// themselves, then slice and WHERE-filter exactly like
+/// ApplyProjectionTail + FilterWhere).
+Result<Table> SliceSkipLimit(const ast::ProjectionBody& body, Table t,
+                             const EvalContext& ctx) {
+  if (body.skip == nullptr && body.limit == nullptr) return t;
+  GQL_ASSIGN_OR_RETURN(SkipLimitBounds b, EvaluateSkipLimit(body, ctx));
+  Table limited(t.fields());
+  int64_t n = static_cast<int64_t>(t.NumRows());
+  int64_t end = b.limit < 0 ? n : std::min(n, b.skip + b.limit);
+  for (int64_t i = b.skip; i < end; ++i) {
+    limited.AddRow(std::move(t.mutable_rows()[i]));
+  }
+  return limited;
+}
+
 }  // namespace
 
 size_t MorselChunk(size_t domain, size_t workers) {
@@ -200,14 +333,26 @@ ParallelCandidate AnalyzeParallelCandidate(Operator* root) {
     c.reason = "plan root is not a projection (UNION runs serially)";
     return c;
   }
-  if (!Distributive(proj->child(), &c.reason)) return c;
+  // The merge point is the LOWEST pipeline breaker on the projection
+  // spine (or the root when none breaks): everything below it must
+  // distribute over the scan partition; everything above it — earlier
+  // breakers included — resumes serially on the merged output. An
+  // intermediate WITH with ORDER BY / DISTINCT / aggregation / SKIP /
+  // LIMIT therefore no longer forces the whole plan serial.
+  ProjectionOp* merge = proj;
+  for (Operator* op = proj->child(); op != nullptr; op = op->child()) {
+    if (auto* p = dynamic_cast<ProjectionOp*>(op)) {
+      if (BodyBreaks(*p->body())) merge = p;
+    }
+  }
+  if (!Distributive(merge->child(), &c.reason)) return c;
 
   // The driving pipeline: descend the child() chain to the unit-table
   // Argument leaf; the Apply directly above it correlates the first
   // MATCH, and the bottom of ITS inner pipeline is the scan to
   // partition.
   Operator* prev = nullptr;
-  Operator* cur = proj->child();
+  Operator* cur = merge->child();
   if (cur == nullptr) {
     c.reason = "projection has no input pipeline";
     return c;
@@ -245,8 +390,11 @@ ParallelCandidate AnalyzeParallelCandidate(Operator* root) {
     return c;
   }
   c.ok = true;
-  c.projection = proj;
+  c.projection = merge;
   c.scan = scan;
+  c.merge_below_root = merge != proj;
+  c.merge_shape = MergeShape(*merge->body());
+  if (c.merge_below_root) c.merge_shape += " at intermediate WITH";
   return c;
 }
 
@@ -302,62 +450,165 @@ Result<Table> ExecutePlanParallel(Plan* plan, WorkerPool* pool,
   const size_t num_morsels = dispatcher.num_morsels();
 
   ProjectionOp* merge_proj = par.projections[0];
+  const ast::ProjectionBody& body = *merge_proj->body();
   const EvalContext& merge_eval = merge_proj->exec_context()->eval;
-  // Aggregating roots fold each range into an AggregationState so the
-  // pre-aggregation rows never materialize centrally; everything else
-  // buffers rows per range (the merge concatenates them in range order —
-  // the serial scan order).
-  const bool partial_agg = num_morsels > 0 &&
-                           ProjectionAggregates(*merge_proj->body()) &&
-                           merge_proj->where() == nullptr;
 
-  std::vector<Table> range_rows(partial_agg ? 0 : num_morsels);
+  // Resumes the serial plan above the merge point; a no-op when the
+  // merge point IS the root (the merged table is the query result).
+  auto finish_above = [&](Table merged) -> Result<Table> {
+    if (plan->root.get() == merge_proj) return merged;
+    merge_proj->PreloadResult(std::move(merged));
+    GQL_RETURN_IF_ERROR(plan->root->Open());
+    return DrainPlan(plan->root.get(), batch_size, stats);
+  };
+
+  if (num_morsels == 0) {
+    // Empty scan domain: run the breaker serially over its empty input —
+    // keyless aggregation still produces its neutral row this way.
+    if (pstats != nullptr) pstats->workers = workers;
+    GQL_ASSIGN_OR_RETURN(
+        Table merged,
+        merge_proj->ProjectTable(Table(merge_proj->child()->schema())));
+    return finish_above(std::move(merged));
+  }
+
+  // Merge kinds, most specific first: keyed/keyless aggregation folds
+  // partials (pre-aggregation rows never materialize centrally);
+  // DISTINCT partitions rows by whole-row hash; a bare ORDER BY builds
+  // per-range sorted runs; everything else (plain projection, bare
+  // SKIP/LIMIT) concatenates raw child rows in range order — the serial
+  // scan order — and runs the breaker once over them.
+  const bool aggregates = ProjectionAggregates(body);
+  const bool distinct = !aggregates && body.distinct;
+  const bool sort_only = !aggregates && !distinct && !body.order_by.empty();
+  std::optional<AggregationState> proto;
+  bool agg_keyed = false;
+  if (aggregates) {
+    // One shared plan (the Shape is immutable); workers Fork() it.
+    GQL_ASSIGN_OR_RETURN(
+        AggregationState planned,
+        AggregationState::Plan(body, merge_proj->child()->schema()));
+    agg_keyed = planned.has_keys();
+    proto.emplace(std::move(planned));
+  }
+  const size_t partitions = workers;  // radix width of the keyed merges
+
+  // SKIP/LIMIT under ORDER BY push a top-K bound into the local sorts
+  // and run merges: rows past skip+limit can never surface, and the
+  // strict total order makes truncation exact. The bounds are evaluated
+  // up front, but an evaluation error DISABLES the bound instead of
+  // raising here — the serial-tail slice below raises it at the same
+  // point a serial run would (after ORDER BY key errors, which stage 1
+  // surfaces first).
+  uint64_t topk = UINT64_MAX;
+  if (!body.order_by.empty() &&
+      (body.skip != nullptr || body.limit != nullptr)) {
+    Result<SkipLimitBounds> bounds = EvaluateSkipLimit(body, merge_eval);
+    if (bounds.ok() && bounds->limit >= 0) {
+      topk = static_cast<uint64_t>(bounds->skip) +
+             static_cast<uint64_t>(bounds->limit);
+    }
+  }
+
+  // Per-range buffers, one flavor per merge kind.
+  const bool concat = !aggregates && !distinct && !sort_only;
+  std::vector<Table> range_child(concat ? num_morsels : 0);
+  std::vector<SortedRun> range_runs(sort_only ? num_morsels : 0);
+  std::vector<Table> range_proj(distinct ? num_morsels : 0);
+  // [range][partition] -> projected-row indices, in row order.
+  std::vector<std::vector<std::vector<uint64_t>>> range_parts(
+      distinct ? num_morsels : 0);
   std::vector<std::unique_ptr<AggregationState>> range_aggs(
-      partial_agg ? num_morsels : 0);
+      aggregates && !agg_keyed ? num_morsels : 0);
+  std::vector<std::unique_ptr<PartitionedAggregationState>> range_pagg(
+      aggregates && agg_keyed ? num_morsels : 0);
+
   std::vector<Status> range_status(num_morsels, Status::OK());
   std::vector<BatchStats> worker_stats(instances);
 
   auto work = [&](size_t w) -> Status {
     if (w >= instances) return Status::OK();
-    Operator* root = par.projections[w]->child();
+    ProjectionOp* wproj = par.projections[w];
+    Operator* root = wproj->child();
     PartitionedScan* scan = par.scans[w];
-    // One aggregation plan per worker; per-range states Fork() it (the
-    // item resolution and rewritten aggregate expressions are shared).
-    std::optional<AggregationState> proto;
-    if (partial_agg) {
-      GQL_ASSIGN_OR_RETURN(
-          AggregationState planned,
-          AggregationState::Plan(*par.projections[w]->body(),
-                                 root->schema()));
-      proto.emplace(std::move(planned));
-    }
+    const EvalContext& eval = wproj->exec_context()->eval;
     ScanMorsel morsel;
     while (dispatcher.Next(&morsel)) {
       scan->SetScanRange(morsel.begin, morsel.end);
       auto run_range = [&]() -> Status {
         GQL_RETURN_IF_ERROR(root->Open());
-        if (partial_agg) {
+        if (aggregates) {
           // Stream the range's morsels straight into the partial state:
           // the pre-aggregation rows never materialize, so a range's
           // working memory is one RowBatch, not its whole row count.
-          const EvalContext& eval = par.projections[w]->exec_context()->eval;
-          AggregationState st = proto->Fork();
+          // Every row stamps its global (range, row) position onto any
+          // group it creates — the merge interleave's sort key.
+          std::unique_ptr<AggregationState> st;
+          std::unique_ptr<PartitionedAggregationState> pst;
+          if (agg_keyed) {
+            pst = std::make_unique<PartitionedAggregationState>(*proto,
+                                                                partitions);
+          } else {
+            st = std::make_unique<AggregationState>(proto->Fork());
+          }
           RowBatch batch(batch_size);
+          uint64_t row_in_range = 0;
           while (true) {
             GQL_ASSIGN_OR_RETURN(bool ok, root->NextBatch(&batch));
             if (!ok) break;
             ++worker_stats[w].batches;
             worker_stats[w].rows += static_cast<int64_t>(batch.size());
             for (size_t i = 0; i < batch.size(); ++i) {
-              GQL_RETURN_IF_ERROR(st.AccumulateRow(batch.row(i), eval));
+              GroupStamp stamp{morsel.index, row_in_range++};
+              if (agg_keyed) {
+                GQL_RETURN_IF_ERROR(
+                    pst->AccumulateRow(batch.row(i), eval, stamp));
+              } else {
+                GQL_RETURN_IF_ERROR(
+                    st->AccumulateRow(batch.row(i), eval, stamp));
+              }
             }
           }
-          range_aggs[morsel.index] =
-              std::make_unique<AggregationState>(std::move(st));
+          if (agg_keyed) {
+            range_pagg[morsel.index] = std::move(pst);
+          } else {
+            range_aggs[morsel.index] = std::move(st);
+          }
+          return Status::OK();
+        }
+        GQL_ASSIGN_OR_RETURN(Table t,
+                             DrainPlan(root, batch_size, &worker_stats[w]));
+        if (sort_only) {
+          // Project and key in one pass, then the bounded local sort —
+          // this range's contribution to the parallel merge sort.
+          std::vector<ValueList> keys;
+          GQL_ASSIGN_OR_RETURN(Table projected,
+                               wproj->ProjectChunk(std::move(t), &keys));
+          SortedRun run;
+          run.reserve(projected.NumRows());
+          for (size_t i = 0; i < projected.NumRows(); ++i) {
+            run.push_back(SortRow{std::move(projected.mutable_rows()[i]),
+                                  std::move(keys[i]), morsel.index, i});
+          }
+          std::sort(run.begin(), run.end(),
+                    [&body](const SortRow& a, const SortRow& b) {
+                      return SortRowLess(body, a, b);
+                    });
+          if (run.size() > topk) run.resize(static_cast<size_t>(topk));
+          range_runs[morsel.index] = std::move(run);
+        } else if (distinct) {
+          // Project, then pre-split the row indices by whole-row hash so
+          // the dedup stage becomes `partitions` independent seen-sets.
+          GQL_ASSIGN_OR_RETURN(Table projected,
+                               wproj->ProjectChunk(std::move(t), nullptr));
+          std::vector<std::vector<uint64_t>> parts(partitions);
+          for (size_t i = 0; i < projected.NumRows(); ++i) {
+            parts[RowHash(projected.rows()[i]) % partitions].push_back(i);
+          }
+          range_parts[morsel.index] = std::move(parts);
+          range_proj[morsel.index] = std::move(projected);
         } else {
-          GQL_ASSIGN_OR_RETURN(Table t,
-                               DrainPlan(root, batch_size, &worker_stats[w]));
-          range_rows[morsel.index] = std::move(t);
+          range_child[morsel.index] = std::move(t);
         }
         return Status::OK();
       };
@@ -382,31 +633,195 @@ Result<Table> ExecutePlanParallel(Plan* plan, WorkerPool* pool,
       stats->batches += ws.batches;
     }
   }
+  size_t merge_tasks = 0;
   if (pstats != nullptr) {
     pstats->workers = workers;
     pstats->morsels = num_morsels;
+    pstats->sort_merge = sort_only || (distinct && !body.order_by.empty());
+    pstats->partitioned_agg = aggregates && agg_keyed;
+    pstats->partitioned_distinct = distinct;
   }
   for (const Status& st : range_status) {
     GQL_RETURN_IF_ERROR(st);
   }
 
-  if (partial_agg) {
-    AggregationState merged = std::move(*range_aggs[0]);
-    for (size_t i = 1; i < num_morsels; ++i) {
-      GQL_RETURN_IF_ERROR(merged.MergeFrom(std::move(*range_aggs[i])));
+  // The merge stages. Each produces the merge projection's COMPLETE
+  // output — tail and WHERE filter included — byte-identical to
+  // merge_proj->ProjectTable over the concatenated ranges.
+  auto compute_merged = [&]() -> Result<Table> {
+    if (aggregates && agg_keyed) {
+      // `partitions` independent MergeFrom chains (range order within
+      // each) run as parallel tasks; the serial interleave on the
+      // recorded stamps then restores serial first-occurrence group
+      // order across partitions.
+      std::vector<Table> part_tables(partitions);
+      std::vector<std::vector<GroupStamp>> part_stamps(partitions);
+      // Named local: the lambda's own GQL_ macros would shadow an
+      // enclosing GQL_RETURN_IF_ERROR's temporary (-Wshadow).
+      Status merge_status =
+          pool->RunTasks(partitions, [&](size_t p) -> Status {
+            AggregationState merged_p = std::move(range_pagg[0]->partition(p));
+            for (size_t r = 1; r < num_morsels; ++r) {
+              GQL_RETURN_IF_ERROR(
+                  merged_p.MergeFrom(std::move(range_pagg[r]->partition(p))));
+            }
+            GQL_ASSIGN_OR_RETURN(part_tables[p],
+                                 merged_p.Finish(merge_eval, &part_stamps[p]));
+            return Status::OK();
+          });
+      GQL_RETURN_IF_ERROR(merge_status);
+      merge_tasks += partitions;
+      Table grouped(part_tables[0].fields());
+      std::vector<size_t> pos(partitions, 0);
+      while (true) {
+        size_t best = partitions;
+        for (size_t p = 0; p < partitions; ++p) {
+          if (pos[p] >= part_stamps[p].size()) continue;
+          if (best == partitions ||
+              part_stamps[p][pos[p]] < part_stamps[best][pos[best]]) {
+            best = p;
+          }
+        }
+        if (best == partitions) break;
+        grouped.AddRow(
+            std::move(part_tables[best].mutable_rows()[pos[best]]));
+        ++pos[best];
+      }
+      GQL_ASSIGN_OR_RETURN(
+          Table tailed, ApplyProjectionTail(body, std::move(grouped), nullptr,
+                                            nullptr, merge_eval));
+      return merge_proj->FilterWhere(std::move(tailed));
     }
-    GQL_ASSIGN_OR_RETURN(Table grouped, merged.Finish(merge_eval));
-    return ApplyProjectionTail(*merge_proj->body(), std::move(grouped),
-                               nullptr, nullptr, merge_eval);
-  }
 
-  Table merged(merge_proj->child()->schema());
-  for (Table& t : range_rows) {
-    for (ValueList& row : t.mutable_rows()) {
-      merged.AddRow(std::move(row));
+    if (aggregates) {
+      // Keyless: a single group per range — the direct-fold chain is
+      // O(1) per partial, so no partitioning is worth it.
+      AggregationState merged = std::move(*range_aggs[0]);
+      for (size_t r = 1; r < num_morsels; ++r) {
+        GQL_RETURN_IF_ERROR(merged.MergeFrom(std::move(*range_aggs[r])));
+      }
+      GQL_ASSIGN_OR_RETURN(Table grouped, merged.Finish(merge_eval));
+      GQL_ASSIGN_OR_RETURN(
+          Table tailed, ApplyProjectionTail(body, std::move(grouped), nullptr,
+                                            nullptr, merge_eval));
+      return merge_proj->FilterWhere(std::move(tailed));
     }
-  }
-  return merge_proj->ProjectTable(std::move(merged));
+
+    if (distinct) {
+      // `partitions` independent seen-sets, each walking its share of
+      // every range in (range, row) order; the serial interleave of the
+      // survivors keeps the serial first occurrence of every distinct
+      // row.
+      std::vector<std::vector<RowSeq>> survivors(partitions);
+      GQL_RETURN_IF_ERROR(
+          pool->RunTasks(partitions, [&](size_t p) -> Status {
+            std::unordered_set<const ValueList*, RowPtrHash, RowPtrEq> seen;
+            for (size_t r = 0; r < num_morsels; ++r) {
+              const Table& t = range_proj[r];
+              for (uint64_t i : range_parts[r][p]) {
+                if (seen.insert(&t.rows()[i]).second) {
+                  survivors[p].push_back(RowSeq{r, i});
+                }
+              }
+            }
+            return Status::OK();
+          }));
+      merge_tasks += partitions;
+      GQL_ASSIGN_OR_RETURN(
+          Table shape,
+          merge_proj->ProjectChunk(Table(merge_proj->child()->schema()),
+                                   nullptr));
+      Table deduped(shape.fields());
+      std::vector<size_t> pos(partitions, 0);
+      while (true) {
+        size_t best = partitions;
+        for (size_t p = 0; p < partitions; ++p) {
+          if (pos[p] >= survivors[p].size()) continue;
+          if (best == partitions ||
+              SeqLess(survivors[p][pos[p]], survivors[best][pos[best]])) {
+            best = p;
+          }
+        }
+        if (best == partitions) break;
+        RowSeq s = survivors[best][pos[best]++];
+        deduped.AddRow(
+            std::move(range_proj[s.range].mutable_rows()[s.idx]));
+      }
+
+      if (!body.order_by.empty()) {
+        // ORDER BY after DISTINCT reuses the merge-sort machinery: key
+        // and sort chunks of the deduped rows in parallel (the source
+        // pairing is gone after DISTINCT, exactly as in the serial
+        // tail), then tree-merge.
+        size_t n = deduped.NumRows();
+        size_t min_one = n == 0 ? 1 : n;
+        size_t chunks = partitions < min_one ? partitions : min_one;
+        size_t per = (n + chunks - 1) / chunks;
+        std::vector<SortedRun> runs(chunks);
+        GQL_RETURN_IF_ERROR(pool->RunTasks(chunks, [&](size_t c) -> Status {
+          size_t lo = c * per;
+          size_t hi = lo + per < n ? lo + per : n;
+          SortedRun run;
+          run.reserve(hi - lo);
+          for (size_t i = lo; i < hi; ++i) {
+            GQL_ASSIGN_OR_RETURN(
+                ValueList keys,
+                OrderKeysForRow(body, deduped, deduped.rows()[i], nullptr,
+                                nullptr, merge_eval));
+            run.push_back(SortRow{ValueList(), std::move(keys), 0, i});
+          }
+          std::sort(run.begin(), run.end(),
+                    [&body](const SortRow& a, const SortRow& b) {
+                      return SortRowLess(body, a, b);
+                    });
+          if (run.size() > topk) run.resize(static_cast<size_t>(topk));
+          // Rows move only for the survivors of the bound; every chunk
+          // touches a disjoint index range of `deduped`.
+          for (SortRow& sr : run) {
+            sr.row = std::move(deduped.mutable_rows()[sr.idx]);
+          }
+          runs[c] = std::move(run);
+          return Status::OK();
+        }));
+        merge_tasks += chunks;
+        GQL_RETURN_IF_ERROR(
+            TreeMergeRuns(pool, body, &runs, topk, &merge_tasks));
+        Table sorted(deduped.fields());
+        for (SortRow& sr : runs[0]) sorted.AddRow(std::move(sr.row));
+        deduped = std::move(sorted);
+      }
+      GQL_ASSIGN_OR_RETURN(
+          Table sliced, SliceSkipLimit(body, std::move(deduped), merge_eval));
+      return merge_proj->FilterWhere(std::move(sliced));
+    }
+
+    if (sort_only) {
+      std::vector<SortedRun> runs = std::move(range_runs);
+      GQL_RETURN_IF_ERROR(
+          TreeMergeRuns(pool, body, &runs, topk, &merge_tasks));
+      GQL_ASSIGN_OR_RETURN(
+          Table shape,
+          merge_proj->ProjectChunk(Table(merge_proj->child()->schema()),
+                                   nullptr));
+      Table sorted(shape.fields());
+      for (SortRow& sr : runs[0]) sorted.AddRow(std::move(sr.row));
+      GQL_ASSIGN_OR_RETURN(
+          Table sliced, SliceSkipLimit(body, std::move(sorted), merge_eval));
+      return merge_proj->FilterWhere(std::move(sliced));
+    }
+
+    Table merged(merge_proj->child()->schema());
+    for (Table& t : range_child) {
+      for (ValueList& row : t.mutable_rows()) {
+        merged.AddRow(std::move(row));
+      }
+    }
+    return merge_proj->ProjectTable(std::move(merged));
+  };
+
+  GQL_ASSIGN_OR_RETURN(Table merged, compute_merged());
+  if (pstats != nullptr) pstats->merge_tasks = merge_tasks;
+  return finish_above(std::move(merged));
 }
 
 }  // namespace gqlite

@@ -23,31 +23,45 @@ namespace gqlite {
 ///    work stealing falls out of the shared claim counter.
 ///  * A worker binds its instance's scan to the claimed range, re-Opens
 ///    the pipeline, drains it, and buffers the result PER RANGE.
-///  * The merge stage runs serially after the pool barrier and
-///    concatenates per-range results in range order — exactly the order
-///    the serial scan produces — before the root projection runs once
-///    over the merged rows. ORDER BY / DISTINCT / SKIP / LIMIT therefore
-///    see the same input as a serial run (the pipeline-breaker barrier),
-///    and ORDER BY output is byte-identical regardless of thread count.
-///  * For aggregating root projections the workers instead fold each
-///    range into an AggregationState and the merge stage combines the
-///    partial aggregates in range order (count/sum/min/max/avg/collect
-///    merge; see Aggregator::MergePartial) — the pre-aggregation rows
-///    never materialize centrally. One DELIBERATE semantic edge: sum()
-///    over int64 adds in chunks, so a serial run whose running sum
-///    overflows mid-stream (while the true total is representable) can
-///    raise where the chunked run returns the total. Cypher leaves
-///    accumulation order unspecified; the strict guarantee kept is
-///    one-sided — any overflow the MERGE itself produces still raises
-///    EvaluationError, never wraps.
+///  * The MERGE POINT is the lowest pipeline breaker on the projection
+///    spine (a projection with aggregation / DISTINCT / ORDER BY / SKIP /
+///    LIMIT), or the root projection when no breaker exists. Everything
+///    below it distributes over the scan partition; everything above it
+///    resumes serially on the merged output (ProjectionOp::PreloadResult),
+///    so an intermediate WITH breaker no longer forces the whole plan
+///    serial.
+///  * The merge itself parallelizes per breaker kind, on the same pool
+///    (WorkerPool::RunTasks), always reproducing the serial output
+///    byte-for-byte:
+///      - ORDER BY: per-range local sorts ordered by (keys, range, row) —
+///        a STRICT total order, so the tree-structured pairwise run merge
+///        is shape-independent and reproduces std::stable_sort exactly;
+///        SKIP/LIMIT push a top-K bound into the local sorts and merges.
+///      - keyed aggregation: rows hash-partition on their group key
+///        (RowHash — the group index's own equivalence-consistent hash),
+///        so the merge becomes independent per-partition MergeFrom chains;
+///        GroupStamps recorded at group creation let the final interleave
+///        restore serial first-occurrence group order. Keyless
+///        aggregation keeps the direct-fold chain (single group, O(1) per
+///        partial).
+///      - DISTINCT: the same key-partitioning over whole rows gives
+///        independent per-partition seen-sets; survivors interleave back
+///        by (range, row), keeping the serial first occurrence.
+///    One DELIBERATE semantic edge survives from the partial-aggregation
+///    model: sum() over int64 adds in chunks, so a serial run whose
+///    running sum overflows mid-stream (while the true total is
+///    representable) can raise where the chunked run returns the total.
+///    Cypher leaves accumulation order unspecified; the strict guarantee
+///    kept is one-sided — any overflow the MERGE itself produces still
+///    raises EvaluationError, never wraps.
 ///
-/// Plans qualify when every operator below the root projection
-/// distributes over a partition of the driving scan (per-row operators:
-/// Expand, Filter, Unwind, Apply, simple WITH) and the query calls no
+/// Plans qualify when every operator below the merge point distributes
+/// over a partition of the driving scan (per-row operators: Expand,
+/// Filter, Unwind, Apply, simple WITH) and the query calls no
 /// nondeterministic function (rand() mutates engine-shared PRNG state).
-/// Everything else — UNION, aggregating/sorting WITH, OPTIONAL MATCH at
-/// the driving position, matcher-fallback driving patterns, updating
-/// queries (interpreter-only) — stays on the serial runtime.
+/// Everything else — UNION, OPTIONAL MATCH at the driving position,
+/// matcher-fallback driving patterns, updating queries
+/// (interpreter-only) — stays on the serial runtime.
 
 /// One contiguous chunk of a partitioned scan domain.
 struct ScanMorsel {
@@ -93,13 +107,20 @@ class MorselDispatcher {
 size_t MorselChunk(size_t domain, size_t workers);
 
 /// Result of analyzing one compiled operator tree for parallel
-/// execution: the root projection (merge stage) and the partitioned
-/// driving scan, or the reason the plan stays serial.
+/// execution: the merge-point projection (the lowest pipeline breaker on
+/// the projection spine, or the root) and the partitioned driving scan,
+/// or the reason the plan stays serial.
 struct ParallelCandidate {
   bool ok = false;
   std::string reason;
   ProjectionOp* projection = nullptr;
   PartitionedScan* scan = nullptr;
+  /// Human-readable merge-stage shape ("parallel merge sort",
+  /// "partitioned aggregation merge", ...) for EXPLAIN/PROFILE.
+  std::string merge_shape;
+  /// True when the merge point is an intermediate WITH (operators above
+  /// it resume serially on the merged output).
+  bool merge_below_root = false;
 };
 ParallelCandidate AnalyzeParallelCandidate(Operator* root);
 
@@ -112,6 +133,13 @@ bool QueryCallsNondeterministicFunction(const ast::Query& q);
 struct ParallelRunStats {
   size_t workers = 0;
   size_t morsels = 0;
+  /// Merge-stage tasks submitted to the pool (pairwise run merges,
+  /// per-partition aggregation/DISTINCT merges, chunk sorts).
+  size_t merge_tasks = 0;
+  /// Which parallel merge stages this execution ran.
+  bool sort_merge = false;
+  bool partitioned_agg = false;
+  bool partitioned_distinct = false;
 };
 
 /// Executes a parallel-safe plan (Plan::parallel.safe) on `pool` (workers

@@ -46,6 +46,17 @@ class WorkerPool {
 
   Status RunOnAll(const std::function<Status(size_t)>& fn) EXCLUDES(mu_);
 
+  /// Runs `num_tasks` independent tasks across the pool (and the calling
+  /// thread): every worker claims task indices from a shared atomic
+  /// counter until the range is exhausted. This is the submission
+  /// primitive for parallel merge stages — pairwise sorted-run merges and
+  /// per-partition aggregation/DISTINCT merges — where the task count
+  /// comes from the data, not the worker count. Error reporting is
+  /// deterministic: the failure of the LOWEST task index wins, even
+  /// though the task-to-worker assignment is not deterministic.
+  Status RunTasks(size_t num_tasks,
+                  const std::function<Status(size_t)>& fn) EXCLUDES(mu_);
+
  private:
   void WorkerLoop(size_t index) EXCLUDES(mu_);
 

@@ -137,6 +137,7 @@ struct AggregationState::Impl {
     ValueList key;
     ValueList representative;
     std::vector<std::unique_ptr<Aggregator>> aggs;
+    GroupStamp stamp;  // global scan position of the creating row
   };
 
   std::shared_ptr<const Shape> shape;
@@ -155,6 +156,60 @@ struct AggregationState::Impl {
       }
     }
     return aggs;
+  }
+
+  /// Builds the row's grouping key (the values of the non-aggregating
+  /// items) into `key`. Static so the partitioned wrapper can build the
+  /// key ONCE, route on its hash, and hand it to the owning partition.
+  static Status BuildKey(const Shape& shape, const ValueList& row,
+                         const Environment& env, const EvalContext& ctx,
+                         ValueList* key) {
+    key->clear();
+    for (const auto& it : shape.items) {
+      if (it.aggregating) continue;
+      if (it.expr == nullptr) {
+        key->push_back(row[it.field_index]);
+      } else {
+        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
+        key->push_back(std::move(v));
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Folds one row's aggregate arguments into a group's accumulators.
+  Status AccumulateSlots(Group& g, const Environment& env,
+                         const EvalContext& ctx) {
+    size_t slot_idx = 0;
+    for (const auto& it : shape->items) {
+      for (const auto& slot : it.slots) {
+        Value v = Value::Bool(true);  // row marker for count(*)
+        if (slot.arg != nullptr) {
+          GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
+        }
+        GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
+        ++slot_idx;
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Probes/creates the group for an already-built key and folds the row
+  /// in. New groups record `stamp` (their global first occurrence).
+  Status AccumulateKeyed(const ValueList& key, const ValueList& row,
+                         const Environment& env, const EvalContext& ctx,
+                         GroupStamp stamp) {
+    auto pos = index.find(key);
+    if (pos == index.end()) {
+      Group g;
+      g.key = key;
+      g.representative = row;
+      g.stamp = stamp;
+      GQL_ASSIGN_OR_RETURN(g.aggs, MakeGroupAggs());
+      pos = index.emplace(key, groups.size()).first;
+      groups.push_back(std::move(g));
+    }
+    return AccumulateSlots(groups[pos->second], env, ctx);
   }
 };
 
@@ -218,59 +273,29 @@ Status AggregationState::Accumulate(const Table& input,
 }
 
 Status AggregationState::AccumulateRow(const ValueList& row,
-                                       const EvalContext& ctx) {
+                                       const EvalContext& ctx,
+                                       GroupStamp stamp) {
   Impl& im = *impl_;
   SchemaRowEnvironment env(im.shape->input_fields, row);
-  size_t group_idx = 0;
   if (!im.shape->has_keys) {
     // Global aggregation: every row lands in the single group — no key to
     // build, hash or probe.
     if (im.groups.empty()) {
       Impl::Group g;
       g.representative = row;
+      g.stamp = stamp;
       GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
       im.groups.push_back(std::move(g));
     }
-  } else {
-    // Group by the values of the non-aggregating items (§3: "the first
-    // expression, r, is a non-aggregating expression and therefore acts
-    // as an implicit grouping key"). The key is built in a reused scratch
-    // buffer; the existing-group path allocates nothing.
-    ValueList& key = im.key_scratch;
-    key.clear();
-    for (const auto& it : im.shape->items) {
-      if (it.aggregating) continue;
-      if (it.expr == nullptr) {
-        key.push_back(row[it.field_index]);
-      } else {
-        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*it.expr, env, ctx));
-        key.push_back(std::move(v));
-      }
-    }
-    auto pos = im.index.find(key);
-    if (pos == im.index.end()) {
-      Impl::Group g;
-      g.key = key;
-      g.representative = row;
-      GQL_ASSIGN_OR_RETURN(g.aggs, im.MakeGroupAggs());
-      pos = im.index.emplace(key, im.groups.size()).first;
-      im.groups.push_back(std::move(g));
-    }
-    group_idx = pos->second;
+    return im.AccumulateSlots(im.groups[0], env, ctx);
   }
-  Impl::Group& g = im.groups[group_idx];
-  size_t slot_idx = 0;
-  for (const auto& it : im.shape->items) {
-    for (const auto& slot : it.slots) {
-      Value v = Value::Bool(true);  // row marker for count(*)
-      if (slot.arg != nullptr) {
-        GQL_ASSIGN_OR_RETURN(v, EvaluateExpr(*slot.arg, env, ctx));
-      }
-      GQL_RETURN_IF_ERROR(g.aggs[slot_idx]->Accumulate(v));
-      ++slot_idx;
-    }
-  }
-  return Status::OK();
+  // Group by the values of the non-aggregating items (§3: "the first
+  // expression, r, is a non-aggregating expression and therefore acts
+  // as an implicit grouping key"). The key is built in a reused scratch
+  // buffer; the existing-group path allocates nothing.
+  GQL_RETURN_IF_ERROR(
+      Impl::BuildKey(*im.shape, row, env, ctx, &im.key_scratch));
+  return im.AccumulateKeyed(im.key_scratch, row, env, ctx, stamp);
 }
 
 Status AggregationState::MergeFrom(AggregationState&& other) {
@@ -285,6 +310,7 @@ Status AggregationState::MergeFrom(AggregationState&& other) {
       } else {
         Impl::Group& g = im.groups[0];
         Impl::Group& og = oim.groups[0];
+        if (og.stamp < g.stamp) g.stamp = og.stamp;
         for (size_t a = 0; a < g.aggs.size(); ++a) {
           GQL_ASSIGN_OR_RETURN(Value partial, og.aggs[a]->ExportPartial());
           GQL_RETURN_IF_ERROR(g.aggs[a]->MergePartial(partial));
@@ -306,6 +332,7 @@ Status AggregationState::MergeFrom(AggregationState&& other) {
       continue;
     }
     Impl::Group& g = im.groups[pos->second];
+    if (og.stamp < g.stamp) g.stamp = og.stamp;
     for (size_t a = 0; a < g.aggs.size(); ++a) {
       GQL_ASSIGN_OR_RETURN(Value partial, og.aggs[a]->ExportPartial());
       GQL_RETURN_IF_ERROR(g.aggs[a]->MergePartial(partial));
@@ -316,7 +343,10 @@ Status AggregationState::MergeFrom(AggregationState&& other) {
   return Status::OK();
 }
 
-Result<Table> AggregationState::Finish(const EvalContext& ctx) {
+bool AggregationState::has_keys() const { return impl_->shape->has_keys; }
+
+Result<Table> AggregationState::Finish(const EvalContext& ctx,
+                                       std::vector<GroupStamp>* stamps) {
   Impl& im = *impl_;
   // Global aggregation over an empty input: one row of neutral aggregate
   // values — but only when there are no grouping keys.
@@ -360,13 +390,87 @@ Result<Table> AggregationState::Finish(const EvalContext& ctx) {
       }
     }
     output.AddRow(std::move(out_row));
+    if (stamps != nullptr) stamps->push_back(g.stamp);
   }
   im.groups.clear();
   im.index.clear();
   return output;
 }
 
+// ---- PartitionedAggregationState --------------------------------------------
+
+PartitionedAggregationState::PartitionedAggregationState(
+    const AggregationState& proto, size_t partitions) {
+  parts_.reserve(partitions);
+  for (size_t p = 0; p < partitions; ++p) parts_.push_back(proto.Fork());
+}
+
+Status PartitionedAggregationState::AccumulateRow(const ValueList& row,
+                                                  const EvalContext& ctx,
+                                                  GroupStamp stamp) {
+  const AggregationState::Impl::Shape& shape = *parts_[0].impl_->shape;
+  SchemaRowEnvironment env(shape.input_fields, row);
+  GQL_RETURN_IF_ERROR(AggregationState::Impl::BuildKey(shape, row, env, ctx,
+                                                       &key_scratch_));
+  // RowHash is the same equivalence-consistent hash the group index
+  // probes with, so equivalent keys (1 vs 1.0) cannot split across
+  // partitions and create duplicate groups.
+  size_t p = RowHash(key_scratch_) % parts_.size();
+  return parts_[p].impl_->AccumulateKeyed(key_scratch_, row, env, ctx, stamp);
+}
+
 // ---- Post-projection tail ---------------------------------------------------
+
+Result<ValueList> OrderKeysForRow(const ProjectionBody& body,
+                                  const Table& output, const ValueList& row,
+                                  const ValueList* source, const Table* input,
+                                  const EvalContext& ctx) {
+  RowEnvironment out_env(output, row);
+  std::unique_ptr<RowEnvironment> in_env;
+  std::unique_ptr<MergedRowEnvironment> merged;
+  const Environment* env = &out_env;
+  if (source != nullptr && input != nullptr) {
+    in_env = std::make_unique<RowEnvironment>(*input, *source);
+    merged = std::make_unique<MergedRowEnvironment>(out_env, *in_env);
+    env = merged.get();
+  }
+  ValueList keys;
+  keys.reserve(body.order_by.size());
+  for (const auto& o : body.order_by) {
+    // An ORDER BY expression that textually matches a projected column
+    // (e.g. ORDER BY p.acmid after RETURN p.acmid, count(*)) refers to
+    // that column, like Cypher's alias resolution.
+    int col = output.FieldIndex(DerivedColumnName(*o.expr));
+    if (col >= 0) {
+      keys.push_back(row[col]);
+      continue;
+    }
+    GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, *env, ctx));
+    keys.push_back(std::move(v));
+  }
+  return keys;
+}
+
+int CompareOrderKeys(const ProjectionBody& body, const ValueList& a,
+                     const ValueList& b) {
+  for (size_t i = 0; i < body.order_by.size(); ++i) {
+    int c = ValueOrder(a[i], b[i]);
+    if (c != 0) return body.order_by[i].ascending ? c : -c;
+  }
+  return 0;
+}
+
+Result<SkipLimitBounds> EvaluateSkipLimit(const ProjectionBody& body,
+                                          const EvalContext& ctx) {
+  SkipLimitBounds b;
+  if (body.skip) {
+    GQL_ASSIGN_OR_RETURN(b.skip, EvalCount(*body.skip, ctx, "SKIP"));
+  }
+  if (body.limit) {
+    GQL_ASSIGN_OR_RETURN(b.limit, EvalCount(*body.limit, ctx, "LIMIT"));
+  }
+  return b;
+}
 
 Result<Table> ApplyProjectionTail(
     const ProjectionBody& body, Table output,
@@ -389,42 +493,19 @@ Result<Table> ApplyProjectionTail(
     keyed.reserve(output.NumRows());
     for (size_t i = 0; i < output.NumRows(); ++i) {
       ValueList& row = output.mutable_rows()[i];
-      RowEnvironment out_env(output, row);
-      std::unique_ptr<RowEnvironment> in_env;
-      std::unique_ptr<MergedRowEnvironment> merged;
-      const Environment* env = &out_env;
-      if (source_rows != nullptr && i < source_rows->size() &&
-          (*source_rows)[i] != nullptr && input != nullptr) {
-        in_env = std::make_unique<RowEnvironment>(*input, *(*source_rows)[i]);
-        merged = std::make_unique<MergedRowEnvironment>(out_env, *in_env);
-        env = merged.get();
-      }
-      Keyed k;
-      for (const auto& o : body.order_by) {
-        // An ORDER BY expression that textually matches a projected column
-        // (e.g. ORDER BY p.acmid after RETURN p.acmid, count(*)) refers to
-        // that column, like Cypher's alias resolution.
-        int col = output.FieldIndex(DerivedColumnName(*o.expr));
-        if (col >= 0) {
-          k.keys.push_back(row[col]);
-          continue;
-        }
-        GQL_ASSIGN_OR_RETURN(Value v, EvaluateExpr(*o.expr, *env, ctx));
-        k.keys.push_back(std::move(v));
-      }
+      const ValueList* source =
+          source_rows != nullptr && i < source_rows->size()
+              ? (*source_rows)[i]
+              : nullptr;
+      GQL_ASSIGN_OR_RETURN(
+          ValueList keys, OrderKeysForRow(body, output, row, source, input,
+                                          ctx));
       // Keys are computed; the row itself can move out of the table.
-      k.row = std::move(row);
-      keyed.push_back(std::move(k));
+      keyed.push_back(Keyed{std::move(row), std::move(keys)});
     }
     std::stable_sort(keyed.begin(), keyed.end(),
                      [&](const Keyed& a, const Keyed& b) {
-                       for (size_t i = 0; i < body.order_by.size(); ++i) {
-                         int c = ValueOrder(a.keys[i], b.keys[i]);
-                         if (c != 0) {
-                           return body.order_by[i].ascending ? c < 0 : c > 0;
-                         }
-                       }
-                       return false;
+                       return CompareOrderKeys(body, a.keys, b.keys) < 0;
                      });
     Table sorted(output.fields());
     for (auto& k : keyed) sorted.AddRow(std::move(k.row));
@@ -433,18 +514,11 @@ Result<Table> ApplyProjectionTail(
 
   // SKIP / LIMIT.
   if (body.skip || body.limit) {
-    int64_t skip = 0;
-    if (body.skip) {
-      GQL_ASSIGN_OR_RETURN(skip, EvalCount(*body.skip, ctx, "SKIP"));
-    }
-    int64_t limit = -1;
-    if (body.limit) {
-      GQL_ASSIGN_OR_RETURN(limit, EvalCount(*body.limit, ctx, "LIMIT"));
-    }
+    GQL_ASSIGN_OR_RETURN(SkipLimitBounds bounds, EvaluateSkipLimit(body, ctx));
     Table limited(output.fields());
     int64_t n = static_cast<int64_t>(output.NumRows());
-    int64_t end = limit < 0 ? n : std::min(n, skip + limit);
-    for (int64_t i = skip; i < end; ++i) {
+    int64_t end = bounds.limit < 0 ? n : std::min(n, bounds.skip + bounds.limit);
+    for (int64_t i = bounds.skip; i < end; ++i) {
       limited.AddRow(std::move(output.mutable_rows()[i]));
     }
     output = std::move(limited);
@@ -455,18 +529,11 @@ Result<Table> ApplyProjectionTail(
 
 // ---- EvaluateProjection -----------------------------------------------------
 
-Result<Table> EvaluateProjection(const ProjectionBody& body,
-                                 const Table& input, const EvalContext& ctx) {
-  if (ProjectionAggregates(body)) {
-    GQL_ASSIGN_OR_RETURN(AggregationState state,
-                         AggregationState::Plan(body, input.fields()));
-    GQL_RETURN_IF_ERROR(state.Accumulate(input, ctx));
-    GQL_ASSIGN_OR_RETURN(Table output, state.Finish(ctx));
-    return ApplyProjectionTail(body, std::move(output), nullptr, &input, ctx);
-  }
-
-  // Non-aggregating: map each row. `*` expands to all input fields (in
-  // order).
+Result<Table> ProjectRows(const ProjectionBody& body, const Table& input,
+                          const EvalContext& ctx,
+                          std::vector<ValueList>* keys) {
+  // Non-aggregating map: one output row per input row. `*` expands to all
+  // input fields (in order).
   struct Item {
     std::string name;
     const Expr* expr = nullptr;  // null: copy the named input field
@@ -484,9 +551,6 @@ Result<Table> EvaluateProjection(const ProjectionBody& body,
   for (const auto& it : items) out_fields.push_back(it.name);
   Table output(out_fields);
 
-  // Track the input row that produced each output row (for ORDER BY on
-  // pre-projection variables).
-  std::vector<const ValueList*> source_rows;
   for (const auto& row : input.rows()) {
     RowEnvironment env(input, row);
     ValueList out_row;
@@ -499,9 +563,36 @@ Result<Table> EvaluateProjection(const ProjectionBody& body,
         out_row.push_back(std::move(v));
       }
     }
+    if (keys != nullptr) {
+      // Same-pass keying: the output row's ORDER BY keys against the
+      // merged output-shadows-input environment, before the source row
+      // goes out of reach of the merge stage.
+      GQL_ASSIGN_OR_RETURN(
+          ValueList k,
+          OrderKeysForRow(body, output, out_row, &row, &input, ctx));
+      keys->push_back(std::move(k));
+    }
     output.AddRow(std::move(out_row));
-    source_rows.push_back(&row);
   }
+  return output;
+}
+
+Result<Table> EvaluateProjection(const ProjectionBody& body,
+                                 const Table& input, const EvalContext& ctx) {
+  if (ProjectionAggregates(body)) {
+    GQL_ASSIGN_OR_RETURN(AggregationState state,
+                         AggregationState::Plan(body, input.fields()));
+    GQL_RETURN_IF_ERROR(state.Accumulate(input, ctx));
+    GQL_ASSIGN_OR_RETURN(Table output, state.Finish(ctx));
+    return ApplyProjectionTail(body, std::move(output), nullptr, &input, ctx);
+  }
+
+  GQL_ASSIGN_OR_RETURN(Table output, ProjectRows(body, input, ctx, nullptr));
+  // Track the input row that produced each output row (for ORDER BY on
+  // pre-projection variables).
+  std::vector<const ValueList*> source_rows;
+  source_rows.reserve(input.NumRows());
+  for (const auto& row : input.rows()) source_rows.push_back(&row);
   return ApplyProjectionTail(body, std::move(output), &source_rows, &input,
                              ctx);
 }

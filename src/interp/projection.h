@@ -33,6 +33,19 @@ Result<Table> EvaluateProjection(const ast::ProjectionBody& body,
 /// body groups rather than maps).
 bool ProjectionAggregates(const ast::ProjectionBody& body);
 
+/// Global first-occurrence position of an aggregation group: the (scan
+/// range, row-within-range) coordinates of the row that created it. The
+/// partitioned parallel merge stamps every group at creation and
+/// interleaves the per-partition group streams back into ascending stamp
+/// order — exactly the serial first-occurrence group order.
+struct GroupStamp {
+  uint64_t range = 0;
+  uint64_t row = 0;
+};
+inline bool operator<(const GroupStamp& a, const GroupStamp& b) {
+  return a.range != b.range ? a.range < b.range : a.row < b.row;
+}
+
 /// Grouping/aggregation state of one aggregating projection body — the
 /// machinery behind EvaluateProjection's aggregate path, exposed so the
 /// morsel-driven parallel runtime can aggregate per worker and merge.
@@ -68,25 +81,68 @@ class AggregationState {
   /// Folds one row (positionally compatible with the planned input
   /// fields) into the group accumulators — the streaming entry point: the
   /// batched and parallel runtimes feed morsels straight into the state
-  /// without materializing the pre-aggregation table.
-  Status AccumulateRow(const ValueList& row, const EvalContext& ctx);
+  /// without materializing the pre-aggregation table. `stamp` records the
+  /// row's global scan position on any group it creates (serial callers
+  /// leave the default; only the partitioned merge reads stamps back).
+  Status AccumulateRow(const ValueList& row, const EvalContext& ctx,
+                       GroupStamp stamp = {});
 
   /// Absorbs a partial that accumulated a LATER partition of the input
   /// (merge in partition order). `other` must be planned from the same
-  /// projection body; it is consumed.
+  /// projection body; it is consumed. Groups keep the stamp of their
+  /// earliest occurrence.
   Status MergeFrom(AggregationState&& other);
 
   /// Produces the grouped output rows (group keys in first-occurrence
-  /// order). Terminal: the accumulators are consumed.
-  Result<Table> Finish(const EvalContext& ctx);
+  /// order). Terminal: the accumulators are consumed. When `stamps` is
+  /// non-null it receives each output row's first-occurrence stamp
+  /// (ascending — groups are stored in first-occurrence order).
+  Result<Table> Finish(const EvalContext& ctx,
+                       std::vector<GroupStamp>* stamps = nullptr);
+
+  /// True when the planned body has non-aggregating items: rows group by
+  /// key (the partitioned parallel merge applies). False = keyless global
+  /// aggregation (single group; the direct-fold merge chain stays O(1)
+  /// per partial).
+  bool has_keys() const;
 
   /// Output column names (one per projection item).
   const std::vector<std::string>& out_fields() const;
 
  private:
+  friend class PartitionedAggregationState;
   AggregationState();
   struct Impl;
   std::unique_ptr<Impl> impl_;
+};
+
+/// P-way hash-partitioned aggregation, the parallel runtime's keyed-merge
+/// building block: rows route to one of P AggregationStates by group-key
+/// hash (RowHash — the same equivalence-consistent hash the group index
+/// probes with, so equivalent keys always land in the same partition).
+/// Each worker keeps one of these per scan range; the merge stage then
+/// folds partition p of every range in range order — P INDEPENDENT
+/// MergeFrom chains running as parallel tasks instead of one serial
+/// chain — and the stamps recorded at group creation let the final
+/// interleave restore serial first-occurrence group order exactly.
+class PartitionedAggregationState {
+ public:
+  /// Forks `proto` (a planned, keyed AggregationState) into `partitions`
+  /// empty states sharing its plan.
+  PartitionedAggregationState(const AggregationState& proto,
+                              size_t partitions);
+
+  /// Builds the row's grouping key once, routes by its hash, and folds
+  /// the row into the owning partition under `stamp`.
+  Status AccumulateRow(const ValueList& row, const EvalContext& ctx,
+                       GroupStamp stamp);
+
+  size_t num_partitions() const { return parts_.size(); }
+  AggregationState& partition(size_t p) { return parts_[p]; }
+
+ private:
+  std::vector<AggregationState> parts_;
+  ValueList key_scratch_;
 };
 
 /// The shared post-projection pipeline: DISTINCT, ORDER BY, SKIP / LIMIT
@@ -99,6 +155,48 @@ Result<Table> ApplyProjectionTail(
     const ast::ProjectionBody& body, Table output,
     const std::vector<const ValueList*>* source_rows, const Table* input,
     const EvalContext& ctx);
+
+/// The map stage of a NON-aggregating projection body over a chunk of
+/// input rows: one output row per input row, with no tail (DISTINCT /
+/// ORDER BY / SKIP / LIMIT) applied. When `keys` is non-null, each output
+/// row's ORDER BY key row is computed in the same pass — against the
+/// merged output-shadows-input environment, exactly as ApplyProjectionTail
+/// computes it. Exposed so the parallel runtime can project and key scan
+/// ranges on their workers and keep only sort keys (not pre-projection
+/// rows) alive into the merge; ApplyProjectionTail shares the per-row key
+/// helper below, so the two paths cannot drift.
+Result<Table> ProjectRows(const ast::ProjectionBody& body, const Table& input,
+                          const EvalContext& ctx,
+                          std::vector<ValueList>* keys);
+
+/// The ORDER BY key row of one projected row. A key expression that
+/// textually matches a projected column resolves to that column (alias
+/// resolution); others evaluate against the output row, with `source` /
+/// `input` (both optional) supplying the pre-projection variables (output
+/// shadows input). Pass source == nullptr for aggregated or
+/// post-DISTINCT rows, which have no source pairing.
+Result<ValueList> OrderKeysForRow(const ast::ProjectionBody& body,
+                                  const Table& output, const ValueList& row,
+                                  const ValueList* source, const Table* input,
+                                  const EvalContext& ctx);
+
+/// Three-way comparison of two precomputed ORDER BY key rows under
+/// `body`'s sort spec (per-key ascending/descending over ValueOrder).
+/// Returns <0 / 0 / >0. Ties (0) are broken by the caller on original
+/// input position, which is what makes the parallel merge sort reproduce
+/// std::stable_sort byte-for-byte.
+int CompareOrderKeys(const ast::ProjectionBody& body, const ValueList& a,
+                     const ValueList& b);
+
+/// Evaluated SKIP/LIMIT bounds of a projection body: skip = 0 and
+/// limit = -1 (unbounded) when absent. Errors carry the serial messages
+/// ("SKIP must be a non-negative integer").
+struct SkipLimitBounds {
+  int64_t skip = 0;
+  int64_t limit = -1;
+};
+Result<SkipLimitBounds> EvaluateSkipLimit(const ast::ProjectionBody& body,
+                                          const EvalContext& ctx);
 
 }  // namespace gqlite
 

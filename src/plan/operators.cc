@@ -462,8 +462,8 @@ Status VarLengthExpandOp::ExpandBatch() {
   // Per-row lazily-hoisted relationship property constraint values.
   std::vector<LazyPropWants> wants(spec_.rel_props != nullptr ? n : 0);
 
-  auto emit = [&](uint32_t row_idx, NodeId target,
-                  const std::vector<RelId>& path) {
+  auto emit = [&](uint32_t row_idx, NodeId target, const RelId* path,
+                  size_t path_len) {
     const ValueList& in = input_.row(row_idx);
     if (spec_.to_col >= 0) {
       const Value& want = in[spec_.to_col];
@@ -474,48 +474,53 @@ Status VarLengthExpandOp::ExpandBatch() {
     row.assign(in.begin(), in.end());
     if (!spec_.rel_var.empty()) {
       ValueList list;
-      list.reserve(path.size());
-      for (RelId r : path) list.push_back(Value::Relationship(r));
+      list.reserve(path_len);
+      for (size_t k = 0; k < path_len; ++k) {
+        list.push_back(Value::Relationship(path[k]));
+      }
       row.push_back(Value::MakeList(std::move(list)));
     }
     if (spec_.to_col < 0) row.push_back(Value::Node(target));
   };
 
-  // One frontier entry per in-flight path. Paths are owned contiguous
-  // vectors: extending copies the prefix (one memcpy), and the
-  // trail-uniqueness scan stays a linear pass over contiguous memory —
-  // parent-linked path sharing measures slower at depth (pointer-chasing
-  // latency on every uniqueness probe).
-  struct FrontierEntry {
-    uint32_t row;
-    NodeId node;
-    std::vector<RelId> path;
-  };
-  std::vector<FrontierEntry> frontier;
+  // One frontier entry per in-flight path. Each level's paths live in
+  // one flat pooled arena with stride = level length (level-synchronous
+  // BFS keeps them uniform): extending appends prefix + new relationship
+  // to the next level's arena — amortized chunk growth instead of a
+  // vector allocation per extension — and the trail-uniqueness scan
+  // stays a linear pass over contiguous memory (parent-linked path
+  // sharing measures slower at depth: pointer-chasing latency on every
+  // uniqueness probe).
+  frontier_.clear();
+  cur_paths_.clear();
   for (uint32_t i = 0; i < n; ++i) {
     const ValueList& in = input_.row(i);
     const Value& from_v = in[spec_.from_col];
     if (!from_v.is_node() || !g.IsNodeAlive(from_v.AsNode())) continue;
     NodeId from = from_v.AsNode();
-    if (min_ == 0) emit(i, from, {});
-    if (max_ >= 1) frontier.push_back({i, from, {}});
+    if (min_ == 0) emit(i, from, nullptr, 0);
+    if (max_ >= 1) frontier_.push_back({i, from});
   }
 
   // Level-synchronous BFS over the whole morsel: every depth in
   // [max(1,min), max] produces its own rows (rigid refinements), and the
   // relationship-isomorphism rule (no rel reused within one path, nor
   // against the clause's uniqueness columns) keeps enumeration finite.
-  std::vector<FrontierEntry> next_frontier;
-  for (int64_t depth = 1; depth <= max_ && !frontier.empty(); ++depth) {
-    next_frontier.clear();
-    for (const FrontierEntry& e : frontier) {
+  for (int64_t depth = 1; depth <= max_ && !frontier_.empty(); ++depth) {
+    next_frontier_.clear();
+    next_paths_.clear();
+    // Entry e's path in this level's arena (stride = depth - 1).
+    const size_t stride = static_cast<size_t>(depth - 1);
+    for (size_t ei = 0; ei < frontier_.size(); ++ei) {
+      const FrontierEntry& e = frontier_[ei];
+      const RelId* path = cur_paths_.data() + ei * stride;
       const ValueList& in = input_.row(e.row);
       auto consider = [&](RelId r, bool from_out) -> Status {
         if (!TypeOk(g, spec_, r)) return Status::OK();
         // Within-path uniqueness plus clause-level uniqueness columns.
         if (ctx_->match.morphism != Morphism::kHomomorphism) {
-          for (RelId used : e.path) {
-            if (used == r) return Status::OK();
+          for (size_t k = 0; k < stride; ++k) {
+            if (path[k] == r) return Status::OK();
           }
           if (RelAlreadyUsed(r, in, spec_.uniqueness_cols)) {
             return Status::OK();
@@ -544,12 +549,21 @@ Status VarLengthExpandOp::ExpandBatch() {
             next = (src == e.node) ? tgt : src;
             break;
         }
-        FrontierEntry extended{e.row, next, {}};
-        extended.path.reserve(e.path.size() + 1);
-        extended.path = e.path;
-        extended.path.push_back(r);
-        if (depth >= min_) emit(e.row, next, extended.path);
-        if (depth < max_) next_frontier.push_back(std::move(extended));
+        // Materialize the extension at the next arena's tail; keep it
+        // only if it seeds the next level.
+        size_t base = next_paths_.size();
+        if (stride > 0) {  // depth 1 has a null arena; 0-len insert is UB
+          next_paths_.insert(next_paths_.end(), path, path + stride);
+        }
+        next_paths_.push_back(r);
+        if (depth >= min_) {
+          emit(e.row, next, next_paths_.data() + base, stride + 1);
+        }
+        if (depth < max_) {
+          next_frontier_.push_back({e.row, next});
+        } else {
+          next_paths_.resize(base);
+        }
         return Status::OK();
       };
       if (spec_.direction != ast::Direction::kLeft) {
@@ -563,7 +577,8 @@ Status VarLengthExpandOp::ExpandBatch() {
         }
       }
     }
-    frontier.swap(next_frontier);
+    frontier_.swap(next_frontier_);
+    cur_paths_.swap(next_paths_);
   }
   return Status::OK();
 }
@@ -752,37 +767,64 @@ Result<Table> ProjectionOp::FilterWhere(Table result) const {
   return filtered;
 }
 
-Result<Table> ProjectionOp::ProjectTable(Table input) const {
-  // `*` must not expose planner-hidden columns ('#...'): strip them before
-  // delegating to the shared projection machinery.
+namespace {
+
+/// `*` must not expose planner-hidden columns ('#...'): strip them before
+/// delegating to the shared projection machinery.
+Table StripHiddenColumns(Table input) {
   bool has_hidden = false;
   for (const auto& f : input.fields()) {
     if (!f.empty() && f[0] == '#') has_hidden = true;
   }
-  if (has_hidden && body_->star) {
-    std::vector<std::string> keep_fields;
-    std::vector<size_t> keep_idx;
-    for (size_t i = 0; i < input.fields().size(); ++i) {
-      if (input.fields()[i].empty() || input.fields()[i][0] != '#') {
-        keep_fields.push_back(input.fields()[i]);
-        keep_idx.push_back(i);
-      }
+  if (!has_hidden) return input;
+  std::vector<std::string> keep_fields;
+  std::vector<size_t> keep_idx;
+  for (size_t i = 0; i < input.fields().size(); ++i) {
+    if (input.fields()[i].empty() || input.fields()[i][0] != '#') {
+      keep_fields.push_back(input.fields()[i]);
+      keep_idx.push_back(i);
     }
-    Table stripped(keep_fields);
-    for (auto& r : input.mutable_rows()) {
-      ValueList row;
-      row.reserve(keep_idx.size());
-      for (size_t i : keep_idx) row.push_back(std::move(r[i]));
-      stripped.AddRow(std::move(row));
-    }
-    input = std::move(stripped);
   }
+  Table stripped(keep_fields);
+  for (auto& r : input.mutable_rows()) {
+    ValueList row;
+    row.reserve(keep_idx.size());
+    for (size_t i : keep_idx) row.push_back(std::move(r[i]));
+    stripped.AddRow(std::move(row));
+  }
+  return stripped;
+}
+
+}  // namespace
+
+Result<Table> ProjectionOp::ProjectTable(Table input) const {
+  if (body_->star) input = StripHiddenColumns(std::move(input));
   GQL_ASSIGN_OR_RETURN(Table result,
                        EvaluateProjection(*body_, input, ctx_->eval));
   return FilterWhere(std::move(result));
 }
 
+Result<Table> ProjectionOp::ProjectChunk(Table input,
+                                         std::vector<ValueList>* keys) const {
+  if (body_->star) input = StripHiddenColumns(std::move(input));
+  return ProjectRows(*body_, input, ctx_->eval, keys);
+}
+
+void ProjectionOp::PreloadResult(Table result) {
+  result_ = std::move(result);
+  has_preloaded_ = true;
+}
+
 Status ProjectionOp::Open() {
+  if (has_preloaded_) {
+    // The parallel merge stages already produced this breaker's output
+    // (projection, tail and WHERE included); stream it without touching
+    // the child — the child's pipelines already ran, range by range, on
+    // the workers. One-shot: a later Open() recomputes normally.
+    has_preloaded_ = false;
+    pos_ = 0;
+    return Status::OK();
+  }
   GQL_RETURN_IF_ERROR(child_->Open());
   if (ProjectionAggregates(*body_)) {
     // Aggregating projection: stream the child's morsels straight into

@@ -360,6 +360,26 @@ class VarLengthExpandOp : public Operator {
   std::vector<ValueList> pending_;  // slot pool of rows ready to emit
   size_t pending_size_ = 0;         // live prefix of pending_
   size_t pos_in_pending_ = 0;
+
+  /// An in-flight BFS path head. The path itself lives in the level's
+  /// flat arena (cur_paths_/next_paths_), not in the entry: the
+  /// level-synchronous BFS keeps every path of one level the same
+  /// length, so entry i's relationships are the contiguous stride at
+  /// [i * level_len, (i + 1) * level_len).
+  struct FrontierEntry {
+    uint32_t row;
+    NodeId node;
+  };
+  /// Pooled per-level path arenas and frontier vectors: extending a path
+  /// appends its prefix + the new relationship to next_paths_ (amortized
+  /// chunk growth), replacing the per-extension std::vector<RelId>
+  /// allocation of the old representation. Capacity persists across
+  /// batches — a refill costs element copies, not mallocs — and the
+  /// trail-uniqueness probe stays one linear scan of contiguous memory.
+  std::vector<RelId> cur_paths_;
+  std::vector<RelId> next_paths_;
+  std::vector<FrontierEntry> frontier_;
+  std::vector<FrontierEntry> next_frontier_;
 };
 
 /// σ: keeps rows whose predicate is true (3VL: null drops the row).
@@ -455,20 +475,37 @@ class ProjectionOp : public Operator {
   /// keeps ORDER BY / DISTINCT / SKIP / LIMIT deterministic.
   Result<Table> ProjectTable(Table input) const;
 
+  /// The map stage only — hidden-column stripping for `*` plus the
+  /// per-row projection, WITHOUT the tail (DISTINCT / ORDER BY / SKIP /
+  /// LIMIT) or the WHERE filter. The parallel runtime calls this on each
+  /// worker's scan-range rows; `keys` (optional) receives each output
+  /// row's ORDER BY key row, computed in the same pass while the source
+  /// rows are still in reach. Only valid for non-aggregating bodies.
+  Result<Table> ProjectChunk(Table input, std::vector<ValueList>* keys) const;
+
+  /// Applies the WITH ... WHERE filter to projected rows (no-op without a
+  /// WHERE). Shared with the parallel runtime, which runs the breaker
+  /// tail itself and must filter the merged rows identically.
+  Result<Table> FilterWhere(Table result) const;
+
+  /// Hands this breaker its already-computed result: the next Open()
+  /// consumes `result` directly instead of draining the child. The
+  /// parallel runtime uses this to resume the serial plan ABOVE a merged
+  /// breaker — the breaker's output is computed by the parallel merge
+  /// stages, then the remaining serial operators stream it as usual.
+  void PreloadResult(Table result);
+
   const ast::ProjectionBody* body() const { return body_; }
   const ast::Expr* where() const { return where_; }
   const ExecContext* exec_context() const { return ctx_; }
 
  private:
-  /// Applies the WITH ... WHERE filter to projected rows (no-op without a
-  /// WHERE). Shared by ProjectTable and the streaming-aggregation Open.
-  Result<Table> FilterWhere(Table result) const;
-
   const ExecContext* ctx_;
   const ast::ProjectionBody* body_;
   const ast::Expr* where_;
   Table result_;
   size_t pos_ = 0;
+  bool has_preloaded_ = false;
 };
 
 /// UNION [ALL] of complete sub-plans (pipeline breaker for the DISTINCT

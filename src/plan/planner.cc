@@ -71,6 +71,7 @@ Status Planner::BuildParallelInstances(const Query& q, Plan* plan) {
     plan->parallel.reason = "rand() requires the serial runtime";
     return Status::OK();
   }
+  plan->parallel.merge_shape = std::move(first.merge_shape);
   plan->parallel.projections.push_back(first.projection);
   plan->parallel.scans.push_back(first.scan);
   // One structurally identical pipeline instance per extra worker —
@@ -84,6 +85,11 @@ Status Planner::BuildParallelInstances(const Query& q, Plan* plan) {
     if (!c.ok) {
       return Status::Internal("parallel instance diverged from the plan: " +
                               c.reason);
+    }
+    if (c.merge_shape != plan->parallel.merge_shape) {
+      return Status::Internal(
+          "parallel instance diverged from the plan: merge shape '" +
+          c.merge_shape + "'");
     }
     plan->parallel.projections.push_back(c.projection);
     plan->parallel.scans.push_back(c.scan);

@@ -46,8 +46,13 @@ struct ParallelPlanInfo {
   bool safe = false;
   /// Why the plan stays serial (surfaced by EXPLAIN); empty when safe.
   std::string reason;
+  /// Human-readable merge-stage shape ("parallel merge sort",
+  /// "partitioned aggregation merge", ...) for EXPLAIN/PROFILE; empty
+  /// when serial.
+  std::string merge_shape;
   /// Per worker instance (instance 0 is Plan::root, instance i > 0 is
-  /// extra_roots[i-1]): the merge-stage root projection and the
+  /// extra_roots[i-1]): the merge-point projection (the lowest pipeline
+  /// breaker on the projection spine, or the root) and the
   /// morsel-partitioned driving scan of that instance's pipeline.
   std::vector<ProjectionOp*> projections;
   std::vector<PartitionedScan*> scans;

@@ -82,11 +82,15 @@ Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
                          uint64_t* rand_state, const ast::Query& q,
                          BatchStats* stats, WorkerPool* pool,
-                         ParallelRunStats* pstats) {
+                         ParallelRunStats* pstats, std::string* serial_reason) {
   Planner planner(catalog, std::move(graph), params, options, rand_state);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
-  if (options.num_threads > 1 && plan.parallel.safe && pool != nullptr) {
-    return ExecutePlanParallel(&plan, pool, options.batch_size, stats, pstats);
+  if (options.num_threads > 1 && pool != nullptr) {
+    if (plan.parallel.safe) {
+      return ExecutePlanParallel(&plan, pool, options.batch_size, stats,
+                                 pstats);
+    }
+    if (serial_reason != nullptr) *serial_reason = plan.parallel.reason;
   }
   return ExecutePlan(&plan, options.batch_size, stats);
 }
@@ -102,7 +106,8 @@ Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
   if (options.num_threads > 1) {
     if (plan.parallel.safe) {
       out += "Parallel: " + std::to_string(options.num_threads) +
-             " workers, morsel-partitioned scan, serial merge stage\n";
+             " workers, morsel-partitioned scan, " +
+             plan.parallel.merge_shape + "\n";
     } else {
       out += "Parallel: serial (" + plan.parallel.reason + ")\n";
     }

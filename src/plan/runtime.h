@@ -48,14 +48,18 @@ Result<size_t> EffectiveNumThreads(size_t configured);
 /// `options.batch_size`). With `options.num_threads > 1` AND a non-null
 /// `pool`, parallel-safe plans run on the morsel-driven parallel runtime
 /// (src/exec/parallel.h); everything else takes the serial drain.
-/// `pstats` (optional) reports workers/morsels when the parallel path
-/// ran.
+/// `pstats` (optional) reports workers/morsels/merge tasks when the
+/// parallel path ran. `serial_reason` (optional) receives the
+/// AnalyzeParallelCandidate reason when a parallel-eligible execution
+/// (num_threads > 1, pool present) fell back to the serial drain — the
+/// engine folds these into per-reason fallback counters.
 Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
                          uint64_t* rand_state, const ast::Query& q,
                          BatchStats* stats = nullptr,
                          WorkerPool* pool = nullptr,
-                         ParallelRunStats* pstats = nullptr);
+                         ParallelRunStats* pstats = nullptr,
+                         std::string* serial_reason = nullptr);
 
 /// Plans a query and renders the operator tree (EXPLAIN), headed by the
 /// execution model line (batched runtime + morsel size) and — when

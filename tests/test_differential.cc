@@ -356,6 +356,85 @@ GeneratedQuery GenerateQuery(Rng& rng) {
   return out;
 }
 
+/// One random PIPELINE-BREAKER-heavy query (ISSUE 8): ORDER BY with
+/// SKIP/LIMIT, DISTINCT projections, many-group (>= 64 groups)
+/// aggregation, and intermediate-WITH breakers — the shapes the parallel
+/// merge stages (parallel merge sort, partitioned aggregation,
+/// partitioned DISTINCT) execute, generated to stay inside the planner's
+/// parallel subset so the breaker paths actually run.
+GeneratedQuery GenerateBreakerQuery(Rng& rng) {
+  const std::vector<std::string> labels = {"", ":A", ":B", ":C"};
+  GeneratedQuery out;
+  std::string match = "MATCH (a" + rng.Pick(labels) + ")";
+  std::vector<std::string> vars = {"a"};
+  if (rng.Chance(35)) {
+    match += (rng.Chance(50) ? "-[:R]->" : "-[:S]->") + std::string("(b)");
+    vars.push_back("b");
+  }
+  if (rng.Chance(40)) {
+    match += " WHERE " + rng.Pick(vars) + ".v " +
+             (rng.Chance(50) ? ">= " : "< ") + std::to_string(rng.Below(9));
+  }
+  switch (rng.Below(5)) {
+    case 0: {
+      // Parallel merge sort with the top-K pushdown: fully ordered
+      // output, SKIP and/or LIMIT.
+      std::string ret = " RETURN " + vars[0] + ".id AS x, " +
+                        rng.Pick(vars) + ".v AS y ORDER BY x" +
+                        (rng.Chance(30) ? " DESC" : "") + ", y";
+      if (rng.Chance(60)) ret += " SKIP " + std::to_string(rng.Below(20));
+      ret += " LIMIT " + std::to_string(1 + rng.Below(40));
+      out.text = match + ret;
+      out.ordered = true;
+      break;
+    }
+    case 1: {
+      // Partitioned DISTINCT, optionally + merge sort above it.
+      std::string ret = " RETURN DISTINCT " + rng.Pick(vars) + ".v AS x, " +
+                        rng.Pick(vars) + ".w AS y";
+      if (rng.Chance(60)) {
+        ret += " ORDER BY x, y";
+        out.ordered = true;
+        if (rng.Chance(40)) ret += " LIMIT " + std::to_string(1 + rng.Below(12));
+      }
+      out.text = match + ret;
+      break;
+    }
+    case 2: {
+      // Many-group partitioned aggregation: id/name group keys give >= 64
+      // groups over the 150-node graph (integer and string key hashing).
+      std::string key = rng.Chance(50) ? ".id" : ".name";
+      std::string ret = " RETURN " + vars[0] + key + " AS g, count(*) AS c, " +
+                        "sum(" + rng.Pick(vars) + ".v) AS s, min(" +
+                        rng.Pick(vars) + ".w) AS mn";
+      if (rng.Chance(60)) {
+        ret += " ORDER BY g";
+        out.ordered = true;
+      }
+      out.text = match + ret;
+      break;
+    }
+    case 3: {
+      // Intermediate-WITH merge sort (single fully-ordered column, so
+      // the LIMIT-selected multiset is well-defined across executors).
+      std::string with = " WITH " + rng.Pick(vars) + ".v AS v ORDER BY v" +
+                         (rng.Chance(30) ? " DESC" : "") + " LIMIT " +
+                         std::to_string(1 + rng.Below(30));
+      out.text = match + with +
+                 " RETURN count(*) AS c, sum(v) AS s, min(v) AS mn";
+      break;
+    }
+    default: {
+      // Intermediate-WITH partitioned DISTINCT.
+      std::string with = " WITH DISTINCT " + rng.Pick(vars) + ".v AS v";
+      if (rng.Chance(40)) with += ", " + vars[0] + ".w AS w";
+      out.text = match + with + " RETURN count(*) AS c, min(v) AS mn";
+      break;
+    }
+  }
+  return out;
+}
+
 TEST(Differential, RuntimesMatchTheOracle) {
   // GQLITE_BATCH_SIZE / GQLITE_THREADS (the sanitizer CI legs) reshape
   // the executor matrix rather than skip it: every pairing below is a
@@ -451,6 +530,74 @@ TEST(Differential, RuntimesMatchTheOracle) {
     EXPECT_GE(par4.engine.parallel_stats().queries,
               static_cast<uint64_t>(executed) / 2)
         << "most generated queries should hit the parallel runtime";
+  }
+}
+
+TEST(Differential, ParallelBreakersMatchTheOracle) {
+  // ISSUE 8: pin the parallel merge stages (parallel merge sort,
+  // partitioned aggregation, partitioned DISTINCT) to the interpreter
+  // oracle across every executor leg, byte-identically when ordered —
+  // and prove the cases actually exercised the breaker paths instead of
+  // quietly falling back to the serial drain.
+  auto eff_threads = EffectiveNumThreads(4);
+  ASSERT_TRUE(eff_threads.ok()) << eff_threads.status().ToString();
+
+  GraphPtr graph = MakeDifferentialGraph(0xB2EA4E25ULL);
+  EngineOptions interp_opts;
+  interp_opts.mode = ExecutionMode::kInterpreter;
+  CypherEngine oracle(interp_opts);
+  oracle.set_default_graph(graph);
+
+  struct Runtime {
+    const char* name;
+    CypherEngine engine;
+  };
+  std::vector<Runtime> runtimes;
+  auto add_runtime = [&](const char* name, size_t batch, size_t threads) {
+    EngineOptions opts;
+    opts.batch_size = batch;
+    opts.num_threads = threads;
+    runtimes.push_back({name, CypherEngine(opts)});
+    runtimes.back().engine.set_default_graph(graph);
+  };
+  add_runtime("batch1", 1, 1);
+  add_runtime("batch1024", 1024, 1);
+  add_runtime("parallel2", 1024, 2);
+  add_runtime("parallel4", 1024, 4);
+
+  Rng rng{0xB2EA4E2D1FFULL};
+  const int kCases = 150;
+  int executed = 0;
+  for (int i = 0; i < kCases; ++i) {
+    GeneratedQuery q = GenerateBreakerQuery(rng);
+    SCOPED_TRACE("breaker case " + std::to_string(i) + ": " + q.text);
+    auto want = oracle.Execute(q.text);
+    ASSERT_TRUE(want.ok()) << want.status().ToString();
+    ++executed;
+    for (auto& rt : runtimes) {
+      auto got = rt.engine.Execute(q.text);
+      ASSERT_TRUE(got.ok()) << rt.name << ": " << got.status().ToString();
+      EXPECT_TRUE(want->table.SameBag(got->table))
+          << rt.name << " diverges\noracle:\n" << want->table.ToString()
+          << rt.name << ":\n" << got->table.ToString();
+      if (q.ordered) {
+        EXPECT_EQ(want->table.ToString(), got->table.ToString())
+            << rt.name << " ordered output is not byte-identical";
+      }
+    }
+  }
+
+  // >= 50% of the cases must have taken a parallel BREAKER path (a merge
+  // stage beyond plain concat) on the 4-worker engine — the generator
+  // regressing into serial-fallback or concat-only shapes would hollow
+  // out everything this test claims to pin.
+  if (*eff_threads > 1) {
+    CypherEngine::ParallelStats ps = runtimes.back().engine.parallel_stats();
+    uint64_t breaker_runs =
+        ps.sort_merges + ps.agg_merges + ps.distinct_merges;
+    EXPECT_GE(breaker_runs, static_cast<uint64_t>(executed) / 2)
+        << "sort=" << ps.sort_merges << " agg=" << ps.agg_merges
+        << " distinct=" << ps.distinct_merges << " of " << executed;
   }
 }
 

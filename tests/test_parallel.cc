@@ -82,6 +82,56 @@ TEST(WorkerPool, ZeroThreadsRunsOnCaller) {
   EXPECT_EQ(ran, 1);
 }
 
+// ---- WorkerPool::RunTasks (merge-stage submission) --------------------------
+
+TEST(WorkerPool, RunTasksRunsEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  constexpr size_t kTasks = 37;  // more tasks than workers: claims loop
+  std::vector<int> ran(kTasks, 0);
+  Mutex mu;
+  ASSERT_TRUE(pool
+                  .RunTasks(kTasks,
+                            [&](size_t t) {
+                              MutexLock lock(&mu);
+                              ++ran[t];
+                              return Status::OK();
+                            })
+                  .ok());
+  for (size_t t = 0; t < kTasks; ++t) {
+    EXPECT_EQ(ran[t], 1) << "task " << t;
+  }
+}
+
+TEST(WorkerPool, RunTasksReportsLowestTaskIndexFailure) {
+  WorkerPool pool(3);
+  // Two failing tasks: whatever worker hits one first in wall-clock
+  // time, the reported error must be task 2's (lowest index wins).
+  for (int run = 0; run < 20; ++run) {
+    Status st = pool.RunTasks(16, [&](size_t t) {
+      if (t == 2 || t == 11) {
+        return Status::EvaluationError("task " + std::to_string(t));
+      }
+      return Status::OK();
+    });
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.ToString().find("task 2"), std::string::npos)
+        << "run " << run << ": " << st.ToString();
+  }
+}
+
+TEST(WorkerPool, RunTasksZeroTasksIsANoOp) {
+  WorkerPool pool(2);
+  int ran = 0;
+  ASSERT_TRUE(pool
+                  .RunTasks(0,
+                            [&](size_t) {
+                              ++ran;
+                              return Status::OK();
+                            })
+                  .ok());
+  EXPECT_EQ(ran, 0);
+}
+
 // ---- MorselDispatcher -------------------------------------------------------
 
 TEST(MorselDispatcher, CoversDomainWithoutOverlap) {
@@ -258,6 +308,122 @@ TEST(AggregationMerge, DistinctCollectKeepsFirstOccurrenceOrder) {
   }
 }
 
+/// Runs `input` through the full partitioned-aggregation merge exactly
+/// as the parallel runtime does: split into `splits` ranges, accumulate
+/// each range into a PartitionedAggregationState with global (range,
+/// row) stamps, merge partition p of every range in range order, Finish
+/// each partition with stamps, and interleave the per-partition group
+/// streams back into ascending stamp order.
+Result<Table> MergePartitioned(const ast::ProjectionBody& body,
+                               const Table& input,
+                               const std::vector<size_t>& splits,
+                               size_t partitions) {
+  EvalContext ctx;
+  GQL_ASSIGN_OR_RETURN(AggregationState proto,
+                       AggregationState::Plan(body, input.fields()));
+  std::vector<std::unique_ptr<PartitionedAggregationState>> ranges;
+  size_t row = 0;
+  for (size_t range = 0; range < splits.size(); ++range) {
+    auto st = std::make_unique<PartitionedAggregationState>(proto, partitions);
+    for (size_t i = 0; i < splits[range] && row < input.NumRows();
+         ++i, ++row) {
+      GQL_RETURN_IF_ERROR(st->AccumulateRow(input.rows()[row], ctx,
+                                            GroupStamp{range, i}));
+    }
+    ranges.push_back(std::move(st));
+  }
+  std::vector<Table> part_tables;
+  std::vector<std::vector<GroupStamp>> part_stamps(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    AggregationState merged = std::move(ranges[0]->partition(p));
+    for (size_t r = 1; r < ranges.size(); ++r) {
+      GQL_RETURN_IF_ERROR(merged.MergeFrom(std::move(ranges[r]->partition(p))));
+    }
+    GQL_ASSIGN_OR_RETURN(Table t, merged.Finish(ctx, &part_stamps[p]));
+    part_tables.push_back(std::move(t));
+  }
+  Table out(part_tables[0].fields());
+  std::vector<size_t> pos(partitions, 0);
+  while (true) {
+    size_t best = partitions;
+    for (size_t p = 0; p < partitions; ++p) {
+      if (pos[p] >= part_stamps[p].size()) continue;
+      if (best == partitions ||
+          part_stamps[p][pos[p]] < part_stamps[best][pos[best]]) {
+        best = p;
+      }
+    }
+    if (best == partitions) break;
+    out.AddRow(std::move(part_tables[best].mutable_rows()[pos[best]]));
+    ++pos[best];
+  }
+  return out;
+}
+
+TEST(PartitionedAggregation, MatchesSerialAcrossPartitionCounts) {
+  BodyFixture fx(
+      "RETURN x AS x, count(*) AS c, sum(y) AS s, collect(y) AS ys, "
+      "min(y) AS mn");
+  Table input = IntTable(
+      {"x", "y"},
+      {{5, 1}, {2, 2}, {9, 3}, {2, 4}, {5, 5}, {7, 6}, {9, 7}, {2, 8}});
+  EvalContext ctx;
+  auto serial = EvaluateProjection(fx.body(), input, ctx);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  // Partition counts beyond the 4 distinct keys leave partitions EMPTY;
+  // range splits with empty edges/middles leave per-range states empty.
+  // Every combination must reproduce the serial group order (stamps) and
+  // contents (merge in range order) byte for byte.
+  for (size_t partitions : {size_t{1}, size_t{2}, size_t{3}, size_t{16}}) {
+    for (const std::vector<size_t>& splits :
+         std::vector<std::vector<size_t>>{
+             {8}, {3, 5}, {1, 1, 1, 1, 1, 1, 1, 1}, {0, 8, 0}, {4, 0, 4}}) {
+      auto merged = MergePartitioned(fx.body(), input, splits, partitions);
+      ASSERT_TRUE(merged.ok())
+          << partitions << " partitions: " << merged.status().ToString();
+      EXPECT_EQ(serial->ToString(), merged->ToString())
+          << partitions << " partitions";
+    }
+  }
+}
+
+TEST(PartitionedAggregation, AllRowsOneGroupLeavesOthersEmpty) {
+  BodyFixture fx("RETURN x AS x, count(*) AS c, sum(y) AS s");
+  // One group key: every row routes to ONE partition; the other
+  // partitions stay empty through accumulate, merge and finish.
+  Table input = IntTable({"x", "y"}, {{1, 10}, {1, 20}, {1, 30}, {1, 40}});
+  EvalContext ctx;
+  auto serial = EvaluateProjection(fx.body(), input, ctx);
+  ASSERT_TRUE(serial.ok());
+  auto merged = MergePartitioned(fx.body(), input, {2, 2}, 8);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(serial->ToString(), merged->ToString());
+  ASSERT_EQ(merged->NumRows(), 1u);
+}
+
+TEST(PartitionedAggregation, EquivalentKeysShareAPartition) {
+  BodyFixture fx("RETURN x AS x, count(*) AS c");
+  // 1 and 1.0 are equivalent grouping keys (one group). Routing by any
+  // hash that is not equivalence-consistent would split them across
+  // partitions and produce two groups.
+  Table input(std::vector<std::string>{"x"});
+  ValueList r1, r2;
+  r1.push_back(Value::Int(1));
+  r2.push_back(Value::Float(1.0));
+  input.AddRow(std::move(r1));
+  input.AddRow(std::move(r2));
+  EvalContext ctx;
+  auto serial = EvaluateProjection(fx.body(), input, ctx);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_EQ(serial->NumRows(), 1u);
+  for (size_t partitions : {size_t{2}, size_t{7}, size_t{16}}) {
+    auto merged = MergePartitioned(fx.body(), input, {1, 1}, partitions);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_EQ(serial->ToString(), merged->ToString())
+        << partitions << " partitions";
+  }
+}
+
 // ---- Engine-level parallel execution ---------------------------------------
 
 GraphPtr TestGraph() {
@@ -315,6 +481,30 @@ TEST(ParallelEngine, ExplainSurfacesWorkersAndSerialReasons) {
             std::string::npos)
       << *ex;
 
+  // Pipeline breakers are parallel merge points (ISSUE 8), intermediate
+  // WITH included: EXPLAIN names the merge-stage shape.
+  struct ShapeCase {
+    const char* query;
+    const char* shape;
+  };
+  for (const ShapeCase& c : std::vector<ShapeCase>{
+           {"MATCH (n) RETURN n.v AS v ORDER BY v", "parallel merge sort"},
+           {"MATCH (n) RETURN DISTINCT n.v AS v", "partitioned DISTINCT"},
+           {"MATCH (n) RETURN n.v AS g, count(*) AS c",
+            "partitioned aggregation merge"},
+           {"MATCH (n) RETURN count(*) AS c", "global aggregation fold"},
+           {"MATCH (n) RETURN n.v AS v", "concat merge"},
+           {"MATCH (n) WITH n.v AS v ORDER BY v RETURN count(*) AS c",
+            "parallel merge sort at intermediate WITH"},
+           {"MATCH (n) WITH DISTINCT n.v AS v RETURN count(*) AS c",
+            "partitioned DISTINCT merge at intermediate WITH"},
+       }) {
+    auto plan = par.Explain(c.query);
+    ASSERT_TRUE(plan.ok()) << c.query << ": " << plan.status().ToString();
+    EXPECT_NE(plan->find(c.shape), std::string::npos)
+        << c.query << "\n" << *plan;
+  }
+
   // Serial fallbacks name their reason.
   struct Case {
     const char* query;
@@ -324,10 +514,6 @@ TEST(ParallelEngine, ExplainSurfacesWorkersAndSerialReasons) {
            {"MATCH (n) RETURN n.v AS v UNION MATCH (m) RETURN m.v AS v",
             "UNION"},
            {"MATCH (n) WHERE rand() < 2 RETURN count(*) AS c", "rand()"},
-           {"MATCH (n) WITH n.v AS v ORDER BY v RETURN count(*) AS c",
-            "ORDER BY"},
-           {"MATCH (n) WITH DISTINCT n.v AS v RETURN count(*) AS c",
-            "DISTINCT"},
            {"OPTIONAL MATCH (n:NoSuchLabel) RETURN count(*) AS c",
             "OPTIONAL MATCH"},
            {"RETURN 1 AS one", "no MATCH drives the plan"},
@@ -342,6 +528,15 @@ TEST(ParallelEngine, ExplainSurfacesWorkersAndSerialReasons) {
     auto r = par.Execute(c.query);
     EXPECT_TRUE(r.ok()) << c.query << ": " << r.status().ToString();
   }
+
+  // Every executed fallback above was counted under its reason
+  // (satellite: parallel-coverage regressions are observable in
+  // aggregate, not just per-query via EXPLAIN).
+  CypherEngine::ParallelStats ps = par.parallel_stats();
+  ASSERT_FALSE(ps.serial_reasons.empty());
+  uint64_t fallbacks = 0;
+  for (const auto& [reason, count] : ps.serial_reasons) fallbacks += count;
+  EXPECT_GE(fallbacks, 4u);
 }
 
 TEST(ParallelEngine, SerialFallbacksMatchInterpreter) {
@@ -470,6 +665,64 @@ TEST(ParallelEngine, ErrorDuringDrainIsDeterministicAndNonPoisoning) {
   auto ok = engine.Execute("MATCH (n:P) WHERE n.v = 1 RETURN count(*) AS c");
   ASSERT_TRUE(ok.ok()) << ok.status().ToString();
   EXPECT_EQ(ok->table.rows()[0][0].AsInt(), 598);
+}
+
+TEST(ParallelEngine, MergeOnlySumOverflowStillRaises) {
+  // Two near-max values 500 scan positions apart: each range's partial
+  // sum is fine; only combining the partials overflows. The chunked
+  // parallel aggregation must raise exactly like the serial engine does
+  // when it reaches the second value — not wrap.
+  auto g = std::make_shared<PropertyGraph>();
+  constexpr int64_t kBig = std::numeric_limits<int64_t>::max() - 1;
+  for (int i = 0; i < 600; ++i) {
+    int64_t v = (i == 50 || i == 550) ? kBig : 0;
+    g->CreateNode({"P"}, {{"v", Value::Int(v)}});
+  }
+  for (size_t threads : {size_t{1}, size_t{4}}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    CypherEngine engine(opts);
+    engine.set_default_graph(g);
+    auto r = engine.Execute("MATCH (n:P) RETURN sum(n.v) AS s");
+    ASSERT_FALSE(r.ok()) << threads << " workers";
+    EXPECT_NE(r.status().ToString().find("overflow"), std::string::npos)
+        << threads << " workers: " << r.status().ToString();
+  }
+}
+
+TEST(ParallelEngine, IntermediateWithBreakersAreByteIdentical) {
+  if (!EffectiveNumThreads(4).ok() || *EffectiveNumThreads(4) != 4u) {
+    GTEST_SKIP() << "GQLITE_THREADS overrides this test's thread count";
+  }
+  // The merge point sits BELOW the root: the WITH breaker runs in the
+  // merge stage, the clauses above it (aggregation, final RETURN) run
+  // serially on the preloaded result. Output must be byte-identical to
+  // the serial engine at every worker count.
+  CypherEngine serial = ParallelEngine(1);
+  CypherEngine par2 = ParallelEngine(2);
+  CypherEngine par4 = ParallelEngine(4);
+  for (const char* q : {
+           "MATCH (n) WITH n.v AS v ORDER BY v LIMIT 7 "
+           "RETURN count(*) AS c, sum(v) AS s",
+           "MATCH (n) WITH DISTINCT n.v AS v RETURN count(*) AS c",
+           "MATCH (n) WITH n.v AS v ORDER BY v DESC SKIP 3 LIMIT 5 "
+           "RETURN collect(v) AS vs",
+           "MATCH (a)-[:T]->(b) WITH DISTINCT a.v AS x, b.v AS y "
+           "RETURN x, y ORDER BY x, y",
+       }) {
+    auto want = serial.Execute(q);
+    ASSERT_TRUE(want.ok()) << q << ": " << want.status().ToString();
+    for (CypherEngine* e : {&par2, &par4}) {
+      auto got = e->Execute(q);
+      ASSERT_TRUE(got.ok()) << q << ": " << got.status().ToString();
+      EXPECT_EQ(want->table.ToString(), got->table.ToString())
+          << e->options().num_threads << " workers: " << q;
+    }
+  }
+  EXPECT_GE(par4.parallel_stats().sort_merges +
+                par4.parallel_stats().distinct_merges,
+            4u)
+      << "the breaker queries above must take the parallel merge paths";
 }
 
 TEST(ParallelEngine, StatsReadableWhileQueriesExecute) {

@@ -222,6 +222,62 @@ TEST(Session, DefaultGraphBindingPinnedAtBegin) {
   ASSERT_TRUE(reader->Commit().ok());
 }
 
+TEST(Session, RandSubstreamsAreIndependentAndReproducible) {
+  // Each session draws rand() from its own seeded substream (ISSUE 8
+  // satellite, PR 7 follow-up): statements in one session never perturb
+  // another session's sequence — or the engine-level stream — and a
+  // session's sequence is reproducible from (engine seed, creation
+  // order).
+  auto draw = [](Session* s) {
+    auto r = s->Execute("RETURN rand() AS r");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->table.rows()[0][0].AsFloat();
+  };
+  EngineOptions opts;
+  opts.rand_seed = 42;
+  CypherEngine a(opts);
+  auto a1 = a.CreateSession();
+  auto a2 = a.CreateSession();
+  double a1_first = draw(a1.get());
+  double a2_first = draw(a2.get());
+  double a1_second = draw(a1.get());
+
+  // Same engine seed, same creation order, but a2's statements
+  // interleaved differently: per-session sequences must not change.
+  CypherEngine b(opts);
+  auto b1 = b.CreateSession();
+  auto b2 = b.CreateSession();
+  EXPECT_DOUBLE_EQ(draw(b2.get()), a2_first);
+  EXPECT_DOUBLE_EQ(draw(b2.get()), draw(a2.get()));
+  EXPECT_DOUBLE_EQ(draw(b1.get()), a1_first);
+  EXPECT_DOUBLE_EQ(draw(b1.get()), a1_second);
+
+  // Distinct substreams: the two sessions (and the engine-level stream)
+  // do not replay one another.
+  EXPECT_NE(a1_first, a2_first);
+  CypherEngine c(opts);
+  auto engine_first = c.Execute("RETURN rand() AS r");
+  ASSERT_TRUE(engine_first.ok());
+  EXPECT_NE(engine_first->table.rows()[0][0].AsFloat(), a1_first);
+
+  // Session statements leave the engine-level stream untouched.
+  CypherEngine d(opts);
+  auto ds = d.CreateSession();
+  (void)draw(ds.get());
+  (void)draw(ds.get());
+  auto after = d.Execute("RETURN rand() AS r");
+  ASSERT_TRUE(after.ok());
+  EXPECT_DOUBLE_EQ(after->table.rows()[0][0].AsFloat(),
+                   engine_first->table.rows()[0][0].AsFloat());
+
+  // The substream also feeds statements inside explicit transactions.
+  CypherEngine e(opts);
+  auto es = e.CreateSession();
+  ASSERT_TRUE(es->Begin(TxnMode::kRead).ok());
+  EXPECT_DOUBLE_EQ(draw(es.get()), a1_first);
+  ASSERT_TRUE(es->Commit().ok());
+}
+
 TEST(Session, WriteTransactionSurvivesDefaultGraphSwap) {
   CypherEngine engine;
   auto writer = engine.CreateSession();
