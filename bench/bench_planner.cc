@@ -43,11 +43,15 @@ const char* kQuery =
     "WHERE d.idx = 3 RETURN count(p) AS c";
 
 void RunMode(benchmark::State& state, ExecutionMode mode,
-             PlannerOptions::Mode planner) {
+             PlannerOptions::Mode planner,
+             ExpandStrategy strategy = ExpandStrategy::kCost,
+             DirectionPolicy direction = DirectionPolicy::kCost) {
   GraphPtr g = MakeLopsided(static_cast<size_t>(state.range(0)));
   EngineOptions opts;
   opts.mode = mode;
   opts.planner = planner;
+  opts.expand_strategy = strategy;
+  opts.direction_policy = direction;
   // This benchmark measures the planner itself: plan reuse would collapse
   // all planner modes onto the warm path (see bench_plancache for that).
   opts.use_plan_cache = false;
@@ -70,11 +74,25 @@ void BM_VolcanoGreedy(benchmark::State& state) {
 void BM_VolcanoDpStarts(benchmark::State& state) {
   RunMode(state, ExecutionMode::kVolcano, PlannerOptions::Mode::kDpStarts);
 }
+// Forced-plan rows: each side of the per-hop expand-operator choice,
+// under the DP search. Their spread over BM_VolcanoDpStarts (which may
+// pick either per hop) is the price of forcing the wrong operator —
+// and the differential harness runs exactly these configurations.
+void BM_VolcanoForcedAdjacency(benchmark::State& state) {
+  RunMode(state, ExecutionMode::kVolcano, PlannerOptions::Mode::kDpStarts,
+          ExpandStrategy::kAdjacency);
+}
+void BM_VolcanoForcedHashJoin(benchmark::State& state) {
+  RunMode(state, ExecutionMode::kVolcano, PlannerOptions::Mode::kDpStarts,
+          ExpandStrategy::kHashJoin);
+}
 
 BENCHMARK(BM_Interpreter)->Arg(500)->Arg(2000);
 BENCHMARK(BM_VolcanoLeftToRight)->Arg(500)->Arg(2000)->Arg(8000);
 BENCHMARK(BM_VolcanoGreedy)->Arg(500)->Arg(2000)->Arg(8000);
 BENCHMARK(BM_VolcanoDpStarts)->Arg(500)->Arg(2000)->Arg(8000);
+BENCHMARK(BM_VolcanoForcedAdjacency)->Arg(2000)->Arg(8000);
+BENCHMARK(BM_VolcanoForcedHashJoin)->Arg(2000)->Arg(8000);
 
 }  // namespace
 }  // namespace gqlite

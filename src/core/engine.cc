@@ -1,5 +1,7 @@
 #include "src/core/engine.h"
 
+#include <cstdlib>
+
 #include "src/core/session.h"
 #include "src/exec/parallel.h"
 #include "src/exec/worker_pool.h"
@@ -23,6 +25,47 @@ struct EntryReleaser {
   }
 };
 
+/// Applies the GQLITE_PLAN_MODE override: comma-separated tokens, each
+/// setting the planner mode, the expand strategy or the direction
+/// policy. Strict by the same rule as the numeric overrides — an
+/// unknown token is an error naming the variable, not a silent default
+/// (a misspelled forced-plan token would quietly test nothing).
+Status ApplyPlanModeEnv(EngineOptions* options) {
+  const char* env = std::getenv("GQLITE_PLAN_MODE");
+  if (env == nullptr || env[0] == '\0') return Status::OK();
+  std::string_view rest = env;
+  bool more = true;
+  while (more) {
+    size_t comma = rest.find(',');
+    std::string_view tok = rest.substr(0, comma);
+    more = comma != std::string_view::npos;
+    if (more) rest = rest.substr(comma + 1);
+    if (tok == "ltr") {
+      options->planner = PlannerOptions::Mode::kLeftToRight;
+    } else if (tok == "greedy") {
+      options->planner = PlannerOptions::Mode::kGreedy;
+    } else if (tok == "dp") {
+      options->planner = PlannerOptions::Mode::kDpStarts;
+    } else if (tok == "adjacency") {
+      options->expand_strategy = ExpandStrategy::kAdjacency;
+    } else if (tok == "hashjoin") {
+      options->expand_strategy = ExpandStrategy::kHashJoin;
+    } else if (tok == "cost-expand") {
+      options->expand_strategy = ExpandStrategy::kCost;
+    } else if (tok == "force-right") {
+      options->direction_policy = DirectionPolicy::kForceRight;
+    } else if (tok == "force-left") {
+      options->direction_policy = DirectionPolicy::kForceLeft;
+    } else if (tok == "cost-direction") {
+      options->direction_policy = DirectionPolicy::kCost;
+    } else {
+      return Status::InvalidArgument("GQLITE_PLAN_MODE: unknown token \"" +
+                                     std::string(tok) + "\"");
+    }
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status CypherEngine::ApplyEnvOverrides(EngineOptions* options) {
@@ -30,6 +73,7 @@ Status CypherEngine::ApplyEnvOverrides(EngineOptions* options) {
                        EffectiveBatchSize(options->batch_size));
   GQL_ASSIGN_OR_RETURN(options->num_threads,
                        EffectiveNumThreads(options->num_threads));
+  GQL_RETURN_IF_ERROR(ApplyPlanModeEnv(options));
   return Status::OK();
 }
 
@@ -102,6 +146,8 @@ PlannerOptions CypherEngine::MakePlannerOptions() const {
   PlannerOptions popts;
   popts.mode = options_.planner;
   popts.use_join_expand = options_.use_join_expand;
+  popts.expand_strategy = options_.expand_strategy;
+  popts.direction_policy = options_.direction_policy;
   popts.batch_size = options_.batch_size;
   popts.num_threads = options_.num_threads;
   popts.match = MakeMatchOptions();
@@ -120,6 +166,10 @@ std::string CypherEngine::OptionsFingerprint() const {
   f += std::to_string(options_.max_var_length);
   f += 'j';
   f += options_.use_join_expand ? '1' : '0';
+  f += 'x';
+  f += std::to_string(static_cast<int>(options_.expand_strategy));
+  f += 'd';
+  f += std::to_string(static_cast<int>(options_.direction_policy));
   // Morsel size is baked into the plan's ExecContext (pipeline-breaker
   // drains), so it is part of the key.
   f += 'b';
@@ -292,19 +342,22 @@ Result<QueryResult> CypherEngine::ExecuteWith(const PreparedQuery& prepared,
   return ExecuteOn(prepared, params, ReadSnapshot(), session_rand);
 }
 
-Result<QueryResult> CypherEngine::ExecuteOn(const PreparedQuery& prepared,
-                                            const ValueMap& params,
-                                            const GraphPtr& graph,
-                                            uint64_t* session_rand) {
+Result<QueryResult> CypherEngine::ExecuteOn(
+    const PreparedQuery& prepared, const ValueMap& params,
+    const GraphPtr& graph, uint64_t* session_rand,
+    std::shared_ptr<const CatalogSnapshot> pinned_catalog) {
   const PreparedStatement& st = *prepared.state_;
   bool interpreted = st.info.updating || st.has_return_graph ||
                      options_.mode == ExecutionMode::kInterpreter;
   if (st.constants.empty()) {
     // Nothing was extracted — run on the caller's map directly (the
     // common case for fully-parameterized and non-cacheable statements).
-    if (interpreted) return RunInterpreter(st.query, params, graph,
-                                           session_rand);
-    return RunVolcano(prepared.state_, params, graph, session_rand);
+    if (interpreted) {
+      return RunInterpreter(st.query, params, graph, session_rand,
+                            std::move(pinned_catalog));
+    }
+    return RunVolcano(prepared.state_, params, graph, session_rand,
+                      std::move(pinned_catalog));
   }
   // User parameters first, then the literals extracted at Prepare time.
   // Synthetic names never collide with parameters referenced by the
@@ -313,15 +366,19 @@ Result<QueryResult> CypherEngine::ExecuteOn(const PreparedQuery& prepared,
   for (const auto& [name, value] : st.constants) {
     merged[name] = value;
   }
-  if (interpreted) return RunInterpreter(st.query, merged, graph,
-                                         session_rand);
-  return RunVolcano(prepared.state_, merged, graph, session_rand);
+  if (interpreted) {
+    return RunInterpreter(st.query, merged, graph, session_rand,
+                          std::move(pinned_catalog));
+  }
+  return RunVolcano(prepared.state_, merged, graph, session_rand,
+                    std::move(pinned_catalog));
 }
 
-Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
-                                             const ValueMap& params,
-                                             const GraphPtr& graph,
-                                             uint64_t* session_rand) {
+Result<QueryResult> CypherEngine::RunVolcano(
+    const PreparedPtr& prepared, const ValueMap& params,
+    const GraphPtr& graph, uint64_t* session_rand,
+    std::shared_ptr<const CatalogSnapshot> pinned_catalog) {
+  CatalogRef cref(&catalog_, pinned_catalog);
   QueryResult result;
   {
     MutexLock lock(&stats_mu_);
@@ -343,41 +400,50 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
       MutexLock plock(&pool_exec_mu_);
       GQL_ASSIGN_OR_RETURN(
           result.table,
-          RunPlanned(&catalog_, graph, &params, MakePlannerOptions(),
+          RunPlanned(cref, graph, &params, MakePlannerOptions(),
                      rand.get(), prepared->query, &run_stats, pool, &prun,
                      &serial_reason));
     } else {
       GQL_ASSIGN_OR_RETURN(
           result.table,
-          RunPlanned(&catalog_, graph, &params, MakePlannerOptions(),
+          RunPlanned(cref, graph, &params, MakePlannerOptions(),
                      rand.get(), prepared->query, &run_stats, nullptr, &prun));
     }
     FoldRunStats(run_stats, prun);
     RecordSerialFallback(serial_reason);
     return result;
   }
-  uint64_t cat_version = catalog_.version();
+  // Transactions with a pinned catalog validate (and insert) against the
+  // snapshot's version: a plan cached under a newer binding is never
+  // served to an older-pinned reader, and vice versa.
+  uint64_t cat_version = cref.version();
   // A catalog-version move strands every older entry (they can never
   // validate again); sweep them now so the graphs they pin are released
-  // promptly rather than on LRU eviction.
+  // promptly rather than on LRU eviction. Skipped under a pinned
+  // catalog: the pinned version may legitimately trail the live one, and
+  // sweeping by it would evict entries current transactions still
+  // validate.
   bool sweep = false;
-  {
+  if (!cref.pinned()) {
     MutexLock lock(&stats_mu_);
     if (cat_version != swept_catalog_version_) {
       swept_catalog_version_ = cat_version;
       sweep = true;
     }
   }
-  if (sweep) plan_cache_.SweepStale(cat_version, graph->stats_version());
+  if (sweep) {
+    plan_cache_.SweepStale(cat_version, graph->stats_version(),
+                           graph->data_version());
+  }
   std::string key = prepared->text_key + OptionsFingerprint();
   bool busy = false;
   PlanCache::EntryPtr entry =
-      plan_cache_.Acquire(key, cat_version, graph->stats_version(), &busy);
+      plan_cache_.Acquire(key, cat_version, graph->stats_version(),
+                          graph->data_version(), &busy);
   EntryReleaser releaser{&plan_cache_, entry};
   Plan local_plan;
   if (entry == nullptr) {
-    Planner planner(&catalog_, graph, &params, MakePlannerOptions(),
-                    rand.get());
+    Planner planner(cref, graph, &params, MakePlannerOptions(), rand.get());
     GQL_ASSIGN_OR_RETURN(local_plan, planner.PlanQuery(prepared->query));
     if (!busy) {
       // Snapshot generations AFTER planning: FROM GRAPH ... AT "url" may
@@ -385,17 +451,16 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
       // version. Contexts planned against this execution's default-graph
       // snapshot are flagged: later executions validate them against
       // (and rebind them to) THEIR snapshot.
-      std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
-          guards;
+      std::vector<PlanCache::GraphGuard> guards;
       std::vector<bool> default_ctx;
       guards.reserve(local_plan.contexts.size());
       default_ctx.reserve(local_plan.contexts.size());
       for (const auto& ctx : local_plan.contexts) {
-        guards.emplace_back(ctx->graph_owner,
-                            ctx->graph_owner->stats_version());
+        guards.push_back({ctx->graph_owner, ctx->graph_owner->stats_version(),
+                          ctx->graph_owner->data_version()});
         default_ctx.push_back(ctx->graph_owner == graph);
       }
-      cat_version = catalog_.version();
+      cat_version = cref.version();
       entry = plan_cache_.InsertAcquire(std::move(key), prepared,
                                         std::move(local_plan), cat_version,
                                         std::move(guards),
@@ -438,15 +503,16 @@ Result<QueryResult> CypherEngine::RunVolcano(const PreparedPtr& prepared,
   return result;
 }
 
-Result<QueryResult> CypherEngine::RunInterpreter(const ast::Query& q,
-                                                 const ValueMap& params,
-                                                 const GraphPtr& graph,
-                                                 uint64_t* session_rand) {
+Result<QueryResult> CypherEngine::RunInterpreter(
+    const ast::Query& q, const ValueMap& params, const GraphPtr& graph,
+    uint64_t* session_rand,
+    std::shared_ptr<const CatalogSnapshot> pinned_catalog) {
   QueryResult result;
   RandScope rand(this, session_rand);
   Interpreter::Options iopts;
   iopts.match = MakeMatchOptions();
-  Interpreter interp(&catalog_, graph, &params, iopts, rand.get());
+  Interpreter interp(CatalogRef(&catalog_, std::move(pinned_catalog)), graph,
+                     &params, iopts, rand.get());
   MatchOptions match = MakeMatchOptions();
   uint64_t* rand_state = rand.get();
   interp.set_update_handler([&interp, &params, &result, match, rand_state](

@@ -38,6 +38,22 @@ struct EngineOptions {
   int64_t max_var_length = 1000000;
   /// E14 baseline: execute Expand as a relationship-store hash join.
   bool use_join_expand = false;
+  /// Per-hop physical operator for chain expands: kCost compares the
+  /// adjacency Expand against the relationship-store hash join per step
+  /// on the executing snapshot's statistics; the forced values pin one
+  /// side. The environment variable GQLITE_PLAN_MODE overrides this and
+  /// the two fields around it at engine construction — comma-separated
+  /// tokens from {ltr, greedy, dp} (planner mode), {adjacency, hashjoin,
+  /// cost-expand} (this field) and {force-right, force-left,
+  /// cost-direction} (direction_policy), e.g.
+  /// `GQLITE_PLAN_MODE=dp,hashjoin,force-left`. The differential
+  /// harness uses it to run both sides of every cost-based choice; a
+  /// garbage token surfaces as an error from Prepare/Execute.
+  ExpandStrategy expand_strategy = ExpandStrategy::kCost;
+  /// Chain anchor/traversal-direction choice: kCost searches by
+  /// estimated cost, the forced values pin an end (see expand_strategy
+  /// for the GQLITE_PLAN_MODE override).
+  DirectionPolicy direction_policy = DirectionPolicy::kCost;
   /// Seed for rand() (deterministic runs).
   uint64_t rand_seed = 0x5EEDC0FFEEULL;
   /// Reuse compiled plans across executions of read queries that differ
@@ -317,19 +333,27 @@ class CypherEngine {
   /// `session_rand` (optional) is the calling session's PRNG substream;
   /// null uses the engine-wide stream (ISSUE 8 satellite: sessions stop
   /// contending on — and perturbing — one shared stream).
-  Result<QueryResult> ExecuteOn(const PreparedQuery& prepared,
-                                const ValueMap& params, const GraphPtr& graph,
-                                uint64_t* session_rand = nullptr);
+  /// `pinned_catalog` (optional) is the calling transaction's catalog
+  /// snapshot, captured at Begin: FROM GRAPH references resolve against
+  /// it, so a concurrent RegisterGraph/RegisterUrl cannot change what a
+  /// snapshot-isolated reader sees mid-transaction (this PR's
+  /// snapshot-binding bugfix — resolution used to consult the live
+  /// catalog at each statement's planning time).
+  Result<QueryResult> ExecuteOn(
+      const PreparedQuery& prepared, const ValueMap& params,
+      const GraphPtr& graph, uint64_t* session_rand = nullptr,
+      std::shared_ptr<const CatalogSnapshot> pinned_catalog = nullptr);
   /// The interpreter path: reference semantics; the only executor for
   /// updating queries and RETURN GRAPH.
-  Result<QueryResult> RunInterpreter(const ast::Query& q,
-                                     const ValueMap& params,
-                                     const GraphPtr& graph,
-                                     uint64_t* session_rand = nullptr);
+  Result<QueryResult> RunInterpreter(
+      const ast::Query& q, const ValueMap& params, const GraphPtr& graph,
+      uint64_t* session_rand = nullptr,
+      std::shared_ptr<const CatalogSnapshot> pinned_catalog = nullptr);
   /// The Volcano path with plan-cache consultation.
-  Result<QueryResult> RunVolcano(const PreparedPtr& prepared,
-                                 const ValueMap& params, const GraphPtr& graph,
-                                 uint64_t* session_rand = nullptr);
+  Result<QueryResult> RunVolcano(
+      const PreparedPtr& prepared, const ValueMap& params,
+      const GraphPtr& graph, uint64_t* session_rand = nullptr,
+      std::shared_ptr<const CatalogSnapshot> pinned_catalog = nullptr);
 
   /// Checks out the engine PRNG state into a local for one execution and
   /// folds it back on scope exit, so the runtime advances a plain

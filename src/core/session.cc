@@ -19,6 +19,9 @@ Status Session::Begin(TxnMode mode) {
     GQL_ASSIGN_OR_RETURN(txn_graph_, engine_->AcquireWriter(/*wait=*/false));
   } else {
     txn_graph_ = engine_->ReadSnapshot();
+    // Pin the catalog bindings too: FROM GRAPH resolution is part of
+    // what the snapshot-isolated reader must see consistently.
+    txn_catalog_ = engine_->catalog().Capture();
   }
   open_ = true;
   mode_ = mode;
@@ -34,6 +37,7 @@ Status Session::Commit() {
   }
   open_ = false;
   txn_graph_.reset();
+  txn_catalog_.reset();
   return Status::OK();
 }
 
@@ -46,6 +50,7 @@ Status Session::Rollback() {
   }
   open_ = false;
   txn_graph_.reset();
+  txn_catalog_.reset();
   return Status::OK();
 }
 
@@ -70,9 +75,11 @@ Result<QueryResult> Session::Execute(const PreparedQuery& prepared,
     return Status::InvalidArgument(
         "updating statement in a read transaction; Begin(TxnMode::kWrite)");
   }
-  // Bind to the transaction's pinned graph: the kRead snapshot, or the
-  // live head the kWrite transaction owns (it sees its own writes).
-  return engine_->ExecuteOn(prepared, params, txn_graph_, &rand_state_);
+  // Bind to the transaction's pinned graph (the kRead snapshot, or the
+  // live head the kWrite transaction owns — it sees its own writes) and,
+  // for read transactions, the catalog bindings pinned at Begin.
+  return engine_->ExecuteOn(prepared, params, txn_graph_, &rand_state_,
+                            txn_catalog_);
 }
 
 }  // namespace gqlite

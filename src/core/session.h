@@ -90,6 +90,11 @@ class Session {
   bool open_ = false;
   TxnMode mode_ = TxnMode::kRead;
   GraphPtr txn_graph_;
+  /// Catalog bindings pinned at Begin(kRead): FROM GRAPH (named and AT
+  /// "url") references resolve against this snapshot for the whole
+  /// transaction, so a concurrent RegisterGraph/RegisterUrl cannot
+  /// change what a snapshot-isolated reader sees between statements.
+  std::shared_ptr<const CatalogSnapshot> txn_catalog_;
   /// This session's seeded rand() substream (ISSUE 8 satellite, PR 7
   /// follow-up): derived from the engine seed and the session ordinal at
   /// CreateSession, advanced statement to statement by this session

@@ -14,6 +14,18 @@ namespace gqlite {
 
 using GraphPtr = std::shared_ptr<PropertyGraph>;
 
+/// An immutable copy of the catalog's name/URL bindings, taken at a
+/// transaction's Begin (GraphCatalog::Capture). A snapshot-isolated
+/// reader resolves FROM GRAPH references against this — a concurrent
+/// RegisterGraph/RegisterUrl cannot change what its statements see
+/// mid-transaction (it used to: graph resolution happened per
+/// statement, at planning time).
+struct CatalogSnapshot {
+  std::unordered_map<std::string, GraphPtr> graphs;
+  std::unordered_map<std::string, GraphPtr> urls;
+  uint64_t version = 0;
+};
+
 /// Named-graph catalog for the Cypher 10 multiple-graphs feature (§6).
 /// Graph references can name in-catalog graphs or be resolved from URLs
 /// ("hdfs://...", "bolt://..."): the paper's Example 6.1 loads graphs AT a
@@ -85,6 +97,17 @@ class GraphCatalog {
     return graphs_.at(kDefaultGraphName);
   }
 
+  /// Copies the current bindings for per-transaction pinning (see
+  /// CatalogSnapshot). O(catalog size), taken once per Begin.
+  std::shared_ptr<const CatalogSnapshot> Capture() const EXCLUDES(mu_) {
+    auto snap = std::make_shared<CatalogSnapshot>();
+    MutexLock lock(&mu_);
+    snap->graphs = graphs_;
+    snap->urls = urls_;
+    snap->version = version_;
+    return snap;
+  }
+
  private:
   /// Mutable so const reads (version, Resolve) lock through the same
   /// capability as writers.
@@ -92,6 +115,55 @@ class GraphCatalog {
   std::unordered_map<std::string, GraphPtr> graphs_ GUARDED_BY(mu_);
   std::unordered_map<std::string, GraphPtr> urls_ GUARDED_BY(mu_);
   uint64_t version_ GUARDED_BY(mu_) = 0;
+};
+
+/// How the planner and interpreter see the catalog: the live catalog,
+/// optionally overlaid with a transaction's pinned CatalogSnapshot.
+/// Implicitly constructible from GraphCatalog* so non-transactional call
+/// sites pass the catalog as before (live resolution).
+///
+/// Resolution checks the pinned snapshot first and falls back to the
+/// live catalog only for names/URLs absent at Begin — bindings that
+/// existed at Begin are STABLE for the whole transaction, while a graph
+/// the transaction itself registers (FROM GRAPH ... AT self-registers
+/// its name) still resolves later in the same transaction.
+/// Registration always writes to the live catalog.
+class CatalogRef {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): deliberate adapter.
+  CatalogRef(GraphCatalog* live) : live_(live) {}
+  CatalogRef(GraphCatalog* live, std::shared_ptr<const CatalogSnapshot> pinned)
+      : live_(live), pinned_(std::move(pinned)) {}
+
+  Result<GraphPtr> Resolve(std::string_view name) const {
+    if (pinned_ != nullptr) {
+      auto it = pinned_->graphs.find(std::string(name));
+      if (it != pinned_->graphs.end()) return it->second;
+    }
+    return live_->Resolve(name);
+  }
+  Result<GraphPtr> ResolveUrl(std::string_view url) const {
+    if (pinned_ != nullptr) {
+      auto it = pinned_->urls.find(std::string(url));
+      if (it != pinned_->urls.end()) return it->second;
+    }
+    return live_->ResolveUrl(url);
+  }
+  void RegisterGraph(std::string_view name, GraphPtr graph) const {
+    live_->RegisterGraph(name, std::move(graph));
+  }
+
+  /// The version cached plans validate against: the pinned snapshot's
+  /// (stable for the transaction) or the live counter.
+  uint64_t version() const {
+    return pinned_ != nullptr ? pinned_->version : live_->version();
+  }
+  bool pinned() const { return pinned_ != nullptr; }
+  GraphCatalog* live() const { return live_; }
+
+ private:
+  GraphCatalog* live_;
+  std::shared_ptr<const CatalogSnapshot> pinned_;
 };
 
 }  // namespace gqlite

@@ -9,9 +9,13 @@ namespace gqlite {
 
 /// Cardinality statistics over a PropertyGraph, the inputs to the cost
 /// model (§2 "Neo4j implementation": query planning "based on the IDP
-/// algorithm, using a cost model"). All estimates are exact counts kept
-/// incrementally by the graph; derived quantities (average degree) are
-/// computed on demand.
+/// algorithm, using a cost model"). Counts, directional degree
+/// distributions and label-conditioned fans are exact and maintained
+/// incrementally by the graph; property NDV comes from insert-only KMV
+/// sketches (exact below 64 distinct values, estimated above). A
+/// GraphStatistics view over a frozen snapshot answers for exactly that
+/// snapshot's state — estimates are computed against the executing
+/// snapshot, never the drifting live graph.
 class GraphStatistics {
  public:
   explicit GraphStatistics(const PropertyGraph& g) : g_(g) {}
@@ -25,12 +29,58 @@ class GraphStatistics {
   /// Number of relationships of `type`; if empty, all relationships.
   double RelsWithType(std::string_view type) const;
 
-  /// Average out-fan of a node for relationships of `type` (empty = any):
-  /// rels(type) / max(1, nodes). Directed expands use this; undirected
-  /// expands use twice this.
+  /// Symmetric average fan — rels(type) / max(1, nodes). Kept for
+  /// callers that don't know a direction; prefer OutDegree/InDegree.
   double AvgDegree(std::string_view type) const;
 
+  // ---- Directional fans ----------------------------------------------------
+
+  /// Average OUTGOING fan per candidate node for relationships of
+  /// `type` (empty = any type), optionally conditioned on the source
+  /// carrying `src_label`: rels(src_label, type) / nodes(src_label).
+  double OutDegree(std::string_view type,
+                   std::string_view src_label = {}) const;
+  /// Average INCOMING fan per candidate node, optionally conditioned on
+  /// the target carrying `tgt_label`.
+  double InDegree(std::string_view type,
+                  std::string_view tgt_label = {}) const;
+
+  /// Nodes with at least one outgoing / incoming relationship of
+  /// `type` (empty type: any relationship at all).
+  double DistinctSources(std::string_view type) const;
+  double DistinctTargets(std::string_view type) const;
+
+  /// Conditional fan: rels(type) / distinct sources(type) — the
+  /// expected fan from a node KNOWN to have at least one outgoing
+  /// relationship of the type. Levels >= 2 of a variable-length expand
+  /// use this: the frontier only contains such nodes.
+  double CondOutDegree(std::string_view type) const;
+  double CondInDegree(std::string_view type) const;
+
+  /// Upper bound on any single node's outgoing / incoming fan for
+  /// `type`, from the highest occupied bucket of the log2 degree
+  /// histogram (2^(b+1) - 1). Empty type sums the per-type bounds.
+  double MaxOutDegree(std::string_view type) const;
+  double MaxInDegree(std::string_view type) const;
+
+  // ---- Property NDV --------------------------------------------------------
+
+  /// Estimated distinct values of the node / relationship property (0
+  /// when never written; see PropertyGraph::NodePropertyNdv for the
+  /// insert-only overcount caveat).
+  double NodePropertyNdv(std::string_view key) const {
+    return g_.NodePropertyNdv(key);
+  }
+  double RelPropertyNdv(std::string_view key) const {
+    return g_.RelPropertyNdv(key);
+  }
+
  private:
+  /// rels of `type` whose src/tgt carries `label` (exact maintained
+  /// count); `out` picks the direction.
+  double LabelTypeCount(std::string_view label, std::string_view type,
+                        bool out) const;
+
   const PropertyGraph& g_;
 };
 

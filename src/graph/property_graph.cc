@@ -1,10 +1,111 @@
 #include "src/graph/property_graph.h"
 
 #include <algorithm>
+#include <cmath>
 
+#include "src/value/value_compare.h"
 #include "src/value/value_format.h"
 
 namespace gqlite {
+
+namespace {
+
+/// splitmix64 finalizer: ValueHash clusters low bits for small integers;
+/// KMV needs hashes uniform over the full 64-bit range.
+uint64_t MixHash(uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+// ---- Statistics plumbing ---------------------------------------------------
+
+void PropertyGraph::KmvSketch::Insert(uint64_t h) {
+  auto it = std::lower_bound(mins.begin(), mins.end(), h);
+  if (it != mins.end() && *it == h) return;  // already counted
+  if (mins.size() == kK) {
+    if (h >= mins.back()) return;  // not among the k smallest
+    mins.pop_back();
+    it = std::lower_bound(mins.begin(), mins.end(), h);
+  }
+  mins.insert(it, h);
+}
+
+double PropertyGraph::KmvSketch::Estimate() const {
+  if (mins.size() < kK) return static_cast<double>(mins.size());
+  // kth-minimum estimator: k distinct hashes uniform on [0, 2^64) have
+  // their kth smallest near k/NDV of the range.
+  return static_cast<double>(kK - 1) * std::ldexp(1.0, 64) /
+         static_cast<double>(mins.back());
+}
+
+size_t PropertyGraph::DegreeBucket(size_t d) {
+  size_t b = 0;
+  while (d >>= 1) ++b;
+  return b < kDegreeBuckets ? b : kDegreeBuckets - 1;
+}
+
+size_t PropertyGraph::TypedDegree(const std::vector<RelId>& adj,
+                                  SymbolId type) const {
+  size_t d = 0;
+  for (RelId r : adj) {
+    if (rel(r).type == type) ++d;
+  }
+  return d;
+}
+
+void PropertyGraph::ShiftDegree(std::array<size_t, kDegreeBuckets>* hist,
+                                size_t* distinct, size_t before, int delta) {
+  size_t after = delta > 0 ? before + 1 : before - 1;
+  if (before > 0) {
+    --(*hist)[DegreeBucket(before)];
+  } else {
+    ++*distinct;  // 0 -> 1: the node gains its first typed rel
+  }
+  if (after > 0) {
+    ++(*hist)[DegreeBucket(after)];
+  } else {
+    --*distinct;  // 1 -> 0: the node loses its last typed rel
+  }
+}
+
+void PropertyGraph::NoteNdv(std::unordered_map<SymbolId, KmvSketch>* ndv,
+                            SymbolId key, const Value& v) {
+  (*ndv)[key].Insert(MixHash(static_cast<uint64_t>(ValueHash(v))));
+}
+
+const PropertyGraph::TypeDegreeStats* PropertyGraph::DegreeStatsFor(
+    SymbolId type) const {
+  auto it = type_degree_stats_.find(type);
+  return it == type_degree_stats_.end() ? nullptr : &it->second;
+}
+
+size_t PropertyGraph::LabelTypeOutCount(SymbolId label, SymbolId type) const {
+  auto it = label_type_out_counts_.find(LabelTypeKey(label, type));
+  return it == label_type_out_counts_.end() ? 0 : it->second;
+}
+
+size_t PropertyGraph::LabelTypeInCount(SymbolId label, SymbolId type) const {
+  auto it = label_type_in_counts_.find(LabelTypeKey(label, type));
+  return it == label_type_in_counts_.end() ? 0 : it->second;
+}
+
+double PropertyGraph::NodePropertyNdv(std::string_view key) const {
+  SymbolId k = keys_.Lookup(key);
+  if (k == kNoSymbol) return 0;
+  auto it = node_ndv_.find(k);
+  return it == node_ndv_.end() ? 0 : it->second.Estimate();
+}
+
+double PropertyGraph::RelPropertyNdv(std::string_view key) const {
+  SymbolId k = keys_.Lookup(key);
+  if (k == kNoSymbol) return 0;
+  auto it = rel_ndv_.find(k);
+  return it == rel_ndv_.end() ? 0 : it->second.Estimate();
+}
 
 // ---- Copy-on-write plumbing ------------------------------------------------
 
@@ -74,7 +175,12 @@ PropertyGraph::PropertyGraph(const PropertyGraph& other, bool frozen)
       keys_(other.keys_),
       label_index_(other.label_index_),
       label_counts_(other.label_counts_),
-      type_counts_(other.type_counts_) {}
+      type_counts_(other.type_counts_),
+      label_type_out_counts_(other.label_type_out_counts_),
+      label_type_in_counts_(other.label_type_in_counts_),
+      type_degree_stats_(other.type_degree_stats_),
+      node_ndv_(other.node_ndv_),
+      rel_ndv_(other.rel_ndv_) {}
 
 std::shared_ptr<PropertyGraph> PropertyGraph::Snapshot() {
   // Advance our own epoch FIRST: every page we currently hold becomes
@@ -108,6 +214,7 @@ NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
   for (const auto& [k, v] : props) {
     if (!v.is_null()) rec->props.emplace_back(keys_.Intern(k), v);
   }
+  for (const auto& [k, v] : rec->props) NoteNdv(&node_ndv_, k, v);
   ++num_nodes_;
   ++stats_version_;
   ++data_version_;
@@ -139,12 +246,27 @@ Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
   for (const auto& [k, v] : props) {
     if (!v.is_null()) rec->props.emplace_back(keys_.Intern(k), v);
   }
+  for (const auto& [k, v] : rec->props) NoteNdv(&rel_ndv_, k, v);
+  SymbolId t = rec->type;
   ++num_rels_;
   ++stats_version_;
   ++data_version_;
-  ++type_counts_[rel(id).type];
+  ++type_counts_[t];
   MutableNode(src)->out.push_back(id);
   MutableNode(tgt)->in.push_back(id);
+  // Directional statistics: the endpoints' typed degrees just moved
+  // d -> d+1 (adjacency vectors hold only live relationships).
+  TypeDegreeStats& ds = type_degree_stats_[t];
+  ShiftDegree(&ds.out_hist, &ds.distinct_sources,
+              TypedDegree(node(src).out, t) - 1, +1);
+  ShiftDegree(&ds.in_hist, &ds.distinct_targets,
+              TypedDegree(node(tgt).in, t) - 1, +1);
+  for (SymbolId l : node(src).labels) {
+    ++label_type_out_counts_[LabelTypeKey(l, t)];
+  }
+  for (SymbolId l : node(tgt).labels) {
+    ++label_type_in_counts_[LabelTypeKey(l, t)];
+  }
   return id;
 }
 
@@ -184,6 +306,12 @@ bool PropertyGraph::AddLabel(NodeId n, std::string_view label) {
   ls.insert(it, s);
   MutablePosting(s)->push_back(n);
   ++label_counts_[s];
+  for (RelId r : node(n).out) {
+    ++label_type_out_counts_[LabelTypeKey(s, rel(r).type)];
+  }
+  for (RelId r : node(n).in) {
+    ++label_type_in_counts_[LabelTypeKey(s, rel(r).type)];
+  }
   ++stats_version_;
   ++data_version_;
   return true;
@@ -200,6 +328,12 @@ bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
   std::vector<NodeId>* idx = MutablePosting(s);
   idx->erase(std::remove(idx->begin(), idx->end(), n), idx->end());
   --label_counts_[s];
+  for (RelId r : node(n).out) {
+    --label_type_out_counts_[LabelTypeKey(s, rel(r).type)];
+  }
+  for (RelId r : node(n).in) {
+    --label_type_in_counts_[LabelTypeKey(s, rel(r).type)];
+  }
   ++stats_version_;
   ++data_version_;
   return true;
@@ -246,16 +380,18 @@ const Value& PropertyGraph::RelProperty(RelId r,
 
 int PropertyGraph::SetNodeProperty(NodeId n, std::string_view key, Value v) {
   AssertMutable();
-  int changed = SetProp(&MutableNode(n)->props, keys_.Intern(key),
-                        std::move(v));
+  SymbolId k = keys_.Intern(key);
+  if (!v.is_null()) NoteNdv(&node_ndv_, k, v);
+  int changed = SetProp(&MutableNode(n)->props, k, std::move(v));
   if (changed != 0) ++data_version_;
   return changed;
 }
 
 int PropertyGraph::SetRelProperty(RelId r, std::string_view key, Value v) {
   AssertMutable();
-  int changed = SetProp(&MutableRel(r)->props, keys_.Intern(key),
-                        std::move(v));
+  SymbolId k = keys_.Intern(key);
+  if (!v.is_null()) NoteNdv(&rel_ndv_, k, v);
+  int changed = SetProp(&MutableRel(r)->props, k, std::move(v));
   if (changed != 0) ++data_version_;
   return changed;
 }
@@ -305,12 +441,27 @@ Status PropertyGraph::DeleteRelationship(RelId r) {
     return Status::InvalidArgument("relationship already deleted");
   }
   RelRecord* rec = MutableRel(r);
+  SymbolId t = rec->type;
+  NodeId src = rec->src;
+  NodeId tgt = rec->tgt;
   auto unlink = [r](std::vector<RelId>* v) {
     v->erase(std::remove(v->begin(), v->end(), r), v->end());
   };
-  unlink(&MutableNode(rec->src)->out);
-  unlink(&MutableNode(rec->tgt)->in);
-  --type_counts_[rec->type];
+  unlink(&MutableNode(src)->out);
+  unlink(&MutableNode(tgt)->in);
+  --type_counts_[t];
+  // Directional statistics: endpoints' typed degrees moved d -> d-1.
+  TypeDegreeStats& ds = type_degree_stats_[t];
+  ShiftDegree(&ds.out_hist, &ds.distinct_sources,
+              TypedDegree(node(src).out, t) + 1, -1);
+  ShiftDegree(&ds.in_hist, &ds.distinct_targets,
+              TypedDegree(node(tgt).in, t) + 1, -1);
+  for (SymbolId l : node(src).labels) {
+    --label_type_out_counts_[LabelTypeKey(l, t)];
+  }
+  for (SymbolId l : node(tgt).labels) {
+    --label_type_in_counts_[LabelTypeKey(l, t)];
+  }
   rec->deleted = true;
   rec->props.clear();
   --num_rels_;

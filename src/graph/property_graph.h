@@ -1,6 +1,7 @@
 #ifndef GQLITE_GRAPH_PROPERTY_GRAPH_H_
 #define GQLITE_GRAPH_PROPERTY_GRAPH_H_
 
+#include <array>
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -229,6 +230,45 @@ class PropertyGraph {
     return type_counts_;
   }
 
+  // ---- Directional degree statistics ---------------------------------------
+
+  /// Degree histograms are log2-bucketed: bucket b counts live nodes
+  /// whose typed degree d (>= 1) has floor(log2 d) == b.
+  static constexpr size_t kDegreeBuckets = 32;
+
+  /// Per-relationship-type directional statistics, maintained
+  /// incrementally by the relationship mutators (an O(degree) scan of
+  /// the touched endpoint's adjacency per create/delete):
+  ///  * distinct_sources/targets — live nodes with at least one
+  ///    outgoing/incoming relationship of the type (conditional-fan
+  ///    denominators for multi-level expands);
+  ///  * out_hist/in_hist — log2-bucketed fan histograms (heavy-tail
+  ///    bounds for var-length estimates).
+  struct TypeDegreeStats {
+    size_t distinct_sources = 0;
+    size_t distinct_targets = 0;
+    std::array<size_t, kDegreeBuckets> out_hist{};
+    std::array<size_t, kDegreeBuckets> in_hist{};
+  };
+
+  /// Directional stats for `type`; nullptr if no relationship of that
+  /// type was ever created.
+  const TypeDegreeStats* DegreeStatsFor(SymbolId type) const;
+
+  /// Live relationships of `type` whose source (out) / target (in) node
+  /// currently carries `label`. Zero when the pair is absent.
+  size_t LabelTypeOutCount(SymbolId label, SymbolId type) const;
+  size_t LabelTypeInCount(SymbolId label, SymbolId type) const;
+
+  /// Estimated distinct values ever written under the property key on
+  /// nodes / relationships (insert-only KMV sketch: overwrites and
+  /// deletes never retract, so after heavy rewriting the estimate can
+  /// only overcount — which biases equality selectivity low, a safe
+  /// direction for the planner). Exact while under 64 distinct values.
+  /// Returns 0 when the key was never written.
+  double NodePropertyNdv(std::string_view key) const;
+  double RelPropertyNdv(std::string_view key) const;
+
   // ---- Rendering -----------------------------------------------------------
 
   /// Graph-aware display: nodes as `(:Label {k: v})`, relationships as
@@ -303,6 +343,32 @@ class PropertyGraph {
   static int SetProp(std::vector<std::pair<SymbolId, Value>>* props,
                      SymbolId key, Value v);
 
+  /// Insert-only k-minimum-values distinct-count sketch: keeps the kK
+  /// smallest distinct 64-bit hashes seen. Exact below kK (it simply
+  /// holds every distinct hash); at capacity the estimate is
+  /// (kK-1) * 2^64 / kth-smallest.
+  struct KmvSketch {
+    static constexpr size_t kK = 64;
+    std::vector<uint64_t> mins;  // sorted ascending, distinct
+    void Insert(uint64_t h);
+    double Estimate() const;
+  };
+
+  static uint64_t LabelTypeKey(SymbolId label, SymbolId type) {
+    return (static_cast<uint64_t>(label) << 32) | type;
+  }
+  /// floor(log2 d) clamped to the histogram width; d >= 1.
+  static size_t DegreeBucket(size_t d);
+  /// Count of relationships of `type` in the adjacency vector.
+  size_t TypedDegree(const std::vector<RelId>& adj, SymbolId type) const;
+  /// Re-buckets one node whose typed degree changed from `before` to
+  /// `before + delta` (delta is +1 or -1), keeping the distinct-endpoint
+  /// count in sync (a node enters at degree 1, leaves at degree 0).
+  static void ShiftDegree(std::array<size_t, kDegreeBuckets>* hist,
+                          size_t* distinct, size_t before, int delta);
+  static void NoteNdv(std::unordered_map<SymbolId, KmvSketch>* ndv,
+                      SymbolId key, const Value& v);
+
   PageVec<NodeRecord> node_pages_;
   PageVec<RelRecord> rel_pages_;
   size_t node_slots_ = 0;
@@ -323,6 +389,15 @@ class PropertyGraph {
   std::unordered_map<SymbolId, Cow<std::vector<NodeId>>> label_index_;
   std::unordered_map<SymbolId, size_t> label_counts_;
   std::unordered_map<SymbolId, size_t> type_counts_;
+
+  // Directional statistics (schema-sized: per type / per (label, type)
+  // pair / per property key — Snapshot() copies stay cheap). Keys of the
+  // label-type maps are LabelTypeKey-packed pairs.
+  std::unordered_map<uint64_t, size_t> label_type_out_counts_;
+  std::unordered_map<uint64_t, size_t> label_type_in_counts_;
+  std::unordered_map<SymbolId, TypeDegreeStats> type_degree_stats_;
+  std::unordered_map<SymbolId, KmvSketch> node_ndv_;
+  std::unordered_map<SymbolId, KmvSketch> rel_ndv_;
 };
 
 }  // namespace gqlite

@@ -181,12 +181,12 @@ Result<Table> Interpreter::ExecFromGraph(const FromGraphClause& f,
   if (f.url) {
     // FROM GRAPH g AT "url": resolve through the URL registry and bind the
     // name (simulating an external graph store; see DESIGN.md).
-    GQL_ASSIGN_OR_RETURN(GraphPtr g, catalog_->ResolveUrl(*f.url));
-    catalog_->RegisterGraph(f.name, g);
+    GQL_ASSIGN_OR_RETURN(GraphPtr g, catalog_.ResolveUrl(*f.url));
+    catalog_.RegisterGraph(f.name, g);
     graph_ = std::move(g);
     return input;
   }
-  GQL_ASSIGN_OR_RETURN(GraphPtr g, catalog_->Resolve(f.name));
+  GQL_ASSIGN_OR_RETURN(GraphPtr g, catalog_.Resolve(f.name));
   graph_ = std::move(g);
   return input;
 }
@@ -253,7 +253,7 @@ Result<Table> Interpreter::ExecReturnGraph(const ReturnGraphClause& r,
     }
   }
 
-  catalog_->RegisterGraph(r.graph_name, out_graph);
+  catalog_.RegisterGraph(r.graph_name, out_graph);
   produced_graphs_.emplace_back(r.graph_name, out_graph);
   // RETURN GRAPH produces a graph, not a table: the table part of the
   // "table-graphs" result (§6) is empty here.

@@ -32,9 +32,9 @@ class Interpreter {
     MatchOptions match;
   };
 
-  Interpreter(GraphCatalog* catalog, GraphPtr graph, const ValueMap* params,
+  Interpreter(CatalogRef catalog, GraphPtr graph, const ValueMap* params,
               Options options, uint64_t* rand_state)
-      : catalog_(catalog),
+      : catalog_(std::move(catalog)),
         graph_(std::move(graph)),
         params_(params),
         options_(options),
@@ -75,7 +75,7 @@ class Interpreter {
   Result<Table> ExecReturnGraph(const ast::ReturnGraphClause& r,
                                 const Table& input);
 
-  GraphCatalog* catalog_;
+  CatalogRef catalog_;
   GraphPtr graph_;
   const ValueMap* params_;
   Options options_;

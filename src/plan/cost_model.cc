@@ -1,90 +1,339 @@
 #include "src/plan/cost_model.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 namespace gqlite {
 
 namespace {
+
+/// Equality selectivity for property keys with no NDV sketch.
 constexpr double kPropertySelectivity = 0.1;
-constexpr double kMinCardinality = 1.0;
+/// Cardinality floor: keeps products from collapsing to exact zero and
+/// erasing later cost differences.
+constexpr double kMinRows = 0.001;
+/// Var-length estimates saturate here instead of overflowing; an
+/// explicit user maximum is honored up to this ceiling.
+constexpr double kSaturatedPaths = 1e15;
+/// Per-hop iteration cap for very long explicit ranges; the geometric
+/// tail beyond it is summed in closed form.
+constexpr int64_t kVarLengthIterations = 256;
+
+NodeConstraint FromPattern(const ast::NodePattern& np) {
+  NodeConstraint nc;
+  nc.labels = np.labels;
+  for (const auto& kv : np.properties) nc.eq_props.push_back(kv.first);
+  return nc;
+}
+
+/// The direction the traversal's source node sees: traversing a hop
+/// right-to-left flips the pattern arrow.
+ast::Direction EffectiveDirection(const ast::RelPattern& rp, bool reversed) {
+  if (!reversed) return rp.direction;
+  switch (rp.direction) {
+    case ast::Direction::kRight:
+      return ast::Direction::kLeft;
+    case ast::Direction::kLeft:
+      return ast::Direction::kRight;
+    default:
+      return ast::Direction::kBoth;
+  }
+}
+
 }  // namespace
 
-double CostModel::ScanCardinality(const ast::NodePattern& np) const {
-  double card = stats_.NodeCount();
-  for (const auto& label : np.labels) {
-    card = std::min(card, stats_.NodesWithLabel(label));
-  }
-  for (size_t i = 0; i < np.properties.size(); ++i) {
-    card *= kPropertySelectivity;
-  }
-  return std::max(card, kMinCardinality);
-}
-
-double CostModel::ExpandFactor(const ast::RelPattern& rp,
-                               bool reversed) const {
-  (void)reversed;  // degree statistics are symmetric in this model
-  double factor = 0;
-  if (rp.types.empty()) {
-    factor = stats_.AvgDegree("");
-  } else {
-    for (const auto& t : rp.types) factor += stats_.AvgDegree(t);
-  }
-  if (rp.direction == ast::Direction::kBoth) factor *= 2;
-  for (size_t i = 0; i < rp.properties.size(); ++i) {
-    factor *= kPropertySelectivity;
-  }
-  if (rp.length) {
-    // Variable-length amplification: sum of factor^len over the range,
-    // truncated at a small horizon to keep estimates finite.
-    int64_t lo = rp.length->min.value_or(1);
-    int64_t hi = rp.length->max.value_or(lo + 4);
-    hi = std::min(hi, lo + 8);
-    double total = 0;
-    double f = 1;
-    for (int64_t len = 0; len <= hi; ++len) {
-      if (len >= lo) total += f;
-      f *= std::max(factor, 0.1);
-    }
-    return std::max(total, 0.1);
-  }
-  return std::max(factor, 0.01);
-}
-
-double CostModel::NodeFilterSelectivity(const ast::NodePattern& np) const {
+double CostModel::NodeSelectivity(const NodeConstraint& nc) const {
   double n = std::max(stats_.NodeCount(), 1.0);
   double sel = 1.0;
-  for (const auto& label : np.labels) {
-    sel *= std::max(stats_.NodesWithLabel(label), kMinCardinality) / n;
+  // One formula for scans and filters alike: a product over label
+  // fractions (not a min) and property equalities, so anchor ranking
+  // stays consistent on multi-label patterns.
+  for (const auto& label : nc.labels) {
+    sel *= std::min(stats_.NodesWithLabel(label) / n, 1.0);
   }
-  for (size_t i = 0; i < np.properties.size(); ++i) {
-    sel *= kPropertySelectivity;
+  for (const auto& key : nc.eq_props) {
+    double ndv = stats_.NodePropertyNdv(key);
+    sel *= ndv >= 1 ? 1.0 / ndv : kPropertySelectivity;
   }
   return sel;
 }
 
-double CostModel::ChainCost(const ast::PathPattern& path, size_t anchor,
-                            const std::vector<bool>& node_bound) const {
-  size_t n = path.hops.size() + 1;
-  auto node_at = [&](size_t i) -> const ast::NodePattern& {
-    return i == 0 ? path.start : path.hops[i - 1].node;
+double CostModel::ScanCardinality(const NodeConstraint& nc) const {
+  return std::max(stats_.NodeCount() * NodeSelectivity(nc), kMinRows);
+}
+
+double CostModel::ScanCardinality(const ast::NodePattern& np) const {
+  return ScanCardinality(FromPattern(np));
+}
+
+double CostModel::NodeFilterSelectivity(const ast::NodePattern& np) const {
+  return NodeSelectivity(FromPattern(np));
+}
+
+double CostModel::HopFan(const ast::RelPattern& rp, bool reversed,
+                         const NodeConstraint& from) const {
+  ast::Direction dir = EffectiveDirection(rp, reversed);
+  auto fan_for = [&](std::string_view type, std::string_view label) {
+    switch (dir) {
+      case ast::Direction::kRight:
+        return stats_.OutDegree(type, label);
+      case ast::Direction::kLeft:
+        return stats_.InDegree(type, label);
+      default:
+        return stats_.OutDegree(type, label) + stats_.InDegree(type, label);
+    }
   };
-  double card = node_bound[anchor] ? 1.0 : ScanCardinality(node_at(anchor));
-  double cost = card;
-  // Expand right then left (the executed order differs per mode but the
-  // estimate is order-insensitive for chains under this model).
-  for (size_t i = anchor; i + 1 < n; ++i) {
-    card *= ExpandFactor(path.hops[i].rel, /*reversed=*/false);
-    card *= NodeFilterSelectivity(node_at(i + 1));
-    card = std::max(card, kMinCardinality * 0.001);
-    cost += card;
+  auto fan_with_label = [&](std::string_view label) {
+    if (rp.types.empty()) return fan_for({}, label);
+    double f = 0;
+    for (const auto& t : rp.types) f += fan_for(t, label);
+    return f;
+  };
+  if (from.labels.empty()) return fan_with_label({});
+  // Condition on the source's lowest-fan label (the most specific
+  // available distribution).
+  double best = -1;
+  for (const auto& l : from.labels) {
+    double f = fan_with_label(l);
+    if (best < 0 || f < best) best = f;
   }
-  for (size_t i = anchor; i > 0; --i) {
-    card *= ExpandFactor(path.hops[i - 1].rel, /*reversed=*/true);
-    card *= NodeFilterSelectivity(node_at(i - 1));
-    card = std::max(card, kMinCardinality * 0.001);
-    cost += card;
+  return best;
+}
+
+double CostModel::CondFan(const ast::RelPattern& rp, bool reversed) const {
+  ast::Direction dir = EffectiveDirection(rp, reversed);
+  auto cond_for = [&](std::string_view type) {
+    switch (dir) {
+      case ast::Direction::kRight:
+        return stats_.CondOutDegree(type);
+      case ast::Direction::kLeft:
+        return stats_.CondInDegree(type);
+      default:
+        return stats_.CondOutDegree(type) + stats_.CondInDegree(type);
+    }
+  };
+  if (rp.types.empty()) return cond_for({});
+  double f = 0;
+  for (const auto& t : rp.types) f += cond_for(t);
+  return f;
+}
+
+double CostModel::ExpandFactor(const ast::RelPattern& rp,
+                               bool reversed) const {
+  return ExpandFactor(rp, reversed, NodeConstraint{});
+}
+
+double CostModel::ExpandFactor(const ast::RelPattern& rp, bool reversed,
+                               const NodeConstraint& from) const {
+  double prop_sel = 1.0;
+  for (const auto& kv : rp.properties) {
+    double ndv = stats_.RelPropertyNdv(kv.first);
+    prop_sel *= ndv >= 1 ? 1.0 / ndv : kPropertySelectivity;
   }
-  return cost;
+  double first = HopFan(rp, reversed, from) * prop_sel;
+  if (!rp.length) return std::max(first, 0.01);
+
+  // Variable length: sum of expected path counts over the admissible
+  // lengths. The first level fans out from the (possibly
+  // label-constrained) source; deeper levels fan from frontier nodes
+  // KNOWN to participate in the relationship type, so they use the
+  // conditional fan. An explicit user maximum is honored (estimates
+  // saturate at kSaturatedPaths); an unbounded `*lo..` uses a lo+8
+  // default horizon.
+  int64_t lo = std::max<int64_t>(rp.length->min.value_or(1), 0);
+  int64_t hi = rp.length->max.value_or(lo + 8);
+  if (hi < lo) return 0.01;
+  double cond = std::max(CondFan(rp, reversed) * prop_sel, 0.01);
+  double total = 0;
+  double f = 1;  // expected paths of the current length
+  int64_t len = 0;
+  for (; len <= hi && len <= kVarLengthIterations; ++len) {
+    if (len >= lo) total += f;
+    if (total >= kSaturatedPaths) return kSaturatedPaths;
+    f *= len == 0 ? std::max(first, 0.01) : cond;
+    f = std::min(f, kSaturatedPaths);
+  }
+  if (len <= hi && len > lo) {
+    // Geometric tail of the remaining lengths in closed form.
+    double remaining = static_cast<double>(hi - len + 1);
+    double tail = std::abs(cond - 1.0) < 1e-9
+                      ? f * remaining
+                      : f * (std::pow(cond, remaining) - 1.0) / (cond - 1.0);
+    total += tail;
+  }
+  return std::min(std::max(total, 0.1), kSaturatedPaths);
+}
+
+double CostModel::AdjacencyScanFan(const ast::RelPattern& rp, bool reversed,
+                                   const NodeConstraint& from) const {
+  // ExpandOp walks the source's whole adjacency list in the scanned
+  // direction(s) and filters by type — the scan cost is the UNTYPED fan.
+  ast::Direction dir = EffectiveDirection(rp, reversed);
+  auto fan = [&](std::string_view label) {
+    switch (dir) {
+      case ast::Direction::kRight:
+        return stats_.OutDegree({}, label);
+      case ast::Direction::kLeft:
+        return stats_.InDegree({}, label);
+      default:
+        return stats_.OutDegree({}, label) + stats_.InDegree({}, label);
+    }
+  };
+  if (from.labels.empty()) return fan({});
+  double best = -1;
+  for (const auto& l : from.labels) {
+    double f = fan(l);
+    if (best < 0 || f < best) best = f;
+  }
+  return best;
+}
+
+CostModel::ChainDecision CostModel::DecideChain(
+    const ast::PathPattern& path, const std::vector<NodeConstraint>& nodes,
+    const std::vector<bool>& bound, ExpandStrategy strategy,
+    DirectionPolicy direction) const {
+  const size_t n = path.hops.size() + 1;
+  const size_t hops = path.hops.size();
+  const double rel_count = stats_.RelCount();
+  const double node_n = std::max(stats_.NodeCount(), 1.0);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  // Directional per-hop fans and adjacency scan widths, computed once.
+  std::vector<double> fwd_fan(hops), rev_fan(hops);
+  std::vector<double> fwd_scan(hops), rev_scan(hops);
+  for (size_t h = 0; h < hops; ++h) {
+    fwd_fan[h] = ExpandFactor(path.hops[h].rel, false, nodes[h]);
+    rev_fan[h] = ExpandFactor(path.hops[h].rel, true, nodes[h + 1]);
+    fwd_scan[h] = AdjacencyScanFan(path.hops[h].rel, false, nodes[h]);
+    rev_scan[h] = AdjacencyScanFan(path.hops[h].rel, true, nodes[h + 1]);
+  }
+
+  // Row multiplier for reaching node `i` (rightward uses hop i-1
+  // forward, leftward uses hop i reversed): the fan into the node times
+  // its residual selectivity — or, for an already-bound node, the
+  // ExpandInto collapse (chance the reached endpoint IS the bound one).
+  auto reach_mult = [&](size_t i, bool to_right) {
+    double fan = to_right ? fwd_fan[i - 1] : rev_fan[i];
+    double sel = bound[i] ? 1.0 / node_n : NodeSelectivity(nodes[i]);
+    return fan * sel;
+  };
+
+  // Physical-operator cost of one expand step. Adjacency Expand touches
+  // rows_in * scan_fan adjacency entries and emits rows_out; the hash
+  // join builds over the WHOLE relationship store at Open, then probes.
+  // Var-length hops always run the adjacency frontier BFS.
+  auto step_cost = [&](double rows_in, size_t hop, bool to_right,
+                       double rows_out, bool* hash_join) {
+    double scan = to_right ? fwd_scan[hop] : rev_scan[hop];
+    double adj = rows_in * scan + rows_out;
+    *hash_join = false;
+    if (path.hops[hop].rel.length ||
+        strategy == ExpandStrategy::kAdjacency) {
+      return adj;
+    }
+    double join = rel_count + rows_in + rows_out;
+    if (strategy == ExpandStrategy::kHashJoin) {
+      *hash_join = true;
+      return join;
+    }
+    *hash_join = join < adj;
+    return std::min(adj, join);
+  };
+
+  size_t a_lo = 0;
+  size_t a_hi = n - 1;
+  if (direction == DirectionPolicy::kForceRight) a_hi = 0;
+  if (direction == DirectionPolicy::kForceLeft) a_lo = n - 1;
+
+  ChainDecision best;
+  bool have_best = false;
+  std::vector<std::vector<double>> card(n, std::vector<double>(n, 0));
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, inf));
+  std::vector<std::vector<char>> went_right(n, std::vector<char>(n, 0));
+  std::vector<std::vector<char>> used_join(n, std::vector<char>(n, 0));
+
+  for (size_t a = a_lo; a <= a_hi; ++a) {
+    double anchor_scan = 0;  // rows the scan operator itself emits
+    double anchor_rows = 1;  // rows after the anchor's residual filters
+    if (!bound[a]) {
+      anchor_scan = stats_.NodeCount();
+      for (const auto& l : nodes[a].labels) {
+        anchor_scan = std::min(anchor_scan, stats_.NodesWithLabel(l));
+      }
+      anchor_rows = ScanCardinality(nodes[a]);
+    }
+    card[a][a] = anchor_rows;
+    cost[a][a] = anchor_scan + anchor_rows;
+
+    // Interval DP: state = the contiguous expanded interval [l..r]
+    // containing the anchor; each transition extends it one hop.
+    for (size_t span = 1; span < n; ++span) {
+      for (size_t l = 0; l + span < n; ++l) {
+        size_t r = l + span;
+        if (a < l || a > r) continue;
+        double c = r > a ? card[l][r - 1] * reach_mult(r, true)
+                         : card[l + 1][r] * reach_mult(l, false);
+        c = std::max(c, kMinRows);
+        card[l][r] = c;
+        double best_total = inf;
+        char chose_right = 0;
+        char chose_join = 0;
+        if (r > a) {
+          bool hj = false;
+          double total =
+              cost[l][r - 1] + step_cost(card[l][r - 1], r - 1, true, c, &hj);
+          if (total < best_total) {
+            best_total = total;
+            chose_right = 1;
+            chose_join = hj ? 1 : 0;
+          }
+        }
+        if (l < a) {
+          bool hj = false;
+          double total =
+              cost[l + 1][r] + step_cost(card[l + 1][r], l, false, c, &hj);
+          if (total < best_total) {
+            best_total = total;
+            chose_right = 0;
+            chose_join = hj ? 1 : 0;
+          }
+        }
+        cost[l][r] = best_total;
+        went_right[l][r] = chose_right;
+        used_join[l][r] = chose_join;
+      }
+    }
+
+    if (have_best && cost[0][n - 1] >= best.cost) continue;
+    // Backtrack the chosen interleaving (collected tip-first, reversed
+    // into emission order).
+    std::vector<ChainStep> steps;
+    size_t l = 0;
+    size_t r = n - 1;
+    while (l < a || r > a) {
+      ChainStep s;
+      s.out_rows = card[l][r];
+      s.hash_join = used_join[l][r] != 0;
+      if (went_right[l][r] != 0) {
+        s.hop = r - 1;
+        s.to_right = true;
+        --r;
+      } else {
+        s.hop = l;
+        s.to_right = false;
+        ++l;
+      }
+      steps.push_back(s);
+    }
+    std::reverse(steps.begin(), steps.end());
+    best.anchor = a;
+    best.anchor_rows = card[a][a];
+    best.cost = cost[0][n - 1];
+    best.steps = std::move(steps);
+    have_best = true;
+  }
+  return best;
 }
 
 }  // namespace gqlite

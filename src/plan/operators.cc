@@ -1,6 +1,7 @@
 #include "src/plan/operators.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/frontend/analyzer.h"
 #include "src/value/value_compare.h"
@@ -996,6 +997,18 @@ void ExplainRec(const Operator& op, int depth, bool with_rows,
                 std::string* out) {
   out->append(static_cast<size_t>(depth) * 2, ' ');
   *out += "+ " + op.Describe();
+  if (op.est_rows() >= 0) {
+    // %.1f below 10 keeps sub-row selectivities visible; whole numbers
+    // above.
+    double est = op.est_rows();
+    char buf[32];
+    if (est < 10) {
+      std::snprintf(buf, sizeof(buf), "%.1f", est);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.0f", est);
+    }
+    *out += "  (est. rows: " + std::string(buf) + ")";
+  }
   if (with_rows) {
     *out += "  (rows: " + std::to_string(op.rows_produced()) +
             ", batches: " + std::to_string(op.batches_produced()) + ")";

@@ -96,6 +96,13 @@ class Operator {
   int64_t rows_produced() const { return rows_produced_; }
   int64_t batches_produced() const { return batches_produced_; }
 
+  /// Planner-estimated output rows (cost-model cardinality at plan
+  /// time, against the executing snapshot's statistics); negative when
+  /// the planner did not estimate this operator. EXPLAIN prints it as
+  /// `est. rows`.
+  double est_rows() const { return est_rows_; }
+  void set_est_rows(double rows) { est_rows_ = rows; }
+
   /// Adds `other`'s counters into this tree, operator by operator — the
   /// trees must be structurally identical (per-worker instances of the
   /// same plan). PROFILE of a parallel run folds every worker's counters
@@ -114,6 +121,7 @@ class Operator {
   std::vector<std::string> schema_;
   int64_t rows_produced_ = 0;
   int64_t batches_produced_ = 0;
+  double est_rows_ = -1;
 };
 
 using OperatorPtr = std::unique_ptr<Operator>;

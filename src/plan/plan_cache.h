@@ -65,16 +65,31 @@ struct PlanCacheStats {
 /// executing session's shared_ptr keeps it alive until Release.
 class PlanCache {
  public:
+  /// Per-context validity guard: the graph a plan context was compiled
+  /// against and the versions observed at plan time. The shared_ptr also
+  /// pins graphs a stale catalog may have dropped, so borrowed pointers
+  /// inside the plan never dangle.
+  struct GraphGuard {
+    std::shared_ptr<const PropertyGraph> graph;
+    /// Structural version at plan time: exact-match validated (label/
+    /// type/degree statistics moved → the plan's operator and order
+    /// choices may be wrong).
+    uint64_t stats_version = 0;
+    /// Data version at plan time: drift-validated (|now - then| >=
+    /// kDataDriftThreshold invalidates). Pure property SETs move the
+    /// NDV sketches — and with them the equality selectivities a
+    /// cost-sensitive plan baked in — WITHOUT bumping stats_version, so
+    /// enough of them must re-plan even though the structure is
+    /// unchanged.
+    uint64_t data_version = 0;
+  };
+
   struct Entry {
     std::string key;
     PreparedPtr prepared;
     Plan plan;
     uint64_t catalog_version = 0;
-    /// (graph, stats_version at plan time) for every execution context of
-    /// the plan. The shared_ptr also pins graphs a stale catalog may have
-    /// dropped, so borrowed pointers inside the plan never dangle.
-    std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
-        graph_guards;
+    std::vector<GraphGuard> graph_guards;
     /// guards[i] planned against the session's DEFAULT graph (as opposed
     /// to a named/URL graph). Default-graph contexts are validated
     /// against the *executing snapshot's* stats_version and rebound to it
@@ -92,28 +107,37 @@ class PlanCache {
 
   static constexpr size_t kDefaultCapacity = 128;
 
+  /// How many data_version increments (mutations that do NOT move
+  /// stats_version, i.e. pure property writes) an entry tolerates before
+  /// it re-plans. Each write can move a property NDV sketch — and with
+  /// it the 1/NDV equality selectivities a cost-sensitive plan choice
+  /// was based on. One write cannot flip a sane plan; re-planning every
+  /// statement would defeat the cache; 16 bounds the staleness while
+  /// keeping single-SET workloads (the common case) on the cached plan.
+  static constexpr uint64_t kDataDriftThreshold = 16;
+
   /// Looks up `key` and pins the entry for execution. Returns null when:
   ///  * absent (miss);
   ///  * stale against `catalog_version` / its graph guards — default-graph
-  ///    contexts compare against `default_stats_version`, the executing
-  ///    snapshot's value (the entry is erased; invalidation + miss);
+  ///    contexts compare against `default_stats_version` and
+  ///    `default_data_version`, the executing snapshot's values (the
+  ///    entry is erased; invalidation + miss);
   ///  * present and valid but pinned by another session (`*busy` set to
   ///    true; miss) — the caller should plan fresh and skip InsertAcquire.
   /// On success the entry is promoted to most-recently-used, marked
   /// in-use, and counted as a hit; the caller MUST Release it.
   EntryPtr Acquire(const std::string& key, uint64_t catalog_version,
-                   uint64_t default_stats_version, bool* busy) EXCLUDES(mu_);
+                   uint64_t default_stats_version,
+                   uint64_t default_data_version, bool* busy) EXCLUDES(mu_);
 
   /// Inserts (or replaces) the entry for `key`, pinned for the caller's
   /// execution; evicts the least recently used entry if over capacity.
   /// A displaced or evicted entry that is currently pinned simply drops
   /// out of the index — its executor still owns it. Caller MUST Release.
-  EntryPtr InsertAcquire(
-      std::string key, PreparedPtr prepared, Plan plan,
-      uint64_t catalog_version,
-      std::vector<std::pair<std::shared_ptr<const PropertyGraph>, uint64_t>>
-          graph_guards,
-      std::vector<bool> default_ctx) EXCLUDES(mu_);
+  EntryPtr InsertAcquire(std::string key, PreparedPtr prepared, Plan plan,
+                         uint64_t catalog_version,
+                         std::vector<GraphGuard> graph_guards,
+                         std::vector<bool> default_ctx) EXCLUDES(mu_);
 
   /// Un-pins an entry returned by Acquire/InsertAcquire.
   void Release(const EntryPtr& entry) EXCLUDES(mu_);
@@ -124,9 +148,10 @@ class PlanCache {
   /// the catalog version moves, so replaced graphs are freed promptly
   /// instead of lingering until their exact key is looked up again or
   /// LRU-evicted. Default-graph contexts compare against
-  /// `default_stats_version` (the committed head's value).
-  void SweepStale(uint64_t catalog_version, uint64_t default_stats_version)
-      EXCLUDES(mu_);
+  /// `default_stats_version` / `default_data_version` (the committed
+  /// head's values).
+  void SweepStale(uint64_t catalog_version, uint64_t default_stats_version,
+                  uint64_t default_data_version) EXCLUDES(mu_);
 
   /// Drops all entries (stats are kept; use ResetStats to clear them).
   void Clear() EXCLUDES(mu_);
@@ -153,7 +178,8 @@ class PlanCache {
 
  private:
   static bool Valid(const Entry& e, uint64_t catalog_version,
-                    uint64_t default_stats_version);
+                    uint64_t default_stats_version,
+                    uint64_t default_data_version);
   void EvictToCapacity() REQUIRES(mu_);
 
   /// Mutable so const reads (size, stats) lock through the same

@@ -200,15 +200,15 @@ Result<OperatorPtr> Planner::PlanSingle(const SingleQuery& q, Plan* plan) {
         // The catalog locks internally; FROM GRAPH resolution is its only
         // planner touchpoint.
         if (f.url) {
-          auto rg = catalog_->ResolveUrl(*f.url);
+          auto rg = catalog_.ResolveUrl(*f.url);
           if (!rg.ok()) {
             st = rg.status();
             break;
           }
           g = *rg;
-          catalog_->RegisterGraph(f.name, g);
+          catalog_.RegisterGraph(f.name, g);
         } else {
-          auto rg = catalog_->Resolve(f.name);
+          auto rg = catalog_.Resolve(f.name);
           if (!rg.ok()) {
             st = rg.status();
             break;
@@ -247,26 +247,7 @@ Result<OperatorPtr> Planner::PlanMatch(const MatchClause& m,
   state.clause = &m;
   if (m.where) state.pending_filters = SplitConjuncts(*m.where);
 
-  auto place_filters = [&]() {
-    for (auto it = state.pending_filters.begin();
-         it != state.pending_filters.end();) {
-      bool ready = true;
-      for (const std::string& v : ExprVariables(**it)) {
-        if (!state.Bound(v)) {
-          ready = false;
-          break;
-        }
-      }
-      if (ready) {
-        state.tip = std::make_unique<FilterOp>(std::move(state.tip), ctx, *it);
-        it = state.pending_filters.erase(it);
-      } else {
-        ++it;
-      }
-    }
-  };
-
-  place_filters();
+  PlaceReadyFilters(&state, ctx, nullptr, nullptr, nullptr);
 
   // A variable-length relationship variable bound by an earlier clause
   // requires a list-equality join the pipeline does not implement.
@@ -299,11 +280,13 @@ Result<OperatorPtr> Planner::PlanMatch(const MatchClause& m,
     }
     state.tip = std::make_unique<MatcherOp>(std::move(state.tip), ctx,
                                             &m.pattern, new_cols);
-    place_filters();
+    PlaceReadyFilters(&state, ctx, nullptr, nullptr, nullptr);
   } else {
+    // PlanChain places ready filters itself, after the anchor and after
+    // every expand step (pushdown) — including cross-path conjuncts that
+    // become ready at the end of a later chain.
     for (const auto& path : m.pattern.paths) {
       GQL_RETURN_IF_ERROR(PlanChain(path, &state, plan, ctx));
-      place_filters();
     }
   }
   // Any conjunct still pending references unbound variables — the
@@ -314,10 +297,231 @@ Result<OperatorPtr> Planner::PlanMatch(const MatchClause& m,
   }
 
   std::vector<std::string> out_schema = state.tip->schema();
-  return OperatorPtr(std::make_unique<ApplyOp>(std::move(input),
-                                               std::move(state.tip),
-                                               argument_ptr, m.optional,
-                                               out_schema));
+  // The Apply's output estimate is its RHS chain's (exact for the common
+  // unit driving table); the Argument replays one driving row at a time.
+  double chain_est = state.tip->est_rows();
+  argument_ptr->set_est_rows(1.0);
+  auto apply = std::make_unique<ApplyOp>(std::move(input),
+                                         std::move(state.tip), argument_ptr,
+                                         m.optional, out_schema);
+  if (chain_est >= 0) apply->set_est_rows(chain_est);
+  return OperatorPtr(std::move(apply));
+}
+
+namespace {
+
+/// Estimated selectivity of one placed filter for the EXPLAIN `est.
+/// rows` annotations — the same per-constraint factors the cost model
+/// uses: label checks multiply label fractions, property equalities
+/// against a variable-free expression use 1/NDV from the snapshot's
+/// sketches, anything else a fixed 0.25.
+double FilterSelectivity(const Expr& e, const GraphStatistics& stats,
+                         const std::set<std::string>& rel_vars) {
+  double n = std::max<double>(stats.NodeCount(), 1.0);
+  if (e.kind == Expr::Kind::kLabelCheck) {
+    const auto& lc = static_cast<const LabelCheckExpr&>(e);
+    double sel = 1.0;
+    for (const auto& l : lc.labels) {
+      sel *= std::min(static_cast<double>(stats.NodesWithLabel(l)) / n, 1.0);
+    }
+    return sel;
+  }
+  if (e.kind == Expr::Kind::kBinary) {
+    const auto& b = static_cast<const BinaryExpr&>(e);
+    if (b.op == BinaryOp::kEq) {
+      const Expr* prop = nullptr;
+      const Expr* other = nullptr;
+      if (b.lhs->kind == Expr::Kind::kProperty) {
+        prop = b.lhs.get();
+        other = b.rhs.get();
+      } else if (b.rhs->kind == Expr::Kind::kProperty) {
+        prop = b.rhs.get();
+        other = b.lhs.get();
+      }
+      if (prop != nullptr && ExprVariables(*other).empty()) {
+        const auto& pe = static_cast<const PropertyExpr&>(*prop);
+        if (pe.object->kind == Expr::Kind::kVariable) {
+          const auto& var = static_cast<const VariableExpr&>(*pe.object);
+          double ndv = rel_vars.contains(var.name)
+                           ? stats.RelPropertyNdv(pe.key)
+                           : stats.NodePropertyNdv(pe.key);
+          return ndv >= 1.0 ? 1.0 / ndv : 0.1;
+        }
+      }
+    }
+  }
+  return 0.25;
+}
+
+/// Folds WHERE-visible constraints into the per-position chain
+/// constraints so anchor/direction choice sees them *before* the
+/// filters are placed: top-level `n:Label` conjuncts add labels (also
+/// making them eligible for the label-index scan), top-level
+/// `n.k = <variable-free expr>` conjuncts add equality keys.
+void AugmentFromWhere(const std::vector<const Expr*>& conjuncts,
+                      const std::vector<std::string>& node_cols,
+                      std::vector<NodeConstraint>* constraints) {
+  auto each_position = [&](const std::string& var, auto&& fn) {
+    for (size_t i = 0; i < node_cols.size(); ++i) {
+      if (node_cols[i] == var) fn((*constraints)[i]);
+    }
+  };
+  for (const Expr* e : conjuncts) {
+    if (e->kind == Expr::Kind::kLabelCheck) {
+      const auto& lc = static_cast<const LabelCheckExpr&>(*e);
+      if (lc.object->kind != Expr::Kind::kVariable) continue;
+      const auto& var = static_cast<const VariableExpr&>(*lc.object);
+      each_position(var.name, [&](NodeConstraint& nc) {
+        for (const auto& l : lc.labels) {
+          if (std::find(nc.labels.begin(), nc.labels.end(), l) ==
+              nc.labels.end()) {
+            nc.labels.push_back(l);
+          }
+        }
+      });
+      continue;
+    }
+    if (e->kind != Expr::Kind::kBinary) continue;
+    const auto& b = static_cast<const BinaryExpr&>(*e);
+    if (b.op != BinaryOp::kEq) continue;
+    const Expr* prop = nullptr;
+    const Expr* other = nullptr;
+    if (b.lhs->kind == Expr::Kind::kProperty) {
+      prop = b.lhs.get();
+      other = b.rhs.get();
+    } else if (b.rhs->kind == Expr::Kind::kProperty) {
+      prop = b.rhs.get();
+      other = b.lhs.get();
+    }
+    if (prop == nullptr || !ExprVariables(*other).empty()) continue;
+    const auto& pe = static_cast<const PropertyExpr&>(*prop);
+    if (pe.object->kind != Expr::Kind::kVariable) continue;
+    const auto& var = static_cast<const VariableExpr&>(*pe.object);
+    each_position(var.name,
+                  [&](NodeConstraint& nc) { nc.eq_props.push_back(pe.key); });
+  }
+}
+
+/// Greedy chain decision (kGreedy, and the kLeftToRight baseline with a
+/// forced anchor): anchor at a bound node or the cheapest scan, then
+/// expand whichever frontier has the smaller fan, choosing the per-hop
+/// physical operator by comparing the adjacency scan against the
+/// relationship-store hash-join build (unless `strategy` forces a side).
+CostModel::ChainDecision GreedyDecision(
+    const PathPattern& path, const std::vector<NodeConstraint>& nodes,
+    const std::vector<bool>& bound, ExpandStrategy strategy,
+    DirectionPolicy direction, const CostModel& cost,
+    const GraphStatistics& stats) {
+  size_t n = nodes.size();
+  CostModel::ChainDecision d;
+  if (direction == DirectionPolicy::kForceRight) {
+    d.anchor = 0;
+  } else if (direction == DirectionPolicy::kForceLeft) {
+    d.anchor = n - 1;
+  } else {
+    double best = -1;
+    for (size_t i = 0; i < n; ++i) {
+      double c = bound[i] ? 0.0 : cost.ScanCardinality(nodes[i]);
+      if (best < 0 || c < best) {
+        best = c;
+        d.anchor = i;
+      }
+    }
+  }
+  double node_n = std::max<double>(stats.NodeCount(), 1.0);
+  double rows = bound[d.anchor]
+                    ? 1.0
+                    : std::max(cost.ScanCardinality(nodes[d.anchor]), 0.001);
+  d.anchor_rows = rows;
+  d.cost = rows;
+  size_t right = d.anchor;
+  size_t left = d.anchor;
+  while (right + 1 < n || left > 0) {
+    bool can_right = right + 1 < n;
+    bool can_left = left > 0;
+    bool go_right;
+    if (can_right && can_left) {
+      double fr =
+          cost.ExpandFactor(path.hops[right].rel, false, nodes[right]);
+      double fl =
+          cost.ExpandFactor(path.hops[left - 1].rel, true, nodes[left]);
+      go_right = fr <= fl;
+    } else {
+      go_right = can_right;
+    }
+    CostModel::ChainStep s;
+    s.hop = go_right ? right : left - 1;
+    s.to_right = go_right;
+    const RelPattern& rp = path.hops[s.hop].rel;
+    size_t from_i = go_right ? right : left;
+    size_t to_i = go_right ? right + 1 : left - 1;
+    double fan = cost.ExpandFactor(rp, !go_right, nodes[from_i]);
+    double out = bound[to_i] ? rows * fan / node_n
+                             : rows * fan * cost.NodeSelectivity(nodes[to_i]);
+    out = std::max(out, 0.001);
+    double adj =
+        rows * cost.AdjacencyScanFan(rp, !go_right, nodes[from_i]) + out;
+    double join = static_cast<double>(stats.RelCount()) + rows + out;
+    if (rp.length) {
+      s.hash_join = false;  // var-length is always the adjacency walk
+      d.cost += adj;
+    } else {
+      switch (strategy) {
+        case ExpandStrategy::kAdjacency:
+          s.hash_join = false;
+          d.cost += adj;
+          break;
+        case ExpandStrategy::kHashJoin:
+          s.hash_join = true;
+          d.cost += join;
+          break;
+        case ExpandStrategy::kCost:
+          s.hash_join = join < adj;
+          d.cost += s.hash_join ? join : adj;
+          break;
+      }
+    }
+    s.out_rows = out;
+    d.steps.push_back(s);
+    rows = out;
+    if (go_right) {
+      ++right;
+    } else {
+      --left;
+    }
+  }
+  return d;
+}
+
+}  // namespace
+
+void Planner::PlaceReadyFilters(PipelineState* state, ExecContext* ctx,
+                                const GraphStatistics* stats,
+                                const std::set<std::string>* rel_vars,
+                                double* est) {
+  static const std::set<std::string> kNoRelVars;
+  for (auto it = state->pending_filters.begin();
+       it != state->pending_filters.end();) {
+    bool ready = true;
+    for (const std::string& v : ExprVariables(**it)) {
+      if (!state->Bound(v)) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      ++it;
+      continue;
+    }
+    state->tip = std::make_unique<FilterOp>(std::move(state->tip), ctx, *it);
+    if (est != nullptr && stats != nullptr) {
+      *est *= FilterSelectivity(**it, *stats,
+                                rel_vars ? *rel_vars : kNoRelVars);
+      *est = std::max(*est, 0.001);
+      state->tip->set_est_rows(*est);
+    }
+    it = state->pending_filters.erase(it);
+  }
 }
 
 Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
@@ -348,36 +552,55 @@ Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
   // same column is planned as ExpandInto, which the per-position bound
   // flags below track dynamically.
 
-  // Anchor selection.
-  size_t anchor = 0;
-  switch (options_.mode) {
-    case PlannerOptions::Mode::kLeftToRight:
-      anchor = 0;
-      break;
-    case PlannerOptions::Mode::kGreedy: {
-      // Prefer a bound node; otherwise the most selective scan.
-      double best = -1;
-      for (size_t i = 0; i < num_nodes; ++i) {
-        double c = node_bound[i] ? 0.0 : cost.ScanCardinality(node_at(i));
-        if (best < 0 || c < best) {
-          best = c;
-          anchor = i;
-        }
-      }
-      break;
-    }
-    case PlannerOptions::Mode::kDpStarts: {
-      double best = -1;
-      for (size_t i = 0; i < num_nodes; ++i) {
-        double c = cost.ChainCost(path, i, node_bound);
-        if (best < 0 || c < best) {
-          best = c;
-          anchor = i;
-        }
-      }
-      break;
+  // Per-position constraints for costing: pattern labels and inline
+  // property keys, augmented with WHERE-visible label checks and
+  // equality conjuncts.
+  std::vector<NodeConstraint> constraints(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    const NodePattern& np = node_at(i);
+    constraints[i].labels = np.labels;
+    for (const auto& kv : np.properties) {
+      constraints[i].eq_props.push_back(kv.first);
     }
   }
+  AugmentFromWhere(state->pending_filters, node_cols, &constraints);
+
+  std::set<std::string> rel_vars(rel_cols.begin(), rel_cols.end());
+
+  // Effective per-hop operator policy: the legacy E14 use_join_expand
+  // toggle is the hash-join force.
+  ExpandStrategy strategy = options_.use_join_expand
+                                ? ExpandStrategy::kHashJoin
+                                : options_.expand_strategy;
+  DirectionPolicy dirpol = options_.direction_policy;
+
+  // Decide the whole chain up front: anchor, per-hop direction, and
+  // per-hop physical operator.
+  CostModel::ChainDecision decision;
+  switch (options_.mode) {
+    case PlannerOptions::Mode::kLeftToRight: {
+      // Naive baseline: first node, left to right, adjacency expands —
+      // explicit overrides still pin their side.
+      ExpandStrategy s = strategy == ExpandStrategy::kCost
+                             ? ExpandStrategy::kAdjacency
+                             : strategy;
+      DirectionPolicy dp = dirpol == DirectionPolicy::kCost
+                               ? DirectionPolicy::kForceRight
+                               : dirpol;
+      decision = GreedyDecision(path, constraints, node_bound, s, dp, cost,
+                                stats);
+      break;
+    }
+    case PlannerOptions::Mode::kGreedy:
+      decision = GreedyDecision(path, constraints, node_bound, strategy,
+                                dirpol, cost, stats);
+      break;
+    case PlannerOptions::Mode::kDpStarts:
+      decision =
+          cost.DecideChain(path, constraints, node_bound, strategy, dirpol);
+      break;
+  }
+  size_t anchor = decision.anchor;
 
   // Constraint helpers: synthesized filters are owned by the plan.
   auto add_node_constraints = [&](size_t i, bool skip_label_index_label,
@@ -405,40 +628,42 @@ Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
     }
   };
 
-  // Emit the anchor.
+  // Emit the anchor. The label index scan picks the cheapest label among
+  // the pattern's AND the WHERE-augmented ones (label pushdown into the
+  // scan); any remaining checks stay as filters.
+  double cur_est;
   if (!node_bound[anchor]) {
-    const NodePattern& np = node_at(anchor);
     std::string scanned_label;
-    if (!np.labels.empty()) {
-      // Most selective label for the index scan.
-      scanned_label = np.labels[0];
-      double best = stats.NodesWithLabel(scanned_label);
-      for (const auto& l : np.labels) {
-        double c = stats.NodesWithLabel(l);
-        if (c < best) {
-          best = c;
-          scanned_label = l;
-        }
+    double scan_rows = static_cast<double>(stats.NodeCount());
+    for (const auto& l : constraints[anchor].labels) {
+      double c = static_cast<double>(stats.NodesWithLabel(l));
+      if (scanned_label.empty() || c < scan_rows) {
+        scan_rows = c;
+        scanned_label = l;
       }
+    }
+    if (!scanned_label.empty()) {
       state->tip = std::make_unique<NodeByLabelScanOp>(
           std::move(state->tip), ctx, node_cols[anchor], scanned_label);
     } else {
       state->tip = std::make_unique<AllNodesScanOp>(std::move(state->tip),
                                                     ctx, node_cols[anchor]);
     }
+    state->tip->set_est_rows(scan_rows);
+    cur_est = std::max(scan_rows, 0.001);
     node_bound[anchor] = true;
     add_node_constraints(anchor, !scanned_label.empty(), scanned_label);
   } else {
     // Bound from the driving table: re-check this occurrence's
     // constraints.
     add_node_constraints(anchor, false, "");
+    cur_est = 1.0;
   }
+  PlaceReadyFilters(state, ctx, &stats, &rel_vars, &cur_est);
 
-  // Expansion: interleave right and left frontiers.
-  size_t right = anchor;  // next hop to the right is `right`
-  size_t left = anchor;   // next hop to the left is `left - 1`
-
-  auto expand_step = [&](size_t hop_idx, bool to_right) -> Status {
+  auto expand_step = [&](const CostModel::ChainStep& cs) -> Status {
+    size_t hop_idx = cs.hop;
+    bool to_right = cs.to_right;
     const RelPattern& rp = path.hops[hop_idx].rel;
     size_t from_i = to_right ? hop_idx : hop_idx + 1;
     size_t to_i = to_right ? hop_idx + 1 : hop_idx;
@@ -480,6 +705,15 @@ Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
       spec.to_var = node_cols[to_i];
     }
 
+    // Expected rows out of this operator alone (target-node filters are
+    // annotated on their own FilterOps): the directional typed fan,
+    // collapsed by 1/N when expanding into an already-bound node.
+    double mult = cost.ExpandFactor(rp, !to_right, constraints[from_i]);
+    if (target_bound) {
+      mult /= std::max<double>(stats.NodeCount(), 1.0);
+    }
+    cur_est = std::max(cur_est * mult, 0.001);
+
     if (rp.length) {
       HopRange range = EffectiveRange(rp, options_.match.max_var_length);
       int64_t hi = range.hi;
@@ -491,13 +725,14 @@ Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
       }
       state->tip = std::make_unique<VarLengthExpandOp>(
           std::move(state->tip), ctx, std::move(spec), range.lo, hi);
-    } else if (options_.use_join_expand) {
+    } else if (cs.hash_join) {
       state->tip = std::make_unique<HashJoinExpandOp>(std::move(state->tip),
                                                       ctx, std::move(spec));
     } else {
       state->tip = std::make_unique<ExpandOp>(std::move(state->tip), ctx,
                                               std::move(spec));
     }
+    state->tip->set_est_rows(cur_est);
     // Track the relationship column for isomorphism (named, hidden or
     // pre-bound).
     int rel_col_idx = state->ColIndex(rel_cols[hop_idx]);
@@ -514,25 +749,9 @@ Status Planner::PlanChain(const PathPattern& path, PipelineState* state,
     return Status::OK();
   };
 
-  while (right + 1 < num_nodes || left > 0) {
-    bool can_right = right + 1 < num_nodes;
-    bool can_left = left > 0;
-    bool go_right;
-    if (options_.mode == PlannerOptions::Mode::kGreedy && can_right &&
-        can_left) {
-      double fr = cost.ExpandFactor(path.hops[right].rel, false);
-      double fl = cost.ExpandFactor(path.hops[left - 1].rel, true);
-      go_right = fr <= fl;
-    } else {
-      go_right = can_right;
-    }
-    if (go_right) {
-      GQL_RETURN_IF_ERROR(expand_step(right, /*to_right=*/true));
-      ++right;
-    } else {
-      GQL_RETURN_IF_ERROR(expand_step(left - 1, /*to_right=*/false));
-      --left;
-    }
+  for (const CostModel::ChainStep& cs : decision.steps) {
+    GQL_RETURN_IF_ERROR(expand_step(cs));
+    PlaceReadyFilters(state, ctx, &stats, &rel_vars, &cur_est);
   }
   return Status::OK();
 }

@@ -2,6 +2,8 @@
 #define GQLITE_PLAN_PLANNER_H_
 
 #include <memory>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "src/graph/graph_catalog.h"
@@ -24,8 +26,15 @@ struct PlannerOptions {
   enum class Mode { kGreedy, kLeftToRight, kDpStarts };
   Mode mode = Mode::kGreedy;
   /// E14 baseline: replace adjacency Expand with a relationship-store
-  /// hash join.
+  /// hash join (equivalent to forcing expand_strategy = kHashJoin).
   bool use_join_expand = false;
+  /// Per-hop physical-operator choice: kCost compares the adjacency
+  /// Expand against the relationship-store hash join per step; the
+  /// forced values pin one side (differential-harness override).
+  ExpandStrategy expand_strategy = ExpandStrategy::kCost;
+  /// Anchor/expand-direction choice: kCost searches by estimated cost;
+  /// kForceRight / kForceLeft pin the chain traversal direction.
+  DirectionPolicy direction_policy = DirectionPolicy::kCost;
   /// Morsel capacity of the batched runtime (1 = tuple-at-a-time).
   /// Copied into each plan's ExecContext for pipeline breakers and used
   /// by RunPlanned/ExecutePlan for the root drain.
@@ -78,9 +87,9 @@ struct Plan {
 /// MatcherOp inside an otherwise planned pipeline.
 class Planner {
  public:
-  Planner(GraphCatalog* catalog, GraphPtr graph, const ValueMap* params,
+  Planner(CatalogRef catalog, GraphPtr graph, const ValueMap* params,
           PlannerOptions options, uint64_t* rand_state)
-      : catalog_(catalog),
+      : catalog_(std::move(catalog)),
         graph_(std::move(graph)),
         params_(params),
         options_(std::move(options)),
@@ -100,9 +109,21 @@ class Planner {
   Status PlanChain(const ast::PathPattern& path, PipelineState* state,
                    Plan* plan, ExecContext* ctx);
 
+  /// Places every pending WHERE/synthesized conjunct whose variables are
+  /// all bound as a FilterOp at the current tip. PlanChain calls this
+  /// after the anchor scan and after every expand step (filter pushdown
+  /// into the chain, not just at chain boundaries). With `est` non-null
+  /// the running cardinality estimate is multiplied by each filter's
+  /// selectivity and annotated on the placed operator; `rel_vars` names
+  /// the relationship columns so property equalities pick the right NDV
+  /// sketch.
+  void PlaceReadyFilters(PipelineState* state, ExecContext* ctx,
+                         const GraphStatistics* stats,
+                         const std::set<std::string>* rel_vars, double* est);
+
   ExecContext* MakeContext(Plan* plan, GraphPtr graph);
 
-  GraphCatalog* catalog_;
+  CatalogRef catalog_;
   GraphPtr graph_;
   const ValueMap* params_;
   PlannerOptions options_;

@@ -78,12 +78,12 @@ Result<Table> ExecutePlan(Plan* plan, size_t batch_size, BatchStats* stats) {
   return DrainPlan(plan->root.get(), batch_size, stats);
 }
 
-Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
+Result<Table> RunPlanned(CatalogRef catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
                          uint64_t* rand_state, const ast::Query& q,
                          BatchStats* stats, WorkerPool* pool,
                          ParallelRunStats* pstats, std::string* serial_reason) {
-  Planner planner(catalog, std::move(graph), params, options, rand_state);
+  Planner planner(std::move(catalog), std::move(graph), params, options, rand_state);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
   if (options.num_threads > 1 && pool != nullptr) {
     if (plan.parallel.safe) {
@@ -95,11 +95,11 @@ Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
   return ExecutePlan(&plan, options.batch_size, stats);
 }
 
-Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
+Result<std::string> ExplainQuery(CatalogRef catalog, GraphPtr graph,
                                  const ValueMap* params,
                                  const PlannerOptions& options,
                                  uint64_t* rand_state, const ast::Query& q) {
-  Planner planner(catalog, std::move(graph), params, options, rand_state);
+  Planner planner(std::move(catalog), std::move(graph), params, options, rand_state);
   GQL_ASSIGN_OR_RETURN(Plan plan, planner.PlanQuery(q));
   std::string out = "Batched Volcano runtime (morsel size " +
                     std::to_string(options.batch_size) + ")\n";

@@ -53,7 +53,7 @@ Result<size_t> EffectiveNumThreads(size_t configured);
 /// AnalyzeParallelCandidate reason when a parallel-eligible execution
 /// (num_threads > 1, pool present) fell back to the serial drain — the
 /// engine folds these into per-reason fallback counters.
-Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
+Result<Table> RunPlanned(CatalogRef catalog, GraphPtr graph,
                          const ValueMap* params, const PlannerOptions& options,
                          uint64_t* rand_state, const ast::Query& q,
                          BatchStats* stats = nullptr,
@@ -65,7 +65,7 @@ Result<Table> RunPlanned(GraphCatalog* catalog, GraphPtr graph,
 /// execution model line (batched runtime + morsel size) and — when
 /// `options.num_threads > 1` — whether the plan runs on the parallel
 /// runtime or why it stays serial.
-Result<std::string> ExplainQuery(GraphCatalog* catalog, GraphPtr graph,
+Result<std::string> ExplainQuery(CatalogRef catalog, GraphPtr graph,
                                  const ValueMap* params,
                                  const PlannerOptions& options,
                                  uint64_t* rand_state, const ast::Query& q);

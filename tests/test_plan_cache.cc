@@ -179,6 +179,65 @@ TEST(PlanCache, PropertyUpdatesDoNotInvalidate) {
   EXPECT_EQ(engine.plan_cache_stats().hits, 1u);
 }
 
+TEST(PlanCache, PropertyDriftPastThresholdInvalidates) {
+  // Pure property writes do not bump stats_version, but they move the
+  // NDV sketches a cost-sensitive plan baked its selectivities from:
+  // past kDataDriftThreshold increments of data_version the entry must
+  // re-plan. Below the threshold (the single-SET workload) it must NOT.
+  CypherEngine engine;
+  MustRun(engine, "CREATE (:A {v: 1}), (:A {v: 2}), (:A {v: 3})");
+  const std::string q = "MATCH (a:A) RETURN count(*) AS c";
+  EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 3);
+  MustRun(engine, "MATCH (a:A {v: 1}) SET a.v = 9");  // small drift
+  EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 3);
+  EXPECT_EQ(engine.plan_cache_stats().invalidations, 0u);
+  EXPECT_GE(engine.plan_cache_stats().hits, 1u);
+
+  // 3 nodes x 6 rounds = 18 property writes >= the threshold of 16.
+  for (int round = 0; round < 6; ++round) {
+    MustRun(engine, "MATCH (a:A) SET a.w = " + std::to_string(round));
+  }
+  EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 3);
+  EXPECT_GE(engine.plan_cache_stats().invalidations, 1u);
+}
+
+TEST(PlanCache, PropertyRewriteFlipsTheCheaperPlan) {
+  // The scenario the drift bound exists for: a property rewrite moves an
+  // equality predicate's NDV enough that the cheapest anchor CHANGES.
+  // 60 :A nodes all share p = 0, so `a.p = 0` is unselective and the
+  // 2-node :B scan anchors the chain. After rewriting p to distinct
+  // values the same predicate selects ~1 row and the anchor flips to :A.
+  CypherEngine engine;
+  for (int i = 0; i < 60; ++i) {
+    MustRun(engine, "CREATE (:A {id: " + std::to_string(i) + ", p: 0})");
+  }
+  MustRun(engine, "CREATE (:B {id: 100}), (:B {id: 101})");
+  MustRun(engine,
+          "MATCH (a:A {id: 0}), (b:B {id: 100}) CREATE (a)-[:R]->(b)");
+  const std::string q =
+      "MATCH (a:A)-[:R]->(b:B) WHERE a.p = 0 RETURN count(*) AS c";
+
+  auto before = engine.Explain(q);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+  EXPECT_NE(before->find("NodeByLabelScan(b:B)"), std::string::npos)
+      << *before;
+  EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 1);
+
+  // 60 property writes: far past the drift threshold, and the p sketch
+  // now holds ~61 distinct values.
+  MustRun(engine, "MATCH (a:A) SET a.p = a.id + 1");
+  auto after = engine.Explain(q);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_NE(after->find("NodeByLabelScan(a:A)"), std::string::npos)
+      << *after;
+
+  // The cached entry from the pre-rewrite execution must not serve the
+  // stale plan: the lookup invalidates and re-plans.
+  uint64_t invalidations_before = engine.plan_cache_stats().invalidations;
+  EXPECT_EQ(MustRun(engine, q).table.rows()[0][0].AsInt(), 0);
+  EXPECT_GT(engine.plan_cache_stats().invalidations, invalidations_before);
+}
+
 TEST(PlanCache, LabelChangesInvalidate) {
   CypherEngine engine;
   MustRun(engine, "CREATE (:A {v: 1}), ({v: 2})");

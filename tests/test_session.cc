@@ -278,6 +278,52 @@ TEST(Session, RandSubstreamsAreIndependentAndReproducible) {
   ASSERT_TRUE(es->Commit().ok());
 }
 
+TEST(Session, ReadTransactionPinsCatalogBindings) {
+  // The snapshot-isolated view extends to FROM GRAPH resolution: the
+  // name/URL bindings are captured at Begin, so a concurrent
+  // RegisterGraph cannot rebind a name mid-transaction (statement 1 and
+  // statement 2 of the same read transaction must see the same graph).
+  CypherEngine engine;
+  auto g1 = std::make_shared<PropertyGraph>();
+  g1->CreateNode({"V"});
+  engine.RegisterGraph("g", g1);
+
+  auto reader = engine.CreateSession();
+  ASSERT_TRUE(reader->Begin(TxnMode::kRead).ok());
+  auto count = [&]() {
+    auto r = reader->Execute("FROM GRAPH g MATCH (n) RETURN count(n) AS c");
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r->table.rows()[0][0].AsInt();
+  };
+  EXPECT_EQ(count(), 1);
+
+  // Concurrent rebinding of the SAME name: invisible until Commit.
+  auto g2 = std::make_shared<PropertyGraph>();
+  g2->CreateNode({"V"});
+  g2->CreateNode({"V"});
+  engine.RegisterGraph("g", g2);
+  EXPECT_EQ(count(), 1);
+
+  // A name REGISTERED AFTER Begin is still reachable — pinning freezes
+  // existing bindings, it does not hide new ones.
+  auto g3 = std::make_shared<PropertyGraph>();
+  g3->CreateNode({"W"});
+  g3->CreateNode({"W"});
+  g3->CreateNode({"W"});
+  engine.RegisterGraph("late", g3);
+  auto late = reader->Execute(
+      "FROM GRAPH late MATCH (n) RETURN count(n) AS c");
+  ASSERT_TRUE(late.ok()) << late.status().ToString();
+  EXPECT_EQ(late->table.rows()[0][0].AsInt(), 3);
+
+  ASSERT_TRUE(reader->Commit().ok());
+
+  // Outside the transaction the rebinding is visible immediately.
+  auto after = reader->Execute("FROM GRAPH g MATCH (n) RETURN count(n) AS c");
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->table.rows()[0][0].AsInt(), 2);
+}
+
 TEST(Session, WriteTransactionSurvivesDefaultGraphSwap) {
   CypherEngine engine;
   auto writer = engine.CreateSession();
