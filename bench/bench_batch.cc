@@ -30,16 +30,16 @@ void RunQuery(benchmark::State& state, const char* query,
               size_t batch_size) {
   EngineOptions opts;
   opts.batch_size = batch_size;
-  CypherEngine engine = bench::MakeEngine(FanoutGraph(), opts);
+  Database db = bench::MakeDatabase(FanoutGraph(), opts);
   int64_t rows = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, query);
+    Table t = bench::MustRun(db, query);
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
   state.counters["result"] = static_cast<double>(rows);
   // Effective size: --no-batch / GQLITE_BATCH_SIZE override the request.
-  size_t effective = engine.options().batch_size;
+  size_t effective = db.engine().options().batch_size;
   state.SetLabel(effective == 1
                      ? "tuple-at-a-time"
                      : "morsel " + std::to_string(effective));

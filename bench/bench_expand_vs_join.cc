@@ -33,12 +33,12 @@ void BM_SelectiveExpand(benchmark::State& state, bool use_join) {
   GraphPtr g = MakeSocial(state.range(0));
   EngineOptions opts;
   opts.use_join_expand = use_join;
-  CypherEngine engine = bench::MakeEngine(g, opts);
+  Database db = bench::MakeDatabase(g, opts);
   const char* q =
       "MATCH (p:Person {name: 'P0'})-[:FRIEND]-(f)-[:FRIEND]-(ff) "
       "RETURN count(*) AS c";
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, q);
+    Table t = bench::MustRun(db, q);
     benchmark::DoNotOptimize(t);
   }
   state.SetLabel(use_join ? "hash-join baseline" : "adjacency Expand");
@@ -60,10 +60,10 @@ void BM_FullScanExpand(benchmark::State& state, bool use_join) {
   GraphPtr g = MakeSocial(state.range(0));
   EngineOptions opts;
   opts.use_join_expand = use_join;
-  CypherEngine engine = bench::MakeEngine(g, opts);
+  Database db = bench::MakeDatabase(g, opts);
   const char* q = "MATCH (a:Person)-[:FRIEND]->(b) RETURN count(*) AS c";
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, q);
+    Table t = bench::MustRun(db, q);
     benchmark::DoNotOptimize(t);
   }
   state.SetLabel(use_join ? "hash-join baseline" : "adjacency Expand");

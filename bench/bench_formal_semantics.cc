@@ -21,12 +21,12 @@ Table MakeExpected(std::vector<std::string> fields,
 int RunAll() {
   workload::PaperFigure4 fig = workload::MakePaperFigure4Graph();
   auto N = [&](int i) { return Value::Node(fig.n[i]); };
-  CypherEngine engine = bench::MakeEngine(fig.graph);
+  Database db = bench::MakeDatabase(fig.graph);
   bool ok = true;
 
   // E9 / Example 4.2: (x:Teacher) satisfied by n1, n3, n4; (y) by all.
   {
-    Table got = bench::MustRun(engine, "MATCH (x:Teacher) RETURN x");
+    Table got = bench::MustRun(db, "MATCH (x:Teacher) RETURN x");
     ok &= bench::CheckTable("E9 Example 4.2 (x:Teacher)", got,
                             MakeExpected({"x"}, {{N(1)}, {N(3)}, {N(4)}}));
   }
@@ -35,7 +35,7 @@ int RunAll() {
   // r2 n3 under assignment x=n1, y=n3.
   {
     Table got = bench::MustRun(
-        engine, "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y");
+        db, "MATCH (x:Teacher)-[:KNOWS*2]->(y) RETURN x, y");
     ok &= bench::CheckTable("E9 Example 4.3 (rigid *2)", got,
                             MakeExpected({"x", "y"}, {{N(1), N(3)}}));
   }
@@ -43,7 +43,7 @@ int RunAll() {
   // E10 / Example 4.4: variable-length with named middle node.
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (x:Teacher)-[:KNOWS*1..2]->(z)-[:KNOWS*1..2]->(y:Teacher) "
         "RETURN x, z, y");
     ok &= bench::CheckTable(
@@ -57,7 +57,7 @@ int RunAll() {
   // the pattern under TWO rigid refinements: two copies of (n1, n4).
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (x:Teacher)-[:KNOWS*1..2]->()-[:KNOWS*1..2]->(y:Teacher) "
         "RETURN x, y");
     ok &= bench::CheckTable(
@@ -70,7 +70,7 @@ int RunAll() {
   // (x:n3)} — four rows.
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (x) WHERE id(x) IN [0, 2] "
         "MATCH (x)-[:KNOWS*]->(y) RETURN x, y");
     ok &= bench::CheckTable(
@@ -87,7 +87,7 @@ int RunAll() {
   // unique edge zero times, one for traversing it a single time").
   {
     workload::SelfLoop loop = workload::MakeSelfLoopGraph();
-    CypherEngine loop_engine = bench::MakeEngine(loop.graph);
+    Database loop_engine = bench::MakeDatabase(loop.graph);
     Table got =
         bench::MustRun(loop_engine, "MATCH (x)-[*0..]->(x) RETURN x");
     bool two = got.NumRows() == 2;

@@ -25,10 +25,10 @@ void BM_FraudBySize(benchmark::State& state) {
   cfg.num_rings = cfg.num_holders / 100 + 1;
   cfg.ring_size = 4;
   GraphPtr g = workload::MakeFraudGraph(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   int64_t rings = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, kFraudQuery);
+    Table t = bench::MustRun(db, kFraudQuery);
     rings = static_cast<int64_t>(t.NumRows());
     benchmark::DoNotOptimize(t);
   }
@@ -42,10 +42,10 @@ void BM_FraudByRingDensity(benchmark::State& state) {
   cfg.num_rings = static_cast<size_t>(state.range(0));
   cfg.ring_size = 5;
   GraphPtr g = workload::MakeFraudGraph(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   int64_t rings = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, kFraudQuery);
+    Table t = bench::MustRun(db, kFraudQuery);
     rings = static_cast<int64_t>(t.NumRows());
     benchmark::DoNotOptimize(t);
   }
@@ -60,10 +60,10 @@ void BM_SharedPairJoin(benchmark::State& state) {
   cfg.num_rings = cfg.num_holders / 50 + 1;
   cfg.ring_size = 4;
   GraphPtr g = workload::MakeFraudGraph(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   for (auto _ : state) {
     Table t = bench::MustRun(
-        engine,
+        db,
         "MATCH (a:AccountHolder)-[:HAS]->(p)<-[:HAS]-(b:AccountHolder) "
         "WHERE a.uniqueId < b.uniqueId RETURN count(*) AS pairs");
     benchmark::DoNotOptimize(t);

@@ -22,10 +22,10 @@ void BM_NetMgmtWidth(benchmark::State& state) {
   cfg.per_layer = static_cast<size_t>(state.range(0));
   cfg.fanout = 2;
   GraphPtr g = workload::MakeDependencyNetwork(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   int64_t dependents = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, kQuery);
+    Table t = bench::MustRun(db, kQuery);
     dependents = t.rows()[0][1].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -40,9 +40,9 @@ void BM_NetMgmtDepth(benchmark::State& state) {
   cfg.per_layer = 8;
   cfg.fanout = 2;
   GraphPtr g = workload::MakeDependencyNetwork(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, kQuery);
+    Table t = bench::MustRun(db, kQuery);
     benchmark::DoNotOptimize(t);
   }
 }
@@ -55,10 +55,10 @@ void BM_BlastRadius(benchmark::State& state) {
   cfg.per_layer = static_cast<size_t>(state.range(0));
   cfg.fanout = 2;
   GraphPtr g = workload::MakeDependencyNetwork(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   for (auto _ : state) {
     Table t = bench::MustRun(
-        engine,
+        db,
         "MATCH (core:Service {name: 'svc-0-0'})<-[:DEPENDS_ON*]-(dep) "
         "RETURN count(DISTINCT dep) AS affected");
     benchmark::DoNotOptimize(t);

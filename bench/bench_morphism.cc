@@ -18,10 +18,10 @@ void RunMorphism(benchmark::State& state, Morphism m, const char* query,
   EngineOptions opts;
   opts.morphism = m;
   opts.max_var_length = cap;
-  CypherEngine engine = bench::MakeEngine(g, opts);
+  Database db = bench::MakeDatabase(g, opts);
   int64_t rows = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, query);
+    Table t = bench::MustRun(db, query);
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -70,12 +70,12 @@ int main(int argc, char** argv) {
   {
     using namespace gqlite;
     workload::SelfLoop loop = workload::MakeSelfLoopGraph();
-    CypherEngine iso = bench::MakeEngine(loop.graph);
+    Database iso = bench::MakeDatabase(loop.graph);
     Table t = bench::MustRun(iso, "MATCH (x)-[*0..]->(x) RETURN count(*) AS c");
     EngineOptions hom_opts;
     hom_opts.morphism = Morphism::kHomomorphism;
     hom_opts.max_var_length = 10;
-    CypherEngine hom = bench::MakeEngine(loop.graph, hom_opts);
+    Database hom = bench::MakeDatabase(loop.graph, hom_opts);
     Table t2 =
         bench::MustRun(hom, "MATCH (x)-[*0..]->(x) RETURN count(*) AS c");
     std::printf(

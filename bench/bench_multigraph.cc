@@ -10,17 +10,17 @@
 namespace gqlite {
 namespace {
 
-CypherEngine MakeMultiGraphEngine(size_t people) {
+Database MakeMultiGraphEngine(size_t people) {
   workload::SocialConfig cfg;
   cfg.num_people = people;
   cfg.avg_friends = 6;
   cfg.num_cities = 10;
   cfg.seed = 99;
   GraphPtr soc = workload::MakeSocialNetwork(cfg);
-  CypherEngine engine;
-  engine.RegisterUrl("hdfs://cluster/soc_network", soc);
-  engine.RegisterUrl("bolt://cluster/citizens", soc);
-  return engine;
+  Database db = bench::MakeEmptyDatabase();
+  db.RegisterUrl("hdfs://cluster/soc_network", soc);
+  db.RegisterUrl("bolt://cluster/citizens", soc);
+  return db;
 }
 
 const char* kProjection =
@@ -40,13 +40,13 @@ const char* kComposition =
     "RETURN count(*) AS sameCityPairs";
 
 void BM_Example61Projection(benchmark::State& state) {
-  CypherEngine engine =
+  Database db =
       MakeMultiGraphEngine(static_cast<size_t>(state.range(0)));
   ValueMap params;
   params["duration"] = Value::Int(5);
   size_t projected_rels = 0;
   for (auto _ : state) {
-    auto r = engine.Execute(kProjection, params);
+    auto r = db.Execute(kProjection, params);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
@@ -59,17 +59,17 @@ void BM_Example61Projection(benchmark::State& state) {
 BENCHMARK(BM_Example61Projection)->Arg(100)->Arg(300)->Arg(1000);
 
 void BM_Example61Composition(benchmark::State& state) {
-  CypherEngine engine =
+  Database db =
       MakeMultiGraphEngine(static_cast<size_t>(state.range(0)));
   ValueMap params;
   params["duration"] = Value::Int(5);
-  auto seed = engine.Execute(kProjection, params);
+  auto seed = db.Execute(kProjection, params);
   if (!seed.ok()) {
     state.SkipWithError(seed.status().ToString().c_str());
     return;
   }
   for (auto _ : state) {
-    auto r = engine.Execute(kComposition);
+    auto r = db.Execute(kComposition);
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;

@@ -24,7 +24,7 @@ Table MakeExpected(std::vector<std::string> fields,
 int RunAll() {
   workload::PaperFigure1 fig = workload::MakePaperFigure1Graph();
   auto N = [&](int i) { return Value::Node(fig.n[i]); };
-  CypherEngine engine = bench::MakeEngine(fig.graph);
+  Database db = bench::MakeDatabase(fig.graph);
 
   bool all_ok = true;
 
@@ -38,7 +38,7 @@ int RunAll() {
   // E2: Figure 2a — bindings after OPTIONAL MATCH line 2.
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (r:Researcher) "
         "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) RETURN r, s");
     Table want = MakeExpected({"r", "s"}, {{N(1), Value::Null()},
@@ -52,7 +52,7 @@ int RunAll() {
   // E3: Figure 2b — WITH aggregation.
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (r:Researcher) "
         "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
         "WITH r, count(s) AS studentsSupervised "
@@ -68,7 +68,7 @@ int RunAll() {
   // E4: inline table after MATCH line 4 (Thor drops out).
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (r:Researcher) "
         "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
         "WITH r, count(s) AS studentsSupervised "
@@ -85,7 +85,7 @@ int RunAll() {
   // dagger rows (bag semantics of the variable-length CITES*).
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (r:Researcher) "
         "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
         "WITH r, count(s) AS studentsSupervised "
@@ -108,7 +108,7 @@ int RunAll() {
   // E6: the final RETURN table.
   {
     Table got = bench::MustRun(
-        engine,
+        db,
         "MATCH (r:Researcher) "
         "OPTIONAL MATCH (r)-[:SUPERVISES]->(s:Student) "
         "WITH r, count(s) AS studentsSupervised "

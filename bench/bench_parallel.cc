@@ -35,10 +35,10 @@ GraphPtr ParallelGraph() {
 void RunQuery(benchmark::State& state, const char* query) {
   EngineOptions opts;
   opts.num_threads = static_cast<size_t>(state.range(0));
-  CypherEngine engine = bench::MakeEngine(ParallelGraph(), opts);
+  Database db = bench::MakeDatabase(ParallelGraph(), opts);
   int64_t result = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, query);
+    Table t = bench::MustRun(db, query);
     // Integer first cell (the count queries) is the most stable check
     // value; for string-valued breakers fall back to the row count.
     const Value& cell = t.rows()[0][0];
@@ -48,9 +48,9 @@ void RunQuery(benchmark::State& state, const char* query) {
   }
   state.counters["result"] = static_cast<double>(result);
   state.counters["workers"] =
-      static_cast<double>(engine.options().num_threads);
-  if (engine.parallel_stats().queries == 0 &&
-      engine.options().num_threads > 1) {
+      static_cast<double>(db.engine().options().num_threads);
+  if (db.engine().parallel_stats().queries == 0 &&
+      db.engine().options().num_threads > 1) {
     state.SkipWithError("query did not take the parallel runtime");
   }
 }

@@ -88,47 +88,47 @@ EngineOptions Opts(PlannerOptions::Mode planner, bool cache) {
 }
 
 void BM_Cold(benchmark::State& state, PlannerOptions::Mode planner) {
-  CypherEngine engine = bench::MakeEngine(MakeRing(), Opts(planner, false));
-  MustBeNonEmpty(MustCount(engine.Execute(QueryWithLiteral(0))));
+  Database db = bench::MakeDatabase(MakeRing(), Opts(planner, false));
+  MustBeNonEmpty(MustCount(db.Execute(QueryWithLiteral(0))));
   int64_t id = 0, rows = 0;
   for (auto _ : state) {
-    rows += MustCount(engine.Execute(QueryWithLiteral(id)));
+    rows += MustCount(db.Execute(QueryWithLiteral(id)));
     id = (id + 1) % kHubs;
   }
   benchmark::DoNotOptimize(rows);
 }
 
 void BM_WarmText(benchmark::State& state, PlannerOptions::Mode planner) {
-  CypherEngine engine = bench::MakeEngine(MakeRing(), Opts(planner, true));
-  MustBeNonEmpty(MustCount(engine.Execute(QueryWithLiteral(0))));  // prime
+  Database db = bench::MakeDatabase(MakeRing(), Opts(planner, true));
+  MustBeNonEmpty(MustCount(db.Execute(QueryWithLiteral(0))));  // prime
   int64_t id = 0, rows = 0;
   for (auto _ : state) {
-    rows += MustCount(engine.Execute(QueryWithLiteral(id)));
+    rows += MustCount(db.Execute(QueryWithLiteral(id)));
     id = (id + 1) % kHubs;
   }
   benchmark::DoNotOptimize(rows);
-  const PlanCacheStats& s = engine.plan_cache_stats();
+  const PlanCacheStats& s = db.engine().plan_cache_stats();
   state.counters["hits"] = static_cast<double>(s.hits);
   state.counters["misses"] = static_cast<double>(s.misses);
 }
 
 void BM_WarmPrepared(benchmark::State& state, PlannerOptions::Mode planner) {
-  CypherEngine engine = bench::MakeEngine(MakeRing(), Opts(planner, true));
-  auto stmt = engine.Prepare(kParamQuery);
+  Database db = bench::MakeDatabase(MakeRing(), Opts(planner, true));
+  auto stmt = db.Prepare(kParamQuery);
   if (!stmt.ok()) {
     std::fprintf(stderr, "prepare failed: %s\n",
                  stmt.status().ToString().c_str());
     std::exit(1);
   }
   MustBeNonEmpty(
-      MustCount(engine.Execute(*stmt, {{"id", Value::Int(0)}})));  // prime
+      MustCount(db.Execute(*stmt, {{"id", Value::Int(0)}})));  // prime
   int64_t id = 0, rows = 0;
   for (auto _ : state) {
-    rows += MustCount(engine.Execute(*stmt, {{"id", Value::Int(id)}}));
+    rows += MustCount(db.Execute(*stmt, {{"id", Value::Int(id)}}));
     id = (id + 1) % kHubs;
   }
   benchmark::DoNotOptimize(rows);
-  const PlanCacheStats& s = engine.plan_cache_stats();
+  const PlanCacheStats& s = db.engine().plan_cache_stats();
   state.counters["hits"] = static_cast<double>(s.hits);
   state.counters["misses"] = static_cast<double>(s.misses);
 }

@@ -55,9 +55,9 @@ void RunMode(benchmark::State& state, ExecutionMode mode,
   // This benchmark measures the planner itself: plan reuse would collapse
   // all planner modes onto the warm path (see bench_plancache for that).
   opts.use_plan_cache = false;
-  CypherEngine engine = bench::MakeEngine(g, opts);
+  Database db = bench::MakeDatabase(g, opts);
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, kQuery);
+    Table t = bench::MustRun(db, kQuery);
     benchmark::DoNotOptimize(t);
   }
 }

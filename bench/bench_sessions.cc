@@ -22,14 +22,14 @@
 namespace gqlite {
 namespace {
 
-void SeedPeople(CypherEngine& engine, int64_t n) {
-  auto seed = engine.Execute("UNWIND range(0, " + std::to_string(n - 1) +
+void SeedPeople(Database& db, int64_t n) {
+  auto seed = db.Execute("UNWIND range(0, " + std::to_string(n - 1) +
                              ") AS i CREATE (:Person {id: i, score: i % 9})");
   if (!seed.ok()) {
     std::fprintf(stderr, "seed failed: %s\n", seed.status().ToString().c_str());
     std::exit(1);
   }
-  auto wire = engine.Execute(
+  auto wire = db.Execute(
       "MATCH (a:Person), (b:Person) WHERE b.id = a.id + 1 "
       "CREATE (a)-[:KNOWS]->(b)");
   if (!wire.ok()) {
@@ -44,15 +44,15 @@ void SeedPeople(CypherEngine& engine, int64_t n) {
 /// Items = completed reader transactions.
 void BM_MixedReadWrite(benchmark::State& state) {
   const int kReaders = static_cast<int>(state.range(0));
-  CypherEngine engine;
-  SeedPeople(engine, 256);
+  Database db = bench::MakeEmptyDatabase();
+  SeedPeople(db, 256);
 
   for (auto _ : state) {
     state.PauseTiming();
     AtomicCounter stop;
     AtomicCounter reader_txns;
-    std::thread writer([&engine, &stop] {
-      auto session = engine.CreateSession();
+    std::thread writer([&db, &stop] {
+      auto session = db.CreateSession();
       int64_t i = 0;
       while (stop.Load() == 0) {
         if (!session->Begin(TxnMode::kWrite).ok()) continue;
@@ -72,8 +72,8 @@ void BM_MixedReadWrite(benchmark::State& state) {
 
     constexpr int kTxnsPerReader = 32;
     for (int t = 0; t < kReaders; ++t) {
-      readers.emplace_back([&engine, &reader_txns] {
-        auto session = engine.CreateSession();
+      readers.emplace_back([&db, &reader_txns] {
+        auto session = db.CreateSession();
         for (int i = 0; i < kTxnsPerReader; ++i) {
           if (!session->Begin(TxnMode::kRead).ok()) continue;
           auto c = session->Execute("MATCH (p:Person) RETURN count(p) AS c");
@@ -107,9 +107,9 @@ BENCHMARK(BM_MixedReadWrite)->Arg(1)->Arg(2)->Arg(4)
 /// auto-commit for the same single statement. Items = statements.
 void BM_SnapshotPin(benchmark::State& state) {
   const bool explicit_txn = state.range(0) != 0;
-  CypherEngine engine;
-  SeedPeople(engine, 256);
-  auto session = engine.CreateSession();
+  Database db = bench::MakeEmptyDatabase();
+  SeedPeople(db, 256);
+  auto session = db.CreateSession();
   for (auto _ : state) {
     if (explicit_txn) {
       if (!session->Begin(TxnMode::kRead).ok()) {
@@ -133,14 +133,14 @@ BENCHMARK(BM_SnapshotPin)->Arg(0)->Arg(1);
 /// holds a transaction open across the whole run, so every commit COWs
 /// pages the pinned snapshot shares. Items = write transactions.
 void BM_CommitUnderPinnedSnapshot(benchmark::State& state) {
-  CypherEngine engine;
-  SeedPeople(engine, 256);
-  auto pin = engine.CreateSession();
+  Database db = bench::MakeEmptyDatabase();
+  SeedPeople(db, 256);
+  auto pin = db.CreateSession();
   if (!pin->Begin(TxnMode::kRead).ok()) {
     state.SkipWithError("pin failed");
     return;
   }
-  auto writer = engine.CreateSession();
+  auto writer = db.CreateSession();
   int64_t i = 0;
   for (auto _ : state) {
     if (!writer->Begin(TxnMode::kWrite).ok()) {

@@ -63,10 +63,10 @@ void BM_TemporalQueryMix(benchmark::State& state) {
     g->CreateNode({"Event"}, {{"on", Value::Temporal(day)},
                               {"idx", Value::Int(i)}});
   }
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   for (auto _ : state) {
     Table t = bench::MustRun(
-        engine,
+        db,
         "MATCH (e:Event) WHERE e.on >= date('2018-06-01') AND "
         "e.on < date('2018-06-01') + duration('P1M') "
         "RETURN count(*) AS june");

@@ -11,15 +11,15 @@ namespace {
 
 void BM_CreateNodes(benchmark::State& state) {
   for (auto _ : state) {
-    CypherEngine engine;
+    Database db = bench::MakeEmptyDatabase();
     for (int64_t i = 0; i < state.range(0); ++i) {
-      auto r = engine.Execute("CREATE (:N {idx: " + std::to_string(i) + "})");
+      auto r = db.Execute("CREATE (:N {idx: " + std::to_string(i) + "})");
       if (!r.ok()) {
         state.SkipWithError(r.status().ToString().c_str());
         return;
       }
     }
-    benchmark::DoNotOptimize(engine.graph().NumNodes());
+    benchmark::DoNotOptimize(db.graph().NumNodes());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
@@ -28,30 +28,30 @@ BENCHMARK(BM_CreateNodes)->Arg(100)->Arg(1000);
 void BM_CreateChainBatch(benchmark::State& state) {
   // One query creating a relationship per driving row (UNWIND + MATCH).
   for (auto _ : state) {
-    CypherEngine engine;
-    auto seed = engine.Execute("UNWIND range(0, " +
+    Database db = bench::MakeEmptyDatabase();
+    auto seed = db.Execute("UNWIND range(0, " +
                                std::to_string(state.range(0)) +
                                ") AS i CREATE (:N {idx: i})");
     if (!seed.ok()) {
       state.SkipWithError(seed.status().ToString().c_str());
       return;
     }
-    auto wire = engine.Execute(
+    auto wire = db.Execute(
         "MATCH (a:N), (b:N) WHERE b.idx = a.idx + 1 "
         "CREATE (a)-[:NEXT]->(b)");
     if (!wire.ok()) {
       state.SkipWithError(wire.status().ToString().c_str());
       return;
     }
-    benchmark::DoNotOptimize(engine.graph().NumRels());
+    benchmark::DoNotOptimize(db.graph().NumRels());
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CreateChainBatch)->Arg(64)->Arg(256);
 
 void BM_SetProperties(benchmark::State& state) {
-  CypherEngine engine;
-  auto seed = engine.Execute("UNWIND range(0, " +
+  Database db = bench::MakeEmptyDatabase();
+  auto seed = db.Execute("UNWIND range(0, " +
                              std::to_string(state.range(0)) +
                              ") AS i CREATE (:N {idx: i})");
   if (!seed.ok()) {
@@ -59,7 +59,7 @@ void BM_SetProperties(benchmark::State& state) {
     return;
   }
   for (auto _ : state) {
-    auto r = engine.Execute("MATCH (n:N) SET n.touched = n.idx * 2");
+    auto r = db.Execute("MATCH (n:N) SET n.touched = n.idx * 2");
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
       return;
@@ -72,15 +72,15 @@ BENCHMARK(BM_SetProperties)->Arg(100)->Arg(1000);
 
 void BM_MergeAllMatch(benchmark::State& state) {
   // Every MERGE matches: pure read path.
-  CypherEngine engine;
-  auto seed = engine.Execute("UNWIND range(0, 99) AS i CREATE (:K {k: i})");
+  Database db = bench::MakeEmptyDatabase();
+  auto seed = db.Execute("UNWIND range(0, 99) AS i CREATE (:K {k: i})");
   if (!seed.ok()) {
     state.SkipWithError(seed.status().ToString().c_str());
     return;
   }
   int64_t i = 0;
   for (auto _ : state) {
-    auto r = engine.Execute("MERGE (n:K {k: " + std::to_string(i % 100) +
+    auto r = db.Execute("MERGE (n:K {k: " + std::to_string(i % 100) +
                             "}) RETURN n");
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -94,10 +94,10 @@ BENCHMARK(BM_MergeAllMatch);
 
 void BM_MergeAllCreate(benchmark::State& state) {
   // Every MERGE misses: write path (match attempt + create).
-  CypherEngine engine;
+  Database db = bench::MakeEmptyDatabase();
   int64_t i = 0;
   for (auto _ : state) {
-    auto r = engine.Execute("MERGE (n:K {k: " + std::to_string(i++) +
+    auto r = db.Execute("MERGE (n:K {k: " + std::to_string(i++) +
                             "}) RETURN n");
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());
@@ -113,9 +113,9 @@ void BM_DetachDelete(benchmark::State& state) {
     state.PauseTiming();
     GraphPtr g = workload::MakeSocialNetwork(
         {static_cast<size_t>(state.range(0)), 6.0, 5, 7});
-    CypherEngine engine = bench::MakeEngine(g);
+    Database db = bench::MakeDatabase(g);
     state.ResumeTiming();
-    auto r = engine.Execute("FROM GRAPH bench MATCH (p:Person) "
+    auto r = db.Execute("FROM GRAPH bench MATCH (p:Person) "
                             "DETACH DELETE p");
     if (!r.ok()) {
       state.SkipWithError(r.status().ToString().c_str());

@@ -6,7 +6,7 @@
 #include <string>
 #include <string_view>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/generators.h"
 #include "src/workload/paper_graphs.h"
 
@@ -14,19 +14,19 @@ namespace gqlite {
 namespace bench {
 
 /// Set by the shared `--no-plan-cache` flag (GQLITE_BENCH_MAIN): disables
-/// plan reuse in every engine built through MakeEngine, restoring
+/// plan reuse in every engine built through MakeDatabase, restoring
 /// plan-per-execution behaviour so runs stay comparable with pre-cache
 /// baselines.
 inline bool g_no_plan_cache = false;
 
 /// Set by the shared `--no-batch` flag: forces batch_size = 1 in every
-/// engine built through MakeEngine, restoring tuple-at-a-time Volcano
+/// engine built through MakeDatabase, restoring tuple-at-a-time Volcano
 /// execution so runs stay comparable with pre-batching baselines.
 inline bool g_no_batch = false;
 
 /// Set by the shared `--threads N` / `--threads=N` flag: worker count of
 /// the morsel-driven parallel runtime for every engine built through
-/// MakeEngine (0 = leave each benchmark's own EngineOptions untouched).
+/// MakeDatabase (0 = leave each benchmark's own EngineOptions untouched).
 inline size_t g_num_threads = 0;
 
 /// Parses the `--threads` value strictly: a benchmark silently running at
@@ -66,23 +66,41 @@ inline void ConsumeGqliteBenchFlags(int* argc, char** argv) {
   *argc = out;
 }
 
-/// Builds an engine whose default graph is `g` — both the implicit graph
-/// plain `engine.Execute(query)` sees and the `bench` named graph the
-/// MustRun `FROM GRAPH bench` prefix selects.
-inline CypherEngine MakeEngine(GraphPtr g, EngineOptions opts = {}) {
+/// Opens an empty in-memory database with the shared bench flags
+/// applied. Aborts on failure: benchmarks must not silently measure a
+/// misconfigured engine.
+inline Database MakeEmptyDatabase(EngineOptions opts = {}) {
   if (g_no_plan_cache) opts.use_plan_cache = false;
   if (g_no_batch) opts.batch_size = 1;
   if (g_num_threads > 0) opts.num_threads = g_num_threads;
-  CypherEngine engine(opts);
-  engine.set_default_graph(g);
-  engine.RegisterGraph("bench", std::move(g));
-  return engine;
+  Result<Database> db = Database::OpenInMemory(opts);
+  if (!db.ok()) {
+    std::fprintf(stderr, "OpenInMemory failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(*db);
+}
+
+/// Builds an in-memory database whose default graph is `g` — both the
+/// implicit graph plain `db.Execute(query)` sees and the `bench` named
+/// graph the MustRun `FROM GRAPH bench` prefix selects.
+inline Database MakeDatabase(GraphPtr g, EngineOptions opts = {}) {
+  Database db = MakeEmptyDatabase(opts);
+  Status bound = db.engine().set_default_graph(g);
+  if (!bound.ok()) {
+    std::fprintf(stderr, "set_default_graph failed: %s\n",
+                 bound.ToString().c_str());
+    std::exit(1);
+  }
+  db.RegisterGraph("bench", std::move(g));
+  return db;
 }
 
 /// Runs a query against a named graph and aborts the benchmark binary on
 /// error (benchmarks must not silently measure failures).
-inline Table MustRun(CypherEngine& engine, const std::string& query) {
-  auto r = engine.Execute("FROM GRAPH bench " + query);
+inline Table MustRun(Database& db, const std::string& query) {
+  auto r = db.Execute("FROM GRAPH bench " + query);
   if (!r.ok()) {
     std::fprintf(stderr, "query failed: %s\n  %s\n", query.c_str(),
                  r.status().ToString().c_str());

@@ -14,12 +14,12 @@ namespace {
 void BM_ChainRangeSweep(benchmark::State& state) {
   // *1..k over a 256-node chain: result rows = sum over start positions.
   GraphPtr g = workload::MakeChain(256);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   std::string q = "MATCH (a)-[:NEXT*1.." + std::to_string(state.range(0)) +
                   "]->(b) RETURN count(*) AS c";
   int64_t rows = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, q);
+    Table t = bench::MustRun(db, q);
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -31,11 +31,11 @@ void BM_ChainUnbounded(benchmark::State& state) {
   // Unbounded `*` on chains of growing length: quadratic result size,
   // bounded by edge isomorphism.
   GraphPtr g = workload::MakeChain(static_cast<size_t>(state.range(0)));
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   int64_t rows = 0;
   for (auto _ : state) {
     Table t =
-        bench::MustRun(engine, "MATCH (a)-[:NEXT*]->(b) RETURN count(*) AS c");
+        bench::MustRun(db, "MATCH (a)-[:NEXT*]->(b) RETURN count(*) AS c");
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -47,13 +47,13 @@ void BM_GridPaths(benchmark::State& state) {
   // Directed grid: path counts between corners grow combinatorially with
   // the range bound.
   GraphPtr g = workload::MakeGrid(6, 6);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   std::string q = "MATCH (a {row: 0, col: 0})-[*1.." +
                   std::to_string(state.range(0)) +
                   "]->(b {row: 5, col: 5}) RETURN count(*) AS c";
   int64_t rows = 0;
   for (auto _ : state) {
-    Table t = bench::MustRun(engine, q);
+    Table t = bench::MustRun(db, q);
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -65,11 +65,11 @@ void BM_ZeroLengthLowerBound(benchmark::State& state) {
   // *0..2: zero-length refinements bind the endpoints together — each
   // node contributes itself plus its neighbourhood.
   GraphPtr g = workload::MakeCycle(static_cast<size_t>(state.range(0)));
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   int64_t rows = 0;
   for (auto _ : state) {
     Table t = bench::MustRun(
-        engine, "MATCH (a)-[:NEXT*0..2]->(b) RETURN count(*) AS c");
+        db, "MATCH (a)-[:NEXT*0..2]->(b) RETURN count(*) AS c");
     rows = t.rows()[0][0].AsInt();
     benchmark::DoNotOptimize(t);
   }
@@ -84,10 +84,10 @@ void BM_CitationTransitive(benchmark::State& state) {
   cfg.pubs_per_researcher = 3;
   cfg.avg_cites_per_pub = 1.5;
   GraphPtr g = workload::MakeCitationGraph(cfg);
-  CypherEngine engine = bench::MakeEngine(g);
+  Database db = bench::MakeDatabase(g);
   for (auto _ : state) {
     Table t = bench::MustRun(
-        engine,
+        db,
         "MATCH (p1:Publication)<-[:CITES*]-(p2:Publication) "
         "RETURN count(*) AS c");
     benchmark::DoNotOptimize(t);

@@ -24,11 +24,29 @@ compiler nor clang-tidy enforces:
 
   graph-mutation PropertyGraph mutator calls in src/ outside the layers
                  that own writes (src/graph/ itself, src/update/, the
-                 src/workload/ generators). Engine code must route writes
-                 through UpdateExecutor under the session/transaction
-                 layer, so the single-writer MVCC discipline (frozen
-                 snapshots, COW pages, data_version bumps) cannot be
-                 bypassed by a stray direct call.
+                 src/workload/ generators, and src/storage/ — WAL replay
+                 reconstructs the graph through the same mutators).
+                 Engine code must route writes through UpdateExecutor
+                 under the session/transaction layer, so the
+                 single-writer MVCC discipline (frozen snapshots, COW
+                 pages, data_version bumps) cannot be bypassed by a
+                 stray direct call.
+
+  storage-io     Raw file IO (fstream, fopen, ::open, O_CREAT flags) in
+                 src/ or examples/ outside src/storage/. Durability has
+                 exactly one home: everything that writes bytes to disk
+                 (WAL frames, checkpoint files, fsync discipline) lives
+                 behind the StorageEngine interface, so crash-safety
+                 invariants (append order, atomic replace, CRC framing)
+                 are auditable in one directory.
+
+  engine-construction
+                 Direct CypherEngine construction outside src/core/ and
+                 tests/. The public entry point is Database::Open /
+                 Database::OpenInMemory, which decides durability before
+                 any statement runs; a bare engine silently skips the
+                 storage layer. Tests may still construct engines to
+                 exercise internals.
 
 Waivers: append `// lint: allow(<rule>) <reason>` on the offending line,
 or as a full-line comment on the line directly above (for lines that
@@ -89,9 +107,28 @@ RULES = [
             r"|DetachDeleteNode|DeleteRelationship)\s*\("),
         lambda path: (path.startswith("src/")
                       and not path.startswith(("src/graph/", "src/update/",
-                                               "src/workload/"))),
+                                               "src/workload/",
+                                               "src/storage/"))),
         "direct PropertyGraph mutation outside the write-owning layers; "
         "route writes through UpdateExecutor / the transaction layer",
+    ),
+    (
+        "storage-io",
+        re.compile(r"std::(o|i)?fstream|\bfopen\s*\(|::open\s*\("
+                   r"|::creat\s*\(|\bO_CREAT\b|\bO_WRONLY\b|\bO_RDWR\b"),
+        lambda path: (path.startswith(("src/", "examples/"))
+                      and not path.startswith("src/storage/")),
+        "raw file IO outside src/storage/; durability goes through the "
+        "StorageEngine interface (WAL + checkpoint)",
+    ),
+    (
+        "engine-construction",
+        re.compile(r"\bCypherEngine\s+\w+\s*[;({=]|new\s+CypherEngine\b"
+                   r"|make_unique<\s*CypherEngine\b"),
+        lambda path: (path.startswith(("src/", "bench/", "examples/"))
+                      and not path.startswith("src/core/")),
+        "direct CypherEngine construction outside src/core/ and tests/; "
+        "open a Database (Database::Open / Database::OpenInMemory)",
     ),
 ]
 

@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/frontend/parser.h"
 #include "src/interp/interpreter.h"
 #include "src/workload/generators.h"
@@ -17,13 +17,15 @@ namespace {
 
 void RunOn(GraphPtr graph, const char* query) {
   std::cout << "cypher> " << query << "\n";
-  CypherEngine engine;
-  engine.RegisterGraph("default", graph);
-  // Point the engine at the prebuilt graph via the catalog: FROM GRAPH
-  // selects it (Cypher 10), or we just register it as the default.
-  CypherEngine fresh;
-  fresh.RegisterGraph("paper", graph);
-  auto result = fresh.Execute(std::string("FROM GRAPH paper ") + query);
+  // Point the database at the prebuilt graph via the catalog: FROM GRAPH
+  // selects it (Cypher 10).
+  auto db = Database::OpenInMemory();
+  if (!db.ok()) {
+    std::cout << "  " << db.status().ToString() << "\n\n";
+    return;
+  }
+  db->RegisterGraph("paper", graph);
+  auto result = db->Execute(std::string("FROM GRAPH paper ") + query);
   if (!result.ok()) {
     std::cout << "  " << result.status().ToString() << "\n\n";
     return;

@@ -5,7 +5,7 @@
 
 #include <iostream>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/generators.h"
 
 using namespace gqlite;
@@ -17,15 +17,20 @@ int main() {
   cfg.ring_size = 4;
   GraphPtr data = workload::MakeFraudGraph(cfg);
 
-  CypherEngine engine;
-  engine.RegisterGraph("accounts", data);
+  auto opened = Database::OpenInMemory();
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
+  db.RegisterGraph("accounts", data);
 
   std::cout << "Account graph: " << data->NumNodes() << " nodes, "
             << data->NumRels() << " relationships\n\n";
 
   // The paper's fraud query (§3), with the fraudRingCount alias used in
   // the filter.
-  auto rings = engine.Execute(
+  auto rings = db.Execute(
       "FROM GRAPH accounts "
       "MATCH (accHolder:AccountHolder)-[:HAS]->(pInfo) "
       "WHERE pInfo:SSN OR pInfo:PhoneNumber OR pInfo:Address "
@@ -45,7 +50,7 @@ int main() {
             << rings->table.ToString(data.get()) << "\n";
 
   // Ring sizes by information type.
-  auto by_type = engine.Execute(
+  auto by_type = db.Execute(
       "FROM GRAPH accounts "
       "MATCH (h:AccountHolder)-[:HAS]->(pInfo) "
       "WITH pInfo, count(h) AS holders WHERE holders > 1 "
@@ -59,7 +64,7 @@ int main() {
 
   // Second-degree exposure: holders connected to a flagged holder through
   // any shared information item.
-  auto exposure = engine.Execute(
+  auto exposure = db.Execute(
       "FROM GRAPH accounts "
       "MATCH (a:AccountHolder)-[:HAS]->(p)<-[:HAS]-(b:AccountHolder) "
       "WHERE a.uniqueId < b.uniqueId "

@@ -1,27 +1,34 @@
-// gqlsh — an interactive Cypher shell over an in-memory gqlite engine.
+// gqlsh — an interactive Cypher shell over a gqlite database.
 //
-//   ./build/examples/gqlsh            # empty graph
-//   ./build/examples/gqlsh --demo     # preloaded citation graph (Figure 1)
+//   ./build/examples/gqlsh              # in-memory, empty graph
+//   ./build/examples/gqlsh --demo       # preloaded citation graph (Figure 1)
+//   ./build/examples/gqlsh --db <dir>   # durable database rooted at <dir>
+//
+// With --db, every committed write is appended to <dir>/wal.log before
+// the prompt returns, and restarting the shell on the same directory
+// recovers the exact committed state.
 //
 // Meta commands:
 //   :explain <query>   show the Volcano plan
 //   :profile <query>   run and show per-operator row counts
 //   :stats             graph summary
+//   :checkpoint        fold the WAL into a fast-loading baseline (--db)
 //   :mode interp|volcano
 //   :quit
 
 #include <iostream>
 #include <string>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/paper_graphs.h"
 
 using namespace gqlite;
 
 namespace {
 
-void PrintStats(CypherEngine& engine) {
-  const PropertyGraph& g = engine.graph();
+void PrintStats(Database& db) {
+  const PropertyGraph& g = db.graph();
+  CypherEngine& engine = db.engine();
   std::cout << g.NumNodes() << " nodes, " << g.NumRels()
             << " relationships\n";
   for (const auto& [label_id, count] : g.LabelCounts()) {
@@ -62,12 +69,37 @@ void PrintStats(CypherEngine& engine) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  CypherEngine engine;
+  bool demo = false;
+  std::string db_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--demo") {
+      demo = true;
+    } else if (arg == "--db" && i + 1 < argc) {
+      db_path = argv[++i];
+    } else {
+      std::cerr << "usage: gqlsh [--demo] [--db <dir>]\n";
+      return 2;
+    }
+  }
 
-  if (argc > 1 && std::string(argv[1]) == "--demo") {
+  auto opened = db_path.empty() ? Database::OpenInMemory()
+                                : Database::Open(db_path);
+  if (!opened.ok()) {
+    std::cerr << "open failed: " << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
+  if (!db_path.empty()) {
+    std::cout << "durable database at " << db_path << ": "
+              << db.graph().NumNodes() << " nodes, " << db.graph().NumRels()
+              << " relationships recovered\n";
+  }
+
+  if (demo) {
     // Load the paper's Figure 1 graph via Cypher so the shell starts with
     // something to explore.
-    auto r = engine.Execute(
+    auto r = db.Execute(
         "CREATE (n1:Researcher {name: 'Nils'}), "
         "(n2:Publication {acmid: 220}), (n3:Publication {acmid: 190}), "
         "(n4:Publication {acmid: 235}), (n5:Publication {acmid: 240}), "
@@ -97,16 +129,27 @@ int main(int argc, char** argv) {
 
     if (line == ":quit" || line == ":exit") break;
     if (line == ":help") {
-      std::cout << ":explain <q>  :profile <q>  :stats  "
+      std::cout << ":explain <q>  :profile <q>  :stats  :checkpoint  "
                    ":mode interp|volcano  :quit\n";
       continue;
     }
     if (line == ":stats") {
-      PrintStats(engine);
+      PrintStats(db);
+      continue;
+    }
+    if (line == ":checkpoint") {
+      Status st = db.Checkpoint();
+      if (!st.ok()) {
+        std::cout << st.ToString() << "\n";
+      } else if (db_path.empty()) {
+        std::cout << "in-memory database; nothing to checkpoint\n";
+      } else {
+        std::cout << "checkpoint written; WAL truncated\n";
+      }
       continue;
     }
     if (line.rfind(":mode", 0) == 0) {
-      EngineOptions opts = engine.options();
+      EngineOptions opts = db.engine().options();
       if (line.find("interp") != std::string::npos) {
         opts.mode = ExecutionMode::kInterpreter;
         std::cout << "executing on the reference interpreter\n";
@@ -114,26 +157,27 @@ int main(int argc, char** argv) {
         opts.mode = ExecutionMode::kVolcano;
         std::cout << "executing on the Volcano runtime\n";
       }
-      engine.set_options(opts);
+      Status st = db.engine().set_options(opts);
+      if (!st.ok()) std::cout << st.ToString() << "\n";
       continue;
     }
     if (line.rfind(":explain ", 0) == 0) {
-      auto plan = engine.Explain(line.substr(9));
+      auto plan = db.Explain(line.substr(9));
       std::cout << (plan.ok() ? *plan : plan.status().ToString() + "\n");
       continue;
     }
     if (line.rfind(":profile ", 0) == 0) {
-      auto plan = engine.Profile(line.substr(9));
+      auto plan = db.Profile(line.substr(9));
       std::cout << (plan.ok() ? *plan : plan.status().ToString() + "\n");
       continue;
     }
 
-    auto result = engine.Execute(line);
+    auto result = db.Execute(line);
     if (!result.ok()) {
       std::cout << result.status().ToString() << "\n";
       continue;
     }
-    std::cout << result->ToString(&engine.graph());
+    std::cout << result->ToString(&db.graph());
   }
   return 0;
 }

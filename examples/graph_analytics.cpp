@@ -9,7 +9,7 @@
 #include <vector>
 
 #include "src/algo/graph_algorithms.h"
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/generators.h"
 
 using namespace gqlite;
@@ -40,9 +40,14 @@ int main() {
   }
 
   // Cross-check with a Cypher query: in-degree correlates with PageRank.
-  CypherEngine engine;
-  engine.RegisterGraph("cites", citations);
-  auto top_cited = engine.Execute(
+  auto opened = Database::OpenInMemory();
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
+  db.RegisterGraph("cites", citations);
+  auto top_cited = db.Execute(
       "FROM GRAPH cites MATCH (p:Publication)<-[:CITES]-(q) "
       "RETURN p.acmid AS acmid, count(q) AS cites "
       "ORDER BY cites DESC LIMIT 5");

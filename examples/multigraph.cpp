@@ -4,13 +4,18 @@
 
 #include <iostream>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/generators.h"
 
 using namespace gqlite;
 
 int main() {
-  CypherEngine engine;
+  auto opened = Database::OpenInMemory();
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
 
   // soc_net lives "at" an external URL (simulated by the catalog's URL
   // registry; see DESIGN.md substitutions).
@@ -19,11 +24,11 @@ int main() {
   cfg.avg_friends = 6;
   cfg.num_cities = 10;
   GraphPtr soc = workload::MakeSocialNetwork(cfg);
-  engine.RegisterUrl("hdfs://cluster/soc_network", soc);
+  db.RegisterUrl("hdfs://cluster/soc_network", soc);
 
   // The register graph: the same people, IN edges to cities (the social
   // generator already adds them, so reuse a second network as register).
-  engine.RegisterUrl("bolt://cluster/citizens", soc);
+  db.RegisterUrl("bolt://cluster/citizens", soc);
 
   std::cout << "soc_net: " << soc->NumNodes() << " nodes, " << soc->NumRels()
             << " relationships\n\n";
@@ -31,7 +36,7 @@ int main() {
   // --- Example 6.1, first query: project a friend-sharing graph. ----------
   ValueMap params;
   params["duration"] = Value::Int(5);
-  auto projected = engine.Execute(
+  auto projected = db.Execute(
       "FROM GRAPH soc_net AT \"hdfs://cluster/soc_network\" "
       "MATCH (a)-[r1:FRIEND]-()-[r2:FRIEND]-(b) "
       "WHERE abs(r2.since - r1.since) < $duration AND a.name < b.name "
@@ -50,7 +55,7 @@ int main() {
   // --- Example 6.1, composition: filter the projected graph against the
   // register (same-city pairs). Node identity does not transfer between
   // graphs, so the join goes through the `name` key. ----------------------
-  auto composed = engine.Execute(
+  auto composed = db.Execute(
       "QUERY GRAPH friends "
       "MATCH (a)-[:SHARE_FRIEND]-(b) "
       "WITH a.name AS an, b.name AS bn WHERE an < bn "
@@ -67,7 +72,7 @@ int main() {
             << composed->table.ToString() << "\n";
 
   // --- Named graphs are addressable afterwards too. -----------------------
-  auto again = engine.Execute(
+  auto again = db.Execute(
       "FROM GRAPH friends MATCH (a)-[:SHARE_FRIEND]->(b) "
       "RETURN count(*) AS pairs");
   if (again.ok()) {

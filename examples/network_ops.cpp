@@ -4,7 +4,7 @@
 
 #include <iostream>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 #include "src/workload/generators.h"
 
 using namespace gqlite;
@@ -16,13 +16,18 @@ int main() {
   cfg.fanout = 3;
   GraphPtr net = workload::MakeDependencyNetwork(cfg);
 
-  CypherEngine engine;
-  engine.RegisterGraph("datacenter", net);
+  auto opened = Database::OpenInMemory();
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
+  db.RegisterGraph("datacenter", net);
   std::cout << "Dependency graph: " << net->NumNodes() << " services, "
             << net->NumRels() << " dependencies\n\n";
 
   // The paper's network-management query: most depended-upon component.
-  auto critical = engine.Execute(
+  auto critical = db.Execute(
       "FROM GRAPH datacenter "
       "MATCH (svc:Service)<-[:DEPENDS_ON*]-(dep:Service) "
       "RETURN svc.name AS service, count(DISTINCT dep) AS dependents "
@@ -38,7 +43,7 @@ int main() {
 
   // Impact analysis: what would an outage of that component take down,
   // tier by tier?
-  auto impact = engine.Execute(
+  auto impact = db.Execute(
       "FROM GRAPH datacenter "
       "MATCH (core:Service {name: 'svc-0-0'})<-[:DEPENDS_ON*]-(dep) "
       "RETURN dep.tier AS tier, count(DISTINCT dep) AS affected "
@@ -50,7 +55,7 @@ int main() {
 
   // Shortest dependency chains from the top tier to the core (path length
   // distribution via variable-length matching).
-  auto chains = engine.Execute(
+  auto chains = db.Execute(
       "FROM GRAPH datacenter "
       "MATCH (top:Service {tier: 3})-[deps:DEPENDS_ON*1..4]->"
       "(core:Service {name: 'svc-0-0'}) "
@@ -63,7 +68,7 @@ int main() {
 
   // Redundancy check: services depending on a single tier-below service
   // are single-point-of-failure candidates.
-  auto spof = engine.Execute(
+  auto spof = db.Execute(
       "FROM GRAPH datacenter "
       "MATCH (s:Service)-[:DEPENDS_ON]->(d:Service) "
       "WITH s, count(DISTINCT d) AS deps WHERE deps = 1 "

@@ -1,5 +1,5 @@
-// Quickstart: create a small property graph with Cypher, query it, update
-// it, and look at a query plan. Build & run:
+// Quickstart: open a database, create a small property graph with
+// Cypher, query it, update it, and look at a query plan. Build & run:
 //
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/examples/quickstart
@@ -7,39 +7,46 @@
 #include <cstdio>
 #include <iostream>
 
-#include "src/core/engine.h"
+#include "src/core/database.h"
 
-using gqlite::CypherEngine;
+using gqlite::Database;
 using gqlite::Value;
 using gqlite::ValueMap;
 
 namespace {
 
 /// Runs a query and prints the rendered result (or the error).
-void Run(CypherEngine& engine, const char* query, const ValueMap& params = {}) {
+void Run(Database& db, const char* query, const ValueMap& params = {}) {
   std::cout << "cypher> " << query << "\n";
-  auto result = engine.Execute(query, params);
+  auto result = db.Execute(query, params);
   if (!result.ok()) {
     std::cout << "  " << result.status().ToString() << "\n\n";
     return;
   }
-  std::cout << result->ToString(&engine.graph()) << "\n";
+  std::cout << result->ToString(&db.graph()) << "\n";
 }
 
 }  // namespace
 
 int main() {
-  CypherEngine engine;
+  // In-memory database; Database::Open("/some/dir") instead makes every
+  // committed write durable (WAL + checkpoints, crash recovery).
+  auto opened = Database::OpenInMemory();
+  if (!opened.ok()) {
+    std::cerr << opened.status().ToString() << "\n";
+    return 1;
+  }
+  Database db = std::move(*opened);
 
   // --- Create data (the update language of §2). --------------------------
-  Run(engine,
+  Run(db,
       "CREATE (ada:Person {name: 'Ada', born: 1815})-[:KNOWS {since: 1833}]->"
       "(charles:Person {name: 'Charles', born: 1791}), "
       "(ada)-[:LIKES]->(math:Topic {name: 'Mathematics'}), "
       "(charles)-[:LIKES]->(math)");
 
   // --- Pattern matching ("ASCII art", §2). --------------------------------
-  Run(engine,
+  Run(db,
       "MATCH (a:Person)-[:LIKES]->(t:Topic)<-[:LIKES]-(b:Person) "
       "WHERE a.name < b.name "
       "RETURN a.name, b.name, t.name AS sharedTopic");
@@ -47,27 +54,27 @@ int main() {
   // --- Query parameters (§2: injection-safe by construction). ------------
   ValueMap params;
   params["name"] = Value::String("Ada");
-  Run(engine, "MATCH (p:Person {name: $name}) RETURN p.born", params);
+  Run(db, "MATCH (p:Person {name: $name}) RETURN p.born", params);
 
   // --- Aggregation with implicit grouping (§3). ---------------------------
-  Run(engine,
+  Run(db,
       "MATCH (p:Person)-[:LIKES]->(t:Topic) "
       "RETURN t.name, count(p) AS fans, collect(p.name) AS names");
 
   // --- OPTIONAL MATCH and null handling. ----------------------------------
-  Run(engine,
+  Run(db,
       "MATCH (p:Person) OPTIONAL MATCH (p)-[:MENTORS]->(m) "
       "RETURN p.name, m");
 
   // --- Updates: MERGE is match-or-create. ---------------------------------
-  Run(engine,
+  Run(db,
       "MERGE (t:Topic {name: 'Mathematics'}) "
       "ON MATCH SET t.popular = true RETURN t");
-  Run(engine, "MATCH (p:Person {name: 'Ada'}) SET p.famous = true");
-  Run(engine, "MATCH (p:Person) RETURN p.name, p.famous");
+  Run(db, "MATCH (p:Person {name: 'Ada'}) SET p.famous = true");
+  Run(db, "MATCH (p:Person) RETURN p.name, p.famous");
 
   // --- EXPLAIN: the Volcano plan (§2 "Neo4j implementation"). -------------
-  auto plan = engine.Explain(
+  auto plan = db.Explain(
       "MATCH (a:Person)-[:KNOWS]->(b:Person) WHERE b.born < 1800 "
       "RETURN a.name");
   if (plan.ok()) {
@@ -76,7 +83,7 @@ int main() {
   }
 
   // --- Temporal values (Cypher 10 preview, §6). ----------------------------
-  Run(engine,
+  Run(db,
       "RETURN date('1815-12-10') AS born, "
       "date('1815-12-10') + duration('P27Y') AS analyticalEngineEra");
 

@@ -28,6 +28,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kConflict:
       return "Conflict";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -26,6 +26,9 @@ enum class StatusCode : uint8_t {
   /// A transactional conflict the caller can retry (e.g. attempting to
   /// begin a write transaction while another writer is active).
   kConflict,
+  /// On-disk state failed validation (bad magic, CRC mismatch, truncated
+  /// section): the storage layer refuses to load it.
+  kCorruption,
 };
 
 /// Returns a human-readable name for a status code ("SyntaxError", ...).
@@ -78,6 +81,9 @@ class Status {
   }
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return state_ == nullptr; }

@@ -1,0 +1,125 @@
+#ifndef GQLITE_CORE_DATABASE_H_
+#define GQLITE_CORE_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/core/engine.h"
+#include "src/core/session.h"
+
+namespace gqlite {
+
+/// The public entry point of gqlite: a database handle that owns the
+/// query engine and decides where the data lives.
+///
+/// ```
+/// GQL_ASSIGN_OR_RETURN(Database db, Database::Open("/path/to/db"));
+/// db.Execute("CREATE (:Person {name: 'Ada'})");  // durable on return
+/// auto result = db.Execute("MATCH (p:Person) RETURN p.name");
+/// db.Checkpoint();  // fold the log into a fast-loading baseline
+/// ```
+///
+/// Open(path) backs the database with a directory: every committed
+/// write is appended to a write-ahead log and fsync'd before the call
+/// returns, and reopening the same path recovers the exact committed
+/// state (latest checkpoint plus WAL replay; torn tails from a crash
+/// are discarded). OpenInMemory() keeps everything in RAM — same API,
+/// no files, Checkpoint() a no-op.
+///
+/// The engine underneath (CypherEngine) is an internal layer: sessions,
+/// transactions, plan caching and parallel execution all behave exactly
+/// as documented there, and engine() exposes it for introspection
+/// (stats, plan cache, catalog). Constructing a CypherEngine directly
+/// is reserved to src/core/ and tests (lint-enforced) — everything
+/// else opens a Database.
+///
+/// A Database is movable, not copyable. Destruction closes it (flushing
+/// any setup-API writes that bypassed a transaction); call Close()
+/// explicitly to observe the final flush status. The Database must
+/// outlive every Session it created.
+class Database {
+ public:
+  /// Opens (creating on first use) a durable database rooted at the
+  /// directory `path` and recovers its committed state.
+  static Result<Database> Open(const std::string& path,
+                               EngineOptions options = {});
+  /// Opens a database with no persistence at all.
+  static Result<Database> OpenInMemory(EngineOptions options = {});
+
+  Database(Database&&) noexcept = default;
+  Database& operator=(Database&&) noexcept = default;
+  ~Database();
+
+  /// Opens a session for multi-statement transactions (see Session).
+  std::unique_ptr<Session> CreateSession() { return engine_->CreateSession(); }
+
+  /// Parses, validates and runs a statement (auto-commit: an updating
+  /// statement is durable when the call returns OK).
+  Result<QueryResult> Execute(std::string_view query,
+                              const ValueMap& params = {}) {
+    return engine_->Execute(query, params);
+  }
+  Result<QueryResult> Execute(const PreparedQuery& prepared,
+                              const ValueMap& params = {}) {
+    return engine_->Execute(prepared, params);
+  }
+  /// Parses, validates and auto-parameterizes a statement without
+  /// running it.
+  Result<PreparedQuery> Prepare(std::string_view query) {
+    return engine_->Prepare(query);
+  }
+  /// Structured single-statement execution (see QueryRequest).
+  Result<QueryResult> Run(const QueryRequest& req) {
+    return engine_->Run(req);
+  }
+  /// Renders the physical plan for a read query.
+  Result<std::string> Explain(std::string_view query,
+                              const ValueMap& params = {}) {
+    return engine_->Explain(query, params);
+  }
+  /// Executes a read query and renders the plan with row counters.
+  Result<std::string> Profile(std::string_view query,
+                              const ValueMap& params = {}) {
+    return engine_->Profile(query, params);
+  }
+
+  /// Registers a named graph in the catalog (`FROM GRAPH name ...`).
+  /// Named graphs are NOT persisted — only the default graph is WAL-
+  /// backed; re-register them after reopening.
+  void RegisterGraph(const std::string& name, GraphPtr g) {
+    engine_->RegisterGraph(name, std::move(g));
+  }
+  /// Registers a graph under an external URL (FROM GRAPH ... AT "url").
+  /// Like named graphs, URL bindings are not persisted.
+  void RegisterUrl(const std::string& url, GraphPtr g) {
+    engine_->RegisterUrl(url, std::move(g));
+  }
+
+  /// Serializes the committed state as a new recovery baseline and
+  /// truncates the write-ahead log, making the next Open load the
+  /// checkpoint instead of replaying history. No-op in memory.
+  Status Checkpoint() { return engine_->Checkpoint(); }
+  /// Flushes and closes the storage layer; later writes fail. The
+  /// handle stays valid for reads of the in-memory state.
+  Status Close();
+
+  /// The engine underneath — introspection (stats, plan cache, catalog,
+  /// options) and named-graph registration.
+  CypherEngine& engine() { return *engine_; }
+  /// Direct access to the default graph: a single-caller setup API that
+  /// bypasses transactions (fixture loading). Writes made through it
+  /// become durable at the next transaction boundary (or Checkpoint/
+  /// Close), not immediately.
+  PropertyGraph& graph() { return engine_->graph(); }
+
+ private:
+  explicit Database(EngineOptions options)
+      : engine_(std::make_unique<CypherEngine>(options)) {}
+
+  std::unique_ptr<CypherEngine> engine_;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_CORE_DATABASE_H_

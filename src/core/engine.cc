@@ -10,6 +10,8 @@
 #include "src/frontend/parser.h"
 #include "src/interp/interpreter.h"
 #include "src/plan/runtime.h"
+#include "src/storage/storage_engine.h"
+#include "src/storage/wal_recorder.h"
 
 namespace gqlite {
 
@@ -85,8 +87,70 @@ CypherEngine::CypherEngine(EngineOptions options)
   graph_ = catalog_.default_graph();
 }
 
-CypherEngine::~CypherEngine() = default;
+CypherEngine::~CypherEngine() {
+  // The graph may outlive the engine (shared_ptr handed out via
+  // graph_ptr()); never leave it pointing at the dying recorder.
+  if (recorder_ != nullptr && graph_ != nullptr) {
+    graph_->set_write_observer(nullptr);
+  }
+}
 CypherEngine::CypherEngine(CypherEngine&&) noexcept = default;
+
+Status CypherEngine::BindStorage(std::unique_ptr<StorageEngine> storage) {
+  GQL_ASSIGN_OR_RETURN(std::shared_ptr<PropertyGraph> recovered,
+                       storage->Recover());
+  storage_ = std::move(storage);
+  if (storage_->durable()) {
+    recorder_ = std::make_unique<WalRecorder>(recovered.get());
+    recovered->set_write_observer(recorder_.get());
+  }
+  catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, recovered);
+  MutexLock lock(&txn_mu_);
+  graph_ = std::move(recovered);
+  committed_snapshot_ = nullptr;
+  committed_src_ = nullptr;
+  committed_version_ = 0;
+  return Status::OK();
+}
+
+Status CypherEngine::Checkpoint() {
+  if (storage_ == nullptr) return Status::OK();
+  // Hold the writer slot across the whole checkpoint: an active write
+  // transaction finishes first, new ones wait, and AcquireWriter has
+  // already flushed any pending setup-API batch — so the pinned
+  // committed snapshot matches "every WAL batch appended so far",
+  // exactly what WriteCheckpoint claims.
+  GQL_RETURN_IF_ERROR(AcquireWriter(/*wait=*/true).status());
+  GraphPtr snapshot;
+  {
+    MutexLock lock(&txn_mu_);
+    snapshot = ReadSnapshotLocked();
+  }
+  Status written = storage_->WriteCheckpoint(*snapshot);
+  // Nothing was mutated, so releasing the slot cannot append a batch.
+  Status released = CommitWriter();
+  return written.ok() ? released : written;
+}
+
+Status CypherEngine::Close() {
+  if (storage_ == nullptr) return Status::OK();
+  Status flushed = Status::OK();
+  if (recorder_ != nullptr) {
+    // Taking the writer slot waits out in-flight writers and flushes any
+    // pending setup-API batch; detach the recorder before releasing so
+    // no op can slip in after the final append.
+    Result<GraphPtr> live = AcquireWriter(/*wait=*/true);
+    if (live.ok()) {
+      (*live)->set_write_observer(nullptr);
+      flushed = CommitWriter();
+    } else {
+      flushed = live.status();
+    }
+    recorder_.reset();
+  }
+  Status closed = storage_->Close();
+  return flushed.ok() ? closed : flushed;
+}
 
 std::unique_ptr<Session> CypherEngine::CreateSession() {
   uint64_t ordinal;
@@ -182,7 +246,14 @@ std::string CypherEngine::OptionsFingerprint() const {
 
 // ---- MVCC transaction core -------------------------------------------------
 
-void CypherEngine::set_default_graph(GraphPtr g) {
+Status CypherEngine::set_default_graph(GraphPtr g) {
+  if (recorder_ != nullptr) {
+    // The durable default graph IS the recovered, WAL-backed store;
+    // swapping it out from under the log would desynchronize recovery.
+    return Status::InvalidArgument(
+        "set_default_graph: a durable database owns its default graph; "
+        "register additional graphs by name instead");
+  }
   catalog_.RegisterGraph(GraphCatalog::kDefaultGraphName, g);
   MutexLock lock(&txn_mu_);
   graph_ = std::move(g);
@@ -193,6 +264,7 @@ void CypherEngine::set_default_graph(GraphPtr g) {
   committed_snapshot_ = nullptr;
   committed_src_ = nullptr;
   committed_version_ = 0;
+  return Status::OK();
 }
 
 GraphPtr CypherEngine::ReadSnapshot() {
@@ -223,24 +295,60 @@ GraphPtr CypherEngine::ReadSnapshotLocked() {
 }
 
 Result<GraphPtr> CypherEngine::AcquireWriter(bool wait) {
-  MutexLock lock(&txn_mu_);
-  while (writer_active_) {
-    if (!wait) {
-      return Status::Conflict(
-          "write-write conflict: another write transaction is in progress");
-    }
-    txn_cv_.Wait(&txn_mu_);
+  // Durable storage whose recorder is gone has been Close()d: writes
+  // could no longer be logged, so refuse them instead of silently
+  // diverging memory from disk.
+  if (storage_ != nullptr && storage_->durable() && recorder_ == nullptr) {
+    return Status::InvalidArgument("database is closed for writes");
   }
-  // Pin the pre-transaction committed state BEFORE any dirty write:
-  // readers starting during the transaction are served this snapshot,
-  // and Rollback restores it.
-  ReadSnapshotLocked();
-  writer_active_ = true;
-  writer_graph_ = graph_.get();
-  return graph_;
+  GraphPtr head;
+  {
+    MutexLock lock(&txn_mu_);
+    while (writer_active_) {
+      if (!wait) {
+        return Status::Conflict(
+            "write-write conflict: another write transaction is in progress");
+      }
+      txn_cv_.Wait(&txn_mu_);
+    }
+    // Pin the pre-transaction committed state BEFORE any dirty write:
+    // readers starting during the transaction are served this snapshot,
+    // and Rollback restores it.
+    ReadSnapshotLocked();
+    writer_active_ = true;
+    writer_graph_ = graph_.get();
+    head = graph_;
+  }
+  // Holding the writer slot (appends are serialized by it, not by a
+  // lock), flush ops from setup-API writes that bypassed a transaction
+  // (graph() fixture loads) as their own batch. They are part of the
+  // snapshot pinned above, so a rollback — which discards only pending
+  // ops — stays consistent with the log.
+  if (recorder_ != nullptr && recorder_->HasPending()) {
+    Status st = storage_->AppendCommit(recorder_->TakePending());
+    if (!st.ok()) {
+      MutexLock lock(&txn_mu_);
+      writer_active_ = false;
+      writer_graph_ = nullptr;
+      txn_cv_.NotifyAll();
+      return st;
+    }
+  }
+  return head;
 }
 
-void CypherEngine::CommitWriter() {
+Status CypherEngine::CommitWriter() {
+  // Durability first: the batch is on disk (fsync'd) before the commit
+  // is acknowledged — still holding the writer slot, so batches hit the
+  // log in commit order. On failure the transaction rolls back: OK from
+  // this function is the moment the commit exists.
+  if (recorder_ != nullptr && recorder_->HasPending()) {
+    Status st = storage_->AppendCommit(recorder_->TakePending());
+    if (!st.ok()) {
+      RollbackWriter();
+      return st;
+    }
+  }
   MutexLock lock(&txn_mu_);
   // Publishing is lazy: with the writer slot free, the next
   // ReadSnapshotLocked sees the head's data_version moved and takes a
@@ -248,6 +356,7 @@ void CypherEngine::CommitWriter() {
   writer_active_ = false;
   writer_graph_ = nullptr;
   txn_cv_.NotifyAll();
+  return Status::OK();
 }
 
 void CypherEngine::RollbackWriter() {
@@ -258,6 +367,14 @@ void CypherEngine::RollbackWriter() {
       // Re-materialize the pre-begin state as a fresh live head. The
       // committed snapshot stays (it is content-equal to the new head).
       restored = committed_snapshot_->Clone();
+      if (recorder_ != nullptr) {
+        // Drop the transaction's unlogged ops and observe the restored
+        // head from its (rolled-back) interner state — which matches
+        // what the log contains, since AcquireWriter flushed everything
+        // older.
+        recorder_->Rebind(restored.get());
+        restored->set_write_observer(recorder_.get());
+      }
       graph_ = restored;
       committed_src_ = restored.get();
       committed_version_ = restored->data_version();
@@ -318,6 +435,20 @@ Result<QueryResult> CypherEngine::Execute(const PreparedQuery& prepared,
   return ExecuteWith(prepared, params, /*session_rand=*/nullptr);
 }
 
+Result<QueryResult> CypherEngine::Run(const QueryRequest& req) {
+  PreparedQuery prepared = req.prepared;
+  if (!prepared.valid()) {
+    GQL_ASSIGN_OR_RETURN(prepared, Prepare(req.text));
+  }
+  if (req.graph != nullptr) {
+    // Caller-pinned binding: execute directly against it, outside the
+    // auto-commit transaction wrapper (the caller owns the pin's
+    // consistency story, as Session does for transactions).
+    return ExecuteOn(prepared, req.params, req.graph);
+  }
+  return ExecuteWith(prepared, req.params, /*session_rand=*/nullptr);
+}
+
 Result<QueryResult> CypherEngine::ExecuteWith(const PreparedQuery& prepared,
                                               const ValueMap& params,
                                               uint64_t* session_rand) {
@@ -333,7 +464,8 @@ Result<QueryResult> CypherEngine::ExecuteWith(const PreparedQuery& prepared,
     GQL_ASSIGN_OR_RETURN(GraphPtr live, AcquireWriter(/*wait=*/true));
     Result<QueryResult> result = ExecuteOn(prepared, params, live,
                                            session_rand);
-    CommitWriter();
+    Status committed = CommitWriter();
+    if (result.ok() && !committed.ok()) return committed;
     return result;
   }
   // Read statement: execute against the committed-state snapshot. The

@@ -16,6 +16,9 @@ namespace gqlite {
 
 class WorkerPool;
 class Session;
+class Database;
+class StorageEngine;
+class WalRecorder;
 struct ParallelRunStats;
 
 /// How read queries execute (experiment E15 ablates the two):
@@ -113,6 +116,21 @@ class PreparedQuery {
   PreparedPtr state_;
 };
 
+/// One statement execution, in structured form: the single request shape
+/// behind the Execute overload set (CypherEngine::Run). Exactly one of
+/// `text`/`prepared` supplies the statement — a valid `prepared` handle
+/// wins and `text` is ignored. `graph` optionally pins an explicit
+/// binding (a transaction's snapshot, or a registered graph to query
+/// directly); when null the engine resolves the binding per its
+/// auto-commit transaction rules (committed snapshot for reads, the
+/// writer head for updates).
+struct QueryRequest {
+  std::string_view text;
+  PreparedQuery prepared;
+  ValueMap params;
+  GraphPtr graph;
+};
+
 /// The public entry point of gqlite: parse → analyze → execute Cypher
 /// over an in-memory property graph (plus the Cypher 10 named-graph
 /// catalog).
@@ -174,7 +192,10 @@ class CypherEngine {
   /// the catalog version bump. Under sessions the binding is pinned per
   /// transaction: statements already running (and open transactions)
   /// keep the graph they resolved at begin; later transactions see `g`.
-  void set_default_graph(GraphPtr g);
+  /// Fails with kInvalidArgument on a durable database — its default
+  /// graph IS the recovered, WAL-backed store and cannot be swapped out
+  /// from under the log.
+  Status set_default_graph(GraphPtr g);
   /// Registers a named graph in the catalog (convenience form for setup
   /// code — examples, benches, tests).
   void RegisterGraph(const std::string& name, GraphPtr g) {
@@ -209,6 +230,22 @@ class CypherEngine {
   Result<QueryResult> Execute(const PreparedQuery& prepared,
                               const ValueMap& params = {});
 
+  /// The structured entry point every Execute overload (and
+  /// Session::Execute) funnels into: one statement by text or prepared
+  /// handle, with parameters and an optional explicit graph binding.
+  Result<QueryResult> Run(const QueryRequest& req);
+
+  /// Serializes the committed state as a new recovery baseline and
+  /// truncates the write-ahead log (no-op without durable storage).
+  /// Takes the writer slot for the duration: waits for an active write
+  /// transaction, and holds out new ones while the checkpoint file is
+  /// written.
+  Status Checkpoint();
+
+  /// Flushes any setup-API writes still pending and closes the bound
+  /// storage engine; later write commits fail. No-op without storage.
+  Status Close();
+
   /// Renders the physical plan for a read query (Volcano operators).
   Result<std::string> Explain(std::string_view query,
                               const ValueMap& params = {});
@@ -219,10 +256,15 @@ class CypherEngine {
                               const ValueMap& params = {});
 
   const EngineOptions& options() const { return options_; }
-  void set_options(EngineOptions options) {
+  /// Reconfigures the engine (a single-owner operation: quiesce in-flight
+  /// queries first). Returns the environment-override parse status — the
+  /// same error every later Prepare/Execute would surface, so callers
+  /// that check it fail fast at the reconfiguration site.
+  Status set_options(EngineOptions options) {
     options_ = options;
     options_status_ = ApplyEnvOverrides(&options_);
     plan_cache_.set_capacity(options.plan_cache_capacity);
+    return options_status_;
   }
 
   /// The plan cache (tests/tools may Clear(), resize or reset stats —
@@ -274,6 +316,18 @@ class CypherEngine {
 
  private:
   friend class Session;
+  /// Database is the ONE caller allowed to bind a storage engine: every
+  /// other component receives an engine whose durability is already
+  /// decided.
+  friend class Database;
+
+  /// Installs the persistence layer: recovers the starting graph from
+  /// `storage` (checkpoint + WAL replay for the durable engine, a fresh
+  /// graph in-memory), binds it as the default graph, and — when the
+  /// engine is durable — attaches a WalRecorder so every committed
+  /// primitive mutation is appended to the log before the commit is
+  /// acknowledged. Called once, before any statement runs.
+  Status BindStorage(std::unique_ptr<StorageEngine> storage);
 
   /// Applies the GQLITE_BATCH_SIZE / GQLITE_THREADS environment
   /// overrides and clamps programmatic values — shared by the
@@ -313,8 +367,12 @@ class CypherEngine {
   /// whether to retry).
   Result<GraphPtr> AcquireWriter(bool wait) EXCLUDES(txn_mu_);
   /// Publishes the writer's changes (later ReadSnapshot calls see them)
-  /// and frees the writer slot.
-  void CommitWriter() EXCLUDES(txn_mu_);
+  /// and frees the writer slot. With durable storage bound, the
+  /// transaction's WAL batch is appended and fsync'd FIRST — an OK
+  /// return means the commit survives any crash; on append failure the
+  /// transaction is rolled back and the error returned (the commit never
+  /// happened).
+  Status CommitWriter() EXCLUDES(txn_mu_);
   /// Discards the writer's changes by re-materializing the pre-begin
   /// committed snapshot as the new live head, then frees the slot.
   void RollbackWriter() EXCLUDES(txn_mu_);
@@ -397,6 +455,17 @@ class CypherEngine {
   /// every transactional path reads/writes it under txn_mu_.
   GraphPtr graph_;
   PlanCache plan_cache_;
+
+  /// Persistence layer (BindStorage). Null for engines constructed
+  /// directly (legacy in-memory behavior, no recorder overhead at all).
+  /// Mutating storage state is always done while HOLDING the writer
+  /// slot, which serializes appends/checkpoints without a lock of its
+  /// own.
+  std::unique_ptr<StorageEngine> storage_;
+  /// Observes the live head's primitive mutations for the WAL; non-null
+  /// exactly when storage_ is durable. Harvested at commit (and at
+  /// writer-acquire, for setup-API writes that bypassed a transaction).
+  std::unique_ptr<WalRecorder> recorder_;
 
   /// Transaction coordination: the single-writer slot and the lazily
   /// refreshed committed-state snapshot.

@@ -32,13 +32,17 @@ Status Session::Commit() {
   if (!open_) {
     return Status::InvalidArgument("no open transaction to commit");
   }
+  Status committed = Status::OK();
   if (mode_ == TxnMode::kWrite) {
-    engine_->CommitWriter();
+    // On failure the engine has already rolled the transaction back
+    // (durable commit could not be appended); the session closes either
+    // way and the caller decides whether to retry.
+    committed = engine_->CommitWriter();
   }
   open_ = false;
   txn_graph_.reset();
   txn_catalog_.reset();
-  return Status::OK();
+  return committed;
 }
 
 Status Session::Rollback() {

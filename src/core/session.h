@@ -60,7 +60,10 @@ class Session {
   /// open, or kConflict for kWrite when another writer is active.
   Status Begin(TxnMode mode = TxnMode::kRead);
   /// Commits the open transaction (publishes writes; read transactions
-  /// just release their snapshot pin).
+  /// just release their snapshot pin). On a durable database the write
+  /// batch is fsync'd to the WAL before OK is returned; if the append
+  /// fails, the transaction is rolled back and the error returned — the
+  /// commit never happened.
   Status Commit();
   /// Rolls the open transaction back (write transactions restore the
   /// pre-Begin state; read transactions just release the pin).

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/graph/write_observer.h"
 #include "src/value/value_compare.h"
 #include "src/value/value_format.h"
 
@@ -222,6 +223,7 @@ NodeId PropertyGraph::CreateNode(const std::vector<std::string>& labels,
     MutablePosting(s)->push_back(id);
     ++label_counts_[s];
   }
+  if (observer_ != nullptr) observer_->OnCreateNode(id, labels, props);
   return id;
 }
 
@@ -266,6 +268,9 @@ Result<RelId> PropertyGraph::CreateRelationship(NodeId src, NodeId tgt,
   }
   for (SymbolId l : node(tgt).labels) {
     ++label_type_in_counts_[LabelTypeKey(l, t)];
+  }
+  if (observer_ != nullptr) {
+    observer_->OnCreateRelationship(id, src, tgt, type, props);
   }
   return id;
 }
@@ -314,6 +319,7 @@ bool PropertyGraph::AddLabel(NodeId n, std::string_view label) {
   }
   ++stats_version_;
   ++data_version_;
+  if (observer_ != nullptr) observer_->OnAddLabel(n, label);
   return true;
 }
 
@@ -336,6 +342,7 @@ bool PropertyGraph::RemoveLabel(NodeId n, std::string_view label) {
   }
   ++stats_version_;
   ++data_version_;
+  if (observer_ != nullptr) observer_->OnRemoveLabel(n, label);
   return true;
 }
 
@@ -382,8 +389,13 @@ int PropertyGraph::SetNodeProperty(NodeId n, std::string_view key, Value v) {
   AssertMutable();
   SymbolId k = keys_.Intern(key);
   if (!v.is_null()) NoteNdv(&node_ndv_, k, v);
+  Value observed;  // O(1) copy, taken before SetProp consumes v
+  if (observer_ != nullptr) observed = v;
   int changed = SetProp(&MutableNode(n)->props, k, std::move(v));
-  if (changed != 0) ++data_version_;
+  if (changed != 0) {
+    ++data_version_;
+    if (observer_ != nullptr) observer_->OnSetNodeProperty(n, key, observed);
+  }
   return changed;
 }
 
@@ -391,8 +403,13 @@ int PropertyGraph::SetRelProperty(RelId r, std::string_view key, Value v) {
   AssertMutable();
   SymbolId k = keys_.Intern(key);
   if (!v.is_null()) NoteNdv(&rel_ndv_, k, v);
+  Value observed;  // O(1) copy, taken before SetProp consumes v
+  if (observer_ != nullptr) observed = v;
   int changed = SetProp(&MutableRel(r)->props, k, std::move(v));
-  if (changed != 0) ++data_version_;
+  if (changed != 0) {
+    ++data_version_;
+    if (observer_ != nullptr) observer_->OnSetRelProperty(r, key, observed);
+  }
   return changed;
 }
 
@@ -467,6 +484,7 @@ Status PropertyGraph::DeleteRelationship(RelId r) {
   --num_rels_;
   ++stats_version_;
   ++data_version_;
+  if (observer_ != nullptr) observer_->OnDeleteRelationship(r);
   return Status::OK();
 }
 
@@ -491,6 +509,7 @@ Status PropertyGraph::DeleteNode(NodeId n) {
   --num_nodes_;
   ++stats_version_;
   ++data_version_;
+  if (observer_ != nullptr) observer_->OnDeleteNode(n);
   return Status::OK();
 }
 

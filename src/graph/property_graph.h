@@ -18,6 +18,9 @@
 
 namespace gqlite {
 
+class GraphWriteObserver;
+class StorageInternals;
+
 /// Property list used when creating/updating entities.
 using PropertyList = std::vector<std::pair<std::string, Value>>;
 
@@ -275,7 +278,26 @@ class PropertyGraph {
   /// `[:TYPE {k: v}]`, paths expanded, containers recursed.
   std::string Render(const Value& v) const;
 
+  // ---- Write observation (durability hook) ---------------------------------
+
+  /// Attaches (or, with nullptr, detaches) the observer every successful
+  /// primitive mutation reports to — the WAL recorder of src/storage/.
+  /// Not copied by Snapshot()/Clone(): snapshots are frozen, and clones
+  /// (transaction-rollback restores) get a fresh observer attached by
+  /// the transaction layer. Single-writer discipline covers the observer
+  /// too: callbacks fire on the mutating thread only.
+  void set_write_observer(GraphWriteObserver* observer) {
+    observer_ = observer;
+  }
+  GraphWriteObserver* write_observer() const { return observer_; }
+
  private:
+  /// The serialization backdoor of src/storage/ (checkpoint encode/decode
+  /// and WAL replay): the ONE class allowed to touch record pages,
+  /// interners and statistics directly, so the on-disk format can mirror
+  /// the in-memory layout bit for bit without widening the public API.
+  friend class StorageInternals;
+
   struct NodeRecord {
     bool deleted = false;
     std::vector<SymbolId> labels;  // sorted
@@ -381,6 +403,9 @@ class PropertyGraph {
   /// page held at snapshot time reads as shared.
   uint64_t epoch_ = 1;
   bool frozen_ = false;
+  /// Deliberately absent from the copy constructor's init list: snapshots
+  /// and clones start unobserved (see set_write_observer).
+  GraphWriteObserver* observer_ = nullptr;
 
   StringInterner labels_;
   StringInterner types_;

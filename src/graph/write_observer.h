@@ -1,0 +1,60 @@
+#ifndef GQLITE_GRAPH_WRITE_OBSERVER_H_
+#define GQLITE_GRAPH_WRITE_OBSERVER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/graph/property_graph.h"
+#include "src/value/value.h"
+
+namespace gqlite {
+
+/// Observer of PropertyGraph's primitive mutations — the hook the
+/// durability layer (src/storage/) uses to build write-ahead-log record
+/// batches without the graph knowing anything about files or framing.
+///
+/// Contract:
+///  * Callbacks fire AFTER the mutation succeeded, on the mutating
+///    thread, with the id the mutation assigned. Failed mutators
+///    (dead endpoint, frozen graph, ...) never fire.
+///  * Compound mutations decompose into primitives: DETACH DELETE fires
+///    one OnDeleteRelationship per removed relationship followed by
+///    OnDeleteNode — replaying the primitive stream reproduces the
+///    compound effect exactly.
+///  * Id assignment is append-only (`id = slots++`), so replaying the
+///    primitive stream against a graph restored to the pre-stream state
+///    reassigns identical NodeId/RelId values; the WAL applier verifies
+///    this invariant per record.
+///  * Snapshot()/Clone() never copy the observer — frozen snapshots
+///    cannot mutate, and rollback clones get a fresh observer attached
+///    by the transaction layer (CypherEngine::RollbackWriter).
+///
+/// Argument lifetimes: string_views and references are only valid for
+/// the duration of the callback; implementations copy what they keep
+/// (Value copies are O(1), shared payloads).
+class GraphWriteObserver {
+ public:
+  virtual ~GraphWriteObserver() = default;
+
+  virtual void OnCreateNode(NodeId id, const std::vector<std::string>& labels,
+                            const PropertyList& props) = 0;
+  virtual void OnCreateRelationship(RelId id, NodeId src, NodeId tgt,
+                                    std::string_view type,
+                                    const PropertyList& props) = 0;
+  virtual void OnAddLabel(NodeId n, std::string_view label) = 0;
+  virtual void OnRemoveLabel(NodeId n, std::string_view label) = 0;
+  /// A null `v` removes the property (Cypher SET x.k = null). Fires only
+  /// when the property list actually changed (a null write to an absent
+  /// key does not).
+  virtual void OnSetNodeProperty(NodeId n, std::string_view key,
+                                 const Value& v) = 0;
+  virtual void OnSetRelProperty(RelId r, std::string_view key,
+                                const Value& v) = 0;
+  virtual void OnDeleteRelationship(RelId r) = 0;
+  virtual void OnDeleteNode(NodeId n) = 0;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_GRAPH_WRITE_OBSERVER_H_

@@ -1,0 +1,279 @@
+#include "src/storage/record_codec.h"
+
+#include <cstring>
+#include <utility>
+
+namespace gqlite {
+
+namespace {
+
+/// Containers nest at most this deep in an encoded value. Deeper data
+/// is rejected as corrupt rather than recursed into — a malformed
+/// length field must not be able to blow the stack.
+constexpr int kMaxValueDepth = 64;
+
+}  // namespace
+
+void BinaryWriter::PutDouble(double v) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  PutU64(bits);
+}
+
+void BinaryWriter::PutValue(const Value& v) {
+  PutU8(static_cast<uint8_t>(v.type()));
+  switch (v.type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kBool:
+      PutU8(v.AsBool() ? 1 : 0);
+      break;
+    case ValueType::kInt:
+      PutI64(v.AsInt());
+      break;
+    case ValueType::kFloat:
+      PutDouble(v.AsFloat());
+      break;
+    case ValueType::kString:
+      PutString(v.AsString());
+      break;
+    case ValueType::kList: {
+      const ValueList& items = v.AsList();
+      PutU32(static_cast<uint32_t>(items.size()));
+      for (const Value& item : items) PutValue(item);
+      break;
+    }
+    case ValueType::kMap: {
+      const ValueMap& m = v.AsMap();
+      PutU32(static_cast<uint32_t>(m.size()));
+      for (const auto& [k, item] : m) {
+        PutString(k);
+        PutValue(item);
+      }
+      break;
+    }
+    case ValueType::kNode:
+      PutU64(v.AsNode().id);
+      break;
+    case ValueType::kRelationship:
+      PutU64(v.AsRelationship().id);
+      break;
+    case ValueType::kPath: {
+      const Path& p = v.AsPath();
+      PutU32(static_cast<uint32_t>(p.nodes.size()));
+      for (NodeId n : p.nodes) PutU64(n.id);
+      PutU32(static_cast<uint32_t>(p.rels.size()));
+      for (RelId r : p.rels) PutU64(r.id);
+      break;
+    }
+    case ValueType::kDate:
+      PutI64(v.AsDate().days_since_epoch);
+      break;
+    case ValueType::kLocalTime:
+      PutI64(v.AsLocalTime().nanos_since_midnight);
+      break;
+    case ValueType::kTime:
+      PutI64(v.AsTime().local.nanos_since_midnight);
+      PutI32(v.AsTime().offset_seconds);
+      break;
+    case ValueType::kLocalDateTime:
+      PutI64(v.AsLocalDateTime().date.days_since_epoch);
+      PutI64(v.AsLocalDateTime().time.nanos_since_midnight);
+      break;
+    case ValueType::kDateTime:
+      PutI64(v.AsDateTime().local.date.days_since_epoch);
+      PutI64(v.AsDateTime().local.time.nanos_since_midnight);
+      PutI32(v.AsDateTime().offset_seconds);
+      break;
+    case ValueType::kDuration: {
+      Duration d = v.AsDuration();
+      PutI64(d.months);
+      PutI64(d.days);
+      PutI64(d.seconds);
+      PutI64(d.nanos);
+      break;
+    }
+  }
+}
+
+Result<uint8_t> BinaryReader::U8() {
+  if (remaining() < 1) return Status::Corruption("record truncated (u8)");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint32_t> BinaryReader::U32() {
+  if (remaining() < 4) return Status::Corruption("record truncated (u32)");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> BinaryReader::U64() {
+  if (remaining() < 8) return Status::Corruption("record truncated (u64)");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data_[pos_ + i]))
+         << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<int32_t> BinaryReader::I32() {
+  GQL_ASSIGN_OR_RETURN(uint32_t v, U32());
+  return static_cast<int32_t>(v);
+}
+
+Result<int64_t> BinaryReader::I64() {
+  GQL_ASSIGN_OR_RETURN(uint64_t v, U64());
+  return static_cast<int64_t>(v);
+}
+
+Result<double> BinaryReader::Double() {
+  GQL_ASSIGN_OR_RETURN(uint64_t bits, U64());
+  double v;
+  std::memcpy(&v, &bits, sizeof v);
+  return v;
+}
+
+Result<std::string> BinaryReader::String() {
+  GQL_ASSIGN_OR_RETURN(uint32_t len, U32());
+  if (remaining() < len) return Status::Corruption("record truncated (string)");
+  std::string s(data_.substr(pos_, len));
+  pos_ += len;
+  return s;
+}
+
+Result<Value> BinaryReader::ReadValueAtDepth(int depth) {
+  if (depth > kMaxValueDepth) {
+    return Status::Corruption("value nesting exceeds limit");
+  }
+  GQL_ASSIGN_OR_RETURN(uint8_t tag, U8());
+  if (tag > static_cast<uint8_t>(ValueType::kDuration)) {
+    return Status::Corruption("unknown value tag " + std::to_string(tag));
+  }
+  switch (static_cast<ValueType>(tag)) {
+    case ValueType::kNull:
+      return Value::Null();
+    case ValueType::kBool: {
+      GQL_ASSIGN_OR_RETURN(uint8_t b, U8());
+      return Value::Bool(b != 0);
+    }
+    case ValueType::kInt: {
+      GQL_ASSIGN_OR_RETURN(int64_t i, I64());
+      return Value::Int(i);
+    }
+    case ValueType::kFloat: {
+      GQL_ASSIGN_OR_RETURN(double d, Double());
+      return Value::Float(d);
+    }
+    case ValueType::kString: {
+      GQL_ASSIGN_OR_RETURN(std::string s, String());
+      return Value::String(std::move(s));
+    }
+    case ValueType::kList: {
+      GQL_ASSIGN_OR_RETURN(uint32_t n, U32());
+      // Each element is at least a 1-byte tag; a count beyond the
+      // remaining bytes is corrupt, not a reason to pre-reserve 4 GiB.
+      if (n > remaining()) return Status::Corruption("list count too large");
+      ValueList items;
+      items.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        GQL_ASSIGN_OR_RETURN(Value item, ReadValueAtDepth(depth + 1));
+        items.push_back(std::move(item));
+      }
+      return Value::MakeList(std::move(items));
+    }
+    case ValueType::kMap: {
+      GQL_ASSIGN_OR_RETURN(uint32_t n, U32());
+      if (n > remaining()) return Status::Corruption("map count too large");
+      ValueMap m;
+      for (uint32_t i = 0; i < n; ++i) {
+        GQL_ASSIGN_OR_RETURN(std::string k, String());
+        GQL_ASSIGN_OR_RETURN(Value item, ReadValueAtDepth(depth + 1));
+        m.emplace(std::move(k), std::move(item));
+      }
+      return Value::MakeMap(std::move(m));
+    }
+    case ValueType::kNode: {
+      GQL_ASSIGN_OR_RETURN(uint64_t id, U64());
+      return Value::Node(NodeId{id});
+    }
+    case ValueType::kRelationship: {
+      GQL_ASSIGN_OR_RETURN(uint64_t id, U64());
+      return Value::Relationship(RelId{id});
+    }
+    case ValueType::kPath: {
+      GQL_ASSIGN_OR_RETURN(uint32_t num_nodes, U32());
+      if (num_nodes > remaining()) {
+        return Status::Corruption("path node count too large");
+      }
+      Path p;
+      p.nodes.reserve(num_nodes);
+      for (uint32_t i = 0; i < num_nodes; ++i) {
+        GQL_ASSIGN_OR_RETURN(uint64_t id, U64());
+        p.nodes.push_back(NodeId{id});
+      }
+      GQL_ASSIGN_OR_RETURN(uint32_t num_rels, U32());
+      if (num_rels > remaining()) {
+        return Status::Corruption("path rel count too large");
+      }
+      p.rels.reserve(num_rels);
+      for (uint32_t i = 0; i < num_rels; ++i) {
+        GQL_ASSIGN_OR_RETURN(uint64_t id, U64());
+        p.rels.push_back(RelId{id});
+      }
+      if (p.nodes.size() != p.rels.size() + 1) {
+        return Status::Corruption("path shape invalid");
+      }
+      return Value::MakePath(std::move(p));
+    }
+    case ValueType::kDate: {
+      GQL_ASSIGN_OR_RETURN(int64_t days, I64());
+      return Value::Temporal(Date{days});
+    }
+    case ValueType::kLocalTime: {
+      GQL_ASSIGN_OR_RETURN(int64_t nanos, I64());
+      return Value::Temporal(LocalTime{nanos});
+    }
+    case ValueType::kTime: {
+      GQL_ASSIGN_OR_RETURN(int64_t nanos, I64());
+      GQL_ASSIGN_OR_RETURN(int32_t off, I32());
+      return Value::Temporal(ZonedTime{LocalTime{nanos}, off});
+    }
+    case ValueType::kLocalDateTime: {
+      GQL_ASSIGN_OR_RETURN(int64_t days, I64());
+      GQL_ASSIGN_OR_RETURN(int64_t nanos, I64());
+      return Value::Temporal(LocalDateTime{Date{days}, LocalTime{nanos}});
+    }
+    case ValueType::kDateTime: {
+      GQL_ASSIGN_OR_RETURN(int64_t days, I64());
+      GQL_ASSIGN_OR_RETURN(int64_t nanos, I64());
+      GQL_ASSIGN_OR_RETURN(int32_t off, I32());
+      return Value::Temporal(
+          ZonedDateTime{LocalDateTime{Date{days}, LocalTime{nanos}}, off});
+    }
+    case ValueType::kDuration: {
+      GQL_ASSIGN_OR_RETURN(int64_t months, I64());
+      GQL_ASSIGN_OR_RETURN(int64_t days, I64());
+      GQL_ASSIGN_OR_RETURN(int64_t seconds, I64());
+      GQL_ASSIGN_OR_RETURN(int64_t nanos, I64());
+      // Bypass Duration::Make's normalization: the writer stored the
+      // exact component values, and replay must reproduce them.
+      Duration d;
+      d.months = months;
+      d.days = days;
+      d.seconds = seconds;
+      d.nanos = nanos;
+      return Value::Temporal(d);
+    }
+  }
+  return Status::Corruption("unreachable value tag");
+}
+
+}  // namespace gqlite

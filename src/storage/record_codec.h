@@ -1,0 +1,76 @@
+#ifndef GQLITE_STORAGE_RECORD_CODEC_H_
+#define GQLITE_STORAGE_RECORD_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/value/value.h"
+
+namespace gqlite {
+
+/// Binary encoding primitives shared by the WAL and checkpoint formats.
+/// Integers are fixed-width little-endian, written byte by byte so the
+/// files are identical across host endianness; strings are u32 length +
+/// raw bytes. No varints: the WAL hot path is dominated by fdatasync,
+/// and fixed widths keep torn-frame detection trivial.
+class BinaryWriter {
+ public:
+  /// Appends to `*out`; the caller owns the buffer.
+  explicit BinaryWriter(std::string* out) : out_(out) {}
+
+  void PutU8(uint8_t v) { out_->push_back(static_cast<char>(v)); }
+  void PutU32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void PutU64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+  }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+  void PutDouble(double v);
+  void PutString(std::string_view s) {
+    PutU32(static_cast<uint32_t>(s.size()));
+    out_->append(s.data(), s.size());
+  }
+  /// Full Value codec: every ValueType round-trips, including nested
+  /// lists/maps and the temporal types. Node/relationship/path values
+  /// encode their ids (they are only meaningful against the same graph,
+  /// which is exactly the WAL/checkpoint situation).
+  void PutValue(const Value& v);
+
+ private:
+  std::string* out_;
+};
+
+/// Bounds-checked reader over an encoded buffer. Every accessor returns
+/// Corruption instead of reading past the end — torn WAL frames and
+/// truncated checkpoint sections surface as Status, never as UB.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+  Result<uint8_t> U8();
+  Result<uint32_t> U32();
+  Result<uint64_t> U64();
+  Result<int32_t> I32();
+  Result<int64_t> I64();
+  Result<double> Double();
+  Result<std::string> String();
+  Result<Value> ReadValue() { return ReadValueAtDepth(0); }
+
+ private:
+  Result<Value> ReadValueAtDepth(int depth);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace gqlite
+
+#endif  // GQLITE_STORAGE_RECORD_CODEC_H_

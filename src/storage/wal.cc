@@ -1,0 +1,364 @@
+#include "src/storage/wal.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string_view>
+#include <utility>
+
+#include "src/storage/checkpoint.h"
+#include "src/storage/crc32.h"
+#include "src/storage/record_codec.h"
+
+namespace gqlite {
+
+namespace {
+
+constexpr std::string_view kWalMagic = "GQLWAL1\n";
+constexpr uint32_t kWalVersion = 1;
+/// magic + u32 version.
+constexpr uint64_t kWalHeaderSize = 12;
+
+void EncodeWalOp(const WalOp& op, BinaryWriter* w) {
+  w->PutU8(static_cast<uint8_t>(op.type));
+  switch (op.type) {
+    case WalOpType::kInternLabel:
+    case WalOpType::kInternType:
+    case WalOpType::kInternKey:
+      w->PutU64(op.id);
+      w->PutString(op.name);
+      break;
+    case WalOpType::kCreateNode:
+      w->PutU64(op.id);
+      w->PutU32(static_cast<uint32_t>(op.labels.size()));
+      for (const std::string& l : op.labels) w->PutString(l);
+      w->PutU32(static_cast<uint32_t>(op.props.size()));
+      for (const auto& [k, v] : op.props) {
+        w->PutString(k);
+        w->PutValue(v);
+      }
+      break;
+    case WalOpType::kCreateRelationship:
+      w->PutU64(op.id);
+      w->PutU64(op.src);
+      w->PutU64(op.tgt);
+      w->PutString(op.name);
+      w->PutU32(static_cast<uint32_t>(op.props.size()));
+      for (const auto& [k, v] : op.props) {
+        w->PutString(k);
+        w->PutValue(v);
+      }
+      break;
+    case WalOpType::kAddLabel:
+    case WalOpType::kRemoveLabel:
+      w->PutU64(op.id);
+      w->PutString(op.name);
+      break;
+    case WalOpType::kSetNodeProperty:
+    case WalOpType::kSetRelProperty:
+      w->PutU64(op.id);
+      w->PutString(op.name);
+      w->PutValue(op.value);
+      break;
+    case WalOpType::kDeleteRelationship:
+    case WalOpType::kDeleteNode:
+      w->PutU64(op.id);
+      break;
+  }
+}
+
+Result<WalOp> DecodeWalOp(BinaryReader* r) {
+  GQL_ASSIGN_OR_RETURN(uint8_t tag, r->U8());
+  if (tag < static_cast<uint8_t>(WalOpType::kInternLabel) ||
+      tag > static_cast<uint8_t>(WalOpType::kDeleteNode)) {
+    return Status::Corruption("unknown WAL op tag " + std::to_string(tag));
+  }
+  WalOp op;
+  op.type = static_cast<WalOpType>(tag);
+  switch (op.type) {
+    case WalOpType::kInternLabel:
+    case WalOpType::kInternType:
+    case WalOpType::kInternKey: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.name, r->String());
+      break;
+    }
+    case WalOpType::kCreateNode: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      GQL_ASSIGN_OR_RETURN(uint32_t nl, r->U32());
+      if (nl > r->remaining()) {
+        return Status::Corruption("label count too large");
+      }
+      op.labels.reserve(nl);
+      for (uint32_t i = 0; i < nl; ++i) {
+        GQL_ASSIGN_OR_RETURN(std::string l, r->String());
+        op.labels.push_back(std::move(l));
+      }
+      GQL_ASSIGN_OR_RETURN(uint32_t np, r->U32());
+      if (np > r->remaining()) {
+        return Status::Corruption("property count too large");
+      }
+      op.props.reserve(np);
+      for (uint32_t i = 0; i < np; ++i) {
+        GQL_ASSIGN_OR_RETURN(std::string k, r->String());
+        GQL_ASSIGN_OR_RETURN(Value v, r->ReadValue());
+        op.props.emplace_back(std::move(k), std::move(v));
+      }
+      break;
+    }
+    case WalOpType::kCreateRelationship: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.src, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.tgt, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.name, r->String());
+      GQL_ASSIGN_OR_RETURN(uint32_t np, r->U32());
+      if (np > r->remaining()) {
+        return Status::Corruption("property count too large");
+      }
+      op.props.reserve(np);
+      for (uint32_t i = 0; i < np; ++i) {
+        GQL_ASSIGN_OR_RETURN(std::string k, r->String());
+        GQL_ASSIGN_OR_RETURN(Value v, r->ReadValue());
+        op.props.emplace_back(std::move(k), std::move(v));
+      }
+      break;
+    }
+    case WalOpType::kAddLabel:
+    case WalOpType::kRemoveLabel: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.name, r->String());
+      break;
+    }
+    case WalOpType::kSetNodeProperty:
+    case WalOpType::kSetRelProperty: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      GQL_ASSIGN_OR_RETURN(op.name, r->String());
+      GQL_ASSIGN_OR_RETURN(op.value, r->ReadValue());
+      break;
+    }
+    case WalOpType::kDeleteRelationship:
+    case WalOpType::kDeleteNode: {
+      GQL_ASSIGN_OR_RETURN(op.id, r->U64());
+      break;
+    }
+  }
+  return op;
+}
+
+int64_t CrashAfterBytesFromEnv() {
+  const char* env = std::getenv("GQLITE_WAL_CRASH_AFTER_BYTES");
+  if (env == nullptr || *env == '\0') return -1;
+  return std::strtoll(env, nullptr, 10);
+}
+
+}  // namespace
+
+void EncodeWalBatchPayload(const WalBatch& batch, std::string* out) {
+  BinaryWriter w(out);
+  w.PutU64(batch.lsn);
+  w.PutU32(static_cast<uint32_t>(batch.ops.size()));
+  for (const WalOp& op : batch.ops) EncodeWalOp(op, &w);
+}
+
+Result<WalBatch> DecodeWalBatchPayload(std::string_view payload) {
+  BinaryReader r(payload);
+  WalBatch batch;
+  GQL_ASSIGN_OR_RETURN(batch.lsn, r.U64());
+  GQL_ASSIGN_OR_RETURN(uint32_t n, r.U32());
+  if (n > r.remaining()) return Status::Corruption("op count too large");
+  batch.ops.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    GQL_ASSIGN_OR_RETURN(WalOp op, DecodeWalOp(&r));
+    batch.ops.push_back(std::move(op));
+  }
+  if (!r.AtEnd()) return Status::Corruption("trailing bytes in WAL payload");
+  return batch;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
+  GQL_ASSIGN_OR_RETURN(std::unique_ptr<AppendFile> file,
+                       AppendFile::Open(path));
+  auto writer = std::unique_ptr<WalWriter>(
+      new WalWriter(std::move(file), CrashAfterBytesFromEnv()));
+  if (writer->file_->size() < kWalHeaderSize) {
+    // Fresh log, or a crash landed inside the initial header write:
+    // (re)write the header. ReadWal vetted the magic of anything longer,
+    // so this never clobbers a foreign file.
+    GQL_RETURN_IF_ERROR(writer->file_->TruncateTo(0));
+    std::string header(kWalMagic);
+    BinaryWriter w(&header);
+    w.PutU32(kWalVersion);
+    GQL_RETURN_IF_ERROR(writer->file_->Append(header));
+    GQL_RETURN_IF_ERROR(writer->file_->Sync());
+  }
+  return writer;
+}
+
+Status WalWriter::Append(const WalBatch& batch) {
+  std::string payload;
+  EncodeWalBatchPayload(batch, &payload);
+  std::string frame;
+  BinaryWriter w(&frame);
+  w.PutU32(static_cast<uint32_t>(payload.size()));
+  w.PutU32(Crc32c(payload));
+  frame += payload;
+
+  if (crash_after_bytes_ >= 0) {
+    uint64_t limit = static_cast<uint64_t>(crash_after_bytes_);
+    uint64_t at = file_->size();
+    if (at + frame.size() > limit) {
+      // Simulated power loss mid-write: persist only the allowed prefix
+      // of the frame, make it reach the disk, and die without returning.
+      uint64_t allowed = at < limit ? limit - at : 0;
+      Status st = file_->Append(std::string_view(frame).substr(0, allowed));
+      if (st.ok()) st = file_->Sync();
+      ::_exit(137);
+    }
+  }
+
+  GQL_RETURN_IF_ERROR(file_->Append(frame));
+  return file_->Sync();
+}
+
+Status WalWriter::TruncateToHeader() {
+  return file_->TruncateTo(kWalHeaderSize);
+}
+
+Status WalWriter::TruncateTo(uint64_t size) {
+  if (size < kWalHeaderSize) return file_->TruncateTo(0);
+  return file_->TruncateTo(size);
+}
+
+Result<WalContents> ReadWal(const std::string& path) {
+  WalContents out;
+  Result<std::string> data = ReadFileToString(path);
+  if (!data.ok()) {
+    if (data.status().code() == StatusCode::kNotFound) return out;
+    return data.status();
+  }
+  const std::string& bytes = *data;
+  out.file_bytes = bytes.size();
+  if (bytes.size() < kWalHeaderSize) {
+    // A crash during the very first header write; everything goes.
+    return out;
+  }
+  if (std::string_view(bytes).substr(0, kWalMagic.size()) != kWalMagic) {
+    return Status::Corruption("not a WAL file: " + path);
+  }
+  {
+    BinaryReader header(std::string_view(bytes).substr(kWalMagic.size(), 4));
+    GQL_ASSIGN_OR_RETURN(uint32_t version, header.U32());
+    if (version != kWalVersion) {
+      return Status::Corruption("unsupported WAL version " +
+                                std::to_string(version) + " in " + path);
+    }
+  }
+  uint64_t pos = kWalHeaderSize;
+  out.valid_bytes = pos;
+  uint64_t last_lsn = 0;
+  while (pos + 8 <= bytes.size()) {
+    BinaryReader frame(std::string_view(bytes).substr(pos, 8));
+    uint32_t len = frame.U32().value();
+    uint32_t crc = frame.U32().value();
+    if (pos + 8 + len > bytes.size()) break;  // torn final frame
+    std::string_view payload = std::string_view(bytes).substr(pos + 8, len);
+    if (Crc32c(payload) != crc) break;  // corrupt frame: stop here
+    Result<WalBatch> batch = DecodeWalBatchPayload(payload);
+    // A CRC-valid but undecodable or out-of-order payload means the
+    // writer never produced it; treat it like any other bad tail.
+    if (!batch.ok()) break;
+    if (batch->lsn <= last_lsn) break;
+    last_lsn = batch->lsn;
+    out.batches.push_back(std::move(*batch));
+    pos += 8 + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+namespace {
+
+Status IdMismatch(const char* what, uint64_t logged, uint64_t got) {
+  return Status::Corruption(std::string("WAL replay assigned ") + what + " " +
+                            std::to_string(got) + " where the log recorded " +
+                            std::to_string(logged));
+}
+
+}  // namespace
+
+Status ApplyWalBatch(PropertyGraph* graph, const WalBatch& batch) {
+  for (const WalOp& op : batch.ops) {
+    switch (op.type) {
+      case WalOpType::kInternLabel: {
+        SymbolId got = StorageInternals::InternLabel(graph, op.name);
+        if (got != op.id) return IdMismatch("label symbol", op.id, got);
+        break;
+      }
+      case WalOpType::kInternType: {
+        SymbolId got = StorageInternals::InternType(graph, op.name);
+        if (got != op.id) return IdMismatch("type symbol", op.id, got);
+        break;
+      }
+      case WalOpType::kInternKey: {
+        SymbolId got = StorageInternals::InternKey(graph, op.name);
+        if (got != op.id) return IdMismatch("key symbol", op.id, got);
+        break;
+      }
+      case WalOpType::kCreateNode: {
+        NodeId got = graph->CreateNode(op.labels, op.props);
+        if (got.id != op.id) return IdMismatch("node id", op.id, got.id);
+        break;
+      }
+      case WalOpType::kCreateRelationship: {
+        Result<RelId> got = graph->CreateRelationship(
+            NodeId{op.src}, NodeId{op.tgt}, op.name, op.props);
+        if (!got.ok()) {
+          return Status::Corruption("WAL replay: " + got.status().message());
+        }
+        if (got->id != op.id) return IdMismatch("rel id", op.id, got->id);
+        break;
+      }
+      case WalOpType::kAddLabel: {
+        if (!graph->AddLabel(NodeId{op.id}, op.name)) {
+          return Status::Corruption("WAL replay: AddLabel was a no-op");
+        }
+        break;
+      }
+      case WalOpType::kRemoveLabel: {
+        if (!graph->RemoveLabel(NodeId{op.id}, op.name)) {
+          return Status::Corruption("WAL replay: RemoveLabel was a no-op");
+        }
+        break;
+      }
+      case WalOpType::kSetNodeProperty: {
+        if (graph->SetNodeProperty(NodeId{op.id}, op.name, op.value) == 0) {
+          return Status::Corruption("WAL replay: node SET was a no-op");
+        }
+        break;
+      }
+      case WalOpType::kSetRelProperty: {
+        if (graph->SetRelProperty(RelId{op.id}, op.name, op.value) == 0) {
+          return Status::Corruption("WAL replay: rel SET was a no-op");
+        }
+        break;
+      }
+      case WalOpType::kDeleteRelationship: {
+        Status st = graph->DeleteRelationship(RelId{op.id});
+        if (!st.ok()) {
+          return Status::Corruption("WAL replay: " + st.message());
+        }
+        break;
+      }
+      case WalOpType::kDeleteNode: {
+        Status st = graph->DeleteNode(NodeId{op.id});
+        if (!st.ok()) {
+          return Status::Corruption("WAL replay: " + st.message());
+        }
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace gqlite
