@@ -48,7 +48,16 @@ class Database {
   static Result<Database> OpenInMemory(EngineOptions options = {});
 
   Database(Database&&) noexcept = default;
-  Database& operator=(Database&&) noexcept = default;
+  /// Move-assignment closes the database being replaced first (same
+  /// best-effort flush as the destructor; use Close() beforehand to
+  /// observe its status).
+  Database& operator=(Database&& other) noexcept {
+    if (this != &other) {
+      (void)Close();
+      engine_ = std::move(other.engine_);
+    }
+    return *this;
+  }
   ~Database();
 
   /// Opens a session for multi-statement transactions (see Session).

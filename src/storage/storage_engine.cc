@@ -44,7 +44,9 @@ Result<std::unique_ptr<DurableStorageEngine>> DurableStorageEngine::Open(
   }
 
   // 3. Resume appending after the last valid frame, dropping any torn
-  // or corrupt tail a crashed writer left behind.
+  // or corrupt tail a crashed writer left behind. valid_bytes is 0 when
+  // the crash landed inside the initial header write; TruncateTo clamps
+  // to the fresh header WalWriter::Open just wrote, never below it.
   GQL_ASSIGN_OR_RETURN(std::unique_ptr<WalWriter> writer,
                        WalWriter::Open(WalPath(dir)));
   if (wal.valid_bytes < wal.file_bytes) {

@@ -188,13 +188,48 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path) {
     std::string header(kWalMagic);
     BinaryWriter w(&header);
     w.PutU32(kWalVersion);
-    GQL_RETURN_IF_ERROR(writer->file_->Append(header));
-    GQL_RETURN_IF_ERROR(writer->file_->Sync());
+    GQL_RETURN_IF_ERROR(writer->AppendDurably(header));
   }
   return writer;
 }
 
+Status WalWriter::AppendDurably(std::string_view data) {
+  if (crash_after_bytes_ >= 0) {
+    uint64_t limit = static_cast<uint64_t>(crash_after_bytes_);
+    uint64_t at = file_->size();
+    if (at + data.size() > limit) {
+      // Simulated power loss mid-write: persist only the allowed prefix
+      // of the write, make it reach the disk, and die without returning.
+      uint64_t allowed = at < limit ? limit - at : 0;
+      Status st = file_->Append(data.substr(0, allowed));
+      if (st.ok()) st = file_->Sync();
+      ::_exit(137);
+    }
+  }
+
+  uint64_t before = file_->size();
+  Status st = file_->Append(data);
+  if (st.ok()) st = file_->Sync();
+  if (!st.ok()) {
+    // The failed write (or sync of unknown effect) may have left torn
+    // bytes at the tail. Cut back to the pre-append size so the next
+    // frame lands after a clean prefix; if even that fails, poison the
+    // writer — appending after garbage would acknowledge commits that
+    // recovery silently discards.
+    Status restore = file_->TruncateTo(before);
+    if (!restore.ok()) {
+      poison_ = Status::Internal("WAL unusable after failed append (" +
+                                 st.message() +
+                                 "; restore failed: " + restore.message() +
+                                 "); checkpoint to reset the log");
+    }
+    return st;
+  }
+  return Status::OK();
+}
+
 Status WalWriter::Append(const WalBatch& batch) {
+  if (!poison_.ok()) return poison_;
   std::string payload;
   EncodeWalBatchPayload(batch, &payload);
   std::string frame;
@@ -202,30 +237,17 @@ Status WalWriter::Append(const WalBatch& batch) {
   w.PutU32(static_cast<uint32_t>(payload.size()));
   w.PutU32(Crc32c(payload));
   frame += payload;
-
-  if (crash_after_bytes_ >= 0) {
-    uint64_t limit = static_cast<uint64_t>(crash_after_bytes_);
-    uint64_t at = file_->size();
-    if (at + frame.size() > limit) {
-      // Simulated power loss mid-write: persist only the allowed prefix
-      // of the frame, make it reach the disk, and die without returning.
-      uint64_t allowed = at < limit ? limit - at : 0;
-      Status st = file_->Append(std::string_view(frame).substr(0, allowed));
-      if (st.ok()) st = file_->Sync();
-      ::_exit(137);
-    }
-  }
-
-  GQL_RETURN_IF_ERROR(file_->Append(frame));
-  return file_->Sync();
+  return AppendDurably(frame);
 }
 
 Status WalWriter::TruncateToHeader() {
-  return file_->TruncateTo(kWalHeaderSize);
+  GQL_RETURN_IF_ERROR(file_->TruncateTo(kWalHeaderSize));
+  poison_ = Status::OK();
+  return Status::OK();
 }
 
 Status WalWriter::TruncateTo(uint64_t size) {
-  if (size < kWalHeaderSize) return file_->TruncateTo(0);
+  if (size < kWalHeaderSize) size = kWalHeaderSize;
   return file_->TruncateTo(size);
 }
 

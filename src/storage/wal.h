@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/result.h"
@@ -87,6 +88,14 @@ class WalWriter {
   /// Serializes, appends and fdatasyncs one batch; on return the batch
   /// is durable.
   ///
+  /// On an I/O failure (partial write, failed fdatasync — ENOSPC, EIO)
+  /// the writer truncates the file back to the pre-append size so no
+  /// torn frame bytes linger mid-log; if even that restore fails, the
+  /// writer poisons itself and every later Append returns the poison
+  /// status. Either way the log never accepts a new frame after
+  /// garbage — recovery stops at the first bad frame, so a frame behind
+  /// torn bytes would be an acknowledged-then-lost commit.
+  ///
   /// Crash injection for recovery tests: when the environment variable
   /// GQLITE_WAL_CRASH_AFTER_BYTES is set, the writer only persists log
   /// bytes up to that absolute file offset — a frame crossing the limit
@@ -95,9 +104,16 @@ class WalWriter {
   Status Append(const WalBatch& batch);
 
   /// Drops every frame (after a checkpoint made them redundant),
-  /// keeping the header.
+  /// keeping the header. On success this also clears an Append poison:
+  /// the checkpoint holds everything and the log is a clean header
+  /// again.
   Status TruncateToHeader();
   /// Drops a corrupt/torn tail found by ReadWal (recovery path).
+  /// Clamped to never drop the header — ReadWal reports valid_bytes=0
+  /// for a file shorter than the header, but by the time recovery calls
+  /// this, Open has already (re)written and synced a fresh header that
+  /// must survive (a headerless log makes every later commit unreadable
+  /// at the next recovery).
   Status TruncateTo(uint64_t size);
 
   uint64_t size() const { return file_->size(); }
@@ -106,10 +122,19 @@ class WalWriter {
   explicit WalWriter(std::unique_ptr<AppendFile> file, int64_t crash_after)
       : file_(std::move(file)), crash_after_bytes_(crash_after) {}
 
+  /// Appends `data` and fdatasyncs, honoring crash injection; on
+  /// failure restores the pre-append file size (or poisons the writer
+  /// when the restore fails too).
+  Status AppendDurably(std::string_view data);
+
   std::unique_ptr<AppendFile> file_;
   /// Absolute file offset beyond which writes crash the process; < 0
   /// means injection is off.
   int64_t crash_after_bytes_ = -1;
+  /// Non-OK once an append failure left the file in an unknown state;
+  /// every later Append fails with this until a checkpoint resets the
+  /// log (TruncateToHeader).
+  Status poison_;
 };
 
 /// Everything a log file yields at recovery.

@@ -5,10 +5,12 @@
 // never a lost acknowledged write.
 #include <gtest/gtest.h>
 
+#include <sys/resource.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -93,11 +95,12 @@ TEST(CrashRecovery, KillMidCommitSweep) {
   uint64_t full_size = fs::file_size(baseline + "/wal.log");
   ASSERT_GT(full_size, 12u);  // header + frames
 
-  // Sweep crash offsets across the whole log: the header boundary,
-  // then a fixed stride (plus ±1 to land inside frame headers and
-  // payloads alike). Every offset must yield exit 137 and a clean
-  // prefix on reopen.
-  std::vector<uint64_t> offsets = {12, 13};
+  // Sweep crash offsets across the whole log: inside the initial
+  // header write (0..11 — recovery must rewrite the header and keep it
+  // through the tail truncation), the header boundary, then a fixed
+  // stride (plus ±1 to land inside frame headers and payloads alike).
+  // Every offset must yield exit 137 and a clean prefix on reopen.
+  std::vector<uint64_t> offsets = {0, 1, 5, 11, 12, 13};
   uint64_t stride = full_size / 8 + 1;
   for (uint64_t off = stride; off < full_size; off += stride) {
     offsets.push_back(off);
@@ -113,6 +116,10 @@ TEST(CrashRecovery, KillMidCommitSweep) {
     int recovered = VerifyRecoveredPrefix(dir);
     ASSERT_GE(recovered, 0) << "offset " << off;
     EXPECT_LT(recovered, kCommits) << "offset " << off;
+    // Reopen once more: recovery's repairs (header rewrite, tail
+    // truncation) and the commit VerifyRecoveredPrefix made must
+    // themselves be durable — a log left headerless would fail here.
+    EXPECT_EQ(VerifyRecoveredPrefix(dir), recovered) << "offset " << off;
     // A later crash point can only preserve more commits.
     EXPECT_GE(recovered, prev_recovered) << "offset " << off;
     prev_recovered = recovered;
@@ -150,6 +157,56 @@ TEST(CrashRecovery, CrashAfterCheckpointReplaysOnlyTail) {
   EXPECT_EQ(WEXITSTATUS(status), kCrashExit);
 
   EXPECT_EQ(VerifyRecoveredPrefix(dir), 4);
+}
+
+// A commit whose WAL append fails mid-frame — here the file-size rlimit
+// cuts the write short, the same partial-write shape as ENOSPC — must
+// not strand torn bytes in the log: the failed commit rolls back, later
+// commits land after a clean prefix, and reopening recovers exactly the
+// acknowledged ones (nothing from after the first I/O error is lost).
+TEST(CrashRecovery, FailedAppendKeepsLogAppendable) {
+  std::string dir = FreshDir("failed_append");
+  pid_t pid = fork();
+  if (pid == 0) {
+    // A write past the limit raises SIGXFSZ (default: kill the
+    // process); ignore it so write() fails with EFBIG like any other
+    // I/O error.
+    signal(SIGXFSZ, SIG_IGN);
+    auto opened = Database::Open(dir);
+    if (!opened.ok()) _exit(10);
+    Database db = std::move(*opened);
+    if (!db.Execute("CREATE (:K {i: 0})").ok()) _exit(11);
+    struct rlimit lim;
+    if (getrlimit(RLIMIT_FSIZE, &lim) != 0) _exit(12);
+    const struct rlimit full = lim;
+    // Allow 6 more log bytes: the next frame tears mid-write.
+    lim.rlim_cur =
+        static_cast<rlim_t>(fs::file_size(dir + "/wal.log")) + 6;
+    if (setrlimit(RLIMIT_FSIZE, &lim) != 0) _exit(13);
+    if (db.Execute("CREATE (:Torn {pad: 'xxxxxxxxxxxxxxxxxxxxxxxx'})")
+            .ok()) {
+      _exit(14);  // the torn append must fail the commit
+    }
+    if (setrlimit(RLIMIT_FSIZE, &full) != 0) _exit(15);
+    if (!db.Execute("CREATE (:K {i: 1})").ok()) _exit(16);
+    _exit(0);
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  ASSERT_EQ(WEXITSTATUS(status), 0);
+
+  auto opened = Database::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  Database db = std::move(*opened);
+  auto k = db.Execute("MATCH (n:K) RETURN n.i AS i ORDER BY i");
+  ASSERT_TRUE(k.ok()) << k.status().ToString();
+  ASSERT_EQ(k->table.rows().size(), 2u);
+  EXPECT_EQ(k->table.rows()[0][0].AsInt(), 0);
+  EXPECT_EQ(k->table.rows()[1][0].AsInt(), 1);
+  auto torn = db.Execute("MATCH (n:Torn) RETURN count(n) AS c");
+  ASSERT_TRUE(torn.ok()) << torn.status().ToString();
+  EXPECT_EQ(torn->table.rows()[0][0].AsInt(), 0);
 }
 
 }  // namespace

@@ -464,6 +464,43 @@ TEST(Durability, TornWalTailIsDiscardedOnOpen) {
   EXPECT_TRUE(db.Execute("MATCH (c:C) RETURN c").ok());
 }
 
+TEST(Durability, TornWalHeaderIsRewrittenDurably) {
+  std::string dir = FreshDir("db_torn_header");
+  {
+    Database db = MustOpen(dir);
+    ASSERT_TRUE(db.Execute("CREATE (:A)").ok());
+  }
+  // Power loss during the very first header write leaves a log shorter
+  // than the 12-byte header: every frame is gone, recovery starts from
+  // an empty graph, rewrites the header — and must KEEP it when it
+  // truncates the torn remainder (a headerless log would swallow later
+  // commits silently until the next open failed with Corruption).
+  TruncateFile(WalPath(dir), 5);
+  {
+    Database db = MustOpen(dir);
+    EXPECT_EQ(CountNodes(db), 0);
+    ASSERT_TRUE(db.Execute("CREATE (:K)").ok());
+  }
+  Database db = MustOpen(dir);
+  EXPECT_EQ(CountNodes(db), 1);
+}
+
+TEST(Durability, MoveAssignFlushesTheReplacedDatabase) {
+  std::string dir = FreshDir("db_move_assign");
+  {
+    Database db = MustOpen(dir);
+    // A setup-API write only becomes durable at the next transaction
+    // boundary — here the Close() that move-assignment runs on the
+    // database being replaced (a defaulted move would drop it).
+    db.graph().CreateNode({"Moved"}, {});
+    Database other = MustOpen(FreshDir("db_move_assign_other"));
+    db = std::move(other);
+  }
+  Database db = MustOpen(dir);
+  EXPECT_EQ(CountNodes(db), 1);
+  EXPECT_TRUE(db.Execute("MATCH (m:Moved) RETURN m").ok());
+}
+
 TEST(Durability, SetDefaultGraphRejectedOnDurableDatabase) {
   std::string dir = FreshDir("db_setdefault");
   Database db = MustOpen(dir);
